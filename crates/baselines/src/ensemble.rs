@@ -1,0 +1,255 @@
+//! Rank-aggregation ensembles.
+//!
+//! The paper's related-work section (§5, "Ensemble Techniques") notes that
+//! most WSDM-2016 cup entries — including the winner reimplemented in
+//! [`crate::wsdm`] — combine several base rankings. This module provides
+//! the two standard *unsupervised* fusion rules so ensemble baselines can
+//! be composed from any [`Ranker`]s:
+//!
+//! * **Borda count** — each paper earns `n − rank` points from every base
+//!   ranking (tie-averaged, so tied papers split their points);
+//! * **Reciprocal-rank fusion (RRF)** — each paper earns
+//!   `Σ 1/(k + rank)` with the conventional `k = 60`, which weighs the top
+//!   of each list much more heavily than Borda.
+//!
+//! Both are rank-based, so they are immune to the incomparable score
+//! scales of the underlying methods (probability vectors vs. weighted
+//! counts).
+
+use citegraph::{CitationNetwork, Ranker};
+use sparsela::{average_ranks, ScoreVec};
+
+/// Fusion rule for [`Ensemble`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionRule {
+    /// Borda count (points = `n − rank`, tie-averaged).
+    Borda,
+    /// Reciprocal-rank fusion with constant `k`.
+    ReciprocalRank {
+        /// Damping constant; 60 is the literature default.
+        k: u32,
+    },
+}
+
+/// An ensemble of base rankers combined with a [`FusionRule`].
+pub struct Ensemble {
+    members: Vec<Box<dyn Ranker + Send + Sync>>,
+    rule: FusionRule,
+    label: String,
+}
+
+impl Ensemble {
+    /// Creates an ensemble.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Ranker + Send + Sync>>, rule: FusionRule) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let label = format!(
+            "{}({})",
+            match rule {
+                FusionRule::Borda => "Borda",
+                FusionRule::ReciprocalRank { .. } => "RRF",
+            },
+            members
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        Self {
+            members,
+            rule,
+            label,
+        }
+    }
+
+    /// Number of base rankers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` iff the ensemble has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    fn fuse(&self, ranks: &[f64], fused: &mut ScoreVec) {
+        let n = ranks.len() as f64;
+        match self.rule {
+            FusionRule::Borda => {
+                for (f, &r) in fused.iter_mut().zip(ranks) {
+                    *f += n - r;
+                }
+            }
+            FusionRule::ReciprocalRank { k } => {
+                for (f, &r) in fused.iter_mut().zip(ranks) {
+                    *f += 1.0 / (k as f64 + r);
+                }
+            }
+        }
+    }
+}
+
+impl Ranker for Ensemble {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn rank(&self, net: &CitationNetwork) -> ScoreVec {
+        let n = net.n_papers();
+        let mut fused = ScoreVec::zeros(n);
+        for member in &self.members {
+            let scores = member.rank(net);
+            let ranks = average_ranks(scores.as_slice());
+            self.fuse(&ranks, &mut fused);
+        }
+        fused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PageRank, Ram};
+    use citegraph::rank::CitationCount;
+    use citegraph::NetworkBuilder;
+
+    fn net() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (2000..2010).map(|y| b.add_paper(y)).collect();
+        for (i, &citing) in ids.iter().enumerate().skip(1) {
+            b.add_citation(citing, ids[i - 1]).unwrap();
+            if i >= 3 {
+                b.add_citation(citing, ids[0]).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_member_preserves_order() {
+        let net = net();
+        let base = CitationCount.rank(&net);
+        for rule in [FusionRule::Borda, FusionRule::ReciprocalRank { k: 60 }] {
+            let ens = Ensemble::new(vec![Box::new(CitationCount)], rule);
+            let fused = ens.rank(&net);
+            // Same order as the base ranking (ties included).
+            let base_order = base.top_k(net.n_papers());
+            let fused_order = fused.top_k(net.n_papers());
+            assert_eq!(base_order, fused_order, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn unanimous_members_agree_with_consensus() {
+        let net = net();
+        let ens = Ensemble::new(
+            vec![Box::new(CitationCount), Box::new(CitationCount)],
+            FusionRule::Borda,
+        );
+        let fused = ens.rank(&net);
+        assert_eq!(
+            fused.top_k(3),
+            CitationCount.rank(&net).top_k(3),
+            "two identical voters change nothing"
+        );
+    }
+
+    #[test]
+    fn fused_scores_are_finite_and_positive() {
+        let net = net();
+        let ens = Ensemble::new(
+            vec![
+                Box::new(CitationCount),
+                Box::new(PageRank::default_citation()),
+                Box::new(Ram::new(0.6)),
+            ],
+            FusionRule::ReciprocalRank { k: 60 },
+        );
+        let fused = ens.rank(&net);
+        assert!(fused.all_finite());
+        assert!(fused.iter().all(|&v| v > 0.0));
+        assert_eq!(fused.len(), net.n_papers());
+    }
+
+    #[test]
+    fn name_describes_members_and_rule() {
+        let ens = Ensemble::new(
+            vec![Box::new(CitationCount), Box::new(Ram::new(0.5))],
+            FusionRule::Borda,
+        );
+        assert_eq!(ens.name(), "Borda(CC+RAM)");
+        assert_eq!(ens.len(), 2);
+        assert!(!ens.is_empty());
+    }
+
+    #[test]
+    fn majority_outvotes_one_dissenter() {
+        // Two CC voters against one "reversed" voter: consensus must follow
+        // the majority at the top.
+        struct Reversed;
+        impl Ranker for Reversed {
+            fn name(&self) -> String {
+                "REV".into()
+            }
+            fn rank(&self, net: &CitationNetwork) -> ScoreVec {
+                let cc = CitationCount.rank(net);
+                ScoreVec::from_vec(cc.iter().map(|&v| -v).collect())
+            }
+        }
+        let net = net();
+        let ens = Ensemble::new(
+            vec![
+                Box::new(CitationCount),
+                Box::new(CitationCount),
+                Box::new(Reversed),
+            ],
+            FusionRule::Borda,
+        );
+        let fused = ens.rank(&net);
+        let cc_top = CitationCount.rank(&net).top_k(1)[0];
+        assert_eq!(fused.top_k(1)[0], cc_top);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_panics() {
+        let _ = Ensemble::new(Vec::new(), FusionRule::Borda);
+    }
+
+    #[test]
+    fn rrf_weights_top_heavier_than_borda() {
+        // Construct two members that disagree: one puts paper A 1st and
+        // paper B far down; the other puts B slightly ahead of A. RRF's
+        // top-heavy weighting must keep A first, while Borda's linear
+        // points let the consistent-but-mild preference for B matter more.
+        struct Fixed(Vec<f64>);
+        impl Ranker for Fixed {
+            fn name(&self) -> String {
+                "FIX".into()
+            }
+            fn rank(&self, _net: &CitationNetwork) -> ScoreVec {
+                ScoreVec::from_vec(self.0.clone())
+            }
+        }
+        let mut b = NetworkBuilder::new();
+        for y in 2000..2010 {
+            b.add_paper(y);
+        }
+        let net = b.build().unwrap();
+        // Member 1: A (=0) first, B (=1) last.
+        let m1 = vec![9.0, 0.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        // Member 2: B just above A, both mid-list.
+        let m2 = vec![5.0, 5.5, 9.0, 8.0, 7.0, 6.0, 4.0, 3.0, 2.0, 1.0];
+        let rrf = Ensemble::new(
+            vec![Box::new(Fixed(m1.clone())), Box::new(Fixed(m2.clone()))],
+            FusionRule::ReciprocalRank { k: 1 },
+        );
+        let fused = rrf.rank(&net);
+        assert!(
+            fused[0] > fused[1],
+            "RRF must keep the emphatic #1 vote ahead"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # baselines — state-of-the-art paper-ranking competitors
+//!
+//! The five methods the AttRank paper compares against (§4.3), selected by
+//! the authors from the survey [Kanellos et al., TKDE 2019] as the most
+//! effective short-term-impact rankers, plus the centrality substrates two
+//! of them build on:
+//!
+//! | Method | Module | Source |
+//! |--------|--------|--------|
+//! | PageRank | [`pagerank`] | Page et al. 1999 |
+//! | CiteRank (CR) | [`citerank`] | Walker, Xie, Yan, Maslov 2007 |
+//! | FutureRank (FR) | [`futurerank`] | Sayyadi & Getoor 2009 |
+//! | Retained Adjacency Matrix (RAM) | [`ram`] | Ghosh et al. 2011 |
+//! | Effective Contagion Matrix (ECM) | [`ecm`] | Ghosh et al. 2011 |
+//! | WSDM-2016 cup winner | [`wsdm`] | Feng et al. 2016 |
+//! | HITS | [`hits`] | Kleinberg 1999 |
+//! | Katz centrality | [`katz`] | Katz 1953 |
+//!
+//! Every method implements [`citegraph::Ranker`] and exposes its original
+//! hyper-parameters; the tuning grids of the paper's Table 4 live in the
+//! evaluation crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod citerank;
+pub mod ensemble;
+pub mod ecm;
+pub mod futurerank;
+pub mod hits;
+pub mod katz;
+pub mod pagerank;
+pub mod ram;
+pub mod wsdm;
+
+pub use citerank::CiteRank;
+pub use ensemble::{Ensemble, FusionRule};
+pub use ecm::Ecm;
+pub use futurerank::FutureRank;
+pub use hits::Hits;
+pub use katz::Katz;
+pub use pagerank::PageRank;
+pub use ram::Ram;
+pub use wsdm::Wsdm;

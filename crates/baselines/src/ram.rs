@@ -1,0 +1,126 @@
+//! Retained Adjacency Matrix (Ghosh, Kuo, Hsu, Lin, Lerman — ICDMW 2011).
+//!
+//! RAM is a citation-count variant on an age-weighted adjacency matrix:
+//! each citation contributes `γ^{t_N − t_citing}` instead of 1, where
+//! `γ ∈ (0,1)` discounts old citations. The score of a paper is its
+//! weighted in-degree — no iteration involved, which makes RAM the fastest
+//! competitor and (per the paper's Figures 4–5) often the strongest
+//! baseline at the top of the ranking.
+
+use citegraph::{CitationNetwork, Ranker};
+use sparsela::ScoreVec;
+
+/// RAM with retention factor `gamma`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ram {
+    /// Base of the exponential age discount, in `(0, 1)`.
+    pub gamma: f64,
+}
+
+impl Ram {
+    /// Creates RAM.
+    ///
+    /// # Panics
+    /// Panics unless `0 < gamma < 1`.
+    pub fn new(gamma: f64) -> Self {
+        assert!(
+            gamma > 0.0 && gamma < 1.0,
+            "gamma {gamma} outside (0,1)"
+        );
+        Self { gamma }
+    }
+
+    /// The age-weighted in-degree of every paper.
+    pub fn weighted_citations(&self, net: &CitationNetwork) -> ScoreVec {
+        let n = net.n_papers();
+        let Some(t_n) = net.current_year() else {
+            return ScoreVec::zeros(0);
+        };
+        let mut scores = ScoreVec::zeros(n);
+        // Iterate citing papers once; weight depends only on citing year.
+        for citing in 0..n as u32 {
+            let weight = self
+                .gamma
+                .powi(t_n - net.year(citing));
+            for &cited in net.references(citing) {
+                scores[cited as usize] += weight;
+            }
+        }
+        scores
+    }
+}
+
+impl Ranker for Ram {
+    fn name(&self) -> String {
+        "RAM".into()
+    }
+
+    fn rank(&self, net: &CitationNetwork) -> ScoreVec {
+        self.weighted_citations(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citegraph::NetworkBuilder;
+
+    fn fixture() -> CitationNetwork {
+        // classic (2000) cited in 2001 and 2002; hot (2018) cited in 2020.
+        let mut b = NetworkBuilder::new();
+        let classic = b.add_paper(2000);
+        let a = b.add_paper(2001);
+        let c = b.add_paper(2002);
+        b.add_citation(a, classic).unwrap();
+        b.add_citation(c, classic).unwrap();
+        let hot = b.add_paper(2018);
+        let now = b.add_paper(2020);
+        b.add_citation(now, hot).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weights_match_hand_computation() {
+        let net = fixture();
+        let s = Ram::new(0.5).rank(&net);
+        // t_N = 2020. classic: 0.5^19 + 0.5^18; hot: 0.5^0 = 1.
+        let expected_classic = 0.5f64.powi(19) + 0.5f64.powi(18);
+        assert!((s[0] - expected_classic).abs() < 1e-15);
+        assert!((s[3] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recent_citation_beats_many_old_ones() {
+        let net = fixture();
+        let s = Ram::new(0.5).rank(&net);
+        assert!(s[3] > s[0], "one fresh citation outweighs two stale ones");
+    }
+
+    #[test]
+    fn gamma_near_one_approaches_citation_count() {
+        let net = fixture();
+        let s = Ram::new(0.999999).rank(&net);
+        assert!(s[0] > s[3], "γ→1 recovers raw citation count ordering");
+        assert!((s[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn uncited_papers_score_zero() {
+        let net = fixture();
+        let s = Ram::new(0.3).rank(&net);
+        assert_eq!(s[4], 0.0);
+        assert_eq!(s[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn gamma_one_rejected() {
+        let _ = Ram::new(1.0);
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = NetworkBuilder::new().build().unwrap();
+        assert!(Ram::new(0.5).rank(&net).is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Micro-benchmarks for the numerical kernels every ranking method leans
+//! on: one stochastic-operator application (the inner loop of all
+//! PageRank-family methods), attention/recency vector construction, and the
+//! ground-truth STI computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use attrank::{attention_vector, recency_vector};
+use citegen::{generate, DatasetProfile};
+use citegraph::ratio_split;
+use rankeval::ground_truth_sti;
+use sparsela::ScoreVec;
+
+fn bench_kernels(c: &mut Criterion) {
+    let net = generate(&DatasetProfile::dblp().scaled(20_000), 7);
+    let op = net.stochastic_operator();
+    let n = net.n_papers();
+    let x = ScoreVec::uniform(n);
+    let mut y = ScoreVec::zeros(n);
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("stochastic_apply_20k", |b| {
+        b.iter(|| {
+            op.apply(black_box(x.as_slice()), y.as_mut_slice());
+            black_box(&y);
+        })
+    });
+    group.bench_function("attention_vector_20k_y3", |b| {
+        b.iter(|| black_box(attention_vector(&net, 3)))
+    });
+    group.bench_function("recency_vector_20k", |b| {
+        b.iter(|| black_box(recency_vector(&net, -0.16)))
+    });
+    let split = ratio_split(&net, 1.6);
+    group.bench_function("ground_truth_sti_20k", |b| {
+        b.iter(|| black_box(ground_truth_sti(&split)))
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    // Metric evaluation dominates grid-search cost alongside scoring.
+    let net = generate(&DatasetProfile::dblp().scaled(20_000), 7);
+    let split = ratio_split(&net, 1.6);
+    let sti = ground_truth_sti(&split);
+    let scores: Vec<f64> = (0..sti.len()).map(|i| (i % 997) as f64).collect();
+
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("spearman_10k", |b| {
+        b.iter(|| black_box(rankeval::spearman_rho(&scores, &sti)))
+    });
+    group.bench_function("ndcg50_10k", |b| {
+        b.iter(|| black_box(rankeval::ndcg_at_k(&scores, &sti, 50)))
+    });
+    group.bench_function("kendall_10k", |b| {
+        b.iter(|| black_box(rankeval::kendall_tau_b(&scores, &sti)))
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    for scale in [2_000usize, 8_000] {
+        group.bench_with_input(
+            BenchmarkId::new("generate_hepth", scale),
+            &scale,
+            |b, &scale| {
+                b.iter(|| black_box(generate(&DatasetProfile::hepth().scaled(scale), 11)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_metrics, bench_generation);
+criterion_main!(benches);

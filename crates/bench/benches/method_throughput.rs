@@ -1,0 +1,56 @@
+//! End-to-end scoring time of every ranking method on a fixed
+//! 20k-paper DBLP-profile network — the cost of one grid-search cell and
+//! the basis of the paper's "scalable … can be executed on very large
+//! citation networks" claim (§1).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use attrank::{AttRank, AttRankParams};
+use baselines::{CiteRank, Ecm, FutureRank, Hits, Katz, PageRank, Ram, Wsdm};
+use citegen::{generate, DatasetProfile};
+use citegraph::rank::CitationCount;
+use citegraph::Ranker;
+
+fn bench_methods(c: &mut Criterion) {
+    let net = generate(&DatasetProfile::dblp().scaled(20_000), 7);
+
+    let mut group = c.benchmark_group("method_throughput_20k");
+    group.sample_size(10);
+
+    let ar = AttRank::new(AttRankParams::new(0.2, 0.4, 3, -0.16).unwrap());
+    group.bench_function("AR", |b| b.iter(|| black_box(ar.rank(&net))));
+
+    let att_only = AttRank::new(AttRankParams::att_only(3).unwrap());
+    group.bench_function("ATT-ONLY", |b| b.iter(|| black_box(att_only.rank(&net))));
+
+    let pr = PageRank::default_citation();
+    group.bench_function("PageRank", |b| b.iter(|| black_box(pr.rank(&net))));
+
+    let cr = CiteRank::new(0.5, 2.6);
+    group.bench_function("CR", |b| b.iter(|| black_box(cr.rank(&net))));
+
+    let fr = FutureRank::original_optimum();
+    group.bench_function("FR", |b| b.iter(|| black_box(fr.rank(&net))));
+
+    let ram = Ram::new(0.6);
+    group.bench_function("RAM", |b| b.iter(|| black_box(ram.rank(&net))));
+
+    let ecm = Ecm::new(0.1, 0.3);
+    group.bench_function("ECM", |b| b.iter(|| black_box(ecm.rank(&net))));
+
+    let wsdm = Wsdm::original();
+    group.bench_function("WSDM", |b| b.iter(|| black_box(wsdm.rank(&net))));
+
+    let hits = Hits::default();
+    group.bench_function("HITS", |b| b.iter(|| black_box(hits.rank(&net))));
+
+    let katz = Katz::new(0.3);
+    group.bench_function("Katz", |b| b.iter(|| black_box(katz.rank(&net))));
+
+    group.bench_function("CC", |b| b.iter(|| black_box(CitationCount.rank(&net))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

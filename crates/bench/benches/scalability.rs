@@ -1,0 +1,43 @@
+//! AttRank scalability: scoring time as the network grows (§1 claims the
+//! implementation "is scalable and can be executed on very large citation
+//! networks"). Runtime should grow roughly linearly in edges because each
+//! power-method iteration is one SpMV plus two dense vector ops.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use attrank::{AttRank, AttRankParams};
+use citegen::{generate, DatasetProfile};
+use citegraph::Ranker;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attrank_scalability");
+    group.sample_size(10);
+    for &scale in &[5_000usize, 20_000, 60_000] {
+        let net = generate(&DatasetProfile::dblp().scaled(scale), 13);
+        let method = AttRank::new(AttRankParams::new(0.5, 0.3, 3, -0.16).unwrap());
+        group.throughput(Throughput::Elements(net.n_citations() as u64));
+        group.bench_with_input(BenchmarkId::new("papers", scale), &net, |b, net| {
+            b.iter(|| black_box(method.rank(net)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_effect(c: &mut Criterion) {
+    // §4.4: convergence slows as α → 1; α = 0 is a single iteration.
+    let net = generate(&DatasetProfile::dblp().scaled(20_000), 13);
+    let mut group = c.benchmark_group("attrank_alpha_effect_20k");
+    group.sample_size(10);
+    for &alpha in &[0.0, 0.2, 0.5] {
+        let method = AttRank::new(AttRankParams::new(alpha, 0.3, 3, -0.16).unwrap());
+        group.bench_with_input(
+            BenchmarkId::new("alpha", format!("{alpha:.1}")),
+            &net,
+            |b, net| b.iter(|| black_box(method.rank(net))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability, bench_alpha_effect);
+criterion_main!(benches);

@@ -1,0 +1,558 @@
+//! `repro` — regenerates every table and figure of the AttRank paper.
+//!
+//! ```text
+//! repro <subcommand> [--scale N] [--seed N] [--out DIR]
+//!
+//! subcommands:
+//!   summary      dataset cards (§4.1)
+//!   fig1a        citation-age distributions + fitted w (§2, §4.2)
+//!   fig1b        old-vs-new paper yearly citation curves (§2)
+//!   table1       recently-popular papers among the top-100 by STI (§3)
+//!   table2       test-ratio ↔ time-horizon correspondence (§4.1)
+//!   table3       AttRank tuning grid (§4.2)
+//!   table4       competitor tuning grids (§4.3)
+//!   fig2corr     α–β×y heatmaps, Spearman ρ, all datasets (§4.2.1, Fig. 6)
+//!   fig2ndcg     α–β×y heatmaps, nDCG@50, all datasets (§4.2.2, Fig. 7)
+//!   fig3         correlation vs test ratio, all methods (§4.3.1)
+//!   fig4         nDCG@50 vs test ratio, all methods (§4.3.2)
+//!   fig5         nDCG@k vs k at ratio 1.6, all methods (§4.3.2)
+//!   convergence  iterations to ε ≤ 1e-12 at α = 0.5 (§4.4)
+//!   robustness   tuned comparison across 5 seeds (mean ± std, win counts)
+//!   significance paired-bootstrap CI for AR − best-competitor gaps
+//!   all          everything above (except the two statistical extras)
+//! ```
+//!
+//! Output: aligned text tables on stdout, CSV series under `--out`
+//! (default `results/`).
+
+use std::process::ExitCode;
+
+use citegraph::stats;
+use rankeval::experiment::{
+    comparative_at_ratio, convergence_comparison, heatmap, table1, table2, DatasetBundle,
+    DEFAULT_RATIO, PAPER_K_VALUES, PAPER_RATIOS,
+};
+use rankeval::report::{fmt_cell, fmt_metric, text_table, write_csv};
+use rankeval::tuning::MethodSpace;
+use rankeval::Metric;
+use repro_bench::{paper_bundles, Options};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = match Options::parse(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(cmd) = rest.first() else {
+        eprintln!("usage: repro <subcommand> [--scale N] [--seed N] [--out DIR]");
+        eprintln!("subcommands: summary fig1a fig1b table1 table2 table3 table4");
+        eprintln!("             fig2corr fig2ndcg fig3 fig4 fig5 convergence");
+        eprintln!("             robustness significance all");
+        return ExitCode::FAILURE;
+    };
+
+    // Grid-spec subcommands need no data.
+    match cmd.as_str() {
+        "table3" => return run_table3(),
+        "table4" => return run_table4(),
+        _ => {}
+    }
+
+    eprintln!(
+        "generating datasets (scale = {}, seed = {})...",
+        opts.scale.map_or("default".into(), |s| s.to_string()),
+        opts.seed
+    );
+    let bundles = paper_bundles(opts.scale, opts.seed);
+
+    let ok = match cmd.as_str() {
+        "summary" => run_summary(&bundles),
+        "fig1a" => run_fig1a(&bundles, &opts),
+        "fig1b" => run_fig1b(&opts),
+        "table1" => run_table1(&bundles, &opts),
+        "table2" => run_table2(&bundles, &opts),
+        "fig2corr" => run_fig2(&bundles, &opts, Metric::Spearman, "fig2_corr"),
+        "fig2ndcg" => run_fig2(&bundles, &opts, Metric::NdcgAt(50), "fig2_ndcg"),
+        "fig3" => run_ratio_sweep(&bundles, &opts, Metric::Spearman, "fig3_correlation"),
+        "fig4" => run_ratio_sweep(&bundles, &opts, Metric::NdcgAt(50), "fig4_ndcg50"),
+        "fig5" => run_fig5(&bundles, &opts),
+        "convergence" => run_convergence(&bundles, &opts),
+        "robustness" => run_robustness(&opts),
+        "significance" => run_significance(&bundles, &opts),
+        "all" => {
+            run_summary(&bundles)
+                && run_fig1a(&bundles, &opts)
+                && run_fig1b(&opts)
+                && run_table1(&bundles, &opts)
+                && run_table2(&bundles, &opts)
+                && run_fig2(&bundles, &opts, Metric::Spearman, "fig2_corr")
+                && run_fig2(&bundles, &opts, Metric::NdcgAt(50), "fig2_ndcg")
+                && run_ratio_sweep(&bundles, &opts, Metric::Spearman, "fig3_correlation")
+                && run_ratio_sweep(&bundles, &opts, Metric::NdcgAt(50), "fig4_ndcg50")
+                && run_fig5(&bundles, &opts)
+                && run_convergence(&bundles, &opts)
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            false
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_summary(bundles: &[DatasetBundle]) -> bool {
+    println!("== Dataset summary (cf. paper §4.1) ==");
+    let rows: Vec<Vec<String>> = bundles
+        .iter()
+        .map(|b| {
+            let s = stats::summarize(&b.net);
+            let (y0, y1) = s.year_range.unwrap_or((0, 0));
+            vec![
+                b.name.clone(),
+                s.papers.to_string(),
+                s.citations.to_string(),
+                format!("{:.2}", s.mean_refs),
+                format!("{y0}-{y1}"),
+                s.authors.to_string(),
+                s.venues.to_string(),
+                format!("{:.3}", b.decay_w),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["dataset", "papers", "citations", "refs/paper", "years", "authors", "venues", "fitted w"],
+            &rows
+        )
+    );
+    true
+}
+
+fn run_fig1a(bundles: &[DatasetBundle], opts: &Options) -> bool {
+    println!("== Fig. 1a: % of citations received n years after publication ==");
+    let max_age = 10u32;
+    let mut rows = Vec::new();
+    for b in bundles {
+        let dist = stats::citation_age_distribution(&b.net, max_age);
+        let mut row = vec![b.name.clone()];
+        row.extend(dist.iter().map(|f| format!("{:.1}", f * 100.0)));
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["dataset".into()];
+    headers.extend((0..=max_age).map(|n| format!("n={n}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", text_table(&headers_ref, &rows));
+    println!("(fitted decay w per dataset: {})\n", bundles
+        .iter()
+        .map(|b| format!("{} {:.2}", b.name, b.decay_w))
+        .collect::<Vec<_>>()
+        .join(", "));
+    write_csv(opts.out_dir.join("fig1a_citation_age.csv"), &headers_ref, &rows).is_ok()
+}
+
+fn run_fig1b(opts: &Options) -> bool {
+    println!("== Fig. 1b: comparative yearly citations, established vs bursting paper ==");
+    // A dedicated scenario with strong delayed bursts (the BLAST-1997
+    // motif): find the clearest late-bloomer and compare it against an
+    // older paper that led at the bloomer's debut.
+    let mut profile = citegen::DatasetProfile::aps().scaled(6000);
+    profile.burst_fraction = 0.03;
+    profile.burst_boost = 1.2;
+    let net = citegen::generate(&profile, opts.seed);
+
+    // Late bloomer: maximize (citations in years 2..5) − (years 0..2).
+    let mut best: Option<(u32, i64)> = None;
+    for p in 0..net.n_papers() as u32 {
+        let series = stats::yearly_citations(&net, p);
+        if series.len() < 6 {
+            continue;
+        }
+        let early: i64 = series[..2].iter().map(|&(_, c)| c as i64).sum();
+        let late: i64 = series[2..6].iter().map(|&(_, c)| c as i64).sum();
+        let gain = late - early;
+        if best.is_none_or(|(_, g)| gain > g) {
+            best = Some((p, gain));
+        }
+    }
+    let Some((bloomer, _)) = best else {
+        eprintln!("no late bloomer found — increase scale");
+        return false;
+    };
+    // Established rival: most-cited strictly older paper at the bloomer's
+    // publication year.
+    let debut = net.year(bloomer);
+    let snapshot = net.snapshot_at(debut);
+    let mut rival = None;
+    let mut rival_count = 0usize;
+    for p in 0..snapshot.n_papers() as u32 {
+        if net.year(p) < debut - 2 {
+            let c = snapshot.citation_count(p);
+            if c > rival_count {
+                rival_count = c;
+                rival = Some(p);
+            }
+        }
+    }
+    let Some(rival) = rival else {
+        eprintln!("no rival found");
+        return false;
+    };
+
+    let series_a = stats::yearly_citations(&net, rival);
+    let series_b = stats::yearly_citations(&net, bloomer);
+    let years: Vec<i32> = (debut - 3..=net.current_year().unwrap().min(debut + 6)).collect();
+    let find = |series: &[(i32, u32)], y: i32| -> String {
+        series
+            .iter()
+            .find(|&&(sy, _)| sy == y)
+            .map_or("-".into(), |&(_, c)| c.to_string())
+    };
+    let rows: Vec<Vec<String>> = years
+        .iter()
+        .map(|&y| {
+            vec![
+                y.to_string(),
+                find(&series_a, y),
+                find(&series_b, y),
+            ]
+        })
+        .collect();
+    println!(
+        "established paper: id {rival} ({}), bursting paper: id {bloomer} ({debut})",
+        net.year(rival)
+    );
+    println!(
+        "{}",
+        text_table(&["year", "established (yearly cites)", "bursting (yearly cites)"], &rows)
+    );
+    write_csv(opts.out_dir.join("fig1b_two_papers.csv"), &["year", "established", "bursting"], &rows)
+        .is_ok()
+}
+
+fn run_table1(bundles: &[DatasetBundle], opts: &Options) -> bool {
+    println!("== Table 1: recently popular papers in the top-100 by STI ==");
+    println!("(paper reports hep-th 41, APS 54, PMC 54, DBLP 63)");
+    let rows: Vec<Vec<String>> = bundles
+        .iter()
+        .map(|b| vec![b.name.clone(), table1(b, 100, 5).to_string()])
+        .collect();
+    println!("{}", text_table(&["dataset", "recently popular (of 100)"], &rows));
+    write_csv(opts.out_dir.join("table1_recently_popular.csv"), &["dataset", "recently_popular"], &rows)
+        .is_ok()
+}
+
+fn run_table2(bundles: &[DatasetBundle], opts: &Options) -> bool {
+    println!("== Table 2: test ratio ↔ time horizon τ (years) ==");
+    let mut rows = Vec::new();
+    for &ratio in &PAPER_RATIOS {
+        let mut row = vec![format!("{ratio:.1}")];
+        for b in bundles {
+            let horizons = table2(b);
+            let tau = horizons
+                .iter()
+                .find(|(r, _)| (r - ratio).abs() < 1e-9)
+                .map(|&(_, t)| t)
+                .unwrap_or(0);
+            row.push(tau.to_string());
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["test ratio".to_string()];
+    headers.extend(bundles.iter().map(|b| b.name.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", text_table(&headers_ref, &rows));
+    write_csv(opts.out_dir.join("table2_horizons.csv"), &headers_ref, &rows).is_ok()
+}
+
+fn run_table3() -> ExitCode {
+    println!("== Table 3: AttRank parameterization space ==");
+    let rows = vec![
+        vec!["α".into(), "0.0".into(), "0.5".into(), "0.1".into()],
+        vec!["β".into(), "0.0".into(), "1.0".into(), "0.1".into()],
+        vec!["γ".into(), "0.0".into(), "0.9".into(), "0.1 (γ = 1−α−β)".into()],
+        vec!["y".into(), "1".into(), "5".into(), "1".into()],
+    ];
+    println!("{}", text_table(&["parameter", "min", "max", "step"], &rows));
+    let n = MethodSpace::AttRank { decay_w: -0.16 }.candidates().len();
+    println!("total settings: {n}\n");
+    ExitCode::SUCCESS
+}
+
+fn run_table4() -> ExitCode {
+    println!("== Table 4: competitor parameterization spaces ==");
+    let spaces = [
+        MethodSpace::CiteRank,
+        MethodSpace::FutureRank,
+        MethodSpace::Ram,
+        MethodSpace::Ecm,
+        MethodSpace::Wsdm,
+    ];
+    let rows: Vec<Vec<String>> = spaces
+        .iter()
+        .map(|m| vec![m.name().to_string(), m.candidates().len().to_string()])
+        .collect();
+    println!("{}", text_table(&["method", "settings"], &rows));
+    ExitCode::SUCCESS
+}
+
+fn run_fig2(bundles: &[DatasetBundle], opts: &Options, metric: Metric, stem: &str) -> bool {
+    println!(
+        "== Fig. 2/6/7: AttRank {} heatmaps over α–β per y (ratio {DEFAULT_RATIO}) ==",
+        metric.label()
+    );
+    let mut ok = true;
+    for b in bundles {
+        let h = heatmap(b, DEFAULT_RATIO, metric);
+        println!("-- {} --", b.name);
+        for y in 1..=5u32 {
+            if let Some((v, a, beta)) = h.best_for_y(y) {
+                println!("  y={y}: best {} at α={a:.1}, β={beta:.1}", fmt_metric(v));
+            }
+        }
+        if let Some((v, a, beta, y)) = h.best() {
+            println!(
+                "  BEST: {} at {{α={a:.1}, β={beta:.1}, γ={:.1}, y={y}}}",
+                fmt_metric(v),
+                1.0 - a - beta
+            );
+        }
+        if let (Some(na), Some(ao)) = (h.best_no_att(), h.best_att_only()) {
+            println!(
+                "  NO-ATT (β=0) max: {}   ATT-ONLY (β=1) max: {}\n",
+                fmt_metric(na),
+                fmt_metric(ao)
+            );
+        }
+        // Full grid to CSV: one row per (y, β) with α columns.
+        let mut rows = Vec::new();
+        for (yi, grid) in h.values.iter().enumerate() {
+            for (bi, row) in grid.iter().enumerate() {
+                let mut r = vec![(yi + 1).to_string(), format!("{:.1}", bi as f64 / 10.0)];
+                r.extend(row.iter().map(|c| fmt_cell(*c).trim().to_string()));
+                rows.push(r);
+            }
+        }
+        let headers = ["y", "beta", "a0.0", "a0.1", "a0.2", "a0.3", "a0.4", "a0.5"];
+        ok &= write_csv(
+            opts.out_dir.join(format!("{stem}_{}.csv", b.name.replace('-', ""))),
+            &headers,
+            &rows,
+        )
+        .is_ok();
+    }
+    ok
+}
+
+fn run_ratio_sweep(
+    bundles: &[DatasetBundle],
+    opts: &Options,
+    metric: Metric,
+    stem: &str,
+) -> bool {
+    println!(
+        "== Figs. 3/4: best {} per method, varying test ratio ==",
+        metric.label()
+    );
+    let mut ok = true;
+    for b in bundles {
+        println!("-- {} --", b.name);
+        let mut method_names: Vec<String> = Vec::new();
+        let mut per_ratio: Vec<Vec<Option<f64>>> = Vec::new();
+        for &ratio in &PAPER_RATIOS {
+            let results = comparative_at_ratio(b, ratio, metric);
+            if method_names.is_empty() {
+                method_names = results.iter().map(|r| r.method.clone()).collect();
+            }
+            per_ratio.push(
+                method_names
+                    .iter()
+                    .map(|name| {
+                        results
+                            .iter()
+                            .find(|r| &r.method == name)
+                            .map(|r| r.best_value)
+                    })
+                    .collect(),
+            );
+        }
+        let mut headers = vec!["ratio".to_string()];
+        headers.extend(method_names.iter().cloned());
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = PAPER_RATIOS
+            .iter()
+            .zip(&per_ratio)
+            .map(|(r, vals)| {
+                let mut row = vec![format!("{r:.1}")];
+                row.extend(vals.iter().map(|v| fmt_cell(*v).trim().to_string()));
+                row
+            })
+            .collect();
+        println!("{}", text_table(&headers_ref, &rows));
+        ok &= write_csv(
+            opts.out_dir.join(format!("{stem}_{}.csv", b.name.replace('-', ""))),
+            &headers_ref,
+            &rows,
+        )
+        .is_ok();
+    }
+    ok
+}
+
+fn run_fig5(bundles: &[DatasetBundle], opts: &Options) -> bool {
+    println!("== Fig. 5: best nDCG@k per method at ratio {DEFAULT_RATIO}, varying k ==");
+    let mut ok = true;
+    for b in bundles {
+        println!("-- {} --", b.name);
+        let mut method_names: Vec<String> = Vec::new();
+        let mut per_k: Vec<Vec<Option<f64>>> = Vec::new();
+        for &k in &PAPER_K_VALUES {
+            let results = comparative_at_ratio(b, DEFAULT_RATIO, Metric::NdcgAt(k));
+            if method_names.is_empty() {
+                method_names = results.iter().map(|r| r.method.clone()).collect();
+            }
+            per_k.push(
+                method_names
+                    .iter()
+                    .map(|name| {
+                        results
+                            .iter()
+                            .find(|r| &r.method == name)
+                            .map(|r| r.best_value)
+                    })
+                    .collect(),
+            );
+        }
+        let mut headers = vec!["k".to_string()];
+        headers.extend(method_names.iter().cloned());
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = PAPER_K_VALUES
+            .iter()
+            .zip(&per_k)
+            .map(|(k, vals)| {
+                let mut row = vec![k.to_string()];
+                row.extend(vals.iter().map(|v| fmt_cell(*v).trim().to_string()));
+                row
+            })
+            .collect();
+        println!("{}", text_table(&headers_ref, &rows));
+        ok &= write_csv(
+            opts.out_dir.join(format!("fig5_ndcg_at_k_{}.csv", b.name.replace('-', ""))),
+            &headers_ref,
+            &rows,
+        )
+        .is_ok();
+    }
+    ok
+}
+
+fn run_robustness(opts: &Options) -> bool {
+    println!("== Robustness: tuned nDCG@50 across 5 seeds (ratio {DEFAULT_RATIO}) ==");
+    let scale = opts.scale.unwrap_or(6_000);
+    let seeds: Vec<u64> = (0..5).map(|i| opts.seed.wrapping_add(i)).collect();
+    let mut ok = true;
+    for profile in citegen::DatasetProfile::all_paper_datasets() {
+        let profile = profile.scaled(scale);
+        let rows = rankeval::seed_sweep(&profile, &seeds, DEFAULT_RATIO, Metric::NdcgAt(50));
+        println!("-- {} ({} papers/seed) --", profile.name, scale);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.method.clone(),
+                    format!("{:.4}", r.mean),
+                    format!("{:.4}", r.std_dev),
+                    format!("{}/{}", r.wins, seeds.len()),
+                ]
+            })
+            .collect();
+        println!("{}", text_table(&["method", "mean", "std", "wins"], &table));
+        ok &= write_csv(
+            opts.out_dir
+                .join(format!("robustness_{}.csv", profile.name.replace('-', ""))),
+            &["method", "mean", "std", "wins"],
+            &table,
+        )
+        .is_ok();
+    }
+    ok
+}
+
+fn run_significance(bundles: &[DatasetBundle], opts: &Options) -> bool {
+    println!("== Significance: paired bootstrap (95% CI) for AR vs best competitor ==");
+    println!("(nDCG@50, ratio {DEFAULT_RATIO}, 1000 resamples)");
+    let mut rows = Vec::new();
+    for b in bundles {
+        let s = rankeval::experiment::setting(b, DEFAULT_RATIO);
+        let results = comparative_at_ratio(b, DEFAULT_RATIO, Metric::NdcgAt(50));
+        let ar = results.iter().find(|r| r.method == "AR").expect("AR always runs");
+        let rival = results
+            .iter()
+            .filter(|r| r.method != "AR" && r.method != "NO-ATT" && r.method != "ATT-ONLY")
+            .max_by(|a, b| a.best_value.partial_cmp(&b.best_value).unwrap())
+            .expect("at least one competitor");
+        let cmp = rankeval::paired_bootstrap(
+            ar.scores.as_slice(),
+            rival.scores.as_slice(),
+            &s.sti,
+            Metric::NdcgAt(50),
+            1000,
+            0.95,
+            opts.seed,
+        );
+        rows.push(vec![
+            b.name.clone(),
+            rival.method.clone(),
+            fmt_metric(cmp.observed_diff),
+            format!("[{}, {}]", fmt_metric(cmp.ci_low), fmt_metric(cmp.ci_high)),
+            format!("{:.0}%", cmp.win_rate * 100.0),
+            cmp.significant().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        text_table(
+            &["dataset", "vs", "Δ ndcg@50", "95% CI", "AR win rate", "significant"],
+            &rows
+        )
+    );
+    write_csv(
+        opts.out_dir.join("significance.csv"),
+        &["dataset", "vs", "diff", "ci", "win_rate", "significant"],
+        &rows,
+    )
+    .is_ok()
+}
+
+fn run_convergence(bundles: &[DatasetBundle], opts: &Options) -> bool {
+    println!("== §4.4: iterations to ε ≤ 1e-12 at α = 0.5 ==");
+    println!("(paper: AR <30 on hep-th/APS/DBLP, <20 on PMC; CR up to 51; FR up to 35)");
+    let mut rows = Vec::new();
+    for b in bundles {
+        for (method, iters, converged) in convergence_comparison(b) {
+            rows.push(vec![
+                b.name.clone(),
+                method,
+                iters.to_string(),
+                converged.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        text_table(&["dataset", "method", "iterations", "converged"], &rows)
+    );
+    write_csv(
+        opts.out_dir.join("convergence.csv"),
+        &["dataset", "method", "iterations", "converged"],
+        &rows,
+    )
+    .is_ok()
+}

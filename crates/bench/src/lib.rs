@@ -1,0 +1,139 @@
+//! # repro-bench — shared harness for the paper-reproduction binary and
+//! the Criterion benches.
+//!
+//! Centralizes dataset preparation (profiles → generated bundles at a
+//! configurable scale) and the output conventions (`results/` CSV + stdout
+//! tables) so every experiment renders consistently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use citegen::DatasetProfile;
+use rankeval::experiment::{prepare, DatasetBundle};
+
+/// Default RNG seed for all experiments (deterministic reproduction).
+pub const DEFAULT_SEED: u64 = 20211124;
+
+/// Prepares the four paper datasets, optionally rescaled to `scale` papers
+/// each (profiles keep their per-paper statistics; see `citegen`).
+pub fn paper_bundles(scale: Option<usize>, seed: u64) -> Vec<DatasetBundle> {
+    DatasetProfile::all_paper_datasets()
+        .into_iter()
+        .map(|p| {
+            let p = match scale {
+                Some(n) => p.scaled(n),
+                None => p,
+            };
+            prepare(&p, seed)
+        })
+        .collect()
+}
+
+/// Simple CLI options shared by all `repro` subcommands.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Papers per dataset (None = profile defaults).
+    pub scale: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output directory for CSV series.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: None,
+            seed: DEFAULT_SEED,
+            out_dir: "results".into(),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--scale N`, `--seed N`, `--out DIR` from an argument list,
+    /// returning the remaining (positional) arguments.
+    ///
+    /// # Errors
+    /// Returns a message on unknown flags or malformed values.
+    pub fn parse(args: &[String]) -> Result<(Self, Vec<String>), String> {
+        let mut opts = Options::default();
+        let mut rest = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--scale needs a value")?;
+                    opts.scale = Some(v.parse().map_err(|_| format!("bad --scale {v}"))?);
+                }
+                "--seed" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--seed needs a value")?;
+                    opts.seed = v.parse().map_err(|_| format!("bad --seed {v}"))?;
+                }
+                "--out" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--out needs a value")?;
+                    opts.out_dir = v.into();
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                positional => rest.push(positional.to_string()),
+            }
+            i += 1;
+        }
+        Ok((opts, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let (o, rest) = Options::parse(&[]).unwrap();
+        assert_eq!(o.scale, None);
+        assert_eq!(o.seed, DEFAULT_SEED);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parse_flags_and_positionals() {
+        let args: Vec<String> = ["fig3", "--scale", "5000", "--seed", "7", "--out", "/tmp/x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (o, rest) = Options::parse(&args).unwrap();
+        assert_eq!(o.scale, Some(5000));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.out_dir, std::path::PathBuf::from("/tmp/x"));
+        assert_eq!(rest, vec!["fig3"]);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flag() {
+        let args = vec!["--what".to_string()];
+        assert!(Options::parse(&args).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_value() {
+        let args = vec!["--scale".to_string(), "many".to_string()];
+        assert!(Options::parse(&args).is_err());
+    }
+
+    #[test]
+    fn bundles_honor_scale() {
+        let bundles = paper_bundles(Some(400), 3);
+        assert_eq!(bundles.len(), 4);
+        for b in &bundles {
+            assert_eq!(b.net.n_papers(), 400);
+            assert!(b.decay_w < 0.0);
+        }
+        let names: Vec<_> = bundles.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["hep-th", "APS", "PMC", "DBLP"]);
+    }
+}

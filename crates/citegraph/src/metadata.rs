@@ -1,0 +1,250 @@
+//! Author and venue metadata.
+//!
+//! FutureRank (Sayyadi & Getoor 2009) mutually reinforces papers and
+//! authors over the paper–author bipartite graph; the WSDM-2016 winning
+//! method (Feng et al.) additionally propagates scores from venues. Both
+//! structures are optional on a [`crate::CitationNetwork`] — the paper runs
+//! WSDM only on PMC and DBLP "for which this data was available" (§4.3).
+
+use crate::network::PaperId;
+
+/// Dense author identifier.
+pub type AuthorId = u32;
+/// Dense venue identifier.
+pub type VenueId = u32;
+
+/// Paper–author incidence: which authors wrote which paper.
+///
+/// Stored as a ragged array in paper order plus the transposed
+/// author→papers view, both built once at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthorTable {
+    /// `offsets[p]..offsets[p+1]` indexes `author_ids` for paper `p`.
+    offsets: Vec<usize>,
+    author_ids: Vec<AuthorId>,
+    /// Transposed view: `papers_of[a]` lists papers by author `a`.
+    rev_offsets: Vec<usize>,
+    rev_paper_ids: Vec<PaperId>,
+    n_authors: usize,
+}
+
+impl AuthorTable {
+    /// Builds the table from per-paper author lists.
+    ///
+    /// `n_authors` must exceed every id appearing in `per_paper`.
+    pub fn new(per_paper: &[Vec<AuthorId>], n_authors: usize) -> Self {
+        let mut offsets = Vec::with_capacity(per_paper.len() + 1);
+        offsets.push(0usize);
+        let mut author_ids = Vec::new();
+        for authors in per_paper {
+            for &a in authors {
+                assert!(
+                    (a as usize) < n_authors,
+                    "author id {a} out of range {n_authors}"
+                );
+                author_ids.push(a);
+            }
+            offsets.push(author_ids.len());
+        }
+        let (rev_offsets, rev_paper_ids) = Self::invert(&offsets, &author_ids, n_authors);
+        Self {
+            offsets,
+            author_ids,
+            rev_offsets,
+            rev_paper_ids,
+            n_authors,
+        }
+    }
+
+    fn invert(
+        offsets: &[usize],
+        author_ids: &[AuthorId],
+        n_authors: usize,
+    ) -> (Vec<usize>, Vec<PaperId>) {
+        let mut counts = vec![0usize; n_authors];
+        for &a in author_ids {
+            counts[a as usize] += 1;
+        }
+        let mut rev_offsets = Vec::with_capacity(n_authors + 1);
+        rev_offsets.push(0usize);
+        let mut acc = 0;
+        for &c in &counts {
+            acc += c;
+            rev_offsets.push(acc);
+        }
+        let mut rev_paper_ids = vec![0 as PaperId; author_ids.len()];
+        let mut cursor = rev_offsets[..n_authors].to_vec();
+        for p in 0..offsets.len() - 1 {
+            for &a in &author_ids[offsets[p]..offsets[p + 1]] {
+                rev_paper_ids[cursor[a as usize]] = p as PaperId;
+                cursor[a as usize] += 1;
+            }
+        }
+        (rev_offsets, rev_paper_ids)
+    }
+
+    /// Number of papers covered.
+    pub fn n_papers(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of distinct authors.
+    pub fn n_authors(&self) -> usize {
+        self.n_authors
+    }
+
+    /// Authors of paper `p`.
+    pub fn authors_of(&self, p: PaperId) -> &[AuthorId] {
+        let p = p as usize;
+        &self.author_ids[self.offsets[p]..self.offsets[p + 1]]
+    }
+
+    /// Papers written by author `a` (ascending paper id).
+    pub fn papers_of(&self, a: AuthorId) -> &[PaperId] {
+        let a = a as usize;
+        &self.rev_paper_ids[self.rev_offsets[a]..self.rev_offsets[a + 1]]
+    }
+
+    /// Restricts the table to the first `k` papers (author id space is kept
+    /// so ids remain comparable across snapshots).
+    pub fn prefix(&self, k: usize) -> AuthorTable {
+        assert!(k <= self.n_papers());
+        let per_paper: Vec<Vec<AuthorId>> = (0..k as u32)
+            .map(|p| self.authors_of(p).to_vec())
+            .collect();
+        AuthorTable::new(&per_paper, self.n_authors)
+    }
+}
+
+/// Paper–venue assignment (at most one venue per paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VenueTable {
+    /// `venue[p]` is `Some(v)` when paper `p` appeared at venue `v`.
+    venue: Vec<Option<VenueId>>,
+    n_venues: usize,
+}
+
+impl VenueTable {
+    /// Builds the table from per-paper venue assignments.
+    pub fn new(venue: Vec<Option<VenueId>>, n_venues: usize) -> Self {
+        for v in venue.iter().flatten() {
+            assert!((*v as usize) < n_venues, "venue id {v} out of range");
+        }
+        Self { venue, n_venues }
+    }
+
+    /// Number of papers covered.
+    pub fn n_papers(&self) -> usize {
+        self.venue.len()
+    }
+
+    /// Number of distinct venues.
+    pub fn n_venues(&self) -> usize {
+        self.n_venues
+    }
+
+    /// Venue of paper `p`, if known.
+    pub fn venue_of(&self, p: PaperId) -> Option<VenueId> {
+        self.venue[p as usize]
+    }
+
+    /// Papers at venue `v` (linear scan; used only at experiment setup).
+    pub fn papers_at(&self, v: VenueId) -> Vec<PaperId> {
+        self.venue
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x == Some(v))
+            .map(|(p, _)| p as PaperId)
+            .collect()
+    }
+
+    /// Restricts to the first `k` papers.
+    pub fn prefix(&self, k: usize) -> VenueTable {
+        assert!(k <= self.n_papers());
+        VenueTable {
+            venue: self.venue[..k].to_vec(),
+            n_venues: self.n_venues,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_authors() -> AuthorTable {
+        // paper 0: authors {0,1}; paper 1: {1}; paper 2: {}; paper 3: {2,0}
+        AuthorTable::new(&[vec![0, 1], vec![1], vec![], vec![2, 0]], 3)
+    }
+
+    #[test]
+    fn authors_of_roundtrip() {
+        let t = sample_authors();
+        assert_eq!(t.n_papers(), 4);
+        assert_eq!(t.n_authors(), 3);
+        assert_eq!(t.authors_of(0), &[0, 1]);
+        assert_eq!(t.authors_of(2), &[] as &[u32]);
+        assert_eq!(t.authors_of(3), &[2, 0]);
+    }
+
+    #[test]
+    fn papers_of_is_inverse() {
+        let t = sample_authors();
+        assert_eq!(t.papers_of(0), &[0, 3]);
+        assert_eq!(t.papers_of(1), &[0, 1]);
+        assert_eq!(t.papers_of(2), &[3]);
+    }
+
+    #[test]
+    fn inverse_consistency_exhaustive() {
+        let t = sample_authors();
+        for p in 0..t.n_papers() as u32 {
+            for &a in t.authors_of(p) {
+                assert!(t.papers_of(a).contains(&p));
+            }
+        }
+        for a in 0..t.n_authors() as u32 {
+            for &p in t.papers_of(a) {
+                assert!(t.authors_of(p).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn author_prefix() {
+        let t = sample_authors().prefix(2);
+        assert_eq!(t.n_papers(), 2);
+        assert_eq!(t.papers_of(0), &[0]); // paper 3 gone
+        assert_eq!(t.papers_of(2), &[] as &[u32]);
+        assert_eq!(t.n_authors(), 3); // id space preserved
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn author_out_of_range_panics() {
+        AuthorTable::new(&[vec![5]], 3);
+    }
+
+    #[test]
+    fn venue_basics() {
+        let t = VenueTable::new(vec![Some(0), None, Some(1), Some(0)], 2);
+        assert_eq!(t.venue_of(0), Some(0));
+        assert_eq!(t.venue_of(1), None);
+        assert_eq!(t.papers_at(0), vec![0, 3]);
+        assert_eq!(t.papers_at(1), vec![2]);
+        assert_eq!(t.n_venues(), 2);
+    }
+
+    #[test]
+    fn venue_prefix() {
+        let t = VenueTable::new(vec![Some(0), None, Some(1)], 2).prefix(2);
+        assert_eq!(t.n_papers(), 2);
+        assert_eq!(t.papers_at(1), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn venue_out_of_range_panics() {
+        VenueTable::new(vec![Some(9)], 2);
+    }
+}

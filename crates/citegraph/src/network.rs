@@ -1,0 +1,287 @@
+//! The core [`CitationNetwork`] type.
+
+use sparsela::{Csr, CitationOperator};
+
+use crate::metadata::{AuthorTable, VenueTable};
+
+/// Papers are dense `u32` ids assigned in publication order: if `i < j`
+/// then paper `i` was published no later than paper `j`.
+pub type PaperId = u32;
+
+/// Publication time, in years. Integer years are what the paper's datasets
+/// and all its time-aware formulas use.
+pub type Year = i32;
+
+/// An immutable citation network (paper §2).
+///
+/// Papers are stored sorted by `(year, original insertion order)`; the
+/// invariant that every reference points to a paper with
+/// `year(cited) ≤ year(citing)` is enforced by the builder and relied on by
+/// snapshotting: restricting to the first `k` papers automatically keeps the
+/// edge set closed.
+#[derive(Debug, Clone)]
+pub struct CitationNetwork {
+    /// Publication year per paper; non-decreasing in paper id.
+    years: Vec<Year>,
+    /// Row `j`: papers that `j` cites ("reference lists", edges j → i).
+    refs: Csr,
+    /// Row `i`: papers citing `i` (transpose of `refs`, cached).
+    citers: Csr,
+    /// Optional paper–author incidence.
+    authors: Option<AuthorTable>,
+    /// Optional paper–venue assignment.
+    venues: Option<VenueTable>,
+}
+
+impl CitationNetwork {
+    /// Assembles a network from already-validated parts. Crate-internal;
+    /// external construction goes through [`crate::NetworkBuilder`].
+    pub(crate) fn from_parts(
+        years: Vec<Year>,
+        refs: Csr,
+        authors: Option<AuthorTable>,
+        venues: Option<VenueTable>,
+    ) -> Self {
+        debug_assert_eq!(refs.nrows(), years.len());
+        debug_assert_eq!(refs.ncols(), years.len());
+        debug_assert!(years.windows(2).all(|w| w[0] <= w[1]), "years must be sorted");
+        let citers = refs.transpose();
+        Self {
+            years,
+            refs,
+            citers,
+            authors,
+            venues,
+        }
+    }
+
+    /// Number of papers `|P|`.
+    pub fn n_papers(&self) -> usize {
+        self.years.len()
+    }
+
+    /// Number of citations (directed edges).
+    pub fn n_citations(&self) -> usize {
+        self.refs.nnz()
+    }
+
+    /// Publication year of paper `p`.
+    pub fn year(&self, p: PaperId) -> Year {
+        self.years[p as usize]
+    }
+
+    /// All publication years, indexed by paper id (non-decreasing).
+    pub fn years(&self) -> &[Year] {
+        &self.years
+    }
+
+    /// Year of the earliest paper; `None` for an empty network.
+    pub fn first_year(&self) -> Option<Year> {
+        self.years.first().copied()
+    }
+
+    /// Year of the latest paper — the "current time" `t_N` of this state of
+    /// the network; `None` for an empty network.
+    pub fn current_year(&self) -> Option<Year> {
+        self.years.last().copied()
+    }
+
+    /// The reference list of paper `p` (the papers `p` cites).
+    pub fn references(&self, p: PaperId) -> &[PaperId] {
+        self.refs.row(p)
+    }
+
+    /// The papers citing `p`.
+    pub fn citations(&self, p: PaperId) -> &[PaperId] {
+        self.citers.row(p)
+    }
+
+    /// Citation count `CC(p)` — in-degree of `p` (paper §2).
+    pub fn citation_count(&self, p: PaperId) -> usize {
+        self.citers.degree(p)
+    }
+
+    /// Reference count `k_p` — out-degree of `p`.
+    pub fn reference_count(&self, p: PaperId) -> usize {
+        self.refs.degree(p)
+    }
+
+    /// The reference adjacency (row `j` = papers cited by `j`).
+    pub fn refs_csr(&self) -> &Csr {
+        &self.refs
+    }
+
+    /// The citation adjacency (row `i` = papers citing `i`).
+    pub fn citers_csr(&self) -> &Csr {
+        &self.citers
+    }
+
+    /// Papers with no references (dangling columns of the citation matrix).
+    pub fn dangling_papers(&self) -> impl Iterator<Item = PaperId> + '_ {
+        (0..self.n_papers() as u32).filter(move |&p| self.refs.degree(p) == 0)
+    }
+
+    /// Builds the column-stochastic operator `S` of paper §2 for this state
+    /// of the network.
+    pub fn stochastic_operator(&self) -> CitationOperator {
+        CitationOperator::from_citers(self.citers.clone(), &self.refs.degrees())
+    }
+
+    /// Author metadata, if present.
+    pub fn authors(&self) -> Option<&AuthorTable> {
+        self.authors.as_ref()
+    }
+
+    /// Venue metadata, if present.
+    pub fn venues(&self) -> Option<&VenueTable> {
+        self.venues.as_ref()
+    }
+
+    /// The snapshot `C(t)` containing only the first `k` papers (papers are
+    /// time-sorted, so this is the state of the network when the `k`-th
+    /// paper appeared). Metadata is restricted accordingly.
+    ///
+    /// # Panics
+    /// Panics if `k > n_papers()`.
+    pub fn prefix(&self, k: usize) -> CitationNetwork {
+        assert!(k <= self.n_papers(), "prefix {k} exceeds {}", self.n_papers());
+        let years = self.years[..k].to_vec();
+        let edges: Vec<(u32, u32)> = (0..k as u32)
+            .flat_map(|j| {
+                self.refs
+                    .row(j)
+                    .iter()
+                    .filter(|&&i| (i as usize) < k)
+                    .map(move |&i| (j, i))
+            })
+            .collect();
+        let refs = Csr::from_edges(k, k, &edges);
+        let authors = self.authors.as_ref().map(|a| a.prefix(k));
+        let venues = self.venues.as_ref().map(|v| v.prefix(k));
+        CitationNetwork::from_parts(years, refs, authors, venues)
+    }
+
+    /// Number of papers published in or before `year`.
+    ///
+    /// Because papers are time-sorted this is a prefix length, computed with
+    /// a binary search.
+    pub fn papers_until(&self, year: Year) -> usize {
+        self.years.partition_point(|&y| y <= year)
+    }
+
+    /// The snapshot `C(t)` of all papers published in or before `year`.
+    pub fn snapshot_at(&self, year: Year) -> CitationNetwork {
+        self.prefix(self.papers_until(year))
+    }
+
+    /// In-degree of every paper as a dense vector (`CC` for all papers).
+    pub fn citation_counts(&self) -> Vec<usize> {
+        self.citers.degrees()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    /// Five-paper fixture spanning 1990–1994; paper ids equal insertion
+    /// order (already time-sorted).
+    ///
+    /// refs: 1→0, 2→{0,1}, 3→{1,2}, 4→{0,3}
+    pub(crate) fn small() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        for year in [1990, 1991, 1992, 1993, 1994] {
+            b.add_paper(year);
+        }
+        for (citing, cited) in [(1, 0), (2, 0), (2, 1), (3, 1), (3, 2), (4, 0), (4, 3)] {
+            b.add_citation(citing, cited).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let net = small();
+        assert_eq!(net.n_papers(), 5);
+        assert_eq!(net.n_citations(), 7);
+        assert_eq!(net.year(0), 1990);
+        assert_eq!(net.current_year(), Some(1994));
+        assert_eq!(net.first_year(), Some(1990));
+        assert_eq!(net.references(2), &[0, 1]);
+        assert_eq!(net.citations(0), &[1, 2, 4]);
+        assert_eq!(net.citation_count(0), 3);
+        assert_eq!(net.reference_count(4), 2);
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let net = small();
+        let dangling: Vec<_> = net.dangling_papers().collect();
+        assert_eq!(dangling, vec![0]); // only paper 0 cites nothing
+    }
+
+    #[test]
+    fn prefix_restricts_edges() {
+        let net = small();
+        let snap = net.prefix(3);
+        assert_eq!(snap.n_papers(), 3);
+        assert_eq!(snap.n_citations(), 3); // 1→0, 2→0, 2→1
+        assert_eq!(snap.citations(0), &[1, 2]);
+        assert_eq!(snap.current_year(), Some(1992));
+    }
+
+    #[test]
+    fn prefix_full_is_identity_shaped() {
+        let net = small();
+        let snap = net.prefix(5);
+        assert_eq!(snap.n_papers(), net.n_papers());
+        assert_eq!(snap.n_citations(), net.n_citations());
+    }
+
+    #[test]
+    fn prefix_zero_is_empty() {
+        let net = small();
+        let snap = net.prefix(0);
+        assert_eq!(snap.n_papers(), 0);
+        assert_eq!(snap.n_citations(), 0);
+        assert_eq!(snap.current_year(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn prefix_out_of_range_panics() {
+        let _ = small().prefix(6);
+    }
+
+    #[test]
+    fn papers_until_binary_search() {
+        let net = small();
+        assert_eq!(net.papers_until(1989), 0);
+        assert_eq!(net.papers_until(1990), 1);
+        assert_eq!(net.papers_until(1992), 3);
+        assert_eq!(net.papers_until(2000), 5);
+    }
+
+    #[test]
+    fn snapshot_at_year() {
+        let net = small();
+        let snap = net.snapshot_at(1992);
+        assert_eq!(snap.n_papers(), 3);
+        assert_eq!(snap.current_year(), Some(1992));
+    }
+
+    #[test]
+    fn stochastic_operator_shape() {
+        let net = small();
+        let op = net.stochastic_operator();
+        assert_eq!(op.n(), 5);
+        assert_eq!(op.dangling_count(), 1);
+    }
+
+    #[test]
+    fn citation_counts_vector() {
+        let net = small();
+        assert_eq!(net.citation_counts(), vec![3, 2, 1, 1, 0]);
+    }
+}

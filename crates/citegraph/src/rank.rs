@@ -1,0 +1,102 @@
+//! The [`Ranker`] abstraction shared by AttRank and every baseline.
+//!
+//! A ranker sees only the *current* state of the citation network (the
+//! evaluation protocol of §4.1 guarantees the future state is invisible)
+//! and produces one score per paper; papers are then ranked in decreasing
+//! score order. Scores are method-specific — PageRank-family methods emit
+//! probability vectors, RAM/ECM emit unnormalized weighted counts — so only
+//! the induced *order* is comparable across methods.
+
+use sparsela::ScoreVec;
+
+use crate::network::CitationNetwork;
+
+/// A paper-ranking method.
+pub trait Ranker {
+    /// Human-readable method name (used in experiment reports, e.g. "AR",
+    /// "CR", "FR", "RAM", "ECM", "WSDM").
+    fn name(&self) -> String;
+
+    /// Scores every paper in `net`. The returned vector has length
+    /// `net.n_papers()`; higher scores mean higher estimated short-term
+    /// impact.
+    fn rank(&self, net: &CitationNetwork) -> ScoreVec;
+}
+
+/// Blanket implementation so boxed rankers can be collected in
+/// heterogeneous method lists (`Vec<Box<dyn Ranker>>`).
+impl<T: Ranker + ?Sized> Ranker for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn rank(&self, net: &CitationNetwork) -> ScoreVec {
+        (**self).rank(net)
+    }
+}
+
+/// Ranks papers by raw citation count — the `CC` centrality of §2 and the
+/// weakest sensible baseline. Lives here (rather than in the baselines
+/// crate) because substrate tests use it as a reference ranker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CitationCount;
+
+impl Ranker for CitationCount {
+    fn name(&self) -> String {
+        "CC".into()
+    }
+
+    fn rank(&self, net: &CitationNetwork) -> ScoreVec {
+        ScoreVec::from_vec(
+            net.citation_counts()
+                .into_iter()
+                .map(|c| c as f64)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn star() -> CitationNetwork {
+        // Paper 0 cited by 1, 2, 3; paper 1 cited by 3.
+        let mut b = NetworkBuilder::new();
+        let hub = b.add_paper(2000);
+        let a = b.add_paper(2001);
+        let c = b.add_paper(2002);
+        let d = b.add_paper(2003);
+        b.add_citation(a, hub).unwrap();
+        b.add_citation(c, hub).unwrap();
+        b.add_citation(d, hub).unwrap();
+        b.add_citation(d, a).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn citation_count_ranker() {
+        let net = star();
+        let scores = CitationCount.rank(&net);
+        assert_eq!(scores.as_slice(), &[3.0, 1.0, 0.0, 0.0]);
+        assert_eq!(CitationCount.name(), "CC");
+    }
+
+    #[test]
+    fn boxed_ranker_dispatch() {
+        let net = star();
+        let boxed: Box<dyn Ranker> = Box::new(CitationCount);
+        assert_eq!(boxed.name(), "CC");
+        assert_eq!(boxed.rank(&net).top_k(1), vec![0]);
+    }
+
+    #[test]
+    fn heterogeneous_method_list() {
+        let net = star();
+        let methods: Vec<Box<dyn Ranker>> = vec![Box::new(CitationCount)];
+        for m in &methods {
+            assert_eq!(m.rank(&net).len(), net.n_papers());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Current/future splitting by *test ratio* (paper §4.1).
+//!
+//! The evaluation protocol partitions each dataset in two by paper count:
+//! the oldest half becomes the **current state** `C(t_N)` (all ranking
+//! methods see only this), and a prefix of the dataset sized
+//! `ratio × |current|` becomes the **future state** `C(t_N+τ)` from which
+//! the ground-truth STI is computed. Ratio 2.0 uses the entire dataset.
+//! Table 2 reports the per-dataset correspondence between ratio and the
+//! resulting horizon τ in years, which is non-linear because publication
+//! volume grows over time.
+
+use crate::network::{CitationNetwork, Year};
+
+/// A current/future pair produced by [`ratio_split`].
+#[derive(Debug, Clone)]
+pub struct RatioSplit {
+    /// The training state `C(t_N)`: oldest ⌊n/2⌋ papers.
+    pub current: CitationNetwork,
+    /// The evaluation state `C(t_N + τ)`: first `⌊ratio × |current|⌋` papers.
+    pub future: CitationNetwork,
+    /// The requested test ratio.
+    pub ratio: f64,
+}
+
+impl RatioSplit {
+    /// The time horizon τ in years this split realizes: the difference
+    /// between the future and current states' newest publication years
+    /// (Table 2 of the paper). Zero when either state is empty.
+    pub fn horizon_years(&self) -> Year {
+        match (self.future.current_year(), self.current.current_year()) {
+            (Some(f), Some(c)) => f - c,
+            _ => 0,
+        }
+    }
+
+    /// Number of papers visible to ranking methods.
+    pub fn n_current(&self) -> usize {
+        self.current.n_papers()
+    }
+
+    /// Number of papers in the future state.
+    pub fn n_future(&self) -> usize {
+        self.future.n_papers()
+    }
+}
+
+/// Splits `net` per the paper's protocol.
+///
+/// `ratio` must lie in `[1.0, 2.0]`; 1.0 makes the future state equal the
+/// current state (STI all zero — useful only in tests) and 2.0 uses the
+/// whole dataset. The future size is clamped to the dataset size, which is
+/// what "2.0 corresponds to using all citations" implies for odd sizes.
+pub fn ratio_split(net: &CitationNetwork, ratio: f64) -> RatioSplit {
+    assert!(
+        (1.0..=2.0).contains(&ratio),
+        "test ratio {ratio} outside [1.0, 2.0]"
+    );
+    let n = net.n_papers();
+    let n_current = n / 2;
+    let n_future = ((n_current as f64 * ratio).round() as usize).min(n);
+    RatioSplit {
+        current: net.prefix(n_current),
+        future: net.prefix(n_future.max(n_current)),
+        ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    /// 10 papers, years 2000–2009, each citing its predecessor.
+    fn decade() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (0..10).map(|i| b.add_paper(2000 + i)).collect();
+        for w in ids.windows(2) {
+            b.add_citation(w[1], w[0]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn split_sizes_match_protocol() {
+        let net = decade();
+        let s = ratio_split(&net, 1.6);
+        assert_eq!(s.n_current(), 5);
+        assert_eq!(s.n_future(), 8);
+        assert_eq!(s.ratio, 1.6);
+    }
+
+    #[test]
+    fn ratio_two_uses_whole_dataset() {
+        let net = decade();
+        let s = ratio_split(&net, 2.0);
+        assert_eq!(s.n_future(), 10);
+    }
+
+    #[test]
+    fn ratio_one_future_equals_current() {
+        let net = decade();
+        let s = ratio_split(&net, 1.0);
+        assert_eq!(s.n_future(), s.n_current());
+        assert_eq!(s.horizon_years(), 0);
+    }
+
+    #[test]
+    fn horizon_years_reflects_calendar_gap() {
+        let net = decade();
+        let s = ratio_split(&net, 1.6);
+        // current newest = 2004, future newest = 2007.
+        assert_eq!(s.horizon_years(), 3);
+    }
+
+    #[test]
+    fn current_state_hides_future_edges() {
+        let net = decade();
+        let s = ratio_split(&net, 1.6);
+        // In the full network paper 4 is cited by paper 5; in the current
+        // state (papers 0..5) that citation does not exist yet.
+        assert_eq!(net.citation_count(4), 1);
+        assert_eq!(s.current.citation_count(4), 0);
+        // But the future state contains it.
+        assert_eq!(s.future.citation_count(4), 1);
+    }
+
+    #[test]
+    fn odd_sized_dataset_clamps() {
+        let mut b = NetworkBuilder::new();
+        for i in 0..7 {
+            b.add_paper(2000 + i);
+        }
+        let net = b.build().unwrap();
+        let s = ratio_split(&net, 2.0);
+        assert_eq!(s.n_current(), 3);
+        assert_eq!(s.n_future(), 6); // 3 × 2.0, within bounds
+        let s = ratio_split(&net, 1.2);
+        assert_eq!(s.n_future(), 4); // round(3.6)
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_ratio_panics() {
+        let net = decade();
+        let _ = ratio_split(&net, 2.5);
+    }
+
+    #[test]
+    fn monotone_in_ratio() {
+        let net = decade();
+        let mut prev = 0;
+        for &r in &[1.2, 1.4, 1.6, 1.8, 2.0] {
+            let s = ratio_split(&net, r);
+            assert!(s.n_future() >= prev, "future size must grow with ratio");
+            prev = s.n_future();
+        }
+    }
+
+    #[test]
+    fn empty_network_split() {
+        let net = NetworkBuilder::new().build().unwrap();
+        let s = ratio_split(&net, 1.6);
+        assert_eq!(s.n_current(), 0);
+        assert_eq!(s.n_future(), 0);
+        assert_eq!(s.horizon_years(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the citation-network substrate.
+
+use citegraph::{ratio_split, NetworkBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a random temporally-valid citation network.
+///
+/// Generates `n` papers with years drawn from a small range, then a set of
+/// candidate citations filtered so the cited paper is never newer.
+fn network_strategy(
+    max_papers: usize,
+) -> impl Strategy<Value = (Vec<i32>, Vec<(u32, u32)>)> {
+    (2..=max_papers).prop_flat_map(|n| {
+        let years = proptest::collection::vec(1990i32..2020, n..=n);
+        years.prop_flat_map(move |years| {
+            let pair = (0..n as u32, 0..n as u32);
+            let years2 = years.clone();
+            let edges = proptest::collection::vec(pair, 0..n * 3).prop_map(move |raw| {
+                raw.into_iter()
+                    .filter(|&(a, b)| a != b && years2[b as usize] <= years2[a as usize])
+                    .collect::<Vec<_>>()
+            });
+            (Just(years), edges)
+        })
+    })
+}
+
+fn build(years: &[i32], edges: &[(u32, u32)]) -> citegraph::CitationNetwork {
+    let mut b = NetworkBuilder::new();
+    for &y in years {
+        b.add_paper(y);
+    }
+    for &(citing, cited) in edges {
+        b.add_citation(citing, cited).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #[test]
+    fn built_networks_are_time_sorted((years, edges) in network_strategy(60)) {
+        let net = build(&years, &edges);
+        for w in net.years().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn references_never_point_forward_in_time((years, edges) in network_strategy(60)) {
+        let net = build(&years, &edges);
+        for citing in 0..net.n_papers() as u32 {
+            for &cited in net.references(citing) {
+                prop_assert!(net.year(cited) <= net.year(citing));
+            }
+        }
+    }
+
+    #[test]
+    fn citers_is_exact_transpose_of_refs((years, edges) in network_strategy(50)) {
+        let net = build(&years, &edges);
+        for citing in 0..net.n_papers() as u32 {
+            for &cited in net.references(citing) {
+                prop_assert!(net.citations(cited).contains(&citing));
+            }
+        }
+        let total_in: usize = (0..net.n_papers() as u32).map(|p| net.citation_count(p)).sum();
+        prop_assert_eq!(total_in, net.n_citations());
+    }
+
+    #[test]
+    fn prefix_monotone_in_papers_and_edges((years, edges) in network_strategy(50)) {
+        let net = build(&years, &edges);
+        let mut prev_edges = 0;
+        for k in 0..=net.n_papers() {
+            let snap = net.prefix(k);
+            prop_assert_eq!(snap.n_papers(), k);
+            prop_assert!(snap.n_citations() >= prev_edges);
+            prev_edges = snap.n_citations();
+        }
+    }
+
+    #[test]
+    fn prefix_preserves_edges_among_retained_papers((years, edges) in network_strategy(40)) {
+        let net = build(&years, &edges);
+        let k = net.n_papers() / 2;
+        let snap = net.prefix(k);
+        for citing in 0..k as u32 {
+            // Every original reference with both endpoints < k survives.
+            let expected: Vec<u32> = net
+                .references(citing)
+                .iter()
+                .copied()
+                .filter(|&c| (c as usize) < k)
+                .collect();
+            prop_assert_eq!(snap.references(citing), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn split_invariants_hold_for_all_ratios((years, edges) in network_strategy(50)) {
+        let net = build(&years, &edges);
+        for &ratio in &[1.0, 1.2, 1.4, 1.6, 1.8, 2.0] {
+            let s = ratio_split(&net, ratio);
+            prop_assert_eq!(s.n_current(), net.n_papers() / 2);
+            prop_assert!(s.n_future() >= s.n_current());
+            prop_assert!(s.n_future() <= net.n_papers());
+            prop_assert!(s.horizon_years() >= 0);
+            // The future's newest year can only move forward.
+            if let (Some(fc), Some(cc)) = (s.future.current_year(), s.current.current_year()) {
+                prop_assert!(fc >= cc);
+            }
+        }
+    }
+
+    #[test]
+    fn window_counts_bounded_by_total((years, edges) in network_strategy(50)) {
+        let net = build(&years, &edges);
+        prop_assume!(net.n_papers() > 0);
+        for y in 1..=5u32 {
+            let recent = citegraph::window::recent_citation_counts(&net, y);
+            let totals = net.citation_counts();
+            for (p, &r) in recent.iter().enumerate() {
+                prop_assert!(r as usize <= totals[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn window_counts_monotone_in_y((years, edges) in network_strategy(50)) {
+        let net = build(&years, &edges);
+        prop_assume!(net.n_papers() > 0);
+        let mut prev: Option<Vec<u32>> = None;
+        for y in 1..=6u32 {
+            let cur = citegraph::window::recent_citation_counts(&net, y);
+            if let Some(prev) = &prev {
+                for (a, b) in prev.iter().zip(&cur) {
+                    prop_assert!(b >= a, "wider window cannot lose citations");
+                }
+            }
+            prev = Some(cur);
+        }
+    }
+
+    #[test]
+    fn age_distribution_sums_to_one_or_zero((years, edges) in network_strategy(50)) {
+        let net = build(&years, &edges);
+        let dist = citegraph::stats::citation_age_distribution(&net, 40);
+        let sum: f64 = dist.iter().sum();
+        prop_assert!(sum.abs() < 1e-12 || (sum - 1.0).abs() < 1e-9);
+        prop_assert!(dist.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn tsv_roundtrip_is_lossless((years, edges) in network_strategy(40)) {
+        let net = build(&years, &edges);
+        let papers = citegraph::io::papers_to_tsv(&net);
+        let citations = citegraph::io::citations_to_tsv(&net);
+        let back = citegraph::io::from_tsv(&papers, &citations).unwrap();
+        prop_assert_eq!(back.n_papers(), net.n_papers());
+        prop_assert_eq!(back.n_citations(), net.n_citations());
+        prop_assert_eq!(back.years(), net.years());
+        for p in 0..net.n_papers() as u32 {
+            prop_assert_eq!(back.references(p), net.references(p));
+        }
+    }
+
+    #[test]
+    fn yearly_citations_sum_to_citation_count((years, edges) in network_strategy(40)) {
+        let net = build(&years, &edges);
+        for p in 0..net.n_papers() as u32 {
+            let total: u32 = citegraph::stats::yearly_citations(&net, p)
+                .iter()
+                .map(|&(_, c)| c)
+                .sum();
+            prop_assert_eq!(total as usize, net.citation_count(p));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The attention vector `A` (paper Eq. 2).
+//!
+//! `A(p_i)` is the fraction of all citations made during the last `y` years
+//! that paper `p_i` received:
+//!
+//! ```text
+//! A(p_i) = Σ_j C[t_N−y : t_N][i,j]  /  Σ_i Σ_j C[t_N−y : t_N][i,j]
+//! ```
+//!
+//! The vector is a probability distribution over papers (Σ A = 1) except in
+//! the degenerate case of an empty window, where it is all-zero — the model
+//! handles that case by construction (β·0 contributes nothing and the
+//! Theorem-1 argument falls back on `γ·T > 0`).
+
+use citegraph::{window, CitationNetwork};
+use sparsela::ScoreVec;
+
+/// Computes the attention vector for the trailing `y`-year window of `net`.
+///
+/// # Panics
+/// Panics if `y == 0` (Eq. 2 needs a non-empty window; the parameter type
+/// in [`crate::AttRankParams`] already forbids it).
+pub fn attention_vector(net: &CitationNetwork, y: u32) -> ScoreVec {
+    let counts = window::recent_citation_counts(net, y);
+    let mut v = ScoreVec::from_vec(counts.into_iter().map(f64::from).collect());
+    v.normalize_l1();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citegraph::NetworkBuilder;
+
+    /// 2000..=2004 chain, each paper citing all predecessors.
+    fn chain() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (2000..2005).map(|y| b.add_paper(y)).collect();
+        for (i, &citing) in ids.iter().enumerate() {
+            for &cited in &ids[..i] {
+                b.add_citation(citing, cited).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn attention_is_probability_vector() {
+        let net = chain();
+        for y in 1..=4 {
+            let a = attention_vector(&net, y);
+            assert!((a.sum() - 1.0).abs() < 1e-12, "y={y}");
+            assert!(a.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn attention_matches_window_shares() {
+        let net = chain();
+        // y=2 → citing papers 2003, 2004 → counts [2,2,2,1,0], total 7.
+        let a = attention_vector(&net, 2);
+        assert!((a[0] - 2.0 / 7.0).abs() < 1e-12);
+        assert!((a[3] - 1.0 / 7.0).abs() < 1e-12);
+        assert_eq!(a[4], 0.0);
+    }
+
+    #[test]
+    fn empty_window_gives_zero_vector() {
+        // Singleton network: no citations at all.
+        let mut b = NetworkBuilder::new();
+        b.add_paper(2000);
+        let net = b.build().unwrap();
+        let a = attention_vector(&net, 5);
+        assert_eq!(a.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn recently_hot_paper_dominates() {
+        // An old paper with many total citations but none recent must lose
+        // to a newer paper hot in the window.
+        let mut b = NetworkBuilder::new();
+        let old = b.add_paper(1990);
+        let mids: Vec<_> = (0..5).map(|i| b.add_paper(1991 + i)).collect();
+        for &m in &mids {
+            b.add_citation(m, old).unwrap();
+        }
+        let hot = b.add_paper(2018);
+        let f1 = b.add_paper(2019);
+        let f2 = b.add_paper(2020);
+        b.add_citation(f1, hot).unwrap();
+        b.add_citation(f2, hot).unwrap();
+        let net = b.build().unwrap();
+        let a = attention_vector(&net, 3);
+        assert!(a[hot as usize] > a[old as usize]);
+        assert_eq!(a[old as usize], 0.0, "no citation in window");
+    }
+}

@@ -1,0 +1,263 @@
+//! AttRank parameterization (paper Eq. 4 and Table 3).
+
+use std::fmt;
+
+/// Validation errors for [`AttRankParams`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// A coefficient fell outside `[0, 1]`.
+    CoefficientOutOfRange {
+        /// Which coefficient ("alpha", "beta", or "gamma").
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `α + β` exceeded 1, leaving no room for `γ = 1 − α − β ≥ 0`.
+    SimplexViolation {
+        /// The sum `α + β`.
+        sum: f64,
+    },
+    /// Attention window of zero years.
+    ZeroWindow,
+    /// Positive decay would make *older* papers more "recent" (Eq. 3
+    /// requires `w ≤ 0` since `t_N − t_p ≥ 0`).
+    PositiveDecay {
+        /// The offending decay value.
+        w: f64,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::CoefficientOutOfRange { name, value } => {
+                write!(f, "{name} = {value} outside [0, 1]")
+            }
+            ParamError::SimplexViolation { sum } => {
+                write!(f, "alpha + beta = {sum} > 1 leaves gamma negative")
+            }
+            ParamError::ZeroWindow => write!(f, "attention window must be at least one year"),
+            ParamError::PositiveDecay { w } => {
+                write!(f, "recency decay w = {w} must be non-positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The four AttRank hyper-parameters: `α`, `β` (with `γ = 1 − α − β`
+/// implied, matching the paper's heatmap presentation), the attention
+/// window `y` in years, and the recency decay `w`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttRankParams {
+    alpha: f64,
+    beta: f64,
+    /// Attention window in years (Eq. 2's `y`).
+    pub attention_years: u32,
+    /// Exponential age-decay factor (Eq. 3's `w`, non-positive).
+    pub decay_w: f64,
+}
+
+impl AttRankParams {
+    /// Creates validated parameters. `γ` is derived as `1 − α − β`.
+    pub fn new(
+        alpha: f64,
+        beta: f64,
+        attention_years: u32,
+        decay_w: f64,
+    ) -> Result<Self, ParamError> {
+        for (name, value) in [("alpha", alpha), ("beta", beta)] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(ParamError::CoefficientOutOfRange { name, value });
+            }
+        }
+        let sum = alpha + beta;
+        if sum > 1.0 + 1e-12 {
+            return Err(ParamError::SimplexViolation { sum });
+        }
+        if attention_years == 0 {
+            return Err(ParamError::ZeroWindow);
+        }
+        if decay_w > 0.0 || !decay_w.is_finite() {
+            return Err(ParamError::PositiveDecay { w: decay_w });
+        }
+        Ok(Self {
+            alpha,
+            beta,
+            attention_years,
+            decay_w,
+        })
+    }
+
+    /// The NO-ATT ablation: `β = 0`, i.e. a purely time-aware PageRank
+    /// variant (paper §3). `γ = 1 − α`.
+    pub fn no_att(alpha: f64, attention_years: u32, decay_w: f64) -> Result<Self, ParamError> {
+        Self::new(alpha, 0.0, attention_years, decay_w)
+    }
+
+    /// The ATT-ONLY ablation: `β = 1`, ranking purely by recent attention
+    /// (paper §3). Converges in a single iteration.
+    pub fn att_only(attention_years: u32) -> Result<Self, ParamError> {
+        // decay_w is irrelevant when γ = 0 but must still validate.
+        Self::new(0.0, 1.0, attention_years, 0.0)
+    }
+
+    /// Plain PageRank recovered as the special case `β = 0, w = 0` (paper
+    /// §3: "additionally setting w = 0 in Eq. 3 recovers PageRank").
+    pub fn pagerank(alpha: f64) -> Result<Self, ParamError> {
+        Self::new(alpha, 0.0, 1, 0.0)
+    }
+
+    /// Reference-following probability `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Attention probability `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Recency probability `γ = 1 − α − β` (clamped against rounding).
+    pub fn gamma(&self) -> f64 {
+        (1.0 - self.alpha - self.beta).max(0.0)
+    }
+
+    /// `true` when this is the NO-ATT ablation.
+    pub fn is_no_att(&self) -> bool {
+        self.beta == 0.0
+    }
+
+    /// `true` when this is the ATT-ONLY ablation.
+    pub fn is_att_only(&self) -> bool {
+        self.beta == 1.0
+    }
+
+    /// The paper's default grid (Table 3): `α ∈ {0, 0.1, …, 0.5}`,
+    /// `β ∈ {0, 0.1, …, 1}` with `α + β ≤ 1`, `y ∈ {1, …, 5}`; `decay_w`
+    /// is fixed per dataset by the §4.2 fitting procedure.
+    pub fn table3_grid(decay_w: f64) -> Vec<AttRankParams> {
+        let mut grid = Vec::new();
+        for ai in 0..=5u32 {
+            for bi in 0..=10u32 {
+                let (alpha, beta) = (ai as f64 / 10.0, bi as f64 / 10.0);
+                if alpha + beta > 1.0 + 1e-9 {
+                    continue;
+                }
+                for y in 1..=5u32 {
+                    grid.push(
+                        AttRankParams::new(alpha, beta, y, decay_w)
+                            .expect("grid points are valid by construction"),
+                    );
+                }
+            }
+        }
+        grid
+    }
+}
+
+impl fmt::Display for AttRankParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AR(α={:.2}, β={:.2}, γ={:.2}, y={}, w={:.2})",
+            self.alpha,
+            self.beta,
+            self.gamma(),
+            self.attention_years,
+            self.decay_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params_expose_gamma() {
+        let p = AttRankParams::new(0.2, 0.5, 3, -0.16).unwrap();
+        assert_eq!(p.alpha(), 0.2);
+        assert_eq!(p.beta(), 0.5);
+        assert!((p.gamma() - 0.3).abs() < 1e-12);
+        assert!(!p.is_no_att());
+        assert!(!p.is_att_only());
+    }
+
+    #[test]
+    fn simplex_violation_rejected() {
+        let err = AttRankParams::new(0.6, 0.6, 1, -0.1).unwrap_err();
+        assert!(matches!(err, ParamError::SimplexViolation { .. }));
+        assert!(err.to_string().contains("gamma negative"));
+    }
+
+    #[test]
+    fn out_of_range_coefficients_rejected() {
+        assert!(matches!(
+            AttRankParams::new(-0.1, 0.5, 1, -0.1),
+            Err(ParamError::CoefficientOutOfRange { name: "alpha", .. })
+        ));
+        assert!(matches!(
+            AttRankParams::new(0.1, 1.5, 1, -0.1),
+            Err(ParamError::CoefficientOutOfRange { name: "beta", .. })
+        ));
+        assert!(AttRankParams::new(f64::NAN, 0.0, 1, -0.1).is_err());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert_eq!(
+            AttRankParams::new(0.1, 0.1, 0, -0.1),
+            Err(ParamError::ZeroWindow)
+        );
+    }
+
+    #[test]
+    fn positive_decay_rejected() {
+        assert!(matches!(
+            AttRankParams::new(0.1, 0.1, 1, 0.3),
+            Err(ParamError::PositiveDecay { .. })
+        ));
+        // Zero decay is legal (recovers PageRank's uniform jump).
+        assert!(AttRankParams::new(0.1, 0.1, 1, 0.0).is_ok());
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        let no_att = AttRankParams::no_att(0.4, 2, -0.2).unwrap();
+        assert!(no_att.is_no_att());
+        assert!((no_att.gamma() - 0.6).abs() < 1e-12);
+
+        let att_only = AttRankParams::att_only(3).unwrap();
+        assert!(att_only.is_att_only());
+        assert_eq!(att_only.alpha(), 0.0);
+        assert_eq!(att_only.gamma(), 0.0);
+
+        let pr = AttRankParams::pagerank(0.5).unwrap();
+        assert!(pr.is_no_att());
+        assert_eq!(pr.decay_w, 0.0);
+    }
+
+    #[test]
+    fn table3_grid_shape() {
+        let grid = AttRankParams::table3_grid(-0.16);
+        // α∈{0..0.5} (6), β∈{0..1.0} (11) with α+β≤1, y∈{1..5} (5).
+        // For α=0: 11 β values; α=.1: 10; … α=.5: 6 → (11+10+9+8+7+6)=51
+        assert_eq!(grid.len(), 51 * 5);
+        assert!(grid.iter().all(|p| p.alpha() + p.beta() <= 1.0 + 1e-9));
+        assert!(grid
+            .iter()
+            .all(|p| (1..=5).contains(&p.attention_years)));
+        // Both ablations are in the grid.
+        assert!(grid.iter().any(|p| p.is_no_att()));
+        assert!(grid.iter().any(|p| p.is_att_only()));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = AttRankParams::new(0.3, 0.4, 1, -0.48).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("α=0.30") && s.contains("y=1") && s.contains("w=-0.48"));
+    }
+}

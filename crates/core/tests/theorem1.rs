@@ -1,0 +1,145 @@
+//! Property tests for Theorem 1: the AttRank iteration converges for every
+//! valid parameterization on every temporally-valid citation network, and
+//! the fixed point is a probability vector that does not depend on the
+//! starting point.
+
+use attrank::{AttRank, AttRankParams};
+use citegraph::{NetworkBuilder, Ranker};
+use proptest::prelude::*;
+use sparsela::{PowerEngine, PowerOptions, ScoreVec};
+
+fn network_strategy(
+    max_papers: usize,
+) -> impl Strategy<Value = (Vec<i32>, Vec<(u32, u32)>)> {
+    (3..=max_papers).prop_flat_map(|n| {
+        let years = proptest::collection::vec(2000i32..2020, n..=n);
+        years.prop_flat_map(move |years| {
+            let pair = (0..n as u32, 0..n as u32);
+            let years2 = years.clone();
+            let edges = proptest::collection::vec(pair, 0..n * 4).prop_map(move |raw| {
+                raw.into_iter()
+                    .filter(|&(a, b)| a != b && years2[b as usize] <= years2[a as usize])
+                    .collect::<Vec<_>>()
+            });
+            (Just(years), edges)
+        })
+    })
+}
+
+fn build(years: &[i32], edges: &[(u32, u32)]) -> citegraph::CitationNetwork {
+    let mut b = NetworkBuilder::new();
+    for &y in years {
+        b.add_paper(y);
+    }
+    for &(citing, cited) in edges {
+        b.add_citation(citing, cited).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Strategy over the valid (α, β) simplex with α ≤ 0.5 as in Table 3.
+fn simplex() -> impl Strategy<Value = (f64, f64)> {
+    (0.0f64..=0.5, 0.0f64..=1.0)
+        .prop_map(|(a, b)| if a + b > 1.0 { (a, 1.0 - a) } else { (a, b) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_convergence(
+        (years, edges) in network_strategy(40),
+        (alpha, beta) in simplex(),
+        y in 1u32..=5,
+        w in -1.0f64..=0.0,
+    ) {
+        let net = build(&years, &edges);
+        let params = AttRankParams::new(alpha, beta, y, w).unwrap();
+        let d = AttRank::new(params).rank_with_diagnostics(&net);
+        prop_assert!(d.converged, "Theorem 1 violated for {params}");
+        prop_assert!(d.scores.all_finite());
+        // Fixed point is a probability vector whenever the jump vectors
+        // carry full mass (β·A degenerates only if the window is empty).
+        let sum = d.scores.sum();
+        prop_assert!(sum <= 1.0 + 1e-9);
+        prop_assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn fixed_point_is_start_independent(
+        (years, edges) in network_strategy(25),
+        (alpha, beta) in simplex(),
+    ) {
+        prop_assume!(alpha > 0.0);
+        let net = build(&years, &edges);
+        let n = net.n_papers();
+        let params = AttRankParams::new(alpha, beta, 2, -0.3).unwrap();
+        let reference = AttRank::new(params).rank(&net);
+
+        // Re-run the same recurrence from a very skewed start.
+        let attention = attrank::attention_vector(&net, 2);
+        let recency = attrank::recency_vector(&net, -0.3);
+        let gamma = 1.0 - alpha - beta;
+        let mut jump = ScoreVec::zeros(n);
+        jump.axpy(beta, &attention);
+        jump.axpy(gamma, &recency);
+        let op = net.stochastic_operator();
+        let mut start = ScoreVec::zeros(n);
+        start[0] = 1.0;
+        let engine = PowerEngine::new(PowerOptions { epsilon: 1e-13, max_iterations: 3000, record_errors: false });
+        let other = engine.run(start, |cur, next| {
+            op.apply(cur.as_slice(), next.as_mut_slice());
+            for (i, v) in next.iter_mut().enumerate() {
+                *v = alpha * *v + jump[i];
+            }
+        });
+        prop_assert!(other.converged);
+        for i in 0..n {
+            prop_assert!(
+                (reference[i] - other.scores[i]).abs() < 1e-8,
+                "fixed point must be unique (component {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_point_satisfies_recurrence(
+        (years, edges) in network_strategy(25),
+        (alpha, beta) in simplex(),
+    ) {
+        let net = build(&years, &edges);
+        let n = net.n_papers();
+        let params = AttRankParams::new(alpha, beta, 3, -0.2).unwrap();
+        let scores = AttRank::new(params).rank(&net);
+
+        // Apply Eq. 4 once more by hand; the result must not move.
+        let attention = attrank::attention_vector(&net, 3);
+        let recency = attrank::recency_vector(&net, -0.2);
+        let gamma = 1.0 - alpha - beta;
+        let op = net.stochastic_operator();
+        let mut next = ScoreVec::zeros(n);
+        op.apply(scores.as_slice(), next.as_mut_slice());
+        for (i, v) in next.iter_mut().enumerate() {
+            *v = alpha * *v + beta * attention[i] + gamma * recency[i];
+        }
+        prop_assert!(next.l1_distance(&scores) < 1e-9);
+    }
+
+    #[test]
+    fn beta_zero_and_one_are_the_paper_ablations(
+        (years, edges) in network_strategy(25),
+        alpha in 0.0f64..=0.5,
+    ) {
+        let net = build(&years, &edges);
+        let no_att = AttRank::new(AttRankParams::no_att(alpha, 2, -0.2).unwrap());
+        let att_only = AttRank::new(AttRankParams::att_only(2).unwrap());
+        prop_assert_eq!(no_att.name(), "NO-ATT");
+        prop_assert_eq!(att_only.name(), "ATT-ONLY");
+        // ATT-ONLY scores equal the attention vector exactly.
+        let a = attrank::attention_vector(&net, 2);
+        let s = att_only.rank(&net);
+        for i in 0..net.n_papers() {
+            prop_assert!((s[i] - a[i]).abs() < 1e-15);
+        }
+    }
+}

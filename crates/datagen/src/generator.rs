@@ -1,0 +1,563 @@
+//! The citation-network growth process.
+//!
+//! Papers appear year by year (volumes from
+//! [`DatasetProfile::papers_per_year`]). Each new paper draws a reference
+//! count from a clamped log-normal and picks each reference target through a
+//! three-way mixture that mirrors the reading behaviours the ranking
+//! methods model:
+//!
+//! 1. **attention** — uniform draw from the pool of citation events of the
+//!    trailing `attention_window` years. Sampling events (not papers) makes
+//!    the choice proportional to *recent citations received*: a
+//!    time-restricted preferential attachment (Barabási–Albert restricted to
+//!    a window; paper §3).
+//! 2. **recency** — pick a publication year with probability
+//!    `∝ count(year) · e^{recency_decay · age}`, then a uniform paper within
+//!    it (the Eq. 3 mechanism).
+//! 3. **background** — preferential attachment on *cumulative* citations
+//!    (the classic Barabási–Albert rich-get-richer term), with a small
+//!    uniform escape so every paper stays reachable. This is the long
+//!    memory that keeps canonical papers earning citations for decades.
+//!
+//! With probability `topic_affinity` the draw is constrained to the citing
+//! paper's topic (resampled up to a bounded number of attempts, then the
+//! constraint is dropped — real bibliographies also cross fields).
+//!
+//! A `burst_fraction` of papers additionally receives *phantom attention
+//! events* starting `burst_delay` years after publication: they become
+//! popular late, like the 1997 BLAST paper of Fig. 1b. Phantom events only
+//! bias target selection; they are never edges.
+
+use citegraph::{CitationNetwork, NetworkBuilder, Year};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::DatasetProfile;
+
+/// Generates a network from a profile; convenience wrapper over
+/// [`Generator`].
+pub fn generate(profile: &DatasetProfile, seed: u64) -> CitationNetwork {
+    Generator::new(profile.clone(), seed).run()
+}
+
+/// The growth-process driver. Create one per generation run.
+#[derive(Debug)]
+pub struct Generator {
+    profile: DatasetProfile,
+    rng: StdRng,
+    /// Paper ids per year offset (filled as generation proceeds).
+    papers_by_year: Vec<Vec<u32>>,
+    /// Citation events (cited paper ids) per citing-year offset; includes
+    /// phantom burst events.
+    events_by_year: Vec<Vec<u32>>,
+    /// Topic of every paper.
+    topics: Vec<u16>,
+    /// Intrinsic fitness per paper (log-normal; 1.0 when disabled).
+    fitness: Vec<f64>,
+    /// Burst papers scheduled as `(year_offset, paper)` activations.
+    burst_schedule: Vec<Vec<u32>>,
+    /// Fitness phantom events scheduled as `(paper, count)` per year.
+    fitness_schedule: Vec<Vec<(u32, usize)>>,
+    /// Author productivity pool: author ids with repetition (rich get
+    /// richer).
+    author_events: Vec<u32>,
+    next_author: u32,
+    author_pool_max: u32,
+}
+
+impl Generator {
+    /// Creates a generator; panics if the profile fails validation.
+    pub fn new(profile: DatasetProfile, seed: u64) -> Self {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile {}: {e}", profile.name));
+        let ny = profile.n_years();
+        let author_pool_max =
+            ((profile.n_papers as f64 * profile.author_pool_factor).ceil() as u32).max(1);
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            papers_by_year: vec![Vec::new(); ny],
+            events_by_year: vec![Vec::new(); ny],
+            topics: Vec::with_capacity(profile.n_papers),
+            fitness: Vec::with_capacity(profile.n_papers),
+            burst_schedule: vec![Vec::new(); ny],
+            fitness_schedule: vec![Vec::new(); ny],
+            author_events: Vec::new(),
+            next_author: 0,
+            author_pool_max,
+            profile,
+        }
+    }
+
+    /// Runs the full growth process and returns the finished network.
+    pub fn run(mut self) -> CitationNetwork {
+        let volumes = self.profile.papers_per_year();
+        let mut builder = NetworkBuilder::with_capacity(
+            self.profile.n_papers,
+            (self.profile.n_papers as f64 * self.profile.refs_mean) as usize,
+        );
+        let mut n_existing: u32 = 0;
+        for (year_off, &volume) in volumes.iter().enumerate() {
+            self.inject_burst_events(year_off, volume);
+            for _ in 0..volume {
+                let id = self.birth_paper(&mut builder, year_off);
+                debug_assert_eq!(id, n_existing);
+                n_existing += 1;
+                if n_existing > 1 {
+                    self.cite(&mut builder, id, year_off);
+                }
+            }
+        }
+        builder
+            .build()
+            .expect("generator produces temporally valid citations")
+    }
+
+    /// Creates one paper (metadata included) and registers it in the
+    /// per-year indexes. Returns its id.
+    fn birth_paper(&mut self, builder: &mut NetworkBuilder, year_off: usize) -> u32 {
+        let year = self.profile.start_year + year_off as Year;
+        let topic = self.rng.gen_range(0..self.profile.n_topics as u16);
+        let authors = self.sample_authors();
+        let venue = if self.profile.with_venues {
+            // Venues are topical: venue id = topic * per_topic + local.
+            let local = self.rng.gen_range(0..self.profile.venues_per_topic as u32);
+            Some(topic as u32 * self.profile.venues_per_topic as u32 + local)
+        } else {
+            None
+        };
+        let id = builder.add_paper_with_metadata(year, authors, venue);
+        self.topics.push(topic);
+        self.papers_by_year[year_off].push(id);
+        // Intrinsic fitness: log-normal with median 1. High-fitness papers
+        // seed phantom attention events at birth ("initial attractiveness"),
+        // which the preferential loop then amplifies into persistent
+        // popularity — without it, trends churn far faster than in real
+        // citation data (cf. the paper's Table 1).
+        let fitness = if self.profile.fitness_sigma > 0.0 {
+            let u1: f64 = self.rng.gen_range(1e-12..1.0);
+            let u2: f64 = self.rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.profile.fitness_sigma * z).exp().min(12.0)
+        } else {
+            1.0
+        };
+        self.fitness.push(fitness);
+        // The boost lands in the paper's first and second *full* years —
+        // citation lag means even a hot paper needs time to be read.
+        let phantom = ((fitness - 1.0).max(0.0)
+            * self.profile.refs_mean
+            * self.profile.fitness_boost)
+            .round() as usize;
+        if phantom > 0 {
+            // Partially visible immediately: a hot paper shows early
+            // momentum that observers (and AttRank's attention vector) can
+            // pick up before the full wave arrives.
+            self.events_by_year[year_off].push(id);
+            for _ in 0..phantom / 2 {
+                self.events_by_year[year_off].push(id);
+            }
+            if year_off + 1 < self.fitness_schedule.len() {
+                self.fitness_schedule[year_off + 1].push((id, phantom));
+            }
+            if year_off + 2 < self.fitness_schedule.len() {
+                self.fitness_schedule[year_off + 2].push((id, phantom / 2));
+            }
+        }
+        // Schedule a delayed burst for a small fraction of papers.
+        if self.rng.gen_bool(self.profile.burst_fraction) {
+            let start = year_off + self.profile.burst_delay as usize;
+            for off in start..(start + self.profile.burst_duration as usize) {
+                if off < self.burst_schedule.len() {
+                    self.burst_schedule[off].push(id);
+                }
+            }
+        }
+        id
+    }
+
+    /// Draws this paper's reference list and records the edges.
+    fn cite(&mut self, builder: &mut NetworkBuilder, citing: u32, year_off: usize) {
+        let n_refs = self.sample_ref_count();
+        let mut chosen = Vec::with_capacity(n_refs);
+        let topic = self.topics[citing as usize];
+        let recency_cdf = self.recency_year_cdf(year_off);
+        for _ in 0..n_refs {
+            // A handful of attempts to satisfy topic + dedup constraints;
+            // on exhaustion the reference is dropped (papers citing fewer
+            // in-corpus works than drawn is normal — corpora are partial).
+            let mut target = None;
+            for attempt in 0..12 {
+                let want_topic = attempt < 8 && self.rng.gen_bool(self.profile.topic_affinity);
+                let cand = self.sample_target(citing, year_off, &recency_cdf);
+                let Some(cand) = cand else { continue };
+                if cand == citing || chosen.contains(&cand) {
+                    continue;
+                }
+                if want_topic && self.topics[cand as usize] != topic {
+                    continue;
+                }
+                target = Some(cand);
+                break;
+            }
+            if let Some(t) = target {
+                chosen.push(t);
+            }
+        }
+        for &cited in &chosen {
+            builder
+                .add_citation(citing, cited)
+                .expect("targets are existing, distinct papers");
+            self.events_by_year[year_off].push(cited);
+        }
+    }
+
+    /// One mixture draw; `None` when the chosen component has no candidates
+    /// yet (e.g. empty attention window in year 0).
+    fn sample_target(&mut self, citing: u32, year_off: usize, recency_cdf: &[f64]) -> Option<u32> {
+        let roll: f64 = self.rng.gen();
+        let p = &self.profile;
+        if roll < p.w_attention {
+            self.sample_attention(year_off)
+        } else if roll < p.w_attention + p.w_recency {
+            self.sample_recency(year_off, recency_cdf)
+        } else {
+            self.sample_background(citing)
+        }
+    }
+
+    /// Uniform draw from the citation events of the trailing window
+    /// (inclusive of the current year: attention is instantaneous within
+    /// the corpus's one-year time resolution).
+    fn sample_attention(&mut self, year_off: usize) -> Option<u32> {
+        let lo = year_off.saturating_sub(self.profile.attention_window as usize - 1);
+        let counts: Vec<usize> = (lo..=year_off)
+            .map(|y| self.events_by_year[y].len())
+            .collect();
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut k = self.rng.gen_range(0..total);
+        for (i, &c) in counts.iter().enumerate() {
+            if k < c {
+                return Some(self.events_by_year[lo + i][k]);
+            }
+            k -= c;
+        }
+        unreachable!("k < total by construction")
+    }
+
+    /// Cumulative year weights `count(year)·e^{decay·age}` for the recency
+    /// component, recomputed once per paper (years are few).
+    fn recency_year_cdf(&self, year_off: usize) -> Vec<f64> {
+        let mut cdf = Vec::with_capacity(year_off + 1);
+        let mut acc = 0.0;
+        for y in 0..=year_off {
+            let age = (year_off - y) as f64;
+            // Citation lag: freshly published work is under-cited until the
+            // community has had time to read it (Fig. 1a's delayed peak).
+            let lag = 1.0 - self.profile.citation_lag * (-1.2 * age).exp();
+            acc += self.papers_by_year[y].len() as f64
+                * (self.profile.recency_decay * age).exp()
+                * lag;
+            cdf.push(acc);
+        }
+        cdf
+    }
+
+    fn sample_recency(&mut self, year_off: usize, cdf: &[f64]) -> Option<u32> {
+        let total = *cdf.last()?;
+        if total <= 0.0 {
+            return None;
+        }
+        let x = self.rng.gen::<f64>() * total;
+        let year = cdf.partition_point(|&c| c <= x).min(year_off);
+        let papers = &self.papers_by_year[year];
+        if papers.is_empty() {
+            return None;
+        }
+        Some(papers[self.rng.gen_range(0..papers.len())])
+    }
+
+    /// Long-memory background: preferential on cumulative citations with a
+    /// 20% uniform escape (pure rich-get-richer would freeze the corpus on
+    /// its earliest hits; real bibliographies also cite obscure work).
+    fn sample_background(&mut self, citing: u32) -> Option<u32> {
+        if citing == 0 {
+            return None;
+        }
+        let total: usize = self.events_by_year.iter().map(Vec::len).sum();
+        if total == 0 || self.rng.gen_bool(0.2) {
+            return Some(self.rng.gen_range(0..citing));
+        }
+        let mut k = self.rng.gen_range(0..total);
+        for events in &self.events_by_year {
+            if k < events.len() {
+                return Some(events[k]);
+            }
+            k -= events.len();
+        }
+        unreachable!("k < total by construction")
+    }
+
+    /// Log-normal reference count, clamped to `[0, max_refs]`.
+    fn sample_ref_count(&mut self) -> usize {
+        if self.profile.refs_mean <= 0.0 {
+            return 0;
+        }
+        // Box–Muller from two uniforms; StdRng is fast enough here and this
+        // avoids a rand_distr dependency.
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        // Parameterize so the log-normal's *median* is refs_mean (keeps the
+        // clamp from shifting the mean too far for heavy sigmas).
+        let x = (self.profile.refs_mean.ln() + self.profile.refs_sigma * z).exp();
+        (x.round() as usize).min(self.profile.max_refs)
+    }
+
+    /// Authors via rich-get-richer: with probability shrinking as the pool
+    /// fills, mint a new author; otherwise repeat a previous author-event
+    /// (productivity becomes Zipf-like, as in the real corpora).
+    fn sample_authors(&mut self) -> Vec<u32> {
+        let mean = self.profile.authors_per_paper;
+        if mean <= 0.0 {
+            return Vec::new();
+        }
+        // Geometric-ish count with the requested mean, at least 1.
+        let mut count = 1;
+        while count < 12 && self.rng.gen_bool(1.0 - 1.0 / mean.max(1.0)) {
+            count += 1;
+        }
+        let mut authors = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pool_open = self.next_author < self.author_pool_max;
+            let mint = pool_open
+                && (self.author_events.is_empty()
+                    || self.rng.gen_bool(
+                        (1.0 - self.next_author as f64 / self.author_pool_max as f64)
+                            .clamp(0.05, 1.0),
+                    ));
+            let a = if mint {
+                let a = self.next_author;
+                self.next_author += 1;
+                a
+            } else if !self.author_events.is_empty() {
+                self.author_events[self.rng.gen_range(0..self.author_events.len())]
+            } else {
+                0
+            };
+            if !authors.contains(&a) {
+                authors.push(a);
+            }
+        }
+        for &a in &authors {
+            self.author_events.push(a);
+        }
+        authors
+    }
+
+    /// Adds phantom attention events for papers bursting this year and for
+    /// scheduled fitness boosts.
+    fn inject_burst_events(&mut self, year_off: usize, volume: usize) {
+        let boosts = std::mem::take(&mut self.fitness_schedule[year_off]);
+        for (paper, count) in boosts {
+            for _ in 0..count {
+                self.events_by_year[year_off].push(paper);
+            }
+        }
+        if self.burst_schedule[year_off].is_empty() {
+            return;
+        }
+        let phantom_per_paper =
+            ((self.profile.burst_boost * volume as f64).round() as usize).max(1);
+        let bursting = std::mem::take(&mut self.burst_schedule[year_off]);
+        for paper in bursting {
+            for _ in 0..phantom_per_paper {
+                self.events_by_year[year_off].push(paper);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citegraph::stats;
+
+    fn small_profile() -> DatasetProfile {
+        DatasetProfile::hepth().scaled(1500)
+    }
+
+    #[test]
+    fn generates_requested_paper_count() {
+        let net = generate(&small_profile(), 1);
+        assert_eq!(net.n_papers(), 1500);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&small_profile(), 7);
+        let b = generate(&small_profile(), 7);
+        assert_eq!(a.n_papers(), b.n_papers());
+        assert_eq!(a.n_citations(), b.n_citations());
+        assert_eq!(a.years(), b.years());
+        for p in 0..a.n_papers() as u32 {
+            assert_eq!(a.references(p), b.references(p));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_profile(), 1);
+        let b = generate(&small_profile(), 2);
+        assert_ne!(
+            a.n_citations(),
+            b.n_citations(),
+            "distinct seeds should yield distinct networks"
+        );
+    }
+
+    #[test]
+    fn mean_references_in_calibrated_range() {
+        let net = generate(&small_profile(), 3);
+        let mean = net.n_citations() as f64 / net.n_papers() as f64;
+        // Median-13 log-normal truncated by small early years: accept a
+        // broad but meaningful band.
+        assert!(
+            (5.0..25.0).contains(&mean),
+            "mean refs {mean} outside calibration band"
+        );
+    }
+
+    #[test]
+    fn years_span_profile_range() {
+        let p = small_profile();
+        let net = generate(&p, 4);
+        assert_eq!(net.first_year(), Some(p.start_year));
+        assert_eq!(net.current_year(), Some(p.end_year));
+    }
+
+    #[test]
+    fn metadata_present_per_profile() {
+        let hep = generate(&DatasetProfile::hepth().scaled(400), 5);
+        assert!(hep.authors().is_some());
+        assert!(hep.venues().is_none() || hep.venues().unwrap().n_venues() == 0);
+
+        let dblp = generate(&DatasetProfile::dblp().scaled(400), 5);
+        assert!(dblp.authors().is_some());
+        let venues = dblp.venues().expect("DBLP profile generates venues");
+        assert!(venues.n_venues() > 0);
+        // Every paper got a venue.
+        for paper in 0..dblp.n_papers() as u32 {
+            assert!(venues.venue_of(paper).is_some());
+        }
+    }
+
+    #[test]
+    fn citation_age_peaks_early_for_hepth() {
+        let net = generate(&DatasetProfile::hepth().scaled(3000), 11);
+        let dist = stats::citation_age_distribution(&net, 10);
+        // Fast field: the first three years hold most of the mass (real
+        // hep-th peaks at age 1 with ~28%; age 0 stays small from the
+        // citation lag).
+        let early: f64 = dist[..3].iter().sum();
+        assert!(
+            early > 0.5,
+            "hep-th early citation mass {early} too small: {dist:?}"
+        );
+        // And the tail decays.
+        assert!(dist[1] > dist[6], "age distribution must decay: {dist:?}");
+    }
+
+    #[test]
+    fn aps_ages_slower_than_hepth() {
+        let hep = generate(&DatasetProfile::hepth().scaled(3000), 13);
+        let aps = generate(&DatasetProfile::aps().scaled(3000), 13);
+        let dh = stats::citation_age_distribution(&hep, 10);
+        let da = stats::citation_age_distribution(&aps, 10);
+        let tail_h: f64 = dh[4..].iter().sum();
+        let tail_a: f64 = da[4..].iter().sum();
+        assert!(
+            tail_a > tail_h,
+            "APS must hold more old-citation mass (APS {tail_a} vs hep-th {tail_h})"
+        );
+    }
+
+    #[test]
+    fn attention_is_predictive_of_future_citations() {
+        // The heart of the substitution argument: papers popular in the
+        // recent window must keep collecting citations, so recent counts
+        // correlate positively with next-window counts.
+        let net = generate(&DatasetProfile::dblp().scaled(4000), 17);
+        let split = citegraph::ratio_split(&net, 1.6);
+        let recent = citegraph::window::recent_citation_counts(&split.current, 3);
+        let n_cur = split.current.n_papers();
+        let future_counts = split.future.citation_counts();
+        let current_counts = split.current.citation_counts();
+        let sti: Vec<f64> = (0..n_cur)
+            .map(|p| (future_counts[p] - current_counts[p]) as f64)
+            .collect();
+        let recent: Vec<f64> = recent.iter().map(|&c| c as f64).collect();
+        // Pearson on the raw values is enough for a sign check.
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mr, ms) = (mean(&recent), mean(&sti));
+        let cov: f64 = recent
+            .iter()
+            .zip(&sti)
+            .map(|(r, s)| (r - mr) * (s - ms))
+            .sum();
+        let vr: f64 = recent.iter().map(|r| (r - mr).powi(2)).sum();
+        let vs: f64 = sti.iter().map(|s| (s - ms).powi(2)).sum();
+        let corr = cov / (vr.sqrt() * vs.sqrt()).max(1e-12);
+        // Pearson on heavy-tailed counts is a conservative lower bound on
+        // the rank correlation the evaluation actually uses.
+        assert!(
+            corr > 0.2,
+            "recent attention must predict short-term impact (corr {corr})"
+        );
+    }
+
+    #[test]
+    fn bursts_create_late_bloomers() {
+        // With a hefty burst fraction, some paper must receive more
+        // citations in its 3rd+ year than in its first two.
+        let mut p = DatasetProfile::hepth().scaled(2500);
+        p.burst_fraction = 0.05;
+        p.burst_boost = 1.5;
+        let net = generate(&p, 23);
+        let mut found = false;
+        for paper in 0..net.n_papers() as u32 {
+            let series = stats::yearly_citations(&net, paper);
+            if series.len() < 5 {
+                continue;
+            }
+            let early: u32 = series[..2].iter().map(|&(_, c)| c).sum();
+            let late: u32 = series[2..5].iter().map(|&(_, c)| c).sum();
+            if late > early.saturating_mul(2) && late >= 10 {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected at least one delayed-burst paper");
+    }
+
+    #[test]
+    fn author_pool_respects_factor() {
+        let p = DatasetProfile::hepth().scaled(2000);
+        let net = generate(&p, 29);
+        let table = net.authors().unwrap();
+        let ceiling = (p.n_papers as f64 * p.author_pool_factor).ceil() as usize;
+        assert!(table.n_authors() <= ceiling + 1);
+        assert!(table.n_authors() > ceiling / 4, "pool should fill up");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid profile")]
+    fn invalid_profile_panics() {
+        let mut p = DatasetProfile::hepth();
+        p.w_uniform = 0.9; // breaks the mixture sum
+        let _ = Generator::new(p, 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Dataset growth profiles.
+//!
+//! One [`DatasetProfile`] per paper dataset, calibrated against the
+//! statistics the paper reports (§4.1 sizes, Fig. 1a citation-age shape,
+//! §4.2 fitted decay rates) plus the structural facts the methods consume
+//! (author multiplicity, venue availability).
+
+use citegraph::Year;
+
+/// Parameters of the synthetic citation-network growth process.
+///
+/// The three mixture weights `w_attention + w_recency + w_uniform` must sum
+/// to 1 (checked by [`DatasetProfile::validate`]); they control how each new
+/// reference picks its target, mirroring the three reading behaviours
+/// AttRank models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name used in reports ("hep-th", "APS", "PMC", "DBLP").
+    pub name: &'static str,
+    /// Total number of papers to generate.
+    pub n_papers: usize,
+    /// First publication year.
+    pub start_year: Year,
+    /// Last publication year (inclusive).
+    pub end_year: Year,
+    /// Exponential growth rate of papers per year (0 = flat output).
+    pub growth_rate: f64,
+    /// Mean references per paper (log-normal location, in linear space).
+    pub refs_mean: f64,
+    /// Log-normal dispersion (σ in log space) of the reference count.
+    pub refs_sigma: f64,
+    /// Hard cap on references per paper.
+    pub max_refs: usize,
+    /// Probability a reference target is drawn by *recent attention*
+    /// (preferential attachment restricted to the trailing window).
+    pub w_attention: f64,
+    /// Probability a reference target is drawn by recency
+    /// (∝ `e^{recency_decay · age}`).
+    pub w_recency: f64,
+    /// Probability a reference target is drawn uniformly (long-memory
+    /// background; old canonical papers keep accruing citations).
+    pub w_uniform: f64,
+    /// Width (years) of the attention window used while generating.
+    pub attention_window: u32,
+    /// Exponential age-decay rate for the recency component (negative).
+    /// This is the quantity the paper's §4.2 fit recovers as `w`.
+    pub recency_decay: f64,
+    /// Number of topics (reference targets prefer same-topic papers).
+    pub n_topics: usize,
+    /// Probability a reference is constrained to the citing paper's topic.
+    pub topic_affinity: f64,
+    /// Mean authors per paper.
+    pub authors_per_paper: f64,
+    /// Author pool size as a fraction of the paper count (e.g. APS has
+    /// ~0.78 authors per paper in the corpus; DBLP ~0.57).
+    pub author_pool_factor: f64,
+    /// Whether venue metadata is generated (paper: available for PMC and
+    /// DBLP only, §4.3).
+    pub with_venues: bool,
+    /// Venues per topic when `with_venues`.
+    pub venues_per_topic: usize,
+    /// Citation-lag strength in `[0, 1)`: the recency channel's weight for
+    /// a paper of age `a` is multiplied by `1 − lag·e^{−1.2a}`, suppressing
+    /// citations to papers published "yesterday". Real bibliographies show
+    /// this delay prominently (the paper's Fig. 1a: the bulk of citations
+    /// arrives 1–3 years after publication; §2 cites it as "citation lag").
+    pub citation_lag: f64,
+    /// Log-normal σ of per-paper *fitness* (Bianconi–Barabási style
+    /// intrinsic attractiveness). Fitness seeds phantom attention events at
+    /// birth, so high-fitness papers bootstrap into the preferential loop
+    /// and stay popular across years — the persistence behind the paper's
+    /// Table-1 observation that ~half the top-STI papers were already
+    /// popular. `0.0` disables the mechanism.
+    pub fitness_sigma: f64,
+    /// Scale of the birth boost: phantom events = `(fitness − 1)⁺ ×
+    /// refs_mean × fitness_boost`.
+    pub fitness_boost: f64,
+    /// Fraction of papers that experience a delayed popularity burst.
+    pub burst_fraction: f64,
+    /// Burst strength: phantom attention events per burst year, expressed
+    /// as a fraction of that year's new-paper count (scale-invariant).
+    pub burst_boost: f64,
+    /// Years after publication at which a burst starts.
+    pub burst_delay: u32,
+    /// Burst length in years.
+    pub burst_duration: u32,
+}
+
+impl DatasetProfile {
+    /// arXiv hep-th (KDD cup 2003): ~27k papers, 350k refs, 1992–2003,
+    /// 12k authors, no venues. Fast-moving field: citations peak within a
+    /// year of publication (fitted `w = −0.48`), trends turn over quickly.
+    pub fn hepth() -> Self {
+        Self {
+            name: "hep-th",
+            n_papers: 12_000,
+            start_year: 1992,
+            end_year: 2003,
+            growth_rate: 0.12,
+            refs_mean: 13.0, // 350k/27k ≈ 13 refs/paper
+            refs_sigma: 0.6,
+            max_refs: 60,
+            w_attention: 0.55,
+            w_recency: 0.25,
+            w_uniform: 0.20,
+            attention_window: 2,
+            recency_decay: -0.48,
+            n_topics: 8,
+            topic_affinity: 0.7,
+            authors_per_paper: 2.0,
+            author_pool_factor: 0.45, // 12k authors / 27k papers
+            with_venues: false,
+            venues_per_topic: 0,
+            citation_lag: 0.85,
+            fitness_sigma: 1.0,
+            fitness_boost: 0.8,
+            burst_fraction: 0.01,
+            burst_boost: 0.5,
+            burst_delay: 2,
+            burst_duration: 2,
+        }
+    }
+
+    /// American Physical Society: ~500k papers, 6M refs, 1893–2014,
+    /// 389k authors, no venue metadata used. Slow field: citations keep
+    /// arriving for years (fitted `w = −0.12`).
+    pub fn aps() -> Self {
+        Self {
+            name: "APS",
+            n_papers: 24_000,
+            start_year: 1950, // compressed from 1893 — early decades are sparse
+            end_year: 2014,
+            growth_rate: 0.05,
+            refs_mean: 12.0, // 6M/500k
+            refs_sigma: 0.5,
+            max_refs: 60,
+            w_attention: 0.40,
+            w_recency: 0.25,
+            w_uniform: 0.35,
+            attention_window: 3,
+            recency_decay: -0.12,
+            n_topics: 10,
+            topic_affinity: 0.65,
+            authors_per_paper: 3.0,
+            author_pool_factor: 0.78,
+            with_venues: false,
+            venues_per_topic: 0,
+            citation_lag: 0.9,
+            fitness_sigma: 1.0,
+            fitness_boost: 0.9,
+            burst_fraction: 0.008,
+            burst_boost: 0.4,
+            burst_delay: 4,
+            burst_duration: 3,
+        }
+    }
+
+    /// PubMed Central open-access subset: ~1M papers but only 665k refs
+    /// (very sparse within-corpus citation coverage), 1896–2016, 5M
+    /// authors, venues available. Fitted `w = −0.16`.
+    pub fn pmc() -> Self {
+        Self {
+            name: "PMC",
+            n_papers: 24_000,
+            start_year: 1970,
+            end_year: 2016,
+            growth_rate: 0.09,
+            refs_mean: 0.9, // 665k/1M ≈ 0.66; slight lift keeps graph connected
+            refs_sigma: 1.0,
+            max_refs: 20,
+            w_attention: 0.50,
+            w_recency: 0.30,
+            w_uniform: 0.20,
+            attention_window: 3,
+            recency_decay: -0.16,
+            n_topics: 12,
+            topic_affinity: 0.7,
+            authors_per_paper: 5.0,
+            author_pool_factor: 2.5, // 5M authors / 1M papers — huge pool
+            with_venues: true,
+            venues_per_topic: 6,
+            citation_lag: 0.9,
+            fitness_sigma: 1.0,
+            fitness_boost: 0.9,
+            burst_fraction: 0.012,
+            burst_boost: 0.5,
+            burst_delay: 3,
+            burst_duration: 2,
+        }
+    }
+
+    /// DBLP (aminer citation dump): ~3M papers, 25M refs, 1936–2018, 1.7M
+    /// authors, venues available. Fitted `w = −0.16`; strong growth.
+    pub fn dblp() -> Self {
+        Self {
+            name: "DBLP",
+            n_papers: 30_000,
+            start_year: 1970,
+            end_year: 2018,
+            growth_rate: 0.10,
+            refs_mean: 8.0, // 25M/3M
+            refs_sigma: 0.7,
+            max_refs: 50,
+            w_attention: 0.55,
+            w_recency: 0.20,
+            w_uniform: 0.25,
+            attention_window: 3,
+            recency_decay: -0.16,
+            n_topics: 14,
+            topic_affinity: 0.7,
+            authors_per_paper: 2.8,
+            author_pool_factor: 0.57,
+            with_venues: true,
+            venues_per_topic: 8,
+            citation_lag: 0.9,
+            fitness_sigma: 1.0,
+            fitness_boost: 0.9,
+            burst_fraction: 0.012,
+            burst_boost: 0.5,
+            burst_delay: 3,
+            burst_duration: 3,
+        }
+    }
+
+    /// All four paper datasets in presentation order.
+    pub fn all_paper_datasets() -> Vec<Self> {
+        vec![Self::hepth(), Self::aps(), Self::pmc(), Self::dblp()]
+    }
+
+    /// Returns the profile resized to `n_papers`, keeping all per-paper
+    /// statistics. Use this to trade fidelity for speed in tests.
+    pub fn scaled(mut self, n_papers: usize) -> Self {
+        self.n_papers = n_papers;
+        self
+    }
+
+    /// Checks internal consistency; called by the generator.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_papers == 0 {
+            return Err("n_papers must be positive".into());
+        }
+        if self.end_year < self.start_year {
+            return Err(format!(
+                "end_year {} before start_year {}",
+                self.end_year, self.start_year
+            ));
+        }
+        if self.n_papers < self.n_years() {
+            return Err(format!(
+                "n_papers {} smaller than the {}-year span (each year needs ≥1 paper)",
+                self.n_papers,
+                self.n_years()
+            ));
+        }
+        let s = self.w_attention + self.w_recency + self.w_uniform;
+        if (s - 1.0).abs() > 1e-9 {
+            return Err(format!("mixture weights sum to {s}, expected 1"));
+        }
+        if self.w_attention < 0.0 || self.w_recency < 0.0 || self.w_uniform < 0.0 {
+            return Err("mixture weights must be non-negative".into());
+        }
+        if self.recency_decay > 0.0 {
+            return Err("recency_decay must be ≤ 0".into());
+        }
+        if self.attention_window == 0 {
+            return Err("attention_window must be ≥ 1".into());
+        }
+        if self.n_topics == 0 {
+            return Err("need at least one topic".into());
+        }
+        if self.refs_mean < 0.0 || self.refs_sigma < 0.0 {
+            return Err("reference distribution parameters must be non-negative".into());
+        }
+        if !(0.0..=1.0).contains(&self.topic_affinity) {
+            return Err("topic_affinity must be in [0,1]".into());
+        }
+        if !(0.0..1.0).contains(&self.citation_lag) {
+            return Err("citation_lag must be in [0,1)".into());
+        }
+        if !(0.0..=1.0).contains(&self.burst_fraction) {
+            return Err("burst_fraction must be in [0,1]".into());
+        }
+        if self.with_venues && self.venues_per_topic == 0 {
+            return Err("with_venues requires venues_per_topic ≥ 1".into());
+        }
+        Ok(())
+    }
+
+    /// Number of years the profile spans.
+    pub fn n_years(&self) -> usize {
+        (self.end_year - self.start_year + 1) as usize
+    }
+
+    /// Papers to publish in each year: exponential growth normalized to
+    /// `n_papers`, with at least one paper in every year.
+    pub fn papers_per_year(&self) -> Vec<usize> {
+        let ny = self.n_years();
+        let weights: Vec<f64> = (0..ny)
+            .map(|i| (self.growth_rate * i as f64).exp())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut counts: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * self.n_papers as f64).floor().max(1.0) as usize)
+            .collect();
+        // Fix rounding drift by adjusting the final (largest) year.
+        let assigned: usize = counts.iter().sum();
+        let last = ny - 1;
+        if assigned < self.n_papers {
+            counts[last] += self.n_papers - assigned;
+        } else {
+            let mut excess = assigned - self.n_papers;
+            // Trim from the end, never below 1 paper per year.
+            for c in counts.iter_mut().rev() {
+                if excess == 0 {
+                    break;
+                }
+                let take = excess.min(c.saturating_sub(1));
+                *c -= take;
+                excess -= take;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for p in DatasetProfile::all_paper_datasets() {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn preset_decay_rates_match_paper() {
+        assert_eq!(DatasetProfile::hepth().recency_decay, -0.48);
+        assert_eq!(DatasetProfile::aps().recency_decay, -0.12);
+        assert_eq!(DatasetProfile::pmc().recency_decay, -0.16);
+        assert_eq!(DatasetProfile::dblp().recency_decay, -0.16);
+    }
+
+    #[test]
+    fn venue_availability_matches_paper() {
+        assert!(!DatasetProfile::hepth().with_venues);
+        assert!(!DatasetProfile::aps().with_venues);
+        assert!(DatasetProfile::pmc().with_venues);
+        assert!(DatasetProfile::dblp().with_venues);
+    }
+
+    #[test]
+    fn papers_per_year_sums_exactly() {
+        for p in DatasetProfile::all_paper_datasets() {
+            let counts = p.papers_per_year();
+            assert_eq!(counts.len(), p.n_years());
+            assert_eq!(counts.iter().sum::<usize>(), p.n_papers, "{}", p.name);
+            assert!(counts.iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn papers_per_year_grows_with_positive_rate() {
+        let p = DatasetProfile::dblp().scaled(5000);
+        let counts = p.papers_per_year();
+        assert!(
+            counts.last().unwrap() > counts.first().unwrap(),
+            "publication volume must grow"
+        );
+    }
+
+    #[test]
+    fn scaled_changes_only_size() {
+        let p = DatasetProfile::aps().scaled(1234);
+        assert_eq!(p.n_papers, 1234);
+        assert_eq!(p.recency_decay, DatasetProfile::aps().recency_decay);
+    }
+
+    #[test]
+    fn validation_rejects_bad_weights() {
+        let mut p = DatasetProfile::hepth();
+        p.w_attention = 0.9;
+        assert!(p.validate().unwrap_err().contains("sum"));
+    }
+
+    #[test]
+    fn validation_rejects_positive_decay() {
+        let mut p = DatasetProfile::hepth();
+        p.recency_decay = 0.2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inverted_years() {
+        let mut p = DatasetProfile::hepth();
+        p.end_year = p.start_year - 1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_papers() {
+        let p = DatasetProfile::hepth().scaled(0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_scale_keeps_every_year_populated() {
+        // Fewer papers than years: each year still gets its minimum 1 and
+        // the excess is trimmed so the total matches.
+        let p = DatasetProfile::aps().scaled(70);
+        let counts = p.papers_per_year();
+        assert_eq!(counts.iter().sum::<usize>(), 70);
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+}

@@ -1,0 +1,187 @@
+//! Paired-bootstrap confidence intervals for metric differences.
+//!
+//! The paper compares tuned methods by point estimates ("AttRank increases
+//! correlation by up to 0.077 units"). On synthetic data we additionally
+//! want to know whether such gaps survive resampling noise: the paired
+//! bootstrap resamples *papers* with replacement and recomputes both
+//! methods' metrics on each resample, yielding a confidence interval for
+//! the difference. If the interval excludes zero, the win is robust.
+//!
+//! Resampling papers is the right unit here because both rankings and the
+//! ground truth are per-paper; the pairing (same resample applied to both
+//! methods) cancels the shared variance of the STI draw.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metric;
+
+/// Result of a paired bootstrap comparison of two methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapComparison {
+    /// Point estimate of `metric(a) − metric(b)` on the full data.
+    pub observed_diff: f64,
+    /// Mean of the bootstrap differences.
+    pub mean_diff: f64,
+    /// Lower bound of the percentile confidence interval.
+    pub ci_low: f64,
+    /// Upper bound of the percentile confidence interval.
+    pub ci_high: f64,
+    /// Fraction of resamples where `a` beat `b` strictly.
+    pub win_rate: f64,
+    /// Number of bootstrap resamples used.
+    pub resamples: usize,
+}
+
+impl BootstrapComparison {
+    /// `true` when the confidence interval excludes zero (a robust win for
+    /// whichever side the observed difference favours).
+    pub fn significant(&self) -> bool {
+        self.ci_low > 0.0 || self.ci_high < 0.0
+    }
+}
+
+/// Runs a paired bootstrap comparing `scores_a` vs `scores_b` against the
+/// shared ground truth `sti` under `metric`.
+///
+/// `confidence` is the two-sided level (e.g. 0.95); `resamples` of 1000+
+/// is customary. Deterministic given `seed`.
+///
+/// # Panics
+/// Panics on length mismatches, `resamples == 0`, or a confidence level
+/// outside `(0, 1)`.
+pub fn paired_bootstrap(
+    scores_a: &[f64],
+    scores_b: &[f64],
+    sti: &[f64],
+    metric: Metric,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> BootstrapComparison {
+    assert_eq!(scores_a.len(), sti.len(), "scores_a length mismatch");
+    assert_eq!(scores_b.len(), sti.len(), "scores_b length mismatch");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence {confidence} outside (0,1)"
+    );
+    let n = sti.len();
+    let observed_diff =
+        metric.evaluate(scores_a, sti) - metric.evaluate(scores_b, sti);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut diffs = Vec::with_capacity(resamples);
+    let mut wins = 0usize;
+    let mut ra = Vec::with_capacity(n);
+    let mut rb = Vec::with_capacity(n);
+    let mut rs = Vec::with_capacity(n);
+    for _ in 0..resamples {
+        ra.clear();
+        rb.clear();
+        rs.clear();
+        for _ in 0..n {
+            let j = rng.gen_range(0..n);
+            ra.push(scores_a[j]);
+            rb.push(scores_b[j]);
+            rs.push(sti[j]);
+        }
+        let d = metric.evaluate(&ra, &rs) - metric.evaluate(&rb, &rs);
+        if d > 0.0 {
+            wins += 1;
+        }
+        diffs.push(d);
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let tail = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64) * tail).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - tail)).ceil() as usize)
+        .saturating_sub(1)
+        .min(resamples - 1);
+    let mean_diff = diffs.iter().sum::<f64>() / resamples as f64;
+
+    BootstrapComparison {
+        observed_diff,
+        mean_diff,
+        ci_low: diffs[lo_idx],
+        ci_high: diffs[hi_idx],
+        win_rate: wins as f64 / resamples as f64,
+        resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ground truth plus a good and a bad ranking over it.
+    fn fixture(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let sti: Vec<f64> = (0..n).map(|i| ((i * 7) % 23) as f64).collect();
+        // good = sti with mild noise, bad = anti-correlated.
+        let good: Vec<f64> = sti
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + ((i % 3) as f64) * 0.1)
+            .collect();
+        let bad: Vec<f64> = sti.iter().map(|&s| -s).collect();
+        (sti, good, bad)
+    }
+
+    #[test]
+    fn clear_winner_is_significant() {
+        let (sti, good, bad) = fixture(300);
+        let cmp = paired_bootstrap(&good, &bad, &sti, Metric::Spearman, 500, 0.95, 1);
+        assert!(cmp.observed_diff > 1.0, "good vs bad gap must be large");
+        assert!(cmp.significant());
+        assert!(cmp.win_rate > 0.99);
+        assert!(cmp.ci_low > 0.0);
+        assert!(cmp.ci_low <= cmp.ci_high);
+    }
+
+    #[test]
+    fn self_comparison_is_null() {
+        let (sti, good, _) = fixture(200);
+        let cmp = paired_bootstrap(&good, &good, &sti, Metric::Spearman, 300, 0.95, 2);
+        assert_eq!(cmp.observed_diff, 0.0);
+        assert_eq!(cmp.mean_diff, 0.0);
+        assert!(!cmp.significant());
+        assert_eq!(cmp.win_rate, 0.0, "strict wins never happen against self");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (sti, good, bad) = fixture(150);
+        let a = paired_bootstrap(&good, &bad, &sti, Metric::NdcgAt(10), 200, 0.9, 7);
+        let b = paired_bootstrap(&good, &bad, &sti, Metric::NdcgAt(10), 200, 0.9, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_in_sign() {
+        let (sti, good, bad) = fixture(150);
+        let ab = paired_bootstrap(&good, &bad, &sti, Metric::Spearman, 300, 0.95, 3);
+        let ba = paired_bootstrap(&bad, &good, &sti, Metric::Spearman, 300, 0.95, 3);
+        assert!((ab.observed_diff + ba.observed_diff).abs() < 1e-12);
+        assert!((ab.ci_low + ba.ci_high).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_contains_mean() {
+        let (sti, good, bad) = fixture(100);
+        let cmp = paired_bootstrap(&good, &bad, &sti, Metric::Spearman, 400, 0.95, 5);
+        assert!(cmp.ci_low <= cmp.mean_diff && cmp.mean_diff <= cmp.ci_high);
+        assert_eq!(cmp.resamples, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = paired_bootstrap(&[1.0], &[1.0, 2.0], &[1.0], Metric::Spearman, 10, 0.9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1)")]
+    fn bad_confidence_panics() {
+        let _ = paired_bootstrap(&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0], Metric::Spearman, 10, 1.0, 0);
+    }
+}

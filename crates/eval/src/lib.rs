@@ -1,0 +1,34 @@
+//! # rankeval — evaluation harness for short-term-impact ranking
+//!
+//! Implements the full evaluation protocol of the AttRank paper (§4):
+//!
+//! * [`sti`] — the ground truth: each paper's **short-term impact**,
+//!   `STI(p; t_N, τ) = Σ_j (C(t_N+τ)[p,j] − C(t_N)[p,j])`, computed from a
+//!   current/future split of the network;
+//! * [`metrics`] — Spearman's ρ (tie-aware), nDCG@k with STI gains,
+//!   Kendall's τ-b, and top-k overlap;
+//! * [`tuning`] — the exhaustive parameter grids of Tables 3 & 4 and a
+//!   parallel grid-search tuner (the paper tunes every competitor per
+//!   experimental setting for fairness);
+//! * [`experiment`] — the end-to-end pipelines behind each figure:
+//!   comparative sweeps over test ratios (Figs. 3–5), α–β–y heatmaps
+//!   (Figs. 2, 6, 7), the Table-1 recently-popular analysis, and the §4.4
+//!   convergence comparison;
+//! * [`report`] — plain-text table and CSV rendering for experiment output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod robustness;
+pub mod sti;
+pub mod tuning;
+
+pub use bootstrap::{paired_bootstrap, BootstrapComparison};
+pub use metrics::{kendall_tau_b, ndcg_at_k, spearman_rho, top_k_overlap, Metric};
+pub use robustness::{seed_sweep, MethodRobustness};
+pub use sti::{ground_truth_sti, sti_ranking};
+pub use tuning::{tune, MethodSpace, TunedResult};

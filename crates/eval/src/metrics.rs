@@ -1,0 +1,451 @@
+//! Rank-agreement metrics (paper §4.1).
+//!
+//! Both effectiveness measures compare a method's ranking against the
+//! ground-truth STI ranking:
+//!
+//! * **Spearman's ρ** — overall rank correlation, computed tie-aware (as
+//!   Pearson correlation of fractional ranks; citation data is almost all
+//!   ties at STI = 0);
+//! * **nDCG@k** — top-of-ranking agreement, with the STI value as the
+//!   graded relevance `rel(i)`;
+//! * **Kendall's τ-b** — a second correlation view (not in the paper's
+//!   headline plots but standard in the survey literature), implemented in
+//!   `O(n log n)` via inversion counting;
+//! * **top-k overlap** — the fraction of the true top-k a method recovers.
+
+use sparsela::{average_ranks, sort_indices_desc};
+
+/// Which effectiveness measure an experiment optimizes/report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Spearman's ρ against the STI ranking.
+    Spearman,
+    /// nDCG with cutoff `k`.
+    NdcgAt(usize),
+    /// Kendall's τ-b against the STI ranking.
+    KendallTauB,
+    /// |method top-k ∩ truth top-k| / k.
+    TopKOverlap(usize),
+}
+
+impl Metric {
+    /// Evaluates the metric for `scores` against ground-truth `sti`.
+    pub fn evaluate(&self, scores: &[f64], sti: &[f64]) -> f64 {
+        match *self {
+            Metric::Spearman => spearman_rho(scores, sti),
+            Metric::NdcgAt(k) => ndcg_at_k(scores, sti, k),
+            Metric::KendallTauB => kendall_tau_b(scores, sti),
+            Metric::TopKOverlap(k) => top_k_overlap(scores, sti, k),
+        }
+    }
+
+    /// Short label for report headers.
+    pub fn label(&self) -> String {
+        match *self {
+            Metric::Spearman => "spearman".into(),
+            Metric::NdcgAt(k) => format!("ndcg@{k}"),
+            Metric::KendallTauB => "kendall".into(),
+            Metric::TopKOverlap(k) => format!("top{k}-overlap"),
+        }
+    }
+}
+
+/// Spearman's rank correlation with average-rank tie handling.
+///
+/// Defined as the Pearson correlation of the two fractional-rank vectors,
+/// which equals the classical `1 − 6Σd²/(n(n²−1))` formula when there are
+/// no ties. Returns 0 for degenerate inputs (fewer than 2 items, or either
+/// vector constant).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let (da, db) = (a - mx, b - my);
+        cov += da * db;
+        vx += da * da;
+        vy += db * db;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// nDCG@k with the ground-truth STI as graded relevance (paper §4.1):
+/// `DCG@k = Σ_{i=1..k} rel(i)/log₂(i+1)` over the method's ranking, divided
+/// by the ideal DCG from ranking by STI itself.
+///
+/// Returns 1.0 when the ideal DCG is zero (no paper has any future
+/// citations — every ranking is vacuously perfect).
+///
+/// # Panics
+/// Panics if lengths differ or `k == 0`.
+pub fn ndcg_at_k(scores: &[f64], sti: &[f64], k: usize) -> f64 {
+    assert_eq!(scores.len(), sti.len(), "ndcg: length mismatch");
+    assert!(k > 0, "ndcg requires k ≥ 1");
+    let order = sort_indices_desc(scores);
+    let ideal = sort_indices_desc(sti);
+    let k = k.min(order.len());
+    let mut dcg = 0.0;
+    let mut idcg = 0.0;
+    for i in 0..k {
+        let discount = 1.0 / ((i + 2) as f64).log2();
+        dcg += sti[order[i] as usize] * discount;
+        idcg += sti[ideal[i] as usize] * discount;
+    }
+    if idcg <= 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Kendall's τ-b in `O(n log n)` (Knight's algorithm), with tie corrections
+/// in both variables. Returns 0 for degenerate inputs.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn kendall_tau_b(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "kendall: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    // Sort items by (a, b).
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| {
+        a[i].partial_cmp(&a[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b[i].partial_cmp(&b[j]).unwrap_or(std::cmp::Ordering::Equal))
+    });
+
+    let pairs = |m: u64| m * (m - 1) / 2;
+    let n0 = pairs(n as u64);
+
+    // Ties in a (n1), and joint ties (n3).
+    let mut n1 = 0u64;
+    let mut n3 = 0u64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && a[idx[j]] == a[idx[i]] {
+                j += 1;
+            }
+            n1 += pairs((j - i) as u64);
+            // joint ties within the a-group
+            let mut p = i;
+            while p < j {
+                let mut q = p + 1;
+                while q < j && b[idx[q]] == b[idx[p]] {
+                    q += 1;
+                }
+                n3 += pairs((q - p) as u64);
+                p = q;
+            }
+            i = j;
+        }
+    }
+
+    // Ties in b (n2).
+    let mut bs: Vec<f64> = b.to_vec();
+    bs.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let mut n2 = 0u64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && bs[j] == bs[i] {
+                j += 1;
+            }
+            n2 += pairs((j - i) as u64);
+            i = j;
+        }
+    }
+
+    // Count swaps (inversions in b once sorted by a) by merge sort.
+    let mut seq: Vec<f64> = idx.iter().map(|&i| b[i]).collect();
+    let mut buf = vec![0.0; n];
+    let swaps = merge_count(&mut seq, &mut buf);
+
+    let concordant_minus_discordant =
+        n0 as i64 - n1 as i64 - n2 as i64 + n3 as i64 - 2 * swaps as i64;
+    let denom = (((n0 - n1) as f64) * ((n0 - n2) as f64)).sqrt();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        concordant_minus_discordant as f64 / denom
+    }
+}
+
+/// Counts inversions (strictly descending pairs) while merge-sorting.
+fn merge_count(v: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = v.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let mut inv = {
+        let (l, r) = v.split_at_mut(mid);
+        merge_count(l, buf) + merge_count(r, buf)
+    };
+    // Merge, counting pairs (i from left, j from right) with v[i] > v[j].
+    let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+    while i < mid && j < n {
+        if v[i] <= v[j] {
+            buf[k] = v[i];
+            i += 1;
+        } else {
+            buf[k] = v[j];
+            j += 1;
+            inv += (mid - i) as u64;
+        }
+        k += 1;
+    }
+    while i < mid {
+        buf[k] = v[i];
+        i += 1;
+        k += 1;
+    }
+    while j < n {
+        buf[k] = v[j];
+        j += 1;
+        k += 1;
+    }
+    v.copy_from_slice(&buf[..n]);
+    inv
+}
+
+/// Fraction of the ground-truth top-k the method's top-k recovers.
+///
+/// # Panics
+/// Panics if lengths differ or `k == 0`.
+pub fn top_k_overlap(scores: &[f64], sti: &[f64], k: usize) -> f64 {
+    assert_eq!(scores.len(), sti.len(), "overlap: length mismatch");
+    assert!(k > 0, "overlap requires k ≥ 1");
+    let k = k.min(scores.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let mut truth: Vec<u32> = sort_indices_desc(sti);
+    truth.truncate(k);
+    truth.sort_unstable();
+    let mut got: Vec<u32> = sort_indices_desc(scores);
+    got.truncate(k);
+    let hits = got
+        .iter()
+        .filter(|p| truth.binary_search(p).is_ok())
+        .count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rho(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_matches_classic_formula_without_ties() {
+        // Classic example: d² sum with no ties.
+        let a = [86.0, 97.0, 99.0, 100.0, 101.0, 103.0, 106.0, 110.0, 112.0, 113.0];
+        let b = [0.0, 20.0, 28.0, 27.0, 50.0, 29.0, 7.0, 17.0, 6.0, 12.0];
+        // scipy.stats.spearmanr gives ρ = -0.17575757…
+        assert!((spearman_rho(&a, &b) - (-0.17575757575757575)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_mass_ties() {
+        // Mostly-zero STI vectors are the norm in citation data.
+        let a = [5.0, 4.0, 0.0, 0.0, 0.0, 0.0];
+        let b = [9.0, 7.0, 0.0, 0.0, 0.0, 0.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_constant_vector_is_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(spearman_rho(&a, &b), 0.0);
+        assert_eq!(spearman_rho(&b, &b.map(|_| 0.0)), 0.0);
+    }
+
+    #[test]
+    fn spearman_symmetry() {
+        let a = [0.3, 0.9, 0.2, 0.7];
+        let b = [1.0, 0.5, 0.25, 0.125];
+        assert!((spearman_rho(&a, &b) - spearman_rho(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let sti = [9.0, 7.0, 3.0, 1.0, 0.0];
+        assert!((ndcg_at_k(&sti, &sti, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_worst_ranking_below_one() {
+        let sti = [9.0, 7.0, 3.0, 1.0, 0.0];
+        let rev = [0.0, 1.0, 3.0, 7.0, 9.0];
+        let v = ndcg_at_k(&rev, &sti, 3);
+        assert!((0.0..1.0).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn ndcg_hand_computed() {
+        // method order: [1, 0] → rel = [3, 5]; ideal = [5, 3].
+        let scores = [1.0, 2.0];
+        let sti = [5.0, 3.0];
+        let dcg = 3.0 / 2f64.log2() + 5.0 / 3f64.log2();
+        let idcg = 5.0 / 2f64.log2() + 3.0 / 3f64.log2();
+        assert!((ndcg_at_k(&scores, &sti, 2) - dcg / idcg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_zero_ideal_is_one() {
+        let sti = [0.0; 4];
+        let scores = [0.4, 0.3, 0.2, 0.1];
+        assert_eq!(ndcg_at_k(&scores, &sti, 2), 1.0);
+    }
+
+    #[test]
+    fn ndcg_k_larger_than_n_clamps() {
+        let sti = [2.0, 1.0];
+        assert!((ndcg_at_k(&sti, &sti, 50) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_matches_bruteforce() {
+        fn brute(a: &[f64], b: &[f64]) -> f64 {
+            let n = a.len();
+            let (mut c, mut d, mut tx, mut ty) = (0i64, 0i64, 0i64, 0i64);
+            // NB: not f64::signum — Rust defines (0.0).signum() == 1.0,
+            // which would misclassify ties.
+            let sign = |x: f64, y: f64| -> i8 {
+                if x > y {
+                    1
+                } else if x < y {
+                    -1
+                } else {
+                    0
+                }
+            };
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let sa = sign(a[i], a[j]);
+                    let sb = sign(b[i], b[j]);
+                    if sa == 0 && sb == 0 {
+                        // joint tie: counts toward neither
+                    } else if sa == 0 {
+                        tx += 1;
+                    } else if sb == 0 {
+                        ty += 1;
+                    } else if sa == sb {
+                        c += 1;
+                    } else {
+                        d += 1;
+                    }
+                }
+            }
+            let denom = (((c + d + tx) as f64) * ((c + d + ty) as f64)).sqrt();
+            if denom == 0.0 {
+                0.0
+            } else {
+                (c - d) as f64 / denom
+            }
+        }
+        let cases: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]),
+            (vec![1.0, 2.0, 3.0, 4.0], vec![1.0, 3.0, 2.0, 4.0]),
+            (
+                vec![0.0, 0.0, 1.0, 2.0, 2.0, 5.0],
+                vec![1.0, 0.0, 0.0, 3.0, 3.0, 3.0],
+            ),
+            (vec![7.0; 5], vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+            (
+                vec![0.1, 0.9, 0.4, 0.4, 0.7, 0.2, 0.9],
+                vec![5.0, 1.0, 4.0, 4.0, 2.0, 6.0, 1.0],
+            ),
+        ];
+        for (a, b) in cases {
+            let fast = kendall_tau_b(&a, &b);
+            let slow = brute(&a, &b);
+            assert!(
+                (fast - slow).abs() < 1e-12,
+                "mismatch on {a:?} vs {b:?}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn kendall_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau_b(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau_b(&a, &r) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_overlap_basics() {
+        let sti = [9.0, 8.0, 1.0, 0.0];
+        let good = [0.9, 0.8, 0.1, 0.0];
+        let bad = [0.0, 0.1, 0.8, 0.9];
+        assert_eq!(top_k_overlap(&good, &sti, 2), 1.0);
+        assert_eq!(top_k_overlap(&bad, &sti, 2), 0.0);
+    }
+
+    #[test]
+    fn top_k_overlap_partial() {
+        let sti = [9.0, 8.0, 7.0, 0.0];
+        let scores = [0.9, 0.0, 0.5, 0.6]; // top-3: {0, 3, 2} vs truth {0,1,2}
+        assert!((top_k_overlap(&scores, &sti, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_enum_dispatch() {
+        let sti = [3.0, 2.0, 1.0];
+        assert!((Metric::Spearman.evaluate(&sti, &sti) - 1.0).abs() < 1e-12);
+        assert!((Metric::NdcgAt(2).evaluate(&sti, &sti) - 1.0).abs() < 1e-12);
+        assert!((Metric::KendallTauB.evaluate(&sti, &sti) - 1.0).abs() < 1e-12);
+        assert_eq!(Metric::TopKOverlap(2).evaluate(&sti, &sti), 1.0);
+        assert_eq!(Metric::NdcgAt(50).label(), "ndcg@50");
+        assert_eq!(Metric::Spearman.label(), "spearman");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = spearman_rho(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn ndcg_zero_k_panics() {
+        let _ = ndcg_at_k(&[1.0], &[1.0], 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Plain-text and CSV rendering of experiment output.
+//!
+//! The `repro` binary prints the paper's tables/series through these
+//! helpers; CSV twins land next to the text output so the series can be
+//! re-plotted.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders an aligned text table. Columns are sized to the widest cell.
+///
+/// ```
+/// let t = rankeval::report::text_table(
+///     &["method", "rho"],
+///     &[vec!["AR".into(), "0.63".into()], vec!["RAM".into(), "0.58".into()]],
+/// );
+/// assert!(t.contains("method"));
+/// assert!(t.lines().count() == 4); // header + rule + 2 rows
+/// ```
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "{:<width$}", h, width = widths[i] + 2);
+    }
+    out.push('\n');
+    let rule_len: usize = widths.iter().map(|w| w + 2).sum();
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:<width$}", cell, width = widths[i] + 2);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes rows as CSV (comma-separated; cells containing commas or
+/// quotes are quoted per RFC 4180).
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape_csv(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        out.push_str(
+            &row.iter()
+                .map(|c| escape_csv(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_csv(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Writes CSV to `path`, creating parent directories.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_csv(headers, rows))
+}
+
+/// Formats a float with the 3–4 significant decimals the paper uses.
+pub fn fmt_metric(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats an optional heatmap cell.
+pub fn fmt_cell(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.4}"),
+        None => "  -  ".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_alignment() {
+        let t = text_table(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "1" and "2" start at the same offset.
+        let off1 = lines[2].find('1').unwrap();
+        let off2 = lines[3].find('2').unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        let _ = text_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let csv = to_csv(
+            &["name", "note"],
+            &[vec!["a,b".into(), "say \"hi\"".into()]],
+        );
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_plain() {
+        let csv = to_csv(&["x"], &[vec!["1".into()], vec!["2".into()]]);
+        assert_eq!(csv, "x\n1\n2\n");
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("rankeval_report_test");
+        let path = dir.join("nested").join("out.csv");
+        write_csv(&path, &["a"], &[vec!["1".into()]]).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(0.63156), "0.6316");
+        assert_eq!(fmt_cell(None), "  -  ");
+        assert_eq!(fmt_cell(Some(0.5)), "0.5000");
+    }
+}

@@ -1,0 +1,147 @@
+//! Multi-seed robustness analysis.
+//!
+//! Synthetic reproductions have a degree of freedom real evaluations lack:
+//! the generator seed. A claimed shape ("AttRank beats NO-ATT") is only a
+//! reproduction result if it holds across seeds, not on one lucky draw.
+//! [`seed_sweep`] reruns a comparative experiment over several seeds and
+//! aggregates per-method mean ± standard deviation, plus how often each
+//! method placed first.
+
+use citegen::DatasetProfile;
+
+use crate::experiment::{comparative_at_ratio, prepare};
+use crate::metrics::Metric;
+
+/// Aggregated per-method outcome of a seed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodRobustness {
+    /// Method name ("AR", "CR", …).
+    pub method: String,
+    /// Mean best metric value across seeds.
+    pub mean: f64,
+    /// Sample standard deviation across seeds (0 for a single seed).
+    pub std_dev: f64,
+    /// Number of seeds where this method ranked strictly first.
+    pub wins: usize,
+    /// Per-seed values (aligned with the seed list passed in).
+    pub values: Vec<f64>,
+}
+
+/// Runs the Fig-3/4-style tuned comparison for every seed and aggregates.
+///
+/// Methods missing on some seeds (never happens in practice — the method
+/// set is venue-determined, which is profile-stable) would be dropped.
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+pub fn seed_sweep(
+    profile: &DatasetProfile,
+    seeds: &[u64],
+    ratio: f64,
+    metric: Metric,
+) -> Vec<MethodRobustness> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut per_method: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut wins: Vec<usize> = Vec::new();
+
+    for &seed in seeds {
+        let bundle = prepare(profile, seed);
+        let results = comparative_at_ratio(&bundle, ratio, metric);
+        if per_method.is_empty() {
+            per_method = results
+                .iter()
+                .map(|r| (r.method.clone(), Vec::with_capacity(seeds.len())))
+                .collect();
+            wins = vec![0; results.len()];
+        }
+        let best = results
+            .iter()
+            .map(|r| r.best_value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_count = results
+            .iter()
+            .filter(|r| r.best_value == best)
+            .count();
+        for (slot, result) in per_method.iter_mut().zip(&results) {
+            debug_assert_eq!(slot.0, result.method, "method order is stable");
+            slot.1.push(result.best_value);
+        }
+        if best_count == 1 {
+            for (w, result) in wins.iter_mut().zip(&results) {
+                if result.best_value == best {
+                    *w += 1;
+                }
+            }
+        }
+    }
+
+    per_method
+        .into_iter()
+        .zip(wins)
+        .map(|((method, values), wins)| {
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let var = if values.len() > 1 {
+                values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+            } else {
+                0.0
+            };
+            MethodRobustness {
+                method,
+                mean,
+                std_dev: var.sqrt(),
+                wins,
+                values,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_aggregates_across_seeds() {
+        let profile = DatasetProfile::hepth().scaled(900);
+        let rows = seed_sweep(&profile, &[1, 2, 3], 1.6, Metric::NdcgAt(20));
+        assert_eq!(rows.len(), 7, "7 methods on a venue-less dataset");
+        for r in &rows {
+            assert_eq!(r.values.len(), 3);
+            assert!(r.mean.is_finite());
+            assert!(r.std_dev >= 0.0);
+            assert!(r.wins <= 3);
+            // Mean really is the mean of the per-seed values.
+            let m = r.values.iter().sum::<f64>() / 3.0;
+            assert!((r.mean - m).abs() < 1e-12);
+        }
+        let total_wins: usize = rows.iter().map(|r| r.wins).sum();
+        assert!(total_wins <= 3);
+    }
+
+    #[test]
+    fn single_seed_zero_variance() {
+        let profile = DatasetProfile::hepth().scaled(600);
+        let rows = seed_sweep(&profile, &[42], 1.6, Metric::Spearman);
+        for r in &rows {
+            assert_eq!(r.std_dev, 0.0);
+            assert_eq!(r.values.len(), 1);
+        }
+    }
+
+    #[test]
+    fn attention_methods_present() {
+        let profile = DatasetProfile::hepth().scaled(600);
+        let rows = seed_sweep(&profile, &[7], 1.6, Metric::NdcgAt(10));
+        let names: Vec<_> = rows.iter().map(|r| r.method.as_str()).collect();
+        assert!(names.contains(&"AR"));
+        assert!(names.contains(&"NO-ATT"));
+        assert!(names.contains(&"ATT-ONLY"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_panics() {
+        let _ = seed_sweep(&DatasetProfile::hepth().scaled(600), &[], 1.6, Metric::Spearman);
+    }
+}

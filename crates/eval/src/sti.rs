@@ -1,0 +1,135 @@
+//! Ground-truth short-term impact (paper §2).
+//!
+//! `STI(p_i; t_N, τ) = Σ_j (C(t_N+τ)[i,j] − C(t_N)[i,j])` — the number of
+//! citations `p_i` receives during `[t_N, t_N+τ]`. Computable only in
+//! retrospect, which is exactly what the current/future split provides: the
+//! future state contains the current state's edges plus the new citations.
+
+use citegraph::RatioSplit;
+use sparsela::sort_indices_desc;
+
+/// STI of every paper in the current state, derived from a ratio split.
+///
+/// Entry `p` is `future_in_degree(p) − current_in_degree(p)`; papers beyond
+/// the current state are not scored (methods never see them).
+pub fn ground_truth_sti(split: &RatioSplit) -> Vec<f64> {
+    let n = split.current.n_papers();
+    let future_counts = split.future.citation_counts();
+    let current_counts = split.current.citation_counts();
+    (0..n)
+        .map(|p| {
+            let gained = future_counts[p] as i64 - current_counts[p] as i64;
+            debug_assert!(gained >= 0, "citations cannot disappear");
+            gained as f64
+        })
+        .collect()
+}
+
+/// The ground-truth ranking: paper ids of the current state ordered by
+/// decreasing STI (ties by id).
+pub fn sti_ranking(split: &RatioSplit) -> Vec<u32> {
+    sort_indices_desc(&ground_truth_sti(split))
+}
+
+/// Table-1 analysis: how many of the `top` papers by STI were *recently
+/// popular*, i.e. appear among the `top` most-cited papers of the current
+/// state's trailing `window_years` (the paper uses top-100 and 5 years).
+pub fn recently_popular_in_top_sti(
+    split: &RatioSplit,
+    top: usize,
+    window_years: u32,
+) -> usize {
+    let mut top_sti = sti_ranking(split);
+    top_sti.truncate(top);
+    let mut recent = citegraph::window::top_recent_papers(&split.current, window_years, top);
+    recent.sort_unstable();
+    top_sti
+        .iter()
+        .filter(|p| recent.binary_search(p).is_ok())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citegraph::{ratio_split, NetworkBuilder};
+
+    /// Ten papers 2000–2009 in a chain, plus paper 0 receiving extra
+    /// citations from the future half.
+    fn fixture() -> citegraph::CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (0..10).map(|i| b.add_paper(2000 + i)).collect();
+        for w in ids.windows(2) {
+            b.add_citation(w[1], w[0]).unwrap();
+        }
+        // Future papers 7, 8, 9 also cite paper 4 (in the current half).
+        for &f in &ids[7..] {
+            b.add_citation(f, ids[4]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sti_counts_only_new_citations() {
+        let net = fixture();
+        let split = ratio_split(&net, 2.0); // current = 5, future = all 10
+        let sti = ground_truth_sti(&split);
+        assert_eq!(sti.len(), 5);
+        // Paper 4: chain citation from 5 + extra from 7, 8, 9 → 4 new.
+        assert_eq!(sti[4], 4.0);
+        // Papers 0–3: their chain citation already exists in the current
+        // state, so STI = 0.
+        assert_eq!(&sti[..4], &[0.0; 4]);
+    }
+
+    #[test]
+    fn sti_ranking_puts_gainers_first() {
+        let net = fixture();
+        let split = ratio_split(&net, 2.0);
+        let ranking = sti_ranking(&split);
+        assert_eq!(ranking[0], 4);
+    }
+
+    #[test]
+    fn ratio_one_yields_zero_sti() {
+        let net = fixture();
+        let split = ratio_split(&net, 1.0);
+        assert!(ground_truth_sti(&split).iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn sti_monotone_in_ratio() {
+        let net = fixture();
+        let mut prev: Option<Vec<f64>> = None;
+        for &r in &[1.2, 1.4, 1.6, 1.8, 2.0] {
+            let sti = ground_truth_sti(&ratio_split(&net, r));
+            if let Some(prev) = prev {
+                for (a, b) in prev.iter().zip(&sti) {
+                    assert!(b >= a, "longer horizon cannot lose citations");
+                }
+            }
+            prev = Some(sti);
+        }
+    }
+
+    #[test]
+    fn recently_popular_intersection() {
+        let net = fixture();
+        let split = ratio_split(&net, 2.0);
+        // top-2 by STI: paper 4 (STI 4) then paper 0 (tie at 0, lowest id).
+        // Recently popular (top-2, window 5y of current state 2000–2004):
+        // papers cited in (1999, 2004]: each of 0..4 cited once → top-2 by
+        // count/tie-id = {0, 1}.
+        let n = recently_popular_in_top_sti(&split, 2, 5);
+        assert_eq!(n, 1, "only paper 0 is in both sets");
+    }
+
+    #[test]
+    fn recently_popular_full_window_counts_everything() {
+        let net = fixture();
+        let split = ratio_split(&net, 2.0);
+        let n = recently_popular_in_top_sti(&split, 5, 5);
+        // All current papers are both in top-5 STI and top-5 recent.
+        assert_eq!(n, 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the rank-agreement metrics.
+
+use proptest::prelude::*;
+use rankeval::{kendall_tau_b, ndcg_at_k, spearman_rho, top_k_overlap};
+
+fn vec_pair(max_len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (2..=max_len).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-50i32..50, n..=n),
+            proptest::collection::vec(-50i32..50, n..=n),
+        )
+            .prop_map(|(a, b)| {
+                (
+                    a.into_iter().map(f64::from).collect(),
+                    b.into_iter().map(f64::from).collect(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn spearman_in_range((a, b) in vec_pair(150)) {
+        let rho = spearman_rho(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+    }
+
+    #[test]
+    fn spearman_self_correlation_is_one_or_zero(a in proptest::collection::vec(-50i32..50, 2..100)) {
+        let a: Vec<f64> = a.into_iter().map(f64::from).collect();
+        let rho = spearman_rho(&a, &a);
+        let constant = a.iter().all(|&x| x == a[0]);
+        if constant {
+            prop_assert_eq!(rho, 0.0);
+        } else {
+            prop_assert!((rho - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spearman_negation_flips_sign((a, b) in vec_pair(80)) {
+        let neg_b: Vec<f64> = b.iter().map(|x| -x).collect();
+        let r1 = spearman_rho(&a, &b);
+        let r2 = spearman_rho(&a, &neg_b);
+        prop_assert!((r1 + r2).abs() < 1e-9, "ρ(a,b) = -ρ(a,-b)");
+    }
+
+    #[test]
+    fn spearman_invariant_to_monotone_transform((a, b) in vec_pair(80)) {
+        // Strictly increasing transform preserves ranks exactly.
+        let tb: Vec<f64> = b.iter().map(|x| x * 3.0 + 7.0).collect();
+        prop_assert!((spearman_rho(&a, &b) - spearman_rho(&a, &tb)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kendall_in_range_and_symmetric((a, b) in vec_pair(120)) {
+        let t1 = kendall_tau_b(&a, &b);
+        let t2 = kendall_tau_b(&b, &a);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&t1));
+        prop_assert!((t1 - t2).abs() < 1e-9, "τ-b is symmetric");
+    }
+
+    #[test]
+    fn kendall_agrees_with_spearman_sign_on_clean_data(n in 3usize..40, seed in 0u64..1000) {
+        // Strictly monotone data (no ties): both must be exactly ±1.
+        let mut a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // Deterministic shuffle via LCG.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            a.swap(i, j);
+        }
+        let b: Vec<f64> = a.iter().map(|x| x * 2.0).collect();
+        prop_assert!((kendall_tau_b(&a, &b) - 1.0).abs() < 1e-9);
+        prop_assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndcg_in_unit_interval((a, b) in vec_pair(120), k in 1usize..600) {
+        // Gains must be non-negative for nDCG to be bounded by 1.
+        let sti: Vec<f64> = b.iter().map(|x| x.abs()).collect();
+        let v = ndcg_at_k(&a, &sti, k);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "ndcg {v}");
+    }
+
+    #[test]
+    fn ndcg_of_truth_is_one(b in proptest::collection::vec(0i32..50, 2..100), k in 1usize..120) {
+        let sti: Vec<f64> = b.into_iter().map(f64::from).collect();
+        prop_assert!((ndcg_at_k(&sti, &sti, k) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndcg_monotone_under_top_swap_improvement(
+        b in proptest::collection::vec(0i32..50, 4..60),
+    ) {
+        // Putting the true best item first can never lower nDCG@1.
+        let sti: Vec<f64> = b.into_iter().map(f64::from).collect();
+        let worst_first: Vec<f64> = sti.iter().map(|x| -x).collect();
+        let v_bad = ndcg_at_k(&worst_first, &sti, 1);
+        let v_good = ndcg_at_k(&sti, &sti, 1);
+        prop_assert!(v_good >= v_bad - 1e-12);
+    }
+
+    #[test]
+    fn top_k_overlap_bounds_and_self((a, b) in vec_pair(100), k in 1usize..120) {
+        let v = top_k_overlap(&a, &b, k);
+        prop_assert!((0.0..=1.0).contains(&v));
+        // Self-overlap is always 1 (same deterministic tie-breaking).
+        prop_assert_eq!(top_k_overlap(&a, &a, k), 1.0);
+    }
+}

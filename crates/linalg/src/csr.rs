@@ -1,0 +1,351 @@
+//! Compressed sparse row (CSR) matrices over `u32` indices.
+//!
+//! The citation network stores two CSR structures (out-references and
+//! in-citations). CSR keeps each row's column indices contiguous, which is
+//! the access pattern of every kernel here: "for each paper, iterate its
+//! references" or "for each paper, iterate its citers".
+//!
+//! Values are optional: the plain adjacency case (`C[i,j] ∈ {0,1}`) stores
+//! indices only, while age-weighted variants (RAM/ECM, paper §4.3) attach an
+//! `f64` weight per edge via [`WeightedCsr`].
+
+/// An immutable CSR adjacency structure (pattern only, implicit weight 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// Row pointer array, length `nrows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, length `nnz`, sorted within each row.
+    indices: Vec<u32>,
+    /// Number of columns (square matrices in this workspace, but kept
+    /// separate for bipartite author/venue incidence matrices).
+    ncols: usize,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from an unsorted edge list `(row, col)`.
+    ///
+    /// Duplicate edges are collapsed; self-loops are kept (callers that
+    /// forbid them filter beforehand). Runs in `O(E log E)` from the
+    /// per-row sort.
+    pub fn from_edges(nrows: usize, ncols: usize, edges: &[(u32, u32)]) -> Self {
+        let mut counts = vec![0usize; nrows];
+        for &(r, _) in edges {
+            counts[r as usize] += 1;
+        }
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        indptr.push(0);
+        let mut acc = 0usize;
+        for &c in &counts {
+            acc += c;
+            indptr.push(acc);
+        }
+        let mut indices = vec![0u32; edges.len()];
+        let mut cursor = indptr[..nrows].to_vec();
+        for &(r, c) in edges {
+            debug_assert!((c as usize) < ncols, "column index out of bounds");
+            indices[cursor[r as usize]] = c;
+            cursor[r as usize] += 1;
+        }
+        // Sort and dedup each row in place.
+        let mut out_indices = Vec::with_capacity(indices.len());
+        let mut out_indptr = Vec::with_capacity(nrows + 1);
+        out_indptr.push(0usize);
+        for r in 0..nrows {
+            let (s, e) = (indptr[r], indptr[r + 1]);
+            let mut row: Vec<u32> = indices[s..e].to_vec();
+            row.sort_unstable();
+            row.dedup();
+            out_indices.extend_from_slice(&row);
+            out_indptr.push(out_indices.len());
+        }
+        Self {
+            indptr: out_indptr,
+            indices: out_indices,
+            ncols,
+        }
+    }
+
+    /// An empty matrix with the given shape.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Self {
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            ncols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The column indices of row `r` (sorted ascending).
+    pub fn row(&self, r: u32) -> &[u32] {
+        let r = r as usize;
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Out-degree of row `r`.
+    pub fn degree(&self, r: u32) -> usize {
+        let r = r as usize;
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// `true` iff entry `(r, c)` is stored. `O(log degree(r))`.
+    pub fn contains(&self, r: u32, c: u32) -> bool {
+        self.row(r).binary_search(&c).is_ok()
+    }
+
+    /// Iterates all `(row, col)` pairs in row-major order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.nrows() as u32).flat_map(move |r| self.row(r).iter().map(move |&c| (r, c)))
+    }
+
+    /// Transposes the matrix (rows become columns). `O(V + E)`.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.ncols];
+        for &c in &self.indices {
+            counts[c as usize] += 1;
+        }
+        let mut indptr = Vec::with_capacity(self.ncols + 1);
+        indptr.push(0usize);
+        let mut acc = 0usize;
+        for &c in &counts {
+            acc += c;
+            indptr.push(acc);
+        }
+        let mut indices = vec![0u32; self.nnz()];
+        let mut cursor = indptr[..self.ncols].to_vec();
+        for r in 0..self.nrows() as u32 {
+            for &c in self.row(r) {
+                indices[cursor[c as usize]] = r;
+                cursor[c as usize] += 1;
+            }
+        }
+        // Rows of the transpose are already sorted because we scanned source
+        // rows in ascending order.
+        Csr {
+            indptr,
+            indices,
+            ncols: self.nrows(),
+        }
+    }
+
+    /// Returns the out-degree of every row as a dense vector.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.nrows()).map(|r| self.indptr[r + 1] - self.indptr[r]).collect()
+    }
+}
+
+/// A CSR matrix with an `f64` weight per stored entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedCsr {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+    ncols: usize,
+}
+
+impl WeightedCsr {
+    /// Builds a weighted CSR matrix from `(row, col, weight)` triples.
+    /// Duplicate `(row, col)` pairs accumulate their weights.
+    pub fn from_triples(nrows: usize, ncols: usize, triples: &[(u32, u32, f64)]) -> Self {
+        let mut per_row: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nrows];
+        for &(r, c, w) in triples {
+            debug_assert!((c as usize) < ncols, "column index out of bounds");
+            per_row[r as usize].push((c, w));
+        }
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::with_capacity(triples.len());
+        let mut values = Vec::with_capacity(triples.len());
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut w = 0.0;
+                while i < row.len() && row[i].0 == c {
+                    w += row[i].1;
+                    i += 1;
+                }
+                indices.push(c);
+                values.push(w);
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            indptr,
+            indices,
+            values,
+            ncols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The `(column, weight)` pairs of row `r`.
+    pub fn row(&self, r: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = r as usize;
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        self.indices[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+    }
+
+    /// Sum of the weights in row `r`.
+    pub fn row_sum(&self, r: u32) -> f64 {
+        let r = r as usize;
+        self.values[self.indptr[r]..self.indptr[r + 1]].iter().sum()
+    }
+
+    /// Dense `y = M · x` (matrix times column vector).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "mul_vec_into: x length mismatch");
+        assert_eq!(y.len(), self.nrows(), "mul_vec_into: y length mismatch");
+        for (r, out) in y.iter_mut().enumerate() {
+            let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+            let mut acc = 0.0;
+            for k in s..e {
+                acc += self.values[k] * x[self.indices[k] as usize];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Sum of all weights in the matrix.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 4x4: 0→{1,2}, 1→{2}, 2→{}, 3→{0,1,2}
+        Csr::from_edges(4, 4, &[(0, 2), (0, 1), (1, 2), (3, 0), (3, 2), (3, 1)])
+    }
+
+    #[test]
+    fn from_edges_sorts_rows() {
+        let m = sample();
+        assert_eq!(m.row(0), &[1, 2]);
+        assert_eq!(m.row(1), &[2]);
+        assert_eq!(m.row(2), &[] as &[u32]);
+        assert_eq!(m.row(3), &[0, 1, 2]);
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 4);
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let m = Csr::from_edges(2, 2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(0), &[1]);
+    }
+
+    #[test]
+    fn degree_and_contains() {
+        let m = sample();
+        assert_eq!(m.degree(3), 3);
+        assert_eq!(m.degree(2), 0);
+        assert!(m.contains(0, 2));
+        assert!(!m.contains(2, 0));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.row(2), &[0, 1, 3]); // papers citing 2
+        let back = t.transpose();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn transpose_preserves_nnz() {
+        let m = sample();
+        assert_eq!(m.transpose().nnz(), m.nnz());
+    }
+
+    #[test]
+    fn iter_edges_row_major() {
+        let m = Csr::from_edges(3, 3, &[(2, 0), (0, 1)]);
+        let edges: Vec<_> = m.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Csr::empty(3, 5);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.degrees(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn rectangular_shape() {
+        let m = Csr::from_edges(2, 5, &[(0, 4), (1, 0)]);
+        assert_eq!(m.ncols(), 5);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 5);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.row(4), &[0]);
+    }
+
+    #[test]
+    fn weighted_accumulates_duplicates() {
+        let m = WeightedCsr::from_triples(2, 2, &[(0, 1, 0.5), (0, 1, 0.25), (1, 0, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 0.75)]);
+        assert!((m.row_sum(0) - 0.75).abs() < 1e-15);
+        assert!((m.total() - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_mul_vec() {
+        // M = [[0, 2], [3, 0]], x = [1, 10] → y = [20, 3]
+        let m = WeightedCsr::from_triples(2, 2, &[(0, 1, 2.0), (1, 0, 3.0)]);
+        let mut y = vec![0.0; 2];
+        m.mul_vec_into(&[1.0, 10.0], &mut y);
+        assert_eq!(y, vec![20.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length mismatch")]
+    fn weighted_mul_vec_shape_panics() {
+        let m = WeightedCsr::from_triples(2, 2, &[]);
+        let mut y = vec![0.0; 2];
+        m.mul_vec_into(&[1.0], &mut y);
+    }
+}

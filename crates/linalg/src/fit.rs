@@ -1,0 +1,145 @@
+//! Least-squares exponential fitting.
+//!
+//! Paper §4.2 derives the recency decay factor `w` by fitting an exponential
+//! `f(n) = a·e^{w̃·n}` to the tail of the citation-age distribution (the
+//! probability that an article is cited `n` years after publication,
+//! Fig. 1a) and using `w̃` as `w`. The authors report `w = −0.48` (hep-th),
+//! `−0.12` (APS), `−0.16` (PMC, DBLP).
+//!
+//! [`fit_exponential`] performs the standard log-linear least-squares fit:
+//! regress `ln f(n)` on `n`, which is exact when the data is exactly
+//! exponential and otherwise minimizes squared error in log space.
+
+/// Result of an exponential fit `f(x) ≈ amplitude · e^{rate · x}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpFit {
+    /// Multiplier `a`.
+    pub amplitude: f64,
+    /// Exponent `w̃` (negative for decaying data).
+    pub rate: f64,
+    /// Coefficient of determination of the log-linear regression, in
+    /// `[0, 1]`; 1 means exactly exponential data.
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ a·e^{w·x}` through the points `(x[i], y[i])`.
+///
+/// Points with `y ≤ 0` are skipped (they have no logarithm; empirical
+/// citation-age histograms can contain empty years). Returns `None` when
+/// fewer than two usable points remain or all `x` are identical.
+pub fn fit_exponential(xs: &[f64], ys: &[f64]) -> Option<ExpFit> {
+    assert_eq!(xs.len(), ys.len(), "fit_exponential: length mismatch");
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|&(_, &y)| y > 0.0)
+        .map(|(&x, &y)| (x, y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return None;
+    }
+    let rate = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - rate * sx) / n;
+
+    // R² in log space.
+    let mean_y = sy / n;
+    let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = pts
+        .iter()
+        .map(|p| (p.1 - (intercept + rate * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    } else {
+        1.0 // all log-values identical: the flat exponential fits exactly
+    };
+
+    Some(ExpFit {
+        amplitude: intercept.exp(),
+        rate,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_exponential_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * (-0.48f64 * x).exp()).collect();
+        let fit = fit_exponential(&xs, &ys).unwrap();
+        assert!((fit.rate - (-0.48)).abs() < 1e-10);
+        assert!((fit.amplitude - 2.5).abs() < 1e-10);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn growing_exponential_has_positive_rate() {
+        let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (0.3f64 * x).exp()).collect();
+        let fit = fit_exponential(&xs, &ys).unwrap();
+        assert!((fit.rate - 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_values_skipped() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 0.0, (-0.5f64 * 2.0).exp(), 0.0, (-0.5f64 * 4.0).exp()];
+        let fit = fit_exponential(&xs, &ys).unwrap();
+        assert!((fit.rate - (-0.5)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn insufficient_points_none() {
+        assert!(fit_exponential(&[1.0], &[2.0]).is_none());
+        assert!(fit_exponential(&[1.0, 2.0], &[0.0, 0.0]).is_none());
+        assert!(fit_exponential(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn degenerate_identical_x_none() {
+        assert!(fit_exponential(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn noisy_data_r_squared_below_one() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        // Alternating multiplicative noise.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (-0.2f64 * x).exp() * if i % 2 == 0 { 1.3 } else { 0.7 })
+            .collect();
+        let fit = fit_exponential(&xs, &ys).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.5, "trend should still dominate");
+        assert!(fit.rate < 0.0);
+    }
+
+    #[test]
+    fn flat_data_fits_zero_rate() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [4.0, 4.0, 4.0, 4.0];
+        let fit = fit_exponential(&xs, &ys).unwrap();
+        assert!(fit.rate.abs() < 1e-12);
+        assert!((fit.amplitude - 4.0).abs() < 1e-10);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = fit_exponential(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # sparsela — sparse linear-algebra substrate
+//!
+//! Minimal, dependency-free numerical kernels shared by every ranking method
+//! in the AttRank reproduction:
+//!
+//! * [`vector`] — dense `f64` score vectors with L1/L∞ norms, normalization
+//!   and ranking helpers,
+//! * [`csr`] — compressed sparse row matrices over `u32` indices,
+//! * [`stochastic`] — the column-stochastic citation operator `S` used by
+//!   PageRank-family methods (pull-based SpMV with dangling-mass handling),
+//! * [`power`] — a generic power-method engine with convergence logging,
+//! * [`fit`] — least-squares exponential fitting (used to derive the recency
+//!   decay factor `w` from the citation-age distribution, paper §4.2),
+//! * [`ranks`] — rank assignment (ordinal and tie-averaged) used by rank
+//!   correlation metrics.
+//!
+//! All kernels are deterministic and allocation-conscious: hot loops reuse
+//! caller-provided buffers so grid searches over thousands of parameter
+//! settings do not thrash the allocator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod fit;
+pub mod power;
+pub mod ranks;
+pub mod stochastic;
+pub mod vector;
+
+pub use csr::{Csr, WeightedCsr};
+pub use fit::{fit_exponential, ExpFit};
+pub use power::{PowerEngine, PowerOptions, PowerOutcome};
+pub use ranks::{average_ranks, ordinal_ranks, sort_indices_desc};
+pub use stochastic::CitationOperator;
+pub use vector::ScoreVec;

@@ -1,0 +1,269 @@
+//! Generic power-method engine with convergence diagnostics.
+//!
+//! AttRank, PageRank, CiteRank and FutureRank are all fixed-point iterations
+//! of the form `x ← F(x)` where `F` is (close to) a stochastic linear
+//! operator. [`PowerEngine`] factors out the iteration loop: the caller
+//! supplies a *step* closure computing `next` from `current`, and the engine
+//! handles buffer swapping, the L1 convergence test (the paper iterates
+//! until the error drops below `10⁻¹²`, §4.3), iteration caps and the
+//! per-iteration error log used by the §4.4 convergence experiment.
+
+use crate::vector::ScoreVec;
+
+/// Options controlling a power-method run.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOptions {
+    /// Stop once the L1 distance between successive iterates is `≤ epsilon`.
+    pub epsilon: f64,
+    /// Hard cap on iterations (guards non-convergent parameterizations; the
+    /// paper notes FutureRank "did not, in practice, converge under all
+    /// possible settings", §4.4).
+    pub max_iterations: usize,
+    /// Record the error after every iteration (needed by the convergence
+    /// experiment; costs one `Vec<f64>` push per iteration).
+    pub record_errors: bool,
+}
+
+impl Default for PowerOptions {
+    /// Paper defaults: `ε = 10⁻¹²`, generous iteration cap.
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-12,
+            max_iterations: 1000,
+            record_errors: false,
+        }
+    }
+}
+
+/// Result of a power-method run.
+#[derive(Debug, Clone)]
+pub struct PowerOutcome {
+    /// The final iterate.
+    pub scores: ScoreVec,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the error dropped below `epsilon` within the cap.
+    pub converged: bool,
+    /// Final L1 error between the last two iterates.
+    pub final_error: f64,
+    /// Per-iteration L1 errors (empty unless `record_errors`).
+    pub error_log: Vec<f64>,
+}
+
+/// The power-method driver.
+///
+/// ```
+/// use sparsela::{PowerEngine, PowerOptions, ScoreVec};
+///
+/// // x ← 0.5·x + 0.5·uniform converges to uniform from any start.
+/// let n = 4;
+/// let outcome = PowerEngine::new(PowerOptions::default()).run(
+///     ScoreVec::from_vec(vec![1.0, 0.0, 0.0, 0.0]),
+///     |current, next| {
+///         for i in 0..n {
+///             next[i] = 0.5 * current[i] + 0.5 / n as f64;
+///         }
+///     },
+/// );
+/// assert!(outcome.converged);
+/// assert!((outcome.scores[2] - 0.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerEngine {
+    options: PowerOptions,
+}
+
+impl PowerEngine {
+    /// Creates an engine with the given options.
+    pub fn new(options: PowerOptions) -> Self {
+        Self { options }
+    }
+
+    /// Runs `x ← step(x)` until convergence.
+    ///
+    /// `step(current, next)` must fully overwrite `next`.
+    pub fn run<F>(&self, initial: ScoreVec, mut step: F) -> PowerOutcome
+    where
+        F: FnMut(&ScoreVec, &mut ScoreVec),
+    {
+        let mut current = initial;
+        let mut next = ScoreVec::zeros(current.len());
+        let mut error_log = if self.options.record_errors {
+            Vec::with_capacity(self.options.max_iterations.min(256))
+        } else {
+            Vec::new()
+        };
+        let mut iterations = 0;
+        let mut final_error = f64::INFINITY;
+        let mut converged = false;
+
+        if current.is_empty() {
+            return PowerOutcome {
+                scores: current,
+                iterations: 0,
+                converged: true,
+                final_error: 0.0,
+                error_log,
+            };
+        }
+
+        while iterations < self.options.max_iterations {
+            step(&current, &mut next);
+            iterations += 1;
+            final_error = next.l1_distance(&current);
+            if self.options.record_errors {
+                error_log.push(final_error);
+            }
+            std::mem::swap(&mut current, &mut next);
+            if final_error <= self.options.epsilon {
+                converged = true;
+                break;
+            }
+        }
+
+        PowerOutcome {
+            scores: current,
+            iterations,
+            converged,
+            final_error,
+            error_log,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::stochastic::CitationOperator;
+
+    #[test]
+    fn contraction_converges_to_fixed_point() {
+        // x ← A·x with A = damped uniform mixing: fixed point = uniform.
+        let n = 8;
+        let engine = PowerEngine::new(PowerOptions::default());
+        let mut init = ScoreVec::zeros(n);
+        init[0] = 1.0;
+        let outcome = engine.run(init, |cur, next| {
+            for i in 0..n {
+                next[i] = 0.3 * cur[i] + 0.7 / n as f64;
+            }
+        });
+        assert!(outcome.converged);
+        for i in 0..n {
+            assert!((outcome.scores[i] - 1.0 / n as f64).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn identity_converges_in_one_iteration() {
+        let engine = PowerEngine::new(PowerOptions::default());
+        let init = ScoreVec::uniform(5);
+        let outcome = engine.run(init.clone(), |cur, next| {
+            next.as_mut_slice().copy_from_slice(cur.as_slice());
+        });
+        assert!(outcome.converged);
+        assert_eq!(outcome.iterations, 1);
+        assert_eq!(outcome.scores, init);
+        assert_eq!(outcome.final_error, 0.0);
+    }
+
+    #[test]
+    fn max_iterations_caps_divergent_process() {
+        let engine = PowerEngine::new(PowerOptions {
+            epsilon: 1e-12,
+            max_iterations: 7,
+            record_errors: true,
+        });
+        // Period-2 oscillation never converges.
+        let outcome = engine.run(ScoreVec::from_vec(vec![1.0, 0.0]), |cur, next| {
+            next[0] = cur[1];
+            next[1] = cur[0];
+        });
+        assert!(!outcome.converged);
+        assert_eq!(outcome.iterations, 7);
+        assert_eq!(outcome.error_log.len(), 7);
+        assert!((outcome.final_error - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_log_is_monotone_for_linear_contraction() {
+        let engine = PowerEngine::new(PowerOptions {
+            epsilon: 1e-14,
+            max_iterations: 200,
+            record_errors: true,
+        });
+        let n = 4;
+        let outcome = engine.run(ScoreVec::from_vec(vec![1.0, 0.0, 0.0, 0.0]), |cur, next| {
+            for i in 0..n {
+                next[i] = 0.5 * cur[i] + 0.5 / n as f64;
+            }
+        });
+        assert!(outcome.converged);
+        for w in outcome.error_log.windows(2) {
+            assert!(w[1] <= w[0] + 1e-18, "error must not increase: {w:?}");
+        }
+    }
+
+    #[test]
+    fn empty_vector_converges_trivially() {
+        let engine = PowerEngine::new(PowerOptions::default());
+        let outcome = engine.run(ScoreVec::zeros(0), |_, _| {});
+        assert!(outcome.converged);
+        assert_eq!(outcome.iterations, 0);
+    }
+
+    #[test]
+    fn pagerank_via_engine_matches_dense_reference() {
+        // PageRank with α=0.85 on a 4-node graph, checked against an
+        // explicit dense power iteration.
+        let refs = Csr::from_edges(4, 4, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]);
+        let op = CitationOperator::from_references(&refs);
+        let n = 4;
+        let alpha = 0.85;
+        let engine = PowerEngine::new(PowerOptions::default());
+        let outcome = engine.run(ScoreVec::uniform(n), |cur, next| {
+            op.apply(cur.as_slice(), next.as_mut_slice());
+            for v in next.iter_mut() {
+                *v = alpha * *v + (1.0 - alpha) / n as f64;
+            }
+        });
+        assert!(outcome.converged);
+
+        // Dense reference: S as explicit matrix (column-stochastic).
+        let mut s = [[0.0f64; 4]; 4];
+        for j in 0..4u32 {
+            let row = refs.row(j);
+            if row.is_empty() {
+                for si in s.iter_mut() {
+                    si[j as usize] = 0.25;
+                }
+            } else {
+                for &i in row {
+                    s[i as usize][j as usize] = 1.0 / row.len() as f64;
+                }
+            }
+        }
+        let mut x = [0.25f64; 4];
+        for _ in 0..500 {
+            let mut y = [0.0f64; 4];
+            for (i, yi) in y.iter_mut().enumerate() {
+                for j in 0..4 {
+                    *yi += s[i][j] * x[j];
+                }
+                *yi = alpha * *yi + 0.15 / 4.0;
+            }
+            x = y;
+        }
+        for (i, &xi) in x.iter().enumerate() {
+            assert!(
+                (outcome.scores[i] - xi).abs() < 1e-9,
+                "component {i}: engine {} vs dense {}",
+                outcome.scores[i],
+                xi
+            );
+        }
+        // Probability mass preserved.
+        assert!((outcome.scores.sum() - 1.0).abs() < 1e-10);
+    }
+}

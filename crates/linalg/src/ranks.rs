@@ -1,0 +1,127 @@
+//! Rank assignment utilities.
+//!
+//! Rank-correlation metrics (Spearman's ρ, Kendall's τ) operate on *ranks*
+//! rather than raw scores. Two conventions are provided:
+//!
+//! * [`ordinal_ranks`] — distinct ranks `1..=n` with deterministic
+//!   tie-breaking by index (used when a method must output a total order),
+//! * [`average_ranks`] — tied values share the mean of the ranks they span
+//!   (the standard convention for Spearman's ρ with ties, which citation
+//!   data has in abundance: most papers receive 0 future citations).
+
+/// Indices that sort `scores` in descending order; ties break by smaller
+/// index first, making every downstream ranking deterministic.
+pub fn sort_indices_desc(scores: &[f64]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Ordinal ranks: the highest score gets rank 1, and so on. Ties break by
+/// index, so ranks are a permutation of `1..=n`.
+pub fn ordinal_ranks(scores: &[f64]) -> Vec<f64> {
+    let order = sort_indices_desc(scores);
+    let mut ranks = vec![0.0; scores.len()];
+    for (pos, &item) in order.iter().enumerate() {
+        ranks[item as usize] = (pos + 1) as f64;
+    }
+    ranks
+}
+
+/// Fractional (tie-averaged) ranks: items with equal scores all receive the
+/// mean of the ordinal ranks they would occupy. Rank 1 is the highest score.
+///
+/// Equality is exact `f64` equality: ranking methods in this workspace
+/// produce identical scores only through genuinely identical computations
+/// (e.g. zero citation counts), which is precisely the tie semantics
+/// Spearman's ρ needs.
+pub fn average_ranks(scores: &[f64]) -> Vec<f64> {
+    let order = sort_indices_desc(scores);
+    let n = scores.len();
+    let mut ranks = vec![0.0; n];
+    let mut pos = 0;
+    while pos < n {
+        let mut end = pos + 1;
+        let value = scores[order[pos] as usize];
+        while end < n && scores[order[end] as usize] == value {
+            end += 1;
+        }
+        // Ordinal positions pos+1 ..= end share the average rank.
+        let avg = (pos + 1 + end) as f64 / 2.0;
+        for &item in &order[pos..end] {
+            ranks[item as usize] = avg;
+        }
+        pos = end;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_indices_descending_with_ties() {
+        let s = [0.1, 0.9, 0.5, 0.9];
+        assert_eq!(sort_indices_desc(&s), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn sort_indices_empty() {
+        assert!(sort_indices_desc(&[]).is_empty());
+    }
+
+    #[test]
+    fn ordinal_ranks_are_permutation() {
+        let s = [3.0, 1.0, 2.0];
+        assert_eq!(ordinal_ranks(&s), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ordinal_ranks_ties_by_index() {
+        let s = [1.0, 1.0, 2.0];
+        // Item 2 first, then items 0 and 1 in index order.
+        assert_eq!(ordinal_ranks(&s), vec![2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn average_ranks_no_ties_match_ordinal() {
+        let s = [0.4, 0.1, 0.8, 0.6];
+        assert_eq!(average_ranks(&s), ordinal_ranks(&s));
+    }
+
+    #[test]
+    fn average_ranks_two_way_tie() {
+        let s = [5.0, 5.0, 1.0];
+        // Items 0,1 occupy ordinal ranks 1,2 → both get 1.5; item 2 gets 3.
+        assert_eq!(average_ranks(&s), vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn average_ranks_all_tied() {
+        let s = [2.0; 5];
+        let expected = (1.0 + 5.0) / 2.0;
+        assert!(average_ranks(&s).iter().all(|&r| r == expected));
+    }
+
+    #[test]
+    fn average_ranks_mixed_groups() {
+        let s = [0.0, 3.0, 0.0, 3.0, 7.0];
+        // 7 → rank 1; the two 3s → (2+3)/2 = 2.5; the two 0s → (4+5)/2 = 4.5.
+        assert_eq!(average_ranks(&s), vec![4.5, 2.5, 4.5, 2.5, 1.0]);
+    }
+
+    #[test]
+    fn average_ranks_sum_invariant() {
+        // Sum of fractional ranks always equals n(n+1)/2.
+        let s = [0.3, 0.3, 0.3, 9.0, 2.0, 2.0];
+        let n = s.len() as f64;
+        let sum: f64 = average_ranks(&s).iter().sum();
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,325 @@
+//! Dense `f64` score vectors.
+//!
+//! [`ScoreVec`] is the currency of every ranking method in this workspace: a
+//! length-`n` dense vector indexed by paper id. It deliberately exposes the
+//! handful of operations the ranking literature needs (L1 normalization,
+//! norms, uniform fill, axpy-style accumulation) instead of a general BLAS
+//! facade.
+
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+/// A dense vector of per-item scores.
+///
+/// Wraps a `Vec<f64>` and guarantees nothing about its contents beyond
+/// length; normalization is explicit because different methods require
+/// different invariants (PageRank-family vectors are probability vectors,
+/// RAM/ECM scores are unnormalized accumulations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreVec {
+    data: Vec<f64>,
+}
+
+impl ScoreVec {
+    /// Creates a zero-filled vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector of length `n` with every entry `1/n`.
+    ///
+    /// Returns an empty vector when `n == 0` (no panic), which propagates
+    /// harmlessly through the power method.
+    pub fn uniform(n: usize) -> Self {
+        if n == 0 {
+            return Self { data: Vec::new() };
+        }
+        Self {
+            data: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Builds a vector from raw data.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        // Kahan summation: grid searches compare vectors whose entries span
+        // ~12 orders of magnitude, and naive summation loses enough precision
+        // to perturb L1 normalization on million-entry vectors.
+        let mut sum = 0.0f64;
+        let mut c = 0.0f64;
+        for &x in &self.data {
+            let y = x - c;
+            let t = sum + y;
+            c = (t - sum) - y;
+            sum = t;
+        }
+        sum
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm_l1(&self) -> f64 {
+        let mut sum = 0.0f64;
+        let mut c = 0.0f64;
+        for &x in &self.data {
+            let y = x.abs() - c;
+            let t = sum + y;
+            c = (t - sum) - y;
+            sum = t;
+        }
+        sum
+    }
+
+    /// L∞ norm (maximum absolute value); 0 for an empty vector.
+    pub fn norm_linf(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// L1 distance to another vector of the same length.
+    ///
+    /// This is the convergence error used throughout the paper
+    /// (`ε ≤ 10⁻¹²`, §4.3).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn l1_distance(&self, other: &Self) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "l1_distance: length mismatch {} vs {}",
+            self.len(),
+            other.len()
+        );
+        let mut sum = 0.0f64;
+        let mut c = 0.0f64;
+        for (&a, &b) in self.data.iter().zip(&other.data) {
+            let y = (a - b).abs() - c;
+            let t = sum + y;
+            c = (t - sum) - y;
+            sum = t;
+        }
+        sum
+    }
+
+    /// Scales the vector so its entries sum to 1.
+    ///
+    /// No-op for an all-zero (or empty) vector: there is no meaningful
+    /// probability vector to produce, and callers (e.g. attention on an
+    /// empty citation window) rely on the all-zero vector passing through.
+    pub fn normalize_l1(&mut self) {
+        let s = self.sum();
+        if s != 0.0 {
+            let inv = 1.0 / s;
+            for x in &mut self.data {
+                *x *= inv;
+            }
+        }
+    }
+
+    /// Fills every entry with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// `self ← self + alpha * other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Self) {
+        assert_eq!(self.len(), other.len(), "axpy: length mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self ← alpha * self`.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Dot product with another vector of the same length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &Self) -> f64 {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// `true` iff every entry is finite (no NaN/±∞).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Indices of the `k` largest entries, in decreasing score order.
+    ///
+    /// Ties break by smaller index first so results are deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<u32> {
+        let mut idx = crate::ranks::sort_indices_desc(&self.data);
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl Deref for ScoreVec {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl DerefMut for ScoreVec {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+impl Index<usize> for ScoreVec {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for ScoreVec {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl From<Vec<f64>> for ScoreVec {
+    fn from(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_uniform() {
+        let z = ScoreVec::zeros(4);
+        assert_eq!(z.as_slice(), &[0.0; 4]);
+        let u = ScoreVec::uniform(4);
+        assert_eq!(u.as_slice(), &[0.25; 4]);
+        assert!((u.sum() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uniform_empty_is_empty() {
+        let u = ScoreVec::uniform(0);
+        assert!(u.is_empty());
+        assert_eq!(u.sum(), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let v = ScoreVec::from_vec(vec![1.0, -2.0, 3.0]);
+        assert!((v.norm_l1() - 6.0).abs() < 1e-15);
+        assert!((v.norm_linf() - 3.0).abs() < 1e-15);
+        assert!((v.sum() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn l1_distance_basic() {
+        let a = ScoreVec::from_vec(vec![1.0, 0.0, 2.0]);
+        let b = ScoreVec::from_vec(vec![0.0, 1.0, 2.0]);
+        assert!((a.l1_distance(&b) - 2.0).abs() < 1e-15);
+        assert_eq!(a.l1_distance(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn l1_distance_len_mismatch_panics() {
+        let a = ScoreVec::zeros(2);
+        let b = ScoreVec::zeros(3);
+        let _ = a.l1_distance(&b);
+    }
+
+    #[test]
+    fn normalize_l1_makes_probability_vector() {
+        let mut v = ScoreVec::from_vec(vec![2.0, 3.0, 5.0]);
+        v.normalize_l1();
+        assert!((v.sum() - 1.0).abs() < 1e-15);
+        assert!((v[0] - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_l1_zero_vector_noop() {
+        let mut v = ScoreVec::zeros(3);
+        v.normalize_l1();
+        assert_eq!(v.as_slice(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = ScoreVec::from_vec(vec![1.0, 2.0]);
+        let b = ScoreVec::from_vec(vec![10.0, 20.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = ScoreVec::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = ScoreVec::from_vec(vec![4.0, 5.0, 6.0]);
+        assert!((a.dot(&b) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_orders_desc_ties_by_index() {
+        let v = ScoreVec::from_vec(vec![0.5, 0.9, 0.5, 1.0]);
+        assert_eq!(v.top_k(3), vec![3, 1, 0]);
+        assert_eq!(v.top_k(10).len(), 4); // k larger than n is clamped
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut v = ScoreVec::zeros(2);
+        assert!(v.all_finite());
+        v[1] = f64::NAN;
+        assert!(!v.all_finite());
+    }
+
+    #[test]
+    fn kahan_sum_is_accurate() {
+        // 1.0 followed by many tiny values that naive summation drops.
+        let mut data = vec![1.0];
+        data.extend(std::iter::repeat_n(1e-16, 10_000));
+        let v = ScoreVec::from_vec(data);
+        let expected = 1.0 + 1e-16 * 10_000.0;
+        assert!((v.sum() - expected).abs() < 1e-18);
+    }
+}

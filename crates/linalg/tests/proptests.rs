@@ -1,0 +1,148 @@
+//! Property-based tests for the sparsela kernels.
+
+use proptest::prelude::*;
+use sparsela::{
+    average_ranks, fit_exponential, ordinal_ranks, sort_indices_desc, CitationOperator, Csr,
+    PowerEngine, PowerOptions, ScoreVec,
+};
+
+/// Strategy: a random edge list on `n` nodes.
+fn edges_strategy(max_n: u32) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let edge = (0..n, 0..n).prop_filter("no self-loop", |(a, b)| a != b);
+        proptest::collection::vec(edge, 0..(n as usize * 4))
+            .prop_map(move |es| (n as usize, es))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_transpose_is_involution((n, edges) in edges_strategy(40)) {
+        let m = Csr::from_edges(n, n, &edges);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn csr_contains_matches_edge_list((n, edges) in edges_strategy(30)) {
+        let m = Csr::from_edges(n, n, &edges);
+        for &(r, c) in &edges {
+            prop_assert!(m.contains(r, c));
+        }
+        prop_assert!(m.nnz() <= edges.len());
+    }
+
+    #[test]
+    fn csr_degree_sum_equals_nnz((n, edges) in edges_strategy(40)) {
+        let m = Csr::from_edges(n, n, &edges);
+        let total: usize = (0..n as u32).map(|r| m.degree(r)).sum();
+        prop_assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn stochastic_operator_preserves_mass((n, edges) in edges_strategy(30)) {
+        let refs = Csr::from_edges(n, n, &edges);
+        let op = CitationOperator::from_references(&refs);
+        let x = ScoreVec::uniform(n);
+        let mut y = ScoreVec::zeros(n);
+        op.apply(x.as_slice(), y.as_mut_slice());
+        prop_assert!((y.sum() - 1.0).abs() < 1e-10);
+        prop_assert!(y.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn pagerank_style_iteration_converges_and_sums_to_one(
+        (n, edges) in edges_strategy(25),
+        alpha in 0.0f64..0.95,
+    ) {
+        let refs = Csr::from_edges(n, n, &edges);
+        let op = CitationOperator::from_references(&refs);
+        let engine = PowerEngine::new(PowerOptions { epsilon: 1e-10, max_iterations: 2000, record_errors: false });
+        let outcome = engine.run(ScoreVec::uniform(n), |cur, next| {
+            op.apply(cur.as_slice(), next.as_mut_slice());
+            for v in next.iter_mut() {
+                *v = alpha * *v + (1.0 - alpha) / n as f64;
+            }
+        });
+        prop_assert!(outcome.converged, "α={alpha} must converge");
+        prop_assert!((outcome.scores.sum() - 1.0).abs() < 1e-8);
+        prop_assert!(outcome.scores.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn ordinal_ranks_are_permutation_of_1_to_n(scores in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut ranks = ordinal_ranks(&scores);
+        ranks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, r) in ranks.iter().enumerate() {
+            prop_assert_eq!(*r, (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn average_ranks_sum_is_n_n_plus_1_over_2(scores in proptest::collection::vec(-100i32..100, 1..200)) {
+        let scores: Vec<f64> = scores.into_iter().map(f64::from).collect();
+        let n = scores.len() as f64;
+        let sum: f64 = average_ranks(&scores).iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_ranks_respect_order(scores in proptest::collection::vec(-100i32..100, 2..100)) {
+        let scores: Vec<f64> = scores.into_iter().map(f64::from).collect();
+        let ranks = average_ranks(&scores);
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] > scores[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                } else if scores[i] == scores[j] {
+                    prop_assert_eq!(ranks[i], ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_indices_desc_is_sorted(scores in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+        let idx = sort_indices_desc(&scores);
+        prop_assert_eq!(idx.len(), scores.len());
+        for w in idx.windows(2) {
+            prop_assert!(scores[w[0] as usize] >= scores[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    fn exponential_fit_recovers_rate(a in 0.1f64..10.0, w in -2.0f64..-0.01, n in 4usize..30) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a * (w * x).exp()).collect();
+        let fit = fit_exponential(&xs, &ys).unwrap();
+        prop_assert!((fit.rate - w).abs() < 1e-6);
+        prop_assert!((fit.amplitude - a).abs() / a < 1e-6);
+    }
+
+    #[test]
+    fn l1_distance_triangle_inequality(
+        a in proptest::collection::vec(-100.0f64..100.0, 1..60),
+    ) {
+        let n = a.len();
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        let (va, vb, vc) = (
+            ScoreVec::from_vec(a),
+            ScoreVec::from_vec(b),
+            ScoreVec::from_vec(c),
+        );
+        let _ = n;
+        prop_assert!(va.l1_distance(&vc) <= va.l1_distance(&vb) + vb.l1_distance(&vc) + 1e-9);
+        prop_assert!((va.l1_distance(&vb) - vb.l1_distance(&va)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_l1_produces_probability_vector(
+        raw in proptest::collection::vec(0.0f64..1e6, 1..100),
+    ) {
+        prop_assume!(raw.iter().sum::<f64>() > 0.0);
+        let mut v = ScoreVec::from_vec(raw);
+        v.normalize_l1();
+        prop_assert!((v.sum() - 1.0).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&x| x >= 0.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build a tiny citation network by hand, rank it with
+//! AttRank, and see why the recently-hot paper wins.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use attrank_repro::prelude::*;
+
+fn main() {
+    // A miniature literature: one old classic, one recently trending
+    // paper, and a few readers citing them.
+    let mut builder = NetworkBuilder::new();
+    let classic = builder.add_paper(2005);
+    let trending = builder.add_paper(2018);
+
+    // The classic collected its citations long ago.
+    for year in [2006, 2007, 2008, 2009] {
+        let reader = builder.add_paper(year);
+        builder.add_citation(reader, classic).unwrap();
+    }
+    // The trending paper is being cited right now.
+    for year in [2019, 2020, 2020] {
+        let reader = builder.add_paper(year);
+        builder.add_citation(reader, trending).unwrap();
+    }
+    // Papers were added out of publication order, so `build_with_mapping`
+    // translates the provisional ids into the final time-sorted ones.
+    let (net, mapping) = builder.build_with_mapping().unwrap();
+    let classic = mapping[classic as usize];
+    let trending = mapping[trending as usize];
+
+    println!(
+        "network: {} papers, {} citations, {}–{}",
+        net.n_papers(),
+        net.n_citations(),
+        net.first_year().unwrap(),
+        net.current_year().unwrap()
+    );
+    println!(
+        "raw citation counts: classic = {}, trending = {}",
+        net.citation_count(classic),
+        net.citation_count(trending)
+    );
+
+    // AttRank: α = follow references, β = follow recent attention,
+    // γ = 1−α−β = prefer recent papers. w is the recency decay.
+    let params = AttRankParams::new(0.2, 0.5, 3, -0.16).expect("valid parameters");
+    let method = AttRank::new(params);
+    let scores = method.rank(&net);
+
+    println!("\nAttRank scores (higher = more expected short-term impact):");
+    for id in scores.top_k(net.n_papers()) {
+        let label = if id == classic {
+            "classic"
+        } else if id == trending {
+            "trending"
+        } else {
+            "reader"
+        };
+        println!(
+            "  #{id:<3} ({}, {label:<8})  score {:.4}",
+            net.year(id),
+            scores[id as usize]
+        );
+    }
+
+    assert!(
+        scores[trending as usize] > scores[classic as usize],
+        "attention must put the trending paper first"
+    );
+    println!(
+        "\nThe trending paper out-ranks the classic despite fewer total \
+         citations — that is the paper's attention mechanism at work."
+    );
+}

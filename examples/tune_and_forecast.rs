@@ -1,0 +1,84 @@
+//! Tune-and-forecast: the workflow a production deployment would run —
+//! fit the recency decay from the corpus itself (§4.2), grid-search
+//! AttRank's parameters on a validation split, then forecast tomorrow's
+//! most-cited papers and check the hit rate.
+//!
+//! ```sh
+//! cargo run --release --example tune_and_forecast
+//! ```
+
+use attrank_repro::prelude::*;
+use attrank::fit_decay_from_network;
+use rankeval::tuning::{tune, MethodSpace};
+use sparsela::ScoreVec;
+
+fn main() {
+    let profile = DatasetProfile::hepth().scaled(6_000);
+    println!("generating a {}-paper {} corpus...", profile.n_papers, profile.name);
+    let net = generate(&profile, 123);
+
+    // Step 1 — fit w from the citation-age distribution (paper fits
+    // w = -0.48 for real hep-th).
+    let w = fit_decay_from_network(&net, 10, -0.2);
+    println!("fitted recency decay w = {w:.3}");
+
+    // Step 2 — tune on a validation split (ratio 1.4), optimizing nDCG@50.
+    let validation = ratio_split(&net, 1.4);
+    let val_sti = ground_truth_sti(&validation);
+    let objective = |scores: &ScoreVec| {
+        Metric::NdcgAt(50).evaluate(scores.as_slice(), &val_sti)
+    };
+    let tuned = tune(
+        "AR",
+        MethodSpace::AttRank { decay_w: w }.candidates(),
+        &validation.current,
+        &objective,
+    )
+    .expect("grid is never empty");
+    println!(
+        "validation best: {} with nDCG@50 = {:.4} ({} settings evaluated)",
+        tuned.best_setting, tuned.best_value, tuned.evaluated
+    );
+
+    // Step 3 — forecast on the *later* deployment split (ratio 2.0: the
+    // full future) using the tuned setting, and measure top-50 hit rate.
+    let deployment = ratio_split(&net, 2.0);
+    let deploy_sti = ground_truth_sti(&deployment);
+    // Re-parse the winning description is overkill — re-tune a singleton
+    // grid at the winning parameters by scanning for the best validation
+    // entry again on the deployment current state.
+    let forecast = tune(
+        "AR",
+        MethodSpace::AttRank { decay_w: w }.candidates(),
+        &validation.current, // same training state the validation tuned on
+        &objective,
+    )
+    .unwrap()
+    .scores;
+
+    let k = 50;
+    let hit = rankeval::top_k_overlap(forecast.as_slice(), &deploy_sti, k);
+    println!(
+        "deployment: {:.0}% of the true future top-{k} recovered",
+        hit * 100.0
+    );
+
+    // Compare with the no-attention ablation under identical treatment.
+    let no_att = tune(
+        "NO-ATT",
+        MethodSpace::NoAtt { decay_w: w }.candidates(),
+        &validation.current,
+        &objective,
+    )
+    .unwrap()
+    .scores;
+    let hit_no_att = rankeval::top_k_overlap(no_att.as_slice(), &deploy_sti, k);
+    println!(
+        "same pipeline without attention: {:.0}%",
+        hit_no_att * 100.0
+    );
+    assert!(
+        hit >= hit_no_att,
+        "attention must not hurt the forecast on attention-driven data"
+    );
+}

@@ -1,0 +1,148 @@
+//! Cross-method consistency checks: the algebraic identities that tie the
+//! methods together, verified on generated data rather than toy fixtures.
+
+use attrank_repro::prelude::*;
+use citegraph::rank::CitationCount;
+use sparsela::sort_indices_desc;
+
+fn net(seed: u64) -> citegraph::CitationNetwork {
+    generate(&DatasetProfile::hepth().scaled(1_500), seed)
+}
+
+#[test]
+fn attrank_special_case_recovers_pagerank_exactly() {
+    // §3: β = 0 and w = 0 recovers PageRank.
+    let net = net(31);
+    for alpha in [0.15, 0.5, 0.85] {
+        let ar = AttRank::new(AttRankParams::new(alpha, 0.0, 1, 0.0).unwrap()).rank(&net);
+        let pr = PageRank::new(alpha).rank(&net);
+        let diff: f64 = ar
+            .iter()
+            .zip(pr.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff < 1e-9, "α={alpha}: L1 gap {diff}");
+    }
+}
+
+#[test]
+fn att_only_equals_normalized_recent_citations() {
+    let net = net(32);
+    let scores = AttRank::new(AttRankParams::att_only(2).unwrap()).rank(&net);
+    let counts = citegraph::window::recent_citation_counts(&net, 2);
+    let total: u32 = counts.iter().sum();
+    assert!(total > 0);
+    for (p, &c) in counts.iter().enumerate() {
+        assert!(
+            (scores[p] - c as f64 / total as f64).abs() < 1e-12,
+            "paper {p}"
+        );
+    }
+}
+
+#[test]
+fn ram_approaches_citation_count_order_as_gamma_to_one() {
+    let net = net(33);
+    let ram = Ram::new(0.9999).rank(&net);
+    let cc = CitationCount.rank(&net);
+    // RAM still breaks citation-count ties by age, so exact id sequences
+    // can differ within a tie group; the citation-count *values* along
+    // RAM's ranking must be non-increasing, i.e. RAM never inverts two
+    // papers with different citation counts.
+    let r_order = sort_indices_desc(ram.as_slice());
+    for w in r_order.windows(2) {
+        assert!(
+            cc[w[0] as usize] >= cc[w[1] as usize],
+            "γ→1 RAM inverted CC order: {} ({}) before {} ({})",
+            w[0],
+            cc[w[0] as usize],
+            w[1],
+            cc[w[1] as usize]
+        );
+    }
+}
+
+#[test]
+fn ecm_reduces_to_ram_as_alpha_to_zero() {
+    let net = net(34);
+    let gamma = 0.5;
+    let ecm = Ecm::new(1e-12, gamma).rank(&net);
+    let ram = Ram::new(gamma).rank(&net);
+    for p in 0..net.n_papers() {
+        assert!(
+            (ecm[p] - ram[p]).abs() < 1e-6,
+            "paper {p}: ECM {} vs RAM {}",
+            ecm[p],
+            ram[p]
+        );
+    }
+}
+
+#[test]
+fn citerank_with_flat_start_ranks_like_damped_katz_flow() {
+    // Sanity link: CiteRank with enormous τ (flat ρ) still orders cited
+    // papers above uncited ones.
+    let net = net(35);
+    let cr = CiteRank::new(0.5, 1e9).rank(&net);
+    let cc = CitationCount.rank(&net);
+    // Every paper with ≥30 citations must out-rank every paper with 0.
+    let heavy: Vec<usize> = (0..net.n_papers())
+        .filter(|&p| cc[p] >= 30.0)
+        .collect();
+    let zero: Vec<usize> = (0..net.n_papers()).filter(|&p| cc[p] == 0.0).collect();
+    assert!(!heavy.is_empty() && !zero.is_empty());
+    let min_heavy = heavy.iter().map(|&p| cr[p]).fold(f64::INFINITY, f64::min);
+    let max_zero = zero.iter().map(|&p| cr[p]).fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        min_heavy > max_zero,
+        "heavily-cited floor {min_heavy} vs uncited ceiling {max_zero}"
+    );
+}
+
+#[test]
+fn io_roundtrip_preserves_rankings() {
+    let net = net(36);
+    let dir = std::env::temp_dir().join("attrank_roundtrip_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stem = dir.join("hepth");
+    citegraph::io::save(&net, &stem).unwrap();
+    let back = citegraph::io::load(&stem).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let params = AttRankParams::new(0.3, 0.4, 2, -0.48).unwrap();
+    let original = AttRank::new(params).rank(&net);
+    let reloaded = AttRank::new(params).rank(&back);
+    assert_eq!(original.len(), reloaded.len());
+    for p in 0..original.len() {
+        assert!(
+            (original[p] - reloaded[p]).abs() < 1e-12,
+            "paper {p} diverged after TSV round-trip"
+        );
+    }
+}
+
+#[test]
+fn every_method_scores_every_paper_finite_nonnegative() {
+    let net = generate(&DatasetProfile::pmc().scaled(1_500), 37);
+    let methods: Vec<(&str, Box<dyn Ranker>)> = vec![
+        ("AR", Box::new(AttRank::new(AttRankParams::new(0.2, 0.4, 3, -0.16).unwrap()))),
+        ("PR", Box::new(PageRank::default_citation())),
+        ("CR", Box::new(CiteRank::new(0.5, 2.6))),
+        ("FR", Box::new(FutureRank::original_optimum())),
+        ("RAM", Box::new(Ram::new(0.6))),
+        ("ECM", Box::new(Ecm::new(0.1, 0.3))),
+        ("WSDM", Box::new(Wsdm::original())),
+        ("CC", Box::new(CitationCount)),
+        ("HITS", Box::new(baselines::Hits::default())),
+        ("Katz", Box::new(baselines::Katz::new(0.2))),
+    ];
+    for (name, m) in &methods {
+        let s = m.rank(&net);
+        assert_eq!(s.len(), net.n_papers(), "{name} wrong length");
+        assert!(s.all_finite(), "{name} produced non-finite scores");
+        assert!(
+            s.iter().all(|&v| v >= 0.0),
+            "{name} produced negative scores"
+        );
+    }
+}

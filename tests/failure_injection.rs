@@ -1,0 +1,169 @@
+//! Failure injection: the inputs that break naive implementations.
+//!
+//! Citation networks are *almost* DAGs — same-year mutual citations create
+//! cycles, real dumps contain malformed rows, and method grids contain
+//! divergent parameterizations. The library must degrade loudly (error
+//! values, `converged = false`, skipped settings), never silently corrupt
+//! a ranking.
+
+use attrank_repro::prelude::*;
+use citegraph::NetworkBuilder;
+use proptest::prelude::*;
+use rankeval::tuning::{tune, Candidate};
+use sparsela::ScoreVec;
+
+/// A same-year clique: every paper cites every other. Legal input (the
+/// builder allows same-year citations) but a worst case for chain-based
+/// methods: the spectral radius of the adjacency is `m − 1`.
+fn same_year_clique(m: usize) -> citegraph::CitationNetwork {
+    let mut b = NetworkBuilder::new();
+    let ids: Vec<_> = (0..m).map(|_| b.add_paper(2020)).collect();
+    for &i in &ids {
+        for &j in &ids {
+            if i != j {
+                b.add_citation(i, j).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn ecm_reports_divergence_on_cyclic_clique() {
+    // α·ρ(M) = 0.5 · 5 > 1: the Katz series diverges. The implementation
+    // must flag non-convergence rather than loop forever or return junk
+    // silently.
+    let net = same_year_clique(6);
+    let out = Ecm::new(0.5, 0.9).rank_with_diagnostics(&net);
+    assert!(!out.converged, "divergent series must be reported");
+}
+
+#[test]
+fn tuner_skips_divergent_ecm_settings() {
+    // Embed one divergent candidate among healthy ones: the winner must
+    // come from the finite ones.
+    let net = same_year_clique(6);
+    let candidates = vec![
+        Candidate {
+            description: "ECM(divergent)".into(),
+            ranker: Box::new(Ecm::new(0.5, 0.9)),
+        },
+        Candidate {
+            description: "RAM(γ=0.5)".into(),
+            ranker: Box::new(Ram::new(0.5)),
+        },
+    ];
+    let result = tune("mixed", candidates, &net, &|s: &ScoreVec| s.sum()).unwrap();
+    assert_eq!(result.best_setting, "RAM(γ=0.5)");
+}
+
+#[test]
+fn pagerank_family_survives_cycles() {
+    // Stochastic-matrix methods are immune to cycles (column sums stay 1).
+    let net = same_year_clique(5);
+    for scores in [
+        AttRank::new(AttRankParams::new(0.5, 0.3, 1, -0.1).unwrap()).rank(&net),
+        PageRank::new(0.85).rank(&net),
+        CiteRank::new(0.7, 2.0).rank(&net),
+        FutureRank::original_optimum().rank(&net),
+    ] {
+        assert!(scores.all_finite());
+        // Clique symmetry ⇒ identical scores.
+        for w in scores.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn isolated_papers_only_network_ranks_by_recency() {
+    // No citations at all: attention is all-zero, S is all-dangling.
+    let mut b = NetworkBuilder::new();
+    for y in 2000..2020 {
+        b.add_paper(y);
+    }
+    let net = b.build().unwrap();
+    let scores = AttRank::new(AttRankParams::new(0.3, 0.4, 2, -0.3).unwrap()).rank(&net);
+    assert!(scores.all_finite());
+    // Newest paper must rank first: only recency differentiates.
+    assert_eq!(scores.top_k(1), vec![19]);
+}
+
+#[test]
+fn single_paper_network_is_trivial() {
+    let mut b = NetworkBuilder::new();
+    b.add_paper(2000);
+    let net = b.build().unwrap();
+    let d = AttRank::new(AttRankParams::new(0.5, 0.3, 1, -0.1).unwrap())
+        .rank_with_diagnostics(&net);
+    assert!(d.converged);
+    assert_eq!(d.scores.len(), 1);
+    assert!(d.scores[0] > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The TSV parser must never panic, whatever bytes arrive.
+    #[test]
+    fn tsv_parser_never_panics(papers in "[ -~\t\n]{0,400}", citations in "[ -~\t\n]{0,200}") {
+        let _ = citegraph::io::from_tsv(&papers, &citations);
+    }
+
+    /// Structured-but-corrupt rows: random field content in a valid shape.
+    #[test]
+    fn tsv_parser_handles_structured_garbage(
+        rows in proptest::collection::vec(("[0-9a-z]{1,6}", "[0-9a-z-]{1,6}"), 0..20),
+    ) {
+        let papers: String = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (y, v))| format!("{i}\t{y}\t{v}\t\n"))
+            .collect();
+        let _ = citegraph::io::from_tsv(&papers, "");
+    }
+
+    /// Warm-started incremental scoring lands on the batch fixed point for
+    /// arbitrary growth steps of arbitrary networks.
+    #[test]
+    fn incremental_matches_batch_on_random_networks(
+        n in 6usize..40,
+        cut in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        // Deterministic pseudo-random DAG from the seed.
+        let mut b = NetworkBuilder::new();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for i in 0..n {
+            b.add_paper(2000 + (i / 3) as i32);
+        }
+        for citing in 1..n as u32 {
+            let refs = next() % 4;
+            for _ in 0..refs {
+                let cited = (next() % citing as usize) as u32;
+                if cited != citing {
+                    let _ = b.add_citation(citing, cited);
+                }
+            }
+        }
+        let net = b.build().unwrap();
+        let early = net.prefix(n - cut.min(n - 1));
+
+        let params = AttRankParams::new(0.4, 0.3, 2, -0.2).unwrap();
+        let mut inc = attrank::IncrementalAttRank::new(params);
+        inc.update(&early);
+        let warm = inc.update(&net);
+        let batch = AttRank::new(params).rank(&net);
+        prop_assert!(warm.converged);
+        for p in 0..net.n_papers() {
+            prop_assert!(
+                (warm.scores[p] - batch[p]).abs() < 1e-8,
+                "paper {p}: warm {} vs batch {}", warm.scores[p], batch[p]
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Shape tests against the paper's descriptive claims — not the absolute
+//! numbers (our substrate is synthetic), but the qualitative facts each
+//! table/figure reports.
+
+use attrank_repro::prelude::*;
+use rankeval::experiment::{convergence_comparison, prepare, table1, table2};
+
+#[test]
+fn table1_shape_roughly_half_of_top_sti_is_recently_popular() {
+    // Paper: 41/54/54/63 of the top-100 by STI were recently popular.
+    let bundle = prepare(&DatasetProfile::dblp().scaled(4_000), 21);
+    let n = table1(&bundle, 100, 5);
+    assert!(
+        (25..=100).contains(&n),
+        "expected a large recently-popular fraction, got {n}/100"
+    );
+}
+
+#[test]
+fn table2_shape_horizon_grows_sublinearly_with_ratio() {
+    // Paper: the ratio→τ map is non-linear because publication volume
+    // grows; horizons are a handful of years and monotone.
+    let bundle = prepare(&DatasetProfile::dblp().scaled(4_000), 22);
+    let rows = table2(&bundle);
+    assert_eq!(rows.len(), 5);
+    let horizons: Vec<i32> = rows.iter().map(|&(_, t)| t).collect();
+    for w in horizons.windows(2) {
+        assert!(w[1] >= w[0]);
+    }
+    assert!(horizons[4] >= 1, "ratio 2.0 must look ≥1 year ahead");
+    assert!(
+        horizons[4] <= 20,
+        "horizon should be years, not the whole corpus ({})",
+        horizons[4]
+    );
+}
+
+#[test]
+fn fig1a_shape_age_distributions_peak_early_and_decay() {
+    for (profile, max_peak_age) in [
+        (DatasetProfile::hepth().scaled(3_000), 2usize),
+        (DatasetProfile::aps().scaled(3_000), 4),
+    ] {
+        let net = generate(&profile, 23);
+        let dist = citegraph::stats::citation_age_distribution(&net, 10);
+        let peak = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            peak <= max_peak_age,
+            "{}: peak at age {peak}, expected ≤ {max_peak_age}",
+            profile.name
+        );
+        // Tail decays: mass at 8-10y below mass at peak.
+        assert!(dist[8] < dist[peak]);
+    }
+}
+
+#[test]
+fn sec44_shape_attrank_converges_within_paper_budgets() {
+    // Paper §4.4: AR < 30 iterations (ε ≤ 1e-12, α = 0.5); CR needed up
+    // to 51; all methods converge on these settings.
+    let bundle = prepare(&DatasetProfile::hepth().scaled(4_000), 24);
+    let rows = convergence_comparison(&bundle);
+    let get = |name: &str| rows.iter().find(|(n, _, _)| n == name).unwrap();
+    let (_, ar_iters, ar_conv) = get("AR");
+    let (_, cr_iters, cr_conv) = get("CR");
+    let (_, fr_iters, fr_conv) = get("FR");
+    assert!(*ar_conv && *cr_conv && *fr_conv);
+    assert!(*ar_iters <= 60, "AR took {ar_iters}");
+    assert!(*cr_iters <= 120, "CR took {cr_iters}");
+    assert!(*fr_iters <= 120, "FR took {fr_iters}");
+}
+
+#[test]
+fn heatmap_shape_attention_matters() {
+    // Fig. 2/6: β=0 column is visibly worse than the overall best.
+    let bundle = prepare(&DatasetProfile::dblp().scaled(3_000), 25);
+    let h = rankeval::experiment::heatmap(&bundle, 1.6, Metric::Spearman);
+    let (best, _, best_beta, _) = h.best().unwrap();
+    let no_att = h.best_no_att().unwrap();
+    assert!(
+        best >= no_att,
+        "global best ({best:.4}) must dominate the β=0 slice ({no_att:.4})"
+    );
+    assert!(
+        best_beta > 0.0,
+        "the best β must be non-zero on attention-driven data"
+    );
+}
+
+#[test]
+fn fig5_shape_ndcg_high_at_small_k() {
+    // Fig. 5: at small k AttRank reaches high nDCG and is at/near the top
+    // of the field. Small synthetic corpora are noisy at k = 5 (a handful
+    // of heavy-tailed winners decide everything), so the test asserts the
+    // discriminative part at k = 10 with generous slack; the full-scale
+    // numbers live in EXPERIMENTS.md (AR ≈ 0.72–0.74 at k ∈ {5,10} on the
+    // 12k DBLP profile).
+    let bundle = prepare(&DatasetProfile::dblp().scaled(3_000), 26);
+    let results =
+        rankeval::experiment::comparative_at_ratio(&bundle, 1.6, Metric::NdcgAt(10));
+    let ar = results.iter().find(|r| r.method == "AR").unwrap();
+    assert!(
+        ar.best_value > 0.4,
+        "tuned AR nDCG@10 should be substantial, got {:.4}",
+        ar.best_value
+    );
+    let best_other = results
+        .iter()
+        .filter(|r| r.method != "AR")
+        .map(|r| r.best_value)
+        .fold(f64::MIN, f64::max);
+    assert!(
+        ar.best_value >= best_other - 0.02,
+        "AR ({:.4}) must be at/near the top (best other {:.4})",
+        ar.best_value,
+        best_other
+    );
+}

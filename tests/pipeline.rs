@@ -1,0 +1,171 @@
+//! End-to-end pipeline tests: generate → split → rank → evaluate,
+//! asserting the *shape* of the paper's headline results on synthetic
+//! data (who wins, which ablation hurts, where the signal lives).
+
+use attrank_repro::prelude::*;
+use citegraph::rank::CitationCount;
+use rankeval::tuning::{tune, MethodSpace};
+use sparsela::ScoreVec;
+
+fn bundle(seed: u64) -> (citegraph::CitationNetwork, f64) {
+    let net = generate(&DatasetProfile::dblp().scaled(4_000), seed);
+    let w = attrank::fit_decay_from_network(&net, 10, -0.16);
+    (net, w)
+}
+
+fn spearman_of(method_scores: &ScoreVec, sti: &[f64]) -> f64 {
+    Metric::Spearman.evaluate(method_scores.as_slice(), sti)
+}
+
+#[test]
+fn attrank_beats_citation_count_and_pagerank() {
+    let (net, w) = bundle(1);
+    let split = ratio_split(&net, 1.6);
+    let sti = ground_truth_sti(&split);
+
+    let ar = AttRank::new(AttRankParams::new(0.2, 0.4, 3, w).unwrap()).rank(&split.current);
+    let cc = CitationCount.rank(&split.current);
+    let pr = PageRank::default_citation().rank(&split.current);
+
+    let rho_ar = spearman_of(&ar, &sti);
+    let rho_cc = spearman_of(&cc, &sti);
+    let rho_pr = spearman_of(&pr, &sti);
+
+    assert!(
+        rho_ar > rho_cc,
+        "AttRank ({rho_ar:.3}) must beat citation count ({rho_cc:.3})"
+    );
+    assert!(
+        rho_ar > rho_pr,
+        "AttRank ({rho_ar:.3}) must beat PageRank ({rho_pr:.3})"
+    );
+    assert!(rho_ar > 0.2, "correlation should be clearly positive");
+}
+
+#[test]
+fn tuned_attrank_beats_tuned_no_att() {
+    // The paper's central ablation claim (§4.2, §4.3): removing the
+    // attention mechanism costs correlation.
+    let (net, w) = bundle(2);
+    let split = ratio_split(&net, 1.6);
+    let sti = ground_truth_sti(&split);
+    let objective = |s: &ScoreVec| Metric::Spearman.evaluate(s.as_slice(), &sti);
+
+    let ar = tune(
+        "AR",
+        MethodSpace::AttRank { decay_w: w }.candidates(),
+        &split.current,
+        &objective,
+    )
+    .unwrap();
+    let no_att = tune(
+        "NO-ATT",
+        MethodSpace::NoAtt { decay_w: w }.candidates(),
+        &split.current,
+        &objective,
+    )
+    .unwrap();
+
+    assert!(
+        ar.best_value > no_att.best_value,
+        "AR ({:.4}) must beat NO-ATT ({:.4})",
+        ar.best_value,
+        no_att.best_value
+    );
+}
+
+#[test]
+fn balanced_attrank_at_least_matches_att_only() {
+    // §3: "β = 1 is never the optimal setting; it is always better to
+    // consider attention in combination with the other two mechanisms."
+    // On tuned grids AR's best includes ATT-ONLY as a grid point, so
+    // AR ≥ ATT-ONLY must hold exactly.
+    let (net, w) = bundle(3);
+    let split = ratio_split(&net, 1.6);
+    let sti = ground_truth_sti(&split);
+    let objective = |s: &ScoreVec| Metric::Spearman.evaluate(s.as_slice(), &sti);
+
+    let ar = tune(
+        "AR",
+        MethodSpace::AttRank { decay_w: w }.candidates(),
+        &split.current,
+        &objective,
+    )
+    .unwrap();
+    let att_only = tune(
+        "ATT-ONLY",
+        MethodSpace::AttOnly.candidates(),
+        &split.current,
+        &objective,
+    )
+    .unwrap();
+
+    assert!(
+        ar.best_value >= att_only.best_value - 1e-12,
+        "AR ({:.4}) must dominate ATT-ONLY ({:.4}) — its grid contains it",
+        ar.best_value,
+        att_only.best_value
+    );
+}
+
+#[test]
+fn ndcg_prefers_small_attention_windows_at_the_top() {
+    // §4.2.2: for nDCG@50 the best window is small (y = 1 on three of the
+    // four datasets). Verify the direction: y=1 beats y=5 at the paper's
+    // best DBLP-style setting.
+    let (net, w) = bundle(4);
+    let split = ratio_split(&net, 1.6);
+    let sti = ground_truth_sti(&split);
+
+    let at = |y: u32| {
+        let s = AttRank::new(AttRankParams::new(0.1, 0.4, y, w).unwrap()).rank(&split.current);
+        Metric::NdcgAt(50).evaluate(s.as_slice(), &sti)
+    };
+    let (short, long) = (at(1), at(5));
+    assert!(
+        short >= long - 0.05,
+        "short window ({short:.3}) should not lose badly to long ({long:.3})"
+    );
+}
+
+#[test]
+fn wsdm_runs_on_venue_datasets_and_scores_reasonably() {
+    let net = generate(&DatasetProfile::pmc().scaled(3_000), 5);
+    let split = ratio_split(&net, 1.6);
+    let sti = ground_truth_sti(&split);
+    let scores = Wsdm::original().rank(&split.current);
+    let rho = spearman_of(&scores, &sti);
+    assert!(rho.is_finite());
+    assert!(rho > -0.5, "WSDM should not anti-correlate ({rho:.3})");
+}
+
+#[test]
+fn full_comparative_experiment_has_attrank_on_top() {
+    // A miniature Fig. 3 cell: tuned AR vs all tuned baselines.
+    let profile = DatasetProfile::dblp().scaled(3_000);
+    let bundle = rankeval::experiment::prepare(&profile, 11);
+    let results =
+        rankeval::experiment::comparative_at_ratio(&bundle, 1.6, Metric::Spearman);
+    let ar = results.iter().find(|r| r.method == "AR").unwrap();
+    for r in &results {
+        if r.method == "AR" {
+            continue;
+        }
+        assert!(
+            ar.best_value >= r.best_value - 0.02,
+            "AR ({:.4}) should be at or near the top; {} got {:.4}",
+            ar.best_value,
+            r.method,
+            r.best_value
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let (net, w) = bundle(6);
+    let split = ratio_split(&net, 1.6);
+    let a = AttRank::new(AttRankParams::new(0.3, 0.3, 2, w).unwrap()).rank(&split.current);
+    let b = AttRank::new(AttRankParams::new(0.3, 0.3, 2, w).unwrap()).rank(&split.current);
+    assert_eq!(a, b);
+}
