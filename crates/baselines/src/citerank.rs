@@ -15,7 +15,7 @@
 //! converges for any `α ∈ (0,1)` because `‖αW‖₁ ≤ α < 1`.
 
 use citegraph::{CitationNetwork, Ranker};
-use sparsela::{PowerEngine, PowerOptions, PowerOutcome, ScoreVec};
+use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, PowerOutcome, ScoreVec};
 
 /// CiteRank with follow probability `alpha` and aging factor `tau_dir`.
 #[derive(Debug, Clone, Copy)]
@@ -36,10 +36,7 @@ impl CiteRank {
     /// # Panics
     /// Panics unless `0 < alpha < 1` and `tau_dir > 0`.
     pub fn new(alpha: f64, tau_dir: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha < 1.0,
-            "alpha {alpha} outside (0,1)"
-        );
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha {alpha} outside (0,1)");
         assert!(tau_dir > 0.0, "tau_dir {tau_dir} must be positive");
         Self {
             alpha,
@@ -65,6 +62,15 @@ impl CiteRank {
 
     /// Scores with convergence diagnostics.
     pub fn rank_with_diagnostics(&self, net: &CitationNetwork) -> PowerOutcome {
+        self.rank_with_diagnostics_in(net, &mut KernelWorkspace::new())
+    }
+
+    /// [`Self::rank_with_diagnostics`] drawing scratch from `workspace`.
+    pub fn rank_with_diagnostics_in(
+        &self,
+        net: &CitationNetwork,
+        workspace: &mut KernelWorkspace,
+    ) -> PowerOutcome {
         let n = net.n_papers();
         if n == 0 {
             return PowerEngine::new(self.options).run(ScoreVec::zeros(0), |_, _| {});
@@ -72,13 +78,22 @@ impl CiteRank {
         let rho = self.start_distribution(net);
         let op = net.stochastic_operator();
         let alpha = self.alpha;
-        PowerEngine::new(self.options).run(rho.clone(), move |cur, next| {
-            // T ← ρ + α·W·T with leaky dangling handling (original model).
-            op.apply_leaky(cur.as_slice(), next.as_mut_slice());
-            for (i, v) in next.iter_mut().enumerate() {
-                *v = rho[i] + alpha * *v;
-            }
-        })
+        let mut initial = workspace.take_zeros(n);
+        initial.as_mut_slice().copy_from_slice(rho.as_slice());
+        // T ← ρ + α·W·T with leaky dangling handling (original model),
+        // fused into one sweep. The closure borrows `ρ` so it can be
+        // recycled after the solve.
+        let rho_ref = &rho;
+        let outcome = PowerEngine::new(self.options).run_with(workspace, initial, |cur, next| {
+            op.apply_damped_leaky(
+                alpha,
+                cur.as_slice(),
+                rho_ref.as_slice(),
+                next.as_mut_slice(),
+            );
+        });
+        workspace.recycle(rho);
+        outcome
     }
 }
 
@@ -89,6 +104,10 @@ impl Ranker for CiteRank {
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {
         self.rank_with_diagnostics(net).scores
+    }
+
+    fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+        self.rank_with_diagnostics_in(net, workspace).scores
     }
 }
 
@@ -126,18 +145,13 @@ mod tests {
         let s = CiteRank::new(0.3, 1.0).rank(&net);
         // With τ=1 the start mass concentrates on 2019/2020 papers, so the
         // recent paper out-ranks the long-cold classic.
-        assert!(
-            s[5] > s[0],
-            "recent {} must beat classic {}",
-            s[5],
-            s[0]
-        );
+        assert!(s[5] > s[0], "recent {} must beat classic {}", s[5], s[0]);
     }
 
     #[test]
     fn long_tau_approaches_age_blindness() {
         let net = two_generations();
-        let s = CiteRank::new(0.5, 1e6, ).rank(&net);
+        let s = CiteRank::new(0.5, 1e6).rank(&net);
         // With τ→∞, ρ is uniform and the classic's 4 citations dominate.
         assert!(s[0] > s[5]);
     }

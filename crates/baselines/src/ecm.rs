@@ -17,7 +17,7 @@
 //! settings the same way.
 
 use citegraph::{CitationNetwork, Ranker};
-use sparsela::{PowerEngine, PowerOptions, PowerOutcome, ScoreVec, WeightedCsr};
+use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, PowerOutcome, ScoreVec, WeightedCsr};
 
 /// ECM with chain damping `alpha` and age retention `gamma`.
 #[derive(Debug, Clone, Copy)]
@@ -68,21 +68,41 @@ impl Ecm {
 
     /// Scores with convergence diagnostics.
     pub fn rank_with_diagnostics(&self, net: &CitationNetwork) -> PowerOutcome {
+        self.rank_with_diagnostics_in(net, &mut KernelWorkspace::new())
+    }
+
+    /// [`Self::rank_with_diagnostics`] drawing scratch from `workspace`.
+    pub fn rank_with_diagnostics_in(
+        &self,
+        net: &CitationNetwork,
+        workspace: &mut KernelWorkspace,
+    ) -> PowerOutcome {
         let n = net.n_papers();
         if n == 0 {
             return PowerEngine::new(self.options).run(ScoreVec::zeros(0), |_, _| {});
         }
         let m = self.weighted_matrix(net);
-        let mut seed = vec![0.0; n];
-        m.mul_vec_into(&vec![1.0; n], &mut seed);
-        let seed = ScoreVec::from_vec(seed);
+        let mut ones = workspace.take_zeros(n);
+        ones.fill(1.0);
+        let mut seed = workspace.take_zeros(n);
+        m.mul_vec_into(ones.as_slice(), seed.as_mut_slice());
+        workspace.recycle(ones);
         let alpha = self.alpha;
-        PowerEngine::new(self.options).run(seed.clone(), move |cur, next| {
-            m.mul_vec_into(cur.as_slice(), next.as_mut_slice());
-            for (i, v) in next.iter_mut().enumerate() {
-                *v = seed[i] + alpha * *v;
-            }
-        })
+        let mut initial = workspace.take_zeros(n);
+        initial.as_mut_slice().copy_from_slice(seed.as_slice());
+        // s ← seed + α·M·s, fused into one sweep. The closure borrows
+        // `seed` so it can be recycled after the solve.
+        let seed_ref = &seed;
+        let outcome = PowerEngine::new(self.options).run_with(workspace, initial, |cur, next| {
+            m.mul_vec_damped_into(
+                alpha,
+                cur.as_slice(),
+                seed_ref.as_slice(),
+                next.as_mut_slice(),
+            );
+        });
+        workspace.recycle(seed);
+        outcome
     }
 }
 
@@ -103,6 +123,18 @@ impl Ranker for Ecm {
             out.scores
         } else {
             ScoreVec::from_vec(vec![f64::NAN; net.n_papers()])
+        }
+    }
+
+    fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+        let out = self.rank_with_diagnostics_in(net, workspace);
+        if out.converged {
+            out.scores
+        } else {
+            workspace.recycle(out.scores);
+            let mut nan = workspace.take_zeros(net.n_papers());
+            nan.fill(f64::NAN);
+            nan
         }
     }
 }

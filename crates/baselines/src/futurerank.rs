@@ -22,7 +22,7 @@
 //! the iteration cap plus the `converged` flag surface that here.
 
 use citegraph::{CitationNetwork, Ranker};
-use sparsela::{PowerEngine, PowerOptions, PowerOutcome, ScoreVec};
+use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, PowerOutcome, ScoreVec};
 
 /// FutureRank parameters.
 #[derive(Debug, Clone, Copy)]
@@ -85,24 +85,42 @@ impl FutureRank {
 
     /// Scores with convergence diagnostics.
     pub fn rank_with_diagnostics(&self, net: &CitationNetwork) -> PowerOutcome {
+        self.rank_with_diagnostics_in(net, &mut KernelWorkspace::new())
+    }
+
+    /// [`Self::rank_with_diagnostics`] drawing scratch from `workspace`.
+    pub fn rank_with_diagnostics_in(
+        &self,
+        net: &CitationNetwork,
+        workspace: &mut KernelWorkspace,
+    ) -> PowerOutcome {
         let n = net.n_papers();
         if n == 0 {
             return PowerEngine::new(self.options).run(ScoreVec::zeros(0), |_, _| {});
         }
         let op = net.stochastic_operator();
-        let time = self.time_weights(net);
         let (alpha, beta, gamma) = (self.alpha, self.beta, self.gamma);
         let delta = (1.0 - alpha - beta - gamma).max(0.0);
         let uniform = delta / n as f64;
         let authors = net.authors();
         let n_authors = authors.map_or(0, |a| a.n_authors());
         let mut author_scores = vec![0.0f64; n_authors];
-        let mut author_contrib = ScoreVec::zeros(n);
 
-        let engine = PowerEngine::new(self.options);
-        engine.run(ScoreVec::uniform(n), move |cur, next| {
+        // The constant part of the jump, γ·R^T + δ/n, is fixed across
+        // iterations; the author term is folded in per iteration only when
+        // author metadata exists.
+        let mut jump = self.time_weights(net);
+        jump.scale(gamma);
+        for v in jump.iter_mut() {
+            *v += uniform;
+        }
+        let mut iter_jump = workspace.take_zeros(if authors.is_some() { n } else { 0 });
+        let mut author_contrib = workspace.take_zeros(if authors.is_some() { n } else { 0 });
+
+        let initial = workspace.take_uniform(n);
+        let outcome = PowerEngine::new(self.options).run_with(workspace, initial, |cur, next| {
             // Author step: R^A = normalize(Mᵀ·R^P).
-            if let Some(table) = authors {
+            let jump_ref: &[f64] = if let Some(table) = authors {
                 author_scores.fill(0.0);
                 for p in 0..n as u32 {
                     let s = cur[p as usize];
@@ -126,12 +144,24 @@ impl FutureRank {
                     author_contrib[p as usize] = acc;
                 }
                 author_contrib.normalize_l1();
-            }
-            op.apply(cur.as_slice(), next.as_mut_slice());
-            for (i, v) in next.iter_mut().enumerate() {
-                *v = alpha * *v + beta * author_contrib[i] + gamma * time[i] + uniform;
-            }
-        })
+                // iter_jump = β·author + (γ·time + δ/n).
+                for (o, (&a, &j)) in iter_jump
+                    .iter_mut()
+                    .zip(author_contrib.iter().zip(jump.iter()))
+                {
+                    *o = beta * a + j;
+                }
+                iter_jump.as_slice()
+            } else {
+                jump.as_slice()
+            };
+            // R^P ← α·S·R^P + jump, fused into one sweep.
+            op.apply_damped(alpha, cur.as_slice(), jump_ref, next.as_mut_slice());
+        });
+        workspace.recycle(iter_jump);
+        workspace.recycle(author_contrib);
+        workspace.recycle(jump);
+        outcome
     }
 }
 
@@ -142,6 +172,10 @@ impl Ranker for FutureRank {
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {
         self.rank_with_diagnostics(net).scores
+    }
+
+    fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+        self.rank_with_diagnostics_in(net, workspace).scores
     }
 }
 

@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod citerank;
-pub mod ensemble;
 pub mod ecm;
+pub mod ensemble;
 pub mod futurerank;
 pub mod hits;
 pub mod katz;
@@ -34,8 +34,8 @@ pub mod ram;
 pub mod wsdm;
 
 pub use citerank::CiteRank;
-pub use ensemble::{Ensemble, FusionRule};
 pub use ecm::Ecm;
+pub use ensemble::{Ensemble, FusionRule};
 pub use futurerank::FutureRank;
 pub use hits::Hits;
 pub use katz::Katz;

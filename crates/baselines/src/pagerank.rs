@@ -6,7 +6,7 @@
 //! `α = 0.5` (Chen et al. 2007), the default here.
 
 use citegraph::{CitationNetwork, Ranker};
-use sparsela::{PowerEngine, PowerOptions, ScoreVec};
+use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, ScoreVec};
 
 /// PageRank with damping `alpha`.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +37,15 @@ impl PageRank {
 
     /// Scores with convergence diagnostics.
     pub fn rank_with_diagnostics(&self, net: &CitationNetwork) -> sparsela::PowerOutcome {
+        self.rank_with_diagnostics_in(net, &mut KernelWorkspace::new())
+    }
+
+    /// [`Self::rank_with_diagnostics`] drawing scratch from `workspace`.
+    pub fn rank_with_diagnostics_in(
+        &self,
+        net: &CitationNetwork,
+        workspace: &mut KernelWorkspace,
+    ) -> sparsela::PowerOutcome {
         let n = net.n_papers();
         if n == 0 {
             return PowerEngine::new(self.options).run(ScoreVec::zeros(0), |_, _| {});
@@ -44,11 +53,10 @@ impl PageRank {
         let op = net.stochastic_operator();
         let alpha = self.alpha;
         let teleport = (1.0 - alpha) / n as f64;
-        PowerEngine::new(self.options).run(ScoreVec::uniform(n), move |cur, next| {
-            op.apply(cur.as_slice(), next.as_mut_slice());
-            for v in next.iter_mut() {
-                *v = alpha * *v + teleport;
-            }
+        let initial = workspace.take_uniform(n);
+        // Eq. 1 as one fused sweep: next = α·S·cur + (1−α)/n.
+        PowerEngine::new(self.options).run_with(workspace, initial, move |cur, next| {
+            op.apply_damped_uniform(alpha, cur.as_slice(), teleport, next.as_mut_slice());
         })
     }
 }
@@ -60,6 +68,10 @@ impl Ranker for PageRank {
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {
         self.rank_with_diagnostics(net).scores
+    }
+
+    fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+        self.rank_with_diagnostics_in(net, workspace).scores
     }
 }
 

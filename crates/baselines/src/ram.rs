@@ -8,7 +8,7 @@
 //! baseline at the top of the ranking.
 
 use citegraph::{CitationNetwork, Ranker};
-use sparsela::ScoreVec;
+use sparsela::{KernelWorkspace, ScoreVec};
 
 /// RAM with retention factor `gamma`.
 #[derive(Debug, Clone, Copy)]
@@ -23,25 +23,30 @@ impl Ram {
     /// # Panics
     /// Panics unless `0 < gamma < 1`.
     pub fn new(gamma: f64) -> Self {
-        assert!(
-            gamma > 0.0 && gamma < 1.0,
-            "gamma {gamma} outside (0,1)"
-        );
+        assert!(gamma > 0.0 && gamma < 1.0, "gamma {gamma} outside (0,1)");
         Self { gamma }
     }
 
     /// The age-weighted in-degree of every paper.
     pub fn weighted_citations(&self, net: &CitationNetwork) -> ScoreVec {
+        self.weighted_citations_in(net, &mut KernelWorkspace::new())
+    }
+
+    /// [`Self::weighted_citations`] drawing the score buffer from
+    /// `workspace`.
+    pub fn weighted_citations_in(
+        &self,
+        net: &CitationNetwork,
+        workspace: &mut KernelWorkspace,
+    ) -> ScoreVec {
         let n = net.n_papers();
         let Some(t_n) = net.current_year() else {
             return ScoreVec::zeros(0);
         };
-        let mut scores = ScoreVec::zeros(n);
+        let mut scores = workspace.take_zeros(n);
         // Iterate citing papers once; weight depends only on citing year.
         for citing in 0..n as u32 {
-            let weight = self
-                .gamma
-                .powi(t_n - net.year(citing));
+            let weight = self.gamma.powi(t_n - net.year(citing));
             for &cited in net.references(citing) {
                 scores[cited as usize] += weight;
             }
@@ -57,6 +62,10 @@ impl Ranker for Ram {
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {
         self.weighted_citations(net)
+    }
+
+    fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+        self.weighted_citations_in(net, workspace)
     }
 }
 

@@ -129,10 +129,7 @@ impl Ranker for Wsdm {
                 if let Some(table) = authors {
                     let list = table.authors_of(p);
                     if !list.is_empty() {
-                        acc += list
-                            .iter()
-                            .map(|&a| author_scores[a as usize])
-                            .sum::<f64>()
+                        acc += list.iter().map(|&a| author_scores[a as usize]).sum::<f64>()
                             / list.len() as f64;
                     }
                 }

@@ -1,9 +1,10 @@
 //! Micro-benchmarks for the numerical kernels every ranking method leans
 //! on: one stochastic-operator application (the inner loop of all
-//! PageRank-family methods), attention/recency vector construction, and the
-//! ground-truth STI computation.
+//! PageRank-family methods) serial and parallel, the fused damped step,
+//! attention/recency vector construction, and the ground-truth STI
+//! computation.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use attrank::{attention_vector, recency_vector};
 use citegen::{generate, DatasetProfile};
@@ -38,6 +39,86 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_spmv(c: &mut Criterion) {
+    // The acceptance kernel: y = S·x (and its fused damped variant) on a
+    // large synthetic graph, swept over explicit thread counts. Per-row
+    // accumulation is sequential, so scores are identical at every count —
+    // only wall-clock changes.
+    let net = generate(&DatasetProfile::dblp().scaled(50_000), 7);
+    let op = net.stochastic_operator();
+    let n = net.n_papers();
+    let nnz = net.n_citations() as u64;
+    let x = ScoreVec::uniform(n);
+    let jump = ScoreVec::uniform(n);
+    let mut y = ScoreVec::zeros(n);
+
+    let mut group = c.benchmark_group("kernels_parallel");
+    group.throughput(Throughput::Elements(nnz));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("stochastic_apply_50k", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    op.apply_with_threads(threads, black_box(x.as_slice()), y.as_mut_slice());
+                    black_box(&y);
+                })
+            },
+        );
+    }
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("apply_damped_50k", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    op.apply_damped_with_threads(
+                        threads,
+                        0.5,
+                        black_box(x.as_slice()),
+                        jump.as_slice(),
+                        y.as_mut_slice(),
+                    );
+                    black_box(&y);
+                })
+            },
+        );
+    }
+    // The fusion baseline: unfused two-pass step at one thread.
+    group.bench_function("two_pass_damped_50k/1", |b| {
+        b.iter(|| {
+            op.apply_with_threads(1, black_box(x.as_slice()), y.as_mut_slice());
+            for (i, v) in y.iter_mut().enumerate() {
+                *v = 0.5 * *v + jump[i];
+            }
+            black_box(&y);
+        })
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    // Counting-sort CSR construction (rebuilt per snapshot/prefix call).
+    let net = generate(&DatasetProfile::dblp().scaled(50_000), 7);
+    let edges: Vec<(u32, u32)> = (0..net.n_papers() as u32)
+        .flat_map(|p| net.references(p).iter().map(move |&r| (p, r)))
+        .collect();
+    let n = net.n_papers();
+    let mut group = c.benchmark_group("csr_build");
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("from_edges_50k", |b| {
+        b.iter(|| black_box(sparsela::Csr::from_edges(n, n, &edges)))
+    });
+    let triples: Vec<(u32, u32, f64)> = edges
+        .iter()
+        .map(|&(r, c)| (r, c, 0.5f64.powi((r % 20) as i32)))
+        .collect();
+    group.bench_function("from_triples_50k", |b| {
+        b.iter(|| black_box(sparsela::WeightedCsr::from_triples(n, n, &triples)))
+    });
+    group.finish();
+}
+
 fn bench_metrics(c: &mut Criterion) {
     // Metric evaluation dominates grid-search cost alongside scoring.
     let net = generate(&DatasetProfile::dblp().scaled(20_000), 7);
@@ -65,13 +146,18 @@ fn bench_generation(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("generate_hepth", scale),
             &scale,
-            |b, &scale| {
-                b.iter(|| black_box(generate(&DatasetProfile::hepth().scaled(scale), 11)))
-            },
+            |b, &scale| b.iter(|| black_box(generate(&DatasetProfile::hepth().scaled(scale), 11))),
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_metrics, bench_generation);
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_parallel_spmv,
+    bench_csr_build,
+    bench_metrics,
+    bench_generation
+);
 criterion_main!(benches);

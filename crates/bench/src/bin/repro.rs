@@ -129,7 +129,16 @@ fn run_summary(bundles: &[DatasetBundle]) -> bool {
     println!(
         "{}",
         text_table(
-            &["dataset", "papers", "citations", "refs/paper", "years", "authors", "venues", "fitted w"],
+            &[
+                "dataset",
+                "papers",
+                "citations",
+                "refs/paper",
+                "years",
+                "authors",
+                "venues",
+                "fitted w"
+            ],
             &rows
         )
     );
@@ -150,12 +159,20 @@ fn run_fig1a(bundles: &[DatasetBundle], opts: &Options) -> bool {
     headers.extend((0..=max_age).map(|n| format!("n={n}")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", text_table(&headers_ref, &rows));
-    println!("(fitted decay w per dataset: {})\n", bundles
-        .iter()
-        .map(|b| format!("{} {:.2}", b.name, b.decay_w))
-        .collect::<Vec<_>>()
-        .join(", "));
-    write_csv(opts.out_dir.join("fig1a_citation_age.csv"), &headers_ref, &rows).is_ok()
+    println!(
+        "(fitted decay w per dataset: {})\n",
+        bundles
+            .iter()
+            .map(|b| format!("{} {:.2}", b.name, b.decay_w))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    write_csv(
+        opts.out_dir.join("fig1a_citation_age.csv"),
+        &headers_ref,
+        &rows,
+    )
+    .is_ok()
 }
 
 fn run_fig1b(opts: &Options) -> bool {
@@ -217,13 +234,7 @@ fn run_fig1b(opts: &Options) -> bool {
     };
     let rows: Vec<Vec<String>> = years
         .iter()
-        .map(|&y| {
-            vec![
-                y.to_string(),
-                find(&series_a, y),
-                find(&series_b, y),
-            ]
-        })
+        .map(|&y| vec![y.to_string(), find(&series_a, y), find(&series_b, y)])
         .collect();
     println!(
         "established paper: id {rival} ({}), bursting paper: id {bloomer} ({debut})",
@@ -231,10 +242,21 @@ fn run_fig1b(opts: &Options) -> bool {
     );
     println!(
         "{}",
-        text_table(&["year", "established (yearly cites)", "bursting (yearly cites)"], &rows)
+        text_table(
+            &[
+                "year",
+                "established (yearly cites)",
+                "bursting (yearly cites)"
+            ],
+            &rows
+        )
     );
-    write_csv(opts.out_dir.join("fig1b_two_papers.csv"), &["year", "established", "bursting"], &rows)
-        .is_ok()
+    write_csv(
+        opts.out_dir.join("fig1b_two_papers.csv"),
+        &["year", "established", "bursting"],
+        &rows,
+    )
+    .is_ok()
 }
 
 fn run_table1(bundles: &[DatasetBundle], opts: &Options) -> bool {
@@ -244,9 +266,16 @@ fn run_table1(bundles: &[DatasetBundle], opts: &Options) -> bool {
         .iter()
         .map(|b| vec![b.name.clone(), table1(b, 100, 5).to_string()])
         .collect();
-    println!("{}", text_table(&["dataset", "recently popular (of 100)"], &rows));
-    write_csv(opts.out_dir.join("table1_recently_popular.csv"), &["dataset", "recently_popular"], &rows)
-        .is_ok()
+    println!(
+        "{}",
+        text_table(&["dataset", "recently popular (of 100)"], &rows)
+    );
+    write_csv(
+        opts.out_dir.join("table1_recently_popular.csv"),
+        &["dataset", "recently_popular"],
+        &rows,
+    )
+    .is_ok()
 }
 
 fn run_table2(bundles: &[DatasetBundle], opts: &Options) -> bool {
@@ -269,7 +298,12 @@ fn run_table2(bundles: &[DatasetBundle], opts: &Options) -> bool {
     headers.extend(bundles.iter().map(|b| b.name.clone()));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", text_table(&headers_ref, &rows));
-    write_csv(opts.out_dir.join("table2_horizons.csv"), &headers_ref, &rows).is_ok()
+    write_csv(
+        opts.out_dir.join("table2_horizons.csv"),
+        &headers_ref,
+        &rows,
+    )
+    .is_ok()
 }
 
 fn run_table3() -> ExitCode {
@@ -277,10 +311,18 @@ fn run_table3() -> ExitCode {
     let rows = vec![
         vec!["α".into(), "0.0".into(), "0.5".into(), "0.1".into()],
         vec!["β".into(), "0.0".into(), "1.0".into(), "0.1".into()],
-        vec!["γ".into(), "0.0".into(), "0.9".into(), "0.1 (γ = 1−α−β)".into()],
+        vec![
+            "γ".into(),
+            "0.0".into(),
+            "0.9".into(),
+            "0.1 (γ = 1−α−β)".into(),
+        ],
         vec!["y".into(), "1".into(), "5".into(), "1".into()],
     ];
-    println!("{}", text_table(&["parameter", "min", "max", "step"], &rows));
+    println!(
+        "{}",
+        text_table(&["parameter", "min", "max", "step"], &rows)
+    );
     let n = MethodSpace::AttRank { decay_w: -0.16 }.candidates().len();
     println!("total settings: {n}\n");
     ExitCode::SUCCESS
@@ -342,7 +384,8 @@ fn run_fig2(bundles: &[DatasetBundle], opts: &Options, metric: Metric, stem: &st
         }
         let headers = ["y", "beta", "a0.0", "a0.1", "a0.2", "a0.3", "a0.4", "a0.5"];
         ok &= write_csv(
-            opts.out_dir.join(format!("{stem}_{}.csv", b.name.replace('-', ""))),
+            opts.out_dir
+                .join(format!("{stem}_{}.csv", b.name.replace('-', ""))),
             &headers,
             &rows,
         )
@@ -351,12 +394,7 @@ fn run_fig2(bundles: &[DatasetBundle], opts: &Options, metric: Metric, stem: &st
     ok
 }
 
-fn run_ratio_sweep(
-    bundles: &[DatasetBundle],
-    opts: &Options,
-    metric: Metric,
-    stem: &str,
-) -> bool {
+fn run_ratio_sweep(bundles: &[DatasetBundle], opts: &Options, metric: Metric, stem: &str) -> bool {
     println!(
         "== Figs. 3/4: best {} per method, varying test ratio ==",
         metric.label()
@@ -397,7 +435,8 @@ fn run_ratio_sweep(
             .collect();
         println!("{}", text_table(&headers_ref, &rows));
         ok &= write_csv(
-            opts.out_dir.join(format!("{stem}_{}.csv", b.name.replace('-', ""))),
+            opts.out_dir
+                .join(format!("{stem}_{}.csv", b.name.replace('-', ""))),
             &headers_ref,
             &rows,
         )
@@ -444,7 +483,8 @@ fn run_fig5(bundles: &[DatasetBundle], opts: &Options) -> bool {
             .collect();
         println!("{}", text_table(&headers_ref, &rows));
         ok &= write_csv(
-            opts.out_dir.join(format!("fig5_ndcg_at_k_{}.csv", b.name.replace('-', ""))),
+            opts.out_dir
+                .join(format!("fig5_ndcg_at_k_{}.csv", b.name.replace('-', ""))),
             &headers_ref,
             &rows,
         )
@@ -492,7 +532,10 @@ fn run_significance(bundles: &[DatasetBundle], opts: &Options) -> bool {
     for b in bundles {
         let s = rankeval::experiment::setting(b, DEFAULT_RATIO);
         let results = comparative_at_ratio(b, DEFAULT_RATIO, Metric::NdcgAt(50));
-        let ar = results.iter().find(|r| r.method == "AR").expect("AR always runs");
+        let ar = results
+            .iter()
+            .find(|r| r.method == "AR")
+            .expect("AR always runs");
         let rival = results
             .iter()
             .filter(|r| r.method != "AR" && r.method != "NO-ATT" && r.method != "ATT-ONLY")
@@ -519,7 +562,14 @@ fn run_significance(bundles: &[DatasetBundle], opts: &Options) -> bool {
     println!(
         "{}",
         text_table(
-            &["dataset", "vs", "Δ ndcg@50", "95% CI", "AR win rate", "significant"],
+            &[
+                "dataset",
+                "vs",
+                "Δ ndcg@50",
+                "95% CI",
+                "AR win rate",
+                "significant"
+            ],
             &rows
         )
     );

@@ -147,9 +147,9 @@ pub fn from_tsv(papers: &str, citations: &str) -> Result<CitationNetwork, IoErro
         let mut fields = line.split('\t');
         let citing: u32 = parse_field(fields.next(), lineno + 1, "citing id")?;
         let cited: u32 = parse_field(fields.next(), lineno + 1, "cited id")?;
-        let &citing = id_map.get(&citing).ok_or_else(|| {
-            IoError::Invalid(format!("citation from unknown paper {citing}"))
-        })?;
+        let &citing = id_map
+            .get(&citing)
+            .ok_or_else(|| IoError::Invalid(format!("citation from unknown paper {citing}")))?;
         let &cited = id_map
             .get(&cited)
             .ok_or_else(|| IoError::Invalid(format!("citation to unknown paper {cited}")))?;

@@ -109,9 +109,8 @@ impl AuthorTable {
     /// so ids remain comparable across snapshots).
     pub fn prefix(&self, k: usize) -> AuthorTable {
         assert!(k <= self.n_papers());
-        let per_paper: Vec<Vec<AuthorId>> = (0..k as u32)
-            .map(|p| self.authors_of(p).to_vec())
-            .collect();
+        let per_paper: Vec<Vec<AuthorId>> =
+            (0..k as u32).map(|p| self.authors_of(p).to_vec()).collect();
         AuthorTable::new(&per_paper, self.n_authors)
     }
 }

@@ -1,6 +1,8 @@
 //! The core [`CitationNetwork`] type.
 
-use sparsela::{Csr, CitationOperator};
+use std::sync::OnceLock;
+
+use sparsela::{CitationOperator, Csr};
 
 use crate::metadata::{AuthorTable, VenueTable};
 
@@ -31,6 +33,10 @@ pub struct CitationNetwork {
     authors: Option<AuthorTable>,
     /// Optional paper–venue assignment.
     venues: Option<VenueTable>,
+    /// Lazily built stochastic operator `S` (the network is immutable, so
+    /// one build serves every ranker; grid searches used to rebuild it —
+    /// including a full adjacency clone — once per parameter setting).
+    operator: OnceLock<CitationOperator>,
 }
 
 impl CitationNetwork {
@@ -44,7 +50,10 @@ impl CitationNetwork {
     ) -> Self {
         debug_assert_eq!(refs.nrows(), years.len());
         debug_assert_eq!(refs.ncols(), years.len());
-        debug_assert!(years.windows(2).all(|w| w[0] <= w[1]), "years must be sorted");
+        debug_assert!(
+            years.windows(2).all(|w| w[0] <= w[1]),
+            "years must be sorted"
+        );
         let citers = refs.transpose();
         Self {
             years,
@@ -52,6 +61,7 @@ impl CitationNetwork {
             citers,
             authors,
             venues,
+            operator: OnceLock::new(),
         }
     }
 
@@ -121,10 +131,12 @@ impl CitationNetwork {
         (0..self.n_papers() as u32).filter(move |&p| self.refs.degree(p) == 0)
     }
 
-    /// Builds the column-stochastic operator `S` of paper §2 for this state
-    /// of the network.
-    pub fn stochastic_operator(&self) -> CitationOperator {
-        CitationOperator::from_citers(self.citers.clone(), &self.refs.degrees())
+    /// The column-stochastic operator `S` of paper §2 for this state of the
+    /// network, built on first use and cached (the network is immutable).
+    pub fn stochastic_operator(&self) -> &CitationOperator {
+        self.operator.get_or_init(|| {
+            CitationOperator::from_citers(self.citers.clone(), &self.refs.degrees())
+        })
     }
 
     /// Author metadata, if present.
@@ -144,7 +156,11 @@ impl CitationNetwork {
     /// # Panics
     /// Panics if `k > n_papers()`.
     pub fn prefix(&self, k: usize) -> CitationNetwork {
-        assert!(k <= self.n_papers(), "prefix {k} exceeds {}", self.n_papers());
+        assert!(
+            k <= self.n_papers(),
+            "prefix {k} exceeds {}",
+            self.n_papers()
+        );
         let years = self.years[..k].to_vec();
         let edges: Vec<(u32, u32)> = (0..k as u32)
             .flat_map(|j| {

@@ -7,7 +7,7 @@
 //! probability vectors, RAM/ECM emit unnormalized weighted counts — so only
 //! the induced *order* is comparable across methods.
 
-use sparsela::ScoreVec;
+use sparsela::{KernelWorkspace, ScoreVec};
 
 use crate::network::CitationNetwork;
 
@@ -21,6 +21,18 @@ pub trait Ranker {
     /// `net.n_papers()`; higher scores mean higher estimated short-term
     /// impact.
     fn rank(&self, net: &CitationNetwork) -> ScoreVec;
+
+    /// Scores every paper, drawing scratch buffers from `workspace`.
+    ///
+    /// Grid searches call a ranker hundreds of times per dataset; methods
+    /// with solver state (the PageRank family) override this to reuse the
+    /// workspace's pooled vectors instead of allocating per call. The
+    /// returned scores may themselves come from the pool — recycle them
+    /// back once consumed. The default ignores the workspace.
+    fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+        let _ = workspace;
+        self.rank(net)
+    }
 }
 
 /// Blanket implementation so boxed rankers can be collected in
@@ -32,6 +44,10 @@ impl<T: Ranker + ?Sized> Ranker for Box<T> {
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {
         (**self).rank(net)
+    }
+
+    fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+        (**self).rank_into(net, workspace)
     }
 }
 

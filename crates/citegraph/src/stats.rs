@@ -168,10 +168,7 @@ mod tests {
     fn yearly_citations_series() {
         let net = aged();
         let series = yearly_citations(&net, 0);
-        assert_eq!(
-            series,
-            vec![(1990, 0), (1991, 2), (1992, 0), (1993, 1)]
-        );
+        assert_eq!(series, vec![(1990, 0), (1991, 2), (1992, 0), (1993, 1)]);
     }
 
     #[test]
@@ -185,10 +182,7 @@ mod tests {
     fn cumulative_is_running_sum() {
         let net = aged();
         let series = cumulative_citations(&net, 0);
-        assert_eq!(
-            series,
-            vec![(1990, 0), (1991, 2), (1992, 2), (1993, 3)]
-        );
+        assert_eq!(series, vec![(1990, 0), (1991, 2), (1992, 2), (1993, 3)]);
     }
 
     #[test]

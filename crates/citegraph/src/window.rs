@@ -47,11 +47,7 @@ pub fn recent_citation_counts(net: &CitationNetwork, y: u32) -> Vec<u32> {
 pub fn top_recent_papers(net: &CitationNetwork, y: u32, k: usize) -> Vec<PaperId> {
     let counts = recent_citation_counts(net, y);
     let mut idx: Vec<PaperId> = (0..counts.len() as u32).collect();
-    idx.sort_by(|&a, &b| {
-        counts[b as usize]
-            .cmp(&counts[a as usize])
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }

@@ -7,9 +7,7 @@ use proptest::prelude::*;
 ///
 /// Generates `n` papers with years drawn from a small range, then a set of
 /// candidate citations filtered so the cited paper is never newer.
-fn network_strategy(
-    max_papers: usize,
-) -> impl Strategy<Value = (Vec<i32>, Vec<(u32, u32)>)> {
+fn network_strategy(max_papers: usize) -> impl Strategy<Value = (Vec<i32>, Vec<(u32, u32)>)> {
     (2..=max_papers).prop_flat_map(|n| {
         let years = proptest::collection::vec(1990i32..2020, n..=n);
         years.prop_flat_map(move |years| {

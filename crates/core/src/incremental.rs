@@ -16,7 +16,7 @@
 //! cadence (measured in `benches/ablation.rs`).
 
 use citegraph::CitationNetwork;
-use sparsela::{PowerEngine, PowerOptions, ScoreVec};
+use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, ScoreVec};
 
 use crate::attention::attention_vector;
 use crate::model::AttRankDiagnostics;
@@ -30,6 +30,9 @@ pub struct IncrementalAttRank {
     options: PowerOptions,
     /// Fixed point of the previously scored snapshot.
     previous: Option<ScoreVec>,
+    /// Scratch buffers reused across updates (a daily re-scoring loop
+    /// allocates nothing after the first solve).
+    workspace: KernelWorkspace,
 }
 
 impl IncrementalAttRank {
@@ -39,6 +42,7 @@ impl IncrementalAttRank {
             params,
             options: PowerOptions::default(),
             previous: None,
+            workspace: KernelWorkspace::new(),
         }
     }
 
@@ -48,6 +52,7 @@ impl IncrementalAttRank {
             params,
             options,
             previous: None,
+            workspace: KernelWorkspace::new(),
         }
     }
 
@@ -80,7 +85,7 @@ impl IncrementalAttRank {
 
         let attention = attention_vector(net, p.attention_years);
         let recency = recency_vector(net, p.decay_w);
-        let mut jump = ScoreVec::zeros(n);
+        let mut jump = self.workspace.take_zeros(n);
         jump.axpy(beta, &attention);
         jump.axpy(gamma, &recency);
 
@@ -112,7 +117,7 @@ impl IncrementalAttRank {
                 // Carry over old scores; new papers start with the uniform
                 // share a cold start would give them, then re-normalize so
                 // the iterate is a probability vector again.
-                let mut init = ScoreVec::zeros(n);
+                let mut init = self.workspace.take_zeros(n);
                 init.as_mut_slice()[..prev.len()].copy_from_slice(prev.as_slice());
                 let fresh = 1.0 / n as f64;
                 for v in init.as_mut_slice()[prev.len()..].iter_mut() {
@@ -126,13 +131,20 @@ impl IncrementalAttRank {
 
         let op = net.stochastic_operator();
         let engine = PowerEngine::new(self.options);
-        let outcome = engine.run(initial, |cur, next| {
-            op.apply(cur.as_slice(), next.as_mut_slice());
-            for (i, v) in next.iter_mut().enumerate() {
-                *v = alpha * *v + jump[i];
-            }
+        // Fused Eq. 4 sweep; warm-started from the previous fixed point.
+        let outcome = engine.run_with(&mut self.workspace, initial, |cur, next| {
+            op.apply_damped(alpha, cur.as_slice(), jump.as_slice(), next.as_mut_slice());
         });
-        self.previous = Some(outcome.scores.clone());
+        self.workspace.recycle(jump);
+        // Keep the fixed point for the next warm start via a pooled copy
+        // (cloning here would re-allocate in the very loop the workspace
+        // exists to keep allocation-free).
+        let mut kept = self.workspace.take_zeros(n);
+        kept.as_mut_slice()
+            .copy_from_slice(outcome.scores.as_slice());
+        if let Some(prev) = self.previous.replace(kept) {
+            self.workspace.recycle(prev);
+        }
         outcome.into()
     }
 }

@@ -1,7 +1,7 @@
 //! The AttRank fixed-point model (paper Eq. 4 and Theorem 1).
 
 use citegraph::{CitationNetwork, Ranker};
-use sparsela::{PowerEngine, PowerOptions, PowerOutcome, ScoreVec};
+use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, PowerOutcome, ScoreVec};
 
 use crate::attention::attention_vector;
 use crate::params::AttRankParams;
@@ -79,6 +79,17 @@ impl AttRank {
 
     /// Scores `net` and returns full convergence diagnostics.
     pub fn rank_with_diagnostics(&self, net: &CitationNetwork) -> AttRankDiagnostics {
+        self.rank_with_diagnostics_in(net, &mut KernelWorkspace::new())
+    }
+
+    /// [`Self::rank_with_diagnostics`] drawing every scratch vector from
+    /// `workspace` — the entry point grid searches use so repeated solves
+    /// stop allocating.
+    pub fn rank_with_diagnostics_in(
+        &self,
+        net: &CitationNetwork,
+        workspace: &mut KernelWorkspace,
+    ) -> AttRankDiagnostics {
         let n = net.n_papers();
         if n == 0 {
             return AttRankDiagnostics {
@@ -97,7 +108,7 @@ impl AttRank {
         let recency = recency_vector(net, p.decay_w);
 
         // Precompute β·A + γ·T once.
-        let mut jump = ScoreVec::zeros(n);
+        let mut jump = workspace.take_zeros(n);
         jump.axpy(beta, &attention);
         jump.axpy(gamma, &recency);
 
@@ -115,12 +126,12 @@ impl AttRank {
 
         let op = net.stochastic_operator();
         let engine = PowerEngine::new(self.options);
-        let outcome = engine.run(ScoreVec::uniform(n), |cur, next| {
-            op.apply(cur.as_slice(), next.as_mut_slice());
-            for (i, v) in next.iter_mut().enumerate() {
-                *v = alpha * *v + jump[i];
-            }
+        let initial = workspace.take_uniform(n);
+        // Eq. 4 as one fused sweep: next = α·S·cur + (β·A + γ·T).
+        let outcome = engine.run_with(workspace, initial, |cur, next| {
+            op.apply_damped(alpha, cur.as_slice(), jump.as_slice(), next.as_mut_slice());
         });
+        workspace.recycle(jump);
         outcome.into()
     }
 }
@@ -138,6 +149,10 @@ impl Ranker for AttRank {
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {
         self.rank_with_diagnostics(net).scores
+    }
+
+    fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+        self.rank_with_diagnostics_in(net, workspace).scores
     }
 }
 

@@ -246,9 +246,7 @@ mod tests {
         // For α=0: 11 β values; α=.1: 10; … α=.5: 6 → (11+10+9+8+7+6)=51
         assert_eq!(grid.len(), 51 * 5);
         assert!(grid.iter().all(|p| p.alpha() + p.beta() <= 1.0 + 1e-9));
-        assert!(grid
-            .iter()
-            .all(|p| (1..=5).contains(&p.attention_years)));
+        assert!(grid.iter().all(|p| (1..=5).contains(&p.attention_years)));
         // Both ablations are in the grid.
         assert!(grid.iter().any(|p| p.is_no_att()));
         assert!(grid.iter().any(|p| p.is_att_only()));

@@ -8,9 +8,7 @@ use citegraph::{NetworkBuilder, Ranker};
 use proptest::prelude::*;
 use sparsela::{PowerEngine, PowerOptions, ScoreVec};
 
-fn network_strategy(
-    max_papers: usize,
-) -> impl Strategy<Value = (Vec<i32>, Vec<(u32, u32)>)> {
+fn network_strategy(max_papers: usize) -> impl Strategy<Value = (Vec<i32>, Vec<(u32, u32)>)> {
     (3..=max_papers).prop_flat_map(|n| {
         let years = proptest::collection::vec(2000i32..2020, n..=n);
         years.prop_flat_map(move |years| {
@@ -39,8 +37,7 @@ fn build(years: &[i32], edges: &[(u32, u32)]) -> citegraph::CitationNetwork {
 
 /// Strategy over the valid (α, β) simplex with α ≤ 0.5 as in Table 3.
 fn simplex() -> impl Strategy<Value = (f64, f64)> {
-    (0.0f64..=0.5, 0.0f64..=1.0)
-        .prop_map(|(a, b)| if a + b > 1.0 { (a, 1.0 - a) } else { (a, b) })
+    (0.0f64..=0.5, 0.0f64..=1.0).prop_map(|(a, b)| if a + b > 1.0 { (a, 1.0 - a) } else { (a, b) })
 }
 
 proptest! {

@@ -67,8 +67,7 @@ pub fn paired_bootstrap(
         "confidence {confidence} outside (0,1)"
     );
     let n = sti.len();
-    let observed_diff =
-        metric.evaluate(scores_a, sti) - metric.evaluate(scores_b, sti);
+    let observed_diff = metric.evaluate(scores_a, sti) - metric.evaluate(scores_b, sti);
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut diffs = Vec::with_capacity(resamples);
@@ -182,6 +181,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside (0,1)")]
     fn bad_confidence_panics() {
-        let _ = paired_bootstrap(&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0], Metric::Spearman, 10, 1.0, 0);
+        let _ = paired_bootstrap(
+            &[1.0, 2.0],
+            &[1.0, 2.0],
+            &[1.0, 2.0],
+            Metric::Spearman,
+            10,
+            1.0,
+            0,
+        );
     }
 }

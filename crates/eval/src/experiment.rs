@@ -170,8 +170,8 @@ pub fn heatmap(bundle: &DatasetBundle, ratio: f64, metric: Metric) -> Heatmap {
                 if alpha + beta > 1.0 + 1e-9 {
                     continue;
                 }
-                let p = AttRankParams::new(alpha, beta, y, bundle.decay_w)
-                    .expect("grid points valid");
+                let p =
+                    AttRankParams::new(alpha, beta, y, bundle.decay_w).expect("grid points valid");
                 candidates.push(Candidate {
                     description: p.to_string(),
                     ranker: Box::new(AttRank::new(p)),

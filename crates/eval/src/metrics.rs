@@ -273,7 +273,9 @@ mod tests {
     #[test]
     fn spearman_matches_classic_formula_without_ties() {
         // Classic example: d² sum with no ties.
-        let a = [86.0, 97.0, 99.0, 100.0, 101.0, 103.0, 106.0, 110.0, 112.0, 113.0];
+        let a = [
+            86.0, 97.0, 99.0, 100.0, 101.0, 103.0, 106.0, 110.0, 112.0, 113.0,
+        ];
         let b = [0.0, 20.0, 28.0, 27.0, 50.0, 29.0, 7.0, 17.0, 6.0, 12.0];
         // scipy.stats.spearmanr gives ρ = -0.17575757…
         assert!((spearman_rho(&a, &b) - (-0.17575757575757575)).abs() < 1e-12);

@@ -58,10 +58,7 @@ pub fn seed_sweep(
             .iter()
             .map(|r| r.best_value)
             .fold(f64::NEG_INFINITY, f64::max);
-        let best_count = results
-            .iter()
-            .filter(|r| r.best_value == best)
-            .count();
+        let best_count = results.iter().filter(|r| r.best_value == best).count();
         for (slot, result) in per_method.iter_mut().zip(&results) {
             debug_assert_eq!(slot.0, result.method, "method order is stable");
             slot.1.push(result.best_value);
@@ -142,6 +139,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one seed")]
     fn empty_seed_list_panics() {
-        let _ = seed_sweep(&DatasetProfile::hepth().scaled(600), &[], 1.6, Metric::Spearman);
+        let _ = seed_sweep(
+            &DatasetProfile::hepth().scaled(600),
+            &[],
+            1.6,
+            Metric::Spearman,
+        );
     }
 }

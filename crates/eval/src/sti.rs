@@ -34,11 +34,7 @@ pub fn sti_ranking(split: &RatioSplit) -> Vec<u32> {
 /// Table-1 analysis: how many of the `top` papers by STI were *recently
 /// popular*, i.e. appear among the `top` most-cited papers of the current
 /// state's trailing `window_years` (the paper uses top-100 and 5 years).
-pub fn recently_popular_in_top_sti(
-    split: &RatioSplit,
-    top: usize,
-    window_years: u32,
-) -> usize {
+pub fn recently_popular_in_top_sti(split: &RatioSplit, top: usize, window_years: u32) -> usize {
     let mut top_sti = sti_ranking(split);
     top_sti.truncate(top);
     let mut recent = citegraph::window::top_recent_papers(&split.current, window_years, top);

@@ -27,7 +27,7 @@
 use attrank::{AttRank, AttRankParams};
 use baselines::{CiteRank, Ecm, FutureRank, Ram, Wsdm};
 use citegraph::{CitationNetwork, Ranker};
-use sparsela::ScoreVec;
+use sparsela::{KernelWorkspace, ScoreVec};
 
 /// One candidate parameterization: a human-readable description plus the
 /// ready-to-run ranker.
@@ -229,49 +229,60 @@ pub fn tune(
     if candidates.is_empty() {
         return None;
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+    // Worker count from the quota-aware kernel default (env/cgroup clamped).
+    let threads = sparsela::parallel::thread_count()
         .min(candidates.len())
         .max(1);
+    // Split the core budget: workers parallelize across candidates, and
+    // whatever cores remain go to each worker's kernels (a lone worker
+    // keeps full kernel parallelism; a full grid pins kernels to one
+    // thread). Avoids both oversubscription and idle cores on small grids.
+    let kernel_threads = (sparsela::parallel::thread_count() / threads).max(1);
 
     // Each worker takes candidates by stride and reports its local best.
-    let results = crossbeam::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let candidates = &candidates;
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            handles.push(scope.spawn(move |_| {
-                let mut best: Option<(usize, f64, ScoreVec)> = None;
-                let mut evaluated = 0usize;
-                let mut idx = t;
-                while idx < candidates.len() {
-                    let scores = candidates[idx].ranker.rank(net);
-                    idx += threads;
-                    if !scores.all_finite() {
-                        continue;
+            handles.push(scope.spawn(move || {
+                // One scratch pool per worker.
+                sparsela::parallel::with_thread_count(kernel_threads, || {
+                    let mut workspace = KernelWorkspace::new();
+                    let mut best: Option<(usize, f64, ScoreVec)> = None;
+                    let mut evaluated = 0usize;
+                    let mut idx = t;
+                    while idx < candidates.len() {
+                        let scores = candidates[idx].ranker.rank_into(net, &mut workspace);
+                        idx += threads;
+                        if !scores.all_finite() {
+                            workspace.recycle(scores);
+                            continue;
+                        }
+                        evaluated += 1;
+                        let value = objective(&scores);
+                        if !value.is_finite() {
+                            workspace.recycle(scores);
+                            continue;
+                        }
+                        let improves = best.as_ref().map(|(_, bv, _)| value > *bv).unwrap_or(true);
+                        if improves {
+                            if let Some((_, _, old)) = best.replace((idx - threads, value, scores))
+                            {
+                                workspace.recycle(old);
+                            }
+                        } else {
+                            workspace.recycle(scores);
+                        }
                     }
-                    evaluated += 1;
-                    let value = objective(&scores);
-                    if !value.is_finite() {
-                        continue;
-                    }
-                    let improves = best
-                        .as_ref()
-                        .map(|(_, bv, _)| value > *bv)
-                        .unwrap_or(true);
-                    if improves {
-                        best = Some((idx - threads, value, scores));
-                    }
-                }
-                (best, evaluated)
+                    (best, evaluated)
+                })
             }));
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("tuning worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("tuning scope");
+    });
 
     let evaluated: usize = results.iter().map(|(_, e)| e).sum();
     let best = results
@@ -306,29 +317,32 @@ pub fn evaluate_all(
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
-        .max(1);
-    crossbeam::thread::scope(|scope| {
+    let threads = sparsela::parallel::thread_count().min(n).max(1);
+    let kernel_threads = (sparsela::parallel::thread_count() / threads).max(1);
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            handles.push(scope.spawn(move |_| {
-                let mut local = Vec::new();
-                let mut idx = t;
-                while idx < n {
-                    let scores = candidates[idx].ranker.rank(net);
-                    let value = if scores.all_finite() {
-                        let v = objective(&scores);
-                        v.is_finite().then_some(v)
-                    } else {
-                        None
-                    };
-                    local.push((idx, value));
-                    idx += threads;
-                }
-                local
+            handles.push(scope.spawn(move || {
+                // Same discipline as `tune`: parallel across candidates,
+                // serial inside each kernel (unless there is one worker).
+                sparsela::parallel::with_thread_count(kernel_threads, || {
+                    let mut workspace = KernelWorkspace::new();
+                    let mut local = Vec::new();
+                    let mut idx = t;
+                    while idx < n {
+                        let scores = candidates[idx].ranker.rank_into(net, &mut workspace);
+                        let value = if scores.all_finite() {
+                            let v = objective(&scores);
+                            v.is_finite().then_some(v)
+                        } else {
+                            None
+                        };
+                        workspace.recycle(scores);
+                        local.push((idx, value));
+                        idx += threads;
+                    }
+                    local
+                })
             }));
         }
         let mut out = vec![None; n];
@@ -339,7 +353,6 @@ pub fn evaluate_all(
         }
         out
     })
-    .expect("evaluation scope")
 }
 
 #[cfg(test)]
@@ -349,7 +362,9 @@ mod tests {
 
     fn small_net() -> CitationNetwork {
         let mut b = NetworkBuilder::new();
-        let ids: Vec<_> = (2000..2012).map(|y| b.add_paper_with_metadata(y, vec![(y % 3) as u32], Some(0))).collect();
+        let ids: Vec<_> = (2000..2012)
+            .map(|y| b.add_paper_with_metadata(y, vec![(y % 3) as u32], Some(0)))
+            .collect();
         for (i, &citing) in ids.iter().enumerate().skip(1) {
             b.add_citation(citing, ids[i - 1]).unwrap();
             if i >= 2 {
@@ -361,7 +376,10 @@ mod tests {
 
     #[test]
     fn grid_sizes_match_documented_budgets() {
-        assert_eq!(MethodSpace::AttRank { decay_w: -0.16 }.candidates().len(), 255);
+        assert_eq!(
+            MethodSpace::AttRank { decay_w: -0.16 }.candidates().len(),
+            255
+        );
         assert_eq!(MethodSpace::NoAtt { decay_w: -0.16 }.candidates().len(), 6);
         assert_eq!(MethodSpace::AttOnly.candidates().len(), 5);
         assert_eq!(MethodSpace::CiteRank.candidates().len(), 20);
@@ -390,13 +408,7 @@ mod tests {
         // the argmax over the grid, which we verify by exhaustive check.
         let net = small_net();
         let objective = |s: &ScoreVec| s[0];
-        let result = tune(
-            "RAM",
-            MethodSpace::Ram.candidates(),
-            &net,
-            &objective,
-        )
-        .unwrap();
+        let result = tune("RAM", MethodSpace::Ram.candidates(), &net, &objective).unwrap();
         let exhaustive_best = MethodSpace::Ram
             .candidates()
             .iter()
@@ -417,12 +429,9 @@ mod tests {
     #[test]
     fn tune_skips_nonfinite_objectives() {
         let net = small_net();
-        let result = tune(
-            "CR",
-            MethodSpace::CiteRank.candidates(),
-            &net,
-            &|_| f64::NAN,
-        );
+        let result = tune("CR", MethodSpace::CiteRank.candidates(), &net, &|_| {
+            f64::NAN
+        });
         assert!(result.is_none(), "all-NaN objective leaves no winner");
     }
 

@@ -28,39 +28,51 @@ impl Csr {
     /// forbid them filter beforehand). Runs in `O(E log E)` from the
     /// per-row sort.
     pub fn from_edges(nrows: usize, ncols: usize, edges: &[(u32, u32)]) -> Self {
-        let mut counts = vec![0usize; nrows];
+        // Counting sort into a single buffer: count per row, prefix-sum into
+        // `indptr`, scatter using `indptr` itself as the write cursor (after
+        // the scatter, `indptr[r]` holds the *end* of row `r`).
+        let mut indptr = vec![0usize; nrows + 1];
         for &(r, _) in edges {
-            counts[r as usize] += 1;
+            indptr[r as usize + 1] += 1;
         }
-        let mut indptr = Vec::with_capacity(nrows + 1);
-        indptr.push(0);
         let mut acc = 0usize;
-        for &c in &counts {
-            acc += c;
-            indptr.push(acc);
+        for p in indptr.iter_mut() {
+            acc += *p;
+            *p = acc;
         }
         let mut indices = vec![0u32; edges.len()];
-        let mut cursor = indptr[..nrows].to_vec();
         for &(r, c) in edges {
             debug_assert!((c as usize) < ncols, "column index out of bounds");
-            indices[cursor[r as usize]] = c;
-            cursor[r as usize] += 1;
+            let pos = &mut indptr[r as usize];
+            indices[*pos] = c;
+            *pos += 1;
         }
-        // Sort and dedup each row in place.
-        let mut out_indices = Vec::with_capacity(indices.len());
-        let mut out_indptr = Vec::with_capacity(nrows + 1);
-        out_indptr.push(0usize);
-        for r in 0..nrows {
-            let (s, e) = (indptr[r], indptr[r + 1]);
-            let mut row: Vec<u32> = indices[s..e].to_vec();
-            row.sort_unstable();
-            row.dedup();
-            out_indices.extend_from_slice(&row);
-            out_indptr.push(out_indices.len());
+        // Sort each row in place and compact out duplicates with a forward
+        // write cursor (`write ≤` every read position, so the copy is safe),
+        // rebuilding `indptr` to its conventional meaning as we go.
+        let mut write = 0usize;
+        let mut row_start = 0usize;
+        for row_ptr in indptr[..nrows].iter_mut() {
+            let row_end = *row_ptr;
+            indices[row_start..row_end].sort_unstable();
+            let compact_start = write;
+            let mut prev = None;
+            for k in row_start..row_end {
+                let c = indices[k];
+                if prev != Some(c) {
+                    indices[write] = c;
+                    write += 1;
+                    prev = Some(c);
+                }
+            }
+            row_start = row_end;
+            *row_ptr = compact_start;
         }
+        indptr[nrows] = write;
+        indices.truncate(write);
         Self {
-            indptr: out_indptr,
-            indices: out_indices,
+            indptr,
+            indices,
             ncols,
         }
     }
@@ -143,7 +155,15 @@ impl Csr {
 
     /// Returns the out-degree of every row as a dense vector.
     pub fn degrees(&self) -> Vec<usize> {
-        (0..self.nrows()).map(|r| self.indptr[r + 1] - self.indptr[r]).collect()
+        (0..self.nrows())
+            .map(|r| self.indptr[r + 1] - self.indptr[r])
+            .collect()
+    }
+
+    /// The row-pointer array (length `nrows + 1`), the work profile the
+    /// degree-balanced parallel partition is computed from.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
     }
 }
 
@@ -158,32 +178,58 @@ pub struct WeightedCsr {
 
 impl WeightedCsr {
     /// Builds a weighted CSR matrix from `(row, col, weight)` triples.
-    /// Duplicate `(row, col)` pairs accumulate their weights.
+    /// Duplicate `(row, col)` pairs accumulate their weights (entries of
+    /// equal `(row, col)` sum in sorted-run order).
     pub fn from_triples(nrows: usize, ncols: usize, triples: &[(u32, u32, f64)]) -> Self {
-        let mut per_row: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nrows];
+        // Counting sort into one flat scratch buffer (no per-row `Vec`s):
+        // count per row, prefix-sum, scatter with `indptr` as the cursor —
+        // after the scatter `indptr[r]` holds the end of row `r`.
+        let mut indptr = vec![0usize; nrows + 1];
+        for &(r, _, _) in triples {
+            indptr[r as usize + 1] += 1;
+        }
+        let mut acc = 0usize;
+        for p in indptr.iter_mut() {
+            acc += *p;
+            *p = acc;
+        }
+        let mut scratch: Vec<(u32, f64)> = vec![(0, 0.0); triples.len()];
         for &(r, c, w) in triples {
             debug_assert!((c as usize) < ncols, "column index out of bounds");
-            per_row[r as usize].push((c, w));
+            let pos = &mut indptr[r as usize];
+            scratch[*pos] = (c, w);
+            *pos += 1;
         }
-        let mut indptr = Vec::with_capacity(nrows + 1);
-        indptr.push(0usize);
+        // Sort each row by column, accumulate duplicate runs, and rebuild
+        // `indptr` to its conventional meaning.
         let mut indices = Vec::with_capacity(triples.len());
         let mut values = Vec::with_capacity(triples.len());
-        for row in &mut per_row {
+        let mut row_start = 0usize;
+        for row_ptr in indptr[..nrows].iter_mut() {
+            let row_end = *row_ptr;
+            let row = &mut scratch[row_start..row_end];
             row.sort_unstable_by_key(|&(c, _)| c);
-            let mut i = 0;
-            while i < row.len() {
-                let c = row[i].0;
-                let mut w = 0.0;
-                while i < row.len() && row[i].0 == c {
-                    w += row[i].1;
-                    i += 1;
+            *row_ptr = indices.len();
+            let mut run: Option<(u32, f64)> = None;
+            for &(c, w) in row.iter() {
+                match &mut run {
+                    Some((rc, rw)) if *rc == c => *rw += w,
+                    _ => {
+                        if let Some((rc, rw)) = run.take() {
+                            indices.push(rc);
+                            values.push(rw);
+                        }
+                        run = Some((c, w));
+                    }
                 }
-                indices.push(c);
-                values.push(w);
             }
-            indptr.push(indices.len());
+            if let Some((rc, rw)) = run {
+                indices.push(rc);
+                values.push(rw);
+            }
+            row_start = row_end;
         }
+        indptr[nrows] = indices.len();
         Self {
             indptr,
             indices,
@@ -211,7 +257,10 @@ impl WeightedCsr {
     pub fn row(&self, r: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
         let r = r as usize;
         let (s, e) = (self.indptr[r], self.indptr[r + 1]);
-        self.indices[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+        self.indices[s..e]
+            .iter()
+            .copied()
+            .zip(self.values[s..e].iter().copied())
     }
 
     /// Sum of the weights in row `r`.
@@ -220,21 +269,98 @@ impl WeightedCsr {
         self.values[self.indptr[r]..self.indptr[r + 1]].iter().sum()
     }
 
-    /// Dense `y = M · x` (matrix times column vector).
+    /// Dense `y = M · x` (matrix times column vector), parallel over a
+    /// degree-balanced row partition; results are bit-identical for every
+    /// thread count.
     ///
     /// # Panics
     /// Panics if `x.len() != ncols` or `y.len() != nrows`.
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        self.mul_vec_into_with_threads(
+            crate::parallel::auto_threads(self.nnz() + self.nrows()),
+            x,
+            y,
+        );
+    }
+
+    /// [`Self::mul_vec_into`] with an explicit thread count.
+    pub fn mul_vec_into_with_threads(&self, threads: usize, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "mul_vec_into: x length mismatch");
         assert_eq!(y.len(), self.nrows(), "mul_vec_into: y length mismatch");
-        for (r, out) in y.iter_mut().enumerate() {
-            let (s, e) = (self.indptr[r], self.indptr[r + 1]);
-            let mut acc = 0.0;
-            for k in s..e {
-                acc += self.values[k] * x[self.indices[k] as usize];
+        self.row_sweep(threads, x, y, |_, acc, _| acc, &[]);
+    }
+
+    /// Fused Katz-style step `y = seed + α·(M·x)` in one sweep (the ECM
+    /// recurrence `s ← M·1 + α·M·s`).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols`, or `seed`/`y` length differs from
+    /// `nrows`.
+    pub fn mul_vec_damped_into(&self, alpha: f64, x: &[f64], seed: &[f64], y: &mut [f64]) {
+        self.mul_vec_damped_into_with_threads(
+            crate::parallel::auto_threads(self.nnz() + self.nrows()),
+            alpha,
+            x,
+            seed,
+            y,
+        );
+    }
+
+    /// [`Self::mul_vec_damped_into`] with an explicit thread count.
+    pub fn mul_vec_damped_into_with_threads(
+        &self,
+        threads: usize,
+        alpha: f64,
+        x: &[f64],
+        seed: &[f64],
+        y: &mut [f64],
+    ) {
+        assert_eq!(
+            x.len(),
+            self.ncols,
+            "mul_vec_damped_into: x length mismatch"
+        );
+        assert_eq!(
+            seed.len(),
+            self.nrows(),
+            "mul_vec_damped_into: seed length mismatch"
+        );
+        assert_eq!(
+            y.len(),
+            self.nrows(),
+            "mul_vec_damped_into: y length mismatch"
+        );
+        self.row_sweep(
+            threads,
+            x,
+            y,
+            move |r, acc, seed| seed[r] + alpha * acc,
+            seed,
+        );
+    }
+
+    /// Shared parallel row sweep: `y[r] = finish(r, Σ_k v[k]·x[col[k]], aux)`.
+    #[inline]
+    fn row_sweep<F>(&self, threads: usize, x: &[f64], y: &mut [f64], finish: F, aux: &[f64])
+    where
+        F: Fn(usize, f64, &[f64]) -> f64 + Sync,
+    {
+        let (indptr, indices, values) = (&self.indptr, &self.indices, &self.values);
+        crate::parallel::for_each_row_chunk(indptr, threads, y, |rows, chunk| {
+            for (r, out) in rows.clone().zip(chunk.iter_mut()) {
+                let (s, e) = (indptr[r], indptr[r + 1]);
+                let mut acc = 0.0;
+                for k in s..e {
+                    acc += values[k] * x[indices[k] as usize];
+                }
+                *out = finish(r, acc, aux);
             }
-            *out = acc;
-        }
+        });
+    }
+
+    /// The row-pointer array (length `nrows + 1`).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
     }
 
     /// Sum of all weights in the matrix.

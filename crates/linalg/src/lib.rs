@@ -15,14 +15,18 @@
 //!   correlation metrics.
 //!
 //! All kernels are deterministic and allocation-conscious: hot loops reuse
-//! caller-provided buffers so grid searches over thousands of parameter
-//! settings do not thrash the allocator.
+//! caller-provided buffers (see [`vector::KernelWorkspace`]) so grid
+//! searches over thousands of parameter settings do not thrash the
+//! allocator, and row sweeps run in parallel over a degree-balanced
+//! partition ([`parallel`]) with bit-identical results at every thread
+//! count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csr;
 pub mod fit;
+pub mod parallel;
 pub mod power;
 pub mod ranks;
 pub mod stochastic;
@@ -33,4 +37,4 @@ pub use fit::{fit_exponential, ExpFit};
 pub use power::{PowerEngine, PowerOptions, PowerOutcome};
 pub use ranks::{average_ranks, ordinal_ranks, sort_indices_desc};
 pub use stochastic::CitationOperator;
-pub use vector::ScoreVec;
+pub use vector::{KernelWorkspace, ScoreVec};

@@ -1,0 +1,328 @@
+//! Degree-balanced parallel execution of row-partitioned kernels.
+//!
+//! Every hot kernel in this crate ("for each output row, accumulate over
+//! that row's stored entries") parallelizes the same way: split the row
+//! range into contiguous chunks, give each thread one chunk and the
+//! matching disjoint slice of the output vector, and keep the *per-row*
+//! accumulation sequential. Because a row is always summed by exactly one
+//! thread in exactly the serial order, results are **bit-identical for
+//! every thread count** — a property the proptests pin down and the grid
+//! search relies on for reproducibility.
+//!
+//! Chunks are balanced by *work*, not by row count: citation networks are
+//! heavy-tailed, so equal row counts can put most of the nonzeros on one
+//! thread. [`row_partition`] splits on the cumulative `nnz + rows` curve
+//! (each row costs its stored entries plus a constant) using binary
+//! searches over the CSR row-pointer array.
+//!
+//! ## Thread-count knobs
+//!
+//! The effective thread count resolves in order:
+//!
+//! 1. [`set_thread_count`] — a process-wide programmatic override,
+//! 2. the `SPARSELA_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`], clamped to the cgroup CPU
+//!    quota when one applies (inside a quota-limited container the extra
+//!    threads would only be throttled).
+//!
+//! Kernels also accept an explicit count through their `*_with_threads`
+//! variants (used by the benches and the determinism tests); an explicit
+//! count is honoured exactly. The auto entry points additionally clamp to
+//! one thread for inputs below [`SMALL_KERNEL_NNZ`] of work, where thread
+//! spawn latency dwarfs the sweep ([`auto_threads`]).
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Work threshold (entries + rows) under which kernels stay serial.
+pub const SMALL_KERNEL_NNZ: usize = 16_384;
+
+/// 0 = no override.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override, 0 = unset. Takes precedence over the global:
+    /// coarser-grained parallel drivers (the tuning grid's per-candidate
+    /// workers) use it to pin the kernels they call to one thread, instead
+    /// of nesting kernel threads under worker threads.
+    static TLS_THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with the *calling thread's* kernel thread count pinned to
+/// `threads`, restoring the previous value afterwards. Kernels invoked by
+/// other threads are unaffected.
+///
+/// # Panics
+/// Panics when `threads == 0`.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads > 0, "thread count must be positive");
+    TLS_THREAD_OVERRIDE.with(|cell| {
+        let previous = cell.get();
+        cell.set(threads);
+        let result = f();
+        cell.set(previous);
+        result
+    })
+}
+
+/// Sets (or with `None` clears) the process-wide thread-count override.
+///
+/// # Panics
+/// Panics when `Some(0)` is passed.
+pub fn set_thread_count(threads: Option<usize>) {
+    if let Some(t) = threads {
+        assert!(t > 0, "thread count must be positive");
+    }
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// CPUs granted by a cgroup CFS quota (v2 then v1), `None` when unlimited
+/// or not on Linux. `available_parallelism` reports the host's core count
+/// even inside quota-limited containers, where extra threads just get
+/// throttled — respecting the quota keeps the default from oversubscribing.
+fn cgroup_quota_cpus() -> Option<usize> {
+    fn parse(quota: &str, period: &str) -> Option<usize> {
+        let quota: f64 = quota.trim().parse().ok()?;
+        let period: f64 = period.trim().parse().ok()?;
+        (quota > 0.0 && period > 0.0).then(|| ((quota / period).ceil() as usize).max(1))
+    }
+    if let Ok(s) = std::fs::read_to_string("/sys/fs/cgroup/cpu.max") {
+        let mut parts = s.split_whitespace();
+        if let (Some(q), Some(p)) = (parts.next(), parts.next()) {
+            if let Some(cpus) = parse(q, p) {
+                return Some(cpus);
+            }
+        }
+    }
+    let quota = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").ok()?;
+    let period = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_period_us").ok()?;
+    parse(&quota, &period)
+}
+
+fn default_thread_count() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("SPARSELA_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                let cores = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1);
+                match cgroup_quota_cpus() {
+                    Some(quota) => cores.min(quota),
+                    None => cores,
+                }
+            })
+    })
+}
+
+/// The thread count kernels use when none is passed explicitly: the
+/// [`with_thread_count`] scope of the calling thread, else the
+/// [`set_thread_count`] override, else the environment/hardware default.
+pub fn thread_count() -> usize {
+    let tls = TLS_THREAD_OVERRIDE.with(Cell::get);
+    if tls > 0 {
+        return tls;
+    }
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_thread_count(),
+        t => t,
+    }
+}
+
+/// The thread count the *auto* entry points use for a kernel of the given
+/// work (entries + rows): [`thread_count`], clamped to 1 for inputs where
+/// spawn latency would dwarf the sweep. Explicit `*_with_threads` calls
+/// bypass this clamp — an explicit count is honoured exactly.
+pub fn auto_threads(work: usize) -> usize {
+    if work < SMALL_KERNEL_NNZ {
+        1
+    } else {
+        thread_count()
+    }
+}
+
+/// Splits rows `0..nrows` into at most `threads` contiguous chunks of
+/// roughly equal work, where row `r` costs `indptr[r+1] − indptr[r] + 1`.
+///
+/// `indptr` is a CSR row-pointer array (`len == nrows + 1`,
+/// non-decreasing). Empty chunks are dropped, so fewer chunks than
+/// `threads` may be returned (e.g. when there are fewer rows than threads).
+pub fn row_partition(indptr: &[usize], threads: usize) -> Vec<Range<usize>> {
+    let nrows = indptr.len().saturating_sub(1);
+    if nrows == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(nrows);
+    let total_work = indptr[nrows] + nrows;
+    let mut chunks = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for k in 1..=threads {
+        let target = total_work * k / threads;
+        // Smallest row boundary whose cumulative work reaches the target.
+        let mut lo = start;
+        let mut hi = nrows;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            // Cumulative work of rows 0..=mid.
+            if indptr[mid + 1] + (mid + 1) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let end = if k == threads {
+            nrows
+        } else {
+            (lo + 1).min(nrows)
+        };
+        if end > start {
+            chunks.push(start..end);
+            start = end;
+        }
+    }
+    chunks
+}
+
+/// Runs `kernel` over a degree-balanced partition of the rows, writing each
+/// chunk's slice of `y` from its own thread.
+///
+/// `kernel(rows, chunk)` must fully overwrite `chunk`, which aliases
+/// `y[rows]`. With one chunk (or little work) the kernel runs on the
+/// calling thread; otherwise scoped threads run the tail chunks while the
+/// caller computes the first.
+///
+/// # Panics
+/// Panics if `y.len() + 1 != indptr.len()`.
+pub fn for_each_row_chunk<K>(indptr: &[usize], threads: usize, y: &mut [f64], kernel: K)
+where
+    K: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    assert_eq!(
+        y.len() + 1,
+        indptr.len(),
+        "for_each_row_chunk: output length mismatch"
+    );
+    let nrows = y.len();
+    if nrows == 0 {
+        return;
+    }
+    if threads <= 1 {
+        kernel(0..nrows, y);
+        return;
+    }
+    let chunks = row_partition(indptr, threads);
+    if chunks.len() <= 1 {
+        kernel(0..nrows, y);
+        return;
+    }
+    // Slice y into disjoint per-chunk windows.
+    let mut slices = Vec::with_capacity(chunks.len());
+    let mut rest = y;
+    let mut offset = 0usize;
+    for rows in &chunks {
+        let (head, tail) = rest.split_at_mut(rows.end - offset);
+        offset = rows.end;
+        slices.push((rows.clone(), head));
+        rest = tail;
+    }
+    let kernel = &kernel;
+    std::thread::scope(|scope| {
+        let mut iter = slices.into_iter();
+        // The caller computes the first chunk itself — one spawn saved.
+        let (first_rows, first_slice) = iter.next().expect("at least two chunks");
+        for (rows, slice) in iter {
+            scope.spawn(move || kernel(rows, slice));
+        }
+        kernel(first_rows, first_slice);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn indptr_of(degrees: &[usize]) -> Vec<usize> {
+        let mut indptr = vec![0usize];
+        for &d in degrees {
+            indptr.push(indptr.last().unwrap() + d);
+        }
+        indptr
+    }
+
+    #[test]
+    fn partition_covers_all_rows_exactly_once() {
+        let indptr = indptr_of(&[3, 0, 0, 7, 1, 1, 0, 2, 9, 4]);
+        for threads in 1..=12 {
+            let chunks = row_partition(&indptr, threads);
+            let mut next = 0usize;
+            for c in &chunks {
+                assert_eq!(c.start, next, "chunks must be contiguous");
+                assert!(c.end > c.start, "chunks must be non-empty");
+                next = c.end;
+            }
+            assert_eq!(next, 10, "chunks must cover all rows");
+            assert!(chunks.len() <= threads);
+        }
+    }
+
+    #[test]
+    fn partition_balances_heavy_tail() {
+        // One hub row with 10k entries among 1k empty rows: the hub must
+        // not drag half the empty rows with it onto one thread.
+        let mut degrees = vec![0usize; 1001];
+        degrees[0] = 10_000;
+        let indptr = indptr_of(&degrees);
+        let chunks = row_partition(&indptr, 4);
+        assert!(chunks.len() > 1);
+        assert_eq!(chunks[0], 0..1, "hub row gets its own chunk");
+    }
+
+    #[test]
+    fn partition_handles_empty_and_tiny() {
+        assert!(row_partition(&[0], 4).is_empty());
+        assert_eq!(row_partition(&[0, 2], 4), vec![0..1]);
+        let chunks = row_partition(&indptr_of(&[1, 1]), 8);
+        assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    fn for_each_row_chunk_matches_serial() {
+        // y[r] = r² computed chunk-wise must equal the serial fill for any
+        // thread count.
+        let degrees: Vec<usize> = (0..5000).map(|r| (r * 7) % 13).collect();
+        let indptr = indptr_of(&degrees);
+        let mut serial = vec![0.0; 5000];
+        for (r, v) in serial.iter_mut().enumerate() {
+            *v = (r * r) as f64;
+        }
+        for threads in [1, 2, 3, 4, 8] {
+            let mut y = vec![0.0; 5000];
+            for_each_row_chunk(&indptr, threads, &mut y, |rows, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    let r = rows.start + i;
+                    *v = (r * r) as f64;
+                }
+            });
+            assert_eq!(y, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_override_wins() {
+        set_thread_count(Some(3));
+        assert_eq!(thread_count(), 3);
+        set_thread_count(None);
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_thread_override_panics() {
+        set_thread_count(Some(0));
+    }
+}

@@ -8,7 +8,7 @@
 //! until the error drops below `10⁻¹²`, §4.3), iteration caps and the
 //! per-iteration error log used by the §4.4 convergence experiment.
 
-use crate::vector::ScoreVec;
+use crate::vector::{KernelWorkspace, ScoreVec};
 
 /// Options controlling a power-method run.
 #[derive(Debug, Clone, Copy)]
@@ -82,12 +82,27 @@ impl PowerEngine {
     /// Runs `x ← step(x)` until convergence.
     ///
     /// `step(current, next)` must fully overwrite `next`.
-    pub fn run<F>(&self, initial: ScoreVec, mut step: F) -> PowerOutcome
+    pub fn run<F>(&self, initial: ScoreVec, step: F) -> PowerOutcome
+    where
+        F: FnMut(&ScoreVec, &mut ScoreVec),
+    {
+        self.run_with(&mut KernelWorkspace::new(), initial, step)
+    }
+
+    /// [`Self::run`] drawing its swap buffer from (and returning it to)
+    /// `workspace`, so repeated solves — a tuning grid, an incremental
+    /// re-scoring loop — stop allocating per solve.
+    pub fn run_with<F>(
+        &self,
+        workspace: &mut KernelWorkspace,
+        initial: ScoreVec,
+        mut step: F,
+    ) -> PowerOutcome
     where
         F: FnMut(&ScoreVec, &mut ScoreVec),
     {
         let mut current = initial;
-        let mut next = ScoreVec::zeros(current.len());
+        let mut next = workspace.take_zeros(current.len());
         let mut error_log = if self.options.record_errors {
             Vec::with_capacity(self.options.max_iterations.min(256))
         } else {
@@ -98,6 +113,7 @@ impl PowerEngine {
         let mut converged = false;
 
         if current.is_empty() {
+            workspace.recycle(next);
             return PowerOutcome {
                 scores: current,
                 iterations: 0,
@@ -121,6 +137,7 @@ impl PowerEngine {
             }
         }
 
+        workspace.recycle(next);
         PowerOutcome {
             scores: current,
             iterations,

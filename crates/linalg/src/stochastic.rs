@@ -15,8 +15,16 @@
 //! papers is redistributed uniformly. This keeps the operator `O(V + E)` per
 //! application and `S` exactly column-stochastic, so `Σ y = Σ x` for
 //! probability vectors (a property the tests pin down).
+//!
+//! Applications run in parallel over a degree-balanced row partition (see
+//! [`crate::parallel`]); per-row accumulation stays sequential, so scores
+//! are bit-identical for every thread count. The fused entry points
+//! ([`CitationOperator::apply_damped`] and friends) fold the damped
+//! fixed-point update `y = α·S·x + jump` into the same sweep, removing the
+//! second full pass over `y` that every PageRank-family step used to pay.
 
 use crate::csr::Csr;
+use crate::parallel;
 
 /// Matrix-free application of the column-stochastic citation matrix `S`.
 #[derive(Debug, Clone)]
@@ -93,6 +101,12 @@ impl CitationOperator {
     /// # Panics
     /// Panics if `x` or `y` length differs from [`Self::n`].
     pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.apply_with_threads(self.auto_threads(), x, y);
+    }
+
+    /// [`Self::apply`] with an explicit thread count (results are
+    /// bit-identical for every count).
+    pub fn apply_with_threads(&self, threads: usize, x: &[f64], y: &mut [f64]) {
         let n = self.n();
         assert_eq!(x.len(), n, "apply: x length mismatch");
         assert_eq!(y.len(), n, "apply: y length mismatch");
@@ -100,15 +114,8 @@ impl CitationOperator {
             return;
         }
         // Mass held by dangling papers spreads uniformly (S[:,j] = 1/n).
-        let dangling_mass: f64 = self.dangling.iter().map(|&j| x[j as usize]).sum();
-        let base = dangling_mass / n as f64;
-        for (i, yi) in y.iter_mut().enumerate() {
-            let mut acc = base;
-            for &j in self.citers.row(i as u32) {
-                acc += x[j as usize] * self.inv_out_degree[j as usize];
-            }
-            *yi = acc;
-        }
+        let base = self.dangling_base(x);
+        self.pull_rows(threads, y, move |acc| base + acc, x);
     }
 
     /// Applies `y = S · x` but drops the dangling-mass redistribution.
@@ -117,16 +124,165 @@ impl CitationOperator {
     /// `1/k_j` matrix where dangling mass simply leaks; this entry point
     /// supports that variant.
     pub fn apply_leaky(&self, x: &[f64], y: &mut [f64]) {
+        self.apply_leaky_with_threads(self.auto_threads(), x, y);
+    }
+
+    /// [`Self::apply_leaky`] with an explicit thread count.
+    pub fn apply_leaky_with_threads(&self, threads: usize, x: &[f64], y: &mut [f64]) {
         let n = self.n();
         assert_eq!(x.len(), n, "apply_leaky: x length mismatch");
         assert_eq!(y.len(), n, "apply_leaky: y length mismatch");
-        for (i, yi) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for &j in self.citers.row(i as u32) {
-                acc += x[j as usize] * self.inv_out_degree[j as usize];
-            }
-            *yi = acc;
+        self.pull_rows(threads, y, |acc| acc, x);
+    }
+
+    /// Fused damped step `y = α·(S·x) + jump` — one sweep instead of an
+    /// apply followed by a dense rescale. This is the inner loop of AttRank
+    /// (Eq. 4: `jump = β·A + γ·T`) and of PageRank when `jump` is constant
+    /// (see [`Self::apply_damped_uniform`]).
+    ///
+    /// # Panics
+    /// Panics if `x`, `jump` or `y` length differs from [`Self::n`].
+    pub fn apply_damped(&self, alpha: f64, x: &[f64], jump: &[f64], y: &mut [f64]) {
+        self.apply_damped_with_threads(self.auto_threads(), alpha, x, jump, y);
+    }
+
+    /// [`Self::apply_damped`] with an explicit thread count.
+    pub fn apply_damped_with_threads(
+        &self,
+        threads: usize,
+        alpha: f64,
+        x: &[f64],
+        jump: &[f64],
+        y: &mut [f64],
+    ) {
+        let n = self.n();
+        assert_eq!(x.len(), n, "apply_damped: x length mismatch");
+        assert_eq!(jump.len(), n, "apply_damped: jump length mismatch");
+        assert_eq!(y.len(), n, "apply_damped: y length mismatch");
+        if n == 0 {
+            return;
         }
+        let base = self.dangling_base(x);
+        self.pull_rows_indexed(
+            threads,
+            y,
+            move |i, acc, jump| alpha * (base + acc) + jump[i],
+            x,
+            jump,
+        );
+    }
+
+    /// Fused damped step with a uniform jump: `y = α·(S·x) + teleport`
+    /// (plain PageRank, Eq. 1).
+    pub fn apply_damped_uniform(&self, alpha: f64, x: &[f64], teleport: f64, y: &mut [f64]) {
+        self.apply_damped_uniform_with_threads(self.auto_threads(), alpha, x, teleport, y);
+    }
+
+    /// [`Self::apply_damped_uniform`] with an explicit thread count.
+    pub fn apply_damped_uniform_with_threads(
+        &self,
+        threads: usize,
+        alpha: f64,
+        x: &[f64],
+        teleport: f64,
+        y: &mut [f64],
+    ) {
+        let n = self.n();
+        assert_eq!(x.len(), n, "apply_damped_uniform: x length mismatch");
+        assert_eq!(y.len(), n, "apply_damped_uniform: y length mismatch");
+        if n == 0 {
+            return;
+        }
+        let base = self.dangling_base(x);
+        self.pull_rows(threads, y, move |acc| alpha * (base + acc) + teleport, x);
+    }
+
+    /// Fused leaky damped step `y = jump + α·(W·x)` where `W` drops the
+    /// dangling mass (the CiteRank recurrence `T ← ρ + α·W·T`).
+    ///
+    /// # Panics
+    /// Panics if `x`, `jump` or `y` length differs from [`Self::n`].
+    pub fn apply_damped_leaky(&self, alpha: f64, x: &[f64], jump: &[f64], y: &mut [f64]) {
+        self.apply_damped_leaky_with_threads(self.auto_threads(), alpha, x, jump, y);
+    }
+
+    /// [`Self::apply_damped_leaky`] with an explicit thread count.
+    pub fn apply_damped_leaky_with_threads(
+        &self,
+        threads: usize,
+        alpha: f64,
+        x: &[f64],
+        jump: &[f64],
+        y: &mut [f64],
+    ) {
+        let n = self.n();
+        assert_eq!(x.len(), n, "apply_damped_leaky: x length mismatch");
+        assert_eq!(jump.len(), n, "apply_damped_leaky: jump length mismatch");
+        assert_eq!(y.len(), n, "apply_damped_leaky: y length mismatch");
+        self.pull_rows_indexed(
+            threads,
+            y,
+            move |i, acc, jump| jump[i] + alpha * acc,
+            x,
+            jump,
+        );
+    }
+
+    /// Auto thread count for this operator's work size.
+    #[inline]
+    fn auto_threads(&self) -> usize {
+        parallel::auto_threads(self.citers.nnz() + self.n())
+    }
+
+    /// Mass held by dangling papers, spread uniformly per paper.
+    #[inline]
+    fn dangling_base(&self, x: &[f64]) -> f64 {
+        let dangling_mass: f64 = self.dangling.iter().map(|&j| x[j as usize]).sum();
+        dangling_mass / self.n() as f64
+    }
+
+    /// Shared pull loop: `y[i] = finish(Σ_j x[j]/k_j)` over row `i`'s citers.
+    #[inline]
+    fn pull_rows<F>(&self, threads: usize, y: &mut [f64], finish: F, x: &[f64])
+    where
+        F: Fn(f64) -> f64 + Sync,
+    {
+        let citers = &self.citers;
+        let inv = &self.inv_out_degree;
+        parallel::for_each_row_chunk(citers.indptr(), threads, y, |rows, chunk| {
+            for (i, yi) in rows.clone().zip(chunk.iter_mut()) {
+                let mut acc = 0.0;
+                for &j in citers.row(i as u32) {
+                    acc += x[j as usize] * inv[j as usize];
+                }
+                *yi = finish(acc);
+            }
+        });
+    }
+
+    /// Pull loop variant passing the row index and jump vector through.
+    #[inline]
+    fn pull_rows_indexed<F>(
+        &self,
+        threads: usize,
+        y: &mut [f64],
+        finish: F,
+        x: &[f64],
+        jump: &[f64],
+    ) where
+        F: Fn(usize, f64, &[f64]) -> f64 + Sync,
+    {
+        let citers = &self.citers;
+        let inv = &self.inv_out_degree;
+        parallel::for_each_row_chunk(citers.indptr(), threads, y, |rows, chunk| {
+            for (i, yi) in rows.clone().zip(chunk.iter_mut()) {
+                let mut acc = 0.0;
+                for &j in citers.row(i as u32) {
+                    acc += x[j as usize] * inv[j as usize];
+                }
+                *yi = finish(i, acc, jump);
+            }
+        });
     }
 
     /// The in-citation adjacency backing this operator.
@@ -225,11 +381,7 @@ mod tests {
     fn repeated_application_converges_to_stationary_like_vector() {
         // Power-iterating S alone (no teleport) on a strongly-mixed small
         // graph: mass must remain 1 every step.
-        let refs = Csr::from_edges(
-            4,
-            4,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)],
-        );
+        let refs = Csr::from_edges(4, 4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]);
         let op = CitationOperator::from_references(&refs);
         let mut x = ScoreVec::uniform(4);
         let mut y = ScoreVec::zeros(4);

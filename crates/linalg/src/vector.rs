@@ -190,6 +190,76 @@ impl ScoreVec {
     }
 }
 
+/// A reusable pool of dense score buffers.
+///
+/// Grid searches evaluate hundreds of parameter settings per dataset, and
+/// every power-method solve used to allocate (at least) an initial vector,
+/// a swap buffer and a jump vector. A `KernelWorkspace` keeps returned
+/// buffers and hands them back on the next [`Self::take_zeros`], so a
+/// worker thread's whole grid share runs on a handful of allocations.
+///
+/// The pool is deliberately dumb: buffers are plain `Vec<f64>` recycled
+/// regardless of length (they are resized on reuse), and the pool is
+/// bounded so a one-off giant solve cannot pin memory forever.
+#[derive(Debug, Default)]
+pub struct KernelWorkspace {
+    pool: Vec<Vec<f64>>,
+}
+
+/// Cloning a workspace yields an empty one: pooled scratch is an
+/// optimization, not state, and cloned owners should not share or copy it.
+impl Clone for KernelWorkspace {
+    fn clone(&self) -> Self {
+        KernelWorkspace::new()
+    }
+}
+
+/// Buffers retained per workspace; beyond this, [`KernelWorkspace::recycle`]
+/// drops instead of pooling.
+const WORKSPACE_POOL_CAP: usize = 16;
+
+impl KernelWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a zero-filled vector of length `n`, reusing a pooled
+    /// buffer when one is available.
+    pub fn take_zeros(&mut self, n: usize) -> ScoreVec {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(n, 0.0);
+                ScoreVec { data: buf }
+            }
+            None => ScoreVec::zeros(n),
+        }
+    }
+
+    /// Hands out a vector of length `n` filled with `1/n` (empty for
+    /// `n == 0`, mirroring [`ScoreVec::uniform`]).
+    pub fn take_uniform(&mut self, n: usize) -> ScoreVec {
+        let mut v = self.take_zeros(n);
+        if n > 0 {
+            v.fill(1.0 / n as f64);
+        }
+        v
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&mut self, v: ScoreVec) {
+        if self.pool.len() < WORKSPACE_POOL_CAP && v.data.capacity() > 0 {
+            self.pool.push(v.data);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
 impl Deref for ScoreVec {
     type Target = [f64];
     fn deref(&self) -> &[f64] {
@@ -311,6 +381,33 @@ mod tests {
         assert!(v.all_finite());
         v[1] = f64::NAN;
         assert!(!v.all_finite());
+    }
+
+    #[test]
+    fn workspace_reuses_buffers() {
+        let mut ws = KernelWorkspace::new();
+        let a = ws.take_zeros(8);
+        assert_eq!(a.as_slice(), &[0.0; 8]);
+        ws.recycle(a);
+        assert_eq!(ws.pooled(), 1);
+        let mut b = ws.take_uniform(4);
+        assert_eq!(ws.pooled(), 0, "pooled buffer was reused");
+        assert!((b.sum() - 1.0).abs() < 1e-15);
+        b[0] = 7.0;
+        ws.recycle(b);
+        // A recycled dirty buffer comes back zeroed.
+        let c = ws.take_zeros(6);
+        assert_eq!(c.as_slice(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn workspace_pool_is_bounded() {
+        let mut ws = KernelWorkspace::new();
+        for _ in 0..100 {
+            let v = ScoreVec::zeros(4);
+            ws.recycle(v);
+        }
+        assert!(ws.pooled() <= 16);
     }
 
     #[test]

@@ -3,15 +3,14 @@
 use proptest::prelude::*;
 use sparsela::{
     average_ranks, fit_exponential, ordinal_ranks, sort_indices_desc, CitationOperator, Csr,
-    PowerEngine, PowerOptions, ScoreVec,
+    PowerEngine, PowerOptions, ScoreVec, WeightedCsr,
 };
 
 /// Strategy: a random edge list on `n` nodes.
 fn edges_strategy(max_n: u32) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2..=max_n).prop_flat_map(|n| {
         let edge = (0..n, 0..n).prop_filter("no self-loop", |(a, b)| a != b);
-        proptest::collection::vec(edge, 0..(n as usize * 4))
-            .prop_map(move |es| (n as usize, es))
+        proptest::collection::vec(edge, 0..(n as usize * 4)).prop_map(move |es| (n as usize, es))
     })
 }
 
@@ -144,5 +143,175 @@ proptest! {
         v.normalize_l1();
         prop_assert!((v.sum() - 1.0).abs() < 1e-9);
         prop_assert!(v.iter().all(|&x| x >= 0.0));
+    }
+
+    // --- parallel kernels: thread-count independence ---------------------
+    //
+    // Per-row accumulation stays sequential under the degree-balanced row
+    // partition, so every kernel must be BIT-identical (`==` on f64, not
+    // within a tolerance) for every thread count, including counts far
+    // above the row count.
+
+    #[test]
+    fn apply_is_bit_identical_across_thread_counts((n, edges) in edges_strategy(60)) {
+        let refs = Csr::from_edges(n, n, &edges);
+        let op = CitationOperator::from_references(&refs);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let mut serial = vec![0.0; n];
+        op.apply_with_threads(1, &x, &mut serial);
+        for threads in [2usize, 3, 4, 8, 64] {
+            let mut parallel = vec![f64::NAN; n];
+            op.apply_with_threads(threads, &x, &mut parallel);
+            prop_assert_eq!(&serial, &parallel, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn apply_leaky_is_bit_identical_across_thread_counts((n, edges) in edges_strategy(60)) {
+        let refs = Csr::from_edges(n, n, &edges);
+        let op = CitationOperator::from_references(&refs);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 * 0.1).collect();
+        let mut serial = vec![0.0; n];
+        op.apply_leaky_with_threads(1, &x, &mut serial);
+        for threads in [2usize, 4, 16] {
+            let mut parallel = vec![f64::NAN; n];
+            op.apply_leaky_with_threads(threads, &x, &mut parallel);
+            prop_assert_eq!(&serial, &parallel, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn apply_damped_is_bit_identical_across_thread_counts(
+        (n, edges) in edges_strategy(50),
+        alpha in 0.0f64..1.0,
+    ) {
+        let refs = Csr::from_edges(n, n, &edges);
+        let op = CitationOperator::from_references(&refs);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 2) as f64).collect();
+        let jump: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 * 0.01).collect();
+        let mut serial = vec![0.0; n];
+        op.apply_damped_with_threads(1, alpha, &x, &jump, &mut serial);
+        for threads in [2usize, 3, 8] {
+            let mut parallel = vec![f64::NAN; n];
+            op.apply_damped_with_threads(threads, alpha, &x, &jump, &mut parallel);
+            prop_assert_eq!(&serial, &parallel, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn apply_damped_fusion_matches_two_pass_reference(
+        (n, edges) in edges_strategy(40),
+        alpha in 0.0f64..1.0,
+    ) {
+        // The fused sweep must compute exactly α·(S·x) + jump with the same
+        // per-row operation order as apply followed by the dense rescale.
+        let refs = Csr::from_edges(n, n, &edges);
+        let op = CitationOperator::from_references(&refs);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 5) + 1) as f64 * 0.05).collect();
+        let jump: Vec<f64> = (0..n).map(|i| ((i % 3) as f64) * 0.2).collect();
+        let mut two_pass = vec![0.0; n];
+        op.apply_with_threads(1, &x, &mut two_pass);
+        for (i, v) in two_pass.iter_mut().enumerate() {
+            *v = alpha * *v + jump[i];
+        }
+        let mut fused = vec![0.0; n];
+        op.apply_damped_with_threads(1, alpha, &x, &jump, &mut fused);
+        prop_assert_eq!(&two_pass, &fused);
+    }
+
+    #[test]
+    fn weighted_mul_is_bit_identical_across_thread_counts((n, edges) in edges_strategy(50)) {
+        let triples: Vec<(u32, u32, f64)> = edges
+            .iter()
+            .map(|&(r, c)| (r, c, 1.0 / (1.0 + (r + c) as f64)))
+            .collect();
+        let m = WeightedCsr::from_triples(n, n, &triples);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut serial = vec![0.0; n];
+        m.mul_vec_into_with_threads(1, &x, &mut serial);
+        for threads in [2usize, 4, 32] {
+            let mut parallel = vec![f64::NAN; n];
+            m.mul_vec_into_with_threads(threads, &x, &mut parallel);
+            prop_assert_eq!(&serial, &parallel, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn apply_damped_uniform_is_bit_identical_across_thread_counts(
+        (n, edges) in edges_strategy(50),
+        alpha in 0.0f64..1.0,
+    ) {
+        let refs = Csr::from_edges(n, n, &edges);
+        let op = CitationOperator::from_references(&refs);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 3) as f64).collect();
+        let teleport = (1.0 - alpha) / n as f64;
+        let mut serial = vec![0.0; n];
+        op.apply_damped_uniform_with_threads(1, alpha, &x, teleport, &mut serial);
+        for threads in [2usize, 4, 16] {
+            let mut parallel = vec![f64::NAN; n];
+            op.apply_damped_uniform_with_threads(threads, alpha, &x, teleport, &mut parallel);
+            prop_assert_eq!(&serial, &parallel, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn apply_damped_leaky_is_bit_identical_across_thread_counts(
+        (n, edges) in edges_strategy(50),
+        alpha in 0.0f64..1.0,
+    ) {
+        let refs = Csr::from_edges(n, n, &edges);
+        let op = CitationOperator::from_references(&refs);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 * 0.1).collect();
+        let rho: Vec<f64> = (0..n).map(|i| ((i * 11) % 3) as f64 * 0.3).collect();
+        let mut serial = vec![0.0; n];
+        op.apply_damped_leaky_with_threads(1, alpha, &x, &rho, &mut serial);
+        for threads in [2usize, 4, 16] {
+            let mut parallel = vec![f64::NAN; n];
+            op.apply_damped_leaky_with_threads(threads, alpha, &x, &rho, &mut parallel);
+            prop_assert_eq!(&serial, &parallel, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn weighted_mul_damped_is_bit_identical_across_thread_counts(
+        (n, edges) in edges_strategy(50),
+        alpha in 0.0f64..1.0,
+    ) {
+        let triples: Vec<(u32, u32, f64)> = edges
+            .iter()
+            .map(|&(r, c)| (r, c, 0.5 + ((r * 3 + c) % 7) as f64 * 0.1))
+            .collect();
+        let m = WeightedCsr::from_triples(n, n, &triples);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let seed: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) * 0.25).collect();
+        let mut serial = vec![0.0; n];
+        m.mul_vec_damped_into_with_threads(1, alpha, &x, &seed, &mut serial);
+        for threads in [2usize, 4, 32] {
+            let mut parallel = vec![f64::NAN; n];
+            m.mul_vec_damped_into_with_threads(threads, alpha, &x, &seed, &mut parallel);
+            prop_assert_eq!(&serial, &parallel, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn probability_mass_is_conserved_under_threading(
+        (n, edges) in edges_strategy(50),
+        threads in 1usize..9,
+    ) {
+        let refs = Csr::from_edges(n, n, &edges);
+        let op = CitationOperator::from_references(&refs);
+        let mut x = vec![0.0; n];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = ((i * 31) % 17) as f64 + 1.0;
+        }
+        let total: f64 = x.iter().sum();
+        for v in x.iter_mut() {
+            *v /= total;
+        }
+        let mut y = vec![0.0; n];
+        op.apply_with_threads(threads, &x, &mut y);
+        let sum: f64 = y.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-10, "threads={} sum={}", threads, sum);
+        prop_assert!(y.iter().all(|&v| v >= 0.0));
     }
 }

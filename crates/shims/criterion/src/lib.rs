@@ -1,0 +1,405 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `Throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple — per benchmark it reports the mean
+//! and best (minimum) wall-clock time over a fixed measurement window — and
+//! every result is also appended to a JSON report under
+//! `target/shim-criterion/<binary>.json` (override the directory with
+//! `CRITERION_SHIM_OUT_DIR`) so baselines can be committed and diffed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured throughput denomination for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batches are sized in [`Bencher::iter_batched`]. Ignored by the shim
+/// (every batch is one input), kept for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    iterations: u64,
+    throughput: Option<Throughput>,
+}
+
+/// The benchmark manager. Collects measurements and renders the report.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+    filter: Option<String>,
+    measure_window: Duration,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`cargo bench` passes `--bench` plus
+    /// an optional name filter; unknown flags are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.measure_window = Duration::from_millis(
+            std::env::var("CRITERION_SHIM_MEASURE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(700),
+        );
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn should_run(&self, group: &str, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => format!("{group}/{id}").contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn record(&mut self, record: Record) {
+        let label = if record.group.is_empty() {
+            record.id.clone()
+        } else {
+            format!("{}/{}", record.group, record.id)
+        };
+        let mut line = format!(
+            "{label:<56} time: [{} .. {}] ({} iters)",
+            fmt_ns(record.min_ns),
+            fmt_ns(record.mean_ns),
+            record.iterations
+        );
+        if let Some(t) = record.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = count as f64 / (record.mean_ns * 1e-9);
+            let _ = write!(line, "  thrpt: {} {unit}/s", fmt_count(per_sec));
+        }
+        println!("{line}");
+        self.records.push(record);
+    }
+
+    /// Writes the JSON report. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let out_dir = std::env::var("CRITERION_SHIM_OUT_DIR")
+            .unwrap_or_else(|_| "target/shim-criterion".to_string());
+        let bin = std::env::args()
+            .next()
+            .as_deref()
+            .and_then(|p| {
+                std::path::Path::new(p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        // Cargo appends a -<hash> to bench executables; strip it for a
+        // stable file name.
+        let stem = match bin.rsplit_once('-') {
+            Some((name, hash))
+                if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) =>
+            {
+                name.to_string()
+            }
+            _ => bin,
+        };
+        let mut json = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let throughput = match r.throughput {
+                Some(Throughput::Elements(n)) => format!(r#", "elements": {n}"#),
+                Some(Throughput::Bytes(n)) => format!(r#", "bytes": {n}"#),
+                None => String::new(),
+            };
+            let comma = if i + 1 == self.records.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                r#"  {{"group": "{}", "id": "{}", "mean_ns": {:.1}, "min_ns": {:.1}, "iterations": {}{}}}{}"#,
+                r.group, r.id, r.mean_ns, r.min_ns, r.iterations, throughput, comma
+            );
+        }
+        json.push_str("]\n");
+        if std::fs::create_dir_all(&out_dir).is_ok() {
+            let path = std::path::Path::new(&out_dir).join(format!("{stem}.json"));
+            if std::fs::write(&path, json).is_ok() {
+                println!("\nwrote {}", path.display());
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3} K", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (the shim sizes its own measurement window).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Compatibility no-op.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Compatibility no-op.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput denomination reported for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkIdOrStr>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into().0;
+        if !self.criterion.should_run(&self.name, &id) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.criterion.measure_window);
+        f(&mut bencher);
+        let record = bencher.into_record(self.name.clone(), id, self.throughput);
+        self.criterion.record(record);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkIdOrStr>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where criterion does.
+pub struct BenchmarkIdOrStr(String);
+
+impl From<&str> for BenchmarkIdOrStr {
+    fn from(s: &str) -> Self {
+        BenchmarkIdOrStr(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrStr {
+    fn from(s: String) -> Self {
+        BenchmarkIdOrStr(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrStr(id.id)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    window: Duration,
+    total: Duration,
+    min_sample_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(window: Duration) -> Self {
+        Bencher {
+            window,
+            total: Duration::ZERO,
+            min_sample_ns: f64::INFINITY,
+            iterations: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement window closes.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up call (fills caches, faults pages).
+        black_box(routine());
+        let started = Instant::now();
+        while started.elapsed() < self.window {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min_sample_ns = self.min_sample_ns.min(dt.as_nanos() as f64);
+            self.iterations += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while started.elapsed() < self.window {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min_sample_ns = self.min_sample_ns.min(dt.as_nanos() as f64);
+            self.iterations += 1;
+        }
+    }
+
+    fn into_record(self, group: String, id: String, throughput: Option<Throughput>) -> Record {
+        let iterations = self.iterations.max(1);
+        let mean_ns = self.total.as_nanos() as f64 / iterations as f64;
+        let min_ns = if self.min_sample_ns.is_finite() {
+            self.min_sample_ns
+        } else {
+            mean_ns
+        };
+        Record {
+            group,
+            id,
+            mean_ns,
+            min_ns,
+            iterations: self.iterations,
+            throughput,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generates the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the subset of the `proptest` 1.x API its test suites use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`,
+//! range and tuple strategies, [`collection::vec`], string strategies from
+//! a small regex subset (`[class]{m,n}` atoms), [`Just`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`]
+//! macros.
+//!
+//! Semantics match upstream where it matters for these suites — rejected
+//! cases (filters, `prop_assume!`) are resampled and do not count against
+//! the case budget, failures panic with the formatted message — but there
+//! is **no shrinking**: a failing case reports the values it saw. Case
+//! count defaults to 256 and honours the `PROPTEST_CASES` environment
+//! variable, like upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, rejecting the case as a
+/// failure (with no shrinking) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (it is resampled and does not count against the
+/// case budget) when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                &format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Declares property-based tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..100, (a, b) in my_strategy()) { prop_assert!(x < 100); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($cfg); $($rest)* }
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut executed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while executed < config.cases {
+                let generated = ( $(
+                    match $crate::strategy::Strategy::generate(&($strat), &mut rng) {
+                        ::core::result::Result::Ok(v) => v,
+                        ::core::result::Result::Err(_) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest {}: too many rejected cases ({} executed)",
+                                    stringify!($name), executed
+                                );
+                            }
+                            continue;
+                        }
+                    },
+                )+ );
+                let ( $($pat,)+ ) = generated;
+                let outcome = (|| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => executed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many rejected cases ({} executed)",
+                                stringify!($name), executed
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name), executed, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}

@@ -1,0 +1,185 @@
+//! String strategies from a small regex subset.
+//!
+//! A `&str` is itself a strategy generating `String`s that match it, as in
+//! upstream proptest. This offline subset supports exactly the shapes the
+//! workspace's tests use: sequences of atoms, where an atom is a literal
+//! character or a character class `[...]` (with `a-z` ranges and `\t \n \r
+//! \\` escapes), optionally quantified by `{m}`, `{m,n}`, `?`, `*`, or `+`
+//! (`*`/`+` are capped at 32 repetitions).
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters (closed class).
+    chars: Vec<char>,
+    /// Inclusive repetition band.
+    reps: (usize, usize),
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        't' => '\t',
+        'n' => '\n',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parses the supported regex subset; panics on anything else so an
+/// unsupported pattern fails loudly rather than silently mis-generating.
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let class: Vec<char> = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("unterminated character class in {pattern:?}");
+                    };
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let e = chars.next().expect("dangling escape");
+                            class.push(unescape(e));
+                            prev = Some(unescape(e));
+                        }
+                        '-' => {
+                            // Range when between two chars, literal otherwise.
+                            match (prev, chars.peek()) {
+                                (Some(lo), Some(&hi)) if hi != ']' => {
+                                    chars.next();
+                                    assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+                                    for code in (lo as u32 + 1)..=(hi as u32) {
+                                        class.push(char::from_u32(code).expect("valid range"));
+                                    }
+                                    prev = None;
+                                }
+                                _ => {
+                                    class.push('-');
+                                    prev = Some('-');
+                                }
+                            }
+                        }
+                        other => {
+                            class.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!class.is_empty(), "empty character class in {pattern:?}");
+                class
+            }
+            '\\' => vec![unescape(chars.next().expect("dangling escape"))],
+            other => vec![other],
+        };
+        let reps = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition lower bound"),
+                        hi.parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 32)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 32)
+            }
+            _ => (1, 1),
+        };
+        assert!(reps.0 <= reps.1, "bad repetition band in {pattern:?}");
+        atoms.push(Atom { chars: class, reps });
+    }
+    atoms
+}
+
+// Implemented on `str` (not `&str`) so `&str` picks it up through the
+// blanket reference impl without overlapping it.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Result<String, Rejection> {
+        let atoms = parse(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.reps.1 - atom.reps.0) as u64 + 1;
+            let n = atom.reps.0 + rng.below(span) as usize;
+            for _ in 0..n {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_escapes() {
+        let mut rng = TestRng::from_seed(3);
+        let s = "[ -~\t\n]{0,40}";
+        for _ in 0..300 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!(v.chars().count() <= 40);
+            for c in v.chars() {
+                assert!((' '..='~').contains(&c) || c == '\t' || c == '\n', "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::from_seed(4);
+        let s = "[0-9a-z-]{1,6}";
+        let mut saw_dash = false;
+        for _ in 0..2000 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((1..=6).contains(&v.chars().count()));
+            for c in v.chars() {
+                assert!(c.is_ascii_digit() || c.is_ascii_lowercase() || c == '-');
+                saw_dash |= c == '-';
+            }
+        }
+        assert!(saw_dash, "dash must be generatable");
+    }
+
+    #[test]
+    fn literal_sequence() {
+        let mut rng = TestRng::from_seed(5);
+        assert_eq!("abc".generate(&mut rng).unwrap(), "abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "unterminated")]
+    fn unsupported_pattern_panics() {
+        let mut rng = TestRng::from_seed(6);
+        let _ = "[abc".generate(&mut rng);
+    }
+}

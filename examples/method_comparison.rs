@@ -12,7 +12,10 @@ use citegraph::rank::CitationCount;
 
 fn main() {
     let profile = DatasetProfile::pmc().scaled(6_000);
-    println!("generating a {}-paper {} corpus...", profile.n_papers, profile.name);
+    println!(
+        "generating a {}-paper {} corpus...",
+        profile.n_papers, profile.name
+    );
     let net = generate(&profile, 7);
 
     // §4.1 protocol: methods see the oldest half, ground truth comes from
@@ -38,9 +41,7 @@ fn main() {
         ),
         (
             "NO-ATT",
-            Box::new(AttRank::new(
-                AttRankParams::no_att(0.2, 3, -0.16).unwrap(),
-            )),
+            Box::new(AttRank::new(AttRankParams::no_att(0.2, 3, -0.16).unwrap())),
         ),
         (
             "ATT-ONLY",

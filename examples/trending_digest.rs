@@ -15,7 +15,10 @@ use citegraph::rank::CitationCount;
 
 fn main() {
     let profile = DatasetProfile::dblp().scaled(8_000);
-    println!("generating a {}-paper {} corpus...", profile.n_papers, profile.name);
+    println!(
+        "generating a {}-paper {} corpus...",
+        profile.n_papers, profile.name
+    );
     let net = generate(&profile, 42);
     let t_n = net.current_year().unwrap();
 
@@ -55,9 +58,7 @@ fn main() {
     };
     let ar_age = median_age(&attrank_scores.top_k(K));
     let cc_age = median_age(&cc_scores.top_k(K));
-    println!(
-        "\nmedian age of recommendations: AttRank {ar_age}y vs citation count {cc_age}y"
-    );
+    println!("\nmedian age of recommendations: AttRank {ar_age}y vs citation count {cc_age}y");
     assert!(
         ar_age <= cc_age,
         "AttRank must not recommend older papers than citation count"

@@ -7,14 +7,17 @@
 //! cargo run --release --example tune_and_forecast
 //! ```
 
-use attrank_repro::prelude::*;
 use attrank::fit_decay_from_network;
+use attrank_repro::prelude::*;
 use rankeval::tuning::{tune, MethodSpace};
 use sparsela::ScoreVec;
 
 fn main() {
     let profile = DatasetProfile::hepth().scaled(6_000);
-    println!("generating a {}-paper {} corpus...", profile.n_papers, profile.name);
+    println!(
+        "generating a {}-paper {} corpus...",
+        profile.n_papers, profile.name
+    );
     let net = generate(&profile, 123);
 
     // Step 1 — fit w from the citation-age distribution (paper fits
@@ -25,9 +28,7 @@ fn main() {
     // Step 2 — tune on a validation split (ratio 1.4), optimizing nDCG@50.
     let validation = ratio_split(&net, 1.4);
     let val_sti = ground_truth_sti(&validation);
-    let objective = |scores: &ScoreVec| {
-        Metric::NdcgAt(50).evaluate(scores.as_slice(), &val_sti)
-    };
+    let objective = |scores: &ScoreVec| Metric::NdcgAt(50).evaluate(scores.as_slice(), &val_sti);
     let tuned = tune(
         "AR",
         MethodSpace::AttRank { decay_w: w }.candidates(),

@@ -16,11 +16,7 @@ fn attrank_special_case_recovers_pagerank_exactly() {
     for alpha in [0.15, 0.5, 0.85] {
         let ar = AttRank::new(AttRankParams::new(alpha, 0.0, 1, 0.0).unwrap()).rank(&net);
         let pr = PageRank::new(alpha).rank(&net);
-        let diff: f64 = ar
-            .iter()
-            .zip(pr.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 = ar.iter().zip(pr.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff < 1e-9, "α={alpha}: L1 gap {diff}");
     }
 }
@@ -86,13 +82,14 @@ fn citerank_with_flat_start_ranks_like_damped_katz_flow() {
     let cr = CiteRank::new(0.5, 1e9).rank(&net);
     let cc = CitationCount.rank(&net);
     // Every paper with ≥30 citations must out-rank every paper with 0.
-    let heavy: Vec<usize> = (0..net.n_papers())
-        .filter(|&p| cc[p] >= 30.0)
-        .collect();
+    let heavy: Vec<usize> = (0..net.n_papers()).filter(|&p| cc[p] >= 30.0).collect();
     let zero: Vec<usize> = (0..net.n_papers()).filter(|&p| cc[p] == 0.0).collect();
     assert!(!heavy.is_empty() && !zero.is_empty());
     let min_heavy = heavy.iter().map(|&p| cr[p]).fold(f64::INFINITY, f64::min);
-    let max_zero = zero.iter().map(|&p| cr[p]).fold(f64::NEG_INFINITY, f64::max);
+    let max_zero = zero
+        .iter()
+        .map(|&p| cr[p])
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(
         min_heavy > max_zero,
         "heavily-cited floor {min_heavy} vs uncited ceiling {max_zero}"
@@ -125,7 +122,12 @@ fn io_roundtrip_preserves_rankings() {
 fn every_method_scores_every_paper_finite_nonnegative() {
     let net = generate(&DatasetProfile::pmc().scaled(1_500), 37);
     let methods: Vec<(&str, Box<dyn Ranker>)> = vec![
-        ("AR", Box::new(AttRank::new(AttRankParams::new(0.2, 0.4, 3, -0.16).unwrap()))),
+        (
+            "AR",
+            Box::new(AttRank::new(
+                AttRankParams::new(0.2, 0.4, 3, -0.16).unwrap(),
+            )),
+        ),
         ("PR", Box::new(PageRank::default_citation())),
         ("CR", Box::new(CiteRank::new(0.5, 2.6))),
         ("FR", Box::new(FutureRank::original_optimum())),

@@ -94,8 +94,8 @@ fn single_paper_network_is_trivial() {
     let mut b = NetworkBuilder::new();
     b.add_paper(2000);
     let net = b.build().unwrap();
-    let d = AttRank::new(AttRankParams::new(0.5, 0.3, 1, -0.1).unwrap())
-        .rank_with_diagnostics(&net);
+    let d =
+        AttRank::new(AttRankParams::new(0.5, 0.3, 1, -0.1).unwrap()).rank_with_diagnostics(&net);
     assert!(d.converged);
     assert_eq!(d.scores.len(), 1);
     assert!(d.scores[0] > 0.0);

@@ -101,8 +101,7 @@ fn fig5_shape_ndcg_high_at_small_k() {
     // numbers live in EXPERIMENTS.md (AR ≈ 0.72–0.74 at k ∈ {5,10} on the
     // 12k DBLP profile).
     let bundle = prepare(&DatasetProfile::dblp().scaled(3_000), 26);
-    let results =
-        rankeval::experiment::comparative_at_ratio(&bundle, 1.6, Metric::NdcgAt(10));
+    let results = rankeval::experiment::comparative_at_ratio(&bundle, 1.6, Metric::NdcgAt(10));
     let ar = results.iter().find(|r| r.method == "AR").unwrap();
     assert!(
         ar.best_value > 0.4,

@@ -144,8 +144,7 @@ fn full_comparative_experiment_has_attrank_on_top() {
     // A miniature Fig. 3 cell: tuned AR vs all tuned baselines.
     let profile = DatasetProfile::dblp().scaled(3_000);
     let bundle = rankeval::experiment::prepare(&profile, 11);
-    let results =
-        rankeval::experiment::comparative_at_ratio(&bundle, 1.6, Metric::Spearman);
+    let results = rankeval::experiment::comparative_at_ratio(&bundle, 1.6, Metric::Spearman);
     let ar = results.iter().find(|r| r.method == "AR").unwrap();
     for r in &results {
         if r.method == "AR" {
