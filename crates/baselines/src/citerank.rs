@@ -98,8 +98,8 @@ impl CiteRank {
 }
 
 impl Ranker for CiteRank {
-    fn name(&self) -> String {
-        "CR".into()
+    fn name(&self) -> &str {
+        "CR"
     }
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {

@@ -107,8 +107,8 @@ impl Ecm {
 }
 
 impl Ranker for Ecm {
-    fn name(&self) -> String {
-        "ECM".into()
+    fn name(&self) -> &str {
+        "ECM"
     }
 
     /// Returns NaN scores when the series failed to converge within the

@@ -92,8 +92,8 @@ impl Ensemble {
 }
 
 impl Ranker for Ensemble {
-    fn name(&self) -> String {
-        self.label.clone()
+    fn name(&self) -> &str {
+        &self.label
     }
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {
@@ -190,8 +190,8 @@ mod tests {
         // the majority at the top.
         struct Reversed;
         impl Ranker for Reversed {
-            fn name(&self) -> String {
-                "REV".into()
+            fn name(&self) -> &str {
+                "REV"
             }
             fn rank(&self, net: &CitationNetwork) -> ScoreVec {
                 let cc = CitationCount.rank(net);
@@ -226,8 +226,8 @@ mod tests {
         // points let the consistent-but-mild preference for B matter more.
         struct Fixed(Vec<f64>);
         impl Ranker for Fixed {
-            fn name(&self) -> String {
-                "FIX".into()
+            fn name(&self) -> &str {
+                "FIX"
             }
             fn rank(&self, _net: &CitationNetwork) -> ScoreVec {
                 ScoreVec::from_vec(self.0.clone())

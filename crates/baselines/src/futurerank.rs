@@ -166,8 +166,8 @@ impl FutureRank {
 }
 
 impl Ranker for FutureRank {
-    fn name(&self) -> String {
-        "FR".into()
+    fn name(&self) -> &str {
+        "FR"
     }
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {

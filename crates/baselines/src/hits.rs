@@ -88,8 +88,8 @@ impl Hits {
 }
 
 impl Ranker for Hits {
-    fn name(&self) -> String {
-        "HITS".into()
+    fn name(&self) -> &str {
+        "HITS"
     }
 
     /// Papers rank by authority (the impact-relevant side).

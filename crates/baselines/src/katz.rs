@@ -65,8 +65,8 @@ impl Katz {
 }
 
 impl Ranker for Katz {
-    fn name(&self) -> String {
-        "Katz".into()
+    fn name(&self) -> &str {
+        "Katz"
     }
 
     /// Returns NaN scores when the series failed to converge within the

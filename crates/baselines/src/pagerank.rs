@@ -62,8 +62,8 @@ impl PageRank {
 }
 
 impl Ranker for PageRank {
-    fn name(&self) -> String {
-        "PR".into()
+    fn name(&self) -> &str {
+        "PR"
     }
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {

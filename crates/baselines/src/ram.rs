@@ -56,8 +56,8 @@ impl Ram {
 }
 
 impl Ranker for Ram {
-    fn name(&self) -> String {
-        "RAM".into()
+    fn name(&self) -> &str {
+        "RAM"
     }
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {

@@ -68,8 +68,8 @@ impl Wsdm {
 }
 
 impl Ranker for Wsdm {
-    fn name(&self) -> String {
-        "WSDM".into()
+    fn name(&self) -> &str {
+        "WSDM"
     }
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {

@@ -7,6 +7,7 @@
 //!   summary      dataset cards (§4.1)
 //!   fig1a        citation-age distributions + fitted w (§2, §4.2)
 //!   fig1b        old-vs-new paper yearly citation curves (§2)
+//!   methods      registry lineup: every method at its default config
 //!   table1       recently-popular papers among the top-100 by STI (§3)
 //!   table2       test-ratio ↔ time-horizon correspondence (§4.1)
 //!   table3       AttRank tuning grid (§4.2)
@@ -27,7 +28,7 @@
 
 use std::process::ExitCode;
 
-use citegraph::stats;
+use citegraph::{stats, Ranker};
 use rankeval::experiment::{
     comparative_at_ratio, convergence_comparison, heatmap, table1, table2, DatasetBundle,
     DEFAULT_RATIO, PAPER_K_VALUES, PAPER_RATIOS,
@@ -48,7 +49,7 @@ fn main() -> ExitCode {
     };
     let Some(cmd) = rest.first() else {
         eprintln!("usage: repro <subcommand> [--scale N] [--seed N] [--out DIR]");
-        eprintln!("subcommands: summary fig1a fig1b table1 table2 table3 table4");
+        eprintln!("subcommands: summary methods fig1a fig1b table1 table2 table3 table4");
         eprintln!("             fig2corr fig2ndcg fig3 fig4 fig5 convergence");
         eprintln!("             robustness significance all");
         return ExitCode::FAILURE;
@@ -70,6 +71,7 @@ fn main() -> ExitCode {
 
     let ok = match cmd.as_str() {
         "summary" => run_summary(&bundles),
+        "methods" => run_methods(&bundles, &opts),
         "fig1a" => run_fig1a(&bundles, &opts),
         "fig1b" => run_fig1b(&opts),
         "table1" => run_table1(&bundles, &opts),
@@ -84,6 +86,7 @@ fn main() -> ExitCode {
         "significance" => run_significance(&bundles, &opts),
         "all" => {
             run_summary(&bundles)
+                && run_methods(&bundles, &opts)
                 && run_fig1a(&bundles, &opts)
                 && run_fig1b(&opts)
                 && run_table1(&bundles, &opts)
@@ -143,6 +146,42 @@ fn run_summary(bundles: &[DatasetBundle]) -> bool {
         )
     );
     true
+}
+
+fn run_methods(bundles: &[DatasetBundle], opts: &Options) -> bool {
+    println!("== Registry lineup: every method at its default config (ratio {DEFAULT_RATIO}) ==");
+    println!("(the same specs `examples/method_comparison.rs` and the serving engine accept)");
+    let mut ok = true;
+    for b in bundles {
+        let s = rankeval::experiment::setting(b, DEFAULT_RATIO);
+        let current = &s.split.current;
+        let mut rows = Vec::new();
+        for spec in rankengine::default_comparison_specs() {
+            let method = rankengine::build(&spec).expect("default specs are valid");
+            let scores = method.rank(current);
+            let rho = Metric::Spearman.evaluate(scores.as_slice(), &s.sti);
+            let ndcg = Metric::NdcgAt(50).evaluate(scores.as_slice(), &s.sti);
+            rows.push(vec![
+                method.name().to_string(),
+                spec.to_string(),
+                fmt_metric(rho),
+                fmt_metric(ndcg),
+            ]);
+        }
+        println!("-- {} --", b.name);
+        println!(
+            "{}",
+            text_table(&["method", "spec", "spearman", "ndcg@50"], &rows)
+        );
+        ok &= write_csv(
+            opts.out_dir
+                .join(format!("methods_{}.csv", b.name.replace('-', ""))),
+            &["method", "spec", "spearman", "ndcg50"],
+            &rows,
+        )
+        .is_ok();
+    }
+    ok
 }
 
 fn run_fig1a(bundles: &[DatasetBundle], opts: &Options) -> bool {

@@ -1,0 +1,523 @@
+//! Batched deltas against an immutable [`CitationNetwork`].
+//!
+//! A serving deployment does not rebuild its corpus from scratch every time
+//! a day's worth of papers lands — it applies a *delta*: newly published
+//! papers (appended at the end of the time-sorted id space, so every
+//! existing id stays valid) plus newly observed citations (from new papers,
+//! or bibliography corrections to existing ones).
+//!
+//! [`CitationNetwork::with_delta`] validates a [`GraphDelta`] and produces
+//! the successor network. Because ids are stable, warm-started solvers
+//! (`attrank`'s incremental module) can carry their fixed point across the
+//! transition, which is exactly what the engine crate's re-rank path does.
+
+use sparsela::Csr;
+use std::fmt;
+
+use crate::network::{CitationNetwork, PaperId, Year};
+
+/// A batch of additions to apply on top of an existing network.
+///
+/// New papers receive ids `n, n+1, …` in the order they appear in
+/// [`Self::papers`] (where `n` is the base network's paper count); citation
+/// pairs may reference both existing and new ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Publication years of the appended papers, in id order.
+    pub papers: Vec<Year>,
+    /// New `(citing, cited)` edges. Duplicates of existing edges collapse
+    /// silently, mirroring the builder (citation matrices are 0/1).
+    pub citations: Vec<(PaperId, PaperId)>,
+}
+
+impl GraphDelta {
+    /// An empty delta (applying it yields an identical network).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a paper published in `year`; returns its *offset within the
+    /// delta* — its final id is `base.n_papers() + offset`.
+    pub fn add_paper(&mut self, year: Year) -> usize {
+        self.papers.push(year);
+        self.papers.len() - 1
+    }
+
+    /// Records a new citation edge by final ids.
+    pub fn add_citation(&mut self, citing: PaperId, cited: PaperId) {
+        self.citations.push((citing, cited));
+    }
+
+    /// Number of new papers.
+    pub fn n_papers(&self) -> usize {
+        self.papers.len()
+    }
+
+    /// Number of new edges (duplicates included).
+    pub fn n_citations(&self) -> usize {
+        self.citations.len()
+    }
+
+    /// `true` when the delta adds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.papers.is_empty() && self.citations.is_empty()
+    }
+
+    /// Appends another delta's additions onto this one.
+    ///
+    /// Because new-paper ids are assigned sequentially past the base
+    /// network, staging `a` then `b` is equivalent to staging the merged
+    /// delta — which is how the serving engine batches many small ingests
+    /// into one network rebuild at publish time.
+    pub fn merge(&mut self, other: &GraphDelta) {
+        self.papers.extend_from_slice(&other.papers);
+        self.citations.extend_from_slice(&other.citations);
+    }
+
+    /// Empties the delta (keeps allocations).
+    pub fn clear(&mut self) {
+        self.papers.clear();
+        self.citations.clear();
+    }
+}
+
+/// Why a [`GraphDelta`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A new paper's year precedes the base network's current year (or an
+    /// earlier paper within the same delta), which would break the
+    /// "id order = time order" invariant every snapshot relies on.
+    YearRegression {
+        /// Offset of the offending paper within the delta.
+        offset: usize,
+        /// Its year.
+        year: Year,
+        /// The minimum admissible year at that position.
+        min_year: Year,
+    },
+    /// An edge referenced an id that exists in neither the base network nor
+    /// the delta.
+    UnknownPaper {
+        /// The offending id.
+        id: PaperId,
+    },
+    /// A paper cited itself.
+    SelfCitation {
+        /// The paper citing itself.
+        id: PaperId,
+    },
+    /// A paper cited a paper published strictly later.
+    FutureCitation {
+        /// The citing paper.
+        citing: PaperId,
+        /// The cited paper (later year).
+        cited: PaperId,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::YearRegression {
+                offset,
+                year,
+                min_year,
+            } => write!(
+                f,
+                "delta paper at offset {offset} published {year}, before the \
+                 current year {min_year} (papers must arrive in time order)"
+            ),
+            DeltaError::UnknownPaper { id } => write!(f, "unknown paper id {id}"),
+            DeltaError::SelfCitation { id } => write!(f, "paper {id} cites itself"),
+            DeltaError::FutureCitation { citing, cited } => {
+                write!(f, "paper {citing} cites paper {cited} published later")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl CitationNetwork {
+    /// Applies a batch of additions, returning the successor network.
+    ///
+    /// Existing paper ids are preserved verbatim (new papers are appended at
+    /// the end of the time-sorted order), so per-paper state computed on
+    /// `self` — cached fixed points, rank positions — remains addressable on
+    /// the result. Metadata tables are carried over with empty entries for
+    /// the new papers.
+    ///
+    /// Validation mirrors the builder: new papers must not be older than the
+    /// current year (ids are time-sorted), edges must point backwards (or
+    /// sideways) in time, and self-citations are rejected. The delta is
+    /// checked before anything is built, so an `Err` leaves no partial
+    /// state.
+    pub fn with_delta(&self, delta: &GraphDelta) -> Result<CitationNetwork, DeltaError> {
+        self.validate_delta(&GraphDelta::new(), delta)?;
+        Ok(self.apply_validated(delta))
+    }
+
+    /// Validates `delta` against this network with `staged` (an
+    /// already-validated, not-yet-applied delta) logically appended.
+    ///
+    /// This is the cheap half of [`Self::with_delta`] — `O(delta)`, no
+    /// rebuild — and what lets a caller accumulate many small batches and
+    /// materialize the successor network once: errors still surface at
+    /// ingest time, against the full staged state.
+    pub fn validate_delta(
+        &self,
+        staged: &GraphDelta,
+        delta: &GraphDelta,
+    ) -> Result<(), DeltaError> {
+        let n_old = self.n_papers();
+        let n_staged = n_old + staged.papers.len();
+        let n_new = n_staged + delta.papers.len();
+
+        // 1. Years stay non-decreasing across the append boundary.
+        let mut min_year = staged
+            .papers
+            .last()
+            .copied()
+            .or(self.current_year())
+            .unwrap_or(Year::MIN);
+        for (offset, &year) in delta.papers.iter().enumerate() {
+            if year < min_year {
+                return Err(DeltaError::YearRegression {
+                    offset,
+                    year,
+                    min_year,
+                });
+            }
+            min_year = year;
+        }
+
+        let year_of = |p: PaperId| -> Year {
+            let p = p as usize;
+            if p < n_old {
+                self.years()[p]
+            } else if p < n_staged {
+                staged.papers[p - n_old]
+            } else {
+                delta.papers[p - n_staged]
+            }
+        };
+
+        // 2. Edges reference known papers and point backwards in time.
+        for &(citing, cited) in &delta.citations {
+            for id in [citing, cited] {
+                if id as usize >= n_new {
+                    return Err(DeltaError::UnknownPaper { id });
+                }
+            }
+            if citing == cited {
+                return Err(DeltaError::SelfCitation { id: citing });
+            }
+            if year_of(cited) > year_of(citing) {
+                return Err(DeltaError::FutureCitation { citing, cited });
+            }
+        }
+        Ok(())
+    }
+
+    /// The build half of [`Self::with_delta`]; `delta` must already have
+    /// passed [`Self::validate_delta`] against this network.
+    fn apply_validated(&self, delta: &GraphDelta) -> CitationNetwork {
+        let n_old = self.n_papers();
+        let n_new = n_old + delta.papers.len();
+
+        // Rebuild the adjacency from old + new edges (counting-sort CSR
+        // construction is a single O(nnz) pass).
+        let mut years = Vec::with_capacity(n_new);
+        years.extend_from_slice(self.years());
+        years.extend_from_slice(&delta.papers);
+
+        let mut edges = Vec::with_capacity(self.n_citations() + delta.citations.len());
+        for j in 0..n_old as u32 {
+            edges.extend(self.references(j).iter().map(|&i| (j, i)));
+        }
+        edges.extend_from_slice(&delta.citations);
+        let refs = Csr::from_edges(n_new, n_new, &edges);
+
+        // Metadata: keep the existing tables, new papers get no authors
+        // and no venue (id spaces are unchanged).
+        let authors = self.authors().map(|a| {
+            let mut per_paper: Vec<Vec<_>> = (0..n_old as u32)
+                .map(|p| a.authors_of(p).to_vec())
+                .collect();
+            per_paper.resize(n_new, Vec::new());
+            crate::metadata::AuthorTable::new(&per_paper, a.n_authors())
+        });
+        let venues = self.venues().map(|v| {
+            let mut venue: Vec<_> = (0..n_old as u32).map(|p| v.venue_of(p)).collect();
+            venue.resize(n_new, None);
+            crate::metadata::VenueTable::new(venue, v.n_venues())
+        });
+
+        CitationNetwork::from_parts(years, refs, authors, venues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn base() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        for year in [1990, 1991, 1992] {
+            b.add_paper(year);
+        }
+        for (citing, cited) in [(1, 0), (2, 0), (2, 1)] {
+            b.add_citation(citing, cited).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let net = base();
+        let next = net.with_delta(&GraphDelta::new()).unwrap();
+        assert_eq!(next.n_papers(), net.n_papers());
+        assert_eq!(next.n_citations(), net.n_citations());
+        assert_eq!(next.years(), net.years());
+    }
+
+    #[test]
+    fn delta_appends_papers_and_edges() {
+        let net = base();
+        let mut d = GraphDelta::new();
+        let offset = d.add_paper(1995);
+        let new_id = (net.n_papers() + offset) as PaperId;
+        d.add_citation(new_id, 0);
+        d.add_citation(new_id, 2);
+        assert_eq!(d.n_papers(), 1);
+        assert_eq!(d.n_citations(), 2);
+        assert!(!d.is_empty());
+
+        let next = net.with_delta(&d).unwrap();
+        assert_eq!(next.n_papers(), 4);
+        assert_eq!(next.n_citations(), 5);
+        assert_eq!(next.year(new_id), 1995);
+        assert_eq!(next.references(new_id), &[0, 2]);
+        // Existing ids are untouched.
+        assert_eq!(next.references(2), net.references(2));
+        assert_eq!(next.citations(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn delta_can_correct_existing_bibliography() {
+        // An edge between two *existing* papers (a late-arriving reference).
+        let net = base();
+        let mut d = GraphDelta::new();
+        d.add_citation(2, 1); // duplicate — collapses
+        d.add_citation(1, 0); // duplicate — collapses
+        let next = net.with_delta(&d).unwrap();
+        assert_eq!(next.n_citations(), 3);
+    }
+
+    #[test]
+    fn year_regression_rejected() {
+        let net = base();
+        let mut d = GraphDelta::new();
+        d.add_paper(1991); // older than current year 1992
+        assert!(matches!(
+            net.with_delta(&d),
+            Err(DeltaError::YearRegression {
+                offset: 0,
+                year: 1991,
+                min_year: 1992
+            })
+        ));
+        // Regression *within* the delta is also caught.
+        let mut d = GraphDelta::new();
+        d.add_paper(1995);
+        d.add_paper(1993);
+        assert!(matches!(
+            net.with_delta(&d),
+            Err(DeltaError::YearRegression { offset: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn same_year_append_allowed() {
+        let net = base();
+        let mut d = GraphDelta::new();
+        d.add_paper(1992);
+        let next = net.with_delta(&d).unwrap();
+        assert_eq!(next.years(), &[1990, 1991, 1992, 1992]);
+    }
+
+    #[test]
+    fn unknown_self_and_future_citations_rejected() {
+        let net = base();
+        let mut d = GraphDelta::new();
+        d.add_citation(7, 0);
+        assert_eq!(
+            net.with_delta(&d).unwrap_err(),
+            DeltaError::UnknownPaper { id: 7 }
+        );
+
+        let mut d = GraphDelta::new();
+        d.add_citation(1, 1);
+        assert_eq!(
+            net.with_delta(&d).unwrap_err(),
+            DeltaError::SelfCitation { id: 1 }
+        );
+
+        let mut d = GraphDelta::new();
+        d.add_paper(1999);
+        d.add_citation(0, 3); // 1990 paper citing a 1999 paper
+        assert_eq!(
+            net.with_delta(&d).unwrap_err(),
+            DeltaError::FutureCitation {
+                citing: 0,
+                cited: 3
+            }
+        );
+    }
+
+    #[test]
+    fn failed_delta_leaves_base_untouched() {
+        let net = base();
+        let mut d = GraphDelta::new();
+        d.add_paper(1999);
+        d.add_citation(0, 3);
+        assert!(net.with_delta(&d).is_err());
+        assert_eq!(net.n_papers(), 3);
+        assert_eq!(net.n_citations(), 3);
+    }
+
+    #[test]
+    fn metadata_extended_with_empty_entries() {
+        let mut b = NetworkBuilder::new();
+        b.add_paper_with_metadata(2000, vec![0, 1], Some(0));
+        b.add_paper_with_metadata(2001, vec![1], Some(1));
+        let net = b.build().unwrap();
+
+        let mut d = GraphDelta::new();
+        d.add_paper(2002);
+        d.add_citation(2, 0);
+        let next = net.with_delta(&d).unwrap();
+        let authors = next.authors().unwrap();
+        assert_eq!(authors.n_papers(), 3);
+        assert_eq!(authors.authors_of(0), &[0, 1]);
+        assert!(authors.authors_of(2).is_empty());
+        assert_eq!(authors.n_authors(), 2);
+        let venues = next.venues().unwrap();
+        assert_eq!(venues.venue_of(1), Some(1));
+        assert_eq!(venues.venue_of(2), None);
+    }
+
+    #[test]
+    fn delta_matches_equivalent_from_scratch_build() {
+        let net = base();
+        let mut d = GraphDelta::new();
+        d.add_paper(1994);
+        d.add_paper(1995);
+        d.add_citation(3, 2);
+        d.add_citation(4, 3);
+        d.add_citation(4, 0);
+        let incremental = net.with_delta(&d).unwrap();
+
+        let mut b = NetworkBuilder::new();
+        for year in [1990, 1991, 1992, 1994, 1995] {
+            b.add_paper(year);
+        }
+        for (citing, cited) in [(1, 0), (2, 0), (2, 1), (3, 2), (4, 3), (4, 0)] {
+            b.add_citation(citing as PaperId, cited as PaperId).unwrap();
+        }
+        let scratch = b.build().unwrap();
+
+        assert_eq!(incremental.years(), scratch.years());
+        for p in 0..scratch.n_papers() as u32 {
+            assert_eq!(incremental.references(p), scratch.references(p));
+            assert_eq!(incremental.citations(p), scratch.citations(p));
+        }
+    }
+
+    #[test]
+    fn staged_validation_matches_merged_application() {
+        // Validating batch-by-batch against staged state, then applying the
+        // merged delta once, equals applying the batches one at a time.
+        let net = base();
+        let mut d1 = GraphDelta::new();
+        d1.add_paper(1994);
+        d1.add_citation(3, 2);
+        let mut d2 = GraphDelta::new();
+        d2.add_paper(1995);
+        d2.add_citation(4, 3); // cites a paper that only exists in d1
+        d2.add_citation(4, 0);
+
+        net.validate_delta(&GraphDelta::new(), &d1).unwrap();
+        net.validate_delta(&d1, &d2).unwrap();
+        let mut merged = d1.clone();
+        merged.merge(&d2);
+        let once = net.with_delta(&merged).unwrap();
+        let stepwise = net.with_delta(&d1).unwrap().with_delta(&d2).unwrap();
+        assert_eq!(once.years(), stepwise.years());
+        assert_eq!(once.n_citations(), stepwise.n_citations());
+        for p in 0..once.n_papers() as u32 {
+            assert_eq!(once.references(p), stepwise.references(p));
+        }
+    }
+
+    #[test]
+    fn staged_validation_catches_cross_batch_errors() {
+        let net = base();
+        let mut staged = GraphDelta::new();
+        staged.add_paper(1999);
+
+        // Year regression relative to the *staged* paper, not the base.
+        let mut d = GraphDelta::new();
+        d.add_paper(1995);
+        assert!(matches!(
+            net.validate_delta(&staged, &d),
+            Err(DeltaError::YearRegression { min_year: 1999, .. })
+        ));
+
+        // A forward citation into a staged paper is rejected.
+        let mut d = GraphDelta::new();
+        d.add_citation(0, 3); // base paper (1990) citing staged paper (1999)
+        assert_eq!(
+            net.validate_delta(&staged, &d).unwrap_err(),
+            DeltaError::FutureCitation {
+                citing: 0,
+                cited: 3
+            }
+        );
+
+        // Ids past base + staged + delta are unknown.
+        let mut d = GraphDelta::new();
+        d.add_citation(4, 0);
+        assert_eq!(
+            net.validate_delta(&staged, &d).unwrap_err(),
+            DeltaError::UnknownPaper { id: 4 }
+        );
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mut a = GraphDelta::new();
+        a.add_paper(2000);
+        a.add_citation(1, 0);
+        let mut b = GraphDelta::new();
+        b.add_paper(2001);
+        a.merge(&b);
+        assert_eq!(a.n_papers(), 2);
+        assert_eq!(a.n_citations(), 1);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn delta_onto_empty_network() {
+        let net = NetworkBuilder::new().build().unwrap();
+        let mut d = GraphDelta::new();
+        d.add_paper(2000);
+        d.add_paper(2001);
+        d.add_citation(1, 0);
+        let next = net.with_delta(&d).unwrap();
+        assert_eq!(next.n_papers(), 2);
+        assert_eq!(next.n_citations(), 1);
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod delta;
 pub mod io;
 pub mod metadata;
 pub mod network;
@@ -35,6 +36,7 @@ pub mod stats;
 pub mod window;
 
 pub use builder::{BuildError, NetworkBuilder};
+pub use delta::{DeltaError, GraphDelta};
 pub use metadata::{AuthorTable, VenueTable};
 pub use network::{CitationNetwork, PaperId, Year};
 pub use rank::Ranker;

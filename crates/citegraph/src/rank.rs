@@ -15,7 +15,12 @@ use crate::network::CitationNetwork;
 pub trait Ranker {
     /// Human-readable method name (used in experiment reports, e.g. "AR",
     /// "CR", "FR", "RAM", "ECM", "WSDM").
-    fn name(&self) -> String;
+    ///
+    /// Returns a borrowed string — grid searches call this in hot loops and
+    /// an owned `String` would allocate on every call; implementors with
+    /// static names return a `&'static str`, composites (e.g. ensembles)
+    /// return a reference to a label built once at construction.
+    fn name(&self) -> &str;
 
     /// Scores every paper in `net`. The returned vector has length
     /// `net.n_papers()`; higher scores mean higher estimated short-term
@@ -38,7 +43,7 @@ pub trait Ranker {
 /// Blanket implementation so boxed rankers can be collected in
 /// heterogeneous method lists (`Vec<Box<dyn Ranker>>`).
 impl<T: Ranker + ?Sized> Ranker for Box<T> {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         (**self).name()
     }
 
@@ -58,8 +63,8 @@ impl<T: Ranker + ?Sized> Ranker for Box<T> {
 pub struct CitationCount;
 
 impl Ranker for CitationCount {
-    fn name(&self) -> String {
-        "CC".into()
+    fn name(&self) -> &str {
+        "CC"
     }
 
     fn rank(&self, net: &CitationNetwork) -> ScoreVec {

@@ -137,13 +137,13 @@ impl AttRank {
 }
 
 impl Ranker for AttRank {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         if self.params.is_att_only() {
-            "ATT-ONLY".into()
+            "ATT-ONLY"
         } else if self.params.is_no_att() {
-            "NO-ATT".into()
+            "NO-ATT"
         } else {
-            "AR".into()
+            "AR"
         }
     }
 

@@ -1,0 +1,504 @@
+//! The serving engine: epoch-snapshot score publication over a growing
+//! citation network.
+//!
+//! A [`RankingEngine`] owns the authoritative [`CitationNetwork`] (whose
+//! stochastic operator is built once and cached per state), a
+//! [`KernelWorkspace`] buffer pool for allocation-free re-ranks, and the
+//! configured ranking method. Scores are published as immutable
+//! [`EpochSnapshot`]s behind an `Arc` swap: readers grab the current `Arc`
+//! (one `RwLock` read + one refcount bump, never blocked by a running
+//! re-rank) and answer `top_k` / `rank_of` queries against a frozen epoch,
+//! while the single writer folds [`GraphDelta`] batches in and publishes
+//! the next epoch atomically when the [`RerankPolicy`] fires.
+//!
+//! When the configured method is AttRank, re-ranks warm-start from the
+//! previous epoch's fixed point ([`IncrementalAttRank`]): consecutive
+//! network states are nearly identical, so the iteration count drops 2–4×
+//! versus a cold solve — the incremental path the paper's monitoring
+//! use-case (§1) calls for.
+
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use attrank::{AttRankParams, IncrementalAttRank};
+use citegraph::{CitationNetwork, DeltaError, GraphDelta, PaperId, Year};
+use sparsela::{top_k_indices, KernelWorkspace, ScoreVec};
+
+use crate::registry::{self, BoxedRanker};
+use crate::spec::{MethodSpec, SpecError};
+
+/// When the engine re-ranks and publishes a fresh epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RerankPolicy {
+    /// Publish after every ingested batch.
+    EveryBatch,
+    /// Publish once at least this many new edges are pending.
+    EveryNEdges(usize),
+    /// Staleness bound: publish once this many batches have been ingested
+    /// since the last epoch, regardless of their size.
+    MaxStaleBatches(usize),
+    /// Never publish automatically; the owner calls
+    /// [`RankingEngine::rerank`].
+    Manual,
+}
+
+impl RerankPolicy {
+    fn should_publish(&self, pending_edges: usize, pending_batches: usize) -> bool {
+        match *self {
+            RerankPolicy::EveryBatch => pending_batches > 0,
+            RerankPolicy::EveryNEdges(n) => pending_edges >= n.max(1),
+            RerankPolicy::MaxStaleBatches(b) => pending_batches >= b.max(1),
+            RerankPolicy::Manual => false,
+        }
+    }
+}
+
+/// One immutable published ranking state.
+///
+/// Snapshots are shared via `Arc`; everything here is read-only after
+/// construction (the lazily built rank-position table is a `OnceLock`), so
+/// any number of threads can query one snapshot concurrently.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    n_papers: usize,
+    n_citations: usize,
+    current_year: Option<Year>,
+    scores: ScoreVec,
+    /// `positions[p]` = 0-based rank position of paper `p`, built on the
+    /// first `rank_of` call (a top-k-only reader never pays for it).
+    positions: OnceLock<Vec<u32>>,
+}
+
+impl EpochSnapshot {
+    /// Monotonically increasing epoch number (0 = the initial rank).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Papers covered by this epoch.
+    pub fn n_papers(&self) -> usize {
+        self.n_papers
+    }
+
+    /// Citations in the network state this epoch was ranked on.
+    pub fn n_citations(&self) -> usize {
+        self.n_citations
+    }
+
+    /// Year of the newest paper in this epoch's network state.
+    pub fn current_year(&self) -> Option<Year> {
+        self.current_year
+    }
+
+    /// The full score vector, indexed by paper id.
+    pub fn scores(&self) -> &ScoreVec {
+        &self.scores
+    }
+
+    /// Score of one paper, `None` for an out-of-range id.
+    pub fn score(&self, p: PaperId) -> Option<f64> {
+        self.scores.as_slice().get(p as usize).copied()
+    }
+
+    /// Ids of the `k` highest-scoring papers in decreasing order, via
+    /// partial selection — no full sort of all `n` scores.
+    pub fn top_k(&self, k: usize) -> Vec<PaperId> {
+        top_k_indices(self.scores.as_slice(), k)
+    }
+
+    /// 1-based rank of paper `p` (1 = best), `None` for an out-of-range id.
+    ///
+    /// The position table is built once per snapshot on first use and
+    /// answers every subsequent lookup in O(1).
+    pub fn rank_of(&self, p: PaperId) -> Option<usize> {
+        let positions = self.positions.get_or_init(|| {
+            let order = sparsela::sort_indices_desc(self.scores.as_slice());
+            let mut positions = vec![0u32; order.len()];
+            for (pos, &paper) in order.iter().enumerate() {
+                positions[paper as usize] = pos as u32;
+            }
+            positions
+        });
+        positions.get(p as usize).map(|&pos| pos as usize + 1)
+    }
+}
+
+/// Outcome of one [`RankingEngine::ingest`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Epoch visible to readers after this ingest.
+    pub epoch: u64,
+    /// Whether this ingest triggered a re-rank + publish.
+    pub published: bool,
+    /// Edges ingested but not yet reflected in the published epoch.
+    pub pending_edges: usize,
+    /// Batches ingested but not yet reflected in the published epoch.
+    pub pending_batches: usize,
+}
+
+/// The configured method: AttRank runs through the warm-started
+/// incremental solver, everything else re-ranks from scratch.
+enum EngineRanker {
+    Incremental(IncrementalAttRank),
+    Batch(BoxedRanker),
+}
+
+impl EngineRanker {
+    fn rank(&mut self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+        match self {
+            EngineRanker::Incremental(inc) => inc.update(net).scores,
+            EngineRanker::Batch(r) => r.rank_into(net, workspace),
+        }
+    }
+}
+
+struct WriterState {
+    net: CitationNetwork,
+    ranker: EngineRanker,
+    workspace: KernelWorkspace,
+    /// Validated-but-unapplied additions. Ingests merge into this staged
+    /// delta in O(batch); the O(n + m) network rebuild happens once per
+    /// publish, not once per batch.
+    staged: GraphDelta,
+    pending_batches: usize,
+    next_epoch: u64,
+}
+
+/// Concurrent ranking server over one citation network.
+///
+/// All methods take `&self`: wrap the engine in an `Arc` and share it
+/// freely. Reads (`snapshot`, `top_k`, `rank_of`) are wait-free with
+/// respect to re-ranking — a running solve holds the writer mutex, not the
+/// snapshot lock. Writes (`ingest`, `rerank`) serialize on the writer
+/// mutex.
+pub struct RankingEngine {
+    method: String,
+    policy: RerankPolicy,
+    writer: Mutex<WriterState>,
+    published: RwLock<Arc<EpochSnapshot>>,
+}
+
+impl RankingEngine {
+    /// Builds an engine from a validated spec, performs the initial rank,
+    /// and publishes epoch 0.
+    pub fn new(
+        net: CitationNetwork,
+        spec: &MethodSpec,
+        policy: RerankPolicy,
+    ) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let mut ranker = match *spec {
+            // AttRank gets the warm-started incremental solver; the params
+            // were just validated so the unwrap cannot fire.
+            MethodSpec::AttRank { alpha, beta, y, w } => EngineRanker::Incremental(
+                IncrementalAttRank::new(AttRankParams::new(alpha, beta, y, w)?),
+            ),
+            _ => EngineRanker::Batch(registry::build(spec)?),
+        };
+        let mut workspace = KernelWorkspace::new();
+        let scores = ranker.rank(&net, &mut workspace);
+        let snapshot = Self::freeze(0, &net, scores);
+        Ok(Self {
+            method: spec.to_string(),
+            policy,
+            writer: Mutex::new(WriterState {
+                net,
+                ranker,
+                workspace,
+                staged: GraphDelta::new(),
+                pending_batches: 0,
+                next_epoch: 1,
+            }),
+            published: RwLock::new(snapshot),
+        })
+    }
+
+    /// [`Self::new`] from a config string, e.g.
+    /// `"attrank:alpha=0.2,beta=0.4,y=3,w=-0.16"`.
+    pub fn from_config(
+        net: CitationNetwork,
+        config: &str,
+        policy: RerankPolicy,
+    ) -> Result<Self, SpecError> {
+        Self::new(net, &config.parse::<MethodSpec>()?, policy)
+    }
+
+    /// The canonical config string of the configured method.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The configured re-rank policy.
+    pub fn policy(&self) -> RerankPolicy {
+        self.policy
+    }
+
+    /// The currently published epoch. The returned `Arc` is a consistent,
+    /// immutable view — hold it as long as needed; later publishes do not
+    /// mutate it.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.published
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// Top-`k` paper ids of the current epoch (partial select, no full
+    /// sort). Convenience for `self.snapshot().top_k(k)`.
+    pub fn top_k(&self, k: usize) -> Vec<PaperId> {
+        self.snapshot().top_k(k)
+    }
+
+    /// 1-based rank of `p` in the current epoch.
+    pub fn rank_of(&self, p: PaperId) -> Option<usize> {
+        self.snapshot().rank_of(p)
+    }
+
+    /// Stages a batch of new papers/citations for the authoritative
+    /// network, re-ranking and publishing a new epoch if the policy fires.
+    ///
+    /// Validation runs immediately (`O(batch)`, against the network plus
+    /// everything already staged), but the network itself is rebuilt only
+    /// when a publish actually happens — a deferred-publish policy fed many
+    /// small batches pays one rebuild per epoch, not one per batch.
+    ///
+    /// # Errors
+    /// Returns the delta validation error; the engine state is untouched on
+    /// failure.
+    pub fn ingest(&self, delta: &GraphDelta) -> Result<IngestReport, DeltaError> {
+        let mut state = self.writer.lock().expect("writer lock poisoned");
+        state.net.validate_delta(&state.staged, delta)?;
+        state.staged.merge(delta);
+        state.pending_batches += 1;
+        let mut published = false;
+        if self
+            .policy
+            .should_publish(state.staged.n_citations(), state.pending_batches)
+        {
+            published = self.publish_locked(&mut state);
+        }
+        Ok(IngestReport {
+            epoch: state.next_epoch - 1,
+            published,
+            pending_edges: state.staged.n_citations(),
+            pending_batches: state.pending_batches,
+        })
+    }
+
+    /// Forces a re-rank (folding in any staged ingests) and publishes the
+    /// new epoch. Returns the published epoch number.
+    pub fn rerank(&self) -> u64 {
+        let mut state = self.writer.lock().expect("writer lock poisoned");
+        let _ = self.publish_locked(&mut state);
+        state.next_epoch - 1
+    }
+
+    /// `(pending_edges, pending_batches)` not yet reflected in the
+    /// published epoch.
+    pub fn pending(&self) -> (usize, usize) {
+        let state = self.writer.lock().expect("writer lock poisoned");
+        (state.staged.n_citations(), state.pending_batches)
+    }
+
+    /// Folds staged deltas into the network, re-ranks, and swaps in the
+    /// new epoch. Returns `false` when the solve produced non-finite
+    /// scores and the previous epoch was kept.
+    fn publish_locked(&self, state: &mut WriterState) -> bool {
+        if !state.staged.is_empty() {
+            let next = state
+                .net
+                .with_delta(&state.staged)
+                .expect("staged deltas were validated at ingest");
+            state.net = next;
+            state.staged.clear();
+        }
+        state.pending_batches = 0;
+        let scores = state.ranker.rank(&state.net, &mut state.workspace);
+        // A non-convergent solve (NaN/∞ scores) must not clobber the last
+        // good epoch: readers keep serving the stale-but-sane snapshot.
+        // (The ranking comparators are NaN-total, so even a published
+        // non-finite vector could not panic a reader — this guard is about
+        // not serving garbage, mirroring the eval layer's skip semantics.)
+        if !scores.all_finite() {
+            return false;
+        }
+        let epoch = state.next_epoch;
+        state.next_epoch += 1;
+        let snapshot = Self::freeze(epoch, &state.net, scores);
+        *self.published.write().expect("snapshot lock poisoned") = snapshot;
+        true
+    }
+
+    fn freeze(epoch: u64, net: &CitationNetwork, scores: ScoreVec) -> Arc<EpochSnapshot> {
+        Arc::new(EpochSnapshot {
+            epoch,
+            n_papers: net.n_papers(),
+            n_citations: net.n_citations(),
+            current_year: net.current_year(),
+            scores,
+            positions: OnceLock::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citegraph::NetworkBuilder;
+
+    fn base_net() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (2000..2010).map(|y| b.add_paper(y)).collect();
+        for (i, &citing) in ids.iter().enumerate().skip(1) {
+            b.add_citation(citing, ids[i - 1]).unwrap();
+            if i >= 3 {
+                b.add_citation(citing, ids[0]).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn growth_delta(base_n: usize, year: Year) -> GraphDelta {
+        let mut d = GraphDelta::new();
+        let offset = d.add_paper(year);
+        let new_id = (base_n + offset) as PaperId;
+        d.add_citation(new_id, 0);
+        d.add_citation(new_id, (base_n - 1) as PaperId);
+        d
+    }
+
+    #[test]
+    fn initial_epoch_is_published() {
+        let engine =
+            RankingEngine::from_config(base_net(), "cc", RerankPolicy::EveryBatch).unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.n_papers(), 10);
+        assert_eq!(snap.scores().len(), 10);
+        assert_eq!(engine.method(), "cc");
+        assert_eq!(engine.pending(), (0, 0));
+    }
+
+    #[test]
+    fn top_k_and_rank_of_agree_with_scores() {
+        let engine =
+            RankingEngine::from_config(base_net(), "cc", RerankPolicy::EveryBatch).unwrap();
+        let snap = engine.snapshot();
+        let full: Vec<PaperId> = snap.top_k(snap.n_papers());
+        assert_eq!(full, sparsela::sort_indices_desc(snap.scores().as_slice()));
+        for (pos, &p) in full.iter().enumerate() {
+            assert_eq!(snap.rank_of(p), Some(pos + 1));
+        }
+        assert_eq!(snap.rank_of(99), None);
+        assert_eq!(snap.score(99), None);
+        assert_eq!(engine.top_k(3), full[..3].to_vec());
+        assert_eq!(engine.rank_of(full[0]), Some(1));
+    }
+
+    #[test]
+    fn every_batch_policy_publishes_each_ingest() {
+        let engine =
+            RankingEngine::from_config(base_net(), "cc", RerankPolicy::EveryBatch).unwrap();
+        let report = engine.ingest(&growth_delta(10, 2011)).unwrap();
+        assert!(report.published);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.pending_edges, 0);
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.n_papers(), 11);
+        // Paper 0 had 8 citations (the chain's paper 1 plus papers 3..=9);
+        // the ingested paper adds a ninth.
+        assert_eq!(snap.score(0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn every_n_edges_policy_batches_until_threshold() {
+        let engine =
+            RankingEngine::from_config(base_net(), "cc", RerankPolicy::EveryNEdges(4)).unwrap();
+        let r1 = engine.ingest(&growth_delta(10, 2011)).unwrap(); // 2 edges
+        assert!(!r1.published);
+        assert_eq!(r1.pending_edges, 2);
+        assert_eq!(engine.snapshot().epoch(), 0);
+        assert_eq!(engine.snapshot().n_papers(), 10, "stale but consistent");
+        let r2 = engine.ingest(&growth_delta(11, 2012)).unwrap(); // 4 edges
+        assert!(r2.published);
+        assert_eq!(engine.snapshot().epoch(), 1);
+        assert_eq!(engine.snapshot().n_papers(), 12);
+        assert_eq!(engine.pending(), (0, 0));
+    }
+
+    #[test]
+    fn staleness_bound_policy_publishes_after_n_batches() {
+        let engine = RankingEngine::from_config(
+            base_net(),
+            "ram:gamma=0.6",
+            RerankPolicy::MaxStaleBatches(2),
+        )
+        .unwrap();
+        // An edges-only correction batch: tiny, but staleness still counts.
+        let mut d = GraphDelta::new();
+        d.add_citation(9, 5);
+        assert!(!engine.ingest(&d).unwrap().published);
+        let mut d2 = GraphDelta::new();
+        d2.add_citation(8, 2);
+        let r = engine.ingest(&d2).unwrap();
+        assert!(r.published);
+        assert_eq!(engine.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn manual_policy_only_publishes_on_rerank() {
+        let engine = RankingEngine::from_config(base_net(), "cc", RerankPolicy::Manual).unwrap();
+        for year in [2011, 2012, 2013] {
+            // Each un-published ingest grows the authoritative network by
+            // one paper; the next delta's ids must account for that.
+            let base = 10 + engine.pending().1;
+            assert!(!engine.ingest(&growth_delta(base, year)).unwrap().published);
+        }
+        assert_eq!(engine.snapshot().epoch(), 0);
+        assert_eq!(engine.pending().1, 3);
+        let epoch = engine.rerank();
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.snapshot().n_papers(), 13);
+        assert_eq!(engine.pending(), (0, 0));
+    }
+
+    #[test]
+    fn failed_ingest_leaves_engine_intact() {
+        let engine =
+            RankingEngine::from_config(base_net(), "cc", RerankPolicy::EveryBatch).unwrap();
+        let mut bad = GraphDelta::new();
+        bad.add_paper(1990); // year regression
+        assert!(engine.ingest(&bad).is_err());
+        assert_eq!(engine.snapshot().epoch(), 0);
+        assert_eq!(engine.pending(), (0, 0));
+        // Engine still works afterwards.
+        assert!(engine.ingest(&growth_delta(10, 2011)).unwrap().published);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(matches!(
+            RankingEngine::from_config(base_net(), "ram:gamma=7", RerankPolicy::EveryBatch),
+            Err(SpecError::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            RankingEngine::from_config(base_net(), "nope", RerankPolicy::EveryBatch),
+            Err(SpecError::UnknownMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshots_are_immutable_across_publishes() {
+        let engine =
+            RankingEngine::from_config(base_net(), "cc", RerankPolicy::EveryBatch).unwrap();
+        let old = engine.snapshot();
+        let old_top = old.top_k(3);
+        engine.ingest(&growth_delta(10, 2011)).unwrap();
+        // The retained Arc still answers from its frozen epoch.
+        assert_eq!(old.epoch(), 0);
+        assert_eq!(old.n_papers(), 10);
+        assert_eq!(old.top_k(3), old_top);
+        assert_eq!(engine.snapshot().epoch(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! The method registry: [`MethodSpec`] → ready-to-run boxed [`Ranker`].
+//!
+//! Every ranking method in the workspace is constructible here by config
+//! string, so experiment drivers, examples and the serving engine share one
+//! source of truth instead of hand-building method lists. Construction
+//! never panics: [`MethodSpec`] validation happens first, and the
+//! underlying constructors' assertions are unreachable afterwards.
+
+use attrank::{AttRank, AttRankParams};
+use baselines::{CiteRank, Ecm, Ensemble, FusionRule, FutureRank, Hits, Katz, PageRank, Ram, Wsdm};
+use citegraph::rank::CitationCount;
+use citegraph::Ranker;
+
+use crate::spec::{EnsembleRule, MethodSpec, SpecError};
+
+/// A heap-allocated ranking method, shareable across threads.
+pub type BoxedRanker = Box<dyn Ranker + Send + Sync>;
+
+/// Canonical names of every registered method, in the config grammar.
+pub fn known_methods() -> &'static [&'static str] {
+    &[
+        "attrank",
+        "pagerank",
+        "citerank",
+        "futurerank",
+        "ram",
+        "ecm",
+        "hits",
+        "katz",
+        "wsdm",
+        "cc",
+        "ensemble",
+    ]
+}
+
+/// Constructs the method a validated spec describes.
+///
+/// # Errors
+/// Returns the spec's validation error; a spec that came out of
+/// [`MethodSpec::from_str`](std::str::FromStr) is already valid and cannot
+/// fail here.
+pub fn build(spec: &MethodSpec) -> Result<BoxedRanker, SpecError> {
+    spec.validate()?;
+    Ok(match *spec {
+        MethodSpec::AttRank { alpha, beta, y, w } => {
+            Box::new(AttRank::new(AttRankParams::new(alpha, beta, y, w)?))
+        }
+        MethodSpec::PageRank { d } => Box::new(PageRank::new(d)),
+        MethodSpec::CiteRank { alpha, tau } => Box::new(CiteRank::new(alpha, tau)),
+        MethodSpec::FutureRank {
+            alpha,
+            beta,
+            gamma,
+            rho,
+        } => Box::new(FutureRank::new(alpha, beta, gamma, rho)),
+        MethodSpec::Ram { gamma } => Box::new(Ram::new(gamma)),
+        MethodSpec::Ecm { alpha, gamma } => Box::new(Ecm::new(alpha, gamma)),
+        MethodSpec::Hits => Box::new(Hits::default()),
+        MethodSpec::Katz { alpha } => Box::new(Katz::new(alpha)),
+        MethodSpec::Wsdm { alpha, beta, iters } => Box::new(Wsdm::new(alpha, beta, iters)),
+        MethodSpec::CitationCount => Box::new(CitationCount),
+        MethodSpec::Ensemble { rule, ref members } => {
+            let built: Result<Vec<BoxedRanker>, SpecError> = members.iter().map(build).collect();
+            let rule = match rule {
+                EnsembleRule::Borda => FusionRule::Borda,
+                EnsembleRule::Rrf { k } => FusionRule::ReciprocalRank { k },
+            };
+            Box::new(Ensemble::new(built?, rule))
+        }
+    })
+}
+
+/// Parses a config string and builds the method in one step.
+pub fn parse_and_build(config: &str) -> Result<BoxedRanker, SpecError> {
+    build(&config.parse::<MethodSpec>()?)
+}
+
+/// The default single-setting comparison lineup: every registered method at
+/// its typical/published parameters (the fitted hep-th decay `w = -0.16`
+/// for AttRank). This is the list `examples/method_comparison.rs` and the
+/// `repro methods` subcommand run.
+pub fn default_comparison_specs() -> Vec<MethodSpec> {
+    [
+        "attrank:alpha=0.2,beta=0.4,y=3,w=-0.16",
+        "pagerank:d=0.5",
+        "citerank:alpha=0.31,tau=1.6",
+        "futurerank:alpha=0.4,beta=0.1,gamma=0.5,rho=-0.62",
+        "ram:gamma=0.6",
+        "ecm:alpha=0.1,gamma=0.3",
+        "hits",
+        "katz:alpha=0.15",
+        "wsdm:alpha=1.7,beta=3,iters=5",
+        "ensemble:rule=rrf,k=60,members=(cc)+(pagerank:d=0.5)+(ram:gamma=0.6)",
+        "cc",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("default specs are valid"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citegraph::NetworkBuilder;
+
+    /// A 12-paper chain with venue/author metadata so WSDM's venue term is
+    /// exercised too.
+    fn tiny_net() -> citegraph::CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (2000..2012)
+            .map(|y| b.add_paper_with_metadata(y, vec![(y % 3) as u32], Some(0)))
+            .collect();
+        for (i, &citing) in ids.iter().enumerate().skip(1) {
+            b.add_citation(citing, ids[i - 1]).unwrap();
+            if i >= 2 {
+                b.add_citation(citing, ids[i - 2]).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_registered_method_ranks_the_tiny_graph() {
+        let net = tiny_net();
+        for spec in default_comparison_specs() {
+            let ranker = build(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let scores = ranker.rank(&net);
+            assert_eq!(scores.len(), net.n_papers(), "{spec}");
+            assert!(scores.all_finite(), "{spec}");
+            assert!(!ranker.name().is_empty(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn default_lineup_covers_all_known_methods() {
+        let specs = default_comparison_specs();
+        for &name in known_methods() {
+            assert!(
+                specs.iter().any(|s| s.method_name() == name),
+                "{name} missing from the default lineup"
+            );
+        }
+    }
+
+    #[test]
+    fn build_reports_invalid_specs_without_panicking() {
+        let bad = MethodSpec::Ram { gamma: 2.0 };
+        assert!(matches!(
+            build(&bad),
+            Err(SpecError::InvalidParam { method: "ram", .. })
+        ));
+    }
+
+    #[test]
+    fn parse_and_build_round_trip() {
+        let net = tiny_net();
+        let ranker = parse_and_build("ram:gamma=0.6").unwrap();
+        assert_eq!(ranker.name(), "RAM");
+        let direct = Ram::new(0.6).rank(&net);
+        assert_eq!(ranker.rank(&net).as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn registry_attrank_matches_direct_construction() {
+        let net = tiny_net();
+        let via_registry = parse_and_build("attrank:alpha=0.3,beta=0.3,y=2,w=-0.2")
+            .unwrap()
+            .rank(&net);
+        let direct = AttRank::new(AttRankParams::new(0.3, 0.3, 2, -0.2).unwrap()).rank(&net);
+        assert_eq!(via_registry.as_slice(), direct.as_slice());
+    }
+}

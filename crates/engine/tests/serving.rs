@@ -1,0 +1,167 @@
+//! Integration tests for the serving engine: epoch consistency under
+//! concurrent readers, and incremental re-ranks matching from-scratch
+//! solves on the updated graph.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use attrank::{AttRank, AttRankParams};
+use citegen::{generate, DatasetProfile};
+use citegraph::{CitationNetwork, GraphDelta, PaperId, Ranker};
+use rankengine::{RankingEngine, RerankPolicy};
+
+/// Splits `full` at `start`: the base network is `full.prefix(start)`, and
+/// the remaining papers arrive as per-paper deltas carrying every edge
+/// incident to a new paper (including same-year forward references from
+/// old papers, which `prefix` drops).
+fn replay_deltas(full: &CitationNetwork, start: usize) -> (CitationNetwork, Vec<GraphDelta>) {
+    let base = full.prefix(start);
+    let mut deltas = Vec::new();
+    for p in start..full.n_papers() {
+        let p = p as PaperId;
+        let mut d = GraphDelta::new();
+        d.add_paper(full.year(p));
+        for &cited in full.references(p) {
+            d.add_citation(p, cited);
+        }
+        // Same-year papers published earlier may cite p.
+        for &citing in full.citations(p) {
+            if (citing as usize) < p as usize {
+                d.add_citation(citing, p);
+            }
+        }
+        deltas.push(d);
+    }
+    (base, deltas)
+}
+
+#[test]
+fn incremental_ingest_matches_from_scratch_rerank() {
+    let full = generate(&DatasetProfile::hepth().scaled(900), 17);
+    let (base, deltas) = replay_deltas(&full, 700);
+
+    let config = "attrank:alpha=0.4,beta=0.3,y=3,w=-0.2";
+    let engine = RankingEngine::from_config(base, config, RerankPolicy::EveryNEdges(50)).unwrap();
+    for d in &deltas {
+        engine.ingest(d).unwrap();
+    }
+    // Flush whatever the edge-count policy left pending.
+    engine.rerank();
+
+    let snap = engine.snapshot();
+    assert_eq!(snap.n_papers(), full.n_papers());
+    assert_eq!(snap.n_citations(), full.n_citations());
+
+    let params = AttRankParams::new(0.4, 0.3, 3, -0.2).unwrap();
+    let scratch = AttRank::new(params).rank(&full);
+    for p in 0..full.n_papers() {
+        assert!(
+            (snap.scores()[p] - scratch[p]).abs() < 1e-9,
+            "paper {p}: engine {} vs scratch {}",
+            snap.scores()[p],
+            scratch[p]
+        );
+    }
+}
+
+#[test]
+fn batch_method_ingest_matches_from_scratch_too() {
+    // The cold-path (non-AttRank) re-rank must also track the updated
+    // graph exactly.
+    let full = generate(&DatasetProfile::dblp().scaled(500), 23);
+    let (base, deltas) = replay_deltas(&full, 420);
+    let engine =
+        RankingEngine::from_config(base, "ram:gamma=0.4", RerankPolicy::EveryBatch).unwrap();
+    for d in &deltas {
+        engine.ingest(d).unwrap();
+    }
+    let snap = engine.snapshot();
+    let scratch = rankengine::parse_and_build("ram:gamma=0.4")
+        .unwrap()
+        .rank(&full);
+    assert_eq!(snap.scores().as_slice(), scratch.as_slice());
+}
+
+#[test]
+fn concurrent_readers_always_observe_a_consistent_epoch() {
+    let full = generate(&DatasetProfile::hepth().scaled(600), 31);
+    let (base, deltas) = replay_deltas(&full, 400);
+    let base_papers = base.n_papers();
+
+    let engine = Arc::new(
+        RankingEngine::from_config(
+            base,
+            "attrank:alpha=0.3,beta=0.4,y=2,w=-0.16",
+            RerankPolicy::EveryBatch,
+        )
+        .unwrap(),
+    );
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut last_epoch = 0u64;
+                let mut reads = 0usize;
+                while !done.load(Ordering::Acquire) || reads < 50 {
+                    let snap = engine.snapshot();
+
+                    // Epochs only move forward.
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "epoch went backwards: {} after {last_epoch}",
+                        snap.epoch()
+                    );
+                    last_epoch = snap.epoch();
+
+                    // A snapshot is internally consistent: its score vector
+                    // matches its advertised shape, and the paper count is
+                    // exactly the base plus one paper per published epoch
+                    // (EveryBatch publishes each single-paper delta).
+                    assert_eq!(snap.scores().len(), snap.n_papers());
+                    assert_eq!(snap.n_papers(), base_papers + snap.epoch() as usize);
+
+                    // Queries against one snapshot are frozen: repeated
+                    // calls agree with each other and with the raw scores,
+                    // even if the writer publishes in between.
+                    let top = snap.top_k(5);
+                    assert_eq!(top, snap.top_k(5));
+                    assert!(!top.is_empty());
+                    assert_eq!(snap.rank_of(top[0]), Some(1));
+                    let s0 = snap.score(top[0]).unwrap();
+                    assert!(top.iter().all(|&p| snap.score(p).unwrap() <= s0));
+
+                    reads += 1;
+                }
+            });
+        }
+
+        // Writer: fold in one delta per publish while readers hammer away.
+        for d in &deltas {
+            let report = engine.ingest(d).unwrap();
+            assert!(report.published);
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert_eq!(engine.snapshot().epoch(), deltas.len() as u64);
+    assert_eq!(engine.snapshot().n_papers(), full.n_papers());
+}
+
+#[test]
+fn retained_snapshot_survives_later_epochs_unchanged() {
+    let full = generate(&DatasetProfile::hepth().scaled(300), 5);
+    let (base, deltas) = replay_deltas(&full, 250);
+    let engine = RankingEngine::from_config(base, "cc", RerankPolicy::EveryBatch).unwrap();
+
+    let epoch0 = engine.snapshot();
+    let frozen_top = epoch0.top_k(10);
+    let frozen_scores = epoch0.scores().clone();
+    for d in &deltas {
+        engine.ingest(d).unwrap();
+    }
+    assert_eq!(epoch0.epoch(), 0);
+    assert_eq!(epoch0.top_k(10), frozen_top);
+    assert_eq!(epoch0.scores(), &frozen_scores);
+    assert!(engine.snapshot().epoch() > 0);
+}

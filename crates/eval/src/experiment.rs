@@ -5,10 +5,15 @@
 //! state, run methods on the current state only, and measure rank
 //! agreement. Tuning is re-done per setting exactly as the paper does.
 
+// The convergence study (§4.4) keeps concrete method types: it overrides
+// solver options and reads per-iteration diagnostics, which the boxed
+// registry interface deliberately does not expose. Everything else goes
+// through `MethodSpec` + the registry.
 use attrank::{fit_decay_from_network, AttRank, AttRankParams};
 use baselines::{CiteRank, FutureRank};
 use citegen::DatasetProfile;
 use citegraph::{ratio_split, CitationNetwork, RatioSplit, Year};
+use rankengine::MethodSpec;
 use sparsela::{PowerOptions, ScoreVec};
 
 use crate::metrics::Metric;
@@ -170,12 +175,12 @@ pub fn heatmap(bundle: &DatasetBundle, ratio: f64, metric: Metric) -> Heatmap {
                 if alpha + beta > 1.0 + 1e-9 {
                     continue;
                 }
-                let p =
-                    AttRankParams::new(alpha, beta, y, bundle.decay_w).expect("grid points valid");
-                candidates.push(Candidate {
-                    description: p.to_string(),
-                    ranker: Box::new(AttRank::new(p)),
-                });
+                candidates.push(Candidate::from_spec(MethodSpec::AttRank {
+                    alpha,
+                    beta,
+                    y,
+                    w: bundle.decay_w,
+                }));
                 coords.push((y, bi, ai));
             }
         }

@@ -24,25 +24,32 @@
 //! objective, skipping parameterizations that fail to produce finite
 //! scores (the paper likewise excluded non-convergent ranges).
 
-use attrank::{AttRank, AttRankParams};
-use baselines::{CiteRank, Ecm, FutureRank, Ram, Wsdm};
+use attrank::AttRankParams;
 use citegraph::{CitationNetwork, Ranker};
+use rankengine::{registry, MethodSpec};
 use sparsela::{KernelWorkspace, ScoreVec};
 
-/// One candidate parameterization: a human-readable description plus the
-/// ready-to-run ranker.
+/// One candidate parameterization: its canonical config string plus the
+/// ready-to-run ranker, both derived from one [`MethodSpec`].
 pub struct Candidate {
-    /// e.g. `"AR(α=0.30, β=0.40, γ=0.30, y=1, w=-0.48)"`.
+    /// Canonical spec, e.g. `"attrank:alpha=0.3,beta=0.4,y=1,w=-0.48"`.
     pub description: String,
     /// The configured method.
-    pub ranker: Box<dyn Ranker + Send + Sync>,
+    pub ranker: registry::BoxedRanker,
 }
 
 impl Candidate {
-    fn new<R: Ranker + Send + Sync + 'static>(description: impl Into<String>, ranker: R) -> Self {
+    /// Builds a grid point through the method registry — the single
+    /// construction path shared with the serving engine and the examples.
+    ///
+    /// Crate-private because it `expect`s a valid spec: the internal grids
+    /// are valid by construction, but external callers should go through
+    /// `rankengine::build`, which returns the validation error instead.
+    pub(crate) fn from_spec(spec: MethodSpec) -> Self {
+        let ranker = registry::build(&spec).expect("grid specs are valid by construction");
         Self {
-            description: description.into(),
-            ranker: Box::new(ranker),
+            description: spec.to_string(),
+            ranker,
         }
     }
 }
@@ -124,34 +131,60 @@ impl MethodSpace {
         matches!(self, MethodSpace::Wsdm)
     }
 
-    /// Materializes the tuning grid.
-    pub fn candidates(&self) -> Vec<Candidate> {
+    /// Resolves a method-space by its legend (or config-grammar) name —
+    /// the config-driven entry point drivers use instead of matching on
+    /// the enum themselves. `decay_w` feeds the AttRank-family spaces.
+    pub fn by_name(name: &str, decay_w: f64) -> Option<MethodSpace> {
+        match name.to_ascii_uppercase().as_str() {
+            "AR" | "ATTRANK" => Some(MethodSpace::AttRank { decay_w }),
+            "NO-ATT" => Some(MethodSpace::NoAtt { decay_w }),
+            "ATT-ONLY" => Some(MethodSpace::AttOnly),
+            "CR" | "CITERANK" => Some(MethodSpace::CiteRank),
+            "FR" | "FUTURERANK" => Some(MethodSpace::FutureRank),
+            "RAM" => Some(MethodSpace::Ram),
+            "ECM" => Some(MethodSpace::Ecm),
+            "WSDM" => Some(MethodSpace::Wsdm),
+            _ => None,
+        }
+    }
+
+    /// The grid as [`MethodSpec`]s; [`Self::candidates`] materializes them
+    /// through the registry.
+    pub fn specs(&self) -> Vec<MethodSpec> {
+        fn attrank(p: AttRankParams) -> MethodSpec {
+            MethodSpec::AttRank {
+                alpha: p.alpha(),
+                beta: p.beta(),
+                y: p.attention_years,
+                w: p.decay_w,
+            }
+        }
         match *self {
             MethodSpace::AttRank { decay_w } => AttRankParams::table3_grid(decay_w)
                 .into_iter()
-                .map(|p| Candidate::new(p.to_string(), AttRank::new(p)))
+                .map(attrank)
                 .collect(),
             MethodSpace::NoAtt { decay_w } => (0..=5)
-                .map(|ai| {
-                    let p = AttRankParams::no_att(ai as f64 / 10.0, 1, decay_w)
-                        .expect("valid by construction");
-                    Candidate::new(p.to_string(), AttRank::new(p))
+                .map(|ai| MethodSpec::AttRank {
+                    alpha: ai as f64 / 10.0,
+                    beta: 0.0,
+                    y: 1,
+                    w: decay_w,
                 })
                 .collect(),
             MethodSpace::AttOnly => (1..=5)
-                .map(|y| {
-                    let p = AttRankParams::att_only(y).expect("valid by construction");
-                    Candidate::new(p.to_string(), AttRank::new(p))
+                .map(|y| MethodSpec::AttRank {
+                    alpha: 0.0,
+                    beta: 1.0,
+                    y,
+                    w: 0.0,
                 })
                 .collect(),
             MethodSpace::CiteRank => {
                 let mut out = Vec::new();
                 for &alpha in &[0.1, 0.3, 0.5, 0.7] {
                     for tau in [2.0, 4.0, 6.0, 8.0, 10.0] {
-                        out.push(Candidate::new(
-                            format!("CR(α={alpha}, τ={tau})"),
-                            CiteRank::new(alpha, tau),
-                        ));
+                        out.push(MethodSpec::CiteRank { alpha, tau });
                     }
                 }
                 out
@@ -168,10 +201,12 @@ impl MethodSpace {
                                 continue;
                             }
                             for &rho in &[-0.82, -0.62, -0.42] {
-                                out.push(Candidate::new(
-                                    format!("FR(α={alpha}, β={beta}, γ={gamma}, ρ={rho})"),
-                                    FutureRank::new(alpha, beta, gamma, rho),
-                                ));
+                                out.push(MethodSpec::FutureRank {
+                                    alpha,
+                                    beta,
+                                    gamma,
+                                    rho,
+                                });
                             }
                         }
                     }
@@ -179,20 +214,18 @@ impl MethodSpace {
                 out
             }
             MethodSpace::Ram => (1..=9)
-                .map(|gi| {
-                    let gamma = gi as f64 / 10.0;
-                    Candidate::new(format!("RAM(γ={gamma})"), Ram::new(gamma))
+                .map(|gi| MethodSpec::Ram {
+                    gamma: gi as f64 / 10.0,
                 })
                 .collect(),
             MethodSpace::Ecm => {
                 let mut out = Vec::new();
                 for ai in 1..=5 {
                     for gi in 1..=5 {
-                        let (alpha, gamma) = (ai as f64 / 10.0, gi as f64 / 10.0);
-                        out.push(Candidate::new(
-                            format!("ECM(α={alpha}, γ={gamma})"),
-                            Ecm::new(alpha, gamma),
-                        ));
+                        out.push(MethodSpec::Ecm {
+                            alpha: ai as f64 / 10.0,
+                            gamma: gi as f64 / 10.0,
+                        });
                     }
                 }
                 out
@@ -202,16 +235,22 @@ impl MethodSpace {
                 for &alpha in &[1.1, 1.4, 1.7, 2.0, 2.3] {
                     for bi in 1..=5 {
                         for iters in [4usize, 5] {
-                            out.push(Candidate::new(
-                                format!("WSDM(α={alpha}, β={bi}, i={iters})"),
-                                Wsdm::new(alpha, bi as f64, iters),
-                            ));
+                            out.push(MethodSpec::Wsdm {
+                                alpha,
+                                beta: bi as f64,
+                                iters,
+                            });
                         }
                     }
                 }
                 out
             }
         }
+    }
+
+    /// Materializes the tuning grid through the method registry.
+    pub fn candidates(&self) -> Vec<Candidate> {
+        self.specs().into_iter().map(Candidate::from_spec).collect()
     }
 }
 
@@ -402,6 +441,27 @@ mod tests {
     }
 
     #[test]
+    fn by_name_resolves_every_legend_name() {
+        for m in MethodSpace::all(-0.2) {
+            let resolved = MethodSpace::by_name(m.name(), -0.2).unwrap();
+            assert_eq!(resolved, m, "{}", m.name());
+        }
+        assert_eq!(
+            MethodSpace::by_name("citerank", -0.2),
+            Some(MethodSpace::CiteRank)
+        );
+        assert!(MethodSpace::by_name("sciencerank", -0.2).is_none());
+    }
+
+    #[test]
+    fn candidates_descriptions_are_parsable_specs() {
+        for c in MethodSpace::Ecm.candidates() {
+            let spec: rankengine::MethodSpec = c.description.parse().unwrap();
+            assert_eq!(spec.to_string(), c.description);
+        }
+    }
+
+    #[test]
     fn tune_finds_objective_maximizer() {
         // Objective: score mass on paper 0 — maximized by methods that
         // favor old, well-connected papers; regardless, tune must return
@@ -417,7 +477,7 @@ mod tests {
         assert!((result.best_value - exhaustive_best).abs() < 1e-15);
         assert_eq!(result.evaluated, 9);
         assert_eq!(result.method, "RAM");
-        assert!(result.best_setting.starts_with("RAM(γ="));
+        assert!(result.best_setting.starts_with("ram:gamma="));
     }
 
     #[test]
@@ -466,7 +526,7 @@ mod tests {
     #[test]
     fn attrank_grid_includes_ablation_endpoints() {
         let grid = MethodSpace::AttRank { decay_w: -0.2 }.candidates();
-        assert!(grid.iter().any(|c| c.description.contains("β=0.00")));
-        assert!(grid.iter().any(|c| c.description.contains("β=1.00")));
+        assert!(grid.iter().any(|c| c.description.contains(",beta=0,y=")));
+        assert!(grid.iter().any(|c| c.description.contains(",beta=1,y=")));
     }
 }

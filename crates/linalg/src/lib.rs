@@ -35,6 +35,6 @@ pub mod vector;
 pub use csr::{Csr, WeightedCsr};
 pub use fit::{fit_exponential, ExpFit};
 pub use power::{PowerEngine, PowerOptions, PowerOutcome};
-pub use ranks::{average_ranks, ordinal_ranks, sort_indices_desc};
+pub use ranks::{average_ranks, ordinal_ranks, sort_indices_desc, top_k_indices};
 pub use stochastic::CitationOperator;
 pub use vector::{KernelWorkspace, ScoreVec};

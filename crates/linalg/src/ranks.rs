@@ -9,16 +9,58 @@
 //!   (the standard convention for Spearman's ρ with ties, which citation
 //!   data has in abundance: most papers receive 0 future citations).
 
+/// The descending-score comparator shared by every ranking helper: higher
+/// score first, ties broken by smaller index so all rankings are
+/// deterministic.
+///
+/// This is a *total* order even in the presence of NaN — NaN sorts below
+/// every number (a non-convergent solve must not surface its papers at the
+/// top of a ranking, and `sort`/`select_nth` panic outright on comparators
+/// that violate totality).
+#[inline]
+fn desc_by_score(scores: &[f64]) -> impl Fn(&u32, &u32) -> std::cmp::Ordering + '_ {
+    |&a, &b| {
+        let (x, y) = (scores[a as usize], scores[b as usize]);
+        match (x.is_nan(), y.is_nan()) {
+            (false, false) => y
+                .partial_cmp(&x)
+                .expect("non-NaN floats are comparable")
+                .then(a.cmp(&b)),
+            (true, true) => a.cmp(&b),
+            (true, false) => std::cmp::Ordering::Greater, // NaN ranks last
+            (false, true) => std::cmp::Ordering::Less,
+        }
+    }
+}
+
 /// Indices that sort `scores` in descending order; ties break by smaller
 /// index first, making every downstream ranking deterministic.
 pub fn sort_indices_desc(scores: &[f64]) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(desc_by_score(scores));
+    idx
+}
+
+/// Indices of the `k` largest entries in decreasing score order, without
+/// sorting all `n` scores.
+///
+/// Uses a quickselect partition (`select_nth_unstable_by`, expected `O(n)`)
+/// to isolate the top `k`, then sorts only those `k` (`O(k log k)`). The
+/// result is *identical* to `sort_indices_desc(scores).truncate(k)` —
+/// including the tie-break by smaller index — which the serving layer's
+/// `top_k` query relies on (property-tested in `tests/proptests.rs`).
+pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<u32> {
+    let n = scores.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    if k < n {
+        idx.select_nth_unstable_by(k - 1, desc_by_score(scores));
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(desc_by_score(scores));
     idx
 }
 
@@ -74,6 +116,49 @@ mod tests {
     #[test]
     fn sort_indices_empty() {
         assert!(sort_indices_desc(&[]).is_empty());
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_prefix() {
+        let s = [0.1, 0.9, 0.5, 0.9, 0.0, 0.5];
+        let full = sort_indices_desc(&s);
+        for k in 0..=s.len() + 2 {
+            assert_eq!(
+                top_k_indices(&s, k),
+                full[..k.min(s.len())].to_vec(),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_empty_and_zero() {
+        assert!(top_k_indices(&[], 3).is_empty());
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_all_tied_breaks_by_index() {
+        let s = [7.0; 5];
+        assert_eq!(top_k_indices(&s, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nan_scores_sort_last_without_panicking() {
+        // A non-convergent solve yields NaN scores; the ranking helpers
+        // must stay total-ordered (std sort panics on non-total
+        // comparators) and keep NaN entries at the bottom.
+        let s = [0.5, f64::NAN, 2.0, f64::NAN, -1.0, f64::INFINITY];
+        let full = sort_indices_desc(&s);
+        assert_eq!(full, vec![5, 2, 0, 4, 1, 3]);
+        for k in 0..=s.len() {
+            assert_eq!(top_k_indices(&s, k), full[..k], "k = {k}");
+        }
+        assert_eq!(
+            top_k_indices(&s, 2),
+            vec![5, 2],
+            "NaN never reaches the top"
+        );
     }
 
     #[test]

@@ -183,10 +183,11 @@ impl ScoreVec {
     /// Indices of the `k` largest entries, in decreasing score order.
     ///
     /// Ties break by smaller index first so results are deterministic.
+    /// Partial-selects (expected `O(n + k log k)`) instead of sorting all
+    /// `n` entries — `top_k(10)` on a million-paper score vector does not
+    /// pay for a million-element sort.
     pub fn top_k(&self, k: usize) -> Vec<u32> {
-        let mut idx = crate::ranks::sort_indices_desc(&self.data);
-        idx.truncate(k);
-        idx
+        crate::ranks::top_k_indices(&self.data, k)
     }
 }
 

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use sparsela::{
-    average_ranks, fit_exponential, ordinal_ranks, sort_indices_desc, CitationOperator, Csr,
-    PowerEngine, PowerOptions, ScoreVec, WeightedCsr,
+    average_ranks, fit_exponential, ordinal_ranks, sort_indices_desc, top_k_indices,
+    CitationOperator, Csr, PowerEngine, PowerOptions, ScoreVec, WeightedCsr,
 };
 
 /// Strategy: a random edge list on `n` nodes.
@@ -291,6 +291,29 @@ proptest! {
             m.mul_vec_damped_into_with_threads(threads, alpha, &x, &seed, &mut parallel);
             prop_assert_eq!(&serial, &parallel, "threads={}", threads);
         }
+    }
+
+    #[test]
+    fn top_k_equals_full_sort_then_truncate(
+        raw in proptest::collection::vec(-8i32..8, 0..120),
+        k in 0usize..140,
+    ) {
+        // Small integer grid → plenty of exact ties, the case where a
+        // sloppy partial select would diverge from the full sort.
+        let scores: Vec<f64> = raw.iter().map(|&v| v as f64 / 4.0).collect();
+        let mut expected = sort_indices_desc(&scores);
+        expected.truncate(k);
+        prop_assert_eq!(top_k_indices(&scores, k), expected);
+    }
+
+    #[test]
+    fn score_vec_top_k_matches_partial_select(
+        raw in proptest::collection::vec(-100i32..100, 1..80),
+        k in 1usize..20,
+    ) {
+        let scores: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        let v = ScoreVec::from_vec(scores.clone());
+        prop_assert_eq!(v.top_k(k), top_k_indices(&scores, k));
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! Method comparison: a single cell of the paper's Fig. 3 experiment,
 //! end to end — generate a corpus, hide the future, rank with every
-//! method at its default/typical setting, and score against the true
-//! short-term impact.
+//! registered method at its default/typical setting, and score against
+//! the true short-term impact.
+//!
+//! The method list is not hand-built: it comes from the registry's
+//! default lineup (`rankengine::default_comparison_specs`), the same
+//! config strings the serving engine accepts.
 //!
 //! ```sh
-//! cargo run --release --example method_comparison
+//! cargo run --release --example method_comparison [-- --scale N]
 //! ```
 
 use attrank_repro::prelude::*;
-use citegraph::rank::CitationCount;
+use rankengine::{default_comparison_specs, registry};
 
 fn main() {
-    let profile = DatasetProfile::pmc().scaled(6_000);
+    let scale = scale_arg().unwrap_or(6_000);
+    let profile = DatasetProfile::pmc().scaled(scale);
     println!(
         "generating a {}-paper {} corpus...",
         profile.n_papers, profile.name
@@ -32,43 +37,23 @@ fn main() {
         split.horizon_years(),
     );
 
-    let methods: Vec<(&str, Box<dyn Ranker>)> = vec![
-        (
-            "AttRank",
-            Box::new(AttRank::new(
-                AttRankParams::new(0.2, 0.4, 3, -0.16).unwrap(),
-            )),
-        ),
-        (
-            "NO-ATT",
-            Box::new(AttRank::new(AttRankParams::no_att(0.2, 3, -0.16).unwrap())),
-        ),
-        (
-            "ATT-ONLY",
-            Box::new(AttRank::new(AttRankParams::att_only(3).unwrap())),
-        ),
-        ("CiteRank", Box::new(CiteRank::new(0.31, 1.6))),
-        ("FutureRank", Box::new(FutureRank::original_optimum())),
-        ("RAM", Box::new(Ram::new(0.6))),
-        ("ECM", Box::new(Ecm::new(0.1, 0.3))),
-        ("WSDM", Box::new(Wsdm::original())),
-        ("PageRank", Box::new(PageRank::default_citation())),
-        ("CitationCount", Box::new(CitationCount)),
-    ];
-
     println!(
-        "\n{:<14} {:>10} {:>10} {:>10}",
+        "\n{:<14} {:>10} {:>10} {:>10}   spec",
         "method", "spearman", "ndcg@50", "kendall"
     );
-    let mut best = ("", f64::NEG_INFINITY);
-    for (name, method) in &methods {
+    let mut best = (String::new(), f64::NEG_INFINITY);
+    for spec in default_comparison_specs() {
+        let method = registry::build(&spec).expect("default specs are valid");
         let scores = method.rank(current);
         let rho = Metric::Spearman.evaluate(scores.as_slice(), &sti);
         let ndcg = Metric::NdcgAt(50).evaluate(scores.as_slice(), &sti);
         let tau = Metric::KendallTauB.evaluate(scores.as_slice(), &sti);
-        println!("{name:<14} {rho:>10.4} {ndcg:>10.4} {tau:>10.4}");
+        println!(
+            "{:<14} {rho:>10.4} {ndcg:>10.4} {tau:>10.4}   {spec}",
+            method.name()
+        );
         if rho > best.1 {
-            best = (name, rho);
+            best = (method.name().to_string(), rho);
         }
     }
     println!(
@@ -76,4 +61,14 @@ fn main() {
          fully tuned comparison",
         best.0, best.1
     );
+}
+
+/// Parses an optional `--scale N` argument (the CI smoke run uses a small
+/// corpus; the default matches the paper-scale walkthrough).
+fn scale_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }

@@ -3,6 +3,10 @@
 //! AttRank's parameters on a validation split, then forecast tomorrow's
 //! most-cited papers and check the hit rate.
 //!
+//! Methods are looked up by name (`MethodSpace::by_name`), and every grid
+//! point is constructed through the method registry — no hand-built
+//! ranker lists.
+//!
 //! ```sh
 //! cargo run --release --example tune_and_forecast
 //! ```
@@ -29,9 +33,10 @@ fn main() {
     let validation = ratio_split(&net, 1.4);
     let val_sti = ground_truth_sti(&validation);
     let objective = |scores: &ScoreVec| Metric::NdcgAt(50).evaluate(scores.as_slice(), &val_sti);
+    let attrank_space = MethodSpace::by_name("AR", w).expect("AR is registered");
     let tuned = tune(
         "AR",
-        MethodSpace::AttRank { decay_w: w }.candidates(),
+        attrank_space.candidates(),
         &validation.current,
         &objective,
     )
@@ -50,7 +55,7 @@ fn main() {
     // entry again on the deployment current state.
     let forecast = tune(
         "AR",
-        MethodSpace::AttRank { decay_w: w }.candidates(),
+        attrank_space.candidates(),
         &validation.current, // same training state the validation tuned on
         &objective,
     )
@@ -65,9 +70,10 @@ fn main() {
     );
 
     // Compare with the no-attention ablation under identical treatment.
+    let no_att_space = MethodSpace::by_name("NO-ATT", w).expect("NO-ATT is registered");
     let no_att = tune(
         "NO-ATT",
-        MethodSpace::NoAtt { decay_w: w }.candidates(),
+        no_att_space.candidates(),
         &validation.current,
         &objective,
     )

@@ -7,6 +7,8 @@
 //! * [`citegraph`] — the citation-network substrate,
 //! * [`citegen`] — synthetic dataset generation,
 //! * [`baselines`] — competitor ranking methods,
+//! * [`rankengine`] — the config-driven method registry and the
+//!   epoch-snapshot serving engine,
 //! * [`rankeval`] — metrics, tuning and experiment pipelines,
 //! * [`sparsela`] — the numerical kernels underneath.
 
@@ -14,6 +16,7 @@ pub use attrank;
 pub use baselines;
 pub use citegen;
 pub use citegraph;
+pub use rankengine;
 pub use rankeval;
 pub use sparsela;
 
@@ -22,6 +25,7 @@ pub mod prelude {
     pub use attrank::{AttRank, AttRankParams};
     pub use baselines::{CiteRank, Ecm, FutureRank, PageRank, Ram, Wsdm};
     pub use citegen::{generate, DatasetProfile};
-    pub use citegraph::{ratio_split, CitationNetwork, NetworkBuilder, Ranker};
+    pub use citegraph::{ratio_split, CitationNetwork, GraphDelta, NetworkBuilder, Ranker};
+    pub use rankengine::{MethodSpec, RankingEngine, RerankPolicy};
     pub use rankeval::{ground_truth_sti, Metric};
 }
