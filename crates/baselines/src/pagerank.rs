@@ -5,7 +5,10 @@
 //! (`β = 0, w = 0`) is tested against. Citation-analysis work commonly uses
 //! `α = 0.5` (Chen et al. 2007), the default here.
 
-use citegraph::{CitationNetwork, Ranker};
+use citegraph::{
+    try_push_rerank, CitationNetwork, DanglingResolution, DeltaRank, DeltaStrategy, GraphDelta,
+    PushRankConfig, Ranker,
+};
 use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, ScoreVec};
 
 /// PageRank with damping `alpha`.
@@ -72,6 +75,58 @@ impl Ranker for PageRank {
 
     fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
         self.rank_with_diagnostics_in(net, workspace).scores
+    }
+
+    /// Residual-push delta update against the uniform teleport
+    /// personalization; falls back to the full solve when the push is not
+    /// worthwhile.
+    fn rank_delta(
+        &self,
+        old: &CitationNetwork,
+        delta: &GraphDelta,
+        new: &CitationNetwork,
+        previous: &ScoreVec,
+        workspace: &mut KernelWorkspace,
+    ) -> DeltaRank {
+        let alpha = self.alpha;
+        if alpha > 0.0 && old.n_papers() > 0 {
+            let mut b_old = workspace.take_zeros(old.n_papers());
+            b_old.fill((1.0 - alpha) / old.n_papers() as f64);
+            let mut b_new = workspace.take_zeros(new.n_papers());
+            b_new.fill((1.0 - alpha) / new.n_papers() as f64);
+            // PageRank is proportional to the uniform kernel itself
+            // (`x* = (1−α)·u`), so deferred dangling mass resolves in
+            // closed form — no flushes, no kernel cache needed.
+            let pushed = try_push_rerank(
+                old,
+                delta,
+                new,
+                previous,
+                b_old.as_slice(),
+                b_new.as_slice(),
+                alpha,
+                DanglingResolution::SelfSimilar {
+                    kernel_factor: 1.0 / (1.0 - alpha),
+                },
+                &PushRankConfig::default(),
+                workspace,
+            );
+            workspace.recycle(b_old);
+            workspace.recycle(b_new);
+            if let Some((scores, outcome)) = pushed {
+                return DeltaRank {
+                    scores,
+                    strategy: DeltaStrategy::Push {
+                        pushes: outcome.pushes,
+                        edge_work: outcome.edge_work,
+                    },
+                };
+            }
+        }
+        DeltaRank {
+            scores: self.rank_into(new, workspace),
+            strategy: DeltaStrategy::Full,
+        }
     }
 }
 

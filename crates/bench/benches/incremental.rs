@@ -1,0 +1,86 @@
+//! Incremental re-ranking benchmarks: residual push vs warm-started full
+//! solve vs from-scratch solve across delta publishes of 0.1%, 1% and 10%
+//! of the edge set, at 50k and 200k papers.
+//!
+//! The push scorer is primed (one full publish builds its component
+//! split); each measured iteration then replays the same delta publish
+//! from a cloned scorer so state mutation does not compound across
+//! iterations. The 10% delta intentionally sits at the push gate — it
+//! measures the fallback cost, not a push win.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use attrank::{AttRank, AttRankParams, IncrementalAttRank};
+use citegen::{generate, publish_delta, DatasetProfile};
+use citegraph::Ranker;
+use repro_bench::DEFAULT_SEED;
+use sparsela::KernelWorkspace;
+
+/// The paper's primary convergence setting (§4.4 studies α = 0.5).
+fn params() -> AttRankParams {
+    AttRankParams::new(0.5, 0.4, 3, -0.16).unwrap()
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    for &scale in &[50_000usize, 200_000] {
+        let net = generate(&DatasetProfile::dblp().scaled(scale), DEFAULT_SEED);
+        let e = net.n_citations();
+        let sk = scale / 1000;
+
+        // Prime: initial rank + one small publish to build the split.
+        let mut push_scorer = IncrementalAttRank::new(params());
+        push_scorer.update(&net);
+        let prime = publish_delta(&net, 10, 10, 5);
+        let primed = net.with_delta(&prime).unwrap();
+        push_scorer.update_delta(&net, &prime, &primed);
+        let mut warm_scorer = IncrementalAttRank::new(params());
+        warm_scorer.update(&primed);
+
+        for &(label, permille) in &[("0.1pct", 1usize), ("1pct", 10), ("10pct", 100)] {
+            let delta = publish_delta(&primed, e * permille / 1000, 10, 99);
+            let new = primed.with_delta(&delta).unwrap();
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("push_{sk}k"), label),
+                &new,
+                |b, new| {
+                    b.iter_batched(
+                        || push_scorer.clone(),
+                        |mut inc| inc.update_delta(&primed, &delta, new),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("warm_{sk}k"), label),
+                &new,
+                |b, new| {
+                    b.iter_batched(
+                        || warm_scorer.clone(),
+                        |mut inc| inc.update(new),
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("scratch_{sk}k"), label),
+                &new,
+                |b, new| {
+                    let method = AttRank::new(params());
+                    let mut ws = KernelWorkspace::new();
+                    b.iter(|| {
+                        let scores = method.rank_into(new, &mut ws);
+                        let sum = scores.sum();
+                        ws.recycle(scores);
+                        sum
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

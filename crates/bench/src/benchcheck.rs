@@ -1,0 +1,201 @@
+//! Bench-regression gate: compares the criterion-shim's freshly written
+//! JSON reports against the committed `BENCH_baseline.json` and fails on
+//! regressions of guarded benchmarks.
+//!
+//! The guarded set covers the serving read path (`top_k` group) and the
+//! SpMV hot loop (`stochastic_apply*` ids) — the two baselines every PR is
+//! required to keep. Comparison uses `min_ns` (best observed iteration):
+//! the minimum is far more stable than the mean on shared/quota-throttled
+//! runners, which is also why the committed baseline records it.
+//!
+//! Parsing is a dependency-free scanner for the flat `{"group": …,
+//! "id": …, "min_ns": …}` objects both file formats contain; surrounding
+//! structure (top-level object vs array, pretty-printing) is irrelevant.
+
+/// One benchmark measurement, as found in a report file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark group (e.g. `top_k`).
+    pub group: String,
+    /// Benchmark id within the group (e.g. `partial_select_50k/10`).
+    pub id: String,
+    /// Best observed wall-clock per iteration, nanoseconds.
+    pub min_ns: f64,
+}
+
+/// Extracts every flat object carrying `group`/`id`/`min_ns` fields from a
+/// JSON document (objects with nested braces are skipped — records in both
+/// the shim reports and the baseline are flat).
+pub fn parse_records(json: &str) -> Vec<BenchRecord> {
+    let bytes = json.as_bytes();
+    let mut records = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut nested = vec![false];
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => {
+                stack.push(i);
+                nested.push(false);
+            }
+            b'}' => {
+                let was_nested = nested.pop().unwrap_or(false);
+                if let Some(start) = stack.pop() {
+                    if let Some(top) = nested.last_mut() {
+                        *top = true;
+                    }
+                    if !was_nested {
+                        let seg = &json[start..=i];
+                        if let (Some(group), Some(id), Some(min_ns)) = (
+                            field_str(seg, "group"),
+                            field_str(seg, "id"),
+                            field_num(seg, "min_ns"),
+                        ) {
+                            records.push(BenchRecord { group, id, min_ns });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    records
+}
+
+/// Value of a `"key": "string"` field inside a flat object segment.
+fn field_str(seg: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = seg.find(&pat)? + pat.len();
+    let rest = seg[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Value of a `"key": number` field inside a flat object segment.
+fn field_num(seg: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = seg.find(&pat)? + pat.len();
+    let rest = seg[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `true` when a record belongs to the guarded regression set.
+pub fn is_guarded(r: &BenchRecord) -> bool {
+    r.group == "top_k" || r.id.starts_with("stochastic_apply")
+}
+
+/// Outcome of one guarded comparison.
+#[derive(Debug)]
+pub struct Comparison {
+    /// `group/id` label.
+    pub label: String,
+    /// Committed baseline `min_ns`.
+    pub baseline_ns: f64,
+    /// Freshly measured `min_ns`.
+    pub current_ns: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether the ratio exceeds the allowed regression.
+    pub regressed: bool,
+}
+
+/// Compares the guarded subset of `baseline` against `current` records.
+///
+/// `max_regression` is fractional (0.25 = fail beyond +25% of the
+/// baseline's `min_ns`). Guarded baseline entries missing from `current`
+/// are skipped (a filtered bench run); the caller decides whether zero
+/// comparisons is acceptable. When `current` holds duplicates of one
+/// `(group, id)` the *first* wins — callers pass records newest-first.
+pub fn compare(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    max_regression: f64,
+) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .filter(|b| is_guarded(b))
+        .filter_map(|b| {
+            let cur = current
+                .iter()
+                .find(|c| c.group == b.group && c.id == b.id)?;
+            let ratio = cur.min_ns / b.min_ns.max(1.0);
+            Some(Comparison {
+                label: format!("{}/{}", b.group, b.id),
+                baseline_ns: b.min_ns,
+                current_ns: cur.min_ns,
+                ratio,
+                regressed: ratio > 1.0 + max_regression,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "note": "x",
+  "kernels": [
+    {"group": "top_k", "id": "partial_select_50k/10", "mean_ns": 130000.0, "min_ns": 100000.0, "iterations": 10},
+    {"group": "kernels", "id": "stochastic_apply_20k", "mean_ns": 1.0, "min_ns": 500000.0, "iterations": 3},
+    {"group": "metrics", "id": "spearman_10k", "mean_ns": 1.0, "min_ns": 9.0, "iterations": 3}
+  ]
+}"#;
+
+    #[test]
+    fn parses_flat_records_from_nested_document() {
+        let records = parse_records(BASELINE);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].group, "top_k");
+        assert_eq!(records[0].id, "partial_select_50k/10");
+        assert_eq!(records[0].min_ns, 100000.0);
+    }
+
+    #[test]
+    fn guard_covers_top_k_and_stochastic_apply_only() {
+        let records = parse_records(BASELINE);
+        let guarded: Vec<_> = records.iter().filter(|r| is_guarded(r)).collect();
+        assert_eq!(guarded.len(), 2);
+        assert!(guarded
+            .iter()
+            .all(|r| r.group == "top_k" || r.id.starts_with("stochastic_apply")));
+    }
+
+    #[test]
+    fn regression_detection_at_threshold() {
+        let baseline = parse_records(BASELINE);
+        let current = vec![
+            BenchRecord {
+                group: "top_k".into(),
+                id: "partial_select_50k/10".into(),
+                min_ns: 124_000.0, // +24%: fine
+            },
+            BenchRecord {
+                group: "kernels".into(),
+                id: "stochastic_apply_20k".into(),
+                min_ns: 700_000.0, // +40%: regression
+            },
+        ];
+        let cmp = compare(&baseline, &current, 0.25);
+        assert_eq!(cmp.len(), 2);
+        assert!(!cmp[0].regressed);
+        assert!(cmp[1].regressed);
+    }
+
+    #[test]
+    fn missing_current_records_are_skipped() {
+        let baseline = parse_records(BASELINE);
+        assert!(compare(&baseline, &[], 0.25).is_empty());
+    }
+
+    #[test]
+    fn shim_report_format_parses() {
+        let shim = "[\n  {\"group\": \"top_k\", \"id\": \"full_sort_50k\", \"mean_ns\": 3.1, \"min_ns\": 2.5, \"iterations\": 96}\n]\n";
+        let records = parse_records(shim);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].min_ns, 2.5);
+    }
+}

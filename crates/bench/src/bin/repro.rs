@@ -51,14 +51,15 @@ fn main() -> ExitCode {
         eprintln!("usage: repro <subcommand> [--scale N] [--seed N] [--out DIR]");
         eprintln!("subcommands: summary methods fig1a fig1b table1 table2 table3 table4");
         eprintln!("             fig2corr fig2ndcg fig3 fig4 fig5 convergence");
-        eprintln!("             robustness significance all");
+        eprintln!("             robustness significance bench-check all");
         return ExitCode::FAILURE;
     };
 
-    // Grid-spec subcommands need no data.
+    // Grid-spec / tooling subcommands need no data.
     match cmd.as_str() {
         "table3" => return run_table3(),
         "table4" => return run_table4(),
+        "bench-check" => return run_bench_check(),
         _ => {}
     }
 
@@ -107,6 +108,99 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// `bench-check`: compares the criterion-shim reports under
+/// `target/shim-criterion/` (or `CRITERION_SHIM_OUT_DIR`) against
+/// `BENCH_baseline.json` (or `BENCH_BASELINE_PATH`) and fails on a
+/// `min_ns` regression beyond `BENCH_CHECK_MAX_REGRESSION` (default 0.25)
+/// of any guarded benchmark (`top_k` group, `stochastic_apply*` ids).
+fn run_bench_check() -> ExitCode {
+    use repro_bench::benchcheck;
+
+    let baseline_path =
+        std::env::var("BENCH_BASELINE_PATH").unwrap_or_else(|_| "BENCH_baseline.json".to_string());
+    // Bench binaries run with the package directory as their cwd, so the
+    // shim's default-relative output can land in either target dir
+    // depending on how it was invoked; check both unless overridden.
+    let shim_dirs: Vec<String> = match std::env::var("CRITERION_SHIM_OUT_DIR") {
+        Ok(dir) => vec![dir],
+        Err(_) => vec![
+            "target/shim-criterion".to_string(),
+            "crates/bench/target/shim-criterion".to_string(),
+        ],
+    };
+    let max_regression: f64 = std::env::var("BENCH_CHECK_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-check: cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = benchcheck::parse_records(&baseline_json);
+
+    // Newest report first: `compare` takes the first record per
+    // (group, id), so a stale report in one target dir cannot shadow a
+    // fresh run that landed in the other.
+    let mut report_files: Vec<(std::time::SystemTime, std::path::PathBuf)> = Vec::new();
+    for dir in &shim_dirs {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "json") {
+                    let mtime = entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    report_files.push((mtime, path));
+                }
+            }
+        }
+    }
+    report_files.sort_by_key(|(mtime, _)| std::cmp::Reverse(*mtime));
+    let mut current = Vec::new();
+    for (_, path) in &report_files {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            current.extend(benchcheck::parse_records(&s));
+        }
+    }
+
+    let comparisons = benchcheck::compare(&baseline, &current, max_regression);
+    if comparisons.is_empty() {
+        eprintln!(
+            "bench-check: no guarded benchmarks found under {shim_dirs:?} \
+             (expected the top_k and stochastic_apply baselines — run \
+             `cargo bench --bench kernels` and `cargo bench --bench serving`)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    println!(
+        "== bench-check: min-ns vs {baseline_path} (allowed +{:.0}%) ==",
+        max_regression * 100.0
+    );
+    for c in &comparisons {
+        let verdict = if c.regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "{:<44} {:>12.0} -> {:>12.0}  ({:+.1}%)  {verdict}",
+            c.label,
+            c.baseline_ns,
+            c.current_ns,
+            (c.ratio - 1.0) * 100.0
+        );
+        failed |= c.regressed;
+    }
+    if failed {
+        eprintln!("bench-check: guarded benchmark regressed beyond the threshold");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -11,6 +11,8 @@
 use citegen::DatasetProfile;
 use rankeval::experiment::{prepare, DatasetBundle};
 
+pub mod benchcheck;
+
 /// Default RNG seed for all experiments (deterministic reproduction).
 pub const DEFAULT_SEED: u64 = 20211124;
 

@@ -30,6 +30,7 @@ pub mod delta;
 pub mod io;
 pub mod metadata;
 pub mod network;
+pub mod pushrank;
 pub mod rank;
 pub mod split;
 pub mod stats;
@@ -39,5 +40,8 @@ pub use builder::{BuildError, NetworkBuilder};
 pub use delta::{DeltaError, GraphDelta};
 pub use metadata::{AuthorTable, VenueTable};
 pub use network::{CitationNetwork, PaperId, Year};
-pub use rank::Ranker;
+pub use pushrank::{
+    try_push_rerank, uniform_kernel, update_uniform_kernel, DanglingResolution, PushRankConfig,
+};
+pub use rank::{DeltaRank, DeltaStrategy, Ranker};
 pub use split::{ratio_split, RatioSplit};

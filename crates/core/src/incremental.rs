@@ -14,22 +14,50 @@
 //! roughly by `log(ε/d)/log(α)` where `d` is the L1 drift between the old
 //! and new fixed points — typically a 2–4× saving at daily/yearly update
 //! cadence (measured in `benches/ablation.rs`).
+//!
+//! ## Delta updates at push cost
+//!
+//! [`IncrementalAttRank::update_delta`] goes further: instead of any full
+//! sweep it *pushes* residuals seeded only where the [`GraphDelta`]
+//! actually perturbed the system (see [`citegraph::pushrank`]). Making
+//! those seeds sparse requires per-component state, because AttRank's
+//! personalization `β·A + γ·T` is two probability vectors that rescale by
+//! *different* global factors as the network grows: the scorer therefore
+//! maintains the attention-component fixed point (`x = α·S·x + β·A`)
+//! alongside the served total (the recency component is their
+//! difference), plus the operator's *uniform kernel*
+//! `u = (I − α·S)⁻¹·(1/n)·1` used to resolve deferred dangling mass
+//! analytically. The component split is (re)built after every full solve
+//! at the cost of two extra power runs — paid once per fallback, then
+//! amortized across every push-updated publish that follows.
 
-use citegraph::CitationNetwork;
-use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, ScoreVec};
+use citegraph::{
+    try_push_rerank, uniform_kernel, update_uniform_kernel, CitationNetwork, DanglingResolution,
+    DeltaStrategy, GraphDelta, PushRankConfig,
+};
+use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, PushOutcome, ScoreVec};
 
-use crate::attention::attention_vector;
-use crate::model::AttRankDiagnostics;
+use crate::model::{jump_components, jump_vector, AttRankDiagnostics};
 use crate::params::AttRankParams;
-use crate::recency::recency_vector;
 
 /// AttRank with warm-started re-scoring across network snapshots.
 #[derive(Debug, Clone)]
 pub struct IncrementalAttRank {
     params: AttRankParams,
     options: PowerOptions,
+    /// Push-vs-full decision knobs for [`Self::update_delta`].
+    push_config: PushRankConfig,
     /// Fixed point of the previously scored snapshot.
     previous: Option<ScoreVec>,
+    /// Attention-component fixed point (`x = α·S·x + β·A`) of the same
+    /// snapshot; the recency component is `previous − component_att`.
+    component_att: Option<ScoreVec>,
+    /// Personalization components `β·A` and `γ·T` of the same snapshot —
+    /// the `b₀`s the push seeding diffs against.
+    b_att: Option<ScoreVec>,
+    b_rec: Option<ScoreVec>,
+    /// Uniform kernel `u = (I − α·S)⁻¹·(1/n)·1` of the same snapshot.
+    kernel: Option<ScoreVec>,
     /// Scratch buffers reused across updates (a daily re-scoring loop
     /// allocates nothing after the first solve).
     workspace: KernelWorkspace,
@@ -38,12 +66,7 @@ pub struct IncrementalAttRank {
 impl IncrementalAttRank {
     /// Creates an incremental scorer with default convergence options.
     pub fn new(params: AttRankParams) -> Self {
-        Self {
-            params,
-            options: PowerOptions::default(),
-            previous: None,
-            workspace: KernelWorkspace::new(),
-        }
+        Self::with_options(params, PowerOptions::default())
     }
 
     /// Overrides the power-method options.
@@ -51,9 +74,21 @@ impl IncrementalAttRank {
         Self {
             params,
             options,
+            push_config: PushRankConfig::default(),
             previous: None,
+            component_att: None,
+            b_att: None,
+            b_rec: None,
+            kernel: None,
             workspace: KernelWorkspace::new(),
         }
+    }
+
+    /// Overrides the push-vs-full decision knobs used by
+    /// [`Self::update_delta`] (e.g. [`PushRankConfig::forced_fallback`] to
+    /// pin the fallback path in tests).
+    pub fn set_push_config(&mut self, config: PushRankConfig) {
+        self.push_config = config;
     }
 
     /// The configured parameters.
@@ -69,6 +104,22 @@ impl IncrementalAttRank {
     /// Drops the cached fixed point (next update is a cold start).
     pub fn reset(&mut self) {
         self.previous = None;
+        self.drop_split();
+    }
+
+    /// Invalidates the per-component push state (recycling its buffers).
+    fn drop_split(&mut self) {
+        for slot in [
+            self.component_att.take(),
+            self.b_att.take(),
+            self.b_rec.take(),
+            self.kernel.take(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            self.workspace.recycle(slot);
+        }
     }
 
     /// Scores the given snapshot, warm-starting from the previous one.
@@ -79,18 +130,240 @@ impl IncrementalAttRank {
     /// time-ordered). Shrinking inputs trigger a cold start rather than an
     /// error — the caller may legitimately switch corpora.
     pub fn update(&mut self, net: &CitationNetwork) -> AttRankDiagnostics {
-        let n = net.n_papers();
-        let p = self.params;
-        let (alpha, beta, gamma) = (p.alpha(), p.beta(), p.gamma());
+        // A full snapshot update invalidates the per-component push state
+        // (it is rebuilt by the next `update_delta`).
+        self.drop_split();
+        let jump = jump_vector(net, &self.params, &mut self.workspace);
+        self.solve_with_jump(net, jump)
+    }
 
-        let attention = attention_vector(net, p.attention_years);
-        let recency = recency_vector(net, p.decay_w);
-        let mut jump = self.workspace.take_zeros(n);
-        jump.axpy(beta, &attention);
-        jump.axpy(gamma, &recency);
+    /// Scores `new = old.with_delta(delta)`, choosing between a residual
+    /// push localized to the delta's neighborhood and the warm-started
+    /// full solve (the push falls back automatically when the delta is too
+    /// large or its work budget runs out — see [`PushRankConfig`]).
+    ///
+    /// `old` must be the network the previous [`Self::update`] /
+    /// [`Self::update_delta`] call scored; when it is not (cold scorer,
+    /// shape mismatch, non-finite cache) the full path runs. A full run
+    /// here also (re)builds the component split the push path needs, at
+    /// the cost of two extra power solves — so the publish *after* a
+    /// fallback can push again.
+    ///
+    /// For the push path the returned diagnostics report `iterations` as
+    /// the number of *pushes* and `final_error` as the residual L1 bound.
+    pub fn update_delta(
+        &mut self,
+        old: &CitationNetwork,
+        delta: &GraphDelta,
+        new: &CitationNetwork,
+    ) -> (AttRankDiagnostics, DeltaStrategy) {
+        let alpha = self.params.alpha();
+        if let Some((diag, outcome)) = self.try_push_delta(old, delta, new) {
+            return (
+                diag,
+                DeltaStrategy::Push {
+                    pushes: outcome.pushes,
+                    edge_work: outcome.edge_work,
+                },
+            );
+        }
+
+        // Full path: warm-started combined solve, then rebuild the
+        // component split for the next delta — but only when this delta
+        // was push-sized in the first place. A stream of oversized deltas
+        // (gate-rejected) re-ranks at plain warm-solve cost instead of
+        // paying two extra solves per publish for push state it never
+        // uses; the split invalidates either way (its vectors belong to
+        // the pre-delta network) and is rebuilt on the next small delta.
+        let rebuild = alpha > 0.0 && new.n_papers() > 0 && self.push_config.gates_delta(old, delta);
+        let (b_att, b_rec) = jump_components(new, &self.params, &mut self.workspace);
+        let mut jump = self.workspace.take_zeros(new.n_papers());
+        jump.axpy(1.0, &b_att);
+        jump.axpy(1.0, &b_rec);
+        let diag = self.solve_with_jump(new, jump);
+        if rebuild && diag.converged {
+            self.rebuild_split(new, b_att, b_rec);
+        } else {
+            self.drop_split();
+            self.workspace.recycle(b_att);
+            self.workspace.recycle(b_rec);
+        }
+        (diag, DeltaStrategy::Full)
+    }
+
+    /// The push attempt: updates the uniform kernel, then both
+    /// personalization components, each seeded sparsely. Returns `None`
+    /// when any stage declines — state is left for the full path.
+    fn try_push_delta(
+        &mut self,
+        old: &CitationNetwork,
+        delta: &GraphDelta,
+        new: &CitationNetwork,
+    ) -> Option<(AttRankDiagnostics, PushOutcome)> {
+        let alpha = self.params.alpha();
+        let n_old = old.n_papers();
+        let n_new = new.n_papers();
+        if alpha == 0.0 || n_old == 0 {
+            return None;
+        }
+        let (prev, att0, b_att0, b_rec0, kernel0) = match (
+            &self.previous,
+            &self.component_att,
+            &self.b_att,
+            &self.b_rec,
+            &self.kernel,
+        ) {
+            (Some(p), Some(a), Some(ba), Some(br), Some(k))
+                if p.len() == n_old && a.len() == n_old && k.len() == n_old =>
+            {
+                (p, a, ba, br, k)
+            }
+            _ => return None,
+        };
+        let cfg = self.push_config;
+
+        // 1. Uniform kernel across the delta (self-similar resolution).
+        let mut workspace = std::mem::take(&mut self.workspace);
+        let kernel_res =
+            update_uniform_kernel(old, delta, new, kernel0, alpha, &cfg, &mut workspace);
+        let Some((kernel1, k_out)) = kernel_res else {
+            self.workspace = workspace;
+            return None;
+        };
+
+        // 2. Attention component, resolved against the fresh kernel.
+        let (b_att1, b_rec1) = jump_components(new, &self.params, &mut workspace);
+        let att_res = try_push_rerank(
+            old,
+            delta,
+            new,
+            att0,
+            b_att0.as_slice(),
+            b_att1.as_slice(),
+            alpha,
+            DanglingResolution::Kernel(kernel1.as_slice()),
+            &cfg,
+            &mut workspace,
+        );
+        // 3. Recency component (previous − attention component).
+        let rec_res = att_res.and_then(|(att1, a_out)| {
+            let mut rec0 = workspace.take_zeros(n_old);
+            for ((ri, &pi), &ai) in rec0
+                .as_mut_slice()
+                .iter_mut()
+                .zip(prev.iter())
+                .zip(att0.iter())
+            {
+                *ri = pi - ai;
+            }
+            let res = try_push_rerank(
+                old,
+                delta,
+                new,
+                &rec0,
+                b_rec0.as_slice(),
+                b_rec1.as_slice(),
+                alpha,
+                DanglingResolution::Kernel(kernel1.as_slice()),
+                &cfg,
+                &mut workspace,
+            );
+            workspace.recycle(rec0);
+            res.map(|(rec1, r_out)| (att1, a_out, rec1, r_out))
+        });
+        self.workspace = workspace;
+
+        let Some((att1, a_out, rec1, r_out)) = rec_res else {
+            self.workspace.recycle(kernel1);
+            return None;
+        };
+
+        // Serve the sum of the components; cache everything for the next
+        // delta.
+        let mut total = self.workspace.take_zeros(n_new);
+        for ((ti, &ai), &ri) in total
+            .as_mut_slice()
+            .iter_mut()
+            .zip(att1.iter())
+            .zip(rec1.iter())
+        {
+            *ti = ai + ri;
+        }
+        self.workspace.recycle(rec1);
+        let mut kept = self.workspace.take_zeros(n_new);
+        kept.as_mut_slice().copy_from_slice(total.as_slice());
+        for (slot, value) in [
+            (&mut self.previous, kept),
+            (&mut self.component_att, att1),
+            (&mut self.b_att, b_att1),
+            (&mut self.b_rec, b_rec1),
+            (&mut self.kernel, kernel1),
+        ] {
+            if let Some(stale) = slot.replace(value) {
+                self.workspace.recycle(stale);
+            }
+        }
+        let outcome = PushOutcome {
+            converged: true,
+            pushes: k_out.pushes + a_out.pushes + r_out.pushes,
+            edge_work: k_out.edge_work + a_out.edge_work + r_out.edge_work,
+            residual_l1: k_out.residual_l1 + a_out.residual_l1 + r_out.residual_l1,
+            deferred: 0.0,
+        };
+        let diag = AttRankDiagnostics {
+            scores: total,
+            iterations: outcome.pushes as usize,
+            converged: true,
+            final_error: outcome.residual_l1,
+            error_log: Vec::new(),
+        };
+        Some((diag, outcome))
+    }
+
+    /// (Re)builds the per-component push state after a full solve on
+    /// `net`: one power solve for the attention component (warm-started
+    /// from its previous value when shapes allow) and one for the uniform
+    /// kernel. Consumes the personalization components into the cache.
+    fn rebuild_split(&mut self, net: &CitationNetwork, b_att: ScoreVec, b_rec: ScoreVec) {
+        let n = net.n_papers();
+        let alpha = self.params.alpha();
+        let op = net.stochastic_operator();
+        let engine = PowerEngine::new(self.options);
+
+        let initial = match &self.component_att {
+            Some(prev_att) if prev_att.len() <= n && !prev_att.is_empty() => {
+                let mut init = self.workspace.take_zeros(n);
+                init.as_mut_slice()[..prev_att.len()].copy_from_slice(prev_att.as_slice());
+                init
+            }
+            _ => self.workspace.take_zeros(n),
+        };
+        let att = engine.run_with(&mut self.workspace, initial, |cur, next| {
+            op.apply_damped(alpha, cur.as_slice(), b_att.as_slice(), next.as_mut_slice());
+        });
+        let kernel = uniform_kernel(net, alpha, &mut self.workspace);
+
+        for (slot, value) in [
+            (&mut self.component_att, att.scores),
+            (&mut self.b_att, b_att),
+            (&mut self.b_rec, b_rec),
+            (&mut self.kernel, kernel),
+        ] {
+            if let Some(stale) = slot.replace(value) {
+                self.workspace.recycle(stale);
+            }
+        }
+    }
+
+    /// Warm-started power solve against a precomputed personalization
+    /// vector; caches the fixed point for the next warm start.
+    fn solve_with_jump(&mut self, net: &CitationNetwork, jump: ScoreVec) -> AttRankDiagnostics {
+        let n = net.n_papers();
+        let alpha = self.params.alpha();
 
         if n == 0 {
             self.previous = Some(ScoreVec::zeros(0));
+            self.workspace.recycle(jump);
             return AttRankDiagnostics {
                 scores: ScoreVec::zeros(0),
                 iterations: 0,
@@ -101,7 +374,8 @@ impl IncrementalAttRank {
         }
 
         if alpha == 0.0 {
-            // Closed form — nothing to warm-start.
+            // Closed form — nothing to warm-start; the solution *is* the
+            // personalization.
             self.previous = Some(jump.clone());
             return AttRankDiagnostics {
                 scores: jump,
@@ -266,5 +540,126 @@ mod tests {
         let d = inc.update(&net);
         assert!(d.converged);
         assert!(inc.is_warm());
+    }
+
+    /// Push gates opened up for fixtures whose delta is a large fraction
+    /// of the (small) graph.
+    fn permissive_push() -> PushRankConfig {
+        PushRankConfig {
+            budget_sweeps: 1e6,
+            max_delta_fraction: 1.0,
+            ..PushRankConfig::default()
+        }
+    }
+
+    fn small_delta(net: &CitationNetwork) -> GraphDelta {
+        let year = net.current_year().unwrap() + 1;
+        let mut d = GraphDelta::new();
+        let p = (net.n_papers() + d.add_paper(year)) as u32;
+        d.add_citation(p, 0);
+        d.add_citation(p, (net.n_papers() / 2) as u32);
+        d
+    }
+
+    #[test]
+    fn update_delta_push_matches_scratch() {
+        let net = generate(&DatasetProfile::hepth().scaled(1000), 17);
+        let mut inc = IncrementalAttRank::new(params());
+        inc.set_push_config(permissive_push());
+        inc.update(&net);
+        // First delta publish runs the full path while the component
+        // split is built; the next one pushes.
+        let d0 = small_delta(&net);
+        let mid = net.with_delta(&d0).unwrap();
+        let (_, s0) = inc.update_delta(&net, &d0, &mid);
+        assert_eq!(s0, DeltaStrategy::Full, "split build publishes full");
+
+        let delta = small_delta(&mid);
+        let new = mid.with_delta(&delta).unwrap();
+        let (diag, strategy) = inc.update_delta(&mid, &delta, &new);
+        assert!(
+            matches!(strategy, DeltaStrategy::Push { .. }),
+            "a two-edge delta must take the push path, got {strategy:?}"
+        );
+        assert!(diag.converged);
+        let scratch = AttRank::new(params()).rank(&new);
+        for i in 0..new.n_papers() {
+            assert!(
+                (diag.scores[i] - scratch[i]).abs() < 1e-9,
+                "paper {i}: push {} vs scratch {}",
+                diag.scores[i],
+                scratch[i]
+            );
+        }
+    }
+
+    #[test]
+    fn update_delta_forced_fallback_matches_scratch() {
+        let net = generate(&DatasetProfile::hepth().scaled(600), 19);
+        let delta = small_delta(&net);
+        let new = net.with_delta(&delta).unwrap();
+
+        let mut inc = IncrementalAttRank::new(params());
+        inc.set_push_config(PushRankConfig::forced_fallback());
+        inc.update(&net);
+        let (diag, strategy) = inc.update_delta(&net, &delta, &new);
+        assert_eq!(strategy, DeltaStrategy::Full);
+        let scratch = AttRank::new(params()).rank(&new);
+        for i in 0..new.n_papers() {
+            assert!((diag.scores[i] - scratch[i]).abs() < 1e-9, "paper {i}");
+        }
+    }
+
+    #[test]
+    fn update_delta_cold_scorer_runs_full() {
+        let net = generate(&DatasetProfile::hepth().scaled(400), 23);
+        let delta = small_delta(&net);
+        let new = net.with_delta(&delta).unwrap();
+        let mut inc = IncrementalAttRank::new(params());
+        inc.set_push_config(permissive_push());
+        // No prior update: nothing to seed a push from.
+        let (diag, strategy) = inc.update_delta(&net, &delta, &new);
+        assert_eq!(strategy, DeltaStrategy::Full);
+        assert!(diag.converged);
+        // And the *next* delta can push, because state is now cached.
+        let delta2 = small_delta(&new);
+        let newer = new.with_delta(&delta2).unwrap();
+        let (_, strategy2) = inc.update_delta(&new, &delta2, &newer);
+        assert!(matches!(strategy2, DeltaStrategy::Push { .. }));
+    }
+
+    #[test]
+    fn chained_delta_updates_stay_accurate() {
+        // Consecutive push publishes must not drift: compare the final
+        // state against a cold scratch solve. (The first delta publish is
+        // the split build and runs full.)
+        let mut net = generate(&DatasetProfile::hepth().scaled(800), 29);
+        let mut inc = IncrementalAttRank::new(params());
+        inc.set_push_config(permissive_push());
+        inc.update(&net);
+        let mut push_count = 0;
+        for _ in 0..6 {
+            let delta = small_delta(&net);
+            let new = net.with_delta(&delta).unwrap();
+            let (_, strategy) = inc.update_delta(&net, &delta, &new);
+            if matches!(strategy, DeltaStrategy::Push { .. }) {
+                push_count += 1;
+            }
+            net = new;
+        }
+        assert!(push_count >= 5, "only {push_count}/6 updates pushed");
+        let (diag, _) = {
+            // Re-rank the unchanged network through the incremental path.
+            let empty = GraphDelta::new();
+            let same = net.with_delta(&empty).unwrap();
+            inc.update_delta(&net, &empty, &same)
+        };
+        let scratch = AttRank::new(params()).rank(&net);
+        for i in 0..net.n_papers() {
+            assert!(
+                (diag.scores[i] - scratch[i]).abs() < 1e-9,
+                "paper {i} drifted after chained pushes"
+            );
+        }
     }
 }

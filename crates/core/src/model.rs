@@ -1,11 +1,52 @@
 //! The AttRank fixed-point model (paper Eq. 4 and Theorem 1).
 
-use citegraph::{CitationNetwork, Ranker};
+use citegraph::{
+    try_push_rerank, CitationNetwork, DanglingResolution, DeltaRank, DeltaStrategy, GraphDelta,
+    PushRankConfig, Ranker,
+};
 use sparsela::{KernelWorkspace, PowerEngine, PowerOptions, PowerOutcome, ScoreVec};
 
 use crate::attention::attention_vector;
 use crate::params::AttRankParams;
 use crate::recency::recency_vector;
+
+/// Builds AttRank's personalization vector `β·A + γ·T` (the fixed part of
+/// Eq. 4) for the current state of `net`, drawing the buffer from
+/// `workspace`.
+pub(crate) fn jump_vector(
+    net: &CitationNetwork,
+    params: &AttRankParams,
+    workspace: &mut KernelWorkspace,
+) -> ScoreVec {
+    let attention = attention_vector(net, params.attention_years);
+    let recency = recency_vector(net, params.decay_w);
+    let mut jump = workspace.take_zeros(net.n_papers());
+    jump.axpy(params.beta(), &attention);
+    jump.axpy(params.gamma(), &recency);
+    jump
+}
+
+/// The two personalization components `β·A` and `γ·T` separately.
+///
+/// The incremental push path maintains a fixed-point solution *per
+/// component*: each component shifts by (almost) one global scaling factor
+/// as the network grows, which is what keeps its push seed sparse — their
+/// sum shifts by two different factors and cannot be seeded sparsely as a
+/// single vector.
+pub(crate) fn jump_components(
+    net: &CitationNetwork,
+    params: &AttRankParams,
+    workspace: &mut KernelWorkspace,
+) -> (ScoreVec, ScoreVec) {
+    let attention = attention_vector(net, params.attention_years);
+    let recency = recency_vector(net, params.decay_w);
+    let n = net.n_papers();
+    let mut b_att = workspace.take_zeros(n);
+    b_att.axpy(params.beta(), &attention);
+    let mut b_rec = workspace.take_zeros(n);
+    b_rec.axpy(params.gamma(), &recency);
+    (b_att, b_rec)
+}
 
 /// The AttRank ranking method.
 ///
@@ -100,17 +141,10 @@ impl AttRank {
                 error_log: Vec::new(),
             };
         }
-        let p = &self.params;
-        let (alpha, beta, gamma) = (p.alpha(), p.beta(), p.gamma());
+        let alpha = self.params.alpha();
 
-        // The two personalization vectors are fixed across iterations.
-        let attention = attention_vector(net, p.attention_years);
-        let recency = recency_vector(net, p.decay_w);
-
-        // Precompute β·A + γ·T once.
-        let mut jump = workspace.take_zeros(n);
-        jump.axpy(beta, &attention);
-        jump.axpy(gamma, &recency);
+        // The personalization β·A + γ·T is fixed across iterations.
+        let jump = jump_vector(net, &self.params, workspace);
 
         if alpha == 0.0 {
             // Closed form: AR = β·A + γ·T in a single "iteration" (§4.4:
@@ -153,6 +187,54 @@ impl Ranker for AttRank {
 
     fn rank_into(&self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
         self.rank_with_diagnostics_in(net, workspace).scores
+    }
+
+    /// Residual-push delta update (falls back to a full solve when the
+    /// delta is too large, the push budget runs out, or `α = 0` makes the
+    /// closed form cheaper anyway).
+    fn rank_delta(
+        &self,
+        old: &CitationNetwork,
+        delta: &GraphDelta,
+        new: &CitationNetwork,
+        previous: &ScoreVec,
+        workspace: &mut KernelWorkspace,
+    ) -> DeltaRank {
+        let alpha = self.params.alpha();
+        if alpha > 0.0 && old.n_papers() > 0 {
+            let b_old = jump_vector(old, &self.params, workspace);
+            let b_new = jump_vector(new, &self.params, workspace);
+            // Stateless entry point: no maintained uniform kernel, so
+            // deferred dangling mass falls back to flushing (the stateful
+            // `IncrementalAttRank` path resolves it against its kernel).
+            let pushed = try_push_rerank(
+                old,
+                delta,
+                new,
+                previous,
+                b_old.as_slice(),
+                b_new.as_slice(),
+                alpha,
+                DanglingResolution::Flush,
+                &PushRankConfig::default(),
+                workspace,
+            );
+            workspace.recycle(b_old);
+            workspace.recycle(b_new);
+            if let Some((scores, outcome)) = pushed {
+                return DeltaRank {
+                    scores,
+                    strategy: DeltaStrategy::Push {
+                        pushes: outcome.pushes,
+                        edge_work: outcome.edge_work,
+                    },
+                };
+            }
+        }
+        DeltaRank {
+            scores: self.rank_into(new, workspace),
+            strategy: DeltaStrategy::Full,
+        }
     }
 }
 

@@ -35,8 +35,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod generator;
 pub mod profile;
 
+pub use delta::publish_delta;
 pub use generator::{generate, Generator};
 pub use profile::DatasetProfile;

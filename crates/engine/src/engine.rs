@@ -20,11 +20,39 @@
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use attrank::{AttRankParams, IncrementalAttRank};
-use citegraph::{CitationNetwork, DeltaError, GraphDelta, PaperId, Year};
+use citegraph::{CitationNetwork, DeltaError, DeltaStrategy, GraphDelta, PaperId, Year};
 use sparsela::{top_k_indices, KernelWorkspace, ScoreVec};
 
 use crate::registry::{self, BoxedRanker};
 use crate::spec::{MethodSpec, SpecError};
+
+/// How the scores of an epoch were computed (recorded in the snapshot's
+/// metadata so operators can observe whether the incremental path is
+/// actually engaging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RerankStrategy {
+    /// The initial rank at engine construction (epoch 0).
+    Initial,
+    /// A full solve over the epoch's network (cold or warm-started).
+    Full,
+    /// A residual-push update localized to the published delta.
+    Push {
+        /// Residual pushes executed across all push stages.
+        pushes: u64,
+        /// Edge traversals spent (compare with `iterations × E` for a
+        /// full solve).
+        edge_work: u64,
+    },
+}
+
+impl From<DeltaStrategy> for RerankStrategy {
+    fn from(s: DeltaStrategy) -> Self {
+        match s {
+            DeltaStrategy::Full => RerankStrategy::Full,
+            DeltaStrategy::Push { pushes, edge_work } => RerankStrategy::Push { pushes, edge_work },
+        }
+    }
+}
 
 /// When the engine re-ranks and publishes a fresh epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +91,7 @@ pub struct EpochSnapshot {
     n_papers: usize,
     n_citations: usize,
     current_year: Option<Year>,
+    strategy: RerankStrategy,
     scores: ScoreVec,
     /// `positions[p]` = 0-based rank position of paper `p`, built on the
     /// first `rank_of` call (a top-k-only reader never pays for it).
@@ -88,6 +117,12 @@ impl EpochSnapshot {
     /// Year of the newest paper in this epoch's network state.
     pub fn current_year(&self) -> Option<Year> {
         self.current_year
+    }
+
+    /// How this epoch's scores were computed: the initial rank, a full
+    /// solve, or a delta-localized residual push (with its work counters).
+    pub fn strategy(&self) -> RerankStrategy {
+        self.strategy
     }
 
     /// The full score vector, indexed by paper id.
@@ -136,18 +171,46 @@ pub struct IngestReport {
     pub pending_batches: usize,
 }
 
-/// The configured method: AttRank runs through the warm-started
-/// incremental solver, everything else re-ranks from scratch.
+/// The configured method: AttRank runs through the push-capable
+/// incremental solver, everything else through the `Ranker::rank_delta`
+/// entry point (which methods in the damped fixed-point family override
+/// with a push of their own; the rest re-rank from scratch).
 enum EngineRanker {
-    Incremental(IncrementalAttRank),
+    Incremental(Box<IncrementalAttRank>),
     Batch(BoxedRanker),
 }
 
 impl EngineRanker {
-    fn rank(&mut self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
+    fn rank_full(&mut self, net: &CitationNetwork, workspace: &mut KernelWorkspace) -> ScoreVec {
         match self {
             EngineRanker::Incremental(inc) => inc.update(net).scores,
             EngineRanker::Batch(r) => r.rank_into(net, workspace),
+        }
+    }
+
+    /// Re-rank across a delta, reporting which strategy ran. `previous`
+    /// holds the last successfully published scores for the batch path
+    /// (the incremental solver carries its own state).
+    fn rank_delta(
+        &mut self,
+        old: &CitationNetwork,
+        delta: &GraphDelta,
+        new: &CitationNetwork,
+        previous: Option<&ScoreVec>,
+        workspace: &mut KernelWorkspace,
+    ) -> (ScoreVec, RerankStrategy) {
+        match self {
+            EngineRanker::Incremental(inc) => {
+                let (diag, strategy) = inc.update_delta(old, delta, new);
+                (diag.scores, strategy.into())
+            }
+            EngineRanker::Batch(r) => match previous {
+                Some(prev) => {
+                    let ranked = r.rank_delta(old, delta, new, prev, workspace);
+                    (ranked.scores, ranked.strategy.into())
+                }
+                None => (r.rank_into(new, workspace), RerankStrategy::Full),
+            },
         }
     }
 }
@@ -162,6 +225,11 @@ struct WriterState {
     staged: GraphDelta,
     pending_batches: usize,
     next_epoch: u64,
+    /// The last successfully published snapshot (an `Arc` share, not a
+    /// score copy): its scores are the `previous` the batch rankers' push
+    /// path seeds from. Cleared when a solve is rejected (stale scores
+    /// must not seed a push against a newer network).
+    previous: Option<Arc<EpochSnapshot>>,
 }
 
 /// Concurrent ranking server over one citation network.
@@ -190,14 +258,15 @@ impl RankingEngine {
         let mut ranker = match *spec {
             // AttRank gets the warm-started incremental solver; the params
             // were just validated so the unwrap cannot fire.
-            MethodSpec::AttRank { alpha, beta, y, w } => EngineRanker::Incremental(
+            MethodSpec::AttRank { alpha, beta, y, w } => EngineRanker::Incremental(Box::new(
                 IncrementalAttRank::new(AttRankParams::new(alpha, beta, y, w)?),
-            ),
+            )),
             _ => EngineRanker::Batch(registry::build(spec)?),
         };
         let mut workspace = KernelWorkspace::new();
-        let scores = ranker.rank(&net, &mut workspace);
-        let snapshot = Self::freeze(0, &net, scores);
+        let scores = ranker.rank_full(&net, &mut workspace);
+        let snapshot = Self::freeze(0, &net, scores, RerankStrategy::Initial);
+        let previous = Some(snapshot.clone());
         Ok(Self {
             method: spec.to_string(),
             policy,
@@ -208,6 +277,7 @@ impl RankingEngine {
                 staged: GraphDelta::new(),
                 pending_batches: 0,
                 next_epoch: 1,
+                previous,
             }),
             published: RwLock::new(snapshot),
         })
@@ -300,41 +370,64 @@ impl RankingEngine {
         (state.staged.n_citations(), state.pending_batches)
     }
 
-    /// Folds staged deltas into the network, re-ranks, and swaps in the
-    /// new epoch. Returns `false` when the solve produced non-finite
-    /// scores and the previous epoch was kept.
+    /// Folds staged deltas into the network, re-ranks (push when the
+    /// delta qualifies, full solve otherwise), and swaps in the new
+    /// epoch. Returns `false` when the solve produced non-finite scores
+    /// and the previous epoch was kept.
     fn publish_locked(&self, state: &mut WriterState) -> bool {
-        if !state.staged.is_empty() {
+        state.pending_batches = 0;
+        let (scores, strategy) = if state.staged.is_empty() {
+            (
+                state.ranker.rank_full(&state.net, &mut state.workspace),
+                RerankStrategy::Full,
+            )
+        } else {
             let next = state
                 .net
                 .with_delta(&state.staged)
                 .expect("staged deltas were validated at ingest");
+            let (scores, strategy) = state.ranker.rank_delta(
+                &state.net,
+                &state.staged,
+                &next,
+                state.previous.as_deref().map(EpochSnapshot::scores),
+                &mut state.workspace,
+            );
             state.net = next;
             state.staged.clear();
-        }
-        state.pending_batches = 0;
-        let scores = state.ranker.rank(&state.net, &mut state.workspace);
+            (scores, strategy)
+        };
         // A non-convergent solve (NaN/∞ scores) must not clobber the last
         // good epoch: readers keep serving the stale-but-sane snapshot.
         // (The ranking comparators are NaN-total, so even a published
         // non-finite vector could not panic a reader — this guard is about
         // not serving garbage, mirroring the eval layer's skip semantics.)
         if !scores.all_finite() {
+            // The stale scores no longer match the (advanced) network and
+            // must not seed a future push.
+            state.previous = None;
             return false;
         }
         let epoch = state.next_epoch;
         state.next_epoch += 1;
-        let snapshot = Self::freeze(epoch, &state.net, scores);
+        let snapshot = Self::freeze(epoch, &state.net, scores, strategy);
+        state.previous = Some(snapshot.clone());
         *self.published.write().expect("snapshot lock poisoned") = snapshot;
         true
     }
 
-    fn freeze(epoch: u64, net: &CitationNetwork, scores: ScoreVec) -> Arc<EpochSnapshot> {
+    fn freeze(
+        epoch: u64,
+        net: &CitationNetwork,
+        scores: ScoreVec,
+        strategy: RerankStrategy,
+    ) -> Arc<EpochSnapshot> {
         Arc::new(EpochSnapshot {
             epoch,
             n_papers: net.n_papers(),
             n_citations: net.n_citations(),
             current_year: net.current_year(),
+            strategy,
             scores,
             positions: OnceLock::new(),
         })
@@ -486,6 +579,20 @@ mod tests {
             RankingEngine::from_config(base_net(), "nope", RerankPolicy::EveryBatch),
             Err(SpecError::UnknownMethod { .. })
         ));
+    }
+
+    #[test]
+    fn strategy_metadata_is_recorded() {
+        let engine =
+            RankingEngine::from_config(base_net(), "cc", RerankPolicy::EveryBatch).unwrap();
+        assert_eq!(engine.snapshot().strategy(), RerankStrategy::Initial);
+        engine.ingest(&growth_delta(10, 2011)).unwrap();
+        // CC has no push path: a delta publish records a full solve.
+        assert_eq!(engine.snapshot().strategy(), RerankStrategy::Full);
+        // A manual rerank with nothing staged is a full solve too.
+        let engine = RankingEngine::from_config(base_net(), "cc", RerankPolicy::Manual).unwrap();
+        engine.rerank();
+        assert_eq!(engine.snapshot().strategy(), RerankStrategy::Full);
     }
 
     #[test]

@@ -52,6 +52,6 @@ pub mod engine;
 pub mod registry;
 pub mod spec;
 
-pub use engine::{EpochSnapshot, IngestReport, RankingEngine, RerankPolicy};
+pub use engine::{EpochSnapshot, IngestReport, RankingEngine, RerankPolicy, RerankStrategy};
 pub use registry::{build, default_comparison_specs, known_methods, parse_and_build, BoxedRanker};
 pub use spec::{EnsembleRule, MethodSpec, SpecError};

@@ -12,8 +12,11 @@
 /// An immutable CSR adjacency structure (pattern only, implicit weight 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
-    /// Row pointer array, length `nrows + 1`.
-    indptr: Vec<usize>,
+    /// Row pointer array, length `nrows + 1`. Stored as `u32` (with a
+    /// build-time guard on `nnz`) so every row sweep reads half the index
+    /// bandwidth a `usize` pointer array would cost — SpMV here is
+    /// bandwidth-bound, not compute-bound.
+    indptr: Vec<u32>,
     /// Column indices, length `nnz`, sorted within each row.
     indices: Vec<u32>,
     /// Number of columns (square matrices in this workspace, but kept
@@ -25,17 +28,26 @@ impl Csr {
     /// Builds a CSR matrix from an unsorted edge list `(row, col)`.
     ///
     /// Duplicate edges are collapsed; self-loops are kept (callers that
-    /// forbid them filter beforehand). Runs in `O(E log E)` from the
-    /// per-row sort.
+    /// forbid them filter beforehand). Runs in `O(V + E)`: a single-pass
+    /// counting-sort scatter groups edges by row, then each (short) row is
+    /// sorted and deduplicated in place.
+    ///
+    /// # Panics
+    /// Panics if `edges.len()` exceeds `u32::MAX` (row pointers are `u32`).
     pub fn from_edges(nrows: usize, ncols: usize, edges: &[(u32, u32)]) -> Self {
+        assert!(
+            edges.len() <= u32::MAX as usize,
+            "Csr::from_edges: {} edges exceed the u32 row-pointer range",
+            edges.len()
+        );
         // Counting sort into a single buffer: count per row, prefix-sum into
         // `indptr`, scatter using `indptr` itself as the write cursor (after
         // the scatter, `indptr[r]` holds the *end* of row `r`).
-        let mut indptr = vec![0usize; nrows + 1];
+        let mut indptr = vec![0u32; nrows + 1];
         for &(r, _) in edges {
             indptr[r as usize + 1] += 1;
         }
-        let mut acc = 0usize;
+        let mut acc = 0u32;
         for p in indptr.iter_mut() {
             acc += *p;
             *p = acc;
@@ -44,7 +56,7 @@ impl Csr {
         for &(r, c) in edges {
             debug_assert!((c as usize) < ncols, "column index out of bounds");
             let pos = &mut indptr[r as usize];
-            indices[*pos] = c;
+            indices[*pos as usize] = c;
             *pos += 1;
         }
         // Sort each row in place and compact out duplicates with a forward
@@ -53,7 +65,7 @@ impl Csr {
         let mut write = 0usize;
         let mut row_start = 0usize;
         for row_ptr in indptr[..nrows].iter_mut() {
-            let row_end = *row_ptr;
+            let row_end = *row_ptr as usize;
             indices[row_start..row_end].sort_unstable();
             let compact_start = write;
             let mut prev = None;
@@ -66,9 +78,9 @@ impl Csr {
                 }
             }
             row_start = row_end;
-            *row_ptr = compact_start;
+            *row_ptr = compact_start as u32;
         }
-        indptr[nrows] = write;
+        indptr[nrows] = write as u32;
         indices.truncate(write);
         Self {
             indptr,
@@ -104,13 +116,13 @@ impl Csr {
     /// The column indices of row `r` (sorted ascending).
     pub fn row(&self, r: u32) -> &[u32] {
         let r = r as usize;
-        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+        &self.indices[self.indptr[r] as usize..self.indptr[r + 1] as usize]
     }
 
     /// Out-degree of row `r`.
     pub fn degree(&self, r: u32) -> usize {
         let r = r as usize;
-        self.indptr[r + 1] - self.indptr[r]
+        (self.indptr[r + 1] - self.indptr[r]) as usize
     }
 
     /// `true` iff entry `(r, c)` is stored. `O(log degree(r))`.
@@ -125,13 +137,13 @@ impl Csr {
 
     /// Transposes the matrix (rows become columns). `O(V + E)`.
     pub fn transpose(&self) -> Csr {
-        let mut counts = vec![0usize; self.ncols];
+        let mut counts = vec![0u32; self.ncols];
         for &c in &self.indices {
             counts[c as usize] += 1;
         }
         let mut indptr = Vec::with_capacity(self.ncols + 1);
-        indptr.push(0usize);
-        let mut acc = 0usize;
+        indptr.push(0u32);
+        let mut acc = 0u32;
         for &c in &counts {
             acc += c;
             indptr.push(acc);
@@ -140,7 +152,7 @@ impl Csr {
         let mut cursor = indptr[..self.ncols].to_vec();
         for r in 0..self.nrows() as u32 {
             for &c in self.row(r) {
-                indices[cursor[c as usize]] = r;
+                indices[cursor[c as usize] as usize] = r;
                 cursor[c as usize] += 1;
             }
         }
@@ -156,13 +168,13 @@ impl Csr {
     /// Returns the out-degree of every row as a dense vector.
     pub fn degrees(&self) -> Vec<usize> {
         (0..self.nrows())
-            .map(|r| self.indptr[r + 1] - self.indptr[r])
+            .map(|r| (self.indptr[r + 1] - self.indptr[r]) as usize)
             .collect()
     }
 
     /// The row-pointer array (length `nrows + 1`), the work profile the
     /// degree-balanced parallel partition is computed from.
-    pub fn indptr(&self) -> &[usize] {
+    pub fn indptr(&self) -> &[u32] {
         &self.indptr
     }
 }
@@ -170,7 +182,7 @@ impl Csr {
 /// A CSR matrix with an `f64` weight per stored entry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedCsr {
-    indptr: Vec<usize>,
+    indptr: Vec<u32>,
     indices: Vec<u32>,
     values: Vec<f64>,
     ncols: usize,
@@ -180,15 +192,24 @@ impl WeightedCsr {
     /// Builds a weighted CSR matrix from `(row, col, weight)` triples.
     /// Duplicate `(row, col)` pairs accumulate their weights (entries of
     /// equal `(row, col)` sum in sorted-run order).
+    ///
+    /// # Panics
+    /// Panics if `triples.len()` exceeds `u32::MAX` (row pointers are
+    /// `u32`).
     pub fn from_triples(nrows: usize, ncols: usize, triples: &[(u32, u32, f64)]) -> Self {
+        assert!(
+            triples.len() <= u32::MAX as usize,
+            "WeightedCsr::from_triples: {} triples exceed the u32 row-pointer range",
+            triples.len()
+        );
         // Counting sort into one flat scratch buffer (no per-row `Vec`s):
         // count per row, prefix-sum, scatter with `indptr` as the cursor —
         // after the scatter `indptr[r]` holds the end of row `r`.
-        let mut indptr = vec![0usize; nrows + 1];
+        let mut indptr = vec![0u32; nrows + 1];
         for &(r, _, _) in triples {
             indptr[r as usize + 1] += 1;
         }
-        let mut acc = 0usize;
+        let mut acc = 0u32;
         for p in indptr.iter_mut() {
             acc += *p;
             *p = acc;
@@ -197,7 +218,7 @@ impl WeightedCsr {
         for &(r, c, w) in triples {
             debug_assert!((c as usize) < ncols, "column index out of bounds");
             let pos = &mut indptr[r as usize];
-            scratch[*pos] = (c, w);
+            scratch[*pos as usize] = (c, w);
             *pos += 1;
         }
         // Sort each row by column, accumulate duplicate runs, and rebuild
@@ -206,10 +227,10 @@ impl WeightedCsr {
         let mut values = Vec::with_capacity(triples.len());
         let mut row_start = 0usize;
         for row_ptr in indptr[..nrows].iter_mut() {
-            let row_end = *row_ptr;
+            let row_end = *row_ptr as usize;
             let row = &mut scratch[row_start..row_end];
             row.sort_unstable_by_key(|&(c, _)| c);
-            *row_ptr = indices.len();
+            *row_ptr = indices.len() as u32;
             let mut run: Option<(u32, f64)> = None;
             for &(c, w) in row.iter() {
                 match &mut run {
@@ -229,7 +250,7 @@ impl WeightedCsr {
             }
             row_start = row_end;
         }
-        indptr[nrows] = indices.len();
+        indptr[nrows] = indices.len() as u32;
         Self {
             indptr,
             indices,
@@ -256,7 +277,7 @@ impl WeightedCsr {
     /// The `(column, weight)` pairs of row `r`.
     pub fn row(&self, r: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
         let r = r as usize;
-        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        let (s, e) = (self.indptr[r] as usize, self.indptr[r + 1] as usize);
         self.indices[s..e]
             .iter()
             .copied()
@@ -266,7 +287,9 @@ impl WeightedCsr {
     /// Sum of the weights in row `r`.
     pub fn row_sum(&self, r: u32) -> f64 {
         let r = r as usize;
-        self.values[self.indptr[r]..self.indptr[r + 1]].iter().sum()
+        self.values[self.indptr[r] as usize..self.indptr[r + 1] as usize]
+            .iter()
+            .sum()
     }
 
     /// Dense `y = M · x` (matrix times column vector), parallel over a
@@ -348,7 +371,7 @@ impl WeightedCsr {
         let (indptr, indices, values) = (&self.indptr, &self.indices, &self.values);
         crate::parallel::for_each_row_chunk(indptr, threads, y, |rows, chunk| {
             for (r, out) in rows.clone().zip(chunk.iter_mut()) {
-                let (s, e) = (indptr[r], indptr[r + 1]);
+                let (s, e) = (indptr[r] as usize, indptr[r + 1] as usize);
                 let mut acc = 0.0;
                 for k in s..e {
                     acc += values[k] * x[indices[k] as usize];
@@ -359,7 +382,7 @@ impl WeightedCsr {
     }
 
     /// The row-pointer array (length `nrows + 1`).
-    pub fn indptr(&self) -> &[usize] {
+    pub fn indptr(&self) -> &[u32] {
         &self.indptr
     }
 

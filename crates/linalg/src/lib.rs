@@ -9,6 +9,9 @@
 //! * [`stochastic`] — the column-stochastic citation operator `S` used by
 //!   PageRank-family methods (pull-based SpMV with dangling-mass handling),
 //! * [`power`] — a generic power-method engine with convergence logging,
+//! * [`push`] — a residual-driven (Gauss–Southwell) solver for the damped
+//!   fixed-point family, localizing incremental re-solves to the perturbed
+//!   neighborhood,
 //! * [`fit`] — least-squares exponential fitting (used to derive the recency
 //!   decay factor `w` from the citation-age distribution, paper §4.2),
 //! * [`ranks`] — rank assignment (ordinal and tie-averaged) used by rank
@@ -28,6 +31,7 @@ pub mod csr;
 pub mod fit;
 pub mod parallel;
 pub mod power;
+pub mod push;
 pub mod ranks;
 pub mod stochastic;
 pub mod vector;
@@ -35,6 +39,7 @@ pub mod vector;
 pub use csr::{Csr, WeightedCsr};
 pub use fit::{fit_exponential, ExpFit};
 pub use power::{PowerEngine, PowerOptions, PowerOutcome};
+pub use push::{PushConfig, PushOutcome};
 pub use ranks::{average_ranks, ordinal_ranks, sort_indices_desc, top_k_indices};
 pub use stochastic::CitationOperator;
 pub use vector::{KernelWorkspace, ScoreVec};

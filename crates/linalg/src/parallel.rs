@@ -152,13 +152,13 @@ pub fn auto_threads(work: usize) -> usize {
 /// `indptr` is a CSR row-pointer array (`len == nrows + 1`,
 /// non-decreasing). Empty chunks are dropped, so fewer chunks than
 /// `threads` may be returned (e.g. when there are fewer rows than threads).
-pub fn row_partition(indptr: &[usize], threads: usize) -> Vec<Range<usize>> {
+pub fn row_partition(indptr: &[u32], threads: usize) -> Vec<Range<usize>> {
     let nrows = indptr.len().saturating_sub(1);
     if nrows == 0 {
         return Vec::new();
     }
     let threads = threads.max(1).min(nrows);
-    let total_work = indptr[nrows] + nrows;
+    let total_work = indptr[nrows] as usize + nrows;
     let mut chunks = Vec::with_capacity(threads);
     let mut start = 0usize;
     for k in 1..=threads {
@@ -169,7 +169,7 @@ pub fn row_partition(indptr: &[usize], threads: usize) -> Vec<Range<usize>> {
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             // Cumulative work of rows 0..=mid.
-            if indptr[mid + 1] + (mid + 1) < target {
+            if indptr[mid + 1] as usize + (mid + 1) < target {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -198,7 +198,7 @@ pub fn row_partition(indptr: &[usize], threads: usize) -> Vec<Range<usize>> {
 ///
 /// # Panics
 /// Panics if `y.len() + 1 != indptr.len()`.
-pub fn for_each_row_chunk<K>(indptr: &[usize], threads: usize, y: &mut [f64], kernel: K)
+pub fn for_each_row_chunk<K>(indptr: &[u32], threads: usize, y: &mut [f64], kernel: K)
 where
     K: Fn(Range<usize>, &mut [f64]) + Sync,
 {
@@ -246,10 +246,10 @@ where
 mod tests {
     use super::*;
 
-    fn indptr_of(degrees: &[usize]) -> Vec<usize> {
-        let mut indptr = vec![0usize];
+    fn indptr_of(degrees: &[usize]) -> Vec<u32> {
+        let mut indptr = vec![0u32];
         for &d in degrees {
-            indptr.push(indptr.last().unwrap() + d);
+            indptr.push(indptr.last().unwrap() + d as u32);
         }
         indptr
     }

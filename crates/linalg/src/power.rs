@@ -103,11 +103,11 @@ impl PowerEngine {
     {
         let mut current = initial;
         let mut next = workspace.take_zeros(current.len());
-        let mut error_log = if self.options.record_errors {
-            Vec::with_capacity(self.options.max_iterations.min(256))
-        } else {
-            Vec::new()
-        };
+        // The error log only ever grows when `record_errors` is set, and
+        // then on demand — an eager capacity reservation would buy nothing
+        // for the common diagnostics-off solve and is skipped even for the
+        // recording case (a handful of amortized doublings per solve).
+        let mut error_log = Vec::new();
         let mut iterations = 0;
         let mut final_error = f64::INFINITY;
         let mut converged = false;

@@ -1,0 +1,174 @@
+//! Push-vs-scratch equivalence under randomized `GraphDelta` batches.
+//!
+//! The incremental residual-push re-ranking path must be indistinguishable
+//! (within 1e-9 per paper) from solving the updated network from scratch —
+//! for AttRank (through the stateful component-split scorer) and PageRank
+//! (through the stateless `Ranker::rank_delta` override), across deltas
+//! mixing new papers, new citations from new papers, bibliography
+//! corrections between existing papers, and attention-window shifts. The
+//! forced-fallback path (zero push budget) must degrade to the same
+//! answer via the full solve.
+
+use attrank::{AttRank, AttRankParams, IncrementalAttRank};
+use baselines::PageRank;
+use citegen::{generate, DatasetProfile};
+use citegraph::{CitationNetwork, DeltaStrategy, GraphDelta, PushRankConfig, Ranker};
+use proptest::prelude::*;
+use sparsela::KernelWorkspace;
+
+/// A randomized, always-valid delta against `net`: `n_new` papers in the
+/// current year (so ids stay time-sorted), each citing a few distinct
+/// existing papers, plus a few old→old bibliography corrections (citing
+/// id strictly greater than cited id, which guarantees the time order).
+fn random_delta(net: &CitationNetwork, n_new: usize, extra_edges: usize, seed: u64) -> GraphDelta {
+    let n0 = net.n_papers() as u64;
+    let year = net.current_year().expect("non-empty network");
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut d = GraphDelta::new();
+    for _ in 0..n_new {
+        let id = (n0 as usize + d.add_paper(year)) as u32;
+        let refs = 1 + (next() % 4) as usize;
+        let mut cited = std::collections::BTreeSet::new();
+        while cited.len() < refs {
+            cited.insert((next() % n0) as u32);
+        }
+        for c in cited {
+            d.add_citation(id, c);
+        }
+    }
+    for _ in 0..extra_edges {
+        let citing = 1 + (next() % (n0 - 1)) as u32;
+        let cited = (next() % citing as u64) as u32;
+        d.add_citation(citing, cited);
+    }
+    d
+}
+
+/// Tiny fixtures need open gates: on a 300-paper graph even a two-edge
+/// delta exceeds production thresholds.
+fn permissive() -> PushRankConfig {
+    PushRankConfig {
+        budget_sweeps: 1e6,
+        max_delta_fraction: 1.0,
+        ..PushRankConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn attrank_push_matches_scratch(
+        seed in 0u64..1_000_000,
+        scale in 250usize..600,
+        n_new in 0usize..4,
+        extra in 1usize..6,
+        alpha_pct in 1u32..8,
+    ) {
+        let alpha = alpha_pct as f64 * 0.1;
+        let params = AttRankParams::new(alpha, 0.3, 3, -0.16).unwrap();
+        let net = generate(&DatasetProfile::hepth().scaled(scale), seed);
+
+        let mut inc = IncrementalAttRank::new(params);
+        inc.set_push_config(permissive());
+        inc.update(&net);
+        // First delta publish builds the component split (full solve)…
+        let prime = random_delta(&net, 1, 1, seed ^ 0xabcd);
+        let mid = net.with_delta(&prime).unwrap();
+        let (_, s0) = inc.update_delta(&net, &prime, &mid);
+        prop_assert_eq!(s0, DeltaStrategy::Full);
+
+        // …then the randomized batch must push and agree with scratch.
+        let delta = random_delta(&mid, n_new, extra, seed ^ 0x1234);
+        let new = mid.with_delta(&delta).unwrap();
+        let (diag, strategy) = inc.update_delta(&mid, &delta, &new);
+        prop_assert!(
+            matches!(strategy, DeltaStrategy::Push { .. }),
+            "expected push, got {:?}", strategy
+        );
+        let scratch = AttRank::new(params).rank(&new);
+        for p in 0..new.n_papers() {
+            prop_assert!(
+                (diag.scores[p] - scratch[p]).abs() < 1e-9,
+                "paper {}: push {} vs scratch {}", p, diag.scores[p], scratch[p]
+            );
+        }
+    }
+
+    #[test]
+    fn attrank_forced_fallback_matches_scratch(
+        seed in 0u64..1_000_000,
+        scale in 200usize..450,
+        n_new in 0usize..3,
+        extra in 1usize..5,
+    ) {
+        let params = AttRankParams::new(0.4, 0.3, 3, -0.16).unwrap();
+        let net = generate(&DatasetProfile::hepth().scaled(scale), seed);
+        let mut inc = IncrementalAttRank::new(params);
+        inc.set_push_config(PushRankConfig::forced_fallback());
+        inc.update(&net);
+        let delta = random_delta(&net, n_new, extra, seed ^ 0x77);
+        let new = net.with_delta(&delta).unwrap();
+        let (diag, strategy) = inc.update_delta(&net, &delta, &new);
+        prop_assert_eq!(strategy, DeltaStrategy::Full);
+        let scratch = AttRank::new(params).rank(&new);
+        for p in 0..new.n_papers() {
+            prop_assert!(
+                (diag.scores[p] - scratch[p]).abs() < 1e-9,
+                "paper {} diverged on the fallback path", p
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_rank_delta_matches_scratch(
+        seed in 0u64..1_000_000,
+        scale in 300usize..700,
+        n_new in 0usize..3,
+        extra in 1usize..4,
+        d_pct in 2u32..9,
+    ) {
+        let damping = d_pct as f64 * 0.1;
+        let net = generate(&DatasetProfile::dblp().scaled(scale), seed);
+        let delta = random_delta(&net, n_new, extra, seed ^ 0x5555);
+        let new = net.with_delta(&delta).unwrap();
+
+        let pr = PageRank::new(damping);
+        let mut ws = KernelWorkspace::new();
+        let previous = pr.rank_into(&net, &mut ws);
+        let ranked = pr.rank_delta(&net, &delta, &new, &previous, &mut ws);
+        let scratch = pr.rank(&new);
+        for p in 0..new.n_papers() {
+            prop_assert!(
+                (ranked.scores[p] - scratch[p]).abs() < 1e-9,
+                "paper {} ({:?}): delta {} vs scratch {}",
+                p, ranked.strategy, ranked.scores[p], scratch[p]
+            );
+        }
+    }
+}
+
+/// The PageRank override must actually *push* when the delta is a small
+/// fraction of a moderately sized graph (the gates are the production
+/// defaults here, not the permissive test ones).
+#[test]
+fn pagerank_small_delta_takes_push_path() {
+    let net = generate(&DatasetProfile::dblp().scaled(2500), 7);
+    let delta = random_delta(&net, 1, 2, 99);
+    let new = net.with_delta(&delta).unwrap();
+    let pr = PageRank::new(0.5);
+    let mut ws = KernelWorkspace::new();
+    let previous = pr.rank_into(&net, &mut ws);
+    let ranked = pr.rank_delta(&net, &delta, &new, &previous, &mut ws);
+    assert!(
+        matches!(ranked.strategy, DeltaStrategy::Push { .. }),
+        "expected the push path under default gates, got {:?}",
+        ranked.strategy
+    );
+}
