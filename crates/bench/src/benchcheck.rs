@@ -83,8 +83,33 @@ fn field_num(seg: &str, key: &str) -> Option<f64> {
 
 /// `true` when a record belongs to the guarded regression set.
 pub fn is_guarded(r: &BenchRecord) -> bool {
-    r.group == "top_k" || r.id.starts_with("stochastic_apply")
+    r.group == "top_k"
+        || r.id.starts_with("stochastic_apply")
+        || (r.group == "store_load" && r.id.starts_with("first_topk_store"))
 }
+
+/// The cold-start speedup recorded in a report: `min_ns` of the TSV
+/// parse + full re-rank path over the snapshot-store path (both in the
+/// `store_load` group). `None` when either record is absent.
+///
+/// Unlike the absolute `min_ns` gates this is a *ratio*, so it holds
+/// across machines — `repro bench-check` fails when it drops below
+/// [`MIN_COLD_START_SPEEDUP`].
+pub fn cold_start_speedup(records: &[BenchRecord]) -> Option<f64> {
+    let find = |prefix: &str| {
+        records
+            .iter()
+            .find(|r| r.group == "store_load" && r.id.starts_with(prefix))
+            .map(|r| r.min_ns)
+    };
+    let store = find("first_topk_store")?;
+    let tsv = find("first_topk_tsv")?;
+    Some(tsv / store.max(1.0))
+}
+
+/// Acceptance floor for [`cold_start_speedup`] (ISSUE 4: ≥10× faster
+/// cold start to first `top_k` on the 200k-paper graph).
+pub const MIN_COLD_START_SPEEDUP: f64 = 10.0;
 
 /// Outcome of one guarded comparison.
 #[derive(Debug)]
@@ -155,13 +180,45 @@ mod tests {
     }
 
     #[test]
-    fn guard_covers_top_k_and_stochastic_apply_only() {
+    fn guard_covers_top_k_stochastic_apply_and_store_load() {
         let records = parse_records(BASELINE);
         let guarded: Vec<_> = records.iter().filter(|r| is_guarded(r)).collect();
         assert_eq!(guarded.len(), 2);
         assert!(guarded
             .iter()
             .all(|r| r.group == "top_k" || r.id.starts_with("stochastic_apply")));
+        // The store cold-start path is guarded; the (slow) TSV reference
+        // is not — it exists to form the speedup ratio.
+        assert!(is_guarded(&BenchRecord {
+            group: "store_load".into(),
+            id: "first_topk_store_200k".into(),
+            min_ns: 1.0,
+        }));
+        assert!(!is_guarded(&BenchRecord {
+            group: "store_load".into(),
+            id: "first_topk_tsv_200k".into(),
+            min_ns: 1.0,
+        }));
+    }
+
+    #[test]
+    fn cold_start_speedup_is_the_min_ns_ratio() {
+        let records = vec![
+            BenchRecord {
+                group: "store_load".into(),
+                id: "first_topk_store_200k".into(),
+                min_ns: 2_000_000.0,
+            },
+            BenchRecord {
+                group: "store_load".into(),
+                id: "first_topk_tsv_200k".into(),
+                min_ns: 50_000_000.0,
+            },
+        ];
+        assert_eq!(cold_start_speedup(&records), Some(25.0));
+        // Either record missing → no ratio.
+        assert_eq!(cold_start_speedup(&records[..1]), None);
+        assert_eq!(cold_start_speedup(&[]), None);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   convergence  iterations to ε ≤ 1e-12 at α = 0.5 (§4.4)
 //!   robustness   tuned comparison across 5 seeds (mean ± std, win counts)
 //!   significance paired-bootstrap CI for AR − best-competitor gaps
-//!   all          everything above (except the two statistical extras)
+//!   export       <stem>: TSV → binary snapshot store (opt. --rank SPEC)
+//!   import       <stem>: binary snapshot store → TSV
+//!   compact      <stem>: fold <stem>.wal into <stem>.store
+//!   all          everything above (except the statistical/storage extras)
 //! ```
 //!
 //! Output: aligned text tables on stdout, CSV series under `--out`
@@ -48,18 +51,22 @@ fn main() -> ExitCode {
         }
     };
     let Some(cmd) = rest.first() else {
-        eprintln!("usage: repro <subcommand> [--scale N] [--seed N] [--out DIR]");
+        eprintln!("usage: repro <subcommand> [--scale N] [--seed N] [--out DIR] [--rank SPEC]");
         eprintln!("subcommands: summary methods fig1a fig1b table1 table2 table3 table4");
         eprintln!("             fig2corr fig2ndcg fig3 fig4 fig5 convergence");
         eprintln!("             robustness significance bench-check all");
+        eprintln!("             export <stem> | import <stem> | compact <stem>");
         return ExitCode::FAILURE;
     };
 
-    // Grid-spec / tooling subcommands need no data.
+    // Grid-spec / tooling / storage subcommands need no generated data.
     match cmd.as_str() {
         "table3" => return run_table3(),
         "table4" => return run_table4(),
         "bench-check" => return run_bench_check(),
+        "export" => return run_export(&opts, rest.get(1)),
+        "import" => return run_import(rest.get(1)),
+        "compact" => return run_compact(rest.get(1)),
         _ => {}
     }
 
@@ -175,8 +182,8 @@ fn run_bench_check() -> ExitCode {
     if comparisons.is_empty() {
         eprintln!(
             "bench-check: no guarded benchmarks found under {shim_dirs:?} \
-             (expected the top_k and stochastic_apply baselines — run \
-             `cargo bench --bench kernels` and `cargo bench --bench serving`)"
+             (expected the top_k, stochastic_apply and store_load baselines — run \
+             `cargo bench --bench kernels`, `--bench serving` and `--bench store_load`)"
         );
         return ExitCode::FAILURE;
     }
@@ -196,11 +203,138 @@ fn run_bench_check() -> ExitCode {
         );
         failed |= c.regressed;
     }
+    // Cold-start ratio gate: machine-independent (store and TSV paths run
+    // on the same hardware), so it is enforced for whichever report has
+    // both `store_load` records — the committed baseline always does.
+    for (records, origin) in [(&baseline, "baseline"), (&current, "current run")] {
+        if let Some(speedup) = benchcheck::cold_start_speedup(records) {
+            let verdict = if speedup >= benchcheck::MIN_COLD_START_SPEEDUP {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>27.1}x  (floor {:.0}x)  {verdict}",
+                format!("store_load/cold_start_speedup ({origin})"),
+                speedup,
+                benchcheck::MIN_COLD_START_SPEEDUP
+            );
+        }
+    }
     if failed {
         eprintln!("bench-check: guarded benchmark regressed beyond the threshold");
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `export <stem>`: `<stem>.papers.tsv` + `<stem>.citations.tsv` →
+/// `<stem>.store`. With `--rank SPEC` the method is run once and its
+/// scores persisted as epoch 0, so the store cold-starts a server.
+fn run_export(opts: &Options, stem: Option<&String>) -> ExitCode {
+    let Some(stem) = stem else {
+        eprintln!("usage: repro export <stem> [--rank SPEC]");
+        return ExitCode::FAILURE;
+    };
+    let t0 = std::time::Instant::now();
+    let net = match citegraph::io::load(stem) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("export: cannot load TSV at {stem}.*: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = t0.elapsed();
+    let store_path = format!("{stem}.store");
+    let mut builder = graphstore::StoreBuilder::new().network(&net);
+    if let Some(spec) = &opts.rank {
+        let ranker = match rankengine::parse_and_build(spec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("export: bad --rank spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let scores = ranker.rank(&net);
+        builder = builder.epoch(spec, 0, scores.as_slice());
+    }
+    if let Err(e) = builder.write_to(&store_path) {
+        eprintln!("export: cannot write {store_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "exported {} papers / {} citations to {store_path} \
+         (TSV parse {:.1} ms, total {:.1} ms{})",
+        net.n_papers(),
+        net.n_citations(),
+        parsed.as_secs_f64() * 1e3,
+        t0.elapsed().as_secs_f64() * 1e3,
+        opts.rank
+            .as_deref()
+            .map(|s| format!(", epoch 0 scores: {s}"))
+            .unwrap_or_default()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `import <stem>`: `<stem>.store` → the two TSV files.
+fn run_import(stem: Option<&String>) -> ExitCode {
+    let Some(stem) = stem else {
+        eprintln!("usage: repro import <stem>");
+        return ExitCode::FAILURE;
+    };
+    let t0 = std::time::Instant::now();
+    let net = match graphstore::load_network(format!("{stem}.store")) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("import: cannot load {stem}.store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = citegraph::io::save(&net, stem) {
+        eprintln!("import: cannot write TSV at {stem}.*: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "imported {} papers / {} citations from {stem}.store to TSV ({:.1} ms)",
+        net.n_papers(),
+        net.n_citations(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    ExitCode::SUCCESS
+}
+
+/// `compact <stem>`: folds `<stem>.wal` into `<stem>.store`.
+fn run_compact(stem: Option<&String>) -> ExitCode {
+    let Some(stem) = stem else {
+        eprintln!("usage: repro compact <stem>");
+        return ExitCode::FAILURE;
+    };
+    match graphstore::compact(format!("{stem}.store"), format!("{stem}.wal")) {
+        Ok(r) => {
+            println!(
+                "compacted {stem}.wal into {stem}.store: {} records folded \
+                 ({} papers, {} citations), {} already-folded records skipped, \
+                 {} torn bytes discarded{}",
+                r.records_folded,
+                r.papers_added,
+                r.citations_added,
+                r.records_skipped,
+                r.truncated_bytes,
+                if r.epochs_dropped {
+                    "; stale score epochs dropped (re-run export --rank or persist_epoch)"
+                } else {
+                    ""
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("compact: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -40,6 +40,8 @@ pub struct Options {
     pub seed: u64,
     /// Output directory for CSV series.
     pub out_dir: std::path::PathBuf,
+    /// Method spec whose scores `repro export` persists as epoch 0.
+    pub rank: Option<String>,
 }
 
 impl Default for Options {
@@ -48,13 +50,14 @@ impl Default for Options {
             scale: None,
             seed: DEFAULT_SEED,
             out_dir: "results".into(),
+            rank: None,
         }
     }
 }
 
 impl Options {
-    /// Parses `--scale N`, `--seed N`, `--out DIR` from an argument list,
-    /// returning the remaining (positional) arguments.
+    /// Parses `--scale N`, `--seed N`, `--out DIR`, `--rank SPEC` from an
+    /// argument list, returning the remaining (positional) arguments.
     ///
     /// # Errors
     /// Returns a message on unknown flags or malformed values.
@@ -78,6 +81,11 @@ impl Options {
                     i += 1;
                     let v = args.get(i).ok_or("--out needs a value")?;
                     opts.out_dir = v.into();
+                }
+                "--rank" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--rank needs a method spec")?;
+                    opts.rank = Some(v.clone());
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));

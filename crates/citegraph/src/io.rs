@@ -11,11 +11,16 @@
 //! Lines starting with `#` are comments. Ids in the file are arbitrary
 //! `u32`s; loading remaps them into the canonical time-sorted id space via
 //! [`crate::NetworkBuilder`], so round-tripping normalizes order.
+//!
+//! The parser is deliberately tolerant of the files as they circulate in
+//! the wild: `\r\n` line endings, blank lines, and leading/trailing
+//! whitespace around lines and fields are all accepted. Every rejection —
+//! malformed field, duplicate id, unknown or temporally inconsistent edge —
+//! reports the 1-based line number of the offending line.
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::fs;
-use std::io;
+use std::io::{self, Write};
 use std::path::Path;
 
 use crate::builder::NetworkBuilder;
@@ -56,43 +61,69 @@ impl From<io::Error> for IoError {
     }
 }
 
-/// Serializes the papers table to TSV.
-pub fn papers_to_tsv(net: &CitationNetwork) -> String {
-    let mut out = String::new();
-    out.push_str("# id\tyear\tvenue\tauthors\n");
+/// Streams the papers table as TSV into `w`, one line at a time.
+///
+/// This is the memory-bounded export path: nothing larger than a single
+/// line is buffered here, so wrapping `w` in an [`io::BufWriter`] (as
+/// [`save`] does) bounds peak memory by the writer's buffer rather than
+/// the whole corpus.
+pub fn write_papers_tsv<W: Write>(net: &CitationNetwork, w: &mut W) -> io::Result<()> {
+    writeln!(w, "# id\tyear\tvenue\tauthors")?;
     for p in 0..net.n_papers() as u32 {
-        let venue = net
-            .venues()
-            .and_then(|v| v.venue_of(p))
-            .map_or("-".to_string(), |v| v.to_string());
-        let authors = net.authors().map_or(String::new(), |a| {
-            a.authors_of(p)
-                .iter()
-                .map(|x| x.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        });
-        writeln!(out, "{p}\t{}\t{venue}\t{authors}", net.year(p)).expect("string write");
+        write!(w, "{p}\t{}\t", net.year(p))?;
+        match net.venues().and_then(|v| v.venue_of(p)) {
+            Some(v) => write!(w, "{v}")?,
+            None => w.write_all(b"-")?,
+        }
+        w.write_all(b"\t")?;
+        if let Some(a) = net.authors() {
+            for (i, author) in a.authors_of(p).iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write!(w, "{author}")?;
+            }
+        }
+        w.write_all(b"\n")?;
     }
-    out
+    Ok(())
 }
 
-/// Serializes the edge list to TSV.
-pub fn citations_to_tsv(net: &CitationNetwork) -> String {
-    let mut out = String::new();
-    out.push_str("# citing\tcited\n");
+/// Streams the edge list as TSV into `w` (memory-bounded like
+/// [`write_papers_tsv`]).
+pub fn write_citations_tsv<W: Write>(net: &CitationNetwork, w: &mut W) -> io::Result<()> {
+    writeln!(w, "# citing\tcited")?;
     for citing in 0..net.n_papers() as u32 {
         for &cited in net.references(citing) {
-            writeln!(out, "{citing}\t{cited}").expect("string write");
+            writeln!(w, "{citing}\t{cited}")?;
         }
     }
-    out
+    Ok(())
+}
+
+/// Serializes the papers table to an in-memory TSV string (convenience
+/// over [`write_papers_tsv`]; prefer the streaming form for large graphs).
+pub fn papers_to_tsv(net: &CitationNetwork) -> String {
+    let mut out = Vec::new();
+    write_papers_tsv(net, &mut out).expect("in-memory write");
+    String::from_utf8(out).expect("TSV output is ASCII")
+}
+
+/// Serializes the edge list to an in-memory TSV string (convenience over
+/// [`write_citations_tsv`]).
+pub fn citations_to_tsv(net: &CitationNetwork) -> String {
+    let mut out = Vec::new();
+    write_citations_tsv(net, &mut out).expect("in-memory write");
+    String::from_utf8(out).expect("TSV output is ASCII")
 }
 
 /// Parses the two TSV documents into a network.
 pub fn from_tsv(papers: &str, citations: &str) -> Result<CitationNetwork, IoError> {
     let mut builder = NetworkBuilder::new();
     let mut id_map: HashMap<u32, u32> = HashMap::new();
+    // Year per internal (insertion-order) id — lets the citation loop
+    // report temporal violations with the offending line number.
+    let mut years: Vec<i32> = Vec::new();
 
     for (lineno, line) in papers.lines().enumerate() {
         let line = line.trim();
@@ -136,6 +167,8 @@ pub fn from_tsv(papers: &str, citations: &str) -> Result<CitationNetwork, IoErro
         } else {
             builder.add_paper_with_metadata(year, authors, venue)
         };
+        debug_assert_eq!(internal as usize, years.len());
+        years.push(year);
         id_map.insert(id, internal);
     }
 
@@ -144,18 +177,31 @@ pub fn from_tsv(papers: &str, citations: &str) -> Result<CitationNetwork, IoErro
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let at_line = |message: String| IoError::Parse {
+            line: lineno + 1,
+            message,
+        };
         let mut fields = line.split('\t');
-        let citing: u32 = parse_field(fields.next(), lineno + 1, "citing id")?;
-        let cited: u32 = parse_field(fields.next(), lineno + 1, "cited id")?;
+        let citing_ext: u32 = parse_field(fields.next(), lineno + 1, "citing id")?;
+        let cited_ext: u32 = parse_field(fields.next(), lineno + 1, "cited id")?;
         let &citing = id_map
-            .get(&citing)
-            .ok_or_else(|| IoError::Invalid(format!("citation from unknown paper {citing}")))?;
+            .get(&citing_ext)
+            .ok_or_else(|| at_line(format!("citation from unknown paper {citing_ext}")))?;
         let &cited = id_map
-            .get(&cited)
-            .ok_or_else(|| IoError::Invalid(format!("citation to unknown paper {cited}")))?;
+            .get(&cited_ext)
+            .ok_or_else(|| at_line(format!("citation to unknown paper {cited_ext}")))?;
+        // The builder's temporal check only fires at build(), where line
+        // numbers are gone — check here so the error points at the edge.
+        let (citing_year, cited_year) = (years[citing as usize], years[cited as usize]);
+        if cited_year > citing_year {
+            return Err(at_line(format!(
+                "paper {citing_ext} ({citing_year}) cites paper {cited_ext} \
+                 published later ({cited_year})"
+            )));
+        }
         builder
             .add_citation(citing, cited)
-            .map_err(|e| IoError::Invalid(e.to_string()))?;
+            .map_err(|e| at_line(e.to_string()))?;
     }
 
     builder.build().map_err(|e| IoError::Invalid(e.to_string()))
@@ -177,10 +223,17 @@ fn parse_field<T: std::str::FromStr>(
 }
 
 /// Writes a network to `<stem>.papers.tsv` and `<stem>.citations.tsv`.
+///
+/// Output is streamed through a buffered writer — exporting a
+/// multi-million-edge corpus never materializes the document in memory.
 pub fn save<P: AsRef<Path>>(net: &CitationNetwork, stem: P) -> Result<(), IoError> {
     let stem = stem.as_ref();
-    fs::write(with_suffix(stem, ".papers.tsv"), papers_to_tsv(net))?;
-    fs::write(with_suffix(stem, ".citations.tsv"), citations_to_tsv(net))?;
+    let mut papers = io::BufWriter::new(fs::File::create(with_suffix(stem, ".papers.tsv"))?);
+    write_papers_tsv(net, &mut papers)?;
+    papers.flush()?;
+    let mut citations = io::BufWriter::new(fs::File::create(with_suffix(stem, ".citations.tsv"))?);
+    write_citations_tsv(net, &mut citations)?;
+    citations.flush()?;
     Ok(())
 }
 
@@ -267,10 +320,12 @@ mod tests {
     }
 
     #[test]
-    fn unknown_citation_target_rejected() {
+    fn unknown_citation_target_rejected_with_line() {
         let papers = "0\t2000\t-\t\n";
-        let err = from_tsv(papers, "0\t7\n").unwrap_err();
-        assert!(err.to_string().contains("unknown paper 7"));
+        let err = from_tsv(papers, "# header\n0\t7\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown paper 7"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
     }
 
     #[test]
@@ -283,11 +338,105 @@ mod tests {
     }
 
     #[test]
-    fn temporal_violation_rejected() {
+    fn temporal_violation_rejected_with_line() {
         let papers = "0\t2005\t-\t\n1\t2000\t-\t\n";
         // paper 1 (2000) is cited BY nothing; paper 0 (2005) cited by 1 → future citation
         let err = from_tsv(papers, "1\t0\n").unwrap_err();
-        assert!(err.to_string().contains("published later"));
+        let msg = err.to_string();
+        assert!(msg.contains("published later"), "{msg}");
+        assert!(msg.contains("line 1"), "{msg}");
+        // External ids (not remapped internal ones) appear in the message.
+        let err = from_tsv("10\t2005\t-\t\n20\t2000\t-\t\n", "\n20\t10\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("20") && msg.contains("10"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn self_citation_rejected_with_line() {
+        let err = from_tsv("0\t2000\t-\t\n", "0\t0\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cites itself"), "{msg}");
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let papers = "# header\r\n0\t2000\t-\t\r\n1\t2001\t0\t3,4\r\n";
+        let citations = "# header\r\n1\t0\r\n";
+        let net = from_tsv(papers, citations).unwrap();
+        assert_eq!(net.n_papers(), 2);
+        assert_eq!(net.n_citations(), 1);
+        assert_eq!(net.venues().unwrap().venue_of(1), Some(0));
+        assert_eq!(net.authors().unwrap().authors_of(1), &[3, 4]);
+    }
+
+    #[test]
+    fn trailing_whitespace_accepted() {
+        let papers = "0\t2000\t-\t  \n 1 \t 2001 \t 0 \t 3 , 4 \n";
+        let citations = " 1 \t 0  \n";
+        let net = from_tsv(papers, citations).unwrap();
+        assert_eq!(net.n_papers(), 2);
+        assert_eq!(net.n_citations(), 1);
+        assert_eq!(net.authors().unwrap().authors_of(1), &[3, 4]);
+    }
+
+    #[test]
+    fn duplicate_id_reports_offending_line() {
+        // Line 1 is a comment, line 3 repeats the id from line 2.
+        let papers = "# header\n7\t2000\t-\t\n7\t2001\t-\t\n";
+        let err = from_tsv(papers, "").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("duplicate paper id 7"), "{msg}");
+    }
+
+    #[test]
+    fn missing_fields_report_line_and_field() {
+        let err = from_tsv("0\n", "").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("year"), "{msg}");
+
+        let err = from_tsv("0\t2000\t-\t\n", "0\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("cited id"), "{msg}");
+    }
+
+    #[test]
+    fn bad_venue_reports_line() {
+        let err = from_tsv("0\t2000\tMAIN\t\n", "").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("venue"), "{msg}");
+    }
+
+    #[test]
+    fn bad_author_reports_line() {
+        let err = from_tsv("# x\n0\t2000\t-\talice\n", "").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("author"), "{msg}");
+    }
+
+    #[test]
+    fn bad_citing_id_reports_line() {
+        let err = from_tsv("0\t2000\t-\t\n", "x\t0\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("citing id"), "{msg}");
+    }
+
+    #[test]
+    fn streaming_writers_match_string_serializers() {
+        let net = sample();
+        let mut papers = Vec::new();
+        write_papers_tsv(&net, &mut papers).unwrap();
+        assert_eq!(String::from_utf8(papers).unwrap(), papers_to_tsv(&net));
+        let mut cites = Vec::new();
+        write_citations_tsv(&net, &mut cites).unwrap();
+        assert_eq!(String::from_utf8(cites).unwrap(), citations_to_tsv(&net));
     }
 
     #[test]

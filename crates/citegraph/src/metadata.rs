@@ -105,6 +105,59 @@ impl AuthorTable {
         &self.rev_paper_ids[self.rev_offsets[a]..self.rev_offsets[a + 1]]
     }
 
+    /// The flat paper→author offset array (length `n_papers + 1`):
+    /// `offsets()[p]..offsets()[p+1]` indexes [`Self::flat_author_ids`].
+    /// With it, the snapshot store serializes the table as two raw arrays.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat author-id array, papers concatenated in id order.
+    pub fn flat_author_ids(&self) -> &[AuthorId] {
+        &self.author_ids
+    }
+
+    /// Rebuilds a table from the flat arrays of [`Self::offsets`] /
+    /// [`Self::flat_author_ids`] (the snapshot store's load path). The
+    /// author→papers inverse is recomputed, so a round-trip is exact.
+    ///
+    /// # Errors
+    /// Returns a description when the offsets are empty, don't start at 0,
+    /// decrease, overrun `author_ids`, or an author id is `>= n_authors`.
+    pub fn from_flat(
+        offsets: Vec<usize>,
+        author_ids: Vec<AuthorId>,
+        n_authors: usize,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("author offsets empty (need n_papers + 1 entries)".into());
+        }
+        if offsets[0] != 0 {
+            return Err("author offsets do not start at 0".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("author offsets decrease".into());
+        }
+        if *offsets.last().expect("non-empty") != author_ids.len() {
+            return Err(format!(
+                "author offsets end at {} but there are {} author ids",
+                offsets.last().expect("non-empty"),
+                author_ids.len()
+            ));
+        }
+        if let Some(&a) = author_ids.iter().find(|&&a| a as usize >= n_authors) {
+            return Err(format!("author id {a} out of range {n_authors}"));
+        }
+        let (rev_offsets, rev_paper_ids) = Self::invert(&offsets, &author_ids, n_authors);
+        Ok(Self {
+            offsets,
+            author_ids,
+            rev_offsets,
+            rev_paper_ids,
+            n_authors,
+        })
+    }
+
     /// Restricts the table to the first `k` papers (author id space is kept
     /// so ids remain comparable across snapshots).
     pub fn prefix(&self, k: usize) -> AuthorTable {
@@ -145,6 +198,12 @@ impl VenueTable {
     /// Venue of paper `p`, if known.
     pub fn venue_of(&self, p: PaperId) -> Option<VenueId> {
         self.venue[p as usize]
+    }
+
+    /// The per-paper assignment slots, indexed by paper id (what the
+    /// snapshot store serializes, with `None` as a `u32::MAX` sentinel).
+    pub fn slots(&self) -> &[Option<VenueId>] {
+        &self.venue
     }
 
     /// Papers at venue `v` (linear scan; used only at experiment setup).
@@ -222,6 +281,33 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn author_out_of_range_panics() {
         AuthorTable::new(&[vec![5]], 3);
+    }
+
+    #[test]
+    fn flat_roundtrip_is_exact() {
+        let t = sample_authors();
+        let back = AuthorTable::from_flat(
+            t.offsets().to_vec(),
+            t.flat_author_ids().to_vec(),
+            t.n_authors(),
+        )
+        .unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn flat_validation_rejects_corruption() {
+        assert!(AuthorTable::from_flat(vec![], vec![], 1).is_err());
+        assert!(AuthorTable::from_flat(vec![1, 1], vec![0], 1).is_err());
+        assert!(AuthorTable::from_flat(vec![0, 2, 1], vec![0, 0], 1).is_err());
+        assert!(AuthorTable::from_flat(vec![0, 3], vec![0, 0], 1).is_err());
+        assert!(AuthorTable::from_flat(vec![0, 1], vec![9], 3).is_err());
+    }
+
+    #[test]
+    fn venue_slots_expose_assignment() {
+        let t = VenueTable::new(vec![Some(0), None], 1);
+        assert_eq!(t.slots(), &[Some(0), None]);
     }
 
     #[test]

@@ -39,6 +39,51 @@ pub struct CitationNetwork {
     operator: OnceLock<CitationOperator>,
 }
 
+/// Why raw network parts were rejected by
+/// [`CitationNetwork::from_store_parts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartsError {
+    /// Component lengths disagree (`refs` shape vs `years`, metadata table
+    /// sizes).
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// `years` is not non-decreasing — "paper id order = time order" is
+    /// the invariant every snapshot and delta relies on.
+    UnsortedYears {
+        /// First offending paper id (its year precedes its predecessor's).
+        id: PaperId,
+    },
+    /// An edge points forward in time (a paper citing a strictly later
+    /// one) or at itself.
+    InvalidEdge {
+        /// The citing paper.
+        citing: PaperId,
+        /// The cited paper.
+        cited: PaperId,
+    },
+}
+
+impl std::fmt::Display for PartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartsError::ShapeMismatch { message } => write!(f, "shape mismatch: {message}"),
+            PartsError::UnsortedYears { id } => {
+                write!(f, "years not sorted: paper {id} precedes its predecessor")
+            }
+            PartsError::InvalidEdge { citing, cited } => {
+                write!(
+                    f,
+                    "invalid edge {citing} -> {cited} (self or future citation)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartsError {}
+
 impl CitationNetwork {
     /// Assembles a network from already-validated parts. Crate-internal;
     /// external construction goes through [`crate::NetworkBuilder`].
@@ -63,6 +108,64 @@ impl CitationNetwork {
             venues,
             operator: OnceLock::new(),
         }
+    }
+
+    /// Rebuilds a network from raw parts, re-validating every invariant
+    /// the builder normally guarantees — the snapshot store's load path.
+    ///
+    /// Unlike [`crate::NetworkBuilder`], ids are taken as-is (no re-sort,
+    /// no remap): `years` must already be non-decreasing and `refs` row
+    /// `j` must list only papers with `year ≤ year(j)`, `j` excluded.
+    /// Validation is `O(V + E)` integer comparisons — orders of magnitude
+    /// cheaper than re-parsing text, but strong enough that a corrupted
+    /// snapshot cannot smuggle in a state the solvers would misbehave on.
+    /// The citers transpose is rebuilt (not loaded), so a round-tripped
+    /// network is structurally identical to the one that was saved.
+    pub fn from_store_parts(
+        years: Vec<Year>,
+        refs: sparsela::Csr,
+        authors: Option<AuthorTable>,
+        venues: Option<VenueTable>,
+    ) -> Result<Self, PartsError> {
+        let n = years.len();
+        if refs.nrows() != n || refs.ncols() != n {
+            return Err(PartsError::ShapeMismatch {
+                message: format!(
+                    "refs is {}x{} but there are {n} papers",
+                    refs.nrows(),
+                    refs.ncols()
+                ),
+            });
+        }
+        if let Some(a) = &authors {
+            if a.n_papers() != n {
+                return Err(PartsError::ShapeMismatch {
+                    message: format!("author table covers {} of {n} papers", a.n_papers()),
+                });
+            }
+        }
+        if let Some(v) = &venues {
+            if v.n_papers() != n {
+                return Err(PartsError::ShapeMismatch {
+                    message: format!("venue table covers {} of {n} papers", v.n_papers()),
+                });
+            }
+        }
+        if let Some(w) = years.windows(2).position(|w| w[0] > w[1]) {
+            return Err(PartsError::UnsortedYears {
+                id: (w + 1) as PaperId,
+            });
+        }
+        for citing in 0..n as u32 {
+            for &cited in refs.row(citing) {
+                // Column bounds were validated by the Csr constructor;
+                // here we enforce the temporal contract.
+                if cited == citing || years[cited as usize] > years[citing as usize] {
+                    return Err(PartsError::InvalidEdge { citing, cited });
+                }
+            }
+        }
+        Ok(Self::from_parts(years, refs, authors, venues))
     }
 
     /// Number of papers `|P|`.
@@ -299,5 +402,53 @@ mod tests {
     fn citation_counts_vector() {
         let net = small();
         assert_eq!(net.citation_counts(), vec![3, 2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn store_parts_roundtrip_is_identical() {
+        let net = small();
+        let back = CitationNetwork::from_store_parts(
+            net.years().to_vec(),
+            net.refs_csr().clone(),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(back.years(), net.years());
+        for p in 0..net.n_papers() as u32 {
+            assert_eq!(back.references(p), net.references(p));
+            assert_eq!(back.citations(p), net.citations(p));
+        }
+    }
+
+    #[test]
+    fn store_parts_validation() {
+        use sparsela::Csr;
+        let refs = Csr::from_edges(3, 3, &[(1, 0)]);
+        // Shape mismatch: 2 years, 3x3 refs.
+        assert!(matches!(
+            CitationNetwork::from_store_parts(vec![1990, 1991], refs.clone(), None, None),
+            Err(PartsError::ShapeMismatch { .. })
+        ));
+        // Unsorted years.
+        assert!(matches!(
+            CitationNetwork::from_store_parts(vec![1992, 1991, 1993], refs.clone(), None, None),
+            Err(PartsError::UnsortedYears { id: 1 })
+        ));
+        // Future citation: paper 0 (1990) citing paper 1 (1991).
+        let fwd = Csr::from_edges(2, 2, &[(0, 1)]);
+        assert!(matches!(
+            CitationNetwork::from_store_parts(vec![1990, 1991], fwd, None, None),
+            Err(PartsError::InvalidEdge {
+                citing: 0,
+                cited: 1
+            })
+        ));
+        // Metadata table of the wrong size.
+        let authors = crate::metadata::AuthorTable::new(&[vec![0]], 1);
+        assert!(matches!(
+            CitationNetwork::from_store_parts(vec![1990, 1991, 1992], refs, Some(authors), None),
+            Err(PartsError::ShapeMismatch { .. })
+        ));
     }
 }

@@ -17,10 +17,13 @@
 //! versus a cold solve — the incremental path the paper's monitoring
 //! use-case (§1) calls for.
 
+use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::thread;
 
 use attrank::{AttRankParams, IncrementalAttRank};
 use citegraph::{CitationNetwork, DeltaError, DeltaStrategy, GraphDelta, PaperId, Year};
+use graphstore::{DeltaWal, Store, StoreBuilder, StoreError};
 use sparsela::{top_k_indices, KernelWorkspace, ScoreVec};
 
 use crate::registry::{self, BoxedRanker};
@@ -43,6 +46,9 @@ pub enum RerankStrategy {
         /// full solve).
         edge_work: u64,
     },
+    /// Scores restored verbatim from a persisted snapshot store at
+    /// engine start — no solve has run in this process yet.
+    Restored,
 }
 
 impl From<DeltaStrategy> for RerankStrategy {
@@ -51,6 +57,52 @@ impl From<DeltaStrategy> for RerankStrategy {
             DeltaStrategy::Full => RerankStrategy::Full,
             DeltaStrategy::Push { pushes, edge_work } => RerankStrategy::Push { pushes, edge_work },
         }
+    }
+}
+
+/// Unified engine error: delta validation, persistence, and restore
+/// failures.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A delta batch failed validation (the engine state is untouched).
+    Delta(DeltaError),
+    /// The snapshot store or WAL failed (I/O, corruption, format).
+    Store(StoreError),
+    /// A persisted method spec failed to parse or validate.
+    Spec(SpecError),
+    /// The store/engine state cannot support the requested restore or
+    /// persist (e.g. a snapshot with no score epoch).
+    Restore(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Delta(e) => write!(f, "delta rejected: {e}"),
+            EngineError::Store(e) => write!(f, "store failure: {e}"),
+            EngineError::Spec(e) => write!(f, "method spec: {e}"),
+            EngineError::Restore(m) => write!(f, "restore: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DeltaError> for EngineError {
+    fn from(e: DeltaError) -> Self {
+        EngineError::Delta(e)
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+impl From<SpecError> for EngineError {
+    fn from(e: SpecError) -> Self {
+        EngineError::Spec(e)
     }
 }
 
@@ -230,6 +282,21 @@ struct WriterState {
     /// path seeds from. Cleared when a solve is rejected (stale scores
     /// must not seed a push against a newer network).
     previous: Option<Arc<EpochSnapshot>>,
+    /// Durability log: when attached, every accepted ingest is appended
+    /// (and fsynced) *before* it is staged.
+    wal: Option<DeltaWal>,
+    /// Sequence number of the next ingested batch. The invariant behind
+    /// snapshot/WAL coordination: the staged (unpublished) batches are
+    /// exactly the WAL records with `seq ∈ [next_seq − pending_batches,
+    /// next_seq)`, so a persisted snapshot's watermark is
+    /// `next_seq − pending_batches`.
+    next_seq: u64,
+    /// `true` while [`RankingEngine::open_from_store`]'s background
+    /// warmup is still replaying WAL batches. New ingests are rejected
+    /// until it clears: delta ids are assigned by staging order, so a
+    /// fresh batch interleaved into the replay would silently shift the
+    /// id space the remaining replayed batches resolve against.
+    restoring: bool,
 }
 
 /// Concurrent ranking server over one citation network.
@@ -254,15 +321,7 @@ impl RankingEngine {
         spec: &MethodSpec,
         policy: RerankPolicy,
     ) -> Result<Self, SpecError> {
-        spec.validate()?;
-        let mut ranker = match *spec {
-            // AttRank gets the warm-started incremental solver; the params
-            // were just validated so the unwrap cannot fire.
-            MethodSpec::AttRank { alpha, beta, y, w } => EngineRanker::Incremental(Box::new(
-                IncrementalAttRank::new(AttRankParams::new(alpha, beta, y, w)?),
-            )),
-            _ => EngineRanker::Batch(registry::build(spec)?),
-        };
+        let mut ranker = Self::make_ranker(spec)?;
         let mut workspace = KernelWorkspace::new();
         let scores = ranker.rank_full(&net, &mut workspace);
         let snapshot = Self::freeze(0, &net, scores, RerankStrategy::Initial);
@@ -278,8 +337,24 @@ impl RankingEngine {
                 pending_batches: 0,
                 next_epoch: 1,
                 previous,
+                wal: None,
+                next_seq: 0,
+                restoring: false,
             }),
             published: RwLock::new(snapshot),
+        })
+    }
+
+    /// Builds the configured ranker from a validated spec.
+    fn make_ranker(spec: &MethodSpec) -> Result<EngineRanker, SpecError> {
+        spec.validate()?;
+        Ok(match *spec {
+            // AttRank gets the warm-started incremental solver; the params
+            // were just validated so the unwrap cannot fire.
+            MethodSpec::AttRank { alpha, beta, y, w } => EngineRanker::Incremental(Box::new(
+                IncrementalAttRank::new(AttRankParams::new(alpha, beta, y, w)?),
+            )),
+            _ => EngineRanker::Batch(registry::build(spec)?),
         })
     }
 
@@ -332,12 +407,42 @@ impl RankingEngine {
     /// when a publish actually happens — a deferred-publish policy fed many
     /// small batches pays one rebuild per epoch, not one per batch.
     ///
+    /// With a WAL attached ([`Self::attach_wal`] /
+    /// [`Self::open_from_store`]), the validated batch is appended to the
+    /// log — fsynced — *before* it is staged, so an acknowledged ingest
+    /// survives a crash and is replayed on the next
+    /// [`Self::open_from_store`].
+    ///
     /// # Errors
-    /// Returns the delta validation error; the engine state is untouched on
-    /// failure.
-    pub fn ingest(&self, delta: &GraphDelta) -> Result<IngestReport, DeltaError> {
+    /// Returns the delta validation error (or the WAL append failure);
+    /// the engine state is untouched on failure.
+    pub fn ingest(&self, delta: &GraphDelta) -> Result<IngestReport, EngineError> {
+        let mut state = self.writer.lock().expect("writer lock poisoned");
+        if state.restoring {
+            return Err(EngineError::Restore(
+                "warm-restart replay in progress; wait on ColdStart before ingesting".into(),
+            ));
+        }
+        state.net.validate_delta(&state.staged, delta)?;
+        let seq = state.next_seq;
+        if let Some(wal) = state.wal.as_mut() {
+            wal.append(seq, delta)?;
+        }
+        state.next_seq += 1;
+        Ok(self.stage_locked(&mut state, delta))
+    }
+
+    /// The replay variant of [`Self::ingest`]: the batch came *from* the
+    /// WAL, so it is not re-appended and `next_seq` (already advanced by
+    /// recovery) stays put.
+    fn ingest_replayed(&self, delta: &GraphDelta) -> Result<IngestReport, EngineError> {
         let mut state = self.writer.lock().expect("writer lock poisoned");
         state.net.validate_delta(&state.staged, delta)?;
+        Ok(self.stage_locked(&mut state, delta))
+    }
+
+    /// Stages a validated batch and publishes if the policy fires.
+    fn stage_locked(&self, state: &mut WriterState, delta: &GraphDelta) -> IngestReport {
         state.staged.merge(delta);
         state.pending_batches += 1;
         let mut published = false;
@@ -345,14 +450,14 @@ impl RankingEngine {
             .policy
             .should_publish(state.staged.n_citations(), state.pending_batches)
         {
-            published = self.publish_locked(&mut state);
+            published = self.publish_locked(state);
         }
-        Ok(IngestReport {
+        IngestReport {
             epoch: state.next_epoch - 1,
             published,
             pending_edges: state.staged.n_citations(),
             pending_batches: state.pending_batches,
-        })
+        }
     }
 
     /// Forces a re-rank (folding in any staged ingests) and publishes the
@@ -368,6 +473,192 @@ impl RankingEngine {
     pub fn pending(&self) -> (usize, usize) {
         let state = self.writer.lock().expect("writer lock poisoned");
         (state.staged.n_citations(), state.pending_batches)
+    }
+
+    /// Attaches a durability WAL at `path` (creating it if absent, and
+    /// recovering/truncating a torn tail). From here on every accepted
+    /// [`Self::ingest`] is fsynced to the log before it is staged.
+    ///
+    /// The engine's batch sequence counter fast-forwards past any
+    /// records already in the log, so attach → ingest → crash →
+    /// [`Self::open_from_store`] replays each batch exactly once.
+    /// Returns the number of records already in the log (batches a
+    /// previous process wrote; they are *not* applied here — restoring
+    /// state from disk is [`Self::open_from_store`]'s job).
+    pub fn attach_wal<P: AsRef<Path>>(&self, path: P) -> Result<usize, EngineError> {
+        let (wal, recovery) = DeltaWal::open(path)?;
+        let mut state = self.writer.lock().expect("writer lock poisoned");
+        // The watermark arithmetic assumes the staged batches are exactly
+        // the logged records [next_seq − pending_batches, next_seq);
+        // batches staged before the log existed would break it — a later
+        // persist would record a watermark covering never-logged batches.
+        if state.pending_batches > 0 {
+            return Err(EngineError::Restore(format!(
+                "{} staged batch(es) predate the WAL; rerank() to publish them before attaching",
+                state.pending_batches
+            )));
+        }
+        state.next_seq = state.next_seq.max(recovery.next_seq());
+        state.wal = Some(wal);
+        Ok(recovery.records.len())
+    }
+
+    /// Persists the current network and published epoch to a snapshot
+    /// store at `path` (atomic temp-file + rename write; see
+    /// `graphstore`). Returns the persisted epoch number.
+    ///
+    /// The snapshot records the WAL watermark of the first *staged*
+    /// (unpublished) batch, so [`Self::open_from_store`] replays exactly
+    /// the log records the snapshot does not already contain — a crash
+    /// at any point between a persist and a WAL truncation is safe.
+    ///
+    /// # Errors
+    /// [`EngineError::Restore`] when the last solve was rejected
+    /// (non-finite scores): the published epoch would not match the
+    /// current network. Call [`Self::rerank`] first.
+    pub fn persist_epoch<P: AsRef<Path>>(&self, path: P) -> Result<u64, EngineError> {
+        let mut state = self.writer.lock().expect("writer lock poisoned");
+        // Mid-replay the network holds only a prefix of the log, yet
+        // next_seq is already fast-forwarded past all of it: persisting
+        // now would record a too-high watermark and (with nothing
+        // staged) truncate acknowledged, un-replayed batches away.
+        if state.restoring {
+            return Err(EngineError::Restore(
+                "warm-restart replay in progress; wait on ColdStart before persisting".into(),
+            ));
+        }
+        let snap = state.previous.clone().ok_or_else(|| {
+            EngineError::Restore(
+                "no published epoch consistent with the current network \
+                 (the last solve was rejected); rerank before persisting"
+                    .into(),
+            )
+        })?;
+        let watermark = state.next_seq - state.pending_batches as u64;
+        StoreBuilder::new()
+            .network(&state.net)
+            .epoch(&self.method, snap.epoch(), snap.scores().as_slice())
+            .wal_watermark(watermark)
+            .write_to(path)?;
+        // With nothing staged, every WAL record is now folded into the
+        // snapshot — truncate the log so it does not grow without bound
+        // (this is the online compaction; the crash window between the
+        // two writes is covered by the watermark). A staged remainder
+        // keeps the log: its records are the snapshot's replay set.
+        if state.pending_batches == 0 {
+            if let Some(wal) = state.wal.as_mut() {
+                wal.truncate()?;
+            }
+        }
+        Ok(snap.epoch())
+    }
+
+    /// Cold-starts an engine from a persisted snapshot (and optional
+    /// WAL): the stored epoch is published **immediately** — readers get
+    /// `top_k` answers after one file read, no solve — while a background
+    /// warmup thread replays the un-compacted WAL batches through the
+    /// configured ranker's `rank_delta` path and, when there was nothing
+    /// to replay, refreshes the restored epoch with one full background
+    /// re-rank.
+    ///
+    /// The WAL (when given) is attached for durable ingests going
+    /// forward. Reads are safe immediately; hold off on *writes*
+    /// ([`Self::ingest`] / [`Self::rerank`]) until [`ColdStart::wait`]
+    /// returns, so replayed batches keep their original order.
+    pub fn open_from_store<P: AsRef<Path>, Q: AsRef<Path>>(
+        store_path: P,
+        wal_path: Option<Q>,
+        policy: RerankPolicy,
+    ) -> Result<ColdStart, EngineError> {
+        let store = Store::open(store_path)?;
+        let (spec, epoch, scores) = {
+            let epochs = store.epochs();
+            let restored = epochs.first().ok_or_else(|| {
+                EngineError::Restore(
+                    "snapshot holds no score epoch (write one with persist_epoch)".into(),
+                )
+            })?;
+            let spec: MethodSpec = restored.spec.parse()?;
+            (
+                spec,
+                restored.epoch,
+                ScoreVec::from_vec(restored.scores.to_vec()),
+            )
+        };
+        let watermark = store.wal_watermark().unwrap_or(0);
+        let net = store.to_network()?;
+        let ranker = Self::make_ranker(&spec)?;
+        let snapshot = Self::freeze(epoch, &net, scores, RerankStrategy::Restored);
+        let engine = Arc::new(Self {
+            method: spec.to_string(),
+            policy,
+            writer: Mutex::new(WriterState {
+                net,
+                ranker,
+                workspace: KernelWorkspace::new(),
+                staged: GraphDelta::new(),
+                pending_batches: 0,
+                next_epoch: epoch + 1,
+                previous: Some(snapshot.clone()),
+                wal: None,
+                next_seq: watermark,
+                // Cleared by the warmup thread once replay is done; until
+                // then new ingests are rejected so replayed batches keep
+                // their original id assignment.
+                restoring: true,
+            }),
+            published: RwLock::new(snapshot),
+        });
+
+        let mut replay: Vec<GraphDelta> = Vec::new();
+        if let Some(wal_path) = wal_path {
+            let (wal, recovery) = DeltaWal::open(wal_path)?;
+            let mut state = engine.writer.lock().expect("writer lock poisoned");
+            state.next_seq = recovery.next_seq().max(watermark);
+            state.wal = Some(wal);
+            // Only records past the snapshot's watermark are missing
+            // from the restored network.
+            replay = recovery
+                .records
+                .into_iter()
+                .filter(|r| r.seq >= watermark)
+                .map(|r| r.delta)
+                .collect();
+        }
+
+        let worker = engine.clone();
+        let warmup = thread::spawn(move || {
+            let mut replayed = 0usize;
+            let mut rejected = 0usize;
+            for delta in &replay {
+                match worker.ingest_replayed(delta) {
+                    Ok(_) => replayed += 1,
+                    Err(_) => rejected += 1,
+                }
+            }
+            worker
+                .writer
+                .lock()
+                .expect("writer lock poisoned")
+                .restoring = false;
+            if worker.pending() != (0, 0) {
+                // Deferred-publish policies: fold the replayed batches in.
+                worker.rerank();
+            } else if replayed == 0 {
+                // Nothing to replay — refresh the restored epoch with one
+                // full solve so serving state is provably current.
+                worker.rerank();
+            }
+            WarmupReport {
+                replayed,
+                rejected,
+                final_epoch: worker.snapshot().epoch(),
+            }
+        });
+        Ok(ColdStart {
+            engine,
+            warmup: Some(warmup),
+        })
     }
 
     /// Folds staged deltas into the network, re-ranks (push when the
@@ -431,6 +722,46 @@ impl RankingEngine {
             scores,
             positions: OnceLock::new(),
         })
+    }
+}
+
+/// What the background warmup of [`RankingEngine::open_from_store`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmupReport {
+    /// WAL batches replayed through `rank_delta`.
+    pub replayed: usize,
+    /// WAL batches the validator rejected (a corrupt-but-checksummed log
+    /// or a snapshot/WAL mismatch; the engine keeps serving either way).
+    pub rejected: usize,
+    /// Epoch visible to readers after warmup.
+    pub final_epoch: u64,
+}
+
+/// A warm-restarting engine: the restored epoch serves reads
+/// immediately, while a background thread replays the WAL and re-ranks.
+pub struct ColdStart {
+    engine: Arc<RankingEngine>,
+    warmup: Option<thread::JoinHandle<WarmupReport>>,
+}
+
+impl ColdStart {
+    /// The engine, serving the restored epoch (readable immediately).
+    pub fn engine(&self) -> Arc<RankingEngine> {
+        self.engine.clone()
+    }
+
+    /// Blocks until the background warmup finishes, returning the engine
+    /// and what the warmup did.
+    pub fn wait(mut self) -> (Arc<RankingEngine>, WarmupReport) {
+        let report = match self.warmup.take() {
+            Some(handle) => handle.join().expect("warmup thread panicked"),
+            None => WarmupReport {
+                replayed: 0,
+                rejected: 0,
+                final_epoch: self.engine.snapshot().epoch(),
+            },
+        };
+        (self.engine, report)
     }
 }
 
@@ -593,6 +924,40 @@ mod tests {
         let engine = RankingEngine::from_config(base_net(), "cc", RerankPolicy::Manual).unwrap();
         engine.rerank();
         assert_eq!(engine.snapshot().strategy(), RerankStrategy::Full);
+    }
+
+    #[test]
+    fn ingest_is_rejected_while_restoring() {
+        let engine =
+            RankingEngine::from_config(base_net(), "cc", RerankPolicy::EveryBatch).unwrap();
+        engine
+            .writer
+            .lock()
+            .expect("writer lock poisoned")
+            .restoring = true;
+        // Writes are gated until the warmup clears the flag…
+        assert!(matches!(
+            engine.ingest(&growth_delta(10, 2011)),
+            Err(EngineError::Restore(_))
+        ));
+        // …as is persisting (the watermark would cover un-replayed
+        // batches and truncate them out of the WAL)…
+        let path = std::env::temp_dir().join(format!(
+            "rankengine_restore_gate-{}.store",
+            std::process::id()
+        ));
+        assert!(matches!(
+            engine.persist_epoch(&path),
+            Err(EngineError::Restore(_))
+        ));
+        // …but reads keep serving the restored epoch.
+        assert_eq!(engine.snapshot().epoch(), 0);
+        engine
+            .writer
+            .lock()
+            .expect("writer lock poisoned")
+            .restoring = false;
+        assert!(engine.ingest(&growth_delta(10, 2011)).unwrap().published);
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub mod engine;
 pub mod registry;
 pub mod spec;
 
-pub use engine::{EpochSnapshot, IngestReport, RankingEngine, RerankPolicy, RerankStrategy};
+pub use engine::{
+    ColdStart, EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy,
+    RerankStrategy, WarmupReport,
+};
 pub use registry::{build, default_comparison_specs, known_methods, parse_and_build, BoxedRanker};
 pub use spec::{EnsembleRule, MethodSpec, SpecError};

@@ -839,4 +839,47 @@ mod tests {
             MethodSpec::CitationCount
         );
     }
+
+    /// Every rejection message must name the offending key (an operator
+    /// reading a config error should not have to bisect the spec string).
+    #[test]
+    fn error_messages_name_the_bad_key() {
+        // Out-of-domain values: the key and the method both appear.
+        for (spec, method, key) in [
+            ("ram:gamma=7", "ram", "gamma"),
+            ("pagerank:d=1.5", "pagerank", "d"),
+            ("citerank:tau=-2", "citerank", "tau"),
+            ("katz:alpha=1.0", "katz", "alpha"),
+            ("ecm:alpha=0.2,gamma=1.0", "ecm", "gamma"),
+            ("futurerank:rho=0.5", "futurerank", "rho"),
+        ] {
+            let msg = spec.parse::<MethodSpec>().unwrap_err().to_string();
+            assert!(msg.contains(method), "{spec}: {msg}");
+            assert!(msg.contains(key), "{spec}: {msg}");
+        }
+
+        // Unparsable value: names the key and echoes the bad text.
+        let msg = "pagerank:d=high"
+            .parse::<MethodSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains('d') && msg.contains("high"), "{msg}");
+
+        // Unknown key: names it and the method that rejected it.
+        let msg = "ram:gama=0.5"
+            .parse::<MethodSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("gama") && msg.contains("ram"), "{msg}");
+
+        // Duplicate key: names the repeated key.
+        let msg = "ram:gamma=0.5,gamma=0.6"
+            .parse::<MethodSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(
+            msg.contains("gamma") && msg.contains("more than once"),
+            "{msg}"
+        );
+    }
 }

@@ -1,0 +1,172 @@
+//! Aligned buffer ownership and checked zero-copy reinterpretation.
+//!
+//! This module is the crate's entire unsafe surface. The rest of the
+//! store treats a loaded file as typed slices borrowed from one buffer;
+//! everything here exists to make that sound:
+//!
+//! * [`AlignedBuf`] owns the file bytes inside a `Vec<u64>`, so offset 0
+//!   is 8-byte aligned and any 8-aligned payload offset is aligned for
+//!   every element kind the format uses (`u32`, `i32`, `u64`, `f64`);
+//! * the `as_*` reinterpretations check alignment and length divisibility
+//!   before the `from_raw_parts` call, and every target type (`u32`,
+//!   `i32`, `u64`, `f64`) tolerates arbitrary bit patterns — no value can
+//!   be invalid at the type level, so corruption is caught by checksums
+//!   and semantic validation, not UB.
+
+use std::io::Read;
+
+/// An 8-byte-aligned owned byte buffer.
+///
+/// Backed by a `Vec<u64>` so the allocation is guaranteed 8-aligned;
+/// `len` tracks the real byte length (the final u64 may be partially
+/// used, its tail zeroed).
+#[derive(Debug, Clone)]
+pub struct AlignedBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Reads exactly `len` bytes from `r` into a fresh aligned buffer.
+    pub fn read_exact(r: &mut impl Read, len: usize) -> std::io::Result<Self> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        {
+            // SAFETY: the Vec<u64> allocation is valid for
+            // `words.len() * 8 >= len` bytes, u8 has no alignment
+            // requirement, and the borrow is confined to this block.
+            let bytes = unsafe {
+                std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8)
+            };
+            r.read_exact(&mut bytes[..len])?;
+        }
+        Ok(Self { words, len })
+    }
+
+    /// Copies a byte slice into a fresh aligned buffer (tests, in-memory
+    /// round-trips).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        {
+            // SAFETY: as in `read_exact`.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8)
+            };
+            dst[..bytes.len()].copy_from_slice(bytes);
+        }
+        Self {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    /// The buffer as plain bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: the allocation is valid for `len` bytes (see
+        // `read_exact`) and u8 tolerates every bit pattern.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+}
+
+/// Reinterprets `bytes` as a little-endian `u32` slice.
+///
+/// # Panics
+/// Panics when the slice is misaligned or its length is not a multiple of
+/// four — both are programming errors in the section walker, which only
+/// hands out 8-aligned payloads whose lengths were validated against the
+/// element kind.
+pub fn as_u32s(bytes: &[u8]) -> &[u32] {
+    reinterpret(bytes)
+}
+
+/// Reinterprets `bytes` as a little-endian `i32` slice.
+pub fn as_i32s(bytes: &[u8]) -> &[i32] {
+    reinterpret(bytes)
+}
+
+/// Reinterprets `bytes` as a little-endian `u64` slice.
+pub fn as_u64s(bytes: &[u8]) -> &[u64] {
+    reinterpret(bytes)
+}
+
+/// Reinterprets `bytes` as a little-endian `f64` slice.
+pub fn as_f64s(bytes: &[u8]) -> &[f64] {
+    reinterpret(bytes)
+}
+
+/// The checked reinterpretation all `as_*` helpers share. `T` is
+/// instantiated only with primitive numeric types, for which every bit
+/// pattern is a valid value.
+fn reinterpret<T>(bytes: &[u8]) -> &[T] {
+    let size = std::mem::size_of::<T>();
+    assert_eq!(
+        bytes.len() % size,
+        0,
+        "payload length {} not a multiple of element size {size}",
+        bytes.len()
+    );
+    assert_eq!(
+        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "payload misaligned for element size {size}"
+    );
+    // SAFETY: alignment and length were just checked; the lifetime is
+    // tied to `bytes` by the signature; T is a primitive numeric type so
+    // any bit pattern is valid.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, bytes.len() / size) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_aligned_buf() {
+        let raw: Vec<u8> = (0u8..32).collect();
+        let buf = AlignedBuf::from_bytes(&raw);
+        assert_eq!(buf.bytes().len(), 32);
+        assert_eq!(buf.bytes(), &raw[..]);
+        let u32s = as_u32s(buf.bytes());
+        assert_eq!(u32s[0], u32::from_le_bytes([0, 1, 2, 3]));
+        let u64s = as_u64s(buf.bytes());
+        assert_eq!(u64s.len(), 4);
+    }
+
+    #[test]
+    fn partial_tail_is_zeroed() {
+        let buf = AlignedBuf::from_bytes(&[0xff; 5]);
+        assert_eq!(buf.bytes().len(), 5);
+        assert_eq!(buf.bytes(), &[0xff; 5]);
+        // The backing word's unused tail must be zero so padding bytes
+        // written from `bytes()` snapshots are deterministic.
+        assert_eq!(buf.words[0] >> 40, 0);
+    }
+
+    #[test]
+    fn read_exact_from_reader() {
+        let data: Vec<u8> = (0u8..17).collect();
+        let mut cursor = &data[..];
+        let buf = AlignedBuf::read_exact(&mut cursor, 17).unwrap();
+        assert_eq!(buf.bytes(), &data[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn reinterpret_rejects_ragged_length() {
+        let buf = AlignedBuf::from_bytes(&[1, 2, 3]);
+        let _ = as_u32s(buf.bytes());
+    }
+
+    #[test]
+    fn f64_bits_preserved() {
+        let values = [1.5f64, -0.0, f64::MAX, f64::MIN_POSITIVE];
+        let mut raw = Vec::new();
+        for v in values {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        let buf = AlignedBuf::from_bytes(&raw);
+        let back = as_f64s(buf.bytes());
+        for (a, b) in values.iter().zip(back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

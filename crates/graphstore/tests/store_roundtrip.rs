@@ -1,0 +1,352 @@
+//! Round-trip property tests for the snapshot store and WAL: save→load
+//! must reproduce the network, CSR arrays, metadata, and epoch scores
+//! **bit-exactly**, and recovery must survive simulated crashes.
+
+use proptest::prelude::*;
+
+use citegraph::{CitationNetwork, GraphDelta, NetworkBuilder};
+use graphstore::{compact, DeltaWal, NetworkStoreExt, Store, StoreBuilder};
+
+/// Strategy: a valid temporal citation network plus one score per paper.
+///
+/// Ids are assigned in year order by construction (years are sorted
+/// before insertion) and every edge points backwards (`cited < citing`),
+/// so the builder accepts every generated case.
+fn network_strategy() -> impl Strategy<Value = (CitationNetwork, Vec<f64>)> {
+    (1usize..40).prop_flat_map(|n| {
+        let years = proptest::collection::vec(1950i32..2020, n).prop_map(|mut y| {
+            y.sort_unstable();
+            y
+        });
+        let edges = proptest::collection::vec((1u32..n.max(2) as u32, 0u32..n as u32), 0..n * 3);
+        let scores = proptest::collection::vec(-1.0e6f64..1.0e6, n);
+        (years, edges, scores).prop_map(move |(years, edges, scores)| {
+            let mut b = NetworkBuilder::new();
+            for &y in &years {
+                b.add_paper(y);
+            }
+            for &(citing, cited) in &edges {
+                let citing = citing % n as u32;
+                let cited = cited % n as u32;
+                if cited < citing {
+                    b.add_citation(citing, cited).unwrap();
+                }
+            }
+            (b.build().unwrap(), scores)
+        })
+    })
+}
+
+fn assert_networks_identical(a: &CitationNetwork, b: &CitationNetwork) {
+    assert_eq!(a.n_papers(), b.n_papers());
+    assert_eq!(a.n_citations(), b.n_citations());
+    assert_eq!(a.years(), b.years());
+    assert_eq!(a.refs_csr().indptr(), b.refs_csr().indptr());
+    assert_eq!(a.refs_csr().indices(), b.refs_csr().indices());
+    for p in 0..a.n_papers() as u32 {
+        assert_eq!(a.references(p), b.references(p));
+        assert_eq!(a.citations(p), b.citations(p));
+    }
+}
+
+proptest! {
+    #[test]
+    fn snapshot_roundtrip_is_bit_exact((net, scores) in network_strategy()) {
+        let bytes = StoreBuilder::new()
+            .network(&net)
+            .epoch("attrank:alpha=0.2,beta=0.4,y=3,w=-0.16", 7, &scores)
+            .to_bytes();
+        let store = Store::from_bytes(&bytes).unwrap();
+
+        // Zero-copy views match the source arrays exactly.
+        prop_assert_eq!(store.n_papers(), net.n_papers());
+        prop_assert_eq!(store.n_citations(), net.n_citations());
+        prop_assert_eq!(store.years(), net.years());
+        prop_assert_eq!(store.indptr(), net.refs_csr().indptr());
+        prop_assert_eq!(store.indices(), net.refs_csr().indices());
+
+        // The borrowed CSR view walks identical rows.
+        let view = store.csr_view().unwrap();
+        for p in 0..net.n_papers() as u32 {
+            prop_assert_eq!(view.row(p), net.references(p));
+        }
+
+        // Scores round-trip bit-for-bit.
+        let epochs = store.epochs();
+        prop_assert_eq!(epochs.len(), 1);
+        prop_assert_eq!(epochs[0].epoch, 7);
+        prop_assert_eq!(epochs[0].spec, "attrank:alpha=0.2,beta=0.4,y=3,w=-0.16");
+        for (a, b) in scores.iter().zip(epochs[0].scores) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Materialized network is structurally identical.
+        let back = store.to_network().unwrap();
+        assert_networks_identical(&net, &back);
+    }
+
+    #[test]
+    fn corrupt_payload_byte_is_detected((net, scores) in network_strategy(),
+                                        frac in 0.0f64..1.0) {
+        let bytes = StoreBuilder::new()
+            .network(&net)
+            .epoch("cc", 0, &scores)
+            .to_bytes();
+        // Flip one byte anywhere past the file header: either a section
+        // checksum catches it, the structure walk rejects it, or (if the
+        // flip lands in padding) the file still parses — but it must
+        // never parse into *different* data.
+        let idx = 16 + ((bytes.len() - 17) as f64 * frac) as usize;
+        let mut evil = bytes.clone();
+        evil[idx] ^= 0x01;
+        match Store::from_bytes(&evil) {
+            Err(_) => {}
+            Ok(store) => {
+                // Flip landed in inter-section padding: content intact.
+                let clean = Store::from_bytes(&bytes).unwrap();
+                prop_assert_eq!(store.years(), clean.years());
+                prop_assert_eq!(store.indptr(), clean.indptr());
+                prop_assert_eq!(store.indices(), clean.indices());
+                let (a, b) = (store.epochs(), clean.epochs());
+                prop_assert_eq!(a.len(), b.len());
+                for (ea, eb) in a.iter().zip(&b) {
+                    prop_assert_eq!(ea.scores, eb.scores);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected((net, scores) in network_strategy(),
+                                      frac in 0.0f64..1.0) {
+        let bytes = StoreBuilder::new()
+            .network(&net)
+            .epoch("cc", 0, &scores)
+            .to_bytes();
+        let keep = (bytes.len() as f64 * frac) as usize;
+        if keep < bytes.len() {
+            prop_assert!(Store::from_bytes(&bytes[..keep]).is_err());
+        }
+    }
+
+    #[test]
+    fn wal_roundtrip_preserves_batches(batches in proptest::collection::vec(
+        (proptest::collection::vec(2000i32..2020, 0..4),
+         proptest::collection::vec((0u32..50, 0u32..50), 0..6)),
+        0..8,
+    )) {
+        let dir = std::env::temp_dir().join("graphstore_roundtrip_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("prop-{}-{:x}.wal", std::process::id(),
+            batches.len() * 31 + batches.iter().map(|(p, c)| p.len() + c.len()).sum::<usize>()));
+        let _ = std::fs::remove_file(&path);
+
+        let deltas: Vec<GraphDelta> = batches
+            .iter()
+            .map(|(papers, cites)| {
+                let mut d = GraphDelta::new();
+                for &y in papers {
+                    d.add_paper(y);
+                }
+                for &(a, b) in cites {
+                    d.add_citation(a, b);
+                }
+                d
+            })
+            .collect();
+
+        let (mut wal, _) = DeltaWal::open(&path).unwrap();
+        for (i, d) in deltas.iter().enumerate() {
+            wal.append(i as u64, d).unwrap();
+        }
+        drop(wal);
+        let (_, rec) = DeltaWal::open(&path).unwrap();
+        let back: Vec<_> = rec.records.iter().map(|r| r.delta.clone()).collect();
+        prop_assert_eq!(back, deltas);
+        prop_assert_eq!(rec.next_seq(), rec.records.len() as u64);
+        prop_assert_eq!(rec.truncated_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+fn rich_network() -> CitationNetwork {
+    let mut b = NetworkBuilder::new();
+    let p0 = b.add_paper_with_metadata(1999, vec![0, 2], Some(1));
+    let p1 = b.add_paper_with_metadata(2001, vec![1], None);
+    let p2 = b.add_paper_with_metadata(2003, vec![0], Some(0));
+    let p3 = b.add_paper(2004);
+    b.add_citation(p1, p0).unwrap();
+    b.add_citation(p2, p0).unwrap();
+    b.add_citation(p2, p1).unwrap();
+    b.add_citation(p3, p2).unwrap();
+    b.build().unwrap()
+}
+
+fn temp_file(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("graphstore_roundtrip_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+#[test]
+fn file_roundtrip_with_metadata() {
+    let path = temp_file("meta.store");
+    let net = rich_network();
+    net.to_store(&path).unwrap();
+    let back = CitationNetwork::from_store(&path).unwrap();
+    assert_networks_identical(&net, &back);
+    let (a, b) = (net.authors().unwrap(), back.authors().unwrap());
+    assert_eq!(a.n_authors(), b.n_authors());
+    for p in 0..net.n_papers() as u32 {
+        assert_eq!(a.authors_of(p), b.authors_of(p));
+        assert_eq!(
+            net.venues().unwrap().venue_of(p),
+            back.venues().unwrap().venue_of(p)
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn store_top_k_matches_scores() {
+    let net = rich_network();
+    let scores = [0.25, 4.0, 1.0, 0.5];
+    let bytes = StoreBuilder::new()
+        .network(&net)
+        .epoch("cc", 3, &scores)
+        .to_bytes();
+    let store = Store::from_bytes(&bytes).unwrap();
+    assert_eq!(store.top_k(None, 2).unwrap(), vec![1, 2]);
+    assert_eq!(store.top_k(Some("cc"), 1).unwrap(), vec![1]);
+    assert!(store.top_k(Some("pagerank"), 1).is_none());
+    assert_eq!(store.epoch_for("cc").unwrap().epoch, 3);
+}
+
+#[test]
+fn atomic_write_replaces_existing_snapshot() {
+    let path = temp_file("replace.store");
+    let net = rich_network();
+    net.to_store(&path).unwrap();
+    // Overwrite with a larger network; the old file must be fully
+    // replaced (no stale tail).
+    let mut d = GraphDelta::new();
+    d.add_paper(2010);
+    d.add_citation(4, 0);
+    let bigger = net.with_delta(&d).unwrap();
+    bigger.to_store(&path).unwrap();
+    let back = CitationNetwork::from_store(&path).unwrap();
+    assert_networks_identical(&bigger, &back);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compact_folds_wal_into_snapshot() {
+    let store_path = temp_file("compact.store");
+    let wal_path = temp_file("compact.wal");
+    let _ = std::fs::remove_file(&wal_path);
+    let net = rich_network();
+    StoreBuilder::new()
+        .network(&net)
+        .epoch("cc", 1, &[4.0, 3.0, 2.0, 1.0])
+        .write_to(&store_path)
+        .unwrap();
+
+    let mut d1 = GraphDelta::new();
+    d1.add_paper(2010);
+    d1.add_citation(4, 0);
+    let mut d2 = GraphDelta::new();
+    d2.add_citation(4, 2);
+    let (mut wal, _) = DeltaWal::open(&wal_path).unwrap();
+    wal.append(0, &d1).unwrap();
+    wal.append(1, &d2).unwrap();
+    drop(wal);
+
+    let report = compact(&store_path, &wal_path).unwrap();
+    assert_eq!(report.records_folded, 2);
+    assert_eq!(report.records_skipped, 0);
+    assert_eq!(report.papers_added, 1);
+    assert_eq!(report.citations_added, 2);
+    assert!(report.epochs_dropped);
+
+    // Snapshot now equals the delta-applied network; WAL is empty.
+    let expected = net.with_delta(&d1).unwrap().with_delta(&d2).unwrap();
+    let store = Store::open(&store_path).unwrap();
+    assert_networks_identical(&expected, &store.to_network().unwrap());
+    assert!(store.epochs().is_empty());
+    // The rewritten snapshot records the watermark past the folded log.
+    assert_eq!(store.wal_watermark(), Some(2));
+    let (wal, rec) = DeltaWal::open(&wal_path).unwrap();
+    assert!(rec.records.is_empty());
+    assert!(wal.is_empty().unwrap());
+
+    // A second compact over the empty WAL is a no-op that keeps epochs.
+    let report = compact(&store_path, &wal_path).unwrap();
+    assert_eq!(report.records_folded, 0);
+    assert!(!report.epochs_dropped);
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_file(&wal_path).ok();
+}
+
+#[test]
+fn compact_rejects_inconsistent_wal() {
+    let store_path = temp_file("badcompact.store");
+    let wal_path = temp_file("badcompact.wal");
+    let _ = std::fs::remove_file(&wal_path);
+    rich_network().to_store(&store_path).unwrap();
+    let mut d = GraphDelta::new();
+    d.add_citation(99, 0); // unknown paper
+    let (mut wal, _) = DeltaWal::open(&wal_path).unwrap();
+    wal.append(0, &d).unwrap();
+    drop(wal);
+    let err = compact(&store_path, &wal_path).unwrap_err();
+    assert!(err.to_string().contains("WAL replay rejected"), "{err}");
+    // The snapshot is untouched by the failed compact.
+    let back = CitationNetwork::from_store(&store_path).unwrap();
+    assert_networks_identical(&rich_network(), &back);
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_file(&wal_path).ok();
+}
+
+#[test]
+fn corrupting_the_watermark_aux_is_detected() {
+    // The WAL watermark (and epoch numbers) live in the section header's
+    // aux field; the checksum must cover it — a flipped aux bit on disk
+    // would otherwise silently break exactly-once replay.
+    let net = rich_network();
+    let bytes = StoreBuilder::new()
+        .network(&net)
+        .wal_watermark(5)
+        .to_bytes();
+    assert_eq!(Store::from_bytes(&bytes).unwrap().wal_watermark(), Some(5));
+
+    // Walk the section headers to find the WAL_WATERMARK (tag 9) aux.
+    let mut offset = 16usize;
+    let mut aux_at = None;
+    while offset + 32 <= bytes.len() {
+        let tag = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[offset + 8..offset + 16].try_into().unwrap()) as usize;
+        if tag == 9 {
+            aux_at = Some(offset + 16);
+            break;
+        }
+        offset += 32 + len;
+        offset += (8 - offset % 8) % 8;
+    }
+    let aux_at = aux_at.expect("watermark section present");
+    let mut evil = bytes.clone();
+    evil[aux_at] ^= 0x01; // watermark 5 -> 4: would double-apply a batch
+    assert!(matches!(
+        Store::from_bytes(&evil),
+        Err(graphstore::StoreError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn empty_network_roundtrips() {
+    let net = NetworkBuilder::new().build().unwrap();
+    let bytes = StoreBuilder::new().network(&net).to_bytes();
+    let store = Store::from_bytes(&bytes).unwrap();
+    assert_eq!(store.n_papers(), 0);
+    assert_eq!(store.to_network().unwrap().n_papers(), 0);
+    assert!(store.top_k(None, 5).is_none());
+}

@@ -9,6 +9,49 @@
 //! indices only, while age-weighted variants (RAM/ECM, paper §4.3) attach an
 //! `f64` weight per edge via [`WeightedCsr`].
 
+/// Maximum number of stored entries a [`Csr`] can hold: row pointers are
+/// `u32`, so `nnz` must fit one.
+pub const MAX_NNZ: usize = u32::MAX as usize;
+
+/// Error returned when raw CSR arrays fail validation (see
+/// [`Csr::from_store_parts`]) or an edge count exceeds [`MAX_NNZ`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrError {
+    message: String,
+}
+
+impl CsrError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid CSR: {}", self.message)
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+/// Checks that `nnz` stored entries fit the `u32` row-pointer range.
+///
+/// [`Csr::from_edges`] / [`WeightedCsr::from_triples`] assert this guard
+/// (a graph that large cannot be represented and the panic names the
+/// limit); it is exposed so the overflow path is unit-testable without
+/// materializing a 4-billion-edge input.
+pub fn check_nnz(nnz: usize) -> Result<(), CsrError> {
+    if nnz > MAX_NNZ {
+        Err(CsrError::new(format!(
+            "{nnz} entries exceed the u32 row-pointer range ({MAX_NNZ})"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
 /// An immutable CSR adjacency structure (pattern only, implicit weight 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
@@ -35,11 +78,9 @@ impl Csr {
     /// # Panics
     /// Panics if `edges.len()` exceeds `u32::MAX` (row pointers are `u32`).
     pub fn from_edges(nrows: usize, ncols: usize, edges: &[(u32, u32)]) -> Self {
-        assert!(
-            edges.len() <= u32::MAX as usize,
-            "Csr::from_edges: {} edges exceed the u32 row-pointer range",
-            edges.len()
-        );
+        if let Err(e) = check_nnz(edges.len()) {
+            panic!("Csr::from_edges: {e}");
+        }
         // Counting sort into a single buffer: count per row, prefix-sum into
         // `indptr`, scatter using `indptr` itself as the write cursor (after
         // the scatter, `indptr[r]` holds the *end* of row `r`).
@@ -177,6 +218,139 @@ impl Csr {
     pub fn indptr(&self) -> &[u32] {
         &self.indptr
     }
+
+    /// The flat column-index array (length `nnz`, rows concatenated). With
+    /// [`Self::indptr`] this is the exact on-disk representation the
+    /// snapshot store persists — serialization is two memcpys, no
+    /// per-element encoding.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Rebuilds a matrix from raw `indptr`/`indices` arrays (the inverse of
+    /// [`Self::indptr`] + [`Self::indices`], used by the snapshot store's
+    /// load path).
+    ///
+    /// Validation enforces every invariant the accessors rely on —
+    /// `indptr` non-empty, monotone, ending at `indices.len()`; each row's
+    /// columns strictly increasing (sorted, deduplicated) and `< ncols` —
+    /// so a corrupted or hand-built input cannot produce a structure whose
+    /// methods panic or return garbage later.
+    pub fn from_store_parts(
+        indptr: Vec<u32>,
+        indices: Vec<u32>,
+        ncols: usize,
+    ) -> Result<Self, CsrError> {
+        validate_parts(&indptr, &indices, ncols)?;
+        Ok(Self {
+            indptr,
+            indices,
+            ncols,
+        })
+    }
+
+    /// A borrowed view of this matrix (same accessors, no ownership).
+    pub fn as_view(&self) -> CsrView<'_> {
+        CsrView {
+            indptr: &self.indptr,
+            indices: &self.indices,
+            ncols: self.ncols,
+        }
+    }
+}
+
+/// Shared validation for [`Csr::from_store_parts`] / [`CsrView::new`].
+fn validate_parts(indptr: &[u32], indices: &[u32], ncols: usize) -> Result<(), CsrError> {
+    let Some(&last) = indptr.last() else {
+        return Err(CsrError::new("indptr is empty (need nrows + 1 entries)"));
+    };
+    if indptr[0] != 0 {
+        return Err(CsrError::new("indptr does not start at 0"));
+    }
+    if indptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(CsrError::new("indptr is not monotonically non-decreasing"));
+    }
+    if last as usize != indices.len() {
+        return Err(CsrError::new(format!(
+            "indptr ends at {last} but indices has {} entries",
+            indices.len()
+        )));
+    }
+    for r in 0..indptr.len() - 1 {
+        let row = &indices[indptr[r] as usize..indptr[r + 1] as usize];
+        if row.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CsrError::new(format!(
+                "row {r} columns are not strictly increasing"
+            )));
+        }
+        if row.last().is_some_and(|&c| c as usize >= ncols) {
+            return Err(CsrError::new(format!(
+                "row {r} has a column index >= ncols {ncols}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A borrowed CSR adjacency view over externally owned arrays.
+///
+/// This is the zero-copy load path of the snapshot store: the `indptr` /
+/// `indices` slices point straight into a loaded file buffer, so a reader
+/// can traverse rows without materializing an owned [`Csr`] first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrView<'a> {
+    indptr: &'a [u32],
+    indices: &'a [u32],
+    ncols: usize,
+}
+
+impl<'a> CsrView<'a> {
+    /// Builds a view over raw arrays, applying the same validation as
+    /// [`Csr::from_store_parts`].
+    pub fn new(indptr: &'a [u32], indices: &'a [u32], ncols: usize) -> Result<Self, CsrError> {
+        validate_parts(indptr, indices, ncols)?;
+        Ok(Self {
+            indptr,
+            indices,
+            ncols,
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The column indices of row `r` (sorted ascending).
+    pub fn row(&self, r: u32) -> &'a [u32] {
+        let r = r as usize;
+        &self.indices[self.indptr[r] as usize..self.indptr[r + 1] as usize]
+    }
+
+    /// Out-degree of row `r`.
+    pub fn degree(&self, r: u32) -> usize {
+        let r = r as usize;
+        (self.indptr[r + 1] - self.indptr[r]) as usize
+    }
+
+    /// Copies the view into an owned [`Csr`] (two memcpys).
+    pub fn to_csr(&self) -> Csr {
+        Csr {
+            indptr: self.indptr.to_vec(),
+            indices: self.indices.to_vec(),
+            ncols: self.ncols,
+        }
+    }
 }
 
 /// A CSR matrix with an `f64` weight per stored entry.
@@ -197,11 +371,9 @@ impl WeightedCsr {
     /// Panics if `triples.len()` exceeds `u32::MAX` (row pointers are
     /// `u32`).
     pub fn from_triples(nrows: usize, ncols: usize, triples: &[(u32, u32, f64)]) -> Self {
-        assert!(
-            triples.len() <= u32::MAX as usize,
-            "WeightedCsr::from_triples: {} triples exceed the u32 row-pointer range",
-            triples.len()
-        );
+        if let Err(e) = check_nnz(triples.len()) {
+            panic!("WeightedCsr::from_triples: {e}");
+        }
         // Counting sort into one flat scratch buffer (no per-row `Vec`s):
         // count per row, prefix-sum, scatter with `indptr` as the cursor —
         // after the scatter `indptr[r]` holds the end of row `r`.
@@ -496,5 +668,57 @@ mod tests {
         let m = WeightedCsr::from_triples(2, 2, &[]);
         let mut y = vec![0.0; 2];
         m.mul_vec_into(&[1.0], &mut y);
+    }
+
+    #[test]
+    fn nnz_guard_rejects_past_u32_max() {
+        assert!(check_nnz(0).is_ok());
+        assert!(check_nnz(MAX_NNZ).is_ok());
+        let err = check_nnz(MAX_NNZ + 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("u32 row-pointer range"), "{msg}");
+        assert!(msg.contains(&MAX_NNZ.to_string()), "{msg}");
+    }
+
+    #[test]
+    fn store_parts_roundtrip() {
+        let m = sample();
+        let back =
+            Csr::from_store_parts(m.indptr().to_vec(), m.indices().to_vec(), m.ncols()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn store_parts_validation_rejects_corruption() {
+        // Empty indptr.
+        assert!(Csr::from_store_parts(vec![], vec![], 2).is_err());
+        // Does not start at zero.
+        assert!(Csr::from_store_parts(vec![1, 1], vec![0], 2).is_err());
+        // Non-monotone indptr.
+        assert!(Csr::from_store_parts(vec![0, 2, 1], vec![0, 1], 2).is_err());
+        // Length mismatch with indices.
+        assert!(Csr::from_store_parts(vec![0, 2], vec![0], 2).is_err());
+        // Unsorted row.
+        assert!(Csr::from_store_parts(vec![0, 2], vec![1, 0], 2).is_err());
+        // Duplicate column within a row.
+        assert!(Csr::from_store_parts(vec![0, 2], vec![1, 1], 2).is_err());
+        // Column out of bounds.
+        assert!(Csr::from_store_parts(vec![0, 1], vec![5], 2).is_err());
+    }
+
+    #[test]
+    fn view_matches_owned() {
+        let m = sample();
+        let v = m.as_view();
+        assert_eq!(v.nrows(), m.nrows());
+        assert_eq!(v.ncols(), m.ncols());
+        assert_eq!(v.nnz(), m.nnz());
+        for r in 0..m.nrows() as u32 {
+            assert_eq!(v.row(r), m.row(r));
+            assert_eq!(v.degree(r), m.degree(r));
+        }
+        assert_eq!(v.to_csr(), m);
+        let rebuilt = CsrView::new(m.indptr(), m.indices(), m.ncols()).unwrap();
+        assert_eq!(rebuilt.to_csr(), m);
     }
 }

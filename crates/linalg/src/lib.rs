@@ -36,7 +36,7 @@ pub mod ranks;
 pub mod stochastic;
 pub mod vector;
 
-pub use csr::{Csr, WeightedCsr};
+pub use csr::{check_nnz, Csr, CsrError, CsrView, WeightedCsr, MAX_NNZ};
 pub use fit::{fit_exponential, ExpFit};
 pub use power::{PowerEngine, PowerOptions, PowerOutcome};
 pub use push::{PushConfig, PushOutcome};

@@ -2,9 +2,9 @@
 //!
 //! The build environment has no crates.io access, so this workspace vendors
 //! the subset of the `proptest` 1.x API its test suites use: the
-//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_filter`,
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map` / `prop_filter`,
 //! range and tuple strategies, [`collection::vec`], string strategies from
-//! a small regex subset (`[class]{m,n}` atoms), [`Just`], and the
+//! a small regex subset (`[class]{m,n}` atoms), [`Just`](strategy::Just), and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`]
 //! macros.
 //!

@@ -7,6 +7,8 @@
 //! * [`citegraph`] — the citation-network substrate,
 //! * [`citegen`] — synthetic dataset generation,
 //! * [`baselines`] — competitor ranking methods,
+//! * [`graphstore`] — the binary snapshot store and delta WAL behind
+//!   crash-safe, warm-restart serving,
 //! * [`rankengine`] — the config-driven method registry and the
 //!   epoch-snapshot serving engine,
 //! * [`rankeval`] — metrics, tuning and experiment pipelines,
@@ -16,6 +18,7 @@ pub use attrank;
 pub use baselines;
 pub use citegen;
 pub use citegraph;
+pub use graphstore;
 pub use rankengine;
 pub use rankeval;
 pub use sparsela;
@@ -26,6 +29,7 @@ pub mod prelude {
     pub use baselines::{CiteRank, Ecm, FutureRank, PageRank, Ram, Wsdm};
     pub use citegen::{generate, DatasetProfile};
     pub use citegraph::{ratio_split, CitationNetwork, GraphDelta, NetworkBuilder, Ranker};
+    pub use graphstore::{DeltaWal, NetworkStoreExt, Store, StoreBuilder};
     pub use rankengine::{MethodSpec, RankingEngine, RerankPolicy};
     pub use rankeval::{ground_truth_sti, Metric};
 }
