@@ -1,0 +1,109 @@
+//! Query-layer benchmarks: filtered/faceted top-k against the
+//! filter-after-full-top-k materialization it replaces.
+//!
+//! Four rungs at 50k and 200k papers (DBLP profile — venues + authors):
+//!
+//! * `selective_venue_*` / `selective_author_*` — a single posting-list
+//!   predicate, k = 10: the planner drives from the prebuilt id list, so
+//!   cost is O(postings), independent of the corpus;
+//! * `broad_year_*` — a year range covering ~half the corpus: the
+//!   planner compiles the predicate to a contiguous id range and runs
+//!   the bounded-memory scan kernel;
+//! * `masked_venue_200k` — the bitmask kernel on the same venue
+//!   selection (the set-algebra path callers with composed predicates
+//!   take);
+//! * `post_filter_*` — the naive reference: full descending sort of all
+//!   n scores, then filter, then truncate. This is what "filtered
+//!   top-k" costs without the query layer.
+//!
+//! The acceptance target (ISSUE 5) is `post_filter_200k /
+//! selective_venue_200k ≥ 10` by min wall-clock; `repro bench-check`
+//! gates the recorded ratio alongside +25% min-ns regressions of the
+//! non-reference entries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use citegen::{generate, DatasetProfile};
+use citegraph::{CitationNetwork, VenueId};
+use rankengine::{Query, QueryEngine, RerankPolicy};
+use sparsela::{sort_indices_desc, top_k_masked, IdMask};
+
+/// The most-populated venue — a *selective* predicate that still has
+/// comfortably more than k matches.
+fn busiest_venue(net: &CitationNetwork) -> VenueId {
+    let venues = net.venues().expect("DBLP profile has venues");
+    (0..venues.n_venues() as VenueId)
+        .max_by_key(|&v| venues.n_papers_at(v))
+        .expect("at least one venue")
+}
+
+/// The most prolific author.
+fn busiest_author(net: &CitationNetwork) -> u32 {
+    let authors = net.authors().expect("DBLP profile has authors");
+    (0..authors.n_authors() as u32)
+        .max_by_key(|&a| authors.papers_of(a).len())
+        .expect("at least one author")
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    for &scale in &[50_000usize, 200_000] {
+        let label = format!("{}k", scale / 1000);
+        let net = generate(&DatasetProfile::dblp().scaled(scale), 7);
+        let venue = busiest_venue(&net);
+        let author = busiest_author(&net);
+        // Year range covering roughly the later half of the corpus.
+        let mid_year = net.years()[scale / 2];
+        let qe = QueryEngine::from_configs(net, &["cc"], RerankPolicy::Manual)
+            .expect("cc engine builds");
+        let snap = qe.snapshot(None).expect("default method");
+
+        let venue_q: Query = format!("k=10,venue={venue}").parse().unwrap();
+        group.bench_function(format!("selective_venue_{label}"), |b| {
+            b.iter(|| black_box(qe.query_at(&snap, black_box(&venue_q)).unwrap()))
+        });
+
+        let author_q: Query = format!("k=10,author={author}").parse().unwrap();
+        group.bench_function(format!("selective_author_{label}"), |b| {
+            b.iter(|| black_box(qe.query_at(&snap, black_box(&author_q)).unwrap()))
+        });
+
+        let year_q: Query = format!("k=10,year={mid_year}..").parse().unwrap();
+        group.bench_function(format!("broad_year_{label}"), |b| {
+            b.iter(|| black_box(qe.query_at(&snap, black_box(&year_q)).unwrap()))
+        });
+
+        if scale == 200_000 {
+            // The bitmask variant on the same venue selection.
+            let postings = snap
+                .network()
+                .venues()
+                .expect("venues present")
+                .papers_at(venue)
+                .to_vec();
+            let mask = IdMask::from_ids(snap.n_papers(), postings.iter().copied());
+            group.bench_function(format!("masked_venue_{label}"), |b| {
+                b.iter(|| black_box(top_k_masked(snap.scores().as_slice(), &mask, 10)))
+            });
+        }
+
+        // The pre-query-layer reference: materialize the full ranking,
+        // then filter down to the venue, then truncate.
+        let venues = snap.network().venues().expect("venues present").clone();
+        group.bench_function(format!("post_filter_{label}"), |b| {
+            b.iter(|| {
+                let full = sort_indices_desc(black_box(snap.scores().as_slice()));
+                let mut hits: Vec<u32> = full
+                    .into_iter()
+                    .filter(|&id| venues.venue_of(id) == Some(venue))
+                    .collect();
+                hits.truncate(10);
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

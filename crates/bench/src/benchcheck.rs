@@ -86,6 +86,9 @@ pub fn is_guarded(r: &BenchRecord) -> bool {
     r.group == "top_k"
         || r.id.starts_with("stochastic_apply")
         || (r.group == "store_load" && r.id.starts_with("first_topk_store"))
+        // The query group is guarded except its naive reference rows
+        // (post_filter_*), which exist only to form the speedup ratio.
+        || (r.group == "query" && !r.id.starts_with("post_filter"))
 }
 
 /// The cold-start speedup recorded in a report: `min_ns` of the TSV
@@ -110,6 +113,31 @@ pub fn cold_start_speedup(records: &[BenchRecord]) -> Option<f64> {
 /// Acceptance floor for [`cold_start_speedup`] (ISSUE 4: ≥10× faster
 /// cold start to first `top_k` on the 200k-paper graph).
 pub const MIN_COLD_START_SPEEDUP: f64 = 10.0;
+
+/// The filtered-query speedup recorded in a report: `min_ns` of the
+/// filter-after-full-top-k materialization over the planner-driven
+/// selective query (both in the `query` group, 200k-paper graph, k=10).
+/// `None` when either record is absent.
+///
+/// A ratio of two measurements from the same run, so — like
+/// [`cold_start_speedup`] — it holds across machines and is gated
+/// directly by `repro bench-check`.
+pub fn filtered_query_speedup(records: &[BenchRecord]) -> Option<f64> {
+    let find = |prefix: &str| {
+        records
+            .iter()
+            .find(|r| r.group == "query" && r.id.starts_with(prefix))
+            .map(|r| r.min_ns)
+    };
+    let selective = find("selective_venue_200k")?;
+    let naive = find("post_filter_200k")?;
+    Some(naive / selective.max(1.0))
+}
+
+/// Acceptance floor for [`filtered_query_speedup`] (ISSUE 5: a selective
+/// filtered query at k=10 on the 200k-paper graph ≥10× faster than
+/// filtering the materialized full ranking).
+pub const MIN_FILTERED_QUERY_SPEEDUP: f64 = 10.0;
 
 /// Outcome of one guarded comparison.
 #[derive(Debug)]
@@ -199,6 +227,40 @@ mod tests {
             id: "first_topk_tsv_200k".into(),
             min_ns: 1.0,
         }));
+    }
+
+    #[test]
+    fn query_group_guard_excludes_the_naive_reference() {
+        let rec = |id: &str| BenchRecord {
+            group: "query".into(),
+            id: id.into(),
+            min_ns: 1.0,
+        };
+        assert!(is_guarded(&rec("selective_venue_200k")));
+        assert!(is_guarded(&rec("selective_author_50k")));
+        assert!(is_guarded(&rec("broad_year_200k")));
+        assert!(is_guarded(&rec("masked_venue_200k")));
+        assert!(!is_guarded(&rec("post_filter_200k")));
+        assert!(!is_guarded(&rec("post_filter_50k")));
+    }
+
+    #[test]
+    fn filtered_query_speedup_is_the_min_ns_ratio() {
+        let records = vec![
+            BenchRecord {
+                group: "query".into(),
+                id: "selective_venue_200k".into(),
+                min_ns: 50_000.0,
+            },
+            BenchRecord {
+                group: "query".into(),
+                id: "post_filter_200k".into(),
+                min_ns: 2_000_000.0,
+            },
+        ];
+        assert_eq!(filtered_query_speedup(&records), Some(40.0));
+        assert_eq!(filtered_query_speedup(&records[..1]), None);
+        assert_eq!(filtered_query_speedup(&[]), None);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   export       <stem>: TSV → binary snapshot store (opt. --rank SPEC)
 //!   import       <stem>: binary snapshot store → TSV
 //!   compact      <stem>: fold <stem>.wal into <stem>.store
+//!   query        <grammar>: filtered/paginated top-k on a generated DBLP
+//!                graph (e.g. "venue=3,k=10" or "vs=cc,author=7,k=5";
+//!                serve methods via --methods "attrank;cc")
 //!   all          everything above (except the statistical/storage extras)
 //! ```
 //!
@@ -51,11 +54,15 @@ fn main() -> ExitCode {
         }
     };
     let Some(cmd) = rest.first() else {
-        eprintln!("usage: repro <subcommand> [--scale N] [--seed N] [--out DIR] [--rank SPEC]");
+        eprintln!(
+            "usage: repro <subcommand> [--scale N] [--seed N] [--out DIR] [--rank SPEC] \
+             [--methods \"SPEC;SPEC\"]"
+        );
         eprintln!("subcommands: summary methods fig1a fig1b table1 table2 table3 table4");
         eprintln!("             fig2corr fig2ndcg fig3 fig4 fig5 convergence");
         eprintln!("             robustness significance bench-check all");
         eprintln!("             export <stem> | import <stem> | compact <stem>");
+        eprintln!("             query <grammar>   (e.g. query \"venue=3,year=2005..,k=10\")");
         return ExitCode::FAILURE;
     };
 
@@ -67,6 +74,7 @@ fn main() -> ExitCode {
         "export" => return run_export(&opts, rest.get(1)),
         "import" => return run_import(rest.get(1)),
         "compact" => return run_compact(rest.get(1)),
+        "query" => return run_query(&opts, rest.get(1)),
         _ => {}
     }
 
@@ -182,8 +190,9 @@ fn run_bench_check() -> ExitCode {
     if comparisons.is_empty() {
         eprintln!(
             "bench-check: no guarded benchmarks found under {shim_dirs:?} \
-             (expected the top_k, stochastic_apply and store_load baselines — run \
-             `cargo bench --bench kernels`, `--bench serving` and `--bench store_load`)"
+             (expected the top_k, stochastic_apply, store_load and query baselines — run \
+             `cargo bench --bench kernels`, `--bench serving`, `--bench store_load` and \
+             `--bench query`)"
         );
         return ExitCode::FAILURE;
     }
@@ -203,9 +212,9 @@ fn run_bench_check() -> ExitCode {
         );
         failed |= c.regressed;
     }
-    // Cold-start ratio gate: machine-independent (store and TSV paths run
-    // on the same hardware), so it is enforced for whichever report has
-    // both `store_load` records — the committed baseline always does.
+    // Ratio gates: machine-independent (both sides of each ratio run on
+    // the same hardware), so they are enforced for whichever report has
+    // the records — the committed baseline always does.
     for (records, origin) in [(&baseline, "baseline"), (&current, "current run")] {
         if let Some(speedup) = benchcheck::cold_start_speedup(records) {
             let verdict = if speedup >= benchcheck::MIN_COLD_START_SPEEDUP {
@@ -219,6 +228,20 @@ fn run_bench_check() -> ExitCode {
                 format!("store_load/cold_start_speedup ({origin})"),
                 speedup,
                 benchcheck::MIN_COLD_START_SPEEDUP
+            );
+        }
+        if let Some(speedup) = benchcheck::filtered_query_speedup(records) {
+            let verdict = if speedup >= benchcheck::MIN_FILTERED_QUERY_SPEEDUP {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>27.1}x  (floor {:.0}x)  {verdict}",
+                format!("query/filtered_speedup ({origin})"),
+                speedup,
+                benchcheck::MIN_FILTERED_QUERY_SPEEDUP
             );
         }
     }
@@ -336,6 +359,161 @@ fn run_compact(stem: Option<&String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `query <grammar>`: serves a filtered/faceted/paginated top-k (or a
+/// two-method comparison with `vs=`) over a generated DBLP graph. The
+/// corpus is deterministic in `(--scale, --seed)` and epochs start at 0,
+/// so a printed `cursor=…` token pastes into the next invocation to
+/// fetch the following page.
+fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
+    use rankengine::{QueryDriver, QueryEngine, RerankPolicy};
+
+    let Some(grammar) = grammar else {
+        eprintln!(
+            "usage: repro query \"<grammar>\" [--scale N] [--seed N] [--methods \"SPEC;SPEC\"]"
+        );
+        eprintln!("grammar keys: method vs k year venue author cursor");
+        eprintln!("examples:     \"venue=3,k=10\"  \"method=attrank,vs=cc,author=7,year=2005..\"");
+        return ExitCode::FAILURE;
+    };
+    let query: rankengine::Query = match grammar.parse() {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scale = opts.scale.unwrap_or(20_000);
+    eprintln!(
+        "generating DBLP graph (scale = {scale}, seed = {}), ranking {:?}...",
+        opts.seed, opts.methods
+    );
+    let net = citegen::generate(&citegen::DatasetProfile::dblp().scaled(scale), opts.seed);
+    let t0 = std::time::Instant::now();
+    let specs: Vec<&str> = opts.methods.iter().map(String::as_str).collect();
+    let engine = match QueryEngine::from_configs(net, &specs, RerankPolicy::EveryBatch) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("query: cannot build engines: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("ranked in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // Explain line: what the planner chose and why.
+    match engine.explain(&query) {
+        Ok(plan) => {
+            let driver = match plan.driver {
+                QueryDriver::Unfiltered => "unfiltered partial select".to_string(),
+                QueryDriver::IdRange { start, end } => {
+                    format!("id-range scan [{start}, {end})")
+                }
+                QueryDriver::VenuePostings { venue, len } => {
+                    format!("venue {venue} posting list ({len} papers)")
+                }
+                QueryDriver::AuthorPostings { author, len } => {
+                    format!("author {author} posting list ({len} papers)")
+                }
+            };
+            println!(
+                "plan: driver = {driver}, candidates = {}, residual checks = [{}]",
+                plan.candidates,
+                plan.residuals.join(", ")
+            );
+        }
+        Err(e) => {
+            eprintln!("query: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let t1 = std::time::Instant::now();
+    if query.vs.is_some() {
+        let cmp = match engine.compare(&query) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("query: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let elapsed = t1.elapsed();
+        println!(
+            "== {} (epoch {}) vs {} (epoch {}): {} of {} matches in {:.1} µs ==",
+            cmp.method_a,
+            cmp.epoch_a,
+            cmp.method_b,
+            cmp.epoch_b,
+            cmp.rows.len(),
+            cmp.page.matched,
+            elapsed.as_secs_f64() * 1e6
+        );
+        let rows: Vec<Vec<String>> = cmp
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.id.to_string(),
+                    format!("{:.6}", r.score_a),
+                    r.rank_a.to_string(),
+                    r.score_b.map_or("-".into(), |s| format!("{s:.6}")),
+                    r.rank_b.map_or("-".into(), |r| r.to_string()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &["paper", "score(a)", "rank(a)", "score(b)", "rank(b)"],
+                &rows
+            )
+        );
+        if let Some(cursor) = cmp.page.next {
+            println!("next page: append cursor={cursor}");
+        }
+    } else {
+        let page = match engine.query(&query) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("query: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let elapsed = t1.elapsed();
+        let snap = engine
+            .snapshot(query.method.as_deref())
+            .expect("method resolved by query");
+        println!(
+            "== {} (epoch {}): {} of {} matches in {:.1} µs ==",
+            page.method,
+            page.epoch,
+            page.items.len(),
+            page.matched,
+            elapsed.as_secs_f64() * 1e6
+        );
+        let rows: Vec<Vec<String>> = page
+            .items
+            .iter()
+            .map(|h| {
+                vec![
+                    snap.rank_of(h.id).map_or("-".into(), |r| r.to_string()),
+                    h.id.to_string(),
+                    format!("{:.6}", h.score),
+                    h.year.to_string(),
+                    h.venue.map_or("-".into(), |v| v.to_string()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(&["global rank", "paper", "score", "year", "venue"], &rows)
+        );
+        if let Some(cursor) = page.next {
+            println!("next page: append cursor={cursor}");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_summary(bundles: &[DatasetBundle]) -> bool {

@@ -42,6 +42,9 @@ pub struct Options {
     pub out_dir: std::path::PathBuf,
     /// Method spec whose scores `repro export` persists as epoch 0.
     pub rank: Option<String>,
+    /// Method specs `repro query` serves, `;`-separated in the flag
+    /// (specs contain commas).
+    pub methods: Vec<String>,
 }
 
 impl Default for Options {
@@ -51,6 +54,7 @@ impl Default for Options {
             seed: DEFAULT_SEED,
             out_dir: "results".into(),
             rank: None,
+            methods: vec!["attrank".into(), "cc".into()],
         }
     }
 }
@@ -87,6 +91,22 @@ impl Options {
                     let v = args.get(i).ok_or("--rank needs a method spec")?;
                     opts.rank = Some(v.clone());
                 }
+                "--methods" => {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .ok_or("--methods needs a ;-separated spec list")?;
+                    let methods: Vec<String> = v
+                        .split(';')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect();
+                    if methods.is_empty() {
+                        return Err(format!("bad --methods {v}: no specs"));
+                    }
+                    opts.methods = methods;
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -121,6 +141,23 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.out_dir, std::path::PathBuf::from("/tmp/x"));
         assert_eq!(rest, vec!["fig3"]);
+    }
+
+    #[test]
+    fn parse_methods_splits_on_semicolons() {
+        let args: Vec<String> = ["query", "--methods", "attrank:alpha=0.2,gamma=0.3; cc"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (o, rest) = Options::parse(&args).unwrap();
+        assert_eq!(o.methods, vec!["attrank:alpha=0.2,gamma=0.3", "cc"]);
+        assert_eq!(rest, vec!["query"]);
+        // Default lineup when the flag is absent.
+        let (o, _) = Options::parse(&[]).unwrap();
+        assert_eq!(o.methods, vec!["attrank", "cc"]);
+        // Empty list rejected.
+        let args: Vec<String> = vec!["--methods".into(), " ; ".into()];
+        assert!(Options::parse(&args).is_err());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod window;
 
 pub use builder::{BuildError, NetworkBuilder};
 pub use delta::{DeltaError, GraphDelta};
-pub use metadata::{AuthorTable, VenueTable};
+pub use metadata::{AuthorId, AuthorTable, VenueId, VenueTable};
 pub use network::{CitationNetwork, PaperId, PartsError, Year};
 pub use pushrank::{
     try_push_rerank, uniform_kernel, update_uniform_kernel, DanglingResolution, PushRankConfig,

@@ -31,18 +31,26 @@ pub struct AuthorTable {
 impl AuthorTable {
     /// Builds the table from per-paper author lists.
     ///
-    /// `n_authors` must exceed every id appearing in `per_paper`.
+    /// `n_authors` must exceed every id appearing in `per_paper`. An
+    /// author repeated on one paper's list is kept once (first
+    /// occurrence): authorship is a set, and downstream consumers — the
+    /// FutureRank/WSDM bipartite propagation, the query layer's author
+    /// posting lists — rely on each `(paper, author)` pair appearing at
+    /// most once.
     pub fn new(per_paper: &[Vec<AuthorId>], n_authors: usize) -> Self {
         let mut offsets = Vec::with_capacity(per_paper.len() + 1);
         offsets.push(0usize);
-        let mut author_ids = Vec::new();
+        let mut author_ids: Vec<AuthorId> = Vec::new();
         for authors in per_paper {
+            let start = author_ids.len();
             for &a in authors {
                 assert!(
                     (a as usize) < n_authors,
                     "author id {a} out of range {n_authors}"
                 );
-                author_ids.push(a);
+                if !author_ids[start..].contains(&a) {
+                    author_ids.push(a);
+                }
             }
             offsets.push(author_ids.len());
         }
@@ -123,7 +131,11 @@ impl AuthorTable {
     ///
     /// # Errors
     /// Returns a description when the offsets are empty, don't start at 0,
-    /// decrease, overrun `author_ids`, or an author id is `>= n_authors`.
+    /// decrease, overrun `author_ids`, an author id is `>= n_authors`, or
+    /// an author repeats within one paper's slice (the save path never
+    /// writes duplicates — see [`Self::new`] — so a duplicate here is
+    /// corruption, and accepting it would break the at-most-once pair
+    /// invariant the posting lists serve under).
     pub fn from_flat(
         offsets: Vec<usize>,
         author_ids: Vec<AuthorId>,
@@ -148,6 +160,14 @@ impl AuthorTable {
         if let Some(&a) = author_ids.iter().find(|&&a| a as usize >= n_authors) {
             return Err(format!("author id {a} out of range {n_authors}"));
         }
+        for (p, w) in offsets.windows(2).enumerate() {
+            let slice = &author_ids[w[0]..w[1]];
+            for (i, &a) in slice.iter().enumerate() {
+                if slice[..i].contains(&a) {
+                    return Err(format!("author id {a} repeated for paper {p}"));
+                }
+            }
+        }
         let (rev_offsets, rev_paper_ids) = Self::invert(&offsets, &author_ids, n_authors);
         Ok(Self {
             offsets,
@@ -169,11 +189,24 @@ impl AuthorTable {
 }
 
 /// Paper–venue assignment (at most one venue per paper).
+///
+/// Alongside the per-paper slots, the table prebuilds CSR posting lists
+/// (venue → papers, ascending paper id) so venue predicates in the query
+/// layer resolve to an id slice in O(1) instead of scanning all `n`
+/// papers per call. The posting lists are derived state: only the slots
+/// are serialized (see `graphstore`), and every construction path —
+/// including [`Self::prefix`] — rebuilds them, so round-trips stay
+/// bit-exact.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VenueTable {
     /// `venue[p]` is `Some(v)` when paper `p` appeared at venue `v`.
     venue: Vec<Option<VenueId>>,
     n_venues: usize,
+    /// `post_offsets[v]..post_offsets[v+1]` indexes [`Self::post_papers`]
+    /// for venue `v` (length `n_venues + 1`).
+    post_offsets: Vec<usize>,
+    /// Papers concatenated per venue, ascending paper id within a venue.
+    post_papers: Vec<PaperId>,
 }
 
 impl VenueTable {
@@ -182,7 +215,40 @@ impl VenueTable {
         for v in venue.iter().flatten() {
             assert!((*v as usize) < n_venues, "venue id {v} out of range");
         }
-        Self { venue, n_venues }
+        let (post_offsets, post_papers) = Self::build_postings(&venue, n_venues);
+        Self {
+            venue,
+            n_venues,
+            post_offsets,
+            post_papers,
+        }
+    }
+
+    /// Counting-sort construction of the venue → papers posting lists.
+    /// Paper ids are visited in ascending order, so each list comes out
+    /// sorted — the property the query planner's range intersections and
+    /// deterministic pagination rely on.
+    fn build_postings(venue: &[Option<VenueId>], n_venues: usize) -> (Vec<usize>, Vec<PaperId>) {
+        let mut counts = vec![0usize; n_venues];
+        for v in venue.iter().flatten() {
+            counts[*v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n_venues + 1);
+        offsets.push(0usize);
+        let mut acc = 0;
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut papers = vec![0 as PaperId; acc];
+        let mut cursor = offsets[..n_venues].to_vec();
+        for (p, v) in venue.iter().enumerate() {
+            if let Some(v) = v {
+                papers[cursor[*v as usize]] = p as PaperId;
+                cursor[*v as usize] += 1;
+            }
+        }
+        (offsets, papers)
     }
 
     /// Number of papers covered.
@@ -206,23 +272,33 @@ impl VenueTable {
         &self.venue
     }
 
-    /// Papers at venue `v` (linear scan; used only at experiment setup).
-    pub fn papers_at(&self, v: VenueId) -> Vec<PaperId> {
-        self.venue
-            .iter()
-            .enumerate()
-            .filter(|(_, &x)| x == Some(v))
-            .map(|(p, _)| p as PaperId)
-            .collect()
+    /// Papers at venue `v`, ascending paper id — a borrowed slice of the
+    /// prebuilt posting list (O(1); this used to be an O(n) scan per
+    /// call).
+    ///
+    /// # Panics
+    /// Panics if `v >= n_venues()`; callers resolving untrusted venue ids
+    /// (the query layer) bounds-check first and return a typed error.
+    pub fn papers_at(&self, v: VenueId) -> &[PaperId] {
+        let v = v as usize;
+        assert!(v < self.n_venues, "venue id {v} out of range");
+        &self.post_papers[self.post_offsets[v]..self.post_offsets[v + 1]]
     }
 
-    /// Restricts to the first `k` papers.
+    /// Number of papers at venue `v` (posting-list length, O(1)) — the
+    /// exact selectivity estimate the query planner orders predicates by.
+    ///
+    /// # Panics
+    /// Panics if `v >= n_venues()`.
+    pub fn n_papers_at(&self, v: VenueId) -> usize {
+        self.papers_at(v).len()
+    }
+
+    /// Restricts to the first `k` papers (posting lists are rebuilt for
+    /// the prefix, so [`Self::papers_at`] stays correct on snapshots).
     pub fn prefix(&self, k: usize) -> VenueTable {
         assert!(k <= self.n_papers());
-        VenueTable {
-            venue: self.venue[..k].to_vec(),
-            n_venues: self.n_venues,
-        }
+        VenueTable::new(self.venue[..k].to_vec(), self.n_venues)
     }
 }
 
@@ -302,6 +378,24 @@ mod tests {
         assert!(AuthorTable::from_flat(vec![0, 2, 1], vec![0, 0], 1).is_err());
         assert!(AuthorTable::from_flat(vec![0, 3], vec![0, 0], 1).is_err());
         assert!(AuthorTable::from_flat(vec![0, 1], vec![9], 3).is_err());
+        // An author repeated within one paper's slice is corruption (the
+        // save path never writes it); the same author on *different*
+        // papers is fine.
+        let err = AuthorTable::from_flat(vec![0, 2], vec![1, 1], 2).unwrap_err();
+        assert!(err.contains("repeated"), "{err}");
+        assert!(AuthorTable::from_flat(vec![0, 1, 2], vec![1, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn duplicate_authors_on_one_paper_collapse() {
+        // Authorship is a set: a duplicate listing must not double the
+        // paper in the author's posting list (the query layer serves
+        // pages straight off `papers_of`).
+        let t = AuthorTable::new(&[vec![0, 0, 1], vec![1, 0, 1]], 2);
+        assert_eq!(t.authors_of(0), &[0, 1]);
+        assert_eq!(t.authors_of(1), &[1, 0]);
+        assert_eq!(t.papers_of(0), &[0, 1]);
+        assert_eq!(t.papers_of(1), &[0, 1]);
     }
 
     #[test]
@@ -315,21 +409,65 @@ mod tests {
         let t = VenueTable::new(vec![Some(0), None, Some(1), Some(0)], 2);
         assert_eq!(t.venue_of(0), Some(0));
         assert_eq!(t.venue_of(1), None);
-        assert_eq!(t.papers_at(0), vec![0, 3]);
-        assert_eq!(t.papers_at(1), vec![2]);
+        assert_eq!(t.papers_at(0), &[0, 3]);
+        assert_eq!(t.papers_at(1), &[2]);
+        assert_eq!(t.n_papers_at(0), 2);
         assert_eq!(t.n_venues(), 2);
+    }
+
+    #[test]
+    fn venue_postings_match_slot_scan() {
+        // The prebuilt posting lists must be exactly what the old O(n)
+        // scan produced: every paper at `v`, ascending id.
+        let slots = vec![Some(2), None, Some(0), Some(2), None, Some(1), Some(2)];
+        let t = VenueTable::new(slots.clone(), 3);
+        for v in 0..3u32 {
+            let scanned: Vec<PaperId> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x == Some(v))
+                .map(|(p, _)| p as PaperId)
+                .collect();
+            assert_eq!(t.papers_at(v), scanned.as_slice(), "venue {v}");
+            assert!(t.papers_at(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn venue_empty_venue_has_empty_postings() {
+        // Venue 1 exists in the id space but no paper was assigned to it.
+        let t = VenueTable::new(vec![Some(0), Some(0)], 2);
+        assert_eq!(t.papers_at(1), &[] as &[u32]);
+        assert_eq!(t.n_papers_at(1), 0);
     }
 
     #[test]
     fn venue_prefix() {
         let t = VenueTable::new(vec![Some(0), None, Some(1)], 2).prefix(2);
         assert_eq!(t.n_papers(), 2);
-        assert_eq!(t.papers_at(1), Vec::<u32>::new());
+        assert_eq!(t.papers_at(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn venue_prefix_rebuilds_postings() {
+        let t = VenueTable::new(vec![Some(0), Some(1), Some(0), Some(0)], 2);
+        assert_eq!(t.papers_at(0), &[0, 2, 3]);
+        let p = t.prefix(3);
+        assert_eq!(p.papers_at(0), &[0, 2], "paper 3 dropped from postings");
+        assert_eq!(p.papers_at(1), &[1]);
+        // A prefix round-trips through slots exactly like a fresh build.
+        assert_eq!(p, VenueTable::new(p.slots().to_vec(), p.n_venues()));
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn venue_out_of_range_panics() {
         VenueTable::new(vec![Some(9)], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn venue_postings_out_of_range_panics() {
+        VenueTable::new(vec![Some(0)], 1).papers_at(1);
     }
 }

@@ -293,6 +293,30 @@ impl CitationNetwork {
         self.prefix(self.papers_until(year))
     }
 
+    /// The contiguous id range of papers published within `[lo, hi]`
+    /// (either bound optional; `None` means unbounded on that side).
+    ///
+    /// Paper ids are assigned in chronological order, so the sorted
+    /// `years` array *is* a year → id-range index: two binary searches
+    /// compile a year predicate into an id range without touching all `n`
+    /// papers — the query planner's cheapest possible driver. An
+    /// inverted bound (`lo > hi`) yields an empty range, not an error.
+    pub fn id_range_for_years(
+        &self,
+        lo: Option<Year>,
+        hi: Option<Year>,
+    ) -> std::ops::Range<PaperId> {
+        let start = match lo {
+            Some(lo) => self.years.partition_point(|&y| y < lo),
+            None => 0,
+        };
+        let end = match hi {
+            Some(hi) => self.years.partition_point(|&y| y <= hi),
+            None => self.n_papers(),
+        };
+        start as PaperId..end.max(start) as PaperId
+    }
+
     /// In-degree of every paper as a dense vector (`CC` for all papers).
     pub fn citation_counts(&self) -> Vec<usize> {
         self.citers.degrees()
@@ -380,6 +404,36 @@ mod tests {
         assert_eq!(net.papers_until(1990), 1);
         assert_eq!(net.papers_until(1992), 3);
         assert_eq!(net.papers_until(2000), 5);
+    }
+
+    #[test]
+    fn id_range_for_years_compiles_to_prefix_bounds() {
+        let net = small(); // years 1990..=1994, one paper each
+        assert_eq!(net.id_range_for_years(None, None), 0..5);
+        assert_eq!(net.id_range_for_years(Some(1991), Some(1993)), 1..4);
+        assert_eq!(net.id_range_for_years(Some(1991), None), 1..5);
+        assert_eq!(net.id_range_for_years(None, Some(1992)), 0..3);
+        // Out-of-corpus bounds clamp to empty ranges at the ends.
+        assert_eq!(net.id_range_for_years(Some(1999), None), 5..5);
+        assert_eq!(net.id_range_for_years(None, Some(1980)), 0..0);
+        // Inverted bounds are an empty range, not a panic.
+        assert!(net.id_range_for_years(Some(1993), Some(1991)).is_empty());
+        // Agrees with the prefix arithmetic.
+        assert_eq!(
+            net.id_range_for_years(None, Some(1992)).end as usize,
+            net.papers_until(1992)
+        );
+    }
+
+    #[test]
+    fn id_range_for_years_with_duplicate_years() {
+        let mut b = NetworkBuilder::new();
+        for year in [1990, 1991, 1991, 1991, 1994] {
+            b.add_paper(year);
+        }
+        let net = b.build().unwrap();
+        assert_eq!(net.id_range_for_years(Some(1991), Some(1991)), 1..4);
+        assert_eq!(net.id_range_for_years(Some(1992), Some(1993)), 4..4);
     }
 
     #[test]

@@ -137,13 +137,18 @@ impl RerankPolicy {
 /// Snapshots are shared via `Arc`; everything here is read-only after
 /// construction (the lazily built rank-position table is a `OnceLock`), so
 /// any number of threads can query one snapshot concurrently.
+///
+/// A snapshot pins the *network state* its scores were computed on (an
+/// `Arc` share with the writer, not a copy): scores, years, venue and
+/// author metadata all come from the same frozen epoch, which is what
+/// makes the query layer's filtered top-k and cursor pagination
+/// snapshot-consistent — a reader holding this `Arc` is immune to
+/// concurrent publishes.
 #[derive(Debug)]
 pub struct EpochSnapshot {
     epoch: u64,
-    n_papers: usize,
-    n_citations: usize,
-    current_year: Option<Year>,
     strategy: RerankStrategy,
+    net: Arc<CitationNetwork>,
     scores: ScoreVec,
     /// `positions[p]` = 0-based rank position of paper `p`, built on the
     /// first `rank_of` call (a top-k-only reader never pays for it).
@@ -158,17 +163,25 @@ impl EpochSnapshot {
 
     /// Papers covered by this epoch.
     pub fn n_papers(&self) -> usize {
-        self.n_papers
+        self.net.n_papers()
     }
 
     /// Citations in the network state this epoch was ranked on.
     pub fn n_citations(&self) -> usize {
-        self.n_citations
+        self.net.n_citations()
     }
 
     /// Year of the newest paper in this epoch's network state.
     pub fn current_year(&self) -> Option<Year> {
-        self.current_year
+        self.net.current_year()
+    }
+
+    /// The exact network state these scores were computed on. Holding the
+    /// snapshot keeps it alive; predicates resolved against it (venue
+    /// posting lists, author incidence, year ranges) can never disagree
+    /// with the score vector.
+    pub fn network(&self) -> &Arc<CitationNetwork> {
+        &self.net
     }
 
     /// How this epoch's scores were computed: the initial rank, a full
@@ -268,7 +281,10 @@ impl EngineRanker {
 }
 
 struct WriterState {
-    net: CitationNetwork,
+    /// The authoritative network, shared (not copied) into every
+    /// published [`EpochSnapshot`]; a publish swaps in a freshly built
+    /// successor `Arc`.
+    net: Arc<CitationNetwork>,
     ranker: EngineRanker,
     workspace: KernelWorkspace,
     /// Validated-but-unapplied additions. Ingests merge into this staged
@@ -321,6 +337,7 @@ impl RankingEngine {
         spec: &MethodSpec,
         policy: RerankPolicy,
     ) -> Result<Self, SpecError> {
+        let net = Arc::new(net);
         let mut ranker = Self::make_ranker(spec)?;
         let mut workspace = KernelWorkspace::new();
         let scores = ranker.rank_full(&net, &mut workspace);
@@ -586,7 +603,7 @@ impl RankingEngine {
             )
         };
         let watermark = store.wal_watermark().unwrap_or(0);
-        let net = store.to_network()?;
+        let net = Arc::new(store.to_network()?);
         let ranker = Self::make_ranker(&spec)?;
         let snapshot = Self::freeze(epoch, &net, scores, RerankStrategy::Restored);
         let engine = Arc::new(Self {
@@ -673,10 +690,12 @@ impl RankingEngine {
                 RerankStrategy::Full,
             )
         } else {
-            let next = state
-                .net
-                .with_delta(&state.staged)
-                .expect("staged deltas were validated at ingest");
+            let next = Arc::new(
+                state
+                    .net
+                    .with_delta(&state.staged)
+                    .expect("staged deltas were validated at ingest"),
+            );
             let (scores, strategy) = state.ranker.rank_delta(
                 &state.net,
                 &state.staged,
@@ -709,16 +728,14 @@ impl RankingEngine {
 
     fn freeze(
         epoch: u64,
-        net: &CitationNetwork,
+        net: &Arc<CitationNetwork>,
         scores: ScoreVec,
         strategy: RerankStrategy,
     ) -> Arc<EpochSnapshot> {
         Arc::new(EpochSnapshot {
             epoch,
-            n_papers: net.n_papers(),
-            n_citations: net.n_citations(),
-            current_year: net.current_year(),
             strategy,
+            net: net.clone(),
             scores,
             positions: OnceLock::new(),
         })

@@ -13,7 +13,13 @@
 //!   publishes scores as immutable, `Arc`-swapped [`EpochSnapshot`]s:
 //!   unlimited concurrent readers serve `top_k` (partial select) and rank
 //!   lookups while batched [`citegraph::GraphDelta`]s fold in under a
-//!   configurable [`RerankPolicy`], with warm-started re-ranks for AttRank.
+//!   configurable [`RerankPolicy`], with warm-started re-ranks for AttRank,
+//! * [`query`] — [`QueryEngine`], the filtered/faceted/paginated read
+//!   workload: a compact [`Query`] grammar (venue, author, year range,
+//!   offset-free cursors), a selectivity-ordered planner compiling
+//!   predicates to posting lists and id ranges, snapshot-pinned
+//!   pagination with typed stale-cursor errors, and a two-method
+//!   compare mode.
 //!
 //! ```
 //! use citegraph::{GraphDelta, NetworkBuilder};
@@ -49,12 +55,17 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod query;
 pub mod registry;
 pub mod spec;
 
 pub use engine::{
     ColdStart, EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy,
     RerankStrategy, WarmupReport,
+};
+pub use query::{
+    CompareRow, Comparison, Cursor, Hit, Page, Query, QueryDriver, QueryEngine, QueryError,
+    QueryPlan,
 };
 pub use registry::{build, default_comparison_specs, known_methods, parse_and_build, BoxedRanker};
 pub use spec::{EnsembleRule, MethodSpec, SpecError};

@@ -1,0 +1,1349 @@
+//! Filtered, faceted, paginated top-k queries over epoch snapshots.
+//!
+//! This is the read-side workload layer: the consumers of a citation
+//! ranker (scholar search, venue dashboards, author pages) never ask for
+//! a *global* top-k — they ask for "the top papers at this venue since
+//! 2015", page by page, and they want two methods' verdicts side by
+//! side. A [`Query`] expresses exactly that; a [`QueryEngine`] executes
+//! it against one pinned [`EpochSnapshot`] so results are immune to
+//! concurrent publishes.
+//!
+//! # Query grammar
+//!
+//! Compact `key=value` lists, mirroring the [`MethodSpec`] style:
+//!
+//! ```text
+//! venue=3,k=10
+//! method=attrank,author=42,year=1995..2000,k=5
+//! method=attrank,vs=cc,venue=3,k=20
+//! k=10,cursor=c1-3fe51eb851eb851f-2a-9e3779b97f4a7c15
+//! ```
+//!
+//! `year` accepts `A..B`, `A..`, `..B` or a single year. `vs` names a
+//! second registered method for [`QueryEngine::compare`]. Unknown keys,
+//! duplicates and malformed values are typed errors naming the offending
+//! key, like the method-spec parser.
+//!
+//! # Planner
+//!
+//! Every predicate compiles to an id set/range with an *exact*
+//! cardinality — venue and author predicates to prebuilt posting lists
+//! (`citegraph::VenueTable::papers_at`, `AuthorTable::papers_of`), year
+//! bounds to a contiguous id range via binary search on the time-sorted
+//! id space. The planner picks the smallest as the *driver* and demotes
+//! the rest to per-candidate residual checks (O(1) venue/year tests, an
+//! [`IdMask`] membership test for author incidence), then executes with
+//! the selection kernel matching the driver shape:
+//! [`sparsela::top_k_filtered`] over a posting list,
+//! [`sparsela::top_k_where`] over an id range. A query with no
+//! predicates and no cursor falls through to the plain partial select —
+//! the unfiltered path costs exactly what it did before this layer
+//! existed.
+//!
+//! # Cursors
+//!
+//! Pagination is offset-free: a [`Cursor`] embeds the epoch it was
+//! minted on, the `(score, id)` position of the last returned item, and
+//! a fingerprint of the filter set. Page `n+1` selects the best items
+//! *strictly after* that position in the total order
+//! ([`sparsela::cmp_score_desc`]: descending score, ties by ascending
+//! id, NaN last), so pages never overlap and never skip — even under
+//! heavy score ties. A cursor presented to a snapshot from a different
+//! epoch fails with [`QueryError::StaleCursor`] (results silently
+//! shifting under a client mid-pagination is the bug this type system
+//! exists to prevent); hold the `Arc<EpochSnapshot>` (or re-issue page 1)
+//! to paginate consistently across publishes.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use citegraph::{AuthorId, CitationNetwork, GraphDelta, PaperId, VenueId, Year};
+use sparsela::{cmp_score_desc, top_k_filtered, top_k_indices, top_k_where, IdMask};
+
+use crate::engine::{EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy};
+use crate::spec::{MethodSpec, SpecError};
+
+/// A filtered, paginated top-k request.
+///
+/// All facets are optional; an empty query is the global top-k. Parse
+/// one from the compact grammar (see the module docs) or build it
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Registered method to rank by (`None` = the engine's default).
+    pub method: Option<String>,
+    /// Second registered method for [`QueryEngine::compare`].
+    pub vs: Option<String>,
+    /// Page size (default 10).
+    pub k: usize,
+    /// Earliest admissible publication year (inclusive).
+    pub year_min: Option<Year>,
+    /// Latest admissible publication year (inclusive).
+    pub year_max: Option<Year>,
+    /// Restrict to papers at this venue.
+    pub venue: Option<VenueId>,
+    /// Restrict to papers (co-)written by this author.
+    pub author: Option<AuthorId>,
+    /// Resume marker from a previous [`Page::next`].
+    pub cursor: Option<Cursor>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Self {
+            method: None,
+            vs: None,
+            k: 10,
+            year_min: None,
+            year_max: None,
+            venue: None,
+            author: None,
+            cursor: None,
+        }
+    }
+}
+
+impl Query {
+    /// `true` when no facet restricts the id space (a cursor is not a
+    /// facet — it restricts the *position*, not the candidate set).
+    fn is_unfiltered(&self) -> bool {
+        self.year_min.is_none()
+            && self.year_max.is_none()
+            && self.venue.is_none()
+            && self.author.is_none()
+    }
+}
+
+impl fmt::Display for Query {
+    /// Canonical grammar form; `parse ∘ display` is the identity.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(m) = &self.method {
+            write!(f, "method={m},")?;
+        }
+        if let Some(v) = &self.vs {
+            write!(f, "vs={v},")?;
+        }
+        write!(f, "k={}", self.k)?;
+        match (self.year_min, self.year_max) {
+            (None, None) => {}
+            (lo, hi) => {
+                write!(f, ",year=")?;
+                if let Some(lo) = lo {
+                    write!(f, "{lo}")?;
+                }
+                write!(f, "..")?;
+                if let Some(hi) = hi {
+                    write!(f, "{hi}")?;
+                }
+            }
+        }
+        if let Some(v) = self.venue {
+            write!(f, ",venue={v}")?;
+        }
+        if let Some(a) = self.author {
+            write!(f, ",author={a}")?;
+        }
+        if let Some(c) = &self.cursor {
+            write!(f, ",cursor={c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Query {
+    type Err = QueryError;
+
+    fn from_str(s: &str) -> Result<Self, QueryError> {
+        let mut q = Query::default();
+        let mut seen: Vec<&str> = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part.split_once('=').ok_or_else(|| QueryError::Syntax {
+                message: format!("expected key=value, got {part:?}"),
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            if seen.contains(&key) {
+                return Err(QueryError::DuplicateKey { key: key.into() });
+            }
+            let bad = |k: &str, v: &str| QueryError::BadValue {
+                key: k.into(),
+                value: v.into(),
+            };
+            match key {
+                "method" => q.method = Some(value.to_string()),
+                "vs" => q.vs = Some(value.to_string()),
+                "k" => q.k = value.parse().map_err(|_| bad(key, value))?,
+                "year" => {
+                    let (lo, hi) = match value.split_once("..") {
+                        Some((lo, hi)) => (lo.trim(), hi.trim()),
+                        None => (value, value), // single year = degenerate range
+                    };
+                    q.year_min = match lo {
+                        "" => None,
+                        y => Some(y.parse().map_err(|_| bad(key, value))?),
+                    };
+                    q.year_max = match hi {
+                        "" => None,
+                        y => Some(y.parse().map_err(|_| bad(key, value))?),
+                    };
+                }
+                "venue" => q.venue = Some(value.parse().map_err(|_| bad(key, value))?),
+                "author" => q.author = Some(value.parse().map_err(|_| bad(key, value))?),
+                "cursor" => q.cursor = Some(value.parse()?),
+                other => {
+                    return Err(QueryError::UnknownKey { key: other.into() });
+                }
+            }
+            seen.push(key);
+        }
+        Ok(q)
+    }
+}
+
+/// Why a query (or a cursor) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Malformed grammar (missing `=`, bad cursor shape, …).
+    Syntax {
+        /// What went wrong.
+        message: String,
+    },
+    /// A key the grammar does not know.
+    UnknownKey {
+        /// The offending key.
+        key: String,
+    },
+    /// A key given more than once.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+    },
+    /// A value that failed to parse for its key.
+    BadValue {
+        /// The key.
+        key: String,
+        /// The unparsable text.
+        value: String,
+    },
+    /// `method`/`vs` names a method the engine does not serve.
+    UnknownMethod {
+        /// The requested name.
+        name: String,
+        /// The methods actually registered.
+        known: Vec<String>,
+    },
+    /// A venue facet against a corpus with no venue metadata.
+    NoVenueData,
+    /// An author facet against a corpus with no author metadata.
+    NoAuthorData,
+    /// A venue id past the corpus's venue id space.
+    UnknownVenue {
+        /// The requested venue.
+        id: VenueId,
+        /// The number of known venues.
+        n_venues: usize,
+    },
+    /// An author id past the corpus's author id space.
+    UnknownAuthor {
+        /// The requested author.
+        id: AuthorId,
+        /// The number of known authors.
+        n_authors: usize,
+    },
+    /// The cursor was minted on a different epoch than the snapshot
+    /// answering the query: the ranking it walked no longer exists here.
+    StaleCursor {
+        /// Epoch the cursor was minted on.
+        cursor_epoch: u64,
+        /// Epoch of the snapshot asked to resume it.
+        current_epoch: u64,
+    },
+    /// The cursor was minted for a different method/filter combination
+    /// than this query (resuming it would silently change result sets).
+    CursorMismatch,
+    /// [`QueryEngine::compare`] needs `vs=<method>` in the query.
+    MissingCompareMethod,
+    /// A method spec failed while building the engine set.
+    Spec(SpecError),
+    /// Two specs share one method name (queries could not address them).
+    DuplicateMethod {
+        /// The colliding canonical name.
+        name: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Syntax { message } => write!(f, "bad query syntax: {message}"),
+            QueryError::UnknownKey { key } => write!(f, "unknown query key {key:?}"),
+            QueryError::DuplicateKey { key } => {
+                write!(f, "query key {key:?} given more than once")
+            }
+            QueryError::BadValue { key, value } => {
+                write!(f, "cannot parse {value:?} for query key {key:?}")
+            }
+            QueryError::UnknownMethod { name, known } => {
+                write!(
+                    f,
+                    "method {name:?} not served (known: {})",
+                    known.join(", ")
+                )
+            }
+            QueryError::NoVenueData => write!(f, "corpus has no venue metadata"),
+            QueryError::NoAuthorData => write!(f, "corpus has no author metadata"),
+            QueryError::UnknownVenue { id, n_venues } => {
+                write!(f, "venue {id} out of range ({n_venues} venues)")
+            }
+            QueryError::UnknownAuthor { id, n_authors } => {
+                write!(f, "author {id} out of range ({n_authors} authors)")
+            }
+            QueryError::StaleCursor {
+                cursor_epoch,
+                current_epoch,
+            } => write!(
+                f,
+                "stale cursor: minted on epoch {cursor_epoch}, current epoch is \
+                 {current_epoch} (pin the snapshot or restart from page 1)"
+            ),
+            QueryError::CursorMismatch => write!(
+                f,
+                "cursor was minted for a different method/filter combination"
+            ),
+            QueryError::MissingCompareMethod => {
+                write!(f, "compare needs vs=<method> in the query")
+            }
+            QueryError::Spec(e) => write!(f, "method spec: {e}"),
+            QueryError::DuplicateMethod { name } => {
+                write!(f, "two specs share the method name {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<SpecError> for QueryError {
+    fn from(e: SpecError) -> Self {
+        QueryError::Spec(e)
+    }
+}
+
+/// An offset-free pagination marker.
+///
+/// Encodes the epoch it was minted on, the `(score, id)` position of the
+/// last item served, and a fingerprint of the `(method, filters)` it
+/// belongs to. Serializes to a compact token (`Display`/`FromStr`) for
+/// transport through the CLI / an API boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    epoch: u64,
+    score_bits: u64,
+    last_id: PaperId,
+    fingerprint: u64,
+}
+
+impl Cursor {
+    /// The epoch this cursor paginates (queries against any other epoch
+    /// fail with [`QueryError::StaleCursor`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The id of the last item the previous page served.
+    pub fn last_id(&self) -> PaperId {
+        self.last_id
+    }
+}
+
+impl fmt::Display for Cursor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c{:x}-{:x}-{:x}-{:x}",
+            self.epoch, self.score_bits, self.last_id, self.fingerprint
+        )
+    }
+}
+
+impl FromStr for Cursor {
+    type Err = QueryError;
+
+    fn from_str(s: &str) -> Result<Self, QueryError> {
+        let bad = || QueryError::BadValue {
+            key: "cursor".into(),
+            value: s.into(),
+        };
+        let body = s.strip_prefix('c').ok_or_else(bad)?;
+        let mut parts = body.split('-');
+        let mut field = || {
+            parts
+                .next()
+                .and_then(|p| u64::from_str_radix(p, 16).ok())
+                .ok_or_else(bad)
+        };
+        let (epoch, score_bits, last_id, fingerprint) = (field()?, field()?, field()?, field()?);
+        if parts.next().is_some() || last_id > PaperId::MAX as u64 {
+            return Err(bad());
+        }
+        Ok(Cursor {
+            epoch,
+            score_bits,
+            last_id: last_id as PaperId,
+            fingerprint,
+        })
+    }
+}
+
+/// FNV-1a over the canonical `(method, filters)` identity of a query —
+/// what binds a [`Cursor`] to the result set it walks. Page size and
+/// `vs` are deliberately excluded: changing `k` mid-pagination is
+/// legitimate, and compare mode joins onto the same primary ranking.
+fn fingerprint(method: &str, q: &Query) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(method.as_bytes());
+    eat(format!(
+        "|{:?}|{:?}|{:?}|{:?}",
+        q.year_min, q.year_max, q.venue, q.author
+    )
+    .as_bytes());
+    h
+}
+
+/// One page of query results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    /// The method that produced the ranking.
+    pub method: String,
+    /// The epoch the page was served from.
+    pub epoch: u64,
+    /// The hits, best first (at most `k`).
+    pub items: Vec<Hit>,
+    /// Total candidates matching the filters at (and after) the cursor
+    /// position — `items.len() + what later pages would return`.
+    pub matched: usize,
+    /// Cursor for the next page; `None` when this page exhausts the
+    /// result set (or `k` was 0).
+    pub next: Option<Cursor>,
+}
+
+/// One ranked result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// The paper.
+    pub id: PaperId,
+    /// Its score under the query's method, in this epoch.
+    pub score: f64,
+    /// Its publication year.
+    pub year: Year,
+    /// Its venue, when the corpus has venue metadata.
+    pub venue: Option<VenueId>,
+}
+
+/// What drives candidate enumeration for a query — the predicate the
+/// planner judged cheapest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryDriver {
+    /// No facets, no cursor: plain partial select over all scores.
+    Unfiltered,
+    /// Scan of a contiguous id range (year bounds, or a cursor with no
+    /// facets).
+    IdRange {
+        /// First id scanned.
+        start: PaperId,
+        /// One past the last id scanned.
+        end: PaperId,
+    },
+    /// A venue's prebuilt posting list.
+    VenuePostings {
+        /// The venue.
+        venue: VenueId,
+        /// Posting-list length (exact selectivity).
+        len: usize,
+    },
+    /// An author's prebuilt posting list.
+    AuthorPostings {
+        /// The author.
+        author: AuthorId,
+        /// Posting-list length (exact selectivity).
+        len: usize,
+    },
+}
+
+/// The planner's verdict for a query against one snapshot: which
+/// predicate drives, how many candidates it enumerates, and which
+/// predicates remain as per-candidate residual checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// The driving predicate.
+    pub driver: QueryDriver,
+    /// Ids the driver enumerates (exact, not an estimate — every
+    /// predicate's cardinality is known from its index).
+    pub candidates: usize,
+    /// Residual predicate names, applied per enumerated candidate
+    /// (`"year"`, `"venue"`, `"author"`, `"cursor"`).
+    pub residuals: Vec<&'static str>,
+}
+
+/// Plans `q` against the network of one snapshot. Pure function of the
+/// predicate cardinalities; separated from execution so tests (and the
+/// CLI's explain output) can inspect planner decisions directly.
+fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
+    // Resolve + bounds-check every facet first: a typed error beats a
+    // silent empty page for ids outside the corpus's id spaces.
+    let venue_len = match q.venue {
+        None => None,
+        Some(v) => {
+            let table = net.venues().ok_or(QueryError::NoVenueData)?;
+            if (v as usize) >= table.n_venues() {
+                return Err(QueryError::UnknownVenue {
+                    id: v,
+                    n_venues: table.n_venues(),
+                });
+            }
+            Some(table.n_papers_at(v))
+        }
+    };
+    let author_len = match q.author {
+        None => None,
+        Some(a) => {
+            let table = net.authors().ok_or(QueryError::NoAuthorData)?;
+            if (a as usize) >= table.n_authors() {
+                return Err(QueryError::UnknownAuthor {
+                    id: a,
+                    n_authors: table.n_authors(),
+                });
+            }
+            Some(table.papers_of(a).len())
+        }
+    };
+    let year_range = net.id_range_for_years(q.year_min, q.year_max);
+    let year_len = (year_range.end - year_range.start) as usize;
+    let has_year = q.year_min.is_some() || q.year_max.is_some();
+
+    if q.is_unfiltered() {
+        return Ok(if q.cursor.is_some() {
+            // Position-only restriction: one sequential scan.
+            QueryPlan {
+                driver: QueryDriver::IdRange {
+                    start: year_range.start,
+                    end: year_range.end,
+                },
+                candidates: year_len,
+                residuals: vec!["cursor"],
+            }
+        } else {
+            QueryPlan {
+                driver: QueryDriver::Unfiltered,
+                candidates: net.n_papers(),
+                residuals: Vec::new(),
+            }
+        });
+    }
+
+    // Order predicates by exact selectivity; the smallest id set drives.
+    let mut best: (usize, QueryDriver) = (
+        year_len,
+        QueryDriver::IdRange {
+            start: year_range.start,
+            end: year_range.end,
+        },
+    );
+    if let (Some(v), Some(len)) = (q.venue, venue_len) {
+        if len < best.0 {
+            best = (len, QueryDriver::VenuePostings { venue: v, len });
+        }
+    }
+    if let (Some(a), Some(len)) = (q.author, author_len) {
+        if len < best.0 {
+            best = (len, QueryDriver::AuthorPostings { author: a, len });
+        }
+    }
+    let (candidates, driver) = best;
+    let mut residuals = Vec::new();
+    if has_year && !matches!(driver, QueryDriver::IdRange { .. }) {
+        residuals.push("year");
+    }
+    if q.venue.is_some() && !matches!(driver, QueryDriver::VenuePostings { .. }) {
+        residuals.push("venue");
+    }
+    if q.author.is_some() && !matches!(driver, QueryDriver::AuthorPostings { .. }) {
+        residuals.push("author");
+    }
+    if q.cursor.is_some() {
+        residuals.push("cursor");
+    }
+    Ok(QueryPlan {
+        driver,
+        candidates,
+        residuals,
+    })
+}
+
+/// Executes `q` against one pinned snapshot. `method` is the resolved
+/// method label (for the page header and the cursor fingerprint).
+fn execute(snap: &EpochSnapshot, method: &str, q: &Query) -> Result<Page, QueryError> {
+    let net = snap.network();
+    let scores = snap.scores().as_slice();
+    let fp = fingerprint(method, q);
+
+    // Cursor validity: right epoch, right (method, filter) identity.
+    let cursor_pos: Option<(f64, PaperId)> = match q.cursor {
+        None => None,
+        Some(c) => {
+            if c.epoch != snap.epoch() {
+                return Err(QueryError::StaleCursor {
+                    cursor_epoch: c.epoch,
+                    current_epoch: snap.epoch(),
+                });
+            }
+            if c.fingerprint != fp {
+                return Err(QueryError::CursorMismatch);
+            }
+            Some((f64::from_bits(c.score_bits), c.last_id))
+        }
+    };
+    let after_cursor = |id: u32| match cursor_pos {
+        None => true,
+        Some((cs, cid)) => {
+            cmp_score_desc(scores[id as usize], id, cs, cid) == std::cmp::Ordering::Greater
+        }
+    };
+
+    let plan = plan(net, q)?;
+    let (ids, matched) = match plan.driver {
+        QueryDriver::Unfiltered => (top_k_indices(scores, q.k), net.n_papers()),
+        QueryDriver::IdRange { start, end } => {
+            // Residuals here are at most venue/author/cursor: the range
+            // itself is the year predicate.
+            let venue_check: Option<(VenueId, &citegraph::VenueTable)> =
+                q.venue.map(|v| (v, net.venues().expect("planned")));
+            let author_mask: Option<IdMask> = q.author.map(|a| {
+                let table = net.authors().expect("planned");
+                IdMask::from_ids(net.n_papers(), table.papers_of(a).iter().copied())
+            });
+            let mut matched = 0usize;
+            let mut pred = |id: u32| {
+                let ok = venue_check
+                    .as_ref()
+                    .is_none_or(|(v, t)| t.venue_of(id) == Some(*v))
+                    && author_mask.as_ref().is_none_or(|m| m.contains(id))
+                    && after_cursor(id);
+                matched += ok as usize;
+                ok
+            };
+            // `matched` is a side effect of the predicate, so the scan
+            // must run even when k = 0 and the selection kernel has
+            // nothing to select (a k=0 query is a cheap count).
+            let ids = if q.k == 0 {
+                for id in start..end {
+                    pred(id);
+                }
+                Vec::new()
+            } else {
+                top_k_where(scores, start..end, q.k, pred)
+            };
+            (ids, matched)
+        }
+        QueryDriver::VenuePostings { .. } | QueryDriver::AuthorPostings { .. } => {
+            let postings: &[PaperId] = match plan.driver {
+                QueryDriver::VenuePostings { venue, .. } => {
+                    net.venues().expect("planned").papers_at(venue)
+                }
+                QueryDriver::AuthorPostings { author, .. } => {
+                    net.authors().expect("planned").papers_of(author)
+                }
+                _ => unreachable!("matched a postings driver"),
+            };
+            let range = net.id_range_for_years(q.year_min, q.year_max);
+            let venue_residual = match plan.driver {
+                QueryDriver::VenuePostings { .. } => None,
+                _ => q.venue.map(|v| (v, net.venues().expect("planned"))),
+            };
+            let author_mask: Option<IdMask> = match plan.driver {
+                QueryDriver::AuthorPostings { .. } => None,
+                _ => q.author.map(|a| {
+                    let table = net.authors().expect("planned");
+                    IdMask::from_ids(net.n_papers(), table.papers_of(a).iter().copied())
+                }),
+            };
+            let candidates: Vec<PaperId> = postings
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    range.contains(&id)
+                        && venue_residual
+                            .as_ref()
+                            .is_none_or(|(v, t)| t.venue_of(id) == Some(*v))
+                        && author_mask.as_ref().is_none_or(|m| m.contains(id))
+                        && after_cursor(id)
+                })
+                .collect();
+            let matched = candidates.len();
+            (top_k_filtered(scores, &candidates, q.k), matched)
+        }
+    };
+
+    let items: Vec<Hit> = ids
+        .iter()
+        .map(|&id| Hit {
+            id,
+            score: scores[id as usize],
+            year: net.year(id),
+            venue: net.venues().and_then(|t| t.venue_of(id)),
+        })
+        .collect();
+    // More matches exist past this page ⇒ mint the resume cursor from
+    // the last item's (score, id) position.
+    let next = match items.last() {
+        Some(last) if matched > items.len() => Some(Cursor {
+            epoch: snap.epoch(),
+            score_bits: last.score.to_bits(),
+            last_id: last.id,
+            fingerprint: fp,
+        }),
+        _ => None,
+    };
+    Ok(Page {
+        method: method.to_string(),
+        epoch: snap.epoch(),
+        items,
+        matched,
+        next,
+    })
+}
+
+/// One row of a two-method comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareRow {
+    /// The paper.
+    pub id: PaperId,
+    /// Score under the primary method.
+    pub score_a: f64,
+    /// 1-based global rank under the primary method.
+    pub rank_a: usize,
+    /// Score under the `vs` method (`None` when its epoch does not cover
+    /// the id yet).
+    pub score_b: Option<f64>,
+    /// 1-based global rank under the `vs` method.
+    pub rank_b: Option<usize>,
+}
+
+/// The result of [`QueryEngine::compare`]: the primary method's filtered
+/// page, joined against a second method's ranking of the same papers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Primary method label.
+    pub method_a: String,
+    /// Epoch of the primary snapshot.
+    pub epoch_a: u64,
+    /// Secondary (`vs`) method label.
+    pub method_b: String,
+    /// Epoch of the secondary snapshot.
+    pub epoch_b: u64,
+    /// Joined rows, in the primary ranking's order.
+    pub rows: Vec<CompareRow>,
+    /// The primary page (cursor, match count) the rows were built from.
+    pub page: Page,
+}
+
+/// A set of concurrently served ranking methods with a shared query
+/// front-end.
+///
+/// Each registered [`MethodSpec`] gets its own [`RankingEngine`] over
+/// the same initial corpus; [`Self::ingest`] fans a delta out to all of
+/// them so their network lineages stay identical (epochs may differ if
+/// policies fire differently — that is what per-snapshot pinning and
+/// cursor epochs are for). Queries address methods by their canonical
+/// name (`attrank`, `cc`, …).
+pub struct QueryEngine {
+    engines: Vec<(String, Arc<RankingEngine>)>,
+}
+
+impl QueryEngine {
+    /// Builds one engine per spec over clones of `net` and publishes
+    /// each method's epoch 0. The first spec is the default method.
+    pub fn new(
+        net: CitationNetwork,
+        specs: &[MethodSpec],
+        policy: RerankPolicy,
+    ) -> Result<Self, QueryError> {
+        if specs.is_empty() {
+            return Err(QueryError::Syntax {
+                message: "QueryEngine needs at least one method spec".into(),
+            });
+        }
+        let mut engines: Vec<(String, Arc<RankingEngine>)> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let name = spec.method_name().to_string();
+            if engines.iter().any(|(n, _)| *n == name) {
+                return Err(QueryError::DuplicateMethod { name });
+            }
+            engines.push((
+                name,
+                Arc::new(RankingEngine::new(net.clone(), spec, policy)?),
+            ));
+        }
+        Ok(Self { engines })
+    }
+
+    /// [`Self::new`] from config strings, e.g. `["attrank", "cc"]`.
+    pub fn from_configs(
+        net: CitationNetwork,
+        configs: &[&str],
+        policy: RerankPolicy,
+    ) -> Result<Self, QueryError> {
+        let specs = configs
+            .iter()
+            .map(|c| c.parse::<MethodSpec>())
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(net, &specs, policy)
+    }
+
+    /// Canonical names of the served methods, default first.
+    pub fn methods(&self) -> Vec<&str> {
+        self.engines.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Resolves a method name (`None` = default) to its label + engine.
+    fn resolve(&self, name: Option<&str>) -> Result<&(String, Arc<RankingEngine>), QueryError> {
+        match name {
+            None => Ok(&self.engines[0]),
+            Some(n) => self
+                .engines
+                .iter()
+                .find(|(label, _)| label == n)
+                .ok_or_else(|| QueryError::UnknownMethod {
+                    name: n.into(),
+                    known: self.engines.iter().map(|(l, _)| l.clone()).collect(),
+                }),
+        }
+    }
+
+    /// The serving engine behind a method name (`None` = default) —
+    /// for ingest policies, persistence, or direct snapshot access.
+    pub fn engine(&self, method: Option<&str>) -> Result<&Arc<RankingEngine>, QueryError> {
+        self.resolve(method).map(|(_, e)| e)
+    }
+
+    /// Pins the current snapshot of a method (`None` = default). Hold
+    /// the `Arc` to paginate consistently across concurrent publishes.
+    pub fn snapshot(&self, method: Option<&str>) -> Result<Arc<EpochSnapshot>, QueryError> {
+        self.resolve(method).map(|(_, e)| e.snapshot())
+    }
+
+    /// Executes a query against the *current* snapshot of its method.
+    ///
+    /// A cursor minted before the last publish fails with
+    /// [`QueryError::StaleCursor`]; use [`Self::query_at`] with a held
+    /// snapshot to paginate across publishes.
+    pub fn query(&self, q: &Query) -> Result<Page, QueryError> {
+        let (label, engine) = self.resolve(q.method.as_deref())?;
+        execute(&engine.snapshot(), label, q)
+    }
+
+    /// Executes a query against a caller-pinned snapshot (from
+    /// [`Self::snapshot`] or a previous page's epoch). The query's
+    /// method is only used as a label/fingerprint — the scores come
+    /// from `snap`.
+    pub fn query_at(&self, snap: &EpochSnapshot, q: &Query) -> Result<Page, QueryError> {
+        let (label, _) = self.resolve(q.method.as_deref())?;
+        execute(snap, label, q)
+    }
+
+    /// The planner's decision for `q` against the current snapshot of
+    /// its method, without executing — what `repro query` prints as its
+    /// explain line.
+    pub fn explain(&self, q: &Query) -> Result<QueryPlan, QueryError> {
+        let (_, engine) = self.resolve(q.method.as_deref())?;
+        plan(engine.snapshot().network(), q)
+    }
+
+    /// Compare mode: runs the filtered page under `q.method`, then joins
+    /// each hit's rank and score under `q.vs` — both from snapshots
+    /// pinned once at entry, the paper's §4-style "AttRank vs. citation
+    /// count" view in one pass. Ranks are global (1 = best), via each
+    /// snapshot's cached position table.
+    pub fn compare(&self, q: &Query) -> Result<Comparison, QueryError> {
+        let vs = q.vs.as_deref().ok_or(QueryError::MissingCompareMethod)?;
+        let (label_a, engine_a) = self.resolve(q.method.as_deref())?;
+        let (label_b, engine_b) = self.resolve(Some(vs))?;
+        let snap_a = engine_a.snapshot();
+        let snap_b = engine_b.snapshot();
+        let page = execute(&snap_a, label_a, q)?;
+        let rows = page
+            .items
+            .iter()
+            .map(|hit| CompareRow {
+                id: hit.id,
+                score_a: hit.score,
+                rank_a: snap_a.rank_of(hit.id).expect("hit id is in range"),
+                score_b: snap_b.score(hit.id),
+                rank_b: snap_b.rank_of(hit.id),
+            })
+            .collect();
+        Ok(Comparison {
+            method_a: label_a.clone(),
+            epoch_a: snap_a.epoch(),
+            method_b: label_b.clone(),
+            epoch_b: snap_b.epoch(),
+            rows,
+            page,
+        })
+    }
+
+    /// Stages a delta on every served method's engine (validation is
+    /// against identical network lineages, so a bad delta fails on the
+    /// first engine with none mutated). Returns one report per method,
+    /// in registration order.
+    pub fn ingest(&self, delta: &GraphDelta) -> Result<Vec<IngestReport>, EngineError> {
+        let mut reports = Vec::with_capacity(self.engines.len());
+        for (_, engine) in &self.engines {
+            reports.push(engine.ingest(delta)?);
+        }
+        Ok(reports)
+    }
+
+    /// Forces a re-rank + publish on every engine; returns the published
+    /// epochs in registration order.
+    pub fn rerank(&self) -> Vec<u64> {
+        self.engines.iter().map(|(_, e)| e.rerank()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citegraph::NetworkBuilder;
+    use sparsela::sort_indices_desc;
+
+    /// 12 papers over 2000–2011 with venues, authors and enough citation
+    /// ties (cc scores) to exercise deterministic tie-breaking.
+    ///
+    /// venue: id % 3 == 0 → 0, % 3 == 1 → 1, else none.
+    /// authors: `[id % 2]`, plus author 2 on multiples of 4.
+    fn corpus() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        for i in 0..12u32 {
+            let mut authors = vec![i % 2];
+            if i % 4 == 0 {
+                authors.push(2);
+            }
+            let venue = match i % 3 {
+                0 => Some(0),
+                1 => Some(1),
+                _ => None,
+            };
+            b.add_paper_with_metadata(2000 + i as Year, authors, venue);
+        }
+        for i in 1..12u32 {
+            b.add_citation(i, i - 1).unwrap();
+            if i >= 5 {
+                b.add_citation(i, 0).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn engine() -> QueryEngine {
+        QueryEngine::from_configs(corpus(), &["cc", "pagerank"], RerankPolicy::EveryBatch).unwrap()
+    }
+
+    /// Brute-force reference: full descending sort, filter, truncate.
+    fn reference(snap: &EpochSnapshot, q: &Query) -> Vec<PaperId> {
+        let net = snap.network();
+        let keep = |&id: &u32| {
+            q.year_min.is_none_or(|lo| net.year(id) >= lo)
+                && q.year_max.is_none_or(|hi| net.year(id) <= hi)
+                && q.venue
+                    .is_none_or(|v| net.venues().unwrap().venue_of(id) == Some(v))
+                && q.author
+                    .is_none_or(|a| net.authors().unwrap().authors_of(id).contains(&a))
+        };
+        let mut full: Vec<u32> = sort_indices_desc(snap.scores().as_slice())
+            .into_iter()
+            .filter(keep)
+            .collect();
+        full.truncate(q.k);
+        full
+    }
+
+    fn ids(page: &Page) -> Vec<PaperId> {
+        page.items.iter().map(|h| h.id).collect()
+    }
+
+    #[test]
+    fn grammar_round_trips_canonical_forms() {
+        for s in [
+            "k=10",
+            "method=attrank,k=5",
+            "method=attrank,vs=cc,k=20",
+            "k=10,year=1995..2000",
+            "k=10,year=1995..",
+            "k=10,year=..2000",
+            "k=3,year=1995..2000,venue=3,author=42",
+            "k=10,cursor=c1-3fe51eb851eb851f-2a-9e3779b97f4a7c15",
+        ] {
+            let q: Query = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(q.to_string(), s, "canonical form");
+            let again: Query = q.to_string().parse().unwrap();
+            assert_eq!(again, q, "round trip of {s}");
+        }
+        // Non-canonical inputs normalize: single year, spacing, defaults.
+        let q: Query = " venue=3 , year=1999 ".parse().unwrap();
+        assert_eq!(q.k, 10, "k defaults to 10");
+        assert_eq!((q.year_min, q.year_max), (Some(1999), Some(1999)));
+        assert_eq!(q.to_string(), "k=10,year=1999..1999,venue=3");
+    }
+
+    #[test]
+    fn grammar_errors_name_the_offending_key() {
+        assert!(matches!(
+            "venue".parse::<Query>(),
+            Err(QueryError::Syntax { .. })
+        ));
+        let err = "flavor=3".parse::<Query>().unwrap_err();
+        assert!(matches!(err, QueryError::UnknownKey { ref key } if key == "flavor"));
+        let err = "k=2,k=3".parse::<Query>().unwrap_err();
+        assert!(matches!(err, QueryError::DuplicateKey { ref key } if key == "k"));
+        let err = "year=abc".parse::<Query>().unwrap_err();
+        assert!(matches!(err, QueryError::BadValue { ref key, .. } if key == "year"));
+        let err = "k=2,cursor=zzz".parse::<Query>().unwrap_err();
+        assert!(matches!(err, QueryError::BadValue { ref key, .. } if key == "cursor"));
+        // Messages carry the key for operators.
+        assert!(err.to_string().contains("cursor"));
+    }
+
+    #[test]
+    fn cursor_token_round_trips() {
+        let c = Cursor {
+            epoch: 7,
+            score_bits: 0.25f64.to_bits(),
+            last_id: 42,
+            fingerprint: 0xdead_beef,
+        };
+        let token = c.to_string();
+        assert_eq!(token.parse::<Cursor>().unwrap(), c);
+        assert!("c1-2-3".parse::<Cursor>().is_err(), "missing field");
+        assert!("c1-2-3-4-5".parse::<Cursor>().is_err(), "extra field");
+        assert!("1-2-3-4".parse::<Cursor>().is_err(), "missing prefix");
+        assert!("c1-2-fffffffff-4".parse::<Cursor>().is_err(), "id overflow");
+    }
+
+    #[test]
+    fn unfiltered_query_is_the_global_top_k() {
+        let qe = engine();
+        let q: Query = "k=5".parse().unwrap();
+        let page = qe.query(&q).unwrap();
+        let snap = qe.snapshot(None).unwrap();
+        assert_eq!(ids(&page), snap.top_k(5));
+        assert_eq!(page.matched, 12);
+        assert_eq!(page.method, "cc");
+        assert!(page.next.is_some());
+        assert_eq!(
+            qe.explain(&q).unwrap().driver,
+            QueryDriver::Unfiltered,
+            "no facets, no cursor → plain partial select"
+        );
+    }
+
+    #[test]
+    fn facet_queries_match_sort_filter_truncate() {
+        let qe = engine();
+        let snap = qe.snapshot(None).unwrap();
+        for s in [
+            "k=4,venue=0",
+            "k=4,venue=1",
+            "k=4,author=2",
+            "k=4,author=1",
+            "k=4,year=2003..2007",
+            "k=4,year=2005..",
+            "k=4,year=..2004",
+            "k=3,year=2002..2009,venue=0",
+            "k=3,year=2000..2008,author=0,venue=0",
+            "k=12,venue=0,author=2",
+        ] {
+            let q: Query = s.parse().unwrap();
+            let page = qe.query(&q).unwrap();
+            assert_eq!(ids(&page), reference(&snap, &q), "{s}");
+            // Hit metadata comes from the same epoch's network.
+            for hit in &page.items {
+                assert_eq!(hit.year, snap.network().year(hit.id));
+                assert_eq!(hit.score, snap.score(hit.id).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn planner_picks_the_smallest_exact_id_set() {
+        let qe = engine();
+        // venue 0 has 4 papers; author 2 has 3; year 2003..2007 has 5.
+        let plan = qe
+            .explain(&"k=5,venue=0,author=2,year=2003..2007".parse().unwrap())
+            .unwrap();
+        assert_eq!(
+            plan.driver,
+            QueryDriver::AuthorPostings { author: 2, len: 3 }
+        );
+        assert_eq!(plan.candidates, 3);
+        assert_eq!(plan.residuals, vec!["year", "venue"]);
+
+        let plan = qe
+            .explain(&"k=5,venue=1,year=2001..2002".parse().unwrap())
+            .unwrap();
+        assert_eq!(plan.driver, QueryDriver::IdRange { start: 1, end: 3 });
+        assert_eq!(plan.residuals, vec!["venue"]);
+
+        let plan = qe.explain(&"k=5,venue=1".parse().unwrap()).unwrap();
+        assert!(matches!(
+            plan.driver,
+            QueryDriver::VenuePostings { venue: 1, .. }
+        ));
+        assert!(plan.residuals.is_empty());
+    }
+
+    #[test]
+    fn pagination_tiles_the_filtered_ranking_exactly() {
+        let qe = engine();
+        let snap = qe.snapshot(None).unwrap();
+        for filter in ["venue=0", "author=0", "year=2002..2010", ""] {
+            let full: Query = format!("k=12,{filter}").parse().unwrap();
+            let want = reference(&snap, &full);
+            let mut got = Vec::new();
+            let mut q: Query = format!("k=2,{filter}").parse().unwrap();
+            let mut remaining = want.len();
+            loop {
+                let page = qe.query_at(&snap, &q).unwrap();
+                assert_eq!(page.matched, remaining, "{filter}: matched tracks tail");
+                got.extend(ids(&page));
+                remaining -= page.items.len();
+                match page.next {
+                    Some(c) => q.cursor = Some(c),
+                    None => break,
+                }
+            }
+            assert_eq!(got, want, "pages tile {filter:?} without overlap or gaps");
+        }
+    }
+
+    #[test]
+    fn k_edge_cases() {
+        let qe = engine();
+        let page = qe.query(&"k=0,venue=0".parse().unwrap()).unwrap();
+        assert!(page.items.is_empty());
+        assert!(page.next.is_none(), "k=0 cannot mint a resume point");
+        assert_eq!(page.matched, 4);
+
+        let page = qe.query(&"k=100,venue=0".parse().unwrap()).unwrap();
+        assert_eq!(page.items.len(), 4, "k past the match count returns all");
+        assert!(page.next.is_none());
+    }
+
+    #[test]
+    fn k0_counts_matches_under_every_driver() {
+        // A k=0 query is a cheap count; the reported `matched` must not
+        // depend on which driver the planner picks.
+        let qe = engine();
+        let snap = qe.snapshot(None).unwrap();
+        for filter in ["year=2003..2007", "venue=0", "author=2", ""] {
+            let q: Query = format!("k=0,{filter}").parse().unwrap();
+            let want: Query = format!("k=12,{filter}").parse().unwrap();
+            let page = qe.query(&q).unwrap();
+            assert!(page.items.is_empty());
+            assert_eq!(
+                page.matched,
+                reference(&snap, &want).len(),
+                "driver for {filter:?}: {:?}",
+                qe.explain(&q).unwrap().driver
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_author_listing_never_duplicates_a_hit() {
+        // A paper listing the same author twice (collapsed by
+        // AuthorTable) must appear exactly once per page regardless of
+        // whether the author posting list drives or is a residual.
+        let mut b = NetworkBuilder::new();
+        b.add_paper_with_metadata(2000, vec![0, 0], Some(0));
+        for i in 1..6u32 {
+            b.add_paper_with_metadata(2000 + i as Year, vec![1], Some(0));
+            b.add_citation(i, i - 1).unwrap();
+        }
+        let qe = QueryEngine::from_configs(b.build().unwrap(), &["cc"], RerankPolicy::EveryBatch)
+            .unwrap();
+        // Author 0's posting list (1 paper) drives this plan.
+        let q: Query = "k=10,author=0".parse().unwrap();
+        assert!(matches!(
+            qe.explain(&q).unwrap().driver,
+            QueryDriver::AuthorPostings { author: 0, len: 1 }
+        ));
+        let page = qe.query(&q).unwrap();
+        assert_eq!(ids(&page), vec![0]);
+        assert_eq!(page.matched, 1);
+        // As a residual (year range drives), same answer.
+        let q: Query = "k=10,author=0,year=2000..2001".parse().unwrap();
+        let page = qe.query(&q).unwrap();
+        assert_eq!(ids(&page), vec![0]);
+        assert_eq!(page.matched, 1);
+    }
+
+    #[test]
+    fn empty_year_range_is_empty_not_an_error() {
+        let qe = engine();
+        let page = qe.query(&"k=5,year=2010..2002".parse().unwrap()).unwrap();
+        assert!(page.items.is_empty());
+        assert_eq!(page.matched, 0);
+        assert!(page.next.is_none());
+    }
+
+    #[test]
+    fn missing_metadata_and_bad_ids_are_typed_errors() {
+        let mut b = NetworkBuilder::new();
+        b.add_paper(2000);
+        b.add_paper(2001);
+        b.add_citation(1, 0).unwrap();
+        let bare = QueryEngine::from_configs(b.build().unwrap(), &["cc"], RerankPolicy::EveryBatch)
+            .unwrap();
+        assert_eq!(
+            bare.query(&"k=3,venue=0".parse().unwrap()).unwrap_err(),
+            QueryError::NoVenueData
+        );
+        assert_eq!(
+            bare.query(&"k=3,author=0".parse().unwrap()).unwrap_err(),
+            QueryError::NoAuthorData
+        );
+
+        let qe = engine();
+        assert!(matches!(
+            qe.query(&"k=3,venue=99".parse().unwrap()),
+            Err(QueryError::UnknownVenue { id: 99, .. })
+        ));
+        assert!(matches!(
+            qe.query(&"k=3,author=77".parse().unwrap()),
+            Err(QueryError::UnknownAuthor { id: 77, .. })
+        ));
+        assert!(matches!(
+            qe.query(&"method=hits,k=3".parse().unwrap()),
+            Err(QueryError::UnknownMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_cursor_is_a_typed_error_pinned_snapshot_still_serves() {
+        let qe = engine();
+        let pinned = qe.snapshot(None).unwrap();
+        let q: Query = "k=2,venue=0".parse().unwrap();
+        let page = qe.query(&q).unwrap();
+        let cursor = page.next.expect("more than 2 matches");
+
+        // A publish moves the current epoch...
+        let mut delta = GraphDelta::new();
+        delta.add_paper(2012);
+        delta.add_citation(12, 0);
+        qe.ingest(&delta).unwrap();
+
+        // ...so the cursor is stale against the *current* snapshot...
+        let mut next_q = q.clone();
+        next_q.cursor = Some(cursor);
+        assert!(matches!(
+            qe.query(&next_q),
+            Err(QueryError::StaleCursor {
+                cursor_epoch: 0,
+                current_epoch: 1
+            })
+        ));
+        // ...but the pinned snapshot keeps paginating its frozen epoch.
+        let page2 = qe.query_at(&pinned, &next_q).unwrap();
+        assert_eq!(page2.epoch, 0);
+        let all = reference(&pinned, &"k=12,venue=0".parse().unwrap());
+        assert_eq!(ids(&page2), all[2..4].to_vec());
+    }
+
+    #[test]
+    fn cursor_is_bound_to_its_method_and_filters() {
+        let qe = engine();
+        let page = qe.query(&"k=2,venue=0".parse().unwrap()).unwrap();
+        let cursor = page.next.unwrap();
+
+        // Same cursor, different filter → rejected.
+        let mut q: Query = "k=2,venue=1".parse().unwrap();
+        q.cursor = Some(cursor);
+        assert_eq!(qe.query(&q).unwrap_err(), QueryError::CursorMismatch);
+
+        // Same filter, different method → rejected.
+        let mut q: Query = "method=pagerank,k=2,venue=0".parse().unwrap();
+        q.cursor = Some(cursor);
+        assert_eq!(qe.query(&q).unwrap_err(), QueryError::CursorMismatch);
+
+        // Changing only k is allowed (page size is not part of the
+        // result-set identity).
+        let mut q: Query = "k=1,venue=0".parse().unwrap();
+        q.cursor = Some(cursor);
+        assert!(qe.query(&q).is_ok());
+    }
+
+    #[test]
+    fn compare_joins_ranks_from_both_snapshots() {
+        let qe = engine();
+        let q: Query = "method=cc,vs=pagerank,k=4,venue=0".parse().unwrap();
+        let cmp = qe.compare(&q).unwrap();
+        assert_eq!(cmp.method_a, "cc");
+        assert_eq!(cmp.method_b, "pagerank");
+        let snap_a = qe.snapshot(Some("cc")).unwrap();
+        let snap_b = qe.snapshot(Some("pagerank")).unwrap();
+        assert_eq!(cmp.rows.len(), ids(&cmp.page).len());
+        for (row, hit) in cmp.rows.iter().zip(&cmp.page.items) {
+            assert_eq!(row.id, hit.id);
+            assert_eq!(row.rank_a, snap_a.rank_of(row.id).unwrap());
+            assert_eq!(row.rank_b, snap_b.rank_of(row.id));
+            assert_eq!(row.score_b, snap_b.score(row.id));
+        }
+        // Without vs= compare is a typed error.
+        assert_eq!(
+            qe.compare(&"k=4".parse().unwrap()).unwrap_err(),
+            QueryError::MissingCompareMethod
+        );
+    }
+
+    #[test]
+    fn engine_set_construction_errors() {
+        assert!(matches!(
+            QueryEngine::from_configs(corpus(), &[], RerankPolicy::Manual),
+            Err(QueryError::Syntax { .. })
+        ));
+        assert!(matches!(
+            QueryEngine::from_configs(
+                corpus(),
+                &["pagerank:d=0.5", "pagerank:d=0.85"],
+                RerankPolicy::Manual
+            ),
+            Err(QueryError::DuplicateMethod { .. })
+        ));
+        assert!(matches!(
+            QueryEngine::from_configs(corpus(), &["nope"], RerankPolicy::Manual),
+            Err(QueryError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn methods_are_addressable_and_default_is_first() {
+        let qe = engine();
+        assert_eq!(qe.methods(), vec!["cc", "pagerank"]);
+        let by_name = qe.query(&"method=cc,k=3".parse().unwrap()).unwrap();
+        let by_default = qe.query(&"k=3".parse().unwrap()).unwrap();
+        assert_eq!(ids(&by_name), ids(&by_default));
+        let pr = qe.query(&"method=pagerank,k=3".parse().unwrap()).unwrap();
+        assert_eq!(pr.method, "pagerank");
+    }
+}

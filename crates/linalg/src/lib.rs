@@ -15,7 +15,11 @@
 //! * [`fit`] — least-squares exponential fitting (used to derive the recency
 //!   decay factor `w` from the citation-age distribution, paper §4.2),
 //! * [`ranks`] — rank assignment (ordinal and tie-averaged) used by rank
-//!   correlation metrics.
+//!   correlation metrics, plus the top-k selection family (full,
+//!   candidate-list, predicate-scan and bitmask variants) the serving
+//!   layer's filtered queries run on,
+//! * [`mask`] — dense id bitsets with set algebra, the currency of
+//!   composed query predicates.
 //!
 //! All kernels are deterministic and allocation-conscious: hot loops reuse
 //! caller-provided buffers (see [`vector::KernelWorkspace`]) so grid
@@ -29,6 +33,7 @@
 
 pub mod csr;
 pub mod fit;
+pub mod mask;
 pub mod parallel;
 pub mod power;
 pub mod push;
@@ -38,8 +43,12 @@ pub mod vector;
 
 pub use csr::{check_nnz, Csr, CsrError, CsrView, WeightedCsr, MAX_NNZ};
 pub use fit::{fit_exponential, ExpFit};
+pub use mask::IdMask;
 pub use power::{PowerEngine, PowerOptions, PowerOutcome};
 pub use push::{PushConfig, PushOutcome};
-pub use ranks::{average_ranks, ordinal_ranks, sort_indices_desc, top_k_indices};
+pub use ranks::{
+    average_ranks, cmp_score_desc, ordinal_ranks, sort_indices_desc, top_k_filtered, top_k_indices,
+    top_k_masked, top_k_where,
+};
 pub use stochastic::CitationOperator;
 pub use vector::{KernelWorkspace, ScoreVec};

@@ -9,28 +9,36 @@
 //!   (the standard convention for Spearman's ρ with ties, which citation
 //!   data has in abundance: most papers receive 0 future citations).
 
-/// The descending-score comparator shared by every ranking helper: higher
-/// score first, ties broken by smaller index so all rankings are
-/// deterministic.
+use crate::mask::IdMask;
+
+/// The total descending order on `(score, id)` pairs every ranking helper
+/// shares: higher score first, equal scores broken by smaller id, NaN
+/// after every number (NaN pairs break by smaller id).
 ///
-/// This is a *total* order even in the presence of NaN — NaN sorts below
-/// every number (a non-convergent solve must not surface its papers at the
-/// top of a ranking, and `sort`/`select_nth` panic outright on comparators
-/// that violate totality).
+/// `Less` means `(x, a)` ranks *before* `(y, b)`. Exposed so consumers
+/// that paginate (the query layer's offset-free cursors) can test "does
+/// this item sort strictly after the cursor position" with exactly the
+/// semantics the selection kernels use — including NaN totality
+/// (`sort`/`select_nth` panic outright on comparators that violate it,
+/// and a non-convergent solve must not surface its papers at the top of a
+/// ranking).
+#[inline]
+pub fn cmp_score_desc(x: f64, a: u32, y: f64, b: u32) -> std::cmp::Ordering {
+    match (x.is_nan(), y.is_nan()) {
+        (false, false) => y
+            .partial_cmp(&x)
+            .expect("non-NaN floats are comparable")
+            .then(a.cmp(&b)),
+        (true, true) => a.cmp(&b),
+        (true, false) => std::cmp::Ordering::Greater, // NaN ranks last
+        (false, true) => std::cmp::Ordering::Less,
+    }
+}
+
+/// The index comparator form of [`cmp_score_desc`] over a score slice.
 #[inline]
 fn desc_by_score(scores: &[f64]) -> impl Fn(&u32, &u32) -> std::cmp::Ordering + '_ {
-    |&a, &b| {
-        let (x, y) = (scores[a as usize], scores[b as usize]);
-        match (x.is_nan(), y.is_nan()) {
-            (false, false) => y
-                .partial_cmp(&x)
-                .expect("non-NaN floats are comparable")
-                .then(a.cmp(&b)),
-            (true, true) => a.cmp(&b),
-            (true, false) => std::cmp::Ordering::Greater, // NaN ranks last
-            (false, true) => std::cmp::Ordering::Less,
-        }
-    }
+    |&a, &b| cmp_score_desc(scores[a as usize], a, scores[b as usize], b)
 }
 
 /// Indices that sort `scores` in descending order; ties break by smaller
@@ -62,6 +70,112 @@ pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<u32> {
     }
     idx.sort_unstable_by(desc_by_score(scores));
     idx
+}
+
+/// Indices of the `k` best-scoring entries among an explicit candidate
+/// list, in decreasing score order (ties by smaller id).
+///
+/// This is the subset generalization of [`top_k_indices`]: cost is
+/// `O(m + k log k)` in the candidate count `m`, independent of the full
+/// score length — a selective predicate (one venue's posting list) pays
+/// for its own selectivity, never for the corpus. The result is
+/// *identical* to filtering `sort_indices_desc(scores)` down to
+/// `candidates` and truncating to `k` (property-tested), which is what
+/// makes cursor pagination over filtered rankings gap- and overlap-free.
+///
+/// Candidates must be in-bounds indices into `scores`; duplicate ids
+/// yield duplicate results (posting lists are deduplicated by
+/// construction).
+pub fn top_k_filtered(scores: &[f64], candidates: &[u32], k: usize) -> Vec<u32> {
+    let k = k.min(candidates.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx = candidates.to_vec();
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, desc_by_score(scores));
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(desc_by_score(scores));
+    idx
+}
+
+/// Core of the scan-side selection kernels: streams candidate ids and
+/// keeps a bounded buffer of at most `2k`, pruning with a running
+/// `(score, id)` threshold once `k` survivors are known. Memory is
+/// `O(k)` and the scan never revisits an id, so a broad predicate costs
+/// one pass over its candidates.
+fn top_k_stream<I: Iterator<Item = u32>>(scores: &[f64], ids: I, k: usize) -> Vec<u32> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let cap = 2 * k.min(scores.len().max(1));
+    let mut buf: Vec<u32> = Vec::with_capacity(cap);
+    let mut threshold: Option<(f64, u32)> = None;
+    for id in ids {
+        if let Some((ts, tid)) = threshold {
+            // Not strictly better than the current k-th item: can never
+            // make the page.
+            if cmp_score_desc(scores[id as usize], id, ts, tid) != std::cmp::Ordering::Less {
+                continue;
+            }
+        }
+        buf.push(id);
+        if buf.len() == cap {
+            buf.select_nth_unstable_by(k - 1, desc_by_score(scores));
+            buf.truncate(k);
+            let worst = buf[k - 1];
+            threshold = Some((scores[worst as usize], worst));
+        }
+    }
+    let k = k.min(buf.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < buf.len() {
+        buf.select_nth_unstable_by(k - 1, desc_by_score(scores));
+        buf.truncate(k);
+    }
+    buf.sort_unstable_by(desc_by_score(scores));
+    buf
+}
+
+/// Indices of the `k` best-scoring entries within the id range `ids`
+/// that satisfy `pred`, in decreasing score order (ties by smaller id).
+///
+/// The full-scan counterpart of [`top_k_filtered`]: one sequential pass
+/// over the (clamped) range with `O(k)` memory, for predicates that have
+/// no precomputed candidate list — or whose candidate list would be
+/// larger than the range itself. The planner picks whichever of the two
+/// kernels touches fewer ids; the results are identical either way.
+pub fn top_k_where<F>(scores: &[f64], ids: std::ops::Range<u32>, k: usize, mut pred: F) -> Vec<u32>
+where
+    F: FnMut(u32) -> bool,
+{
+    let n = scores.len() as u32;
+    let start = ids.start.min(n);
+    let end = ids.end.min(n).max(start);
+    top_k_stream(scores, (start..end).filter(move |&id| pred(id)), k)
+}
+
+/// Indices of the `k` best-scoring set ids of `mask`, in decreasing
+/// score order (ties by smaller id) — the bitmask variant of
+/// [`top_k_filtered`] for callers that compose predicates with set
+/// algebra ([`IdMask::intersect_with`]) instead of materializing a
+/// candidate list. Costs `O(len/64 + ones)` for the scan plus the
+/// bounded-buffer maintenance of [`top_k_where`].
+///
+/// # Panics
+/// Panics if the mask covers a different id space than `scores`.
+pub fn top_k_masked(scores: &[f64], mask: &IdMask, k: usize) -> Vec<u32> {
+    assert_eq!(
+        mask.len(),
+        scores.len(),
+        "mask covers {} ids but there are {} scores",
+        mask.len(),
+        scores.len()
+    );
+    top_k_stream(scores, mask.ones(), k)
 }
 
 /// Ordinal ranks: the highest score gets rank 1, and so on. Ties break by
@@ -159,6 +273,146 @@ mod tests {
             vec![5, 2],
             "NaN never reaches the top"
         );
+    }
+
+    #[test]
+    fn top_k_all_nan_ranks_by_index() {
+        // A fully non-convergent solve: every score NaN. The order must
+        // stay total (no panic) and deterministic — ascending index.
+        let s = [f64::NAN; 4];
+        assert_eq!(sort_indices_desc(&s), vec![0, 1, 2, 3]);
+        for k in 0..=5 {
+            assert_eq!(
+                top_k_indices(&s, k),
+                (0..k.min(4) as u32).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_k_at_least_n_is_full_sort() {
+        let s = [0.3, 0.9, 0.1];
+        for k in [3, 4, 1000] {
+            assert_eq!(top_k_indices(&s, k), sort_indices_desc(&s), "k = {k}");
+        }
+    }
+
+    /// The naive reference the filtered kernels are pinned against: full
+    /// descending sort, keep candidates, truncate to k.
+    fn sort_filter_truncate(scores: &[f64], keep: impl Fn(u32) -> bool, k: usize) -> Vec<u32> {
+        let mut full: Vec<u32> = sort_indices_desc(scores)
+            .into_iter()
+            .filter(|&i| keep(i))
+            .collect();
+        full.truncate(k);
+        full
+    }
+
+    #[test]
+    fn top_k_filtered_matches_sort_filter_truncate() {
+        let s = [0.1, 0.9, 0.5, 0.9, 0.0, 0.5, f64::NAN, 0.9];
+        let candidates = [1u32, 3, 4, 6, 7];
+        for k in 0..=candidates.len() + 2 {
+            assert_eq!(
+                top_k_filtered(&s, &candidates, k),
+                sort_filter_truncate(&s, |i| candidates.contains(&i), k),
+                "k = {k}"
+            );
+        }
+        // Empty candidate list and empty scores.
+        assert!(top_k_filtered(&s, &[], 3).is_empty());
+        assert!(top_k_filtered(&[], &[], 3).is_empty());
+    }
+
+    #[test]
+    fn top_k_filtered_ties_break_by_ascending_id() {
+        let s = [7.0; 6];
+        // Candidate order must not matter: ties resolve by id.
+        assert_eq!(top_k_filtered(&s, &[5, 1, 3], 2), vec![1, 3]);
+        assert_eq!(top_k_filtered(&s, &[3, 1, 5], 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn top_k_where_matches_sort_filter_truncate() {
+        let s: Vec<f64> = (0..300)
+            .map(|i| ((i * 7919) % 63) as f64) // heavy ties
+            .collect();
+        let pred = |i: u32| i.is_multiple_of(3);
+        for k in [0, 1, 9, 100, 300, 500] {
+            assert_eq!(
+                top_k_where(&s, 0..300, k, pred),
+                sort_filter_truncate(&s, pred, k),
+                "k = {k}"
+            );
+        }
+        // Sub-range scan: only ids within the range are considered.
+        assert_eq!(
+            top_k_where(&s, 100..200, 5, |_| true),
+            sort_filter_truncate(&s, |i| (100..200).contains(&i), 5)
+        );
+        // Out-of-bounds ranges clamp instead of panicking.
+        assert_eq!(
+            top_k_where(&s, 250..1000, 4, |_| true),
+            sort_filter_truncate(&s, |i| i >= 250, 4)
+        );
+        assert!(top_k_where(&s, 400..500, 4, |_| true).is_empty());
+        assert!(top_k_where(&s, 0..300, 3, |_| false).is_empty());
+    }
+
+    #[test]
+    fn top_k_where_all_nan_and_mixed() {
+        let s = [f64::NAN, 1.0, f64::NAN, 2.0];
+        assert_eq!(top_k_where(&s, 0..4, 10, |_| true), vec![3, 1, 0, 2]);
+        let nan_only = [f64::NAN; 5];
+        assert_eq!(top_k_where(&nan_only, 0..5, 3, |_| true), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn top_k_masked_matches_sort_filter_truncate() {
+        let s: Vec<f64> = (0..200).map(|i| ((i * 31) % 17) as f64).collect();
+        let mask = IdMask::from_ids(200, (0..200u32).filter(|i| i % 7 == 0));
+        for k in [0, 1, 10, 29, 60] {
+            assert_eq!(
+                top_k_masked(&s, &mask, k),
+                sort_filter_truncate(&s, |i| mask.contains(i), k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mask covers")]
+    fn top_k_masked_length_mismatch_panics() {
+        top_k_masked(&[1.0, 2.0], &IdMask::new(3), 1);
+    }
+
+    #[test]
+    fn paginated_selection_never_overlaps_or_skips() {
+        // The cursor contract: chunking the ranking into pages via the
+        // "strictly after (score, id)" predicate reproduces the full
+        // order exactly — no repeated and no skipped ids, even with
+        // massive ties. This is the kernel-level invariant the query
+        // layer's offset-free cursors rely on.
+        let s: Vec<f64> = (0..157).map(|i| ((i * 13) % 5) as f64).collect();
+        let full = sort_indices_desc(&s);
+        let page = 10;
+        let mut pages: Vec<u32> = Vec::new();
+        let mut cursor: Option<(f64, u32)> = None;
+        loop {
+            let chunk = top_k_where(&s, 0..157, page, |id| match cursor {
+                None => true,
+                Some((cs, cid)) => {
+                    cmp_score_desc(s[id as usize], id, cs, cid) == std::cmp::Ordering::Greater
+                }
+            });
+            if chunk.is_empty() {
+                break;
+            }
+            let &last = chunk.last().expect("non-empty");
+            cursor = Some((s[last as usize], last));
+            pages.extend(chunk);
+        }
+        assert_eq!(pages, full);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use sparsela::{
-    average_ranks, fit_exponential, ordinal_ranks, sort_indices_desc, top_k_indices,
-    CitationOperator, Csr, PowerEngine, PowerOptions, ScoreVec, WeightedCsr,
+    average_ranks, fit_exponential, ordinal_ranks, sort_indices_desc, top_k_filtered,
+    top_k_indices, top_k_masked, top_k_where, CitationOperator, Csr, IdMask, PowerEngine,
+    PowerOptions, ScoreVec, WeightedCsr,
 };
 
 /// Strategy: a random edge list on `n` nodes.
@@ -304,6 +305,52 @@ proptest! {
         let mut expected = sort_indices_desc(&scores);
         expected.truncate(k);
         prop_assert_eq!(top_k_indices(&scores, k), expected);
+    }
+
+    #[test]
+    fn top_k_filtered_equals_sort_filter_truncate(
+        raw in proptest::collection::vec(-8i32..8, 1..120),
+        picks in proptest::collection::vec(0u8..2, 1..120),
+        k in 0usize..140,
+    ) {
+        // The acceptance pin for the query layer: a filtered selection is
+        // exactly the full descending sort, filtered, truncated — ties and
+        // all. Small integer grid → plenty of exact ties.
+        let n = raw.len().min(picks.len());
+        let scores: Vec<f64> = raw[..n].iter().map(|&v| v as f64 / 4.0).collect();
+        let picks: Vec<bool> = picks.iter().map(|&p| p == 1).collect();
+        let candidates: Vec<u32> =
+            (0..n as u32).filter(|&i| picks[i as usize]).collect();
+        let mut expected: Vec<u32> = sort_indices_desc(&scores)
+            .into_iter()
+            .filter(|i| candidates.contains(i))
+            .collect();
+        expected.truncate(k);
+        prop_assert_eq!(top_k_filtered(&scores, &candidates, k), expected.clone());
+        // All three kernel variants agree on the same selection.
+        prop_assert_eq!(
+            top_k_where(&scores, 0..n as u32, k, |i| picks[i as usize]),
+            expected.clone()
+        );
+        let mask = IdMask::from_ids(n, candidates.iter().copied());
+        prop_assert_eq!(top_k_masked(&scores, &mask, k), expected);
+    }
+
+    #[test]
+    fn top_k_where_range_equals_sort_filter_truncate(
+        raw in proptest::collection::vec(-6i32..6, 1..100),
+        bounds in (0u32..110, 0u32..110),
+        k in 0usize..30,
+    ) {
+        let scores: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        let (a, b) = bounds;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut expected: Vec<u32> = sort_indices_desc(&scores)
+            .into_iter()
+            .filter(|&i| i >= lo && i < hi)
+            .collect();
+        expected.truncate(k);
+        prop_assert_eq!(top_k_where(&scores, lo..hi, k, |_| true), expected);
     }
 
     #[test]
