@@ -89,6 +89,9 @@ pub fn is_guarded(r: &BenchRecord) -> bool {
         // The query group is guarded except its naive reference rows
         // (post_filter_*), which exist only to form the speedup ratio.
         || (r.group == "query" && !r.id.starts_with("post_filter"))
+        // The sharded group is guarded except its unsharded/scan
+        // reference rows, which exist only to form the speedup ratios.
+        || (r.group == "sharded" && !(r.id.contains("unsharded") || r.id.contains("scan")))
 }
 
 /// The cold-start speedup recorded in a report: `min_ns` of the TSV
@@ -138,6 +141,53 @@ pub fn filtered_query_speedup(records: &[BenchRecord]) -> Option<f64> {
 /// filtered query at k=10 on the 200k-paper graph ≥10× faster than
 /// filtering the materialized full ranking).
 pub const MIN_FILTERED_QUERY_SPEEDUP: f64 = 10.0;
+
+/// The shard-pruning speedup recorded in a report: `min_ns` of the
+/// unsharded full scan (`year_filtered_scan_*`) over the shard-pruned
+/// scatter-gather path (`year_filtered_8shard_*`), both in the
+/// `sharded` group on the same 200k-paper graph. `None` when either
+/// record is absent.
+///
+/// A ratio of two measurements from the same run, so — like the other
+/// ratio gates — it holds across machines and is enforced directly by
+/// `repro bench-check`.
+pub fn pruned_speedup(records: &[BenchRecord]) -> Option<f64> {
+    let find = |prefix: &str| {
+        records
+            .iter()
+            .find(|r| r.group == "sharded" && r.id.starts_with(prefix))
+            .map(|r| r.min_ns)
+    };
+    let pruned = find("year_filtered_8shard")?;
+    let scan = find("year_filtered_scan")?;
+    Some(scan / pruned.max(1.0))
+}
+
+/// Acceptance floor for [`pruned_speedup`] (ISSUE 6: a year-filtered
+/// top-k on an 8-shard 200k-paper corpus ≥3× faster than the unsharded
+/// scan by min wall-clock).
+pub const MIN_PRUNED_SPEEDUP: f64 = 3.0;
+
+/// The tail-routed ingest speedup recorded in a report: `min_ns` of the
+/// flat engine's whole-corpus ingest+publish
+/// (`full_ingest_unsharded_*`) over the sharded engine's tail-band-only
+/// ingest+publish (`tail_ingest_8shard_*`), both in the `sharded`
+/// group. `None` when either record is absent.
+pub fn tail_ingest_speedup(records: &[BenchRecord]) -> Option<f64> {
+    let find = |prefix: &str| {
+        records
+            .iter()
+            .find(|r| r.group == "sharded" && r.id.starts_with(prefix))
+            .map(|r| r.min_ns)
+    };
+    let tail = find("tail_ingest_8shard")?;
+    let full = find("full_ingest_unsharded")?;
+    Some(full / tail.max(1.0))
+}
+
+/// Acceptance floor for [`tail_ingest_speedup`] (ISSUE 6: a tail-shard
+/// ingest publish ≥4× faster than a whole-corpus publish at 200k).
+pub const MIN_TAIL_INGEST_SPEEDUP: f64 = 4.0;
 
 /// Outcome of one guarded comparison.
 #[derive(Debug)]
@@ -242,6 +292,43 @@ mod tests {
         assert!(is_guarded(&rec("masked_venue_200k")));
         assert!(!is_guarded(&rec("post_filter_200k")));
         assert!(!is_guarded(&rec("post_filter_50k")));
+    }
+
+    #[test]
+    fn sharded_group_guard_excludes_the_reference_rows() {
+        let rec = |id: &str| BenchRecord {
+            group: "sharded".into(),
+            id: id.into(),
+            min_ns: 1.0,
+        };
+        assert!(is_guarded(&rec("year_filtered_8shard_200k")));
+        assert!(is_guarded(&rec("venue_year_8shard_200k")));
+        assert!(is_guarded(&rec("tail_ingest_8shard_200k")));
+        assert!(!is_guarded(&rec("year_filtered_scan_200k")));
+        assert!(!is_guarded(&rec("year_filtered_unsharded_200k")));
+        assert!(!is_guarded(&rec("venue_year_unsharded_200k")));
+        assert!(!is_guarded(&rec("full_ingest_unsharded_200k")));
+    }
+
+    #[test]
+    fn sharded_speedups_are_min_ns_ratios() {
+        let rec = |id: &str, min_ns: f64| BenchRecord {
+            group: "sharded".into(),
+            id: id.into(),
+            min_ns,
+        };
+        let records = vec![
+            rec("year_filtered_8shard_200k", 40_000.0),
+            rec("year_filtered_scan_200k", 400_000.0),
+            rec("tail_ingest_8shard_200k", 1_000_000.0),
+            rec("full_ingest_unsharded_200k", 8_000_000.0),
+        ];
+        assert_eq!(pruned_speedup(&records), Some(10.0));
+        assert_eq!(tail_ingest_speedup(&records), Some(8.0));
+        // Either side missing → no ratio.
+        assert_eq!(pruned_speedup(&records[..1]), None);
+        assert_eq!(tail_ingest_speedup(&records[..2]), None);
+        assert_eq!(pruned_speedup(&[]), None);
     }
 
     #[test]

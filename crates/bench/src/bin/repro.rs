@@ -25,7 +25,9 @@
 //!   compact      <stem>: fold <stem>.wal into <stem>.store
 //!   query        <grammar>: filtered/paginated top-k on a generated DBLP
 //!                graph (e.g. "venue=3,k=10" or "vs=cc,author=7,k=5";
-//!                serve methods via --methods "attrank;cc")
+//!                serve methods via --methods "attrank;cc"; add
+//!                --shards N | year:WIDTH for sharded scatter-gather
+//!                serving with the prune decision in the plan line)
 //!   all          everything above (except the statistical/storage extras)
 //! ```
 //!
@@ -56,7 +58,7 @@ fn main() -> ExitCode {
     let Some(cmd) = rest.first() else {
         eprintln!(
             "usage: repro <subcommand> [--scale N] [--seed N] [--out DIR] [--rank SPEC] \
-             [--methods \"SPEC;SPEC\"]"
+             [--methods \"SPEC;SPEC\"] [--shards N|year:WIDTH]"
         );
         eprintln!("subcommands: summary methods fig1a fig1b table1 table2 table3 table4");
         eprintln!("             fig2corr fig2ndcg fig3 fig4 fig5 convergence");
@@ -190,9 +192,9 @@ fn run_bench_check() -> ExitCode {
     if comparisons.is_empty() {
         eprintln!(
             "bench-check: no guarded benchmarks found under {shim_dirs:?} \
-             (expected the top_k, stochastic_apply, store_load and query baselines — run \
-             `cargo bench --bench kernels`, `--bench serving`, `--bench store_load` and \
-             `--bench query`)"
+             (expected the top_k, stochastic_apply, store_load, query and sharded baselines \
+             — run `cargo bench --bench kernels`, `--bench serving`, `--bench store_load`, \
+             `--bench query` and `--bench sharded`)"
         );
         return ExitCode::FAILURE;
     }
@@ -242,6 +244,34 @@ fn run_bench_check() -> ExitCode {
                 format!("query/filtered_speedup ({origin})"),
                 speedup,
                 benchcheck::MIN_FILTERED_QUERY_SPEEDUP
+            );
+        }
+        if let Some(speedup) = benchcheck::pruned_speedup(records) {
+            let verdict = if speedup >= benchcheck::MIN_PRUNED_SPEEDUP {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>27.1}x  (floor {:.0}x)  {verdict}",
+                format!("sharded/pruned_speedup ({origin})"),
+                speedup,
+                benchcheck::MIN_PRUNED_SPEEDUP
+            );
+        }
+        if let Some(speedup) = benchcheck::tail_ingest_speedup(records) {
+            let verdict = if speedup >= benchcheck::MIN_TAIL_INGEST_SPEEDUP {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>27.1}x  (floor {:.0}x)  {verdict}",
+                format!("sharded/tail_ingest_speedup ({origin})"),
+                speedup,
+                benchcheck::MIN_TAIL_INGEST_SPEEDUP
             );
         }
     }
@@ -369,9 +399,13 @@ fn run_compact(stem: Option<&String>) -> ExitCode {
 fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
     use rankengine::{QueryDriver, QueryEngine, RerankPolicy};
 
+    if let Some(spec) = opts.shards {
+        return run_query_sharded(opts, spec, grammar);
+    }
     let Some(grammar) = grammar else {
         eprintln!(
-            "usage: repro query \"<grammar>\" [--scale N] [--seed N] [--methods \"SPEC;SPEC\"]"
+            "usage: repro query \"<grammar>\" [--scale N] [--seed N] [--methods \"SPEC;SPEC\"] \
+             [--shards N|year:WIDTH]"
         );
         eprintln!("grammar keys: method vs k year venue author cursor");
         eprintln!("examples:     \"venue=3,k=10\"  \"method=attrank,vs=cc,author=7,year=2005..\"");
@@ -512,6 +546,151 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
         if let Some(cursor) = page.next {
             println!("next page: append cursor={cursor}");
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `query --shards N|year:WIDTH`: the same filtered/paginated top-k
+/// served by a [`rankengine::ShardedEngine`] over a partitioned corpus.
+/// The plan line reports the shard-prune decision the read path takes;
+/// cursors are shard-aware `s…` tokens scoped to the pinned epoch *set*.
+fn run_query_sharded(
+    opts: &Options,
+    spec: citegraph::ShardSpec,
+    grammar: Option<&String>,
+) -> ExitCode {
+    use rankengine::{RerankPolicy, ShardCursor, ShardedEngine};
+
+    let Some(grammar) = grammar else {
+        eprintln!(
+            "usage: repro query \"<grammar>\" --shards N|year:WIDTH [--scale N] [--seed N] \
+             [--methods \"SPEC\"]"
+        );
+        return ExitCode::FAILURE;
+    };
+    // Shard-aware cursors are `s…` tokens, not the flat engine's `c…`
+    // grammar cursors — peel the component off before parsing the rest.
+    let mut cursor_tok: Option<String> = None;
+    let stripped: Vec<&str> = grammar
+        .split(',')
+        .filter(|part| match part.trim().strip_prefix("cursor=") {
+            Some(tok) => {
+                cursor_tok = Some(tok.trim().to_string());
+                false
+            }
+            None => true,
+        })
+        .collect();
+    let query: rankengine::Query = match stripped.join(",").parse() {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if query.vs.is_some() {
+        eprintln!("query: vs= compare mode is not served sharded; drop vs= or --shards");
+        return ExitCode::FAILURE;
+    }
+    let cursor: Option<ShardCursor> = match cursor_tok.as_deref().map(str::parse) {
+        None => None,
+        Some(Ok(c)) => Some(c),
+        Some(Err(e)) => {
+            eprintln!("query: bad sharded cursor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scale = opts.scale.unwrap_or(20_000);
+    let config = query
+        .method
+        .clone()
+        .unwrap_or_else(|| opts.methods[0].clone());
+    eprintln!(
+        "generating DBLP graph (scale = {scale}, seed = {}), shard plan {spec}, \
+         ranking {config:?}...",
+        opts.seed
+    );
+    let net = citegen::generate(&citegen::DatasetProfile::dblp().scaled(scale), opts.seed);
+    let plan = match spec.plan(&net) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let engine = match ShardedEngine::from_plan(&net, &plan, &config, RerankPolicy::EveryBatch) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("query: cannot build sharded engines: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "ranked {} shards in {:.1} ms ({} boundary edges absorbed)",
+        engine.n_shards(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        engine.boundary_edges()
+    );
+
+    // Plan line: the shard-prune decision the scatter-gather read takes.
+    let scanned = plan.overlapping(query.year_min, query.year_max);
+    let spans: Vec<String> = scanned
+        .iter()
+        .map(|&s| {
+            let (a, b) = plan.year_span(s);
+            format!("{s}:{a}..{b}")
+        })
+        .collect();
+    println!(
+        "plan: sharded scatter-gather, year pruning scans {} of {} shards [{}], \
+         per-shard top-k + k-way merge",
+        scanned.len(),
+        plan.n_shards(),
+        spans.join(", ")
+    );
+
+    let t1 = std::time::Instant::now();
+    let page = match engine.query(&query, cursor.as_ref()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = t1.elapsed();
+    println!(
+        "== {} (epoch set {:x}): {} of {} matches in {:.1} µs ({} of {} shards scanned) ==",
+        page.method,
+        page.epoch_key,
+        page.items.len(),
+        page.matched,
+        elapsed.as_secs_f64() * 1e6,
+        page.shards_scanned,
+        page.shards_total
+    );
+    let starts = engine.starts();
+    let rows: Vec<Vec<String>> = page
+        .items
+        .iter()
+        .map(|h| {
+            let shard = starts.partition_point(|&b| b <= h.id) - 1;
+            vec![
+                h.id.to_string(),
+                format!("{:.6}", h.score),
+                h.year.to_string(),
+                h.venue.map_or("-".into(), |v| v.to_string()),
+                shard.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&["paper", "score", "year", "venue", "shard"], &rows)
+    );
+    if let Some(c) = page.next {
+        println!("next page: append cursor={c}");
     }
     ExitCode::SUCCESS
 }

@@ -45,6 +45,10 @@ pub struct Options {
     /// Method specs `repro query` serves, `;`-separated in the flag
     /// (specs contain commas).
     pub methods: Vec<String>,
+    /// Shard plan `repro query` partitions the corpus with (`--shards N`
+    /// for N fixed id bands, `--shards year:WIDTH` for year bands);
+    /// `None` serves the flat single-engine path.
+    pub shards: Option<citegraph::ShardSpec>,
 }
 
 impl Default for Options {
@@ -55,13 +59,15 @@ impl Default for Options {
             out_dir: "results".into(),
             rank: None,
             methods: vec!["attrank".into(), "cc".into()],
+            shards: None,
         }
     }
 }
 
 impl Options {
-    /// Parses `--scale N`, `--seed N`, `--out DIR`, `--rank SPEC` from an
-    /// argument list, returning the remaining (positional) arguments.
+    /// Parses `--scale N`, `--seed N`, `--out DIR`, `--rank SPEC`,
+    /// `--methods LIST`, `--shards N|year:WIDTH` from an argument list,
+    /// returning the remaining (positional) arguments.
     ///
     /// # Errors
     /// Returns a message on unknown flags or malformed values.
@@ -106,6 +112,11 @@ impl Options {
                         return Err(format!("bad --methods {v}: no specs"));
                     }
                     opts.methods = methods;
+                }
+                "--shards" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--shards needs N or year:WIDTH")?;
+                    opts.shards = Some(v.parse().map_err(|e| format!("bad --shards {v}: {e}"))?);
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
@@ -158,6 +169,23 @@ mod tests {
         // Empty list rejected.
         let args: Vec<String> = vec!["--methods".into(), " ; ".into()];
         assert!(Options::parse(&args).is_err());
+    }
+
+    #[test]
+    fn parse_shards_accepts_both_spec_forms() {
+        let args: Vec<String> = vec!["query".into(), "--shards".into(), "8".into()];
+        let (o, rest) = Options::parse(&args).unwrap();
+        assert_eq!(o.shards, Some(citegraph::ShardSpec::Fixed(8)));
+        assert_eq!(rest, vec!["query"]);
+        let args: Vec<String> = vec!["--shards".into(), "year:5".into()];
+        let (o, _) = Options::parse(&args).unwrap();
+        assert_eq!(o.shards, Some(citegraph::ShardSpec::YearBands(5)));
+        // Default is the flat path; malformed specs are rejected.
+        assert_eq!(Options::parse(&[]).unwrap().0.shards, None);
+        for bad in ["0", "year:0", "nope"] {
+            let args: Vec<String> = vec!["--shards".into(), bad.into()];
+            assert!(Options::parse(&args).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod metadata;
 pub mod network;
 pub mod pushrank;
 pub mod rank;
+pub mod shard;
 pub mod split;
 pub mod stats;
 pub mod window;
@@ -44,4 +45,5 @@ pub use pushrank::{
     try_push_rerank, uniform_kernel, update_uniform_kernel, DanglingResolution, PushRankConfig,
 };
 pub use rank::{DeltaRank, DeltaStrategy, Ranker};
+pub use shard::{ShardPlan, ShardPlanError, ShardSpec};
 pub use split::{ratio_split, RatioSplit};

@@ -186,6 +186,19 @@ impl AuthorTable {
             (0..k as u32).map(|p| self.authors_of(p).to_vec()).collect();
         AuthorTable::new(&per_paper, self.n_authors)
     }
+
+    /// Restricts the table to the contiguous paper window `[start, end)`,
+    /// re-basing paper ids to the window (global id `p` becomes local
+    /// `p - start`). The author id space is kept so author ids remain
+    /// comparable across shards — the property the sharded read path's
+    /// per-shard author postings rely on.
+    pub fn window(&self, start: usize, end: usize) -> AuthorTable {
+        assert!(start <= end && end <= self.n_papers());
+        let per_paper: Vec<Vec<AuthorId>> = (start as u32..end as u32)
+            .map(|p| self.authors_of(p).to_vec())
+            .collect();
+        AuthorTable::new(&per_paper, self.n_authors)
+    }
 }
 
 /// Paper–venue assignment (at most one venue per paper).
@@ -299,6 +312,15 @@ impl VenueTable {
     pub fn prefix(&self, k: usize) -> VenueTable {
         assert!(k <= self.n_papers());
         VenueTable::new(self.venue[..k].to_vec(), self.n_venues)
+    }
+
+    /// Restricts to the contiguous paper window `[start, end)`, re-basing
+    /// paper ids (global `p` becomes local `p - start`) and rebuilding the
+    /// posting lists for the window. The venue id space is kept so venue
+    /// ids remain comparable across shards.
+    pub fn window(&self, start: usize, end: usize) -> VenueTable {
+        assert!(start <= end && end <= self.n_papers());
+        VenueTable::new(self.venue[start..end].to_vec(), self.n_venues)
     }
 }
 

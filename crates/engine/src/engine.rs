@@ -449,6 +449,23 @@ impl RankingEngine {
         Ok(self.stage_locked(&mut state, delta))
     }
 
+    /// Validates `delta` against the authoritative network plus
+    /// everything already staged — exactly the check [`Self::ingest`]
+    /// runs — **without** staging, logging, or consuming a sequence
+    /// number. Lets a fan-out caller ([`crate::QueryEngine::ingest`])
+    /// pre-flight a batch on every member engine before committing it to
+    /// any, so one member's rejection cannot leave the members diverged.
+    pub fn check_delta(&self, delta: &GraphDelta) -> Result<(), EngineError> {
+        let state = self.writer.lock().expect("writer lock poisoned");
+        if state.restoring {
+            return Err(EngineError::Restore(
+                "warm-restart replay in progress; wait on ColdStart before ingesting".into(),
+            ));
+        }
+        state.net.validate_delta(&state.staged, delta)?;
+        Ok(())
+    }
+
     /// The replay variant of [`Self::ingest`]: the batch came *from* the
     /// WAL, so it is not re-appended and `next_seq` (already advanced by
     /// recovery) stays put.
@@ -534,6 +551,19 @@ impl RankingEngine {
     /// (non-finite scores): the published epoch would not match the
     /// current network. Call [`Self::rerank`] first.
     pub fn persist_epoch<P: AsRef<Path>>(&self, path: P) -> Result<u64, EngineError> {
+        self.persist_epoch_with(path, |b| b)
+    }
+
+    /// [`Self::persist_epoch`] with a hook that can stage extra sections
+    /// on the [`StoreBuilder`] before the atomic write — how a sharded
+    /// serving layer brands each shard's snapshot with its
+    /// [`graphstore::ShardManifest`] without this engine knowing about
+    /// plans.
+    pub fn persist_epoch_with<P, F>(&self, path: P, extra: F) -> Result<u64, EngineError>
+    where
+        P: AsRef<Path>,
+        F: FnOnce(StoreBuilder) -> StoreBuilder,
+    {
         let mut state = self.writer.lock().expect("writer lock poisoned");
         // Mid-replay the network holds only a prefix of the log, yet
         // next_seq is already fast-forwarded past all of it: persisting
@@ -552,11 +582,13 @@ impl RankingEngine {
             )
         })?;
         let watermark = state.next_seq - state.pending_batches as u64;
-        StoreBuilder::new()
-            .network(&state.net)
-            .epoch(&self.method, snap.epoch(), snap.scores().as_slice())
-            .wal_watermark(watermark)
-            .write_to(path)?;
+        extra(
+            StoreBuilder::new()
+                .network(&state.net)
+                .epoch(&self.method, snap.epoch(), snap.scores().as_slice())
+                .wal_watermark(watermark),
+        )
+        .write_to(path)?;
         // With nothing staged, every WAL record is now folded into the
         // snapshot — truncate the log so it does not grow without bound
         // (this is the online compaction; the crash window between the

@@ -19,7 +19,12 @@
 //!   offset-free cursors), a selectivity-ordered planner compiling
 //!   predicates to posting lists and id ranges, snapshot-pinned
 //!   pagination with typed stale-cursor errors, and a two-method
-//!   compare mode.
+//!   compare mode,
+//! * [`sharded`] — [`ShardedEngine`], the same serving surface over a
+//!   year-band-partitioned corpus: one engine per contiguous id band,
+//!   parallel per-shard re-rank, tail-routed O(tail-shard) ingest, and a
+//!   scatter-gather read path that prunes non-overlapping shards and
+//!   k-way-merges per-shard runs under the global score order.
 //!
 //! ```
 //! use citegraph::{GraphDelta, NetworkBuilder};
@@ -57,6 +62,7 @@
 pub mod engine;
 pub mod query;
 pub mod registry;
+pub mod sharded;
 pub mod spec;
 
 pub use engine::{
@@ -68,4 +74,8 @@ pub use query::{
     QueryPlan,
 };
 pub use registry::{build, default_comparison_specs, known_methods, parse_and_build, BoxedRanker};
+pub use sharded::{
+    ShardCursor, ShardSnapshots, ShardedColdStart, ShardedEngine, ShardedError,
+    ShardedIngestReport, ShardedPage,
+};
 pub use spec::{EnsembleRule, MethodSpec, SpecError};

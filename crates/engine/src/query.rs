@@ -902,11 +902,20 @@ impl QueryEngine {
         })
     }
 
-    /// Stages a delta on every served method's engine (validation is
-    /// against identical network lineages, so a bad delta fails on the
-    /// first engine with none mutated). Returns one report per method,
-    /// in registration order.
+    /// Stages a delta on every served method's engine. Returns one
+    /// report per method, in registration order.
+    ///
+    /// The fan-out is all-or-nothing: the delta is pre-validated against
+    /// **every** member engine ([`RankingEngine::check_delta`]) before it
+    /// is staged in any, so a rejection leaves all members unchanged.
+    /// Member lineages normally stay identical — but an engine ingested
+    /// directly (or mid-restore) can diverge, and without the pre-flight
+    /// a mid-loop failure would commit the batch to some members only,
+    /// silently splitting the lineages for every later query.
     pub fn ingest(&self, delta: &GraphDelta) -> Result<Vec<IngestReport>, EngineError> {
+        for (_, engine) in &self.engines {
+            engine.check_delta(delta)?;
+        }
         let mut reports = Vec::with_capacity(self.engines.len());
         for (_, engine) in &self.engines {
             reports.push(engine.ingest(delta)?);
@@ -1268,6 +1277,40 @@ mod tests {
         assert_eq!(page2.epoch, 0);
         let all = reference(&pinned, &"k=12,venue=0".parse().unwrap());
         assert_eq!(ids(&page2), all[2..4].to_vec());
+    }
+
+    #[test]
+    fn fan_out_ingest_is_all_or_nothing() {
+        // Regression: a delta that only *some* member engines accept must
+        // be staged in none of them. Diverge the first-registered engine
+        // by ingesting one paper directly, then fan out a batch citing
+        // that paper — valid for the diverged engine, unknown id for the
+        // other. The old fan-out staged members one by one and bailed
+        // mid-loop, committing the batch to a strict subset.
+        let qe = engine();
+        let mut grow = GraphDelta::new();
+        grow.add_paper(2012);
+        qe.engine(Some("cc")).unwrap().ingest(&grow).unwrap();
+
+        let epochs_before: Vec<u64> = ["cc", "pagerank"]
+            .iter()
+            .map(|m| qe.snapshot(Some(m)).unwrap().epoch())
+            .collect();
+
+        let mut delta = GraphDelta::new();
+        delta.add_citation(12, 0); // paper 12 exists only on "cc"
+        assert!(matches!(qe.ingest(&delta), Err(EngineError::Delta(_)),));
+
+        // No member staged, published, or logged anything.
+        for (m, before) in ["cc", "pagerank"].iter().zip(epochs_before) {
+            let e = qe.engine(Some(m)).unwrap();
+            assert_eq!(e.pending(), (0, 0), "{m} staged the rejected batch");
+            assert_eq!(
+                qe.snapshot(Some(m)).unwrap().epoch(),
+                before,
+                "{m} published off the rejected batch"
+            );
+        }
     }
 
     #[test]

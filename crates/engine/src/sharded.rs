@@ -1,0 +1,1147 @@
+//! Sharded multi-graph serving: year-band partitions, parallel shard
+//! re-rank, pruned scatter-gather top-k.
+//!
+//! A [`ShardedEngine`] serves one ranking method over a corpus split by a
+//! [`citegraph::ShardPlan`] into contiguous id bands (the id space is
+//! time-sorted, so id bands *are* year bands). Each band runs its own
+//! [`RankingEngine`] — own network, own epoch snapshots, own
+//! `KernelWorkspace`-equipped writer — which buys three things:
+//!
+//! * **parallel re-rank** — [`ShardedEngine::rerank_all`] solves every
+//!   shard concurrently under `std::thread::scope`, one writer (and one
+//!   workspace) per shard,
+//! * **O(tail) ingest** — new papers always land in the newest year band,
+//!   so [`ShardedEngine::ingest`] routes each [`GraphDelta`] to the tail
+//!   shard and a publish re-solves only the tail's subgraph, not the
+//!   whole corpus,
+//! * **pruned reads** — a year-filtered query skips every shard whose
+//!   year span cannot intersect the filter, then scatter-gathers
+//!   per-shard top-k runs through [`sparsela::merge_k_sorted`].
+//!
+//! # Score composition across shards
+//!
+//! Cross-shard citations are **teleport-absorbed** at partition time (see
+//! [`citegraph::shard`]): a citing paper's probability mass redistributes
+//! over its intra-shard references, and papers left with none become
+//! dangling (their mass teleports). Each shard's scores are therefore the
+//! stationary distribution of its *own* subgraph (summing to 1 per
+//! shard), and the composed ranking is the per-shard runs merged under
+//! the workspace-wide `cmp_score_desc` total order. This trades exact
+//! global scores for shard-local solves — the documented, tested
+//! exception being the 1-shard plan, which drops no edges and is
+//! **bit-identical** to the unsharded engine (proptest-pinned in this
+//! crate's test suite). Edges dropped at partition or ingest time are
+//! counted ([`ShardedEngine::boundary_edges`]), never silently lost.
+//!
+//! # Read-path contract
+//!
+//! [`ShardedEngine::query_at`] executes a [`Query`] against a pinned
+//! [`ShardSnapshots`] set: each surviving shard picks its cheapest driver
+//! (year id-range scan vs venue/author posting list, exactly like the
+//! unsharded planner), collects at most `k` `(score, global id)` pairs,
+//! and the runs merge in `O(S + k log S)`. Pagination uses a
+//! [`ShardCursor`] embedding the `(shard, score, global id)` frontier of
+//! the last returned hit; successive pages off one pinned set tile the
+//! merged total order with no overlaps or gaps, and a cursor minted
+//! against a different epoch set fails with a typed
+//! [`ShardedError::StaleCursor`].
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use citegraph::{
+    AuthorId, CitationNetwork, GraphDelta, PaperId, ShardPlan, ShardPlanError, VenueId,
+};
+use graphstore::{fnv1a64, fnv1a64_with, ShardManifest, Store};
+use sparsela::{
+    cmp_score_desc, merge_k_sorted, top_k_filtered, top_k_indices, top_k_where, IdMask,
+};
+
+use crate::engine::{
+    ColdStart, EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy, WarmupReport,
+};
+use crate::query::{Hit, Query, QueryError};
+
+/// Errors from the sharded serving layer.
+#[derive(Debug)]
+pub enum ShardedError {
+    /// Partitioning the corpus failed (empty network, bad spec/boundaries).
+    Plan(ShardPlanError),
+    /// A member engine operation failed (ingest validation, persistence,
+    /// restore).
+    Engine(EngineError),
+    /// A query-shaped failure (unknown facet id, missing metadata).
+    Query(QueryError),
+    /// The cursor was minted against a different pinned epoch set — the
+    /// caller must restart pagination (or keep paginating the original
+    /// [`ShardSnapshots`] it pinned).
+    StaleCursor {
+        /// Epoch-set key the cursor was minted against.
+        cursor_key: u64,
+        /// Epoch-set key of the snapshots queried now.
+        current_key: u64,
+    },
+    /// The cursor belongs to a different method or filter set (or the
+    /// query carried an unsharded cursor in [`Query::cursor`]).
+    CursorMismatch,
+}
+
+impl fmt::Display for ShardedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Plan(e) => write!(f, "shard plan error: {e}"),
+            Self::Engine(e) => write!(f, "shard engine error: {e}"),
+            Self::Query(e) => write!(f, "sharded query error: {e}"),
+            Self::StaleCursor {
+                cursor_key,
+                current_key,
+            } => write!(
+                f,
+                "stale shard cursor: minted against epoch set {cursor_key:#x}, \
+                 current is {current_key:#x}"
+            ),
+            Self::CursorMismatch => {
+                write!(f, "shard cursor does not match this method + filter set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardedError {}
+
+impl From<ShardPlanError> for ShardedError {
+    fn from(e: ShardPlanError) -> Self {
+        Self::Plan(e)
+    }
+}
+
+impl From<EngineError> for ShardedError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+impl From<QueryError> for ShardedError {
+    fn from(e: QueryError) -> Self {
+        Self::Query(e)
+    }
+}
+
+/// A pinned, immutable set of per-shard epoch snapshots — the sharded
+/// analogue of holding one `Arc<EpochSnapshot>`. Hold it to paginate
+/// consistently while writers keep publishing tail epochs.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshots {
+    starts: Vec<PaperId>,
+    snaps: Vec<Arc<EpochSnapshot>>,
+}
+
+impl ShardSnapshots {
+    /// Number of shards in the set.
+    pub fn n_shards(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Total papers across all shards.
+    pub fn n_papers(&self) -> usize {
+        self.snaps.iter().map(|s| s.n_papers()).sum()
+    }
+
+    /// The pinned snapshot of shard `s`.
+    pub fn snapshot(&self, s: usize) -> &Arc<EpochSnapshot> {
+        &self.snaps[s]
+    }
+
+    /// First global id of shard `s`.
+    pub fn start(&self, s: usize) -> PaperId {
+        self.starts[s]
+    }
+
+    /// `(shard, local id)` for a global id covered by this set.
+    ///
+    /// # Panics
+    /// When `id` is at or past the set's total paper count.
+    pub fn locate(&self, id: PaperId) -> (usize, PaperId) {
+        assert!(
+            (id as usize) < self.n_papers(),
+            "global id {id} out of range"
+        );
+        let s = self.starts.partition_point(|&b| b <= id) - 1;
+        (s, id - self.starts[s])
+    }
+
+    /// Identity of this epoch set: an order-sensitive hash of every
+    /// shard's epoch number. Two sets with any shard at a different
+    /// epoch get different keys, which is what makes [`ShardCursor`]
+    /// staleness detectable without carrying S epoch numbers per cursor.
+    pub fn epoch_key(&self) -> u64 {
+        let mut key = fnv1a64(b"shard-epochs");
+        for snap in &self.snaps {
+            key = fnv1a64_with(key, &snap.epoch().to_le_bytes());
+        }
+        key
+    }
+}
+
+/// Resume token for sharded pagination: the `(shard, score, global id)`
+/// frontier of the last hit, bound to an epoch-set key and a
+/// method + filter fingerprint. Serializes to an opaque
+/// `s<hex>-<hex>-<hex>-<hex>-<hex>` token (display/parse round-trips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCursor {
+    epoch_key: u64,
+    shard: u32,
+    score_bits: u64,
+    last_id: PaperId,
+    fingerprint: u64,
+}
+
+impl ShardCursor {
+    /// The shard that produced the frontier hit.
+    pub fn shard(&self) -> usize {
+        self.shard as usize
+    }
+
+    /// Epoch-set key the cursor was minted against.
+    pub fn epoch_key(&self) -> u64 {
+        self.epoch_key
+    }
+}
+
+impl fmt::Display for ShardCursor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "s{:x}-{:x}-{:x}-{:x}-{:x}",
+            self.epoch_key, self.shard, self.score_bits, self.last_id, self.fingerprint
+        )
+    }
+}
+
+impl FromStr for ShardCursor {
+    type Err = ShardedError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s.strip_prefix('s').ok_or(ShardedError::CursorMismatch)?;
+        let mut parts = body.split('-');
+        let mut next = || {
+            parts
+                .next()
+                .and_then(|p| u64::from_str_radix(p, 16).ok())
+                .ok_or(ShardedError::CursorMismatch)
+        };
+        let cursor = ShardCursor {
+            epoch_key: next()?,
+            shard: u32::try_from(next()?).map_err(|_| ShardedError::CursorMismatch)?,
+            score_bits: next()?,
+            last_id: u32::try_from(next()?).map_err(|_| ShardedError::CursorMismatch)?,
+            fingerprint: next()?,
+        };
+        if parts.next().is_some() {
+            return Err(ShardedError::CursorMismatch);
+        }
+        Ok(cursor)
+    }
+}
+
+/// One page of a sharded scatter-gather query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedPage {
+    /// The serving method's canonical config string.
+    pub method: String,
+    /// Epoch-set key of the pinned snapshots the page came from.
+    pub epoch_key: u64,
+    /// The hits, best first under `cmp_score_desc` over global ids.
+    pub items: Vec<Hit>,
+    /// Candidates matching the filters at and after the cursor frontier,
+    /// summed over the scanned shards.
+    pub matched: usize,
+    /// Cursor for the next page; `None` when this page exhausts the
+    /// result set (or `k` was 0).
+    pub next: Option<ShardCursor>,
+    /// Shards actually scanned after year-span pruning.
+    pub shards_scanned: usize,
+    /// Shards in the plan.
+    pub shards_total: usize,
+}
+
+/// What one routed ingest did.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedIngestReport {
+    /// The shard the batch was routed to (always the tail).
+    pub shard: usize,
+    /// Cross-shard citations absorbed (dropped + counted) by the router
+    /// in this batch.
+    pub boundary_edges: usize,
+    /// The tail engine's ingest report.
+    pub report: IngestReport,
+}
+
+/// One ranking method served over a sharded corpus: per-shard
+/// [`RankingEngine`]s behind one routed write path and one
+/// scatter-gather read path. See the module docs for the score
+/// composition model.
+pub struct ShardedEngine {
+    method: String,
+    /// First global id of each shard. Fixed after construction: only the
+    /// tail shard grows, so `starts` never changes while serving.
+    starts: Vec<PaperId>,
+    shards: Vec<Arc<RankingEngine>>,
+    /// Cross-shard citations absorbed so far (partition-time drops plus
+    /// routed-ingest drops).
+    boundary_edges: AtomicUsize,
+}
+
+impl ShardedEngine {
+    /// Partitions `net` by `plan` and builds one engine per shard — in
+    /// parallel, one OS thread per shard, each owning its subgraph
+    /// extraction and initial solve.
+    pub fn from_plan(
+        net: &CitationNetwork,
+        plan: &ShardPlan,
+        config: &str,
+        policy: RerankPolicy,
+    ) -> Result<Self, ShardedError> {
+        let n_shards = plan.n_shards();
+        let built: Vec<Result<(Arc<RankingEngine>, usize), EngineError>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_shards)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let (subnet, dropped) = plan.extract(net, s);
+                        let engine = RankingEngine::from_config(subnet, config, policy)?;
+                        Ok((Arc::new(engine), dropped))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build thread panicked"))
+                .collect()
+        });
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut dropped_total = 0usize;
+        for r in built {
+            let (engine, dropped) = r?;
+            dropped_total += dropped;
+            shards.push(engine);
+        }
+        Ok(Self {
+            method: shards[0].method().to_string(),
+            starts: plan.boundaries()[..n_shards].to_vec(),
+            shards,
+            boundary_edges: AtomicUsize::new(dropped_total),
+        })
+    }
+
+    /// The served method's canonical config string.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// First global id of each shard (the plan's boundaries, minus the
+    /// open tail end).
+    pub fn starts(&self) -> &[PaperId] {
+        &self.starts
+    }
+
+    /// The per-shard engines, in id order (read access for tests and
+    /// drivers; writes should go through [`Self::ingest`]).
+    pub fn shard_engines(&self) -> &[Arc<RankingEngine>] {
+        &self.shards
+    }
+
+    /// Cross-shard citations absorbed so far: partition-time drops plus
+    /// every boundary edge dropped by routed ingests.
+    pub fn boundary_edges(&self) -> usize {
+        self.boundary_edges.load(Ordering::Relaxed)
+    }
+
+    /// Routes a **global-id** delta to the tail shard.
+    ///
+    /// New papers always belong to the newest year band, so they append
+    /// to the tail subgraph (global id `g` ↔ tail-local `g − tail_start`,
+    /// consistent for existing and new papers alike). Citations survive
+    /// only when both endpoints live in the tail; any edge touching a
+    /// frozen shard — a citation *of* an old paper, or a bibliography
+    /// correction *from* one — is absorbed under the boundary-edge model
+    /// (dropped and counted, exactly like partition-time cross-shard
+    /// edges). The tail engine validates the translated batch, so a
+    /// rejected delta changes nothing.
+    pub fn ingest(&self, delta: &GraphDelta) -> Result<ShardedIngestReport, ShardedError> {
+        let tail = self.shards.len() - 1;
+        let tail_start = self.starts[tail];
+        let mut local = GraphDelta::new();
+        local.papers = delta.papers.clone();
+        let mut absorbed = 0usize;
+        for &(citing, cited) in &delta.citations {
+            if citing >= tail_start && cited >= tail_start {
+                local.add_citation(citing - tail_start, cited - tail_start);
+            } else {
+                absorbed += 1;
+            }
+        }
+        let report = self.shards[tail].ingest(&local)?;
+        self.boundary_edges.fetch_add(absorbed, Ordering::Relaxed);
+        Ok(ShardedIngestReport {
+            shard: tail,
+            boundary_edges: absorbed,
+            report,
+        })
+    }
+
+    /// Re-ranks and publishes every shard **in parallel** (one scoped
+    /// thread per shard; each engine's writer owns its own kernel
+    /// workspace). Returns the published epoch per shard, in id order.
+    pub fn rerank_all(&self) -> Vec<u64> {
+        thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|e| scope.spawn(move || e.rerank()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard rerank thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Pins the current epoch of every shard as one consistent read set.
+    pub fn snapshots(&self) -> ShardSnapshots {
+        ShardSnapshots {
+            starts: self.starts.clone(),
+            snaps: self.shards.iter().map(|e| e.snapshot()).collect(),
+        }
+    }
+
+    /// Executes `q` against a freshly pinned snapshot set. Convenience
+    /// for [`Self::query_at`] — paginating callers should pin
+    /// [`Self::snapshots`] once and pass it explicitly.
+    pub fn query(
+        &self,
+        q: &Query,
+        cursor: Option<&ShardCursor>,
+    ) -> Result<ShardedPage, ShardedError> {
+        self.query_at(&self.snapshots(), q, cursor)
+    }
+
+    /// Scatter-gather execution of `q` against a pinned epoch set.
+    ///
+    /// Year-filtered queries first **prune**: a shard whose year span
+    /// cannot intersect `[year_min, year_max]` is skipped without
+    /// touching its snapshot's arrays (the page reports
+    /// `shards_scanned` / `shards_total`). Each surviving shard picks
+    /// its cheapest driver — contiguous year id-range scan, or a venue /
+    /// author posting list, mirroring the unsharded planner — collects
+    /// at most `q.k` hits after the cursor frontier, and the per-shard
+    /// runs (each already in `cmp_score_desc` order over global ids)
+    /// merge through [`merge_k_sorted`].
+    ///
+    /// `q.method` / `q.vs` are ignored (this engine serves one method);
+    /// `q.cursor` must be `None` — sharded pagination uses the `cursor`
+    /// argument and mints [`ShardCursor`]s.
+    pub fn query_at(
+        &self,
+        snaps: &ShardSnapshots,
+        q: &Query,
+        cursor: Option<&ShardCursor>,
+    ) -> Result<ShardedPage, ShardedError> {
+        if q.cursor.is_some() {
+            return Err(ShardedError::CursorMismatch);
+        }
+        let fp = fingerprint(&self.method, q);
+        let key = snaps.epoch_key();
+        let frontier: Option<(f64, PaperId)> = match cursor {
+            None => None,
+            Some(c) => {
+                if c.epoch_key != key {
+                    return Err(ShardedError::StaleCursor {
+                        cursor_key: c.epoch_key,
+                        current_key: key,
+                    });
+                }
+                if c.fingerprint != fp {
+                    return Err(ShardedError::CursorMismatch);
+                }
+                Some((f64::from_bits(c.score_bits), c.last_id))
+            }
+        };
+
+        let shards_total = snaps.n_shards();
+        let has_year = q.year_min.is_some() || q.year_max.is_some();
+        let mut runs: Vec<Vec<(f64, PaperId)>> = Vec::new();
+        let mut matched_total = 0usize;
+        let mut shards_scanned = 0usize;
+        for s in 0..shards_total {
+            let snap = &snaps.snaps[s];
+            if has_year {
+                let net = snap.network();
+                let (Some(first), Some(last)) = (net.first_year(), net.current_year()) else {
+                    continue; // empty shard: nothing to match
+                };
+                let disjoint = q.year_min.is_some_and(|lo| lo > last)
+                    || q.year_max.is_some_and(|hi| hi < first);
+                if disjoint {
+                    continue; // pruned: span cannot intersect the filter
+                }
+            }
+            shards_scanned += 1;
+            let (run, matched) = collect_shard(snap, snaps.starts[s], q, frontier)?;
+            matched_total += matched;
+            if !run.is_empty() {
+                runs.push(run);
+            }
+        }
+
+        let run_refs: Vec<&[(f64, PaperId)]> = runs.iter().map(|r| r.as_slice()).collect();
+        let merged = merge_k_sorted(&run_refs, q.k);
+        let items: Vec<Hit> = merged
+            .into_iter()
+            .map(|(score, id)| {
+                let (s, local) = snaps.locate(id);
+                let net = snaps.snaps[s].network();
+                Hit {
+                    id,
+                    score,
+                    year: net.year(local),
+                    venue: net.venues().and_then(|t| t.venue_of(local)),
+                }
+            })
+            .collect();
+        let next = match items.last() {
+            Some(last) if matched_total > items.len() => Some(ShardCursor {
+                epoch_key: key,
+                shard: snaps.locate(last.id).0 as u32,
+                score_bits: last.score.to_bits(),
+                last_id: last.id,
+                fingerprint: fp,
+            }),
+            _ => None,
+        };
+        Ok(ShardedPage {
+            method: self.method.clone(),
+            epoch_key: key,
+            items,
+            matched: matched_total,
+            next,
+            shards_scanned,
+            shards_total,
+        })
+    }
+
+    /// Global top-`k` (unfiltered scatter-gather over all shards).
+    pub fn top_k(&self, k: usize) -> Vec<PaperId> {
+        let q = Query {
+            k,
+            ..Query::default()
+        };
+        self.query(&q, None)
+            .expect("unfiltered query cannot fail")
+            .items
+            .into_iter()
+            .map(|h| h.id)
+            .collect()
+    }
+
+    /// Path of shard `s`'s snapshot store under `stem`
+    /// (`<stem>.shard<s>.store`).
+    pub fn shard_store_path(stem: &Path, s: usize) -> PathBuf {
+        let mut os = stem.as_os_str().to_os_string();
+        os.push(format!(".shard{s}.store"));
+        PathBuf::from(os)
+    }
+
+    /// Path of shard `s`'s WAL under `stem` (`<stem>.shard<s>.wal`).
+    pub fn shard_wal_path(stem: &Path, s: usize) -> PathBuf {
+        let mut os = stem.as_os_str().to_os_string();
+        os.push(format!(".shard{s}.wal"));
+        PathBuf::from(os)
+    }
+
+    /// Attaches one durability WAL per shard (`<stem>.shard<s>.wal`).
+    /// Returns the recovered record count per shard.
+    pub fn attach_wals<P: AsRef<Path>>(&self, stem: P) -> Result<Vec<usize>, ShardedError> {
+        let stem = stem.as_ref();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, e)| {
+                e.attach_wal(Self::shard_wal_path(stem, s))
+                    .map_err(ShardedError::from)
+            })
+            .collect()
+    }
+
+    /// Persists every shard's network + published epoch to
+    /// `<stem>.shard<s>.store`, each snapshot branded with the full
+    /// [`ShardManifest`] — so a cold start that opens *any one* shard
+    /// file learns the whole plan. Each shard's write is individually
+    /// atomic (temp file + rename), so a crash mid-way leaves every
+    /// shard either at its old snapshot or its new one, never torn.
+    /// Returns the persisted epoch per shard.
+    pub fn persist_epochs<P: AsRef<Path>>(&self, stem: P) -> Result<Vec<u64>, ShardedError> {
+        let stem = stem.as_ref();
+        let tail = self.shards.len() - 1;
+        let mut boundaries = self.starts.clone();
+        boundaries.push(self.starts[tail] + self.shards[tail].snapshot().n_papers() as PaperId);
+        let mut epochs = Vec::with_capacity(self.shards.len());
+        for (s, e) in self.shards.iter().enumerate() {
+            let manifest = ShardManifest {
+                shard: s as u32,
+                boundaries: boundaries.clone(),
+            };
+            epochs.push(e.persist_epoch_with(Self::shard_store_path(stem, s), |b| {
+                b.shard_manifest(&manifest)
+            })?);
+        }
+        Ok(epochs)
+    }
+
+    /// Cold-starts a sharded engine from `<stem>.shard<s>.store` files
+    /// (and, when `with_wal`, their `<stem>.shard<s>.wal` logs).
+    ///
+    /// Shard 0's manifest supplies the plan — shard count and id
+    /// boundaries — then **all shards open in parallel** (one scoped
+    /// thread each). Every shard publishes its persisted epoch before
+    /// its WAL replay begins, so the returned engine serves its first
+    /// `top_k` from all shards' persisted epochs immediately; call
+    /// [`ShardedColdStart::wait`] before writing.
+    pub fn open_from_store<P: AsRef<Path>>(
+        stem: P,
+        with_wal: bool,
+        policy: RerankPolicy,
+    ) -> Result<ShardedColdStart, ShardedError> {
+        let stem = stem.as_ref();
+        let manifest = Store::open(Self::shard_store_path(stem, 0))
+            .map_err(EngineError::from)?
+            .shard_manifest()
+            .ok_or_else(|| {
+                EngineError::Restore("shard 0 snapshot carries no shard manifest".into())
+            })?;
+        let n_shards = manifest.n_shards();
+        let opened: Vec<Result<ColdStart, EngineError>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_shards)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let store = Self::shard_store_path(stem, s);
+                        let wal = with_wal.then(|| Self::shard_wal_path(stem, s));
+                        RankingEngine::open_from_store(store, wal, policy)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard open thread panicked"))
+                .collect()
+        });
+        let mut colds = Vec::with_capacity(n_shards);
+        for r in opened {
+            colds.push(r?);
+        }
+        let shards: Vec<Arc<RankingEngine>> = colds.iter().map(|c| c.engine()).collect();
+        let method = shards[0].method().to_string();
+        if let Some(odd) = shards.iter().find(|e| e.method() != method) {
+            return Err(ShardedError::Engine(EngineError::Restore(format!(
+                "shard snapshots disagree on the method: {} vs {}",
+                method,
+                odd.method()
+            ))));
+        }
+        let engine = ShardedEngine {
+            method,
+            starts: manifest.boundaries[..n_shards].to_vec(),
+            shards,
+            boundary_edges: AtomicUsize::new(0),
+        };
+        Ok(ShardedColdStart {
+            engine,
+            shards: colds,
+        })
+    }
+}
+
+/// A sharded engine restored from disk, with each shard's background
+/// WAL-replay warmup still in flight. The engine serves reads (from the
+/// persisted epochs) immediately; [`Self::wait`] joins every warmup.
+pub struct ShardedColdStart {
+    engine: ShardedEngine,
+    shards: Vec<ColdStart>,
+}
+
+impl ShardedColdStart {
+    /// The restored engine (readable immediately).
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Blocks until every shard's warmup finishes; returns the engine
+    /// and the per-shard warmup reports, in id order.
+    pub fn wait(self) -> (ShardedEngine, Vec<WarmupReport>) {
+        let reports = self.shards.into_iter().map(|c| c.wait().1).collect();
+        (self.engine, reports)
+    }
+}
+
+/// Method + filter identity a [`ShardCursor`] is bound to (page size and
+/// cursor position intentionally excluded — same scheme as the unsharded
+/// cursor fingerprint).
+fn fingerprint(method: &str, q: &Query) -> u64 {
+    let filters = format!(
+        "|{:?}|{:?}|{:?}|{:?}",
+        q.year_min, q.year_max, q.venue, q.author
+    );
+    fnv1a64_with(fnv1a64(method.as_bytes()), filters.as_bytes())
+}
+
+/// Per-shard candidate driver (the sharded mirror of the unsharded
+/// planner's choice, minus the cursor-only special case).
+#[derive(Clone, Copy)]
+enum Driver {
+    Range,
+    Venue(VenueId),
+    Author(AuthorId),
+}
+
+/// Collects one shard's contribution to a scatter-gather page: up to
+/// `q.k` `(score, global id)` pairs in `cmp_score_desc` order, plus the
+/// shard's count of candidates matching the filters after `frontier`.
+///
+/// Within one shard, ordering by local id ties equals ordering by global
+/// id ties (`global = start + local` is monotone), so per-shard kernel
+/// output merges globally without re-sorting.
+fn collect_shard(
+    snap: &EpochSnapshot,
+    start: PaperId,
+    q: &Query,
+    frontier: Option<(f64, PaperId)>,
+) -> Result<(Vec<(f64, PaperId)>, usize), QueryError> {
+    let net = snap.network();
+    let scores = snap.scores().as_slice();
+    let n = net.n_papers();
+    let after = |local: PaperId| match frontier {
+        None => true,
+        Some((cs, cid)) => {
+            cmp_score_desc(scores[local as usize], start + local, cs, cid)
+                == std::cmp::Ordering::Greater
+        }
+    };
+
+    // Resolve + bounds-check facets (typed errors, identical to the
+    // unsharded planner; windowed metadata keeps the global venue and
+    // author id spaces, so the checks agree across shards).
+    let venue_len = match q.venue {
+        None => None,
+        Some(v) => {
+            let table = net.venues().ok_or(QueryError::NoVenueData)?;
+            if (v as usize) >= table.n_venues() {
+                return Err(QueryError::UnknownVenue {
+                    id: v,
+                    n_venues: table.n_venues(),
+                });
+            }
+            Some(table.n_papers_at(v))
+        }
+    };
+    let author_len = match q.author {
+        None => None,
+        Some(a) => {
+            let table = net.authors().ok_or(QueryError::NoAuthorData)?;
+            if (a as usize) >= table.n_authors() {
+                return Err(QueryError::UnknownAuthor {
+                    id: a,
+                    n_authors: table.n_authors(),
+                });
+            }
+            Some(table.papers_of(a).len())
+        }
+    };
+
+    // Unfiltered, no frontier: plain partial select over the shard.
+    if q.venue.is_none()
+        && q.author.is_none()
+        && frontier.is_none()
+        && q.year_min.is_none()
+        && q.year_max.is_none()
+    {
+        let ids = top_k_indices(scores, q.k);
+        let run = ids
+            .into_iter()
+            .map(|l| (scores[l as usize], start + l))
+            .collect();
+        return Ok((run, n));
+    }
+
+    let range = net.id_range_for_years(q.year_min, q.year_max);
+    let year_len = (range.end - range.start) as usize;
+    let mut best = (year_len, Driver::Range);
+    if let (Some(v), Some(len)) = (q.venue, venue_len) {
+        if len < best.0 {
+            best = (len, Driver::Venue(v));
+        }
+    }
+    if let (Some(a), Some(len)) = (q.author, author_len) {
+        if len < best.0 {
+            best = (len, Driver::Author(a));
+        }
+    }
+
+    let (ids, matched) = match best.1 {
+        Driver::Range => {
+            let venue_check = q.venue.map(|v| (v, net.venues().expect("validated above")));
+            let author_mask: Option<IdMask> = q.author.map(|a| {
+                let table = net.authors().expect("validated above");
+                IdMask::from_ids(n, table.papers_of(a).iter().copied())
+            });
+            let mut matched = 0usize;
+            let mut pred = |id: u32| {
+                let ok = venue_check
+                    .as_ref()
+                    .is_none_or(|(v, t)| t.venue_of(id) == Some(*v))
+                    && author_mask.as_ref().is_none_or(|m| m.contains(id))
+                    && after(id);
+                matched += ok as usize;
+                ok
+            };
+            // k = 0 is a count: the scan must still run for `matched`.
+            let ids = if q.k == 0 {
+                for id in range.clone() {
+                    pred(id);
+                }
+                Vec::new()
+            } else {
+                top_k_where(scores, range.clone(), q.k, pred)
+            };
+            (ids, matched)
+        }
+        Driver::Venue(_) | Driver::Author(_) => {
+            let postings: &[PaperId] = match best.1 {
+                Driver::Venue(v) => net.venues().expect("validated above").papers_at(v),
+                Driver::Author(a) => net.authors().expect("validated above").papers_of(a),
+                Driver::Range => unreachable!("matched a postings driver"),
+            };
+            let venue_residual = match best.1 {
+                Driver::Venue(_) => None,
+                _ => q.venue.map(|v| (v, net.venues().expect("validated above"))),
+            };
+            let author_mask: Option<IdMask> = match best.1 {
+                Driver::Author(_) => None,
+                _ => q.author.map(|a| {
+                    let table = net.authors().expect("validated above");
+                    IdMask::from_ids(n, table.papers_of(a).iter().copied())
+                }),
+            };
+            let candidates: Vec<PaperId> = postings
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    range.contains(&id)
+                        && venue_residual
+                            .as_ref()
+                            .is_none_or(|(v, t)| t.venue_of(id) == Some(*v))
+                        && author_mask.as_ref().is_none_or(|m| m.contains(id))
+                        && after(id)
+                })
+                .collect();
+            let matched = candidates.len();
+            (top_k_filtered(scores, &candidates, q.k), matched)
+        }
+    };
+    let run = ids
+        .into_iter()
+        .map(|l| (scores[l as usize], start + l))
+        .collect();
+    Ok((run, matched))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citegraph::{NetworkBuilder, ShardSpec, Year};
+
+    /// 12 papers over 2000–2011 with venues and authors (same shape as
+    /// the query-layer fixture): venue `id % 3` (2 → none), authors
+    /// `[id % 2]` plus author 2 on multiples of 4, and a citation fan-in
+    /// that gives distinct cc mass to early papers.
+    fn corpus() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        for i in 0..12u32 {
+            let mut authors = vec![i % 2];
+            if i % 4 == 0 {
+                authors.push(2);
+            }
+            let venue = match i % 3 {
+                0 => Some(0),
+                1 => Some(1),
+                _ => None,
+            };
+            b.add_paper_with_metadata(2000 + i as Year, authors, venue);
+        }
+        for i in 1..12u32 {
+            for j in 0..i {
+                if (i + j) % 3 != 0 {
+                    b.add_citation(i, j).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn sharded(n: usize) -> ShardedEngine {
+        let net = corpus();
+        let plan = ShardSpec::Fixed(n).plan(&net).unwrap();
+        ShardedEngine::from_plan(&net, &plan, "cc", RerankPolicy::EveryBatch).unwrap()
+    }
+
+    /// Brute-force reference over a pinned set: every (score, global id)
+    /// pair from every shard, filtered, sorted by `cmp_score_desc`.
+    fn reference(snaps: &ShardSnapshots, q: &Query) -> Vec<(f64, PaperId)> {
+        let mut all = Vec::new();
+        for s in 0..snaps.n_shards() {
+            let snap = snaps.snapshot(s);
+            let net = snap.network();
+            let scores = snap.scores().as_slice();
+            for local in 0..net.n_papers() as u32 {
+                let gid = snaps.start(s) + local;
+                let year = net.year(local);
+                let keep = q.year_min.is_none_or(|lo| year >= lo)
+                    && q.year_max.is_none_or(|hi| year <= hi)
+                    && q.venue
+                        .is_none_or(|v| net.venues().unwrap().venue_of(local) == Some(v))
+                    && q.author
+                        .is_none_or(|a| net.authors().unwrap().authors_of(local).contains(&a));
+                if keep {
+                    all.push((scores[local as usize], gid));
+                }
+            }
+        }
+        all.sort_by(|&(xs, xi), &(ys, yi)| cmp_score_desc(xs, xi, ys, yi));
+        all
+    }
+
+    fn ids(page: &ShardedPage) -> Vec<PaperId> {
+        page.items.iter().map(|h| h.id).collect()
+    }
+
+    #[test]
+    fn scatter_gather_matches_reference_across_shard_counts() {
+        for n_shards in [1, 2, 3, 4] {
+            let eng = sharded(n_shards);
+            let snaps = eng.snapshots();
+            for s in [
+                "k=12",
+                "k=5",
+                "k=4,venue=0",
+                "k=4,venue=1",
+                "k=4,author=2",
+                "k=6,year=2003..2008",
+                "k=6,year=2005..",
+                "k=3,year=..2004,venue=0",
+                "k=12,author=1,year=2002..2009",
+            ] {
+                let q: Query = s.parse().unwrap();
+                let page = eng.query_at(&snaps, &q, None).unwrap();
+                let want = reference(&snaps, &q);
+                let want_ids: Vec<PaperId> = want.iter().take(q.k).map(|&(_, id)| id).collect();
+                assert_eq!(ids(&page), want_ids, "{n_shards} shards, {s}");
+                assert_eq!(page.matched, want.len(), "{n_shards} shards, {s}");
+                // Hit metadata resolves through the owning shard.
+                for hit in &page.items {
+                    let (sh, local) = snaps.locate(hit.id);
+                    let net = snaps.snapshot(sh).network();
+                    assert_eq!(hit.year, net.year(local));
+                    assert_eq!(hit.score, snaps.snapshot(sh).score(local).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn year_filter_prunes_non_overlapping_shards() {
+        let eng = sharded(4); // 3 papers per shard: years 2000-02|03-05|06-08|09-11
+        let q: Query = "k=3,year=2003..2005".parse().unwrap();
+        let page = eng.query(&q, None).unwrap();
+        assert_eq!(page.shards_total, 4);
+        assert_eq!(page.shards_scanned, 1, "only the 2003-2005 band survives");
+        assert_eq!(
+            ids(&page),
+            reference(&eng.snapshots(), &q)[..3]
+                .iter()
+                .map(|&(_, id)| id)
+                .collect::<Vec<_>>()
+        );
+
+        let q: Query = "k=12,year=2006..".parse().unwrap();
+        let page = eng.query(&q, None).unwrap();
+        assert_eq!(page.shards_scanned, 2, "two tail bands overlap 2006..");
+
+        let q: Query = "k=12".parse().unwrap();
+        let page = eng.query(&q, None).unwrap();
+        assert_eq!(page.shards_scanned, 4, "unfiltered scans everything");
+    }
+
+    #[test]
+    fn pages_tile_the_merged_total_order() {
+        for n_shards in [2, 3] {
+            for filter in ["", ",venue=0", ",year=2002..2010", ",author=0"] {
+                let eng = sharded(n_shards);
+                let snaps = eng.snapshots();
+                let full: Query = format!("k=12{filter}").parse().unwrap();
+                let want: Vec<PaperId> =
+                    reference(&snaps, &full).iter().map(|&(_, id)| id).collect();
+                let q: Query = format!("k=2{filter}").parse().unwrap();
+                let mut got = Vec::new();
+                let mut cursor: Option<ShardCursor> = None;
+                let mut remaining = want.len();
+                loop {
+                    let page = eng.query_at(&snaps, &q, cursor.as_ref()).unwrap();
+                    assert_eq!(
+                        page.matched, remaining,
+                        "{n_shards} shards{filter}: matched tracks the tail"
+                    );
+                    got.extend(ids(&page));
+                    remaining -= page.items.len();
+                    match page.next {
+                        Some(c) => cursor = Some(c),
+                        None => break,
+                    }
+                }
+                assert_eq!(got, want, "{n_shards} shards{filter}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_token_round_trips_and_is_scoped() {
+        let eng = sharded(3);
+        let snaps = eng.snapshots();
+        let q: Query = "k=2,venue=0".parse().unwrap();
+        let page = eng.query_at(&snaps, &q, None).unwrap();
+        let cursor = page.next.expect("more than 2 venue-0 papers");
+
+        // Token round-trip.
+        let token = cursor.to_string();
+        assert_eq!(token.parse::<ShardCursor>().unwrap(), cursor);
+        assert!("znot-a-cursor".parse::<ShardCursor>().is_err());
+
+        // Different filters → CursorMismatch.
+        let other: Query = "k=2,venue=1".parse().unwrap();
+        assert!(matches!(
+            eng.query_at(&snaps, &other, Some(&cursor)),
+            Err(ShardedError::CursorMismatch)
+        ));
+
+        // A tail publish moves the epoch set → StaleCursor against the
+        // engine's *current* set, while the pinned set keeps serving.
+        let mut delta = GraphDelta::new();
+        delta.add_paper(2012);
+        delta.add_citation(12, 11);
+        eng.ingest(&delta).unwrap();
+        assert!(matches!(
+            eng.query(&q, Some(&cursor)),
+            Err(ShardedError::StaleCursor { .. })
+        ));
+        let page2 = eng.query_at(&snaps, &q, Some(&cursor)).unwrap();
+        assert!(!page2.items.is_empty());
+    }
+
+    #[test]
+    fn k0_is_a_count_across_shards() {
+        let eng = sharded(3);
+        let snaps = eng.snapshots();
+        for filter in ["", ",venue=0", ",year=2003..2007", ",author=2"] {
+            let q: Query = format!("k=0{filter}").parse().unwrap();
+            let page = eng.query_at(&snaps, &q, None).unwrap();
+            assert!(page.items.is_empty());
+            assert!(page.next.is_none());
+            assert_eq!(page.matched, reference(&snaps, &q).len(), "{filter}");
+        }
+    }
+
+    #[test]
+    fn ingest_routes_to_tail_and_absorbs_boundary_edges() {
+        let eng = sharded(3);
+        let at_build = eng.boundary_edges();
+        assert!(at_build > 0, "the fixture has cross-shard citations");
+        let before: Vec<u64> = eng
+            .shard_engines()
+            .iter()
+            .map(|e| e.snapshot().epoch())
+            .collect();
+
+        // Paper 12 (global) cites 11 (tail-local) and 0 (cross-shard).
+        let mut delta = GraphDelta::new();
+        delta.add_paper(2012);
+        delta.add_citation(12, 11);
+        delta.add_citation(12, 0);
+        let report = eng.ingest(&delta).unwrap();
+        assert_eq!(report.shard, 2, "routed to the tail shard");
+        assert_eq!(report.boundary_edges, 1, "the edge into shard 0 absorbed");
+        assert!(report.report.published, "EveryBatch publishes the tail");
+        assert_eq!(eng.boundary_edges(), at_build + 1);
+
+        let after: Vec<u64> = eng
+            .shard_engines()
+            .iter()
+            .map(|e| e.snapshot().epoch())
+            .collect();
+        assert_eq!(after[0], before[0], "frozen shard untouched");
+        assert_eq!(after[1], before[1], "frozen shard untouched");
+        assert_eq!(after[2], before[2] + 1, "tail published one epoch");
+
+        // The new paper serves under its global id.
+        let page = eng
+            .query(&"k=1,year=2012..".parse().unwrap(), None)
+            .unwrap();
+        assert_eq!(ids(&page), vec![12]);
+        assert_eq!(page.shards_scanned, 1);
+
+        // A delta rejected by the tail changes nothing (year regression).
+        let mut bad = GraphDelta::new();
+        bad.add_paper(1990);
+        assert!(matches!(
+            eng.ingest(&bad),
+            Err(ShardedError::Engine(EngineError::Delta(_)))
+        ));
+        assert_eq!(eng.boundary_edges(), at_build + 1);
+    }
+
+    #[test]
+    fn rerank_all_publishes_every_shard_in_parallel() {
+        let net = corpus();
+        let plan = ShardSpec::Fixed(3).plan(&net).unwrap();
+        let eng = ShardedEngine::from_plan(&net, &plan, "cc", RerankPolicy::Manual).unwrap();
+        let before = eng.snapshots().epoch_key();
+        let epochs = eng.rerank_all();
+        assert_eq!(epochs.len(), 3);
+        assert!(epochs.iter().all(|&e| e >= 1));
+        assert_ne!(eng.snapshots().epoch_key(), before);
+    }
+
+    #[test]
+    fn single_shard_plan_matches_unsharded_engine_bitwise() {
+        let net = corpus();
+        let plan = ShardSpec::Fixed(1).plan(&net).unwrap();
+        let eng = ShardedEngine::from_plan(&net, &plan, "cc", RerankPolicy::EveryBatch).unwrap();
+        let flat = RankingEngine::from_config(corpus(), "cc", RerankPolicy::EveryBatch).unwrap();
+        let sharded_scores = eng.shard_engines()[0].snapshot();
+        let flat_scores = flat.snapshot();
+        for (a, b) in sharded_scores
+            .scores()
+            .as_slice()
+            .iter()
+            .zip(flat_scores.scores().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(eng.top_k(12), flat.top_k(12));
+    }
+}

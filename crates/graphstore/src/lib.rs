@@ -61,6 +61,8 @@
 //! | 7   | EPOCH_META     | raw  | UTF-8 method spec string       | epoch no.  |
 //! | 8   | EPOCH_SCORES   | f64  | score per paper                | epoch no.  |
 //! | 9   | WAL_WATERMARK  | u64  | empty                          | see below  |
+//! | 10  | SHARD_MANIFEST | u32  | shard index, then S+1 global   | n_shards S |
+//! |     |                |      | id boundaries of the plan      |            |
 //!
 //! Sections 1–3 are mandatory and describe the reference adjacency (row
 //! `j` = papers cited by `j`); the citers transpose is rebuilt on load.
@@ -129,7 +131,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use net::{compact, load_network, save_network, CompactReport, NetworkStoreExt};
-pub use snapshot::{EpochRef, Store, StoreBuilder, StoreError};
+pub use snapshot::{EpochRef, ShardManifest, Store, StoreBuilder, StoreError};
 pub use wal::{DeltaWal, WalRecord, WalRecovery};
 
 /// FNV-1a 64-bit checksum (the store's and WAL's per-section integrity

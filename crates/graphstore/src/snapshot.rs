@@ -39,6 +39,7 @@ mod tag {
     pub const EPOCH_META: u32 = 7;
     pub const EPOCH_SCORES: u32 = 8;
     pub const WAL_WATERMARK: u32 = 9;
+    pub const SHARD_MANIFEST: u32 = 10;
 }
 
 /// Element kinds (see the crate-level format table).
@@ -182,6 +183,24 @@ impl StoreBuilder {
         self
     }
 
+    /// Stages a shard manifest: this file holds shard `manifest.shard` of
+    /// a plan whose global id `boundaries` are recorded in full, so a
+    /// cold start that opens **any** one shard file learns the whole
+    /// plan and can open the remaining shards in parallel. Readers that
+    /// predate the section skip it (unknown-tag forward compatibility).
+    pub fn shard_manifest(mut self, manifest: &ShardManifest) -> Self {
+        let mut payload: Vec<u32> = Vec::with_capacity(1 + manifest.boundaries.len());
+        payload.push(manifest.shard);
+        payload.extend_from_slice(&manifest.boundaries);
+        self.push(
+            tag::SHARD_MANIFEST,
+            kind::U32,
+            manifest.n_shards() as u64,
+            encode_u32s(&payload),
+        );
+        self
+    }
+
     fn push(&mut self, tag: u32, kind: u32, aux: u64, payload: Vec<u8>) {
         self.sections.push(OwnedSection {
             tag,
@@ -296,6 +315,25 @@ struct Section {
     /// Payload byte range within the buffer.
     start: usize,
     len: usize,
+}
+
+/// Which shard of a sharded serving plan a snapshot file holds, plus the
+/// plan's full id-boundary list (see the SHARD_MANIFEST section of the
+/// crate-level format spec). `boundaries` has `S + 1` entries: shard `s`
+/// owns global paper ids `boundaries[s]..boundaries[s + 1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Index of the shard this file holds (`< n_shards`).
+    pub shard: u32,
+    /// The plan's `S + 1` strictly increasing global id boundaries.
+    pub boundaries: Vec<u32>,
+}
+
+impl ShardManifest {
+    /// Number of shards `S` in the plan.
+    pub fn n_shards(&self) -> usize {
+        self.boundaries.len() - 1
+    }
 }
 
 /// One published epoch borrowed from a [`Store`].
@@ -462,6 +500,28 @@ impl Store {
             }
         }
 
+        if let Some(s) = self.find(tag::SHARD_MANIFEST) {
+            let n_shards = s.aux as usize;
+            if s.kind != kind::U32 || n_shards == 0 || s.len / 4 != n_shards + 2 {
+                return Err(StoreError::Format(
+                    "SHARD_MANIFEST section has the wrong kind or length".into(),
+                ));
+            }
+            let payload = as_u32s(self.payload(s));
+            if payload[0] as usize >= n_shards {
+                return Err(StoreError::Format(format!(
+                    "SHARD_MANIFEST names shard {} of {n_shards}",
+                    payload[0]
+                )));
+            }
+            let boundaries = &payload[1..];
+            if boundaries[0] != 0 || boundaries.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(StoreError::Format(
+                    "SHARD_MANIFEST boundaries are not strictly increasing from 0".into(),
+                ));
+            }
+        }
+
         // Epochs: every SCORES pairs with the closest preceding META.
         let mut pending_meta: Option<usize> = None;
         let mut epochs = Vec::new();
@@ -593,6 +653,18 @@ impl Store {
     /// The epoch persisted for `spec`, if any.
     pub fn epoch_for(&self, spec: &str) -> Option<EpochRef<'_>> {
         self.epochs().into_iter().find(|e| e.spec == spec)
+    }
+
+    /// The shard manifest stored in this snapshot (see
+    /// [`StoreBuilder::shard_manifest`]); `None` for unsharded snapshots.
+    pub fn shard_manifest(&self) -> Option<ShardManifest> {
+        self.find(tag::SHARD_MANIFEST).map(|s| {
+            let payload = as_u32s(self.payload(s));
+            ShardManifest {
+                shard: payload[0],
+                boundaries: payload[1..].to_vec(),
+            }
+        })
     }
 
     /// Ids of the `k` highest-scoring papers of the first stored epoch

@@ -342,6 +342,66 @@ fn corrupting_the_watermark_aux_is_detected() {
 }
 
 #[test]
+fn shard_manifest_roundtrips() {
+    let net = rich_network();
+    let manifest = graphstore::ShardManifest {
+        shard: 1,
+        boundaries: vec![0, 2, 4],
+    };
+    let bytes = StoreBuilder::new()
+        .network(&net)
+        .shard_manifest(&manifest)
+        .to_bytes();
+    let store = Store::from_bytes(&bytes).unwrap();
+    let back = store.shard_manifest().expect("manifest section present");
+    assert_eq!(back.shard, 1);
+    assert_eq!(back.boundaries, vec![0, 2, 4]);
+    assert_eq!(back.n_shards(), 2);
+
+    // A store written without a manifest reports none.
+    let plain = StoreBuilder::new().network(&net).to_bytes();
+    assert!(Store::from_bytes(&plain)
+        .unwrap()
+        .shard_manifest()
+        .is_none());
+}
+
+#[test]
+fn malformed_shard_manifest_is_rejected() {
+    // Boundaries must start at zero and be strictly increasing, and the
+    // shard index must name one of the plan's shards — a store carrying
+    // a nonsensical manifest must fail to parse rather than send a cold
+    // start looking for shard files that cannot exist.
+    let net = rich_network();
+    for manifest in [
+        graphstore::ShardManifest {
+            shard: 2, // out of range for 2 shards
+            boundaries: vec![0, 2, 4],
+        },
+        graphstore::ShardManifest {
+            shard: 0,
+            boundaries: vec![1, 2, 4], // does not start at 0
+        },
+        graphstore::ShardManifest {
+            shard: 0,
+            boundaries: vec![0, 3, 3], // not strictly increasing
+        },
+    ] {
+        let bytes = StoreBuilder::new()
+            .network(&net)
+            .shard_manifest(&manifest)
+            .to_bytes();
+        assert!(
+            matches!(
+                Store::from_bytes(&bytes),
+                Err(graphstore::StoreError::Format(_))
+            ),
+            "manifest {manifest:?} should be rejected"
+        );
+    }
+}
+
+#[test]
 fn empty_network_roundtrips() {
     let net = NetworkBuilder::new().build().unwrap();
     let bytes = StoreBuilder::new().network(&net).to_bytes();

@@ -17,7 +17,8 @@
 //! * [`ranks`] — rank assignment (ordinal and tie-averaged) used by rank
 //!   correlation metrics, plus the top-k selection family (full,
 //!   candidate-list, predicate-scan and bitmask variants) the serving
-//!   layer's filtered queries run on,
+//!   layer's filtered queries run on, and the k-way run merge the
+//!   sharded scatter-gather read path gathers pages with,
 //! * [`mask`] — dense id bitsets with set algebra, the currency of
 //!   composed query predicates.
 //!
@@ -47,8 +48,8 @@ pub use mask::IdMask;
 pub use power::{PowerEngine, PowerOptions, PowerOutcome};
 pub use push::{PushConfig, PushOutcome};
 pub use ranks::{
-    average_ranks, cmp_score_desc, ordinal_ranks, sort_indices_desc, top_k_filtered, top_k_indices,
-    top_k_masked, top_k_where,
+    average_ranks, cmp_score_desc, merge_k_sorted, ordinal_ranks, sort_indices_desc,
+    top_k_filtered, top_k_indices, top_k_masked, top_k_where,
 };
 pub use stochastic::CitationOperator;
 pub use vector::{KernelWorkspace, ScoreVec};

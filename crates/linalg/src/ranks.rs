@@ -178,6 +178,90 @@ pub fn top_k_masked(scores: &[f64], mask: &IdMask, k: usize) -> Vec<u32> {
     top_k_stream(scores, mask.ones(), k)
 }
 
+/// One run head inside [`merge_k_sorted`]'s heap. Ordered so that the
+/// pair ranking *first* under [`cmp_score_desc`] is the heap maximum
+/// (`BinaryHeap` pops the max); pairs identical across runs break by
+/// lower run index, matching the stable concat-then-sort reference.
+struct MergeHead {
+    score: f64,
+    id: u32,
+    run: usize,
+    pos: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        cmp_score_desc(self.score, self.id, other.score, other.id)
+            .reverse()
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+/// Merges `runs` — each already sorted by [`cmp_score_desc`] over
+/// `(score, global id)` pairs — and returns the first `k` entries of
+/// their combined total order.
+///
+/// A binary heap holds one head per non-empty run: `O(S)` to build and
+/// `O(log S)` per emitted pair, so a merged page costs `O(S + k log S)`
+/// in the run count `S` — the scatter-gather read path pays for the
+/// page it returns, never for the shards' full candidate sets. The
+/// result is *identical* to concatenating all runs and stably sorting
+/// by `cmp_score_desc` (property-tested in `tests/proptests.rs`),
+/// including NaN totality (NaN pairs rank after every number) and
+/// score-ties interleaving by ascending id across runs. A pair
+/// duplicated across runs ties by lower run index, matching the stable
+/// reference.
+///
+/// Runs that are not themselves sorted produce an unspecified (but
+/// non-panicking) order, exactly like a mis-sorted input to a binary
+/// search.
+pub fn merge_k_sorted(runs: &[&[(f64, u32)]], k: usize) -> Vec<(f64, u32)> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let k = k.min(total);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: std::collections::BinaryHeap<MergeHead> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(run, r)| MergeHead {
+            score: r[0].0,
+            id: r[0].1,
+            run,
+            pos: 0,
+        })
+        .collect();
+    let mut out = Vec::with_capacity(k);
+    while let Some(head) = heap.pop() {
+        out.push((head.score, head.id));
+        if out.len() == k {
+            break;
+        }
+        let next = head.pos + 1;
+        if let Some(&(score, id)) = runs[head.run].get(next) {
+            heap.push(MergeHead {
+                score,
+                id,
+                run: head.run,
+                pos: next,
+            });
+        }
+    }
+    out
+}
+
 /// Ordinal ranks: the highest score gets rank 1, and so on. Ties break by
 /// index, so ranks are a permutation of `1..=n`.
 pub fn ordinal_ranks(scores: &[f64]) -> Vec<f64> {
@@ -413,6 +497,113 @@ mod tests {
             pages.extend(chunk);
         }
         assert_eq!(pages, full);
+    }
+
+    /// The naive reference [`merge_k_sorted`] is pinned against: stable
+    /// concat + full sort by `cmp_score_desc`, truncated to k.
+    fn concat_sort_truncate(runs: &[&[(f64, u32)]], k: usize) -> Vec<(f64, u32)> {
+        let mut all: Vec<(f64, u32)> = runs.iter().flat_map(|r| r.iter().copied()).collect();
+        all.sort_by(|a, b| cmp_score_desc(a.0, a.1, b.0, b.1));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn merge_k_sorted_matches_concat_sort() {
+        let a = [(0.9, 0u32), (0.5, 2), (0.1, 4)];
+        let b = [(0.8, 1u32), (0.5, 3), (0.2, 5)];
+        let c = [(0.7, 6u32)];
+        let runs: &[&[(f64, u32)]] = &[&a, &b, &c];
+        for k in 0..=9 {
+            assert_eq!(
+                merge_k_sorted(runs, k),
+                concat_sort_truncate(runs, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_k_sorted_k_zero_and_no_runs() {
+        let a = [(1.0, 0u32)];
+        assert!(merge_k_sorted(&[&a], 0).is_empty());
+        assert!(merge_k_sorted(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn merge_k_sorted_skips_empty_runs() {
+        let a = [(0.9, 0u32), (0.3, 2)];
+        let empty: [(f64, u32); 0] = [];
+        let b = [(0.6, 1u32)];
+        let runs: &[&[(f64, u32)]] = &[&empty, &a, &empty, &b, &empty];
+        assert_eq!(merge_k_sorted(runs, 10), vec![(0.9, 0), (0.6, 1), (0.3, 2)]);
+        // All runs empty.
+        let all_empty: &[&[(f64, u32)]] = &[&empty, &empty];
+        assert!(merge_k_sorted(all_empty, 3).is_empty());
+    }
+
+    #[test]
+    fn merge_k_sorted_all_ties_interleave_by_ascending_id() {
+        // Score-equal entries spread across shards must come back in
+        // ascending *global id* order — the exact tie semantics of
+        // cmp_score_desc, not per-run order.
+        let a = [(5.0, 0u32), (5.0, 3), (5.0, 6)];
+        let b = [(5.0, 1u32), (5.0, 4), (5.0, 7)];
+        let c = [(5.0, 2u32), (5.0, 5), (5.0, 8)];
+        let runs: &[&[(f64, u32)]] = &[&a, &b, &c];
+        let merged = merge_k_sorted(runs, 9);
+        let ids: Vec<u32> = merged.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
+        for k in 0..=9 {
+            assert_eq!(
+                merge_k_sorted(runs, k),
+                concat_sort_truncate(runs, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_k_sorted_nan_runs_sort_last() {
+        // A shard whose solve failed publishes NaN scores; its run sits
+        // at the bottom of the merged order, never at the top.
+        let good = [(0.4, 0u32), (0.1, 2)];
+        let bad = [(f64::NAN, 1u32), (f64::NAN, 3)];
+        let runs: &[&[(f64, u32)]] = &[&bad, &good];
+        let merged = merge_k_sorted(runs, 10);
+        let ids: Vec<u32> = merged.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 2, 1, 3]);
+        assert!(merged[2].0.is_nan() && merged[3].0.is_nan());
+        assert_eq!(merge_k_sorted(runs, 1), vec![(0.4, 0)]);
+        // Mixed NaN/number within a run stays pinned to the reference.
+        let mixed = [(2.0, 5u32), (f64::NAN, 4)];
+        let runs: &[&[(f64, u32)]] = &[&mixed, &good, &bad];
+        for k in 0..=8 {
+            let got = merge_k_sorted(runs, k);
+            let want = concat_sort_truncate(runs, k);
+            assert_eq!(got.len(), want.len(), "k = {k}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.1, w.1, "k = {k}");
+                assert!(g.0 == w.0 || (g.0.is_nan() && w.0.is_nan()), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_k_sorted_k_beyond_total_clamps() {
+        let a = [(0.9, 0u32)];
+        let b = [(0.8, 1u32)];
+        assert_eq!(merge_k_sorted(&[&a, &b], 100), vec![(0.9, 0), (0.8, 1)]);
+    }
+
+    #[test]
+    fn merge_k_sorted_duplicate_pairs_tie_by_run_index() {
+        // The same (score, id) pair in two runs is returned twice, in
+        // run order — matching the stable concat-then-sort reference.
+        let a = [(1.0, 7u32)];
+        let b = [(1.0, 7u32)];
+        let runs: &[&[(f64, u32)]] = &[&a, &b];
+        assert_eq!(merge_k_sorted(runs, 2), concat_sort_truncate(runs, 2));
     }
 
     #[test]

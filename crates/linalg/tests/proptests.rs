@@ -364,6 +364,40 @@ proptest! {
     }
 
     #[test]
+    fn merge_k_sorted_equals_concat_full_sort(
+        raw_runs in proptest::collection::vec(
+            proptest::collection::vec((-4i32..4, 0u32..64), 0..40),
+            0..8,
+        ),
+        k in 0usize..50,
+    ) {
+        use sparsela::{cmp_score_desc, merge_k_sorted};
+        // Quantized scores force heavy cross-run ties; a score of -4
+        // stands in for NaN so the totality branch is exercised too.
+        let runs: Vec<Vec<(f64, u32)>> = raw_runs
+            .iter()
+            .map(|run| {
+                let mut r: Vec<(f64, u32)> = run
+                    .iter()
+                    .map(|&(s, id)| (if s == -4 { f64::NAN } else { s as f64 }, id))
+                    .collect();
+                r.sort_by(|a, b| cmp_score_desc(a.0, a.1, b.0, b.1));
+                r
+            })
+            .collect();
+        let refs: Vec<&[(f64, u32)]> = runs.iter().map(|r| r.as_slice()).collect();
+        let mut expected: Vec<(f64, u32)> = runs.iter().flatten().copied().collect();
+        expected.sort_by(|a, b| cmp_score_desc(a.0, a.1, b.0, b.1));
+        expected.truncate(k);
+        let got = merge_k_sorted(&refs, k);
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, w) in got.iter().zip(&expected) {
+            prop_assert_eq!(g.1, w.1);
+            prop_assert!(g.0 == w.0 || (g.0.is_nan() && w.0.is_nan()));
+        }
+    }
+
+    #[test]
     fn probability_mass_is_conserved_under_threading(
         (n, edges) in edges_strategy(50),
         threads in 1usize..9,
