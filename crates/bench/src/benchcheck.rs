@@ -92,6 +92,9 @@ pub fn is_guarded(r: &BenchRecord) -> bool {
         // The sharded group is guarded except its unsharded/scan
         // reference rows, which exist only to form the speedup ratios.
         || (r.group == "sharded" && !(r.id.contains("unsharded") || r.id.contains("scan")))
+        // The index group is guarded except its mask-residual reference
+        // rows, which exist only to form the index-vs-scan ratio.
+        || (r.group == "index_vs_scan" && !r.id.contains("residual"))
 }
 
 /// The cold-start speedup recorded in a report: `min_ns` of the TSV
@@ -188,6 +191,32 @@ pub fn tail_ingest_speedup(records: &[BenchRecord]) -> Option<f64> {
 /// Acceptance floor for [`tail_ingest_speedup`] (ISSUE 6: a tail-shard
 /// ingest publish ≥4× faster than a whole-corpus publish at 200k).
 pub const MIN_TAIL_INGEST_SPEEDUP: f64 = 4.0;
+
+/// The index-vs-scan speedup recorded in a report: `min_ns` of the
+/// IdMask-residual scan (`author_mask_residual_200k`) over the banded
+/// posting-list drive (`author_posting_200k`), both in the
+/// `index_vs_scan` group on the same 200k-paper graph at k=10. `None`
+/// when either record is absent.
+///
+/// A ratio of two measurements from the same run, so — like the other
+/// ratio gates — it holds across machines and is enforced directly by
+/// `repro bench-check`.
+pub fn index_vs_scan_speedup(records: &[BenchRecord]) -> Option<f64> {
+    let find = |prefix: &str| {
+        records
+            .iter()
+            .find(|r| r.group == "index_vs_scan" && r.id.starts_with(prefix))
+            .map(|r| r.min_ns)
+    };
+    let indexed = find("author_posting_200k")?;
+    let residual = find("author_mask_residual_200k")?;
+    Some(residual / indexed.max(1.0))
+}
+
+/// Acceptance floor for [`index_vs_scan_speedup`] (ISSUE 7: a selective
+/// author-filtered top-k at k=10 on the 200k-paper graph ≥10× faster
+/// through the posting list than through the IdMask-residual scan).
+pub const MIN_INDEX_VS_SCAN_SPEEDUP: f64 = 10.0;
 
 /// Outcome of one guarded comparison.
 #[derive(Debug)]
@@ -329,6 +358,36 @@ mod tests {
         assert_eq!(pruned_speedup(&records[..1]), None);
         assert_eq!(tail_ingest_speedup(&records[..2]), None);
         assert_eq!(pruned_speedup(&[]), None);
+    }
+
+    #[test]
+    fn index_group_guard_excludes_the_residual_rows() {
+        let rec = |id: &str| BenchRecord {
+            group: "index_vs_scan".into(),
+            id: id.into(),
+            min_ns: 1.0,
+        };
+        assert!(is_guarded(&rec("author_posting_200k")));
+        assert!(is_guarded(&rec("composite_author_year_200k")));
+        assert!(is_guarded(&rec("or_venues_200k")));
+        assert!(!is_guarded(&rec("author_mask_residual_200k")));
+        assert!(!is_guarded(&rec("residual_author_year_200k")));
+    }
+
+    #[test]
+    fn index_vs_scan_speedup_is_the_min_ns_ratio() {
+        let rec = |id: &str, min_ns: f64| BenchRecord {
+            group: "index_vs_scan".into(),
+            id: id.into(),
+            min_ns,
+        };
+        let records = vec![
+            rec("author_posting_200k", 20_000.0),
+            rec("author_mask_residual_200k", 600_000.0),
+        ];
+        assert_eq!(index_vs_scan_speedup(&records), Some(30.0));
+        assert_eq!(index_vs_scan_speedup(&records[..1]), None);
+        assert_eq!(index_vs_scan_speedup(&[]), None);
     }
 
     #[test]

@@ -274,6 +274,20 @@ fn run_bench_check() -> ExitCode {
                 benchcheck::MIN_TAIL_INGEST_SPEEDUP
             );
         }
+        if let Some(speedup) = benchcheck::index_vs_scan_speedup(records) {
+            let verdict = if speedup >= benchcheck::MIN_INDEX_VS_SCAN_SPEEDUP {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>27.1}x  (floor {:.0}x)  {verdict}",
+                format!("index_vs_scan/index_speedup ({origin})"),
+                speedup,
+                benchcheck::MIN_INDEX_VS_SCAN_SPEEDUP
+            );
+        }
     }
     if failed {
         eprintln!("bench-check: guarded benchmark regressed beyond the threshold");
@@ -439,21 +453,35 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
     // Explain line: what the planner chose and why.
     match engine.explain(&query) {
         Ok(plan) => {
-            let driver = match plan.driver {
+            let join = |ids: &[u32]| {
+                ids.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("|")
+            };
+            let driver = match &plan.driver {
                 QueryDriver::Unfiltered => "unfiltered partial select".to_string(),
                 QueryDriver::IdRange { start, end } => {
                     format!("id-range scan [{start}, {end})")
                 }
-                QueryDriver::VenuePostings { venue, len } => {
-                    format!("venue {venue} posting list ({len} papers)")
+                QueryDriver::VenueBands { venues, len } => {
+                    format!("venue {} banded postings ({len} candidates)", join(venues))
                 }
-                QueryDriver::AuthorPostings { author, len } => {
-                    format!("author {author} posting list ({len} papers)")
+                QueryDriver::AuthorBands { authors, len } => {
+                    format!(
+                        "author {} banded postings ({len} candidates)",
+                        join(authors)
+                    )
+                }
+                QueryDriver::MaskAlgebra { candidates } => {
+                    format!("mask algebra pushdown ({candidates} candidates)")
                 }
             };
             println!(
-                "plan: driver = {driver}, candidates = {}, residual checks = [{}]",
+                "plan: driver = {driver}, candidates = {}, est cost = {:.0} ns, \
+                 residual checks = [{}]",
                 plan.candidates,
+                plan.cost_ns,
                 plan.residuals.join(", ")
             );
         }

@@ -14,6 +14,7 @@
 use sparsela::Csr;
 use std::fmt;
 
+use crate::metadata::{AuthorId, AuthorTable, VenueId, VenueTable};
 use crate::network::{CitationNetwork, PaperId, Year};
 
 /// A batch of additions to apply on top of an existing network.
@@ -21,6 +22,14 @@ use crate::network::{CitationNetwork, PaperId, Year};
 /// New papers receive ids `n, n+1, …` in the order they appear in
 /// [`Self::papers`] (where `n` is the base network's paper count); citation
 /// pairs may reference both existing and new ids.
+///
+/// Papers may optionally carry venue/author metadata (see
+/// [`Self::add_paper_with_metadata`]): when any paper in the batch does,
+/// [`Self::authors`] and [`Self::venues`] run parallel to
+/// [`Self::papers`]; when none does, both stay empty and the batch is a
+/// plain v1-style delta. Applying a metadata-bearing delta appends to the
+/// network's facet posting lists, so facet queries see the new papers
+/// immediately — no rebuild.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphDelta {
     /// Publication years of the appended papers, in id order.
@@ -28,6 +37,14 @@ pub struct GraphDelta {
     /// New `(citing, cited)` edges. Duplicates of existing edges collapse
     /// silently, mirroring the builder (citation matrices are 0/1).
     pub citations: Vec<(PaperId, PaperId)>,
+    /// Author lists per appended paper — empty when the batch carries no
+    /// metadata, otherwise parallel to [`Self::papers`] (papers without
+    /// authors hold an empty list). Ids may exceed the base network's
+    /// author id space; the space grows on apply.
+    pub authors: Vec<Vec<AuthorId>>,
+    /// Venue per appended paper — empty when the batch carries no
+    /// metadata, otherwise parallel to [`Self::papers`].
+    pub venues: Vec<Option<VenueId>>,
 }
 
 impl GraphDelta {
@@ -39,8 +56,42 @@ impl GraphDelta {
     /// Appends a paper published in `year`; returns its *offset within the
     /// delta* — its final id is `base.n_papers() + offset`.
     pub fn add_paper(&mut self, year: Year) -> usize {
+        if self.has_metadata() {
+            self.authors.push(Vec::new());
+            self.venues.push(None);
+        }
         self.papers.push(year);
         self.papers.len() - 1
+    }
+
+    /// Appends a paper with venue/author metadata, mirroring
+    /// [`crate::NetworkBuilder::add_paper_with_metadata`]; returns its
+    /// offset within the delta. The first metadata-bearing paper
+    /// materializes the parallel metadata vectors (earlier papers get
+    /// empty entries); trivially-empty metadata on a metadata-free batch
+    /// degrades to [`Self::add_paper`] so the delta — and its WAL encoding
+    /// — stays v1-shaped.
+    pub fn add_paper_with_metadata(
+        &mut self,
+        year: Year,
+        authors: Vec<AuthorId>,
+        venue: Option<VenueId>,
+    ) -> usize {
+        if authors.is_empty() && venue.is_none() && !self.has_metadata() {
+            return self.add_paper(year);
+        }
+        self.authors.resize(self.papers.len(), Vec::new());
+        self.venues.resize(self.papers.len(), None);
+        self.papers.push(year);
+        self.authors.push(authors);
+        self.venues.push(venue);
+        self.papers.len() - 1
+    }
+
+    /// `true` when any paper in the batch carries venue/author metadata
+    /// (equivalently: the metadata vectors are materialized).
+    pub fn has_metadata(&self) -> bool {
+        !self.authors.is_empty() || !self.venues.is_empty()
     }
 
     /// Records a new citation edge by final ids.
@@ -70,6 +121,15 @@ impl GraphDelta {
     /// delta — which is how the serving engine batches many small ingests
     /// into one network rebuild at publish time.
     pub fn merge(&mut self, other: &GraphDelta) {
+        if self.has_metadata() || other.has_metadata() {
+            self.authors.resize(self.papers.len(), Vec::new());
+            self.venues.resize(self.papers.len(), None);
+            let merged = self.papers.len() + other.papers.len();
+            self.authors.extend_from_slice(&other.authors);
+            self.venues.extend_from_slice(&other.venues);
+            self.authors.resize(merged, Vec::new());
+            self.venues.resize(merged, None);
+        }
         self.papers.extend_from_slice(&other.papers);
         self.citations.extend_from_slice(&other.citations);
     }
@@ -78,6 +138,8 @@ impl GraphDelta {
     pub fn clear(&mut self) {
         self.papers.clear();
         self.citations.clear();
+        self.authors.clear();
+        self.venues.clear();
     }
 }
 
@@ -113,6 +175,17 @@ pub enum DeltaError {
         /// The cited paper (later year).
         cited: PaperId,
     },
+    /// A hand-constructed delta's metadata vector was neither empty nor
+    /// parallel to `papers` (the `add_paper*` methods maintain this
+    /// invariant; raw field writes can break it).
+    MetadataShape {
+        /// Which vector is malformed (`"authors"` or `"venues"`).
+        field: &'static str,
+        /// Its length.
+        len: usize,
+        /// The length it must match (or be zero).
+        n_papers: usize,
+    },
 }
 
 impl fmt::Display for DeltaError {
@@ -132,6 +205,15 @@ impl fmt::Display for DeltaError {
             DeltaError::FutureCitation { citing, cited } => {
                 write!(f, "paper {citing} cites paper {cited} published later")
             }
+            DeltaError::MetadataShape {
+                field,
+                len,
+                n_papers,
+            } => write!(
+                f,
+                "delta {field} vector has {len} entries but the delta adds \
+                 {n_papers} papers (must be empty or parallel)"
+            ),
         }
     }
 }
@@ -144,8 +226,11 @@ impl CitationNetwork {
     /// Existing paper ids are preserved verbatim (new papers are appended at
     /// the end of the time-sorted order), so per-paper state computed on
     /// `self` — cached fixed points, rank positions — remains addressable on
-    /// the result. Metadata tables are carried over with empty entries for
-    /// the new papers.
+    /// the result. Metadata tables are maintained incrementally: a
+    /// metadata-bearing delta appends to the venue/author posting lists in
+    /// O(batch) (growing the facet id spaces as needed), so facet queries
+    /// see the new papers immediately; a metadata-free delta carries the
+    /// tables over with empty entries for the new papers.
     ///
     /// Validation mirrors the builder: new papers must not be older than the
     /// current year (ids are time-sorted), edges must point backwards (or
@@ -172,6 +257,20 @@ impl CitationNetwork {
         let n_old = self.n_papers();
         let n_staged = n_old + staged.papers.len();
         let n_new = n_staged + delta.papers.len();
+
+        // 0. Metadata vectors, when materialized, run parallel to papers.
+        for (field, len) in [
+            ("authors", delta.authors.len()),
+            ("venues", delta.venues.len()),
+        ] {
+            if len != 0 && len != delta.papers.len() {
+                return Err(DeltaError::MetadataShape {
+                    field,
+                    len,
+                    n_papers: delta.papers.len(),
+                });
+            }
+        }
 
         // 1. Years stay non-decreasing across the append boundary.
         let mut min_year = staged
@@ -238,20 +337,61 @@ impl CitationNetwork {
         edges.extend_from_slice(&delta.citations);
         let refs = Csr::from_edges(n_new, n_new, &edges);
 
-        // Metadata: keep the existing tables, new papers get no authors
-        // and no venue (id spaces are unchanged).
-        let authors = self.authors().map(|a| {
-            let mut per_paper: Vec<Vec<_>> = (0..n_old as u32)
-                .map(|p| a.authors_of(p).to_vec())
-                .collect();
-            per_paper.resize(n_new, Vec::new());
-            crate::metadata::AuthorTable::new(&per_paper, a.n_authors())
-        });
-        let venues = self.venues().map(|v| {
-            let mut venue: Vec<_> = (0..n_old as u32).map(|p| v.venue_of(p)).collect();
-            venue.resize(n_new, None);
-            crate::metadata::VenueTable::new(venue, v.n_venues())
-        });
+        // Metadata: append the delta's rows to the existing tables in one
+        // linear pass (`extend` — O(batch) new postings, no re-sort), so
+        // facet posting lists cover the new papers the moment the delta
+        // publishes. Facet id spaces grow to admit unseen author/venue
+        // ids; a metadata-bearing delta onto a metadata-less base creates
+        // the tables (old papers get empty entries). Metadata-free deltas
+        // keep today's behavior: tables carry over with empty entries.
+        let author_rows: Vec<Vec<crate::metadata::AuthorId>> = if delta.authors.is_empty() {
+            vec![Vec::new(); delta.papers.len()]
+        } else {
+            delta.authors.clone()
+        };
+        let authors = (self.authors().is_some() || delta.authors.iter().any(|r| !r.is_empty()))
+            .then(|| {
+                let base_n = self.authors().map_or(0, |a| a.n_authors());
+                let delta_n = author_rows
+                    .iter()
+                    .flatten()
+                    .map(|&a| a as usize + 1)
+                    .max()
+                    .unwrap_or(0);
+                let n_authors = base_n.max(delta_n);
+                match self.authors() {
+                    Some(a) => a.extend(&author_rows, n_authors),
+                    None => {
+                        let mut per_paper = vec![Vec::new(); n_old];
+                        per_paper.extend(author_rows.iter().cloned());
+                        AuthorTable::new(&per_paper, n_authors)
+                    }
+                }
+            });
+        let venue_slots: Vec<Option<crate::metadata::VenueId>> = if delta.venues.is_empty() {
+            vec![None; delta.papers.len()]
+        } else {
+            delta.venues.clone()
+        };
+        let venues =
+            (self.venues().is_some() || delta.venues.iter().any(|v| v.is_some())).then(|| {
+                let base_n = self.venues().map_or(0, |v| v.n_venues());
+                let delta_n = venue_slots
+                    .iter()
+                    .flatten()
+                    .map(|&v| v as usize + 1)
+                    .max()
+                    .unwrap_or(0);
+                let n_venues = base_n.max(delta_n);
+                match self.venues() {
+                    Some(v) => v.extend(&venue_slots, n_venues),
+                    None => {
+                        let mut slots = vec![None; n_old];
+                        slots.extend_from_slice(&venue_slots);
+                        VenueTable::new(slots, n_venues)
+                    }
+                }
+            });
 
         CitationNetwork::from_parts(years, refs, authors, venues)
     }
@@ -493,6 +633,139 @@ mod tests {
             net.validate_delta(&staged, &d).unwrap_err(),
             DeltaError::UnknownPaper { id: 4 }
         );
+    }
+
+    #[test]
+    fn metadata_delta_updates_posting_lists_immediately() {
+        let mut b = NetworkBuilder::new();
+        b.add_paper_with_metadata(2000, vec![0, 1], Some(0));
+        b.add_paper_with_metadata(2001, vec![1], Some(1));
+        let net = b.build().unwrap();
+
+        let mut d = GraphDelta::new();
+        d.add_paper_with_metadata(2002, vec![1, 3], Some(2));
+        d.add_paper(2002); // metadata-free paper in the same batch
+        d.add_citation(2, 0);
+        let next = net.with_delta(&d).unwrap();
+
+        // Facet id spaces grew to admit the unseen ids.
+        let authors = next.authors().unwrap();
+        assert_eq!(authors.n_authors(), 4);
+        assert_eq!(authors.authors_of(2), &[1, 3]);
+        assert!(authors.authors_of(3).is_empty());
+        // Posting lists cover the new paper with no rebuild.
+        assert_eq!(authors.papers_of(1), &[0, 1, 2]);
+        assert_eq!(authors.papers_of(3), &[2]);
+        assert_eq!(authors.papers_of(2), &[] as &[u32]); // grown, empty
+
+        let venues = next.venues().unwrap();
+        assert_eq!(venues.n_venues(), 3);
+        assert_eq!(venues.venue_of(2), Some(2));
+        assert_eq!(venues.venue_of(3), None);
+        assert_eq!(venues.papers_at(2), &[2]);
+    }
+
+    #[test]
+    fn metadata_delta_matches_scratch_build() {
+        let mut b = NetworkBuilder::new();
+        b.add_paper_with_metadata(2000, vec![0, 1], Some(0));
+        b.add_paper_with_metadata(2001, vec![1], None);
+        let net = b.build().unwrap();
+
+        let mut d = GraphDelta::new();
+        d.add_paper_with_metadata(2002, vec![2, 0], Some(1));
+        d.add_paper_with_metadata(2003, vec![], Some(0));
+        d.add_citation(2, 1);
+        d.add_citation(3, 2);
+        let incremental = net.with_delta(&d).unwrap();
+
+        let mut b = NetworkBuilder::new();
+        b.add_paper_with_metadata(2000, vec![0, 1], Some(0));
+        b.add_paper_with_metadata(2001, vec![1], None);
+        b.add_paper_with_metadata(2002, vec![2, 0], Some(1));
+        b.add_paper_with_metadata(2003, vec![], Some(0));
+        b.add_citation(2, 1).unwrap();
+        b.add_citation(3, 2).unwrap();
+        let scratch = b.build().unwrap();
+
+        assert_eq!(incremental.authors(), scratch.authors());
+        assert_eq!(incremental.venues(), scratch.venues());
+    }
+
+    #[test]
+    fn metadata_delta_onto_bare_base_creates_tables() {
+        let net = base(); // no metadata at all
+        assert!(net.authors().is_none() && net.venues().is_none());
+        let mut d = GraphDelta::new();
+        d.add_paper_with_metadata(1995, vec![7], Some(2));
+        let next = net.with_delta(&d).unwrap();
+        let authors = next.authors().unwrap();
+        assert_eq!(authors.n_authors(), 8);
+        assert!(authors.authors_of(0).is_empty()); // old papers: empty rows
+        assert_eq!(authors.papers_of(7), &[3]);
+        let venues = next.venues().unwrap();
+        assert_eq!(venues.venue_of(3), Some(2));
+        assert_eq!(venues.papers_at(2), &[3]);
+        assert_eq!(venues.papers_at(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn metadata_shape_violation_is_typed() {
+        let net = base();
+        let mut d = GraphDelta::new();
+        d.add_paper(1995);
+        d.authors = vec![vec![0], vec![1]]; // 2 rows, 1 paper
+        assert_eq!(
+            net.with_delta(&d).unwrap_err(),
+            DeltaError::MetadataShape {
+                field: "authors",
+                len: 2,
+                n_papers: 1
+            }
+        );
+        let mut d = GraphDelta::new();
+        d.add_paper(1995);
+        d.venues = vec![None, Some(0)];
+        assert!(matches!(
+            net.with_delta(&d),
+            Err(DeltaError::MetadataShape {
+                field: "venues",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn metadata_merge_keeps_vectors_parallel() {
+        let mut a = GraphDelta::new();
+        a.add_paper(2000); // metadata-free so far
+        let mut b = GraphDelta::new();
+        b.add_paper_with_metadata(2001, vec![4], Some(1));
+        a.merge(&b);
+        assert_eq!(a.authors, vec![vec![], vec![4]]);
+        assert_eq!(a.venues, vec![None, Some(1)]);
+
+        // Merging a metadata-free delta onto a metadata-bearing one pads.
+        let mut c = GraphDelta::new();
+        c.add_paper(2002);
+        a.merge(&c);
+        assert_eq!(a.authors.len(), 3);
+        assert_eq!(a.venues, vec![None, Some(1), None]);
+        assert!(a.has_metadata());
+        a.clear();
+        assert!(!a.has_metadata() && a.is_empty());
+    }
+
+    #[test]
+    fn trivially_empty_metadata_degrades_to_v1_shape() {
+        let mut d = GraphDelta::new();
+        d.add_paper_with_metadata(2000, vec![], None);
+        assert!(!d.has_metadata());
+        assert_eq!(d, {
+            let mut plain = GraphDelta::new();
+            plain.add_paper(2000);
+            plain
+        });
     }
 
     #[test]

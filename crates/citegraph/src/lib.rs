@@ -27,6 +27,7 @@
 
 pub mod builder;
 pub mod delta;
+pub mod index;
 pub mod io;
 pub mod metadata;
 pub mod network;
@@ -39,6 +40,7 @@ pub mod window;
 
 pub use builder::{BuildError, NetworkBuilder};
 pub use delta::{DeltaError, GraphDelta};
+pub use index::{band, FacetExpr};
 pub use metadata::{AuthorId, AuthorTable, VenueId, VenueTable};
 pub use network::{CitationNetwork, PaperId, PartsError, Year};
 pub use pushrank::{

@@ -178,6 +178,164 @@ impl AuthorTable {
         })
     }
 
+    /// The transposed author→papers posting arrays: offsets of length
+    /// `n_authors + 1` into the flat paper-id array. This is the index the
+    /// query layer probes; the snapshot store persists both arrays so a
+    /// cold start restores the index without re-inverting.
+    pub fn postings(&self) -> (&[usize], &[PaperId]) {
+        (&self.rev_offsets, &self.rev_paper_ids)
+    }
+
+    /// Rebuilds a table from the flat forward arrays *and* the persisted
+    /// author→papers posting arrays, skipping the counting-sort inversion.
+    ///
+    /// The postings are validated in O(nnz) instead of trusted: every
+    /// `(author, paper)` pair must exist in the forward view, lists must be
+    /// strictly increasing, and the pair count must match the forward
+    /// count. Distinct valid pairs + equal cardinality forces the posting
+    /// set to equal the inversion exactly, and ascending order within each
+    /// list pins the layout bit-for-bit — so corruption is detected, not
+    /// absorbed.
+    ///
+    /// # Errors
+    /// Returns a description on any forward-array defect (see
+    /// [`Self::from_flat`]) or posting-array mismatch.
+    pub fn from_flat_with_postings(
+        offsets: Vec<usize>,
+        author_ids: Vec<AuthorId>,
+        n_authors: usize,
+        rev_offsets: Vec<usize>,
+        rev_paper_ids: Vec<PaperId>,
+    ) -> Result<Self, String> {
+        let forward = Self::from_flat(offsets, author_ids, n_authors)?;
+        let Self {
+            offsets,
+            author_ids,
+            ..
+        } = forward;
+        let n_papers = offsets.len() - 1;
+        if rev_offsets.len() != n_authors + 1 {
+            return Err(format!(
+                "author posting offsets have {} entries, want {}",
+                rev_offsets.len(),
+                n_authors + 1
+            ));
+        }
+        if rev_offsets[0] != 0 || rev_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("author posting offsets do not start at 0 or decrease".into());
+        }
+        if *rev_offsets.last().expect("non-empty") != rev_paper_ids.len() {
+            return Err("author posting offsets do not cover the paper-id array".into());
+        }
+        if rev_paper_ids.len() != author_ids.len() {
+            return Err(format!(
+                "author postings hold {} pairs but the forward view holds {}",
+                rev_paper_ids.len(),
+                author_ids.len()
+            ));
+        }
+        for (a, w) in rev_offsets.windows(2).enumerate() {
+            let list = &rev_paper_ids[w[0]..w[1]];
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("author {a} posting list not strictly increasing"));
+            }
+            for &p in list {
+                if p as usize >= n_papers {
+                    return Err(format!(
+                        "author {a} posting references paper {p} out of range"
+                    ));
+                }
+                let row = &author_ids[offsets[p as usize]..offsets[p as usize + 1]];
+                if !row.contains(&(a as AuthorId)) {
+                    return Err(format!(
+                        "author {a} posting lists paper {p} but paper {p} does not list author {a}"
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            offsets,
+            author_ids,
+            rev_offsets,
+            rev_paper_ids,
+            n_authors,
+        })
+    }
+
+    /// Appends per-paper author rows for papers `n_papers()..`, growing the
+    /// author id space to `n_authors` (which must not shrink), and merges
+    /// the new `(author, paper)` pairs into the posting lists in one linear
+    /// pass — no re-sort, no re-inversion. New paper ids exceed every
+    /// existing id, so each author's appended postings land at the end of
+    /// its (sorted) list and the result is identical to a from-scratch
+    /// build. Authors that gained no papers keep (or are created with)
+    /// empty posting lists.
+    ///
+    /// Beyond the unavoidable copy of the existing arrays the work is
+    /// O(batch + n_authors) — this is the delta-publish maintenance path.
+    pub fn extend(&self, new_per_paper: &[Vec<AuthorId>], n_authors: usize) -> AuthorTable {
+        assert!(
+            n_authors >= self.n_authors,
+            "author id space cannot shrink: {} -> {n_authors}",
+            self.n_authors
+        );
+        let n_old_papers = self.n_papers();
+        let old_nnz = self.author_ids.len();
+        let mut offsets = self.offsets.clone();
+        let mut author_ids = self.author_ids.clone();
+        for authors in new_per_paper {
+            let start = author_ids.len();
+            for &a in authors {
+                assert!(
+                    (a as usize) < n_authors,
+                    "author id {a} out of range {n_authors}"
+                );
+                if !author_ids[start..].contains(&a) {
+                    author_ids.push(a);
+                }
+            }
+            offsets.push(author_ids.len());
+        }
+
+        let mut add_counts = vec![0usize; n_authors];
+        for &a in &author_ids[old_nnz..] {
+            add_counts[a as usize] += 1;
+        }
+        let mut rev_offsets = Vec::with_capacity(n_authors + 1);
+        rev_offsets.push(0usize);
+        let mut acc = 0;
+        for (a, &added) in add_counts.iter().enumerate() {
+            let old = if a < self.n_authors {
+                self.rev_offsets[a + 1] - self.rev_offsets[a]
+            } else {
+                0
+            };
+            acc += old + added;
+            rev_offsets.push(acc);
+        }
+        let mut rev_paper_ids = vec![0 as PaperId; author_ids.len()];
+        let mut cursor = rev_offsets[..n_authors].to_vec();
+        for a in 0..self.n_authors {
+            let seg = &self.rev_paper_ids[self.rev_offsets[a]..self.rev_offsets[a + 1]];
+            rev_paper_ids[cursor[a]..cursor[a] + seg.len()].copy_from_slice(seg);
+            cursor[a] += seg.len();
+        }
+        for i in 0..new_per_paper.len() {
+            let p = (n_old_papers + i) as PaperId;
+            for &a in &author_ids[offsets[n_old_papers + i]..offsets[n_old_papers + i + 1]] {
+                rev_paper_ids[cursor[a as usize]] = p;
+                cursor[a as usize] += 1;
+            }
+        }
+        Self {
+            offsets,
+            author_ids,
+            rev_offsets,
+            rev_paper_ids,
+            n_authors,
+        }
+    }
+
     /// Restricts the table to the first `k` papers (author id space is kept
     /// so ids remain comparable across snapshots).
     pub fn prefix(&self, k: usize) -> AuthorTable {
@@ -307,6 +465,141 @@ impl VenueTable {
         self.papers_at(v).len()
     }
 
+    /// The venue→papers posting arrays: offsets of length `n_venues + 1`
+    /// into the flat paper-id array (what the snapshot store persists so a
+    /// cold start restores the index without a counting-sort rebuild).
+    pub fn postings(&self) -> (&[usize], &[PaperId]) {
+        (&self.post_offsets, &self.post_papers)
+    }
+
+    /// Rebuilds a table from the per-paper slots *and* persisted posting
+    /// arrays, skipping the counting-sort rebuild.
+    ///
+    /// The postings are validated in O(n + nnz) instead of trusted: lists
+    /// must be strictly increasing, every listed paper's slot must name the
+    /// venue, and the pair count must equal the number of assigned slots —
+    /// which together force the arrays to equal the counting-sort output
+    /// bit-for-bit, so corruption is detected, not absorbed.
+    ///
+    /// # Errors
+    /// Returns a description of the first defect found.
+    pub fn from_parts(
+        venue: Vec<Option<VenueId>>,
+        n_venues: usize,
+        post_offsets: Vec<usize>,
+        post_papers: Vec<PaperId>,
+    ) -> Result<Self, String> {
+        if let Some(v) = venue.iter().flatten().find(|&&v| v as usize >= n_venues) {
+            return Err(format!("venue id {v} out of range {n_venues}"));
+        }
+        if post_offsets.len() != n_venues + 1 {
+            return Err(format!(
+                "venue posting offsets have {} entries, want {}",
+                post_offsets.len(),
+                n_venues + 1
+            ));
+        }
+        if post_offsets[0] != 0 || post_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("venue posting offsets do not start at 0 or decrease".into());
+        }
+        if *post_offsets.last().expect("non-empty") != post_papers.len() {
+            return Err("venue posting offsets do not cover the paper-id array".into());
+        }
+        let assigned = venue.iter().flatten().count();
+        if post_papers.len() != assigned {
+            return Err(format!(
+                "venue postings hold {} papers but {assigned} slots are assigned",
+                post_papers.len()
+            ));
+        }
+        for (v, w) in post_offsets.windows(2).enumerate() {
+            let list = &post_papers[w[0]..w[1]];
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("venue {v} posting list not strictly increasing"));
+            }
+            for &p in list {
+                if p as usize >= venue.len() {
+                    return Err(format!(
+                        "venue {v} posting references paper {p} out of range"
+                    ));
+                }
+                if venue[p as usize] != Some(v as VenueId) {
+                    return Err(format!(
+                        "venue {v} posting lists paper {p} but its slot says {:?}",
+                        venue[p as usize]
+                    ));
+                }
+            }
+        }
+        Ok(Self {
+            venue,
+            n_venues,
+            post_offsets,
+            post_papers,
+        })
+    }
+
+    /// Appends venue slots for papers `n_papers()..`, growing the venue id
+    /// space to `n_venues` (which must not shrink), and merges the new
+    /// papers into the posting lists in one linear pass — the counting-sort
+    /// rebuild is skipped because appended paper ids exceed every existing
+    /// id, so each venue's new postings land at the end of its (sorted)
+    /// list. Venues that gained no papers keep (or are created with) empty
+    /// posting lists, so [`Self::papers_at`] returns an empty slice for
+    /// them, never panicking on an in-range id.
+    ///
+    /// Beyond the unavoidable copy of the existing arrays the work is
+    /// O(batch + n_venues) — this is the delta-publish maintenance path.
+    pub fn extend(&self, new_slots: &[Option<VenueId>], n_venues: usize) -> VenueTable {
+        assert!(
+            n_venues >= self.n_venues,
+            "venue id space cannot shrink: {} -> {n_venues}",
+            self.n_venues
+        );
+        for v in new_slots.iter().flatten() {
+            assert!((*v as usize) < n_venues, "venue id {v} out of range");
+        }
+        let n_old = self.venue.len();
+        let mut venue = self.venue.clone();
+        venue.extend_from_slice(new_slots);
+
+        let mut add_counts = vec![0usize; n_venues];
+        for v in new_slots.iter().flatten() {
+            add_counts[*v as usize] += 1;
+        }
+        let mut post_offsets = Vec::with_capacity(n_venues + 1);
+        post_offsets.push(0usize);
+        let mut acc = 0;
+        for (v, &added) in add_counts.iter().enumerate() {
+            let old = if v < self.n_venues {
+                self.post_offsets[v + 1] - self.post_offsets[v]
+            } else {
+                0
+            };
+            acc += old + added;
+            post_offsets.push(acc);
+        }
+        let mut post_papers = vec![0 as PaperId; acc];
+        let mut cursor = post_offsets[..n_venues].to_vec();
+        for v in 0..self.n_venues {
+            let seg = &self.post_papers[self.post_offsets[v]..self.post_offsets[v + 1]];
+            post_papers[cursor[v]..cursor[v] + seg.len()].copy_from_slice(seg);
+            cursor[v] += seg.len();
+        }
+        for (i, v) in new_slots.iter().enumerate() {
+            if let Some(v) = v {
+                post_papers[cursor[*v as usize]] = (n_old + i) as PaperId;
+                cursor[*v as usize] += 1;
+            }
+        }
+        Self {
+            venue,
+            n_venues,
+            post_offsets,
+            post_papers,
+        }
+    }
+
     /// Restricts to the first `k` papers (posting lists are rebuilt for
     /// the prefix, so [`Self::papers_at`] stays correct on snapshots).
     pub fn prefix(&self, k: usize) -> VenueTable {
@@ -418,6 +711,138 @@ mod tests {
         assert_eq!(t.authors_of(1), &[1, 0]);
         assert_eq!(t.papers_of(0), &[0, 1]);
         assert_eq!(t.papers_of(1), &[0, 1]);
+    }
+
+    #[test]
+    fn author_extend_equals_scratch_build() {
+        let base_rows = vec![vec![0, 1], vec![1], vec![], vec![2, 0]];
+        let new_rows = vec![vec![1, 4], vec![], vec![0, 0, 3]]; // dup collapses
+        let t = AuthorTable::new(&base_rows, 3).extend(&new_rows, 5);
+        let mut all = base_rows;
+        all.extend(new_rows);
+        assert_eq!(t, AuthorTable::new(&all, 5));
+        assert_eq!(t.papers_of(0), &[0, 3, 6]);
+        assert_eq!(t.papers_of(4), &[4]);
+    }
+
+    #[test]
+    fn author_extend_grown_empty_ids_return_empty_slices() {
+        // Author ids 3 and 4 exist in the grown id space but gained no
+        // papers yet: probing them must be an empty slice, not a panic.
+        let t = sample_authors().extend(&[vec![2]], 5);
+        assert_eq!(t.n_authors(), 5);
+        assert_eq!(t.papers_of(3), &[] as &[u32]);
+        assert_eq!(t.papers_of(4), &[] as &[u32]);
+        assert_eq!(t.papers_of(2), &[3, 4]);
+    }
+
+    #[test]
+    fn author_extend_with_no_new_papers_is_identity_plus_id_space() {
+        let t = sample_authors();
+        let e = t.extend(&[], 3);
+        assert_eq!(e, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn author_extend_shrinking_id_space_panics() {
+        sample_authors().extend(&[], 2);
+    }
+
+    #[test]
+    fn author_postings_roundtrip_with_persisted_inverse() {
+        let t = sample_authors();
+        let (ro, rp) = t.postings();
+        let back = AuthorTable::from_flat_with_postings(
+            t.offsets().to_vec(),
+            t.flat_author_ids().to_vec(),
+            t.n_authors(),
+            ro.to_vec(),
+            rp.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn author_postings_validation_rejects_corruption() {
+        let t = sample_authors();
+        let (ro, rp) = t.postings();
+        let flat = (t.offsets().to_vec(), t.flat_author_ids().to_vec());
+        // Wrong offsets length.
+        assert!(AuthorTable::from_flat_with_postings(
+            flat.0.clone(),
+            flat.1.clone(),
+            3,
+            ro[..3].to_vec(),
+            rp.to_vec()
+        )
+        .is_err());
+        // A pair swapped to an author that did not write the paper.
+        let mut bad = rp.to_vec();
+        bad[0] = 2; // author 0's list now claims paper 2 (no authors at all)
+        let err = AuthorTable::from_flat_with_postings(
+            flat.0.clone(),
+            flat.1.clone(),
+            3,
+            ro.to_vec(),
+            bad,
+        )
+        .unwrap_err();
+        assert!(err.contains("does not list"), "{err}");
+        // Out-of-order list.
+        let mut bad = rp.to_vec();
+        bad.swap(0, 1); // author 0: [3, 0]
+        let err =
+            AuthorTable::from_flat_with_postings(flat.0, flat.1, 3, ro.to_vec(), bad).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
+    }
+
+    #[test]
+    fn venue_extend_equals_scratch_build() {
+        let base = vec![Some(0), None, Some(1), Some(0)];
+        let added = vec![None, Some(3), Some(0)];
+        let t = VenueTable::new(base.clone(), 2).extend(&added, 4);
+        let mut all = base;
+        all.extend(added.clone());
+        assert_eq!(t, VenueTable::new(all, 4));
+        assert_eq!(t.papers_at(0), &[0, 3, 6]);
+        assert_eq!(t.papers_at(3), &[5]);
+    }
+
+    #[test]
+    fn venue_extend_grown_empty_ids_return_empty_slices() {
+        // Venue 2 and 3 exist in the grown id space but no paper landed
+        // there: papers_at must be an empty slice, not a panic.
+        let t = VenueTable::new(vec![Some(0), Some(1)], 2).extend(&[Some(1)], 4);
+        assert_eq!(t.n_venues(), 4);
+        assert_eq!(t.papers_at(2), &[] as &[u32]);
+        assert_eq!(t.papers_at(3), &[] as &[u32]);
+        assert_eq!(t.n_papers_at(3), 0);
+        assert_eq!(t.papers_at(1), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn venue_extend_shrinking_id_space_panics() {
+        VenueTable::new(vec![Some(0)], 1).extend(&[], 0);
+    }
+
+    #[test]
+    fn venue_from_parts_roundtrip_and_corruption() {
+        let t = VenueTable::new(vec![Some(2), None, Some(0), Some(2)], 3);
+        let (po, pp) = t.postings();
+        let back = VenueTable::from_parts(t.slots().to_vec(), 3, po.to_vec(), pp.to_vec()).unwrap();
+        assert_eq!(back, t);
+        // A posting pointing at a paper whose slot names another venue.
+        let mut bad = pp.to_vec();
+        bad[0] = 3; // venue 0's list now claims paper 3 (venue 2)
+        let err = VenueTable::from_parts(t.slots().to_vec(), 3, po.to_vec(), bad).unwrap_err();
+        assert!(err.contains("its slot says"), "{err}");
+        // A dropped pair (count mismatch against assigned slots).
+        let err = VenueTable::from_parts(t.slots().to_vec(), 3, vec![0, 1, 1, 2], pp[..2].to_vec())
+            .unwrap_err();
+        assert!(err.contains("slots are assigned"), "{err}");
     }
 
     #[test]

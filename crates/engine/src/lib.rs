@@ -15,11 +15,11 @@
 //!   lookups while batched [`citegraph::GraphDelta`]s fold in under a
 //!   configurable [`RerankPolicy`], with warm-started re-ranks for AttRank,
 //! * [`query`] — [`QueryEngine`], the filtered/faceted/paginated read
-//!   workload: a compact [`Query`] grammar (venue, author, year range,
-//!   offset-free cursors), a selectivity-ordered planner compiling
-//!   predicates to posting lists and id ranges, snapshot-pinned
-//!   pagination with typed stale-cursor errors, and a two-method
-//!   compare mode,
+//!   workload: a compact [`Query`] grammar (venue, author, OR-of-facet
+//!   lists, year range, offset-free cursors), a cost-based planner
+//!   compiling predicates to banded posting lists, id ranges, or
+//!   [`sparsela::IdMask`] algebra, snapshot-pinned pagination with
+//!   typed stale-cursor errors, and a two-method compare mode,
 //! * [`sharded`] — [`ShardedEngine`], the same serving surface over a
 //!   year-band-partitioned corpus: one engine per contiguous id band,
 //!   parallel per-shard re-rank, tail-routed O(tail-shard) ingest, and a

@@ -15,14 +15,16 @@
 //! ```text
 //! venue=3,k=10
 //! method=attrank,author=42,year=1995..2000,k=5
-//! method=attrank,vs=cc,venue=3,k=20
+//! method=attrank,vs=cc,venue=3|7,k=20
 //! k=10,cursor=c1-3fe51eb851eb851f-2a-9e3779b97f4a7c15
 //! ```
 //!
-//! `year` accepts `A..B`, `A..`, `..B` or a single year. `vs` names a
-//! second registered method for [`QueryEngine::compare`]. Unknown keys,
-//! duplicates and malformed values are typed errors naming the offending
-//! key, like the method-spec parser.
+//! `year` accepts `A..B`, `A..`, `..B` or a single year. `venue` and
+//! `author` accept `|`-separated id lists (OR within the facet class,
+//! AND across classes). `vs` names a second registered method for
+//! [`QueryEngine::compare`]. Unknown keys, duplicates and malformed
+//! values are typed errors naming the offending key, like the
+//! method-spec parser.
 //!
 //! # Planner
 //!
@@ -30,15 +32,27 @@
 //! cardinality — venue and author predicates to prebuilt posting lists
 //! (`citegraph::VenueTable::papers_at`, `AuthorTable::papers_of`), year
 //! bounds to a contiguous id range via binary search on the time-sorted
-//! id space. The planner picks the smallest as the *driver* and demotes
-//! the rest to per-candidate residual checks (O(1) venue/year tests, an
-//! [`IdMask`] membership test for author incidence), then executes with
-//! the selection kernel matching the driver shape:
-//! [`sparsela::top_k_filtered`] over a posting list,
-//! [`sparsela::top_k_where`] over an id range. A query with no
-//! predicates and no cursor falls through to the plain partial select —
-//! the unfiltered path costs exactly what it did before this layer
-//! existed.
+//! id space. Because the posting lists are ascending over the same
+//! time-sorted ids, a *composite* (facet, year-range) predicate probes
+//! one contiguous band of the posting list ([`citegraph::band`]) — the
+//! year bound costs two binary searches, not a residual check. The
+//! planner compares three execution shapes by **measured cost** (the
+//! constants come from the `index_vs_scan` bench group):
+//!
+//! * **banded postings** — the year-banded posting lists of the most
+//!   selective facet class drive ([`sparsela::top_k_filtered`]); other
+//!   classes demote to per-candidate residual checks,
+//! * **range scan** — a contiguous id scan ([`sparsela::top_k_where`])
+//!   with facet residuals,
+//! * **mask algebra** — the whole predicate tree (OR within classes,
+//!   AND across, year range) pushed down to word-wide [`IdMask`] set
+//!   operations via [`citegraph::FacetExpr`]; no residuals remain.
+//!
+//! A query with no predicates and no cursor falls through to the plain
+//! partial select — the unfiltered path costs exactly what it did
+//! before this layer existed. [`QueryEngine::explain`] surfaces the
+//! chosen driver, its exact (or bounded) candidate count, the estimated
+//! cost, and the surviving residual checks.
 //!
 //! # Cursors
 //!
@@ -58,7 +72,7 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
-use citegraph::{AuthorId, CitationNetwork, GraphDelta, PaperId, VenueId, Year};
+use citegraph::{AuthorId, CitationNetwork, FacetExpr, GraphDelta, PaperId, VenueId, Year};
 use sparsela::{cmp_score_desc, top_k_filtered, top_k_indices, top_k_where, IdMask};
 
 use crate::engine::{EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy};
@@ -81,10 +95,12 @@ pub struct Query {
     pub year_min: Option<Year>,
     /// Latest admissible publication year (inclusive).
     pub year_max: Option<Year>,
-    /// Restrict to papers at this venue.
-    pub venue: Option<VenueId>,
-    /// Restrict to papers (co-)written by this author.
-    pub author: Option<AuthorId>,
+    /// Restrict to papers at *any* of these venues (empty = no venue
+    /// restriction).
+    pub venues: Vec<VenueId>,
+    /// Restrict to papers (co-)written by *any* of these authors (empty
+    /// = no author restriction).
+    pub authors: Vec<AuthorId>,
     /// Resume marker from a previous [`Page::next`].
     pub cursor: Option<Cursor>,
 }
@@ -97,8 +113,8 @@ impl Default for Query {
             k: 10,
             year_min: None,
             year_max: None,
-            venue: None,
-            author: None,
+            venues: Vec::new(),
+            authors: Vec::new(),
             cursor: None,
         }
     }
@@ -110,9 +126,30 @@ impl Query {
     fn is_unfiltered(&self) -> bool {
         self.year_min.is_none()
             && self.year_max.is_none()
-            && self.venue.is_none()
-            && self.author.is_none()
+            && self.venues.is_empty()
+            && self.authors.is_empty()
     }
+}
+
+/// Joins facet ids with the grammar's `|` OR separator.
+fn join_ids(ids: &[u32]) -> String {
+    ids.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Parses a `|`-separated facet id list; at least one id required.
+fn parse_ids(key: &str, value: &str) -> Result<Vec<u32>, QueryError> {
+    value
+        .split('|')
+        .map(|p| {
+            p.trim().parse().map_err(|_| QueryError::BadValue {
+                key: key.into(),
+                value: value.into(),
+            })
+        })
+        .collect()
 }
 
 impl fmt::Display for Query {
@@ -138,11 +175,11 @@ impl fmt::Display for Query {
                 }
             }
         }
-        if let Some(v) = self.venue {
-            write!(f, ",venue={v}")?;
+        if !self.venues.is_empty() {
+            write!(f, ",venue={}", join_ids(&self.venues))?;
         }
-        if let Some(a) = self.author {
-            write!(f, ",author={a}")?;
+        if !self.authors.is_empty() {
+            write!(f, ",author={}", join_ids(&self.authors))?;
         }
         if let Some(c) = &self.cursor {
             write!(f, ",cursor={c}")?;
@@ -191,8 +228,8 @@ impl FromStr for Query {
                         y => Some(y.parse().map_err(|_| bad(key, value))?),
                     };
                 }
-                "venue" => q.venue = Some(value.parse().map_err(|_| bad(key, value))?),
-                "author" => q.author = Some(value.parse().map_err(|_| bad(key, value))?),
+                "venue" => q.venues = parse_ids(key, value)?,
+                "author" => q.authors = parse_ids(key, value)?,
                 "cursor" => q.cursor = Some(value.parse()?),
                 other => {
                     return Err(QueryError::UnknownKey { key: other.into() });
@@ -403,6 +440,9 @@ impl FromStr for Cursor {
 /// what binds a [`Cursor`] to the result set it walks. Page size and
 /// `vs` are deliberately excluded: changing `k` mid-pagination is
 /// legitimate, and compare mode joins onto the same primary ranking.
+/// The full facet *lists* are covered, so adding an id to an OR set
+/// (`venue=3` → `venue=3|5`) changes the identity and a resumed cursor
+/// fails typed instead of silently changing result sets.
 fn fingerprint(method: &str, q: &Query) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
@@ -414,7 +454,7 @@ fn fingerprint(method: &str, q: &Query) -> u64 {
     eat(method.as_bytes());
     eat(format!(
         "|{:?}|{:?}|{:?}|{:?}",
-        q.year_min, q.year_max, q.venue, q.author
+        q.year_min, q.year_max, q.venues, q.authors
     )
     .as_bytes());
     h
@@ -450,9 +490,9 @@ pub struct Hit {
     pub venue: Option<VenueId>,
 }
 
-/// What drives candidate enumeration for a query — the predicate the
-/// planner judged cheapest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What drives candidate enumeration for a query — the execution shape
+/// the planner judged cheapest under the measured cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryDriver {
     /// No facets, no cursor: plain partial select over all scores.
     Unfiltered,
@@ -464,35 +504,84 @@ pub enum QueryDriver {
         /// One past the last id scanned.
         end: PaperId,
     },
-    /// A venue's prebuilt posting list.
-    VenuePostings {
-        /// The venue.
-        venue: VenueId,
-        /// Posting-list length (exact selectivity).
+    /// Year-banded venue posting lists (OR over the listed venues —
+    /// disjoint by construction, so no dedup).
+    VenueBands {
+        /// The venues, deduplicated.
+        venues: Vec<VenueId>,
+        /// Total banded posting length (exact selectivity).
         len: usize,
     },
-    /// An author's prebuilt posting list.
-    AuthorPostings {
-        /// The author.
-        author: AuthorId,
-        /// Posting-list length (exact selectivity).
+    /// Year-banded author posting lists (OR over the listed authors —
+    /// deduplicated at execution when lists can overlap).
+    AuthorBands {
+        /// The authors, deduplicated.
+        authors: Vec<AuthorId>,
+        /// Total banded posting length (exact up to cross-author
+        /// overlap).
         len: usize,
+    },
+    /// The whole predicate pushed down to [`IdMask`] set algebra via
+    /// [`FacetExpr`]: OR within facet classes, AND across them and the
+    /// year range, evaluated word-wide. No residual checks remain.
+    MaskAlgebra {
+        /// Upper bound on surviving candidates (the tightest class's
+        /// banded selectivity).
+        candidates: usize,
     },
 }
 
+/// Cost-model constants: estimated nanoseconds per unit of work, fit to
+/// the `index_vs_scan` bench group at the 200k-paper scale (see the
+/// README cost table). Absolute values matter less than the ratios —
+/// they decide the crossover points between execution shapes.
+mod cost {
+    /// Per id enumerated by a contiguous range scan (`top_k_where`
+    /// including cheap residual checks) — the residual rows measure
+    /// ~1.34–1.36 ns/id at 100k–200k ids.
+    pub const SCAN_PER_ID: f64 = 1.3;
+    /// Per banded posting-list candidate (gathered score access,
+    /// residual checks, selection) — `author_posting_200k` over the
+    /// busiest author's band.
+    pub const BAND_PER_CANDIDATE: f64 = 2.4;
+    /// Extra per-candidate cost of sorting + deduplicating the union of
+    /// overlapping posting bands (multi-author OR).
+    pub const DEDUP_PER_CANDIDATE: f64 = 4.8;
+    /// Per posting entry inserted while materializing an [`super::IdMask`].
+    pub const MASK_INSERT: f64 = 2.2;
+    /// Per 64-bit word per mask set operation (AND/OR sweep, ones scan).
+    pub const MASK_PER_WORD: f64 = 0.6;
+}
+
 /// The planner's verdict for a query against one snapshot: which
-/// predicate drives, how many candidates it enumerates, and which
-/// predicates remain as per-candidate residual checks.
+/// predicate drives, how many candidates it enumerates, its estimated
+/// cost, and which predicates remain as per-candidate residual checks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryPlan {
     /// The driving predicate.
     pub driver: QueryDriver,
-    /// Ids the driver enumerates (exact, not an estimate — every
-    /// predicate's cardinality is known from its index).
+    /// Ids the driver enumerates — exact for range and band drivers
+    /// (their cardinality is read off the index), an upper bound for
+    /// the mask driver (overlap is only known after evaluation).
     pub candidates: usize,
+    /// Estimated execution cost in nanoseconds under the measured
+    /// constants — what the planner minimized over the viable shapes.
+    pub cost_ns: f64,
     /// Residual predicate names, applied per enumerated candidate
     /// (`"year"`, `"venue"`, `"author"`, `"cursor"`).
     pub residuals: Vec<&'static str>,
+}
+
+/// Deduplicates a facet id list, preserving first-occurrence order (a
+/// repeated id in an OR list is legal and means the same set).
+pub(crate) fn dedup_ids(ids: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(ids.len());
+    for &id in ids {
+        if !out.contains(&id) {
+            out.push(id);
+        }
+    }
+    out
 }
 
 /// Plans `q` against the network of one snapshot. Pure function of the
@@ -501,35 +590,32 @@ pub struct QueryPlan {
 fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
     // Resolve + bounds-check every facet first: a typed error beats a
     // silent empty page for ids outside the corpus's id spaces.
-    let venue_len = match q.venue {
-        None => None,
-        Some(v) => {
-            let table = net.venues().ok_or(QueryError::NoVenueData)?;
+    let venues = dedup_ids(&q.venues);
+    let authors = dedup_ids(&q.authors);
+    if !venues.is_empty() {
+        let table = net.venues().ok_or(QueryError::NoVenueData)?;
+        for &v in &venues {
             if (v as usize) >= table.n_venues() {
                 return Err(QueryError::UnknownVenue {
                     id: v,
                     n_venues: table.n_venues(),
                 });
             }
-            Some(table.n_papers_at(v))
         }
-    };
-    let author_len = match q.author {
-        None => None,
-        Some(a) => {
-            let table = net.authors().ok_or(QueryError::NoAuthorData)?;
+    }
+    if !authors.is_empty() {
+        let table = net.authors().ok_or(QueryError::NoAuthorData)?;
+        for &a in &authors {
             if (a as usize) >= table.n_authors() {
                 return Err(QueryError::UnknownAuthor {
                     id: a,
                     n_authors: table.n_authors(),
                 });
             }
-            Some(table.papers_of(a).len())
         }
-    };
+    }
     let year_range = net.id_range_for_years(q.year_min, q.year_max);
     let year_len = (year_range.end - year_range.start) as usize;
-    let has_year = q.year_min.is_some() || q.year_max.is_some();
 
     if q.is_unfiltered() {
         return Ok(if q.cursor.is_some() {
@@ -540,45 +626,142 @@ fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
                     end: year_range.end,
                 },
                 candidates: year_len,
+                cost_ns: year_len as f64 * cost::SCAN_PER_ID,
                 residuals: vec!["cursor"],
             }
         } else {
             QueryPlan {
                 driver: QueryDriver::Unfiltered,
                 candidates: net.n_papers(),
+                cost_ns: net.n_papers() as f64 * cost::SCAN_PER_ID,
                 residuals: Vec::new(),
             }
         });
     }
 
-    // Order predicates by exact selectivity; the smallest id set drives.
-    let mut best: (usize, QueryDriver) = (
-        year_len,
+    // Exact banded selectivities: each facet's posting list cut to the
+    // year id range by two binary searches (`citegraph::band`).
+    let vband: Option<usize> = (!venues.is_empty()).then(|| {
+        let t = net.venues().expect("validated");
+        venues
+            .iter()
+            .map(|&v| citegraph::band(t.papers_at(v), &year_range).len())
+            .sum()
+    });
+    let aband: Option<usize> = (!authors.is_empty()).then(|| {
+        let t = net.authors().expect("validated");
+        authors
+            .iter()
+            .map(|&a| citegraph::band(t.papers_of(a), &year_range).len())
+            .sum()
+    });
+    // Full (unbanded) posting mass: what a mask build has to insert.
+    let mask_inserts: usize = venues
+        .iter()
+        .map(|&v| net.venues().map_or(0, |t| t.n_papers_at(v)))
+        .chain(
+            authors
+                .iter()
+                .map(|&a| net.authors().map_or(0, |t| t.papers_of(a).len())),
+        )
+        .sum();
+
+    // Candidate shapes, costed under the measured constants.
+    let mut best = (
+        year_len as f64 * cost::SCAN_PER_ID
+            // An author residual over a scan builds the OR-mask first.
+            + if authors.is_empty() {
+                0.0
+            } else {
+                authors
+                    .iter()
+                    .map(|&a| net.authors().map_or(0, |t| t.papers_of(a).len()))
+                    .sum::<usize>() as f64
+                    * cost::MASK_INSERT
+            },
         QueryDriver::IdRange {
             start: year_range.start,
             end: year_range.end,
         },
     );
-    if let (Some(v), Some(len)) = (q.venue, venue_len) {
-        if len < best.0 {
-            best = (len, QueryDriver::VenuePostings { venue: v, len });
+    if let Some(len) = vband {
+        let c = len as f64 * cost::BAND_PER_CANDIDATE;
+        if c < best.0 {
+            best = (
+                c,
+                QueryDriver::VenueBands {
+                    venues: venues.clone(),
+                    len,
+                },
+            );
         }
     }
-    if let (Some(a), Some(len)) = (q.author, author_len) {
-        if len < best.0 {
-            best = (len, QueryDriver::AuthorPostings { author: a, len });
+    if let Some(len) = aband {
+        let mut c = len as f64 * cost::BAND_PER_CANDIDATE;
+        if authors.len() > 1 {
+            c += len as f64 * cost::DEDUP_PER_CANDIDATE;
+        }
+        if c < best.0 {
+            best = (
+                c,
+                QueryDriver::AuthorBands {
+                    authors: authors.clone(),
+                    len,
+                },
+            );
         }
     }
-    let (candidates, driver) = best;
+    {
+        // Mask pushdown: build one mask per leaf, AND/OR them word-wide,
+        // sweep the ones. Wins when overlapping OR unions are large
+        // enough that per-candidate dedup dominates.
+        let words = net.n_papers().div_ceil(64);
+        let leaves = venues.len() + authors.len() + 1; // year range leaf
+        let upper = [vband, aband, Some(year_len)]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(year_len);
+        let c = mask_inserts as f64 * cost::MASK_INSERT
+            + (words * (leaves + 2)) as f64 * cost::MASK_PER_WORD
+            + upper as f64 * cost::BAND_PER_CANDIDATE;
+        if c < best.0 {
+            best = (c, QueryDriver::MaskAlgebra { candidates: upper });
+        }
+    }
+
+    let (cost_ns, driver) = best;
+    let candidates = match &driver {
+        QueryDriver::IdRange { .. } => year_len,
+        QueryDriver::VenueBands { len, .. } | QueryDriver::AuthorBands { len, .. } => *len,
+        QueryDriver::MaskAlgebra { candidates } => *candidates,
+        QueryDriver::Unfiltered => unreachable!("filtered query"),
+    };
     let mut residuals = Vec::new();
-    if has_year && !matches!(driver, QueryDriver::IdRange { .. }) {
-        residuals.push("year");
-    }
-    if q.venue.is_some() && !matches!(driver, QueryDriver::VenuePostings { .. }) {
-        residuals.push("venue");
-    }
-    if q.author.is_some() && !matches!(driver, QueryDriver::AuthorPostings { .. }) {
-        residuals.push("author");
+    match &driver {
+        QueryDriver::IdRange { .. } => {
+            // The range *is* the year predicate; facets stay residual.
+            if !venues.is_empty() {
+                residuals.push("venue");
+            }
+            if !authors.is_empty() {
+                residuals.push("author");
+            }
+        }
+        QueryDriver::VenueBands { .. } => {
+            // The band probe folds the year bound into the posting
+            // slice — no "year" residual survives.
+            if !authors.is_empty() {
+                residuals.push("author");
+            }
+        }
+        QueryDriver::AuthorBands { .. } => {
+            if !venues.is_empty() {
+                residuals.push("venue");
+            }
+        }
+        QueryDriver::MaskAlgebra { .. } => {}
+        QueryDriver::Unfiltered => unreachable!("filtered query"),
     }
     if q.cursor.is_some() {
         residuals.push("cursor");
@@ -586,6 +769,7 @@ fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
     Ok(QueryPlan {
         driver,
         candidates,
+        cost_ns,
         residuals,
     })
 }
@@ -621,22 +805,46 @@ fn execute(snap: &EpochSnapshot, method: &str, q: &Query) -> Result<Page, QueryE
     };
 
     let plan = plan(net, q)?;
-    let (ids, matched) = match plan.driver {
+    // Residual closures over the *deduplicated* facet lists: a venue
+    // residual is a small-list membership test on `venue_of`, an author
+    // residual walks the paper's (collapsed) author row.
+    let venues = dedup_ids(&q.venues);
+    let authors = dedup_ids(&q.authors);
+    let venue_ok = |id: u32| {
+        venues.is_empty()
+            || net
+                .venues()
+                .and_then(|t| t.venue_of(id))
+                .is_some_and(|v| venues.contains(&v))
+    };
+    let author_ok = |id: u32| {
+        authors.is_empty()
+            || net
+                .authors()
+                .is_some_and(|t| t.authors_of(id).iter().any(|a| authors.contains(a)))
+    };
+    let range = net.id_range_for_years(q.year_min, q.year_max);
+    let (ids, matched) = match &plan.driver {
         QueryDriver::Unfiltered => (top_k_indices(scores, q.k), net.n_papers()),
         QueryDriver::IdRange { start, end } => {
             // Residuals here are at most venue/author/cursor: the range
-            // itself is the year predicate.
-            let venue_check: Option<(VenueId, &citegraph::VenueTable)> =
-                q.venue.map(|v| (v, net.venues().expect("planned")));
-            let author_mask: Option<IdMask> = q.author.map(|a| {
+            // itself is the year predicate. The author residual is the
+            // historical IdMask path: OR the authors' posting lists into
+            // one membership mask, then test per candidate.
+            let author_mask: Option<IdMask> = (!authors.is_empty()).then(|| {
                 let table = net.authors().expect("planned");
-                IdMask::from_ids(net.n_papers(), table.papers_of(a).iter().copied())
+                let mut m = IdMask::new(net.n_papers());
+                for &a in &authors {
+                    m.union_with(&IdMask::from_ids(
+                        net.n_papers(),
+                        table.papers_of(a).iter().copied(),
+                    ));
+                }
+                m
             });
             let mut matched = 0usize;
             let mut pred = |id: u32| {
-                let ok = venue_check
-                    .as_ref()
-                    .is_none_or(|(v, t)| t.venue_of(id) == Some(*v))
+                let ok = venue_ok(id)
                     && author_mask.as_ref().is_none_or(|m| m.contains(id))
                     && after_cursor(id);
                 matched += ok as usize;
@@ -646,49 +854,70 @@ fn execute(snap: &EpochSnapshot, method: &str, q: &Query) -> Result<Page, QueryE
             // must run even when k = 0 and the selection kernel has
             // nothing to select (a k=0 query is a cheap count).
             let ids = if q.k == 0 {
-                for id in start..end {
+                for id in *start..*end {
                     pred(id);
                 }
                 Vec::new()
             } else {
-                top_k_where(scores, start..end, q.k, pred)
+                top_k_where(scores, *start..*end, q.k, pred)
             };
             (ids, matched)
         }
-        QueryDriver::VenuePostings { .. } | QueryDriver::AuthorPostings { .. } => {
-            let postings: &[PaperId] = match plan.driver {
-                QueryDriver::VenuePostings { venue, .. } => {
-                    net.venues().expect("planned").papers_at(venue)
-                }
-                QueryDriver::AuthorPostings { author, .. } => {
-                    net.authors().expect("planned").papers_of(author)
-                }
-                _ => unreachable!("matched a postings driver"),
-            };
-            let range = net.id_range_for_years(q.year_min, q.year_max);
-            let venue_residual = match plan.driver {
-                QueryDriver::VenuePostings { .. } => None,
-                _ => q.venue.map(|v| (v, net.venues().expect("planned"))),
-            };
-            let author_mask: Option<IdMask> = match plan.driver {
-                QueryDriver::AuthorPostings { .. } => None,
-                _ => q.author.map(|a| {
-                    let table = net.authors().expect("planned");
-                    IdMask::from_ids(net.n_papers(), table.papers_of(a).iter().copied())
-                }),
-            };
-            let candidates: Vec<PaperId> = postings
+        QueryDriver::VenueBands { venues: vs, .. } => {
+            // One band probe per venue; venue lists are disjoint, so the
+            // concatenation has no duplicates. The year bound is inside
+            // the band — only author and cursor residuals remain.
+            let table = net.venues().expect("planned");
+            let candidates: Vec<PaperId> = vs
                 .iter()
+                .flat_map(|&v| citegraph::band(table.papers_at(v), &range))
                 .copied()
-                .filter(|&id| {
-                    range.contains(&id)
-                        && venue_residual
-                            .as_ref()
-                            .is_none_or(|(v, t)| t.venue_of(id) == Some(*v))
-                        && author_mask.as_ref().is_none_or(|m| m.contains(id))
-                        && after_cursor(id)
-                })
+                .filter(|&id| author_ok(id) && after_cursor(id))
                 .collect();
+            let matched = candidates.len();
+            (top_k_filtered(scores, &candidates, q.k), matched)
+        }
+        QueryDriver::AuthorBands { authors: aus, .. } => {
+            // Band probes per author; co-authored papers appear in
+            // several lists, so a multi-author union sort-dedups before
+            // residual filtering (otherwise `matched` over-counts).
+            let table = net.authors().expect("planned");
+            let mut pool: Vec<PaperId> = aus
+                .iter()
+                .flat_map(|&a| citegraph::band(table.papers_of(a), &range))
+                .copied()
+                .collect();
+            if aus.len() > 1 {
+                pool.sort_unstable();
+                pool.dedup();
+            }
+            let candidates: Vec<PaperId> = pool
+                .into_iter()
+                .filter(|&id| venue_ok(id) && after_cursor(id))
+                .collect();
+            let matched = candidates.len();
+            (top_k_filtered(scores, &candidates, q.k), matched)
+        }
+        QueryDriver::MaskAlgebra { .. } => {
+            // Whole-predicate pushdown: OR within classes, AND across
+            // them and the year range, evaluated word-wide; the ones of
+            // the final mask are the exact match set (before cursor).
+            let mut terms: Vec<FacetExpr> = Vec::new();
+            if !venues.is_empty() {
+                terms.push(FacetExpr::Any(
+                    venues.iter().map(|&v| FacetExpr::Venue(v)).collect(),
+                ));
+            }
+            if !authors.is_empty() {
+                terms.push(FacetExpr::Any(
+                    authors.iter().map(|&a| FacetExpr::Author(a)).collect(),
+                ));
+            }
+            if q.year_min.is_some() || q.year_max.is_some() {
+                terms.push(FacetExpr::Years(q.year_min, q.year_max));
+            }
+            let mask = FacetExpr::All(terms).mask(net);
+            let candidates: Vec<PaperId> = mask.ones().filter(|&id| after_cursor(id)).collect();
             let matched = candidates.len();
             (top_k_filtered(scores, &candidates, q.k), matched)
         }
@@ -974,10 +1203,19 @@ mod tests {
         let keep = |&id: &u32| {
             q.year_min.is_none_or(|lo| net.year(id) >= lo)
                 && q.year_max.is_none_or(|hi| net.year(id) <= hi)
-                && q.venue
-                    .is_none_or(|v| net.venues().unwrap().venue_of(id) == Some(v))
-                && q.author
-                    .is_none_or(|a| net.authors().unwrap().authors_of(id).contains(&a))
+                && (q.venues.is_empty()
+                    || net
+                        .venues()
+                        .unwrap()
+                        .venue_of(id)
+                        .is_some_and(|v| q.venues.contains(&v)))
+                && (q.authors.is_empty()
+                    || net
+                        .authors()
+                        .unwrap()
+                        .authors_of(id)
+                        .iter()
+                        .any(|a| q.authors.contains(a)))
         };
         let mut full: Vec<u32> = sort_indices_desc(snap.scores().as_slice())
             .into_iter()
@@ -1001,6 +1239,7 @@ mod tests {
             "k=10,year=1995..",
             "k=10,year=..2000",
             "k=3,year=1995..2000,venue=3,author=42",
+            "k=10,venue=3|7,author=1|2|5",
             "k=10,cursor=c1-3fe51eb851eb851f-2a-9e3779b97f4a7c15",
         ] {
             let q: Query = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
@@ -1027,6 +1266,10 @@ mod tests {
         assert!(matches!(err, QueryError::DuplicateKey { ref key } if key == "k"));
         let err = "year=abc".parse::<Query>().unwrap_err();
         assert!(matches!(err, QueryError::BadValue { ref key, .. } if key == "year"));
+        let err = "venue=3|x".parse::<Query>().unwrap_err();
+        assert!(matches!(err, QueryError::BadValue { ref key, .. } if key == "venue"));
+        let err = "author=|".parse::<Query>().unwrap_err();
+        assert!(matches!(err, QueryError::BadValue { ref key, .. } if key == "author"));
         let err = "k=2,cursor=zzz".parse::<Query>().unwrap_err();
         assert!(matches!(err, QueryError::BadValue { ref key, .. } if key == "cursor"));
         // Messages carry the key for operators.
@@ -1094,31 +1337,103 @@ mod tests {
     }
 
     #[test]
-    fn planner_picks_the_smallest_exact_id_set() {
+    fn planner_picks_the_cheapest_exact_plan() {
         let qe = engine();
-        // venue 0 has 4 papers; author 2 has 3; year 2003..2007 has 5.
+        // Author 2's year band {4} is the cheapest drive: one candidate,
+        // venue checked as a residual, year folded into the band probe.
         let plan = qe
             .explain(&"k=5,venue=0,author=2,year=2003..2007".parse().unwrap())
             .unwrap();
         assert_eq!(
             plan.driver,
-            QueryDriver::AuthorPostings { author: 2, len: 3 }
+            QueryDriver::AuthorBands {
+                authors: vec![2],
+                len: 1
+            }
         );
-        assert_eq!(plan.candidates, 3);
-        assert_eq!(plan.residuals, vec!["year", "venue"]);
+        assert_eq!(plan.candidates, 1);
+        assert_eq!(plan.residuals, vec!["venue"]);
+        assert!(plan.cost_ns > 0.0);
 
+        // Venue 1's band inside 2001..2002 is a single candidate —
+        // cheaper than scanning the 2-wide id range with a residual.
         let plan = qe
             .explain(&"k=5,venue=1,year=2001..2002".parse().unwrap())
             .unwrap();
-        assert_eq!(plan.driver, QueryDriver::IdRange { start: 1, end: 3 });
-        assert_eq!(plan.residuals, vec!["venue"]);
+        assert_eq!(
+            plan.driver,
+            QueryDriver::VenueBands {
+                venues: vec![1],
+                len: 1
+            }
+        );
+        assert!(plan.residuals.is_empty(), "year folds into the band probe");
 
         let plan = qe.explain(&"k=5,venue=1".parse().unwrap()).unwrap();
-        assert!(matches!(
+        assert_eq!(
             plan.driver,
-            QueryDriver::VenuePostings { venue: 1, .. }
-        ));
+            QueryDriver::VenueBands {
+                venues: vec![1],
+                len: 4
+            }
+        );
         assert!(plan.residuals.is_empty());
+    }
+
+    #[test]
+    fn planner_pushes_or_unions_down_to_mask_algebra() {
+        // 256 papers, three disjoint-by-construction authors with 16
+        // papers each: the OR union totals 48 candidates out of 256. A
+        // multi-author band drive pays sort+dedup per candidate; the mask
+        // union pays one bit per insert plus a word sweep — the planner
+        // must pick the mask once the dedup term dominates.
+        let mut b = NetworkBuilder::new();
+        for i in 0..256u32 {
+            let authors = if i % 16 < 3 { vec![i % 16] } else { vec![] };
+            b.add_paper_with_metadata(2000, authors, None);
+        }
+        for i in 1..256u32 {
+            b.add_citation(i, i - 1).unwrap();
+        }
+        let qe =
+            QueryEngine::from_configs(b.build().unwrap(), &["cc"], RerankPolicy::Manual).unwrap();
+        let q: Query = "k=5,author=0|1|2".parse().unwrap();
+        let plan = qe.explain(&q).unwrap();
+        assert_eq!(plan.driver, QueryDriver::MaskAlgebra { candidates: 48 });
+        assert!(plan.residuals.is_empty(), "mask evaluates every predicate");
+        let snap = qe.snapshot(None).unwrap();
+        let page = qe.query(&q).unwrap();
+        assert_eq!(ids(&page), reference(&snap, &q));
+        assert_eq!(page.matched, 48);
+
+        // A single selective author still takes the banded posting list.
+        let plan = qe.explain(&"k=5,author=0".parse().unwrap()).unwrap();
+        assert_eq!(
+            plan.driver,
+            QueryDriver::AuthorBands {
+                authors: vec![0],
+                len: 16
+            }
+        );
+    }
+
+    #[test]
+    fn or_of_facets_matches_reference_under_every_driver() {
+        let qe = engine();
+        let snap = qe.snapshot(None).unwrap();
+        for s in [
+            "k=12,venue=0|1",
+            "k=12,author=0|2",
+            "k=12,author=1|2,year=2002..2009",
+            "k=12,venue=0|1,author=2",
+            "k=4,venue=1|0",
+        ] {
+            let q: Query = s.parse().unwrap();
+            let page = qe.query(&q).unwrap();
+            assert_eq!(ids(&page), reference(&snap, &q), "{s}");
+            let full = Query { k: 12, ..q.clone() };
+            assert_eq!(page.matched, reference(&snap, &full).len(), "{s}");
+        }
     }
 
     #[test]
@@ -1193,10 +1508,13 @@ mod tests {
             .unwrap();
         // Author 0's posting list (1 paper) drives this plan.
         let q: Query = "k=10,author=0".parse().unwrap();
-        assert!(matches!(
+        assert_eq!(
             qe.explain(&q).unwrap().driver,
-            QueryDriver::AuthorPostings { author: 0, len: 1 }
-        ));
+            QueryDriver::AuthorBands {
+                authors: vec![0],
+                len: 1
+            }
+        );
         let page = qe.query(&q).unwrap();
         assert_eq!(ids(&page), vec![0]);
         assert_eq!(page.matched, 1);
@@ -1205,6 +1523,38 @@ mod tests {
         let page = qe.query(&q).unwrap();
         assert_eq!(ids(&page), vec![0]);
         assert_eq!(page.matched, 1);
+    }
+
+    #[test]
+    fn facet_query_sees_metadata_bearing_delta_immediately() {
+        // The facet-staleness hole this PR closes: a paper published with
+        // venue/author metadata must be visible to facet queries on the
+        // very next query, through every driver.
+        let qe = engine();
+        let mut delta = GraphDelta::new();
+        delta.add_paper_with_metadata(2012, vec![2, 7], Some(0));
+        delta.add_paper_with_metadata(2013, vec![3], Some(5));
+        delta.add_citation(12, 0);
+        delta.add_citation(13, 12);
+        qe.ingest(&delta).unwrap();
+
+        // Existing venue 0 gains paper 12.
+        let page = qe.query(&"k=12,venue=0".parse().unwrap()).unwrap();
+        assert!(ids(&page).contains(&12), "new paper joins its venue");
+        // Brand-new facet ids are immediately addressable.
+        let page = qe.query(&"k=5,venue=5".parse().unwrap()).unwrap();
+        assert_eq!(ids(&page), vec![13]);
+        let page = qe.query(&"k=5,author=7".parse().unwrap()).unwrap();
+        assert_eq!(ids(&page), vec![12]);
+        // In-range facet ids with no papers are empty, not an error.
+        let page = qe.query(&"k=5,venue=3".parse().unwrap()).unwrap();
+        assert!(ids(&page).is_empty());
+        assert_eq!(page.matched, 0);
+        let page = qe.query(&"k=5,author=5".parse().unwrap()).unwrap();
+        assert!(ids(&page).is_empty());
+        // And the OR/mask path sees the delta papers too.
+        let page = qe.query(&"k=14,venue=0|5".parse().unwrap()).unwrap();
+        assert!(ids(&page).contains(&12) && ids(&page).contains(&13));
     }
 
     #[test]
@@ -1321,6 +1671,16 @@ mod tests {
 
         // Same cursor, different filter → rejected.
         let mut q: Query = "k=2,venue=1".parse().unwrap();
+        q.cursor = Some(cursor);
+        assert_eq!(qe.query(&q).unwrap_err(), QueryError::CursorMismatch);
+
+        // Widening the filter to an OR that *contains* the original
+        // venue is still a different result set → rejected. (Regression:
+        // a fingerprint over only the first facet would alias these.)
+        let mut q: Query = "k=2,venue=0|1".parse().unwrap();
+        q.cursor = Some(cursor);
+        assert_eq!(qe.query(&q).unwrap_err(), QueryError::CursorMismatch);
+        let mut q: Query = "k=2,venue=0,author=0|1".parse().unwrap();
         q.cursor = Some(cursor);
         assert_eq!(qe.query(&q).unwrap_err(), QueryError::CursorMismatch);
 

@@ -37,8 +37,10 @@
 //!
 //! [`ShardedEngine::query_at`] executes a [`Query`] against a pinned
 //! [`ShardSnapshots`] set: each surviving shard picks its cheapest driver
-//! (year id-range scan vs venue/author posting list, exactly like the
-//! unsharded planner), collects at most `k` `(score, global id)` pairs,
+//! (year id-range scan vs banded venue/author posting lists — each list
+//! probed for its contiguous slice inside the year id-range, OR lists
+//! concatenated and deduplicated, mirroring the unsharded planner's
+//! drivers), collects at most `k` `(score, global id)` pairs,
 //! and the runs merge in `O(S + k log S)`. Pagination uses a
 //! [`ShardCursor`] embedding the `(shard, score, global id)` frontier of
 //! the last returned hit; successive pages off one pinned set tile the
@@ -53,13 +55,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use citegraph::{
-    AuthorId, CitationNetwork, GraphDelta, PaperId, ShardPlan, ShardPlanError, VenueId,
-};
+use citegraph::{CitationNetwork, GraphDelta, PaperId, ShardPlan, ShardPlanError};
 use graphstore::{fnv1a64, fnv1a64_with, ShardManifest, Store};
-use sparsela::{
-    cmp_score_desc, merge_k_sorted, top_k_filtered, top_k_indices, top_k_where, IdMask,
-};
+use sparsela::{cmp_score_desc, merge_k_sorted, top_k_filtered, top_k_indices, top_k_where};
 
 use crate::engine::{
     ColdStart, EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy, WarmupReport,
@@ -381,6 +379,11 @@ impl ShardedEngine {
         let tail_start = self.starts[tail];
         let mut local = GraphDelta::new();
         local.papers = delta.papers.clone();
+        // Venue/author metadata rides along unchanged — facet ids are
+        // global, only paper ids translate, so the tail's posting lists
+        // stay fresh on the same publish that adds the papers.
+        local.authors = delta.authors.clone();
+        local.venues = delta.venues.clone();
         let mut absorbed = 0usize;
         for &(citing, cited) in &delta.citations {
             if citing >= tail_start && cited >= tail_start {
@@ -439,12 +442,15 @@ impl ShardedEngine {
     /// Year-filtered queries first **prune**: a shard whose year span
     /// cannot intersect `[year_min, year_max]` is skipped without
     /// touching its snapshot's arrays (the page reports
-    /// `shards_scanned` / `shards_total`). Each surviving shard picks
-    /// its cheapest driver — contiguous year id-range scan, or a venue /
-    /// author posting list, mirroring the unsharded planner — collects
-    /// at most `q.k` hits after the cursor frontier, and the per-shard
-    /// runs (each already in `cmp_score_desc` order over global ids)
-    /// merge through [`merge_k_sorted`].
+    /// `shards_scanned` / `shards_total`). Facet ids are validated once
+    /// against the pinned set as a whole (the maximum facet-space size
+    /// across shards, so tail-grown facet ids serve). Each surviving shard
+    /// then picks its cheapest driver — contiguous year id-range scan,
+    /// or banded venue / author posting lists (OR lists concatenated,
+    /// deduplicated when they can overlap), mirroring the unsharded
+    /// planner — collects at most `q.k` hits after the cursor frontier,
+    /// and the per-shard runs (each already in `cmp_score_desc` order
+    /// over global ids) merge through [`merge_k_sorted`].
     ///
     /// `q.method` / `q.vs` are ignored (this engine serves one method);
     /// `q.cursor` must be `None` — sharded pagination uses the `cursor`
@@ -458,6 +464,7 @@ impl ShardedEngine {
         if q.cursor.is_some() {
             return Err(ShardedError::CursorMismatch);
         }
+        validate_facets(snaps, q)?;
         let fp = fingerprint(&self.method, q);
         let key = snaps.epoch_key();
         let frontier: Option<(f64, PaperId)> = match cursor {
@@ -495,7 +502,7 @@ impl ShardedEngine {
                 }
             }
             shards_scanned += 1;
-            let (run, matched) = collect_shard(snap, snaps.starts[s], q, frontier)?;
+            let (run, matched) = collect_shard(snap, snaps.starts[s], q, frontier);
             matched_total += matched;
             if !run.is_empty() {
                 runs.push(run);
@@ -697,23 +704,61 @@ impl ShardedColdStart {
 fn fingerprint(method: &str, q: &Query) -> u64 {
     let filters = format!(
         "|{:?}|{:?}|{:?}|{:?}",
-        q.year_min, q.year_max, q.venue, q.author
+        q.year_min, q.year_max, q.venues, q.authors
     );
     fnv1a64_with(fnv1a64(method.as_bytes()), filters.as_bytes())
 }
 
+/// Typed facet validation against the pinned set **as a whole**: ids are
+/// checked against the *maximum* facet-space size across shards (a tail
+/// metadata delta can grow the venue/author spaces in the tail only),
+/// and missing metadata is an error only when *no* shard carries the
+/// table. Individual shards whose local table is smaller — or absent —
+/// simply contribute no matches for the out-of-range ids.
+fn validate_facets(snaps: &ShardSnapshots, q: &Query) -> Result<(), QueryError> {
+    if !q.venues.is_empty() {
+        let n_venues = (0..snaps.n_shards())
+            .filter_map(|s| snaps.snaps[s].network().venues().map(|t| t.n_venues()))
+            .max()
+            .ok_or(QueryError::NoVenueData)?;
+        for &v in &q.venues {
+            if (v as usize) >= n_venues {
+                return Err(QueryError::UnknownVenue { id: v, n_venues });
+            }
+        }
+    }
+    if !q.authors.is_empty() {
+        let n_authors = (0..snaps.n_shards())
+            .filter_map(|s| snaps.snaps[s].network().authors().map(|t| t.n_authors()))
+            .max()
+            .ok_or(QueryError::NoAuthorData)?;
+        for &a in &q.authors {
+            if (a as usize) >= n_authors {
+                return Err(QueryError::UnknownAuthor { id: a, n_authors });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Per-shard candidate driver (the sharded mirror of the unsharded
-/// planner's choice, minus the cursor-only special case).
+/// planner's choice, minus the cursor-only special case and the mask
+/// fallback — per-shard candidate sets are already band-pruned).
 #[derive(Clone, Copy)]
 enum Driver {
     Range,
-    Venue(VenueId),
-    Author(AuthorId),
+    Venues,
+    Authors,
 }
 
 /// Collects one shard's contribution to a scatter-gather page: up to
 /// `q.k` `(score, global id)` pairs in `cmp_score_desc` order, plus the
 /// shard's count of candidates matching the filters after `frontier`.
+///
+/// Total by construction: facet validation already ran set-wide in
+/// [`validate_facets`], so a facet id beyond this shard's local table —
+/// or a missing local table — means "no matching papers here", never an
+/// error.
 ///
 /// Within one shard, ordering by local id ties equals ordering by global
 /// id ties (`global = start + local` is monotone), so per-shard kernel
@@ -723,7 +768,7 @@ fn collect_shard(
     start: PaperId,
     q: &Query,
     frontier: Option<(f64, PaperId)>,
-) -> Result<(Vec<(f64, PaperId)>, usize), QueryError> {
+) -> (Vec<(f64, PaperId)>, usize) {
     let net = snap.network();
     let scores = snap.scores().as_slice();
     let n = net.n_papers();
@@ -735,39 +780,22 @@ fn collect_shard(
         }
     };
 
-    // Resolve + bounds-check facets (typed errors, identical to the
-    // unsharded planner; windowed metadata keeps the global venue and
-    // author id spaces, so the checks agree across shards).
-    let venue_len = match q.venue {
-        None => None,
-        Some(v) => {
-            let table = net.venues().ok_or(QueryError::NoVenueData)?;
-            if (v as usize) >= table.n_venues() {
-                return Err(QueryError::UnknownVenue {
-                    id: v,
-                    n_venues: table.n_venues(),
-                });
-            }
-            Some(table.n_papers_at(v))
-        }
-    };
-    let author_len = match q.author {
-        None => None,
-        Some(a) => {
-            let table = net.authors().ok_or(QueryError::NoAuthorData)?;
-            if (a as usize) >= table.n_authors() {
-                return Err(QueryError::UnknownAuthor {
-                    id: a,
-                    n_authors: table.n_authors(),
-                });
-            }
-            Some(table.papers_of(a).len())
-        }
-    };
+    let venues = crate::query::dedup_ids(&q.venues);
+    let authors = crate::query::dedup_ids(&q.authors);
+    let venue_table = net.venues();
+    let author_table = net.authors();
+    // A shard carved before metadata existed has no faceted papers at
+    // all: a facet-filtered query matches nothing in it.
+    if !venues.is_empty() && venue_table.is_none() {
+        return (Vec::new(), 0);
+    }
+    if !authors.is_empty() && author_table.is_none() {
+        return (Vec::new(), 0);
+    }
 
     // Unfiltered, no frontier: plain partial select over the shard.
-    if q.venue.is_none()
-        && q.author.is_none()
+    if venues.is_empty()
+        && authors.is_empty()
         && frontier.is_none()
         && q.year_min.is_none()
         && q.year_max.is_none()
@@ -777,37 +805,54 @@ fn collect_shard(
             .into_iter()
             .map(|l| (scores[l as usize], start + l))
             .collect();
-        return Ok((run, n));
+        return (run, n);
     }
 
     let range = net.id_range_for_years(q.year_min, q.year_max);
     let year_len = (range.end - range.start) as usize;
+    // Banded candidate counts: each posting list is probed for its
+    // contiguous slice inside the shard-local year id-range, so the year
+    // bound folds into the drive instead of a residual scan.
+    let vband: Option<usize> = venue_table.filter(|_| !venues.is_empty()).map(|t| {
+        venues
+            .iter()
+            .filter(|&&v| (v as usize) < t.n_venues())
+            .map(|&v| citegraph::band(t.papers_at(v), &range).len())
+            .sum()
+    });
+    let aband: Option<usize> = author_table.filter(|_| !authors.is_empty()).map(|t| {
+        authors
+            .iter()
+            .filter(|&&a| (a as usize) < t.n_authors())
+            .map(|&a| citegraph::band(t.papers_of(a), &range).len())
+            .sum()
+    });
     let mut best = (year_len, Driver::Range);
-    if let (Some(v), Some(len)) = (q.venue, venue_len) {
+    if let Some(len) = vband {
         if len < best.0 {
-            best = (len, Driver::Venue(v));
+            best = (len, Driver::Venues);
         }
     }
-    if let (Some(a), Some(len)) = (q.author, author_len) {
+    if let Some(len) = aband {
         if len < best.0 {
-            best = (len, Driver::Author(a));
+            best = (len, Driver::Authors);
         }
     }
 
+    let venue_ok = |id: PaperId| {
+        venues.is_empty()
+            || venue_table.is_some_and(|t| t.venue_of(id).is_some_and(|v| venues.contains(&v)))
+    };
+    let author_ok = |id: PaperId| {
+        authors.is_empty()
+            || author_table.is_some_and(|t| t.authors_of(id).iter().any(|a| authors.contains(a)))
+    };
+
     let (ids, matched) = match best.1 {
         Driver::Range => {
-            let venue_check = q.venue.map(|v| (v, net.venues().expect("validated above")));
-            let author_mask: Option<IdMask> = q.author.map(|a| {
-                let table = net.authors().expect("validated above");
-                IdMask::from_ids(n, table.papers_of(a).iter().copied())
-            });
             let mut matched = 0usize;
             let mut pred = |id: u32| {
-                let ok = venue_check
-                    .as_ref()
-                    .is_none_or(|(v, t)| t.venue_of(id) == Some(*v))
-                    && author_mask.as_ref().is_none_or(|m| m.contains(id))
-                    && after(id);
+                let ok = venue_ok(id) && author_ok(id) && after(id);
                 matched += ok as usize;
                 ok
             };
@@ -822,34 +867,34 @@ fn collect_shard(
             };
             (ids, matched)
         }
-        Driver::Venue(_) | Driver::Author(_) => {
-            let postings: &[PaperId] = match best.1 {
-                Driver::Venue(v) => net.venues().expect("validated above").papers_at(v),
-                Driver::Author(a) => net.authors().expect("validated above").papers_of(a),
-                Driver::Range => unreachable!("matched a postings driver"),
-            };
-            let venue_residual = match best.1 {
-                Driver::Venue(_) => None,
-                _ => q.venue.map(|v| (v, net.venues().expect("validated above"))),
-            };
-            let author_mask: Option<IdMask> = match best.1 {
-                Driver::Author(_) => None,
-                _ => q.author.map(|a| {
-                    let table = net.authors().expect("validated above");
-                    IdMask::from_ids(n, table.papers_of(a).iter().copied())
-                }),
-            };
-            let candidates: Vec<PaperId> = postings
+        Driver::Venues => {
+            let t = venue_table.expect("present: Venues driver was costed");
+            let candidates: Vec<PaperId> = venues
                 .iter()
+                .filter(|&&v| (v as usize) < t.n_venues())
+                .flat_map(|&v| citegraph::band(t.papers_at(v), &range))
                 .copied()
-                .filter(|&id| {
-                    range.contains(&id)
-                        && venue_residual
-                            .as_ref()
-                            .is_none_or(|(v, t)| t.venue_of(id) == Some(*v))
-                        && author_mask.as_ref().is_none_or(|m| m.contains(id))
-                        && after(id)
-                })
+                .filter(|&id| author_ok(id) && after(id))
+                .collect();
+            let matched = candidates.len();
+            (top_k_filtered(scores, &candidates, q.k), matched)
+        }
+        Driver::Authors => {
+            let t = author_table.expect("present: Authors driver was costed");
+            let mut pool: Vec<PaperId> = authors
+                .iter()
+                .filter(|&&a| (a as usize) < t.n_authors())
+                .flat_map(|&a| citegraph::band(t.papers_of(a), &range))
+                .copied()
+                .collect();
+            if authors.len() > 1 {
+                // Overlapping author lists can list one paper twice.
+                pool.sort_unstable();
+                pool.dedup();
+            }
+            let candidates: Vec<PaperId> = pool
+                .into_iter()
+                .filter(|&id| venue_ok(id) && after(id))
                 .collect();
             let matched = candidates.len();
             (top_k_filtered(scores, &candidates, q.k), matched)
@@ -859,7 +904,7 @@ fn collect_shard(
         .into_iter()
         .map(|l| (scores[l as usize], start + l))
         .collect();
-    Ok((run, matched))
+    (run, matched)
 }
 
 #[cfg(test)]
@@ -914,10 +959,15 @@ mod tests {
                 let year = net.year(local);
                 let keep = q.year_min.is_none_or(|lo| year >= lo)
                     && q.year_max.is_none_or(|hi| year <= hi)
-                    && q.venue
-                        .is_none_or(|v| net.venues().unwrap().venue_of(local) == Some(v))
-                    && q.author
-                        .is_none_or(|a| net.authors().unwrap().authors_of(local).contains(&a));
+                    && (q.venues.is_empty()
+                        || net
+                            .venues()
+                            .and_then(|t| t.venue_of(local))
+                            .is_some_and(|v| q.venues.contains(&v)))
+                    && (q.authors.is_empty()
+                        || net.authors().is_some_and(|t| {
+                            t.authors_of(local).iter().any(|a| q.authors.contains(a))
+                        }));
                 if keep {
                     all.push((scores[local as usize], gid));
                 }
@@ -1112,6 +1162,85 @@ mod tests {
             Err(ShardedError::Engine(EngineError::Delta(_)))
         ));
         assert_eq!(eng.boundary_edges(), at_build + 1);
+    }
+
+    #[test]
+    fn or_of_facets_matches_reference_across_shards() {
+        for n_shards in [1, 2, 3] {
+            let eng = sharded(n_shards);
+            let snaps = eng.snapshots();
+            for s in [
+                "k=12,venue=0|1",
+                "k=12,author=0|2",
+                "k=12,author=1|2,year=2002..2009",
+                "k=12,venue=0|1,author=2",
+                "k=4,author=0|0",
+            ] {
+                let q: Query = s.parse().unwrap();
+                let page = eng.query_at(&snaps, &q, None).unwrap();
+                let want = reference(&snaps, &q);
+                let want_ids: Vec<PaperId> = want.iter().take(q.k).map(|&(_, id)| id).collect();
+                assert_eq!(ids(&page), want_ids, "{n_shards} shards, {s}");
+                assert_eq!(page.matched, want.len(), "{n_shards} shards, {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn widened_or_filter_rejects_a_narrower_cursor() {
+        // Satellite regression: a cursor minted under `venue=0` must not
+        // resume a `venue=0|1` result set (the fingerprint covers the
+        // whole OR list, not just the first facet).
+        let eng = sharded(2);
+        let snaps = eng.snapshots();
+        let page = eng
+            .query_at(&snaps, &"k=2,venue=0".parse().unwrap(), None)
+            .unwrap();
+        let cursor = page.next.expect("more than 2 venue-0 papers");
+        let widened: Query = "k=2,venue=0|1".parse().unwrap();
+        assert!(matches!(
+            eng.query_at(&snaps, &widened, Some(&cursor)),
+            Err(ShardedError::CursorMismatch)
+        ));
+    }
+
+    #[test]
+    fn facet_query_sees_metadata_bearing_tail_ingest_immediately() {
+        // The sharded half of the staleness fix: metadata in a routed
+        // delta must reach the tail shard's posting lists on the same
+        // publish, and new facet ids (beyond every frozen shard's table)
+        // must validate against the grown tail and serve.
+        let eng = sharded(3);
+        let mut delta = GraphDelta::new();
+        delta.add_paper_with_metadata(2012, vec![2, 7], Some(0));
+        delta.add_paper_with_metadata(2013, vec![1], Some(5));
+        delta.add_citation(12, 11);
+        eng.ingest(&delta).unwrap();
+
+        // Existing venue 0 gains global paper 12 (tail-local 4).
+        let page = eng.query(&"k=12,venue=0".parse().unwrap(), None).unwrap();
+        assert!(ids(&page).contains(&12), "new paper joins its venue");
+        // Brand-new facet ids exist only in the tail's grown tables;
+        // frozen shards contribute empty, not errors.
+        let page = eng.query(&"k=5,venue=5".parse().unwrap(), None).unwrap();
+        assert_eq!(ids(&page), vec![13]);
+        let page = eng.query(&"k=5,author=7".parse().unwrap(), None).unwrap();
+        assert_eq!(ids(&page), vec![12]);
+        // In-range facet ids with no papers anywhere are empty pages.
+        let page = eng.query(&"k=5,venue=3".parse().unwrap(), None).unwrap();
+        assert!(ids(&page).is_empty());
+        assert_eq!(page.matched, 0);
+        // Ids past even the grown space stay typed errors.
+        assert!(matches!(
+            eng.query(&"k=5,venue=99".parse().unwrap(), None),
+            Err(ShardedError::Query(QueryError::UnknownVenue { id: 99, .. }))
+        ));
+        // The OR path crosses frozen and tail shards in one query.
+        let page = eng.query(&"k=14,venue=0|5".parse().unwrap(), None).unwrap();
+        assert!(ids(&page).contains(&12) && ids(&page).contains(&13));
+        let snaps = eng.snapshots();
+        let want = reference(&snaps, &"k=14,venue=0|5".parse().unwrap());
+        assert_eq!(page.matched, want.len());
     }
 
     #[test]

@@ -31,8 +31,12 @@ fn reference(snap: &rankengine::EpochSnapshot, q: &Query) -> Vec<PaperId> {
     sort_indices_desc(snap.scores().as_slice())
         .into_iter()
         .filter(|&id| {
-            q.venue
-                .is_none_or(|v| net.venues().unwrap().venue_of(id) == Some(v))
+            (q.venues.is_empty()
+                || net
+                    .venues()
+                    .unwrap()
+                    .venue_of(id)
+                    .is_some_and(|v| q.venues.contains(&v)))
                 && q.year_min.is_none_or(|lo| net.year(id) >= lo)
                 && q.year_max.is_none_or(|hi| net.year(id) <= hi)
         })

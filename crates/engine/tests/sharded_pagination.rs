@@ -31,9 +31,12 @@ fn reference(snaps: &ShardSnapshots, q: &Query) -> Vec<PaperId> {
         let net = snap.network();
         let scores = snap.scores().as_slice();
         for local in 0..net.n_papers() as u32 {
-            let keep = q
-                .venue
-                .is_none_or(|v| net.venues().unwrap().venue_of(local) == Some(v))
+            let keep = (q.venues.is_empty()
+                || net
+                    .venues()
+                    .unwrap()
+                    .venue_of(local)
+                    .is_some_and(|v| q.venues.contains(&v)))
                 && q.year_min.is_none_or(|lo| net.year(local) >= lo)
                 && q.year_max.is_none_or(|hi| net.year(local) <= hi);
             if keep {

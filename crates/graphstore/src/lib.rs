@@ -63,11 +63,24 @@
 //! | 9   | WAL_WATERMARK  | u64  | empty                          | see below  |
 //! | 10  | SHARD_MANIFEST | u32  | shard index, then S+1 global   | n_shards S |
 //! |     |                |      | id boundaries of the plan      |            |
+//! | 11  | VENUE_POST_OFFSETS | u64 | venue→papers offsets, V+1   | n_venues   |
+//! | 12  | VENUE_POST_IDS | u32  | venue→papers posting ids       | n_venues   |
+//! | 13  | AUTHOR_POST_OFFSETS | u64 | author→papers offsets, A+1 | n_authors  |
+//! | 14  | AUTHOR_POST_IDS| u32  | author→papers posting ids      | n_authors  |
 //!
 //! Sections 1–3 are mandatory and describe the reference adjacency (row
 //! `j` = papers cited by `j`); the citers transpose is rebuilt on load.
 //! Sections 4–6 appear only when the network carries metadata (5 and 6
-//! always together). Each published epoch contributes a 7+8 pair in
+//! always together). Sections 11–14 persist the secondary posting
+//! indexes (the venue→papers and author→papers inversions, CSR with
+//! ascending paper ids per list); each offsets/ids pair appears together
+//! or not at all, must hang off its base section (11/12 off 4, 13/14 off
+//! 5+6), and agrees with it on the facet-space size in `aux`. On load
+//! the pairs are **validated, not trusted**: list-wise strict increase
+//! plus membership against the forward arrays plus a cardinality check
+//! force the restored index to equal the inversion bit for bit. Files
+//! written before the sections existed simply rebuild the indexes
+//! (counting sort) on load. Each published epoch contributes a 7+8 pair in
 //! order: the EPOCH_SCORES section belongs to the closest preceding
 //! EPOCH_META, and both carry the epoch number in `aux`. A
 //! WAL_WATERMARK section carries (in `aux`) the sequence number of the
@@ -97,11 +110,25 @@
 //! +4   checksum     u64    FNV-1a 64 of the payload bytes
 //! +12  payload:
 //!      seq          u64    writer-assigned sequence number
-//!      n_papers     u32
+//!      n_papers     u32    bit 31 = metadata flag (v2, see below)
 //!      n_citations  u32
 //!      years        i32 × n_papers      (delta paper years, id order)
 //!      edges        (u32, u32) × n_citations   (citing, cited)
+//!      metadata     v2 only: per delta paper, in id order:
+//!        venue      u32    `u32::MAX` = none
+//!        n_authors  u32
+//!        authors    u32 × n_authors
 //! ```
+//!
+//! **v2 records** carry per-paper venue/author metadata so facet indexes
+//! stay fresh across WAL replay. The high bit of the `n_papers` field is
+//! the version flag: clear → a v1 record whose payload *ends* at the
+//! edge list (the exact-length check still applies, so v1 decoding is
+//! unchanged); set → the low 31 bits are the paper count and the
+//! metadata blocks follow the edges, covering every delta paper. A
+//! metadata-free delta encodes byte-identically to v1, so logs written
+//! by this version remain readable by pre-v2 readers until the first
+//! metadata-bearing batch — and v1 log tails always replay here.
 //!
 //! Sequence numbers must be strictly increasing within one log.
 //! Recovery ([`DeltaWal::open`]) replays records until the first torn or

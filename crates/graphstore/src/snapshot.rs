@@ -40,6 +40,10 @@ mod tag {
     pub const EPOCH_SCORES: u32 = 8;
     pub const WAL_WATERMARK: u32 = 9;
     pub const SHARD_MANIFEST: u32 = 10;
+    pub const VENUE_POST_OFFSETS: u32 = 11;
+    pub const VENUE_POST_IDS: u32 = 12;
+    pub const AUTHOR_POST_OFFSETS: u32 = 13;
+    pub const AUTHOR_POST_IDS: u32 = 14;
 }
 
 /// Element kinds (see the crate-level format table).
@@ -146,6 +150,23 @@ impl StoreBuilder {
                 v.n_venues() as u64,
                 encode_u32s(&slots),
             );
+            // The venue→papers secondary index, persisted so a cold start
+            // restores it (validated, not rebuilt). Readers predating the
+            // sections skip the unknown tags.
+            let (post_offsets, post_papers) = v.postings();
+            let post_offsets: Vec<u64> = post_offsets.iter().map(|&o| o as u64).collect();
+            self.push(
+                tag::VENUE_POST_OFFSETS,
+                kind::U64,
+                v.n_venues() as u64,
+                encode_u64s(&post_offsets),
+            );
+            self.push(
+                tag::VENUE_POST_IDS,
+                kind::U32,
+                v.n_venues() as u64,
+                encode_u32s(post_papers),
+            );
         }
         if let Some(a) = net.authors() {
             let offsets: Vec<u64> = a.offsets().iter().map(|&o| o as u64).collect();
@@ -160,6 +181,21 @@ impl StoreBuilder {
                 kind::U32,
                 a.n_authors() as u64,
                 encode_u32s(a.flat_author_ids()),
+            );
+            // The author→papers secondary index (the transposed view).
+            let (post_offsets, post_papers) = a.postings();
+            let post_offsets: Vec<u64> = post_offsets.iter().map(|&o| o as u64).collect();
+            self.push(
+                tag::AUTHOR_POST_OFFSETS,
+                kind::U64,
+                a.n_authors() as u64,
+                encode_u64s(&post_offsets),
+            );
+            self.push(
+                tag::AUTHOR_POST_IDS,
+                kind::U32,
+                a.n_authors() as u64,
+                encode_u32s(post_papers),
             );
         }
         self
@@ -500,6 +536,61 @@ impl Store {
             }
         }
 
+        // Persisted secondary indexes: optional (older files rebuild on
+        // load), but when present each offsets/ids pair must be complete,
+        // hang off its base section, and agree with it on the facet-space
+        // size carried in `aux`. Content-level validation (sortedness,
+        // membership against the base arrays) happens in `to_network`.
+        for (name, post_off, post_ids, base, base_name) in [
+            (
+                "VENUE_POST",
+                tag::VENUE_POST_OFFSETS,
+                tag::VENUE_POST_IDS,
+                tag::VENUES,
+                "VENUES",
+            ),
+            (
+                "AUTHOR_POST",
+                tag::AUTHOR_POST_OFFSETS,
+                tag::AUTHOR_POST_IDS,
+                tag::AUTHOR_OFFSETS,
+                "AUTHOR_OFFSETS",
+            ),
+        ] {
+            match (self.find(post_off), self.find(post_ids)) {
+                (None, None) => {}
+                (Some(off), Some(ids)) => {
+                    let Some(base) = self.find(base) else {
+                        return Err(StoreError::Format(format!(
+                            "{name} sections present without a {base_name} section"
+                        )));
+                    };
+                    if off.kind != kind::U64 || ids.kind != kind::U32 {
+                        return Err(StoreError::Format(format!(
+                            "{name} sections have the wrong element kinds"
+                        )));
+                    }
+                    if off.aux != base.aux || ids.aux != base.aux {
+                        return Err(StoreError::Format(format!(
+                            "{name} sections disagree with {base_name} on the facet-space size"
+                        )));
+                    }
+                    if off.len / 8 != off.aux as usize + 1 {
+                        return Err(StoreError::Format(format!(
+                            "{name}_OFFSETS has {} entries, expected facet count + 1 = {}",
+                            off.len / 8,
+                            off.aux + 1
+                        )));
+                    }
+                }
+                _ => {
+                    return Err(StoreError::Format(format!(
+                        "{name}_OFFSETS and {name}_IDS must appear together"
+                    )));
+                }
+            }
+        }
+
         if let Some(s) = self.find(tag::SHARD_MANIFEST) {
             let n_shards = s.aux as usize;
             if s.kind != kind::U32 || n_shards == 0 || s.len / 4 != n_shards + 2 {
@@ -700,7 +791,26 @@ impl Store {
                         )));
                     }
                 }
-                Some(VenueTable::new(slots, n_venues))
+                // Restore the persisted posting index when present
+                // (validated against the slots in O(n + nnz)); older
+                // files without the sections rebuild it.
+                let table = match (
+                    self.find(tag::VENUE_POST_OFFSETS),
+                    self.find(tag::VENUE_POST_IDS),
+                ) {
+                    (Some(off), Some(ids)) => VenueTable::from_parts(
+                        slots,
+                        n_venues,
+                        as_u64s(self.payload(off))
+                            .iter()
+                            .map(|&o| o as usize)
+                            .collect(),
+                        as_u32s(self.payload(ids)).to_vec(),
+                    )
+                    .map_err(StoreError::Invalid)?,
+                    _ => VenueTable::new(slots, n_venues),
+                };
+                Some(table)
             }
             None => None,
         };
@@ -710,17 +820,139 @@ impl Store {
                     .iter()
                     .map(|&o| o as usize)
                     .collect();
-                let table = AuthorTable::from_flat(
-                    offsets,
-                    as_u32s(self.payload(ids)).to_vec(),
-                    off.aux as usize,
-                )
-                .map_err(StoreError::Invalid)?;
+                let flat_ids = as_u32s(self.payload(ids)).to_vec();
+                let n_authors = off.aux as usize;
+                // Same deal as venues: restore the persisted author→papers
+                // index when present, rebuild (counting sort) otherwise.
+                let table = match (
+                    self.find(tag::AUTHOR_POST_OFFSETS),
+                    self.find(tag::AUTHOR_POST_IDS),
+                ) {
+                    (Some(poff), Some(pids)) => AuthorTable::from_flat_with_postings(
+                        offsets,
+                        flat_ids,
+                        n_authors,
+                        as_u64s(self.payload(poff))
+                            .iter()
+                            .map(|&o| o as usize)
+                            .collect(),
+                        as_u32s(self.payload(pids)).to_vec(),
+                    )
+                    .map_err(StoreError::Invalid)?,
+                    _ => AuthorTable::from_flat(offsets, flat_ids, n_authors)
+                        .map_err(StoreError::Invalid)?,
+                };
                 Some(table)
             }
             _ => None,
         };
         CitationNetwork::from_store_parts(self.years().to_vec(), refs, authors, venues)
             .map_err(|e| StoreError::Invalid(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use citegraph::NetworkBuilder;
+
+    fn meta_network() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        b.add_paper_with_metadata(1999, vec![0, 2], Some(1));
+        b.add_paper_with_metadata(2001, vec![1], None);
+        b.add_paper_with_metadata(2003, vec![0], Some(0));
+        b.add_paper(2004);
+        b.add_citation(1, 0).unwrap();
+        b.add_citation(2, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Simulate a pre-index writer: a snapshot with the posting sections
+    /// stripped must still load, rebuilding the indexes from the base
+    /// metadata — and the rebuilt postings must match what a fresh build
+    /// produces.
+    #[test]
+    fn old_snapshot_without_posting_sections_rebuilds_indexes() {
+        let net = meta_network();
+        let mut builder = StoreBuilder::new().network(&net);
+        builder.sections.retain(|s| s.tag < tag::VENUE_POST_OFFSETS);
+        let back = Store::from_bytes(&builder.to_bytes())
+            .unwrap()
+            .to_network()
+            .unwrap();
+        assert_eq!(
+            back.venues().unwrap().postings(),
+            net.venues().unwrap().postings()
+        );
+        assert_eq!(
+            back.authors().unwrap().postings(),
+            net.authors().unwrap().postings()
+        );
+    }
+
+    /// A posting-list payload whose checksum is fine but whose *content*
+    /// lies (out-of-order ids) must fail content validation, not load.
+    #[test]
+    fn tampered_posting_payload_is_semantically_rejected() {
+        let net = meta_network();
+        let mut builder = StoreBuilder::new().network(&net);
+        let ids = builder
+            .sections
+            .iter_mut()
+            .find(|s| s.tag == tag::AUTHOR_POST_IDS)
+            .expect("author posting section staged");
+        // Author 0 lists papers {0, 2}; swapping the two u32 words breaks
+        // the strict-increase invariant while keeping the multiset.
+        let (a, b) = (
+            u32::from_le_bytes(ids.payload[0..4].try_into().unwrap()),
+            u32::from_le_bytes(ids.payload[4..8].try_into().unwrap()),
+        );
+        ids.payload[0..4].copy_from_slice(&b.to_le_bytes());
+        ids.payload[4..8].copy_from_slice(&a.to_le_bytes());
+        let store = Store::from_bytes(&builder.to_bytes()).unwrap();
+        match store.to_network() {
+            Err(StoreError::Invalid(msg)) => {
+                assert!(msg.contains("strictly increasing"), "{msg}")
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    /// Half a posting-index pair is a format error — the reader must not
+    /// guess which half to trust.
+    #[test]
+    fn unpaired_posting_section_is_a_format_error() {
+        for drop in [tag::VENUE_POST_IDS, tag::AUTHOR_POST_OFFSETS] {
+            let mut builder = StoreBuilder::new().network(&meta_network());
+            builder.sections.retain(|s| s.tag != drop);
+            match Store::from_bytes(&builder.to_bytes()) {
+                Err(StoreError::Format(msg)) => {
+                    assert!(msg.contains("must appear together"), "{msg}")
+                }
+                other => panic!("expected Format error, got {other:?}"),
+            }
+        }
+    }
+
+    /// Posting sections whose aux disagrees with the facet space of the
+    /// base section are rejected before any content walk.
+    #[test]
+    fn posting_aux_mismatch_is_a_format_error() {
+        let mut builder = StoreBuilder::new().network(&meta_network());
+        let s = builder
+            .sections
+            .iter_mut()
+            .find(|s| s.tag == tag::VENUE_POST_OFFSETS)
+            .unwrap();
+        s.aux += 1;
+        match Store::from_bytes(&builder.to_bytes()) {
+            Err(StoreError::Format(msg)) => {
+                assert!(
+                    msg.contains("facet-space size") || msg.contains("entries"),
+                    "{msg}"
+                )
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
     }
 }

@@ -22,6 +22,19 @@ pub const WAL_MAGIC: [u8; 8] = *b"ATRWAL01";
 
 const RECORD_HEADER_LEN: usize = 12;
 
+/// High bit of the record's `n_papers` field: set on v2 records, whose
+/// payload appends a per-paper metadata block (venue + author list) after
+/// the edge list. Metadata-free deltas always encode as v1 records —
+/// byte-identical to what pre-v2 writers produced — so old readers and
+/// old log tails stay mutually replayable with new ones. A real paper
+/// count can never collide with the flag (counts are bounded far below
+/// 2^31 by the u32 id space).
+const META_FLAG: u32 = 1 << 31;
+
+/// `Option<VenueId>::None` sentinel inside a v2 metadata block (venue ids
+/// are dense and small; the all-ones pattern is never a real id).
+const NO_VENUE: u32 = u32::MAX;
+
 /// One recovered WAL record: the batch plus its sequence number.
 ///
 /// Sequence numbers are assigned by the writer (the serving engine
@@ -205,11 +218,16 @@ impl DeltaWal {
 }
 
 /// Serializes one record (header + payload) as specified in the crate
-/// docs.
+/// docs. Metadata-free deltas produce v1 records byte-for-byte;
+/// metadata-bearing deltas set [`META_FLAG`] on the paper count and
+/// append one `(venue, n_authors, author ids…)` block per paper after
+/// the edge list.
 fn encode_record(seq: u64, delta: &GraphDelta) -> Vec<u8> {
     let mut payload = Vec::with_capacity(16 + delta.papers.len() * 4 + delta.citations.len() * 8);
     payload.extend_from_slice(&seq.to_le_bytes());
-    payload.extend_from_slice(&(delta.papers.len() as u32).to_le_bytes());
+    let has_meta = delta.has_metadata();
+    let count = delta.papers.len() as u32 | if has_meta { META_FLAG } else { 0 };
+    payload.extend_from_slice(&count.to_le_bytes());
     payload.extend_from_slice(&(delta.citations.len() as u32).to_le_bytes());
     for &year in &delta.papers {
         payload.extend_from_slice(&year.to_le_bytes());
@@ -217,6 +235,17 @@ fn encode_record(seq: u64, delta: &GraphDelta) -> Vec<u8> {
     for &(citing, cited) in &delta.citations {
         payload.extend_from_slice(&citing.to_le_bytes());
         payload.extend_from_slice(&cited.to_le_bytes());
+    }
+    if has_meta {
+        for i in 0..delta.papers.len() {
+            let venue = delta.venues.get(i).copied().flatten().unwrap_or(NO_VENUE);
+            let authors: &[u32] = delta.authors.get(i).map_or(&[], |a| a.as_slice());
+            payload.extend_from_slice(&venue.to_le_bytes());
+            payload.extend_from_slice(&(authors.len() as u32).to_le_bytes());
+            for &a in authors {
+                payload.extend_from_slice(&a.to_le_bytes());
+            }
+        }
     }
     let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -227,7 +256,10 @@ fn encode_record(seq: u64, delta: &GraphDelta) -> Vec<u8> {
 
 /// Decodes the record starting at `at`; `None` on a torn or corrupt
 /// record (incomplete header, overrunning payload, checksum mismatch, or
-/// internally inconsistent lengths).
+/// internally inconsistent lengths). Both v1 records (exact fixed-size
+/// payload) and v2 records ([`META_FLAG`] set, trailing metadata blocks
+/// consumed to exactly the payload end) are accepted, so logs written
+/// before the metadata extension replay unchanged.
 fn decode_record(bytes: &[u8], at: usize) -> Option<(WalRecord, usize)> {
     if bytes.len() - at < RECORD_HEADER_LEN {
         return None;
@@ -246,9 +278,18 @@ fn decode_record(bytes: &[u8], at: usize) -> Option<(WalRecord, usize)> {
         return None;
     }
     let seq = u64::from_le_bytes(payload[0..8].try_into().ok()?);
-    let n_papers = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
+    let raw_papers = u32::from_le_bytes(payload[8..12].try_into().ok()?);
+    let has_meta = raw_papers & META_FLAG != 0;
+    let n_papers = (raw_papers & !META_FLAG) as usize;
     let n_citations = u32::from_le_bytes(payload[12..16].try_into().ok()?) as usize;
-    if payload.len() != 16 + n_papers * 4 + n_citations * 8 {
+    let fixed = 16usize
+        .checked_add(n_papers.checked_mul(4)?)?
+        .checked_add(n_citations.checked_mul(8)?)?;
+    if has_meta {
+        if payload.len() < fixed {
+            return None;
+        }
+    } else if payload.len() != fixed {
         return None;
     }
     let mut delta = GraphDelta::new();
@@ -264,6 +305,32 @@ fn decode_record(bytes: &[u8], at: usize) -> Option<(WalRecord, usize)> {
         let cited = u32::from_le_bytes(payload[p + 4..p + 8].try_into().ok()?);
         delta.citations.push((citing, cited));
         p += 8;
+    }
+    if has_meta {
+        for _ in 0..n_papers {
+            if payload.len() - p < 8 {
+                return None;
+            }
+            let venue = u32::from_le_bytes(payload[p..p + 4].try_into().ok()?);
+            let n_authors = u32::from_le_bytes(payload[p + 4..p + 8].try_into().ok()?) as usize;
+            p += 8;
+            if n_authors > (payload.len() - p) / 4 {
+                return None;
+            }
+            let mut authors = Vec::with_capacity(n_authors);
+            for _ in 0..n_authors {
+                authors.push(u32::from_le_bytes(payload[p..p + 4].try_into().ok()?));
+                p += 4;
+            }
+            delta.venues.push((venue != NO_VENUE).then_some(venue));
+            delta.authors.push(authors);
+        }
+        // A v2 record's metadata blocks must consume the payload exactly;
+        // slack bytes mean a corrupt length field the checksum happened
+        // to cover — refuse, don't guess.
+        if p != payload.len() {
+            return None;
+        }
     }
     Some((WalRecord { seq, delta }, start + len))
 }
@@ -423,5 +490,102 @@ mod tests {
         assert_eq!(back.seq, 42);
         assert_eq!(back.delta, d);
         assert_eq!(next, rec.len());
+    }
+
+    fn metadata_delta() -> GraphDelta {
+        let mut d = GraphDelta::new();
+        d.add_paper_with_metadata(2001, vec![3, 9], Some(2));
+        d.add_paper(2001); // no metadata for this one
+        d.add_paper_with_metadata(2002, vec![], Some(0));
+        d.add_citation(5, 1);
+        d
+    }
+
+    #[test]
+    fn v2_metadata_record_roundtrips() {
+        let d = metadata_delta();
+        let rec = encode_record(7, &d);
+        let (back, next) = decode_record(&rec, 0).unwrap();
+        assert_eq!(back.seq, 7);
+        assert_eq!(back.delta, d);
+        assert_eq!(next, rec.len());
+        assert!(back.delta.has_metadata());
+        assert_eq!(back.delta.venues, vec![Some(2), None, Some(0)]);
+        assert_eq!(back.delta.authors, vec![vec![3, 9], vec![], vec![]]);
+    }
+
+    #[test]
+    fn metadata_free_delta_encodes_as_v1_bytes() {
+        // The compatibility contract both ways: a delta without metadata
+        // must produce the exact bytes a pre-v2 writer produced, so old
+        // readers replay new logs and byte-offset-sensitive tooling stays
+        // valid.
+        let mut d = GraphDelta::new();
+        d.add_paper(2001);
+        d.add_citation(3, 0);
+        let rec = encode_record(5, &d);
+        let mut v1_payload = Vec::new();
+        v1_payload.extend_from_slice(&5u64.to_le_bytes());
+        v1_payload.extend_from_slice(&1u32.to_le_bytes()); // no META_FLAG
+        v1_payload.extend_from_slice(&1u32.to_le_bytes());
+        v1_payload.extend_from_slice(&2001i32.to_le_bytes());
+        v1_payload.extend_from_slice(&3u32.to_le_bytes());
+        v1_payload.extend_from_slice(&0u32.to_le_bytes());
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&(v1_payload.len() as u32).to_le_bytes());
+        v1.extend_from_slice(&fnv1a64(&v1_payload).to_le_bytes());
+        v1.extend_from_slice(&v1_payload);
+        assert_eq!(rec, v1);
+    }
+
+    #[test]
+    fn mixed_v1_and_v2_log_recovers() {
+        let path = temp_path("mixed");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = DeltaWal::open(&path).unwrap();
+        let v1 = sample_deltas();
+        let v2 = metadata_delta();
+        wal.append(0, &v1[0]).unwrap(); // v1 record
+        wal.append(1, &v2).unwrap(); // v2 record
+        wal.append(2, &v1[1]).unwrap(); // v1 again
+        drop(wal);
+        let (_, rec) = DeltaWal::open(&path).unwrap();
+        assert_eq!(rec.truncated_bytes, 0);
+        let deltas: Vec<GraphDelta> = rec.records.iter().map(|r| r.delta.clone()).collect();
+        assert_eq!(deltas, vec![v1[0].clone(), v2, v1[1].clone()]);
+    }
+
+    #[test]
+    fn torn_v2_metadata_tail_is_truncated() {
+        let path = temp_path("tornv2");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = DeltaWal::open(&path).unwrap();
+        wal.append(0, &sample_deltas()[0]).unwrap();
+        wal.append(1, &metadata_delta()).unwrap();
+        drop(wal);
+        // Tear mid-metadata-block: the v2 record must be refused whole.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (_, rec) = DeltaWal::open(&path).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].delta, sample_deltas()[0]);
+        assert!(rec.truncated_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_slack_bytes_are_refused() {
+        // A payload whose metadata blocks end before the declared length
+        // (checksum intact) is a corrupt length field, not a record.
+        let d = metadata_delta();
+        let mut rec = encode_record(0, &d);
+        let hdr = RECORD_HEADER_LEN;
+        let mut payload = rec.split_off(hdr);
+        payload.extend_from_slice(&[0u8; 4]); // slack
+        let mut out = Vec::new();
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        assert!(decode_record(&out, 0).is_none());
     }
 }

@@ -204,6 +204,13 @@ fn file_roundtrip_with_metadata() {
             back.venues().unwrap().venue_of(p)
         );
     }
+    // The persisted secondary indexes restore bit-exactly: identical
+    // offset and posting arrays, not merely equivalent query answers.
+    assert_eq!(a.postings(), b.postings());
+    assert_eq!(
+        net.venues().unwrap().postings(),
+        back.venues().unwrap().postings()
+    );
     std::fs::remove_file(&path).ok();
 }
 
