@@ -1,0 +1,166 @@
+//! Personalized-ranking benchmarks: seed-set push solves against the
+//! dense reference, the epoch-keyed cache's hit path, and warm re-pushes
+//! across a publish batch.
+//!
+//! Four entries at 200k papers (DBLP profile), one 3-seed set over
+//! recent papers (the "related papers" shape — a reader personalizes on
+//! the handful of papers open in their tabs):
+//!
+//! * `dense_solve_200k` — the power-iteration reference
+//!   ([`citegraph::dense_personalized`]): every iteration touches every
+//!   edge, the cost every personalized request would pay without the
+//!   push machinery. Reference row only, never gated on its own;
+//! * `cold_push_200k` — the budgeted push solve
+//!   ([`citegraph::personalize`]) with the uniform kernel resolving the
+//!   dangling rank-1 part: a near-topological sweep of the seed set's
+//!   ancestor cone. Forms the gated `personalized_push_speedup` ratio
+//!   (dense / cold push, floor 5x, `repro bench-check`);
+//! * `cache_hit_200k` — [`rankengine::PersonalizationCache`] serving a
+//!   repeat of the same seed set on the same epoch: one lock, one map
+//!   probe, one `Arc` clone, zero solve work. Forms the gated
+//!   `personalized_cache_speedup` ratio (cold push / hit, floor 50x);
+//! * `warm_repush_200k` — [`citegraph::repersonalize`] revalidating the
+//!   cold vector's warm-start form across a ~1% publish batch (2 000 new
+//!   papers, 6 000 recency-biased citations): a pure tail publish leaves
+//!   the pure-citation part untouched, so the cost is the closed-form
+//!   dangling resolution (one kernel AXPY) plus zero pushes. Forms the
+//!   gated `personalized_warm_speedup` ratio (cold push / warm, floor
+//!   1x — warm must never lose to cold).
+//!
+//! All three gated ratios divide two measurements from the same run, so
+//! they hold across machines. Kernels are built in setup: both solve
+//! paths consume a maintained kernel, so charging either timed region
+//! for its construction would distort the ratio.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use citegen::{generate, publish_delta, DatasetProfile};
+use citegraph::{
+    dense_personalized, personalize, repersonalize, uniform_kernel, PaperId, SeedPersonalization,
+};
+use rankengine::{CacheConfig, CacheOutcome, PersonalizationCache, RankingEngine, RerankPolicy};
+use sparsela::KernelWorkspace;
+
+const SCALE: usize = 200_000;
+const ALPHA: f64 = 0.5;
+
+fn bench_personalized(c: &mut Criterion) {
+    let net = generate(&DatasetProfile::dblp().scaled(SCALE), 7);
+    let mut ws = KernelWorkspace::new();
+
+    // Three recent papers: the personalization shape the cache serves —
+    // small ancestor cones individually, one distribution jointly.
+    let seeds: Vec<PaperId> = vec![
+        (SCALE - 500) as PaperId,
+        (SCALE - 2_000) as PaperId,
+        (SCALE - 9_000) as PaperId,
+    ];
+    let seed = SeedPersonalization::uniform(&seeds, net.n_papers()).expect("seeds in range");
+    let push_cfg = CacheConfig::default().push;
+    let kernel = uniform_kernel(&net, ALPHA, &mut ws);
+
+    // Sanity: the push must actually serve this shape (no fallback) and
+    // match the dense reference, otherwise the ratios measure nothing.
+    let cold = personalize(
+        &net,
+        &seed,
+        ALPHA,
+        Some(kernel.as_slice()),
+        &push_cfg,
+        &mut ws,
+    );
+    assert!(!cold.fallback, "bench seed set must push within budget");
+    let dense = dense_personalized(&net, &seed, ALPHA, &mut ws);
+    let worst = (0..net.n_papers())
+        .map(|i| (cold.scores[i] - dense[i]).abs())
+        .fold(0.0f64, f64::max);
+    assert!(worst < 1e-9, "push drifted {worst:e} from dense");
+    println!(
+        "cold push: {} pushes, {} edge work (corpus: {} edges)",
+        cold.outcome.pushes,
+        cold.outcome.edge_work,
+        net.n_citations()
+    );
+
+    let mut group = c.benchmark_group("personalized");
+
+    group.bench_function("dense_solve_200k", |b| {
+        b.iter(|| black_box(dense_personalized(&net, black_box(&seed), ALPHA, &mut ws)))
+    });
+
+    group.bench_function("cold_push_200k", |b| {
+        b.iter(|| {
+            black_box(personalize(
+                &net,
+                black_box(&seed),
+                ALPHA,
+                Some(kernel.as_slice()),
+                &push_cfg,
+                &mut ws,
+            ))
+        })
+    });
+
+    // Cache hit: solve once outside the timed region, then every timed
+    // request is the steady-state "related papers refresh" — same seed
+    // set, same epoch.
+    let engine = RankingEngine::from_config(net.clone(), "pagerank", RerankPolicy::EveryBatch)
+        .expect("pagerank engine builds");
+    let cache = PersonalizationCache::new(CacheConfig::default());
+    let snap = engine.snapshot();
+    let label = engine.method().to_string();
+    cache.scores(&label, &snap, &seed, ALPHA);
+    let (_, outcome) = cache.scores(&label, &snap, &seed, ALPHA);
+    assert_eq!(outcome, CacheOutcome::Hit, "repeat request must hit");
+    group.bench_function("cache_hit_200k", |b| {
+        b.iter(|| black_box(cache.scores(&label, black_box(&snap), &seed, ALPHA)))
+    });
+
+    // Warm re-push: a ~1% publish batch lands, the cached vector's
+    // warm-start form revalidates against the rewired columns only.
+    let delta = publish_delta(&net, 6_000, 3, 11);
+    let new = net.with_delta(&delta).expect("delta applies");
+    let kernel_new = uniform_kernel(&new, ALPHA, &mut ws);
+    let start = cold.warm_start().expect("kernel solve keeps warm form");
+    let warm = repersonalize(
+        &net,
+        &delta,
+        &new,
+        start,
+        &seed,
+        ALPHA,
+        Some(kernel_new.as_slice()),
+        &push_cfg,
+        &mut ws,
+    )
+    .expect("1% delta must warm re-push, not decline");
+    let dense_new = dense_personalized(&new, &seed, ALPHA, &mut ws);
+    let worst = (0..new.n_papers())
+        .map(|i| (warm.scores[i] - dense_new[i]).abs())
+        .fold(0.0f64, f64::max);
+    assert!(worst < 1e-9, "warm re-push drifted {worst:e} from dense");
+    println!(
+        "warm re-push: {} pushes, {} edge work",
+        warm.outcome.pushes, warm.outcome.edge_work
+    );
+    group.bench_function("warm_repush_200k", |b| {
+        b.iter(|| {
+            black_box(repersonalize(
+                &net,
+                black_box(&delta),
+                &new,
+                start,
+                &seed,
+                ALPHA,
+                Some(kernel_new.as_slice()),
+                &push_cfg,
+                &mut ws,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_personalized);
+criterion_main!(benches);

@@ -95,6 +95,9 @@ pub fn is_guarded(r: &BenchRecord) -> bool {
         // The index group is guarded except its mask-residual reference
         // rows, which exist only to form the index-vs-scan ratio.
         || (r.group == "index_vs_scan" && !r.id.contains("residual"))
+        // The personalized group is guarded except its dense-solve
+        // reference row, which exists only to form the push ratio.
+        || (r.group == "personalized" && !r.id.contains("dense_solve"))
 }
 
 /// The cold-start speedup recorded in a report: `min_ns` of the TSV
@@ -217,6 +220,62 @@ pub fn index_vs_scan_speedup(records: &[BenchRecord]) -> Option<f64> {
 /// author-filtered top-k at k=10 on the 200k-paper graph ≥10× faster
 /// through the posting list than through the IdMask-residual scan).
 pub const MIN_INDEX_VS_SCAN_SPEEDUP: f64 = 10.0;
+
+/// Finds the `min_ns` of the `personalized`-group record whose id starts
+/// with `prefix`.
+fn personalized_min_ns(records: &[BenchRecord], prefix: &str) -> Option<f64> {
+    records
+        .iter()
+        .find(|r| r.group == "personalized" && r.id.starts_with(prefix))
+        .map(|r| r.min_ns)
+}
+
+/// The personalization cache-hit speedup recorded in a report: `min_ns`
+/// of the cold push solve (`cold_push_200k`) over the cache's hit path
+/// (`cache_hit_200k`), both in the `personalized` group on the same
+/// 200k-paper graph. `None` when either record is absent.
+///
+/// A ratio of two measurements from the same run, so — like the other
+/// ratio gates — it holds across machines and is enforced directly by
+/// `repro bench-check`.
+pub fn personalized_cache_speedup(records: &[BenchRecord]) -> Option<f64> {
+    let cold = personalized_min_ns(records, "cold_push")?;
+    let hit = personalized_min_ns(records, "cache_hit")?;
+    Some(cold / hit.max(1.0))
+}
+
+/// Acceptance floor for [`personalized_cache_speedup`] (ISSUE 8: a
+/// cached `seed=` top-k on the 200k-paper graph ≥50× faster than a cold
+/// push solve).
+pub const MIN_PERSONALIZED_CACHE_SPEEDUP: f64 = 50.0;
+
+/// The seed-set push speedup recorded in a report: `min_ns` of the dense
+/// power-iteration reference (`dense_solve_200k`) over the budgeted push
+/// solve (`cold_push_200k`), both in the `personalized` group. `None`
+/// when either record is absent.
+pub fn personalized_push_speedup(records: &[BenchRecord]) -> Option<f64> {
+    let dense = personalized_min_ns(records, "dense_solve")?;
+    let cold = personalized_min_ns(records, "cold_push")?;
+    Some(dense / cold.max(1.0))
+}
+
+/// Acceptance floor for [`personalized_push_speedup`] (ISSUE 8: a cold
+/// push solve ≥5× faster than the dense solve on the 200k-paper graph).
+pub const MIN_PERSONALIZED_PUSH_SPEEDUP: f64 = 5.0;
+
+/// The warm re-push speedup recorded in a report: `min_ns` of the cold
+/// push solve (`cold_push_200k`) over the warm re-push across a ~1%
+/// publish batch (`warm_repush_200k`), both in the `personalized` group.
+/// `None` when either record is absent.
+pub fn personalized_warm_speedup(records: &[BenchRecord]) -> Option<f64> {
+    let cold = personalized_min_ns(records, "cold_push")?;
+    let warm = personalized_min_ns(records, "warm_repush")?;
+    Some(cold / warm.max(1.0))
+}
+
+/// Acceptance floor for [`personalized_warm_speedup`] (ISSUE 8: a warm
+/// re-push after a 1% delta must beat re-solving cold).
+pub const MIN_PERSONALIZED_WARM_SPEEDUP: f64 = 1.0;
 
 /// Outcome of one guarded comparison.
 #[derive(Debug)]
@@ -388,6 +447,42 @@ mod tests {
         assert_eq!(index_vs_scan_speedup(&records), Some(30.0));
         assert_eq!(index_vs_scan_speedup(&records[..1]), None);
         assert_eq!(index_vs_scan_speedup(&[]), None);
+    }
+
+    #[test]
+    fn personalized_group_guard_excludes_the_dense_reference() {
+        let rec = |id: &str| BenchRecord {
+            group: "personalized".into(),
+            id: id.into(),
+            min_ns: 1.0,
+        };
+        assert!(is_guarded(&rec("cold_push_200k")));
+        assert!(is_guarded(&rec("cache_hit_200k")));
+        assert!(is_guarded(&rec("warm_repush_200k")));
+        assert!(!is_guarded(&rec("dense_solve_200k")));
+    }
+
+    #[test]
+    fn personalized_speedups_are_min_ns_ratios() {
+        let rec = |id: &str, min_ns: f64| BenchRecord {
+            group: "personalized".into(),
+            id: id.into(),
+            min_ns,
+        };
+        let records = vec![
+            rec("dense_solve_200k", 80_000_000.0),
+            rec("cold_push_200k", 4_000_000.0),
+            rec("cache_hit_200k", 400.0),
+            rec("warm_repush_200k", 1_000_000.0),
+        ];
+        assert_eq!(personalized_push_speedup(&records), Some(20.0));
+        assert_eq!(personalized_cache_speedup(&records), Some(10_000.0));
+        assert_eq!(personalized_warm_speedup(&records), Some(4.0));
+        // Either side missing → no ratio.
+        assert_eq!(personalized_push_speedup(&records[2..]), None);
+        assert_eq!(personalized_cache_speedup(&records[..2]), None);
+        assert_eq!(personalized_warm_speedup(&records[..3]), None);
+        assert_eq!(personalized_push_speedup(&[]), None);
     }
 
     #[test]

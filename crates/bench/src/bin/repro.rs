@@ -27,7 +27,12 @@
 //!                graph (e.g. "venue=3,k=10" or "vs=cc,author=7,k=5";
 //!                serve methods via --methods "attrank;cc"; add
 //!                --shards N | year:WIDTH for sharded scatter-gather
-//!                serving with the prune decision in the plan line)
+//!                serving — with vs= the second method's rank/score is
+//!                joined through the same merge; personalize with
+//!                "seed=ID|ID" to push-solve from a seed set)
+//!   related      <paper-id> [--k N]: papers most related to one paper —
+//!                a seed-personalized top-k served through the push
+//!                solver and the epoch-keyed personalization cache
 //!   all          everything above (except the statistical/storage extras)
 //! ```
 //!
@@ -65,6 +70,7 @@ fn main() -> ExitCode {
         eprintln!("             robustness significance bench-check all");
         eprintln!("             export <stem> | import <stem> | compact <stem>");
         eprintln!("             query <grammar>   (e.g. query \"venue=3,year=2005..,k=10\")");
+        eprintln!("             related <paper-id> [--k N]   (seed-personalized top-k)");
         return ExitCode::FAILURE;
     };
 
@@ -77,6 +83,7 @@ fn main() -> ExitCode {
         "import" => return run_import(rest.get(1)),
         "compact" => return run_compact(rest.get(1)),
         "query" => return run_query(&opts, rest.get(1)),
+        "related" => return run_related(&opts, rest.get(1)),
         _ => {}
     }
 
@@ -192,9 +199,10 @@ fn run_bench_check() -> ExitCode {
     if comparisons.is_empty() {
         eprintln!(
             "bench-check: no guarded benchmarks found under {shim_dirs:?} \
-             (expected the top_k, stochastic_apply, store_load, query and sharded baselines \
-             — run `cargo bench --bench kernels`, `--bench serving`, `--bench store_load`, \
-             `--bench query` and `--bench sharded`)"
+             (expected the top_k, stochastic_apply, store_load, query, sharded and \
+             personalized baselines — run `cargo bench --bench kernels`, `--bench serving`, \
+             `--bench store_load`, `--bench query`, `--bench sharded` and \
+             `--bench personalized`)"
         );
         return ExitCode::FAILURE;
     }
@@ -286,6 +294,48 @@ fn run_bench_check() -> ExitCode {
                 format!("index_vs_scan/index_speedup ({origin})"),
                 speedup,
                 benchcheck::MIN_INDEX_VS_SCAN_SPEEDUP
+            );
+        }
+        if let Some(speedup) = benchcheck::personalized_cache_speedup(records) {
+            let verdict = if speedup >= benchcheck::MIN_PERSONALIZED_CACHE_SPEEDUP {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>27.1}x  (floor {:.0}x)  {verdict}",
+                format!("personalized/cache_speedup ({origin})"),
+                speedup,
+                benchcheck::MIN_PERSONALIZED_CACHE_SPEEDUP
+            );
+        }
+        if let Some(speedup) = benchcheck::personalized_push_speedup(records) {
+            let verdict = if speedup >= benchcheck::MIN_PERSONALIZED_PUSH_SPEEDUP {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>27.1}x  (floor {:.0}x)  {verdict}",
+                format!("personalized/push_speedup ({origin})"),
+                speedup,
+                benchcheck::MIN_PERSONALIZED_PUSH_SPEEDUP
+            );
+        }
+        if let Some(speedup) = benchcheck::personalized_warm_speedup(records) {
+            let verdict = if speedup >= benchcheck::MIN_PERSONALIZED_WARM_SPEEDUP {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>27.1}x  (floor {:.0}x)  {verdict}",
+                format!("personalized/warm_speedup ({origin})"),
+                speedup,
+                benchcheck::MIN_PERSONALIZED_WARM_SPEEDUP
             );
         }
     }
@@ -421,8 +471,9 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
             "usage: repro query \"<grammar>\" [--scale N] [--seed N] [--methods \"SPEC;SPEC\"] \
              [--shards N|year:WIDTH]"
         );
-        eprintln!("grammar keys: method vs k year venue author cursor");
+        eprintln!("grammar keys: method vs k year venue author seed cursor");
         eprintln!("examples:     \"venue=3,k=10\"  \"method=attrank,vs=cc,author=7,year=2005..\"");
+        eprintln!("              \"seed=17|203,k=10\"   (seed-personalized ranking)");
         return ExitCode::FAILURE;
     };
     let query: rankengine::Query = match grammar.parse() {
@@ -582,6 +633,9 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
 /// served by a [`rankengine::ShardedEngine`] over a partitioned corpus.
 /// The plan line reports the shard-prune decision the read path takes;
 /// cursors are shard-aware `s…` tokens scoped to the pinned epoch *set*.
+/// `vs=` builds a second engine over the same plan and joins the other
+/// method's rank/score through the merge; `seed=` routes per-band push
+/// solves through the personalization cache.
 fn run_query_sharded(
     opts: &Options,
     spec: citegraph::ShardSpec,
@@ -616,10 +670,6 @@ fn run_query_sharded(
             return ExitCode::FAILURE;
         }
     };
-    if query.vs.is_some() {
-        eprintln!("query: vs= compare mode is not served sharded; drop vs= or --shards");
-        return ExitCode::FAILURE;
-    }
     let cursor: Option<ShardCursor> = match cursor_tok.as_deref().map(str::parse) {
         None => None,
         Some(Ok(c)) => Some(c),
@@ -679,6 +729,69 @@ fn run_query_sharded(
         spans.join(", ")
     );
 
+    // vs=: a second sharded engine over the *same* plan, the comparison
+    // column joined through the scatter-gather merge (composed ranks).
+    if let Some(vs) = query.vs.clone() {
+        let t_b = std::time::Instant::now();
+        let other = match ShardedEngine::from_plan(&net, &plan, &vs, RerankPolicy::EveryBatch) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("query: cannot build vs= sharded engines: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "ranked vs-method {vs:?} over the same plan in {:.1} ms",
+            t_b.elapsed().as_secs_f64() * 1e3
+        );
+        let t1 = std::time::Instant::now();
+        let cmp = match engine.compare(&other, &query, cursor.as_ref()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("query: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let elapsed = t1.elapsed();
+        println!(
+            "== {} (epoch set {:x}) vs {} (epoch set {:x}): {} of {} matches in {:.1} µs \
+             ({} of {} shards scanned) ==",
+            cmp.method_a,
+            cmp.epoch_key_a,
+            cmp.method_b,
+            cmp.epoch_key_b,
+            cmp.rows.len(),
+            cmp.page.matched,
+            elapsed.as_secs_f64() * 1e6,
+            cmp.page.shards_scanned,
+            cmp.page.shards_total
+        );
+        let rows: Vec<Vec<String>> = cmp
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.id.to_string(),
+                    format!("{:.6}", r.score_a),
+                    r.rank_a.to_string(),
+                    r.score_b.map_or("-".into(), |s| format!("{s:.6}")),
+                    r.rank_b.map_or("-".into(), |r| r.to_string()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(
+                &["paper", "score(a)", "rank(a)", "score(b)", "rank(b)"],
+                &rows
+            )
+        );
+        if let Some(c) = cmp.page.next {
+            println!("next page: append cursor={c}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let t1 = std::time::Instant::now();
     let page = match engine.query(&query, cursor.as_ref()) {
         Ok(p) => p,
@@ -720,6 +833,105 @@ fn run_query_sharded(
     if let Some(c) = page.next {
         println!("next page: append cursor={c}");
     }
+    ExitCode::SUCCESS
+}
+
+/// `related <paper-id> [--k N]`: the papers most related to one paper —
+/// a seed-personalized top-k (`seed=<id>`) on the default method, served
+/// through the push solver and the epoch-keyed personalization cache.
+fn run_related(opts: &Options, id: Option<&String>) -> ExitCode {
+    use rankengine::{QueryEngine, RerankPolicy};
+
+    let Some(id) = id else {
+        eprintln!(
+            "usage: repro related <paper-id> [--k N] [--scale N] [--seed N] \
+             [--methods \"SPEC\"]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let paper: u32 = match id.parse() {
+        Ok(p) => p,
+        Err(_) => {
+            eprintln!("related: paper id must be a non-negative integer, got {id:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let k = opts.k.unwrap_or(10);
+
+    let scale = opts.scale.unwrap_or(20_000);
+    eprintln!(
+        "generating DBLP graph (scale = {scale}, seed = {}), ranking {:?}...",
+        opts.seed, opts.methods
+    );
+    let net = citegen::generate(&citegen::DatasetProfile::dblp().scaled(scale), opts.seed);
+    let t0 = std::time::Instant::now();
+    let specs: Vec<&str> = opts.methods.iter().map(String::as_str).collect();
+    let engine = match QueryEngine::from_configs(net, &specs, RerankPolicy::EveryBatch) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("related: cannot build engines: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("ranked in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // `k+1` because the seed paper itself tops its own personalization.
+    let query: rankengine::Query = match format!("k={},seed={paper}", k + 1).parse() {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("related: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t1 = std::time::Instant::now();
+    let page = match engine.query(&query) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("related: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = t1.elapsed();
+    println!(
+        "== papers related to {paper} under {} (epoch {}): {} of {} in {:.1} µs ==",
+        page.method,
+        page.epoch,
+        page.items.len(),
+        page.matched,
+        elapsed.as_secs_f64() * 1e6
+    );
+    let rows: Vec<Vec<String>> = page
+        .items
+        .iter()
+        .map(|h| {
+            vec![
+                if h.id == paper {
+                    "seed".into()
+                } else {
+                    String::new()
+                },
+                h.id.to_string(),
+                format!("{:.6}", h.score),
+                h.year.to_string(),
+                h.venue.map_or("-".into(), |v| v.to_string()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&["", "paper", "score", "year", "venue"], &rows)
+    );
+    let stats = engine.personalization_stats();
+    println!(
+        "cache: {} hits, {} warm re-pushes, {} cold pushes, {} fallbacks \
+         ({} entries, {} bytes)",
+        stats.hits,
+        stats.warm_repushes,
+        stats.cold_pushes,
+        stats.fallbacks,
+        stats.entries,
+        stats.bytes
+    );
     ExitCode::SUCCESS
 }
 

@@ -49,6 +49,8 @@ pub struct Options {
     /// for N fixed id bands, `--shards year:WIDTH` for year bands);
     /// `None` serves the flat single-engine path.
     pub shards: Option<citegraph::ShardSpec>,
+    /// Result count `repro related` asks for (`--k N`, default 10).
+    pub k: Option<usize>,
 }
 
 impl Default for Options {
@@ -60,14 +62,15 @@ impl Default for Options {
             rank: None,
             methods: vec!["attrank".into(), "cc".into()],
             shards: None,
+            k: None,
         }
     }
 }
 
 impl Options {
     /// Parses `--scale N`, `--seed N`, `--out DIR`, `--rank SPEC`,
-    /// `--methods LIST`, `--shards N|year:WIDTH` from an argument list,
-    /// returning the remaining (positional) arguments.
+    /// `--methods LIST`, `--shards N|year:WIDTH`, `--k N` from an
+    /// argument list, returning the remaining (positional) arguments.
     ///
     /// # Errors
     /// Returns a message on unknown flags or malformed values.
@@ -118,6 +121,11 @@ impl Options {
                     let v = args.get(i).ok_or("--shards needs N or year:WIDTH")?;
                     opts.shards = Some(v.parse().map_err(|e| format!("bad --shards {v}: {e}"))?);
                 }
+                "--k" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--k needs a value")?;
+                    opts.k = Some(v.parse().map_err(|_| format!("bad --k {v}"))?);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -152,6 +160,21 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.out_dir, std::path::PathBuf::from("/tmp/x"));
         assert_eq!(rest, vec!["fig3"]);
+    }
+
+    #[test]
+    fn parse_k_for_related() {
+        let args: Vec<String> = ["related", "42", "--k", "25"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (o, rest) = Options::parse(&args).unwrap();
+        assert_eq!(o.k, Some(25));
+        assert_eq!(rest, vec!["related", "42"]);
+        let (o, _) = Options::parse(&[]).unwrap();
+        assert_eq!(o.k, None);
+        let args: Vec<String> = vec!["--k".into(), "lots".into()];
+        assert!(Options::parse(&args).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod index;
 pub mod io;
 pub mod metadata;
 pub mod network;
+pub mod personalize;
 pub mod pushrank;
 pub mod rank;
 pub mod shard;
@@ -43,6 +44,10 @@ pub use delta::{DeltaError, GraphDelta};
 pub use index::{band, FacetExpr};
 pub use metadata::{AuthorId, AuthorTable, VenueId, VenueTable};
 pub use network::{CitationNetwork, PaperId, PartsError, Year};
+pub use personalize::{
+    dense_personalized, personalize, repersonalize, seed_personalization, PersonalizedScores,
+    SeedError, SeedPersonalization, WarmStart,
+};
 pub use pushrank::{
     try_push_rerank, uniform_kernel, update_uniform_kernel, DanglingResolution, PushRankConfig,
 };

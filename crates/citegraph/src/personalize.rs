@@ -1,0 +1,801 @@
+//! Seed-set personalized ranking: per-query solves of `x = α·S·x + b`
+//! where `b` concentrates teleport mass on a validated seed set.
+//!
+//! The damped fixed point every method in this workspace iterates is
+//! exactly personalized PageRank when `b` is a seed distribution, and the
+//! Gauss–Southwell push machinery of [`sparsela::push`] makes a per-seed
+//! solve cost `O(ancestor cone)` instead of `O(iterations × E)`: the
+//! residual starts sparse (the seed entries only), citations always point
+//! backwards in time, and the solver's descending-id push order is then a
+//! near-topological sweep of the DAG — mass flows strictly toward older
+//! papers, so one pass drains almost everything. The only cycle in the
+//! system is the dangling rank-1 part, and resolving it against a
+//! maintained uniform kernel ([`crate::pushrank::uniform_kernel`]) keeps
+//! it out of the push entirely.
+//!
+//! Three entry points:
+//!
+//! * [`personalize`] — cold push solve from a zero start with a hard work
+//!   budget and a dense-solve fallback (never fails, only slows down),
+//! * [`dense_personalized`] — the power-iteration reference the push is
+//!   pinned against (≤ 1e-9, proptest-enforced at the workspace root),
+//! * [`repersonalize`] — warm re-push of a previously solved vector
+//!   across a [`GraphDelta`]. Completed solves keep their *unresolved*
+//!   form ([`WarmStart`]): the pure-citation part `y = (I − α·C)⁻¹·b`
+//!   (dangling columns spread nothing in `C`) plus the scalar dangling
+//!   mass `dᵀy`. Both are invariant under pure growth — the teleport
+//!   never renormalizes and the `1/n`-uniform dangling redistribution
+//!   lives entirely in the closed-form resolution `x = y + α·(dᵀy)·u` —
+//!   so a publish costs a residual push over the rewired *old* columns
+//!   plus one kernel AXPY: `O(affected + n)`, with no per-appended-row
+//!   residual drizzle to cascade through reference cones.
+
+use sparsela::{
+    push, KernelWorkspace, PowerEngine, PowerOptions, PushConfig, PushOutcome, ScoreVec,
+};
+
+use crate::delta::GraphDelta;
+use crate::network::{CitationNetwork, PaperId};
+use crate::pushrank::PushRankConfig;
+
+/// A seed-set validation failure. Every variant names the offending id,
+/// so query layers can surface a precise, typed `BadValue`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedError {
+    /// The seed set was empty.
+    Empty,
+    /// The same paper id appeared more than once. Duplicates are rejected
+    /// (not deduped): a canonical seed set is what makes personalization
+    /// cache keys unambiguous.
+    Duplicate(PaperId),
+    /// A seed id is not a paper of the network it was validated against.
+    OutOfRange {
+        /// The offending seed id.
+        id: PaperId,
+        /// Papers in the validating network.
+        n_papers: usize,
+    },
+    /// A weight was non-finite or not strictly positive.
+    BadWeight {
+        /// The seed id the weight belonged to.
+        id: PaperId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// `seeds` and `weights` had different lengths.
+    LengthMismatch {
+        /// Number of seed ids given.
+        seeds: usize,
+        /// Number of weights given.
+        weights: usize,
+    },
+}
+
+impl std::fmt::Display for SeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeedError::Empty => write!(f, "seed set is empty"),
+            SeedError::Duplicate(id) => write!(f, "duplicate seed id {id}"),
+            SeedError::OutOfRange { id, n_papers } => {
+                write!(
+                    f,
+                    "seed id {id} out of range (network has {n_papers} papers)"
+                )
+            }
+            SeedError::BadWeight { id, weight } => {
+                write!(f, "seed id {id} has invalid weight {weight}")
+            }
+            SeedError::LengthMismatch { seeds, weights } => {
+                write!(f, "{seeds} seed id(s) but {weights} weight(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeedError {}
+
+/// A validated, canonicalized seed distribution: ids sorted ascending and
+/// unique, weights aligned and normalized to sum 1.
+///
+/// Canonical form is load-bearing: two queries naming the same seeds in a
+/// different order (or with rescaled weights) build *equal* values, which
+/// is what lets a personalization cache key on the seed set directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedPersonalization {
+    seeds: Vec<PaperId>,
+    weights: Vec<f64>,
+}
+
+/// Builds a uniform [`SeedPersonalization`] over `seeds`, validated
+/// against a network of `n_papers` papers. See
+/// [`SeedPersonalization::uniform`].
+pub fn seed_personalization(
+    seeds: &[PaperId],
+    n_papers: usize,
+) -> Result<SeedPersonalization, SeedError> {
+    SeedPersonalization::uniform(seeds, n_papers)
+}
+
+impl SeedPersonalization {
+    /// Uniform mass over the seed set: weight `1/|seeds|` each.
+    pub fn uniform(seeds: &[PaperId], n_papers: usize) -> Result<Self, SeedError> {
+        let w = 1.0 / seeds.len().max(1) as f64;
+        Self::weighted(seeds, &vec![w; seeds.len()], n_papers)
+    }
+
+    /// Arbitrary positive weights over the seed set, normalized to sum 1.
+    pub fn weighted(
+        seeds: &[PaperId],
+        weights: &[f64],
+        n_papers: usize,
+    ) -> Result<Self, SeedError> {
+        if seeds.is_empty() {
+            return Err(SeedError::Empty);
+        }
+        if seeds.len() != weights.len() {
+            return Err(SeedError::LengthMismatch {
+                seeds: seeds.len(),
+                weights: weights.len(),
+            });
+        }
+        for (&id, &w) in seeds.iter().zip(weights) {
+            if (id as usize) >= n_papers {
+                return Err(SeedError::OutOfRange { id, n_papers });
+            }
+            if !w.is_finite() || w <= 0.0 {
+                return Err(SeedError::BadWeight { id, weight: w });
+            }
+        }
+        let mut pairs: Vec<(PaperId, f64)> =
+            seeds.iter().copied().zip(weights.iter().copied()).collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(SeedError::Duplicate(w[0].0));
+            }
+        }
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        Ok(Self {
+            seeds: pairs.iter().map(|&(id, _)| id).collect(),
+            weights: pairs.iter().map(|&(_, w)| w / total).collect(),
+        })
+    }
+
+    /// The canonical (sorted, unique) seed ids.
+    pub fn seeds(&self) -> &[PaperId] {
+        &self.seeds
+    }
+
+    /// Normalized weights, aligned with [`Self::seeds`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Materializes the teleport vector `b` of length `n`: `(1−α)·wᵢ` at
+    /// each seed, zero elsewhere. Independent of `n` beyond zero-padding —
+    /// the property that makes cached vectors warm-startable across graph
+    /// growth ([`repersonalize`]).
+    ///
+    /// # Panics
+    /// When a seed id is ≥ `n` (the set was validated against a larger
+    /// network than it is being solved on — a caller bug).
+    pub fn teleport(&self, alpha: f64, n: usize, workspace: &mut KernelWorkspace) -> ScoreVec {
+        let mut b = workspace.take_zeros(n);
+        let slice = b.as_mut_slice();
+        for (&id, &w) in self.seeds.iter().zip(&self.weights) {
+            slice[id as usize] = (1.0 - alpha) * w;
+        }
+        b
+    }
+}
+
+/// Result of a [`personalize`] solve.
+#[derive(Debug)]
+pub struct PersonalizedScores {
+    /// The personalized score vector (fixed point of `x = α·S·x + b`).
+    pub scores: ScoreVec,
+    /// Push diagnostics — for a fallback, the work spent before the
+    /// budget aborted the push.
+    pub outcome: PushOutcome,
+    /// Whether the push exhausted its budget and the dense solve ran.
+    pub fallback: bool,
+    /// The unresolved pure-citation part `y` (`scores` minus the
+    /// `α·(dᵀy)·u` dangling term) — present when the solve pushed against
+    /// a kernel, absent for dense fallbacks and flush-mode solves. This is
+    /// what [`repersonalize`] warm-starts from.
+    pub raw: Option<ScoreVec>,
+    /// Total pure-citation mass sitting on dangling papers, `dᵀy`.
+    /// Meaningful only alongside [`Self::raw`].
+    pub dangling_mass: f64,
+}
+
+impl PersonalizedScores {
+    /// The warm-start form consumed by [`repersonalize`], when this solve
+    /// kept it (kernel-resolved pushes do; dense fallbacks cannot).
+    pub fn warm_start(&self) -> Option<WarmStart<'_>> {
+        self.raw.as_ref().map(|raw| WarmStart {
+            raw,
+            dangling_mass: self.dangling_mass,
+        })
+    }
+}
+
+/// Borrowed warm-start form of a completed personalization: the
+/// unresolved pure-citation vector `y` plus its dangling mass `dᵀy`.
+/// Obtained from [`PersonalizedScores::warm_start`]; consumed by
+/// [`repersonalize`].
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStart<'a> {
+    /// The pure-citation part `y = (I − α·C)⁻¹·b` on the old network.
+    pub raw: &'a ScoreVec,
+    /// `dᵀy` — total `y` mass on the old network's dangling papers.
+    pub dangling_mass: f64,
+}
+
+/// Cold push solve of the personalized fixed point from a zero start.
+///
+/// `kernel`, when given, must be the uniform kernel
+/// `u = (I − α·S)⁻¹·(1/n)·1` of `net` (see
+/// [`crate::pushrank::uniform_kernel`]): dangling residual mass is then
+/// deferred to one exact dense AXPY instead of being flushed into the
+/// residual, which keeps the push a near-topological sweep of the seed's
+/// ancestor cone. Without a kernel the solver flushes — correct, but
+/// large dangling flows may densify the push into the budget.
+///
+/// The work budget is `cfg.budget_sweeps × (E + n)` edge traversals;
+/// exhausting it falls back to [`dense_personalized`] (same `b`), so the
+/// entry point never fails and the worst case is one bounded push plus
+/// one dense solve.
+pub fn personalize(
+    net: &CitationNetwork,
+    seed: &SeedPersonalization,
+    alpha: f64,
+    kernel: Option<&[f64]>,
+    cfg: &PushRankConfig,
+    workspace: &mut KernelWorkspace,
+) -> PersonalizedScores {
+    let n = net.n_papers();
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "personalize: alpha {alpha} outside [0, 1)"
+    );
+    let mut x = workspace.take_zeros(n);
+    let mut r = seed.teleport(alpha, n, workspace);
+    let push_cfg = PushConfig {
+        alpha,
+        epsilon: cfg.epsilon,
+        max_edge_work: (cfg.budget_sweeps * (net.n_citations() + n) as f64) as u64,
+    };
+    let mut outcome = match kernel {
+        Some(u) if u.len() == n => push::solve_deferring(
+            net.refs_csr(),
+            &push_cfg,
+            x.as_mut_slice(),
+            r.as_mut_slice(),
+            0.0,
+        ),
+        _ => push::solve(
+            net.refs_csr(),
+            &push_cfg,
+            x.as_mut_slice(),
+            r.as_mut_slice(),
+        ),
+    };
+    workspace.recycle(r);
+    if !outcome.converged {
+        workspace.recycle(x);
+        let scores = dense_personalized(net, seed, alpha, workspace);
+        return PersonalizedScores {
+            scores,
+            outcome,
+            fallback: true,
+            raw: None,
+            dangling_mass: 0.0,
+        };
+    }
+    if let Some(u) = kernel {
+        if u.len() == n {
+            // Resolve into a fresh vector so the unresolved `y` survives
+            // as the entry's warm-start form. The deferred scalar is
+            // `α·(dᵀy)` by construction: every push at a dangling row
+            // deferred exactly `α` times the mass it settled there.
+            let g = outcome.deferred;
+            let mut scores = workspace.take_zeros(n);
+            for ((s, &yi), &ui) in scores.iter_mut().zip(x.iter()).zip(u) {
+                *s = yi + g * ui;
+            }
+            outcome.edge_work += n as u64;
+            let dangling_mass = if alpha > 0.0 { g / alpha } else { 0.0 };
+            return PersonalizedScores {
+                scores,
+                outcome,
+                fallback: false,
+                raw: Some(x),
+                dangling_mass,
+            };
+        }
+    }
+    PersonalizedScores {
+        scores: x,
+        outcome,
+        fallback: false,
+        raw: None,
+        dangling_mass: 0.0,
+    }
+}
+
+/// The dense reference: a full power-iteration solve of the personalized
+/// fixed point. This is what [`personalize`] falls back to, and the
+/// oracle its push path is pinned against (≤ 1e-9).
+pub fn dense_personalized(
+    net: &CitationNetwork,
+    seed: &SeedPersonalization,
+    alpha: f64,
+    workspace: &mut KernelWorkspace,
+) -> ScoreVec {
+    let n = net.n_papers();
+    if n == 0 {
+        return ScoreVec::zeros(0);
+    }
+    let b = seed.teleport(alpha, n, workspace);
+    let op = net.stochastic_operator();
+    let initial = workspace.take_uniform(n);
+    let outcome =
+        PowerEngine::new(PowerOptions::default()).run_with(workspace, initial, |cur, next| {
+            op.apply_damped(alpha, cur.as_slice(), b.as_slice(), next.as_mut_slice());
+        });
+    workspace.recycle(b);
+    outcome.scores
+}
+
+/// Warm re-push of a previously personalized vector across a delta.
+///
+/// `previous` is the warm-start form of the personalized fixed point of
+/// `seed` on `old` ([`PersonalizedScores::warm_start`]), and `new` must
+/// be `old.with_delta(delta)`. The pure-citation part `y` and its
+/// dangling mass are invariant under pure growth: the teleport never
+/// renormalizes, appended papers carry no `y` mass (nothing cites them
+/// in `y`'s system and they hold no teleport), and the `1/n`-uniform
+/// dangling redistribution — the only operator term that shifts when
+/// papers are appended — is resolved in closed form as
+/// `x = y + α·(dᵀy)·u` against `kernel`, the uniform kernel of the
+/// **new** state. A publish therefore costs:
+///
+/// * a pure-citation residual push seeded only at delta-rewired *old*
+///   columns (`O(affected)` — *zero* for a pure tail publish, where
+///   every new edge originates at an appended paper), and
+/// * one dense AXPY resolving the dangling part (`O(n)`).
+///
+/// Unlike a scale-fitted re-seed of the *resolved* vector
+/// ([`crate::pushrank::try_push_rerank`], which stays the right tool for
+/// dense teleports like global PageRank), no `α·d/n`-sized residual
+/// lands on appended rows, so there is no drizzle to cascade through
+/// their reference cones.
+///
+/// Returns `None` when the delta exceeds [`PushRankConfig`]'s re-rank
+/// gate, the kernel is missing or mis-sized, the seed set reaches
+/// outside `old`, or the push exhausts its budget; the caller then
+/// re-solves cold ([`personalize`]).
+#[allow(clippy::too_many_arguments)] // mirrors personalize; the arguments are the coupling
+pub fn repersonalize(
+    old: &CitationNetwork,
+    delta: &GraphDelta,
+    new: &CitationNetwork,
+    previous: WarmStart<'_>,
+    seed: &SeedPersonalization,
+    alpha: f64,
+    kernel: Option<&[f64]>,
+    cfg: &PushRankConfig,
+    workspace: &mut KernelWorkspace,
+) -> Option<PersonalizedScores> {
+    let n_old = old.n_papers();
+    let n_new = new.n_papers();
+    if seed.seeds.last().is_some_and(|&id| (id as usize) >= n_old) {
+        return None;
+    }
+    let u = kernel.filter(|u| u.len() == n_new)?;
+    if previous.raw.len() != n_old
+        || n_new != n_old + delta.n_papers()
+        || !cfg.gates_delta(old, delta)
+    {
+        return None;
+    }
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "repersonalize: alpha {alpha} outside [0, 1)"
+    );
+
+    // Extend `y` with zero rows: appended papers carry no pure-citation
+    // mass until a rewired old column pushes into them.
+    let mut y = workspace.take_zeros(n_new);
+    y.as_mut_slice()[..n_old].copy_from_slice(previous.raw.as_slice());
+    let mut dangling_mass = previous.dangling_mass;
+
+    // Old columns rewired by the delta. Edges whose citing paper is
+    // appended seed nothing — their source rows are zero in `y`.
+    let mut changed: Vec<PaperId> = delta
+        .citations
+        .iter()
+        .map(|&(citing, _)| citing)
+        .filter(|&citing| (citing as usize) < n_old)
+        .collect();
+    changed.sort_unstable();
+    changed.dedup();
+
+    let mut outcome = PushOutcome {
+        converged: true,
+        pushes: 0,
+        edge_work: 0,
+        residual_l1: 0.0,
+        deferred: 0.0,
+    };
+    let mut seed_work = 0u64;
+    if !changed.is_empty() {
+        let mut r = workspace.take_zeros(n_new);
+        let rs = r.as_mut_slice();
+        let mut seeded = false;
+        for &j in &changed {
+            let yj = y[j as usize];
+            if yj == 0.0 {
+                continue;
+            }
+            let refs_old = old.references(j);
+            if refs_old.is_empty() {
+                // `j` was dangling: its pure-citation mass died in place
+                // (and sat in `dᵀy`); after the rewire it flows.
+                dangling_mass -= yj;
+            } else {
+                let w = alpha * yj / refs_old.len() as f64;
+                for &i in refs_old {
+                    rs[i as usize] -= w;
+                }
+            }
+            let refs_new = new.references(j);
+            if !refs_new.is_empty() {
+                let w = alpha * yj / refs_new.len() as f64;
+                for &i in refs_new {
+                    rs[i as usize] += w;
+                }
+            }
+            seed_work += (refs_old.len() + refs_new.len()) as u64;
+            seeded = true;
+        }
+        if seeded && alpha > 0.0 {
+            let push_cfg = PushConfig {
+                alpha,
+                epsilon: cfg.epsilon,
+                max_edge_work: (cfg.budget_sweeps * (new.n_citations() + n_new) as f64) as u64,
+            };
+            outcome = push::solve_deferring(
+                new.refs_csr(),
+                &push_cfg,
+                y.as_mut_slice(),
+                r.as_mut_slice(),
+                0.0,
+            );
+        }
+        workspace.recycle(r);
+        if !outcome.converged {
+            workspace.recycle(y);
+            return None;
+        }
+        // Each push at a dangling row deferred `α·ρ` while the mass `ρ`
+        // itself settled there — i.e. joined `dᵀy`.
+        if alpha > 0.0 {
+            dangling_mass += outcome.deferred / alpha;
+        }
+    }
+
+    // Closed-form dangling resolution: x = y + α·(dᵀy)·u.
+    let g = alpha * dangling_mass;
+    let mut scores = workspace.take_zeros(n_new);
+    for ((s, &yi), &ui) in scores.iter_mut().zip(y.iter()).zip(u) {
+        *s = yi + g * ui;
+    }
+    outcome.edge_work += seed_work + n_new as u64;
+    Some(PersonalizedScores {
+        scores,
+        outcome,
+        fallback: false,
+        raw: Some(y),
+        dangling_mass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::pushrank::uniform_kernel;
+
+    fn base() -> CitationNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<_> = (1990..2002).map(|y| b.add_paper(y)).collect();
+        for (i, &citing) in ids.iter().enumerate().skip(1) {
+            b.add_citation(citing, ids[i - 1]).unwrap();
+            if i >= 4 {
+                b.add_citation(citing, ids[0]).unwrap();
+            }
+            if i >= 7 {
+                b.add_citation(citing, ids[2]).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn permissive() -> PushRankConfig {
+        PushRankConfig {
+            budget_sweeps: 1e6,
+            max_delta_fraction: 1.0,
+            ..PushRankConfig::default()
+        }
+    }
+
+    #[test]
+    fn builder_canonicalizes_and_validates() {
+        let s = SeedPersonalization::uniform(&[7, 3, 5], 12).unwrap();
+        assert_eq!(s.seeds(), &[3, 5, 7]);
+        assert!(s.weights().iter().all(|&w| (w - 1.0 / 3.0).abs() < 1e-15));
+        // Order-insensitive canonical form.
+        assert_eq!(s, SeedPersonalization::uniform(&[5, 7, 3], 12).unwrap());
+
+        assert_eq!(SeedPersonalization::uniform(&[], 12), Err(SeedError::Empty));
+        assert_eq!(
+            SeedPersonalization::uniform(&[3, 5, 3], 12),
+            Err(SeedError::Duplicate(3))
+        );
+        assert_eq!(
+            SeedPersonalization::uniform(&[3, 99], 12),
+            Err(SeedError::OutOfRange {
+                id: 99,
+                n_papers: 12
+            })
+        );
+        assert_eq!(
+            SeedPersonalization::weighted(&[1, 2], &[1.0], 12),
+            Err(SeedError::LengthMismatch {
+                seeds: 2,
+                weights: 1
+            })
+        );
+        assert_eq!(
+            SeedPersonalization::weighted(&[1, 2], &[1.0, -0.5], 12),
+            Err(SeedError::BadWeight {
+                id: 2,
+                weight: -0.5
+            })
+        );
+    }
+
+    #[test]
+    fn weighted_normalizes_after_sorting() {
+        let s = SeedPersonalization::weighted(&[9, 4], &[3.0, 1.0], 12).unwrap();
+        assert_eq!(s.seeds(), &[4, 9]);
+        assert!((s.weights()[0] - 0.25).abs() < 1e-15);
+        assert!((s.weights()[1] - 0.75).abs() < 1e-15);
+        // Rescaled weights canonicalize to the same distribution.
+        let t = SeedPersonalization::weighted(&[9, 4], &[6.0, 2.0], 12).unwrap();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn cold_push_matches_dense_reference() {
+        let net = base();
+        let alpha = 0.6;
+        let mut ws = KernelWorkspace::new();
+        let u = uniform_kernel(&net, alpha, &mut ws);
+        for seeds in [vec![11], vec![0, 7], vec![2, 5, 9]] {
+            let seed = SeedPersonalization::uniform(&seeds, net.n_papers()).unwrap();
+            let dense = dense_personalized(&net, &seed, alpha, &mut ws);
+            for kernel in [Some(u.as_slice()), None] {
+                let got = personalize(&net, &seed, alpha, kernel, &permissive(), &mut ws);
+                assert!(!got.fallback, "seeds {seeds:?} should push within budget");
+                for i in 0..net.n_papers() {
+                    assert!(
+                        (got.scores[i] - dense[i]).abs() < 1e-9,
+                        "seeds {seeds:?} paper {i}: push {} vs dense {}",
+                        got.scores[i],
+                        dense[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_falls_back_to_dense() {
+        let net = base();
+        let alpha = 0.5;
+        let mut ws = KernelWorkspace::new();
+        let seed = SeedPersonalization::uniform(&[11], net.n_papers()).unwrap();
+        let cfg = PushRankConfig {
+            max_delta_fraction: 1.0,
+            ..PushRankConfig::forced_fallback()
+        };
+        let got = personalize(&net, &seed, alpha, None, &cfg, &mut ws);
+        assert!(got.fallback);
+        let dense = dense_personalized(&net, &seed, alpha, &mut ws);
+        for i in 0..net.n_papers() {
+            assert!((got.scores[i] - dense[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn warm_repush_across_delta_matches_dense() {
+        let net = base();
+        let alpha = 0.6;
+        let mut ws = KernelWorkspace::new();
+        let seed = SeedPersonalization::uniform(&[1, 8], net.n_papers()).unwrap();
+        let u_old = uniform_kernel(&net, alpha, &mut ws);
+        let prev = personalize(
+            &net,
+            &seed,
+            alpha,
+            Some(u_old.as_slice()),
+            &permissive(),
+            &mut ws,
+        );
+
+        // Mixed delta: a tail paper plus a rewired old column — seed 8's
+        // own bibliography grows, so its pure-citation mass redistributes
+        // and the changed-column residual path does real work.
+        let mut d = GraphDelta::new();
+        let p = (net.n_papers() + d.add_paper(2003)) as PaperId;
+        d.add_citation(p, 8);
+        d.add_citation(p, 11);
+        d.add_citation(8, 4);
+        let new = net.with_delta(&d).unwrap();
+        let u_new = uniform_kernel(&new, alpha, &mut ws);
+
+        let warm = repersonalize(
+            &net,
+            &d,
+            &new,
+            prev.warm_start().expect("kernel solve keeps warm form"),
+            &seed,
+            alpha,
+            Some(u_new.as_slice()),
+            &permissive(),
+            &mut ws,
+        )
+        .expect("small delta warm re-push");
+        assert!(warm.outcome.pushes > 0, "rewired column must seed pushes");
+        let dense = dense_personalized(&new, &seed, alpha, &mut ws);
+        for i in 0..new.n_papers() {
+            assert!(
+                (warm.scores[i] - dense[i]).abs() < 1e-9,
+                "paper {i}: warm {} vs dense {}",
+                warm.scores[i],
+                dense[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pure_tail_publish_repushes_with_zero_pushes() {
+        // Every new edge originates at an appended paper, so the
+        // pure-citation part is untouched: the warm re-push is exactly
+        // one kernel AXPY — zero pushes — and still matches dense.
+        let net = base();
+        let alpha = 0.6;
+        let mut ws = KernelWorkspace::new();
+        let seed = SeedPersonalization::uniform(&[1, 8], net.n_papers()).unwrap();
+        let u_old = uniform_kernel(&net, alpha, &mut ws);
+        let prev = personalize(
+            &net,
+            &seed,
+            alpha,
+            Some(u_old.as_slice()),
+            &permissive(),
+            &mut ws,
+        );
+
+        let mut d = GraphDelta::new();
+        let p = (net.n_papers() + d.add_paper(2003)) as PaperId;
+        d.add_citation(p, 8);
+        d.add_citation(p, 2);
+        let q = (net.n_papers() + d.add_paper(2003)) as PaperId;
+        d.add_citation(q, 11);
+        let new = net.with_delta(&d).unwrap();
+        let u_new = uniform_kernel(&new, alpha, &mut ws);
+
+        let warm = repersonalize(
+            &net,
+            &d,
+            &new,
+            prev.warm_start().unwrap(),
+            &seed,
+            alpha,
+            Some(u_new.as_slice()),
+            &permissive(),
+            &mut ws,
+        )
+        .expect("tail delta warm re-push");
+        assert_eq!(warm.outcome.pushes, 0, "tail publish seeds no residuals");
+        let dense = dense_personalized(&new, &seed, alpha, &mut ws);
+        for i in 0..new.n_papers() {
+            assert!(
+                (warm.scores[i] - dense[i]).abs() < 1e-9,
+                "paper {i}: warm {} vs dense {}",
+                warm.scores[i],
+                dense[i]
+            );
+        }
+    }
+
+    #[test]
+    fn repersonalize_requires_kernel_and_warm_form() {
+        let net = base();
+        let alpha = 0.5;
+        let mut ws = KernelWorkspace::new();
+        let seed = SeedPersonalization::uniform(&[8], net.n_papers()).unwrap();
+
+        // A flush-mode solve (no kernel) keeps no warm-start form.
+        let flushed = personalize(&net, &seed, alpha, None, &permissive(), &mut ws);
+        assert!(flushed.warm_start().is_none());
+        // A dense fallback keeps none either.
+        let cfg = PushRankConfig {
+            max_delta_fraction: 1.0,
+            ..PushRankConfig::forced_fallback()
+        };
+        let fell = personalize(&net, &seed, alpha, None, &cfg, &mut ws);
+        assert!(fell.fallback && fell.warm_start().is_none());
+
+        // And a warm re-push without the new kernel declines.
+        let u_old = uniform_kernel(&net, alpha, &mut ws);
+        let prev = personalize(
+            &net,
+            &seed,
+            alpha,
+            Some(u_old.as_slice()),
+            &permissive(),
+            &mut ws,
+        );
+        let mut d = GraphDelta::new();
+        let p = (net.n_papers() + d.add_paper(2003)) as PaperId;
+        d.add_citation(p, 8);
+        let new = net.with_delta(&d).unwrap();
+        assert!(repersonalize(
+            &net,
+            &d,
+            &new,
+            prev.warm_start().unwrap(),
+            &seed,
+            alpha,
+            None,
+            &permissive(),
+            &mut ws
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn repersonalize_declines_seeds_outside_old_network() {
+        let net = base();
+        let mut ws = KernelWorkspace::new();
+        let mut d = GraphDelta::new();
+        let p = (net.n_papers() + d.add_paper(2003)) as PaperId;
+        d.add_citation(p, 0);
+        let new = net.with_delta(&d).unwrap();
+        // Seed validated against the *new* state: no previous vector on
+        // the old state can exist for it.
+        let seed = SeedPersonalization::uniform(&[p], new.n_papers()).unwrap();
+        let raw = ScoreVec::uniform(net.n_papers());
+        let u_new = uniform_kernel(&new, 0.5, &mut ws);
+        assert!(repersonalize(
+            &net,
+            &d,
+            &new,
+            WarmStart {
+                raw: &raw,
+                dangling_mass: 0.0
+            },
+            &seed,
+            0.5,
+            Some(u_new.as_slice()),
+            &permissive(),
+            &mut ws
+        )
+        .is_none());
+    }
+}

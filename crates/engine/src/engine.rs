@@ -132,6 +132,26 @@ impl RerankPolicy {
     }
 }
 
+/// How an epoch's network state relates to its predecessor's: the parent
+/// snapshot's epoch/network plus the exact [`GraphDelta`] folded in to
+/// produce this one.
+///
+/// Recorded so per-epoch derived state (the personalization cache's
+/// vectors and uniform kernels) can be *warm re-pushed* across a publish
+/// instead of rebuilt: a cached vector tagged with `parent_epoch` is one
+/// `O(affected)` push away from valid, not one full solve. An
+/// empty-staged publish records an empty delta over the same network —
+/// derived state then revalidates with a zero-residual push.
+#[derive(Debug, Clone)]
+pub(crate) struct EpochLineage {
+    /// Epoch of the snapshot whose network `delta` was applied to.
+    pub(crate) parent_epoch: u64,
+    /// The parent network state (an `Arc` share, not a copy).
+    pub(crate) parent_net: Arc<CitationNetwork>,
+    /// The batch folded in by this publish.
+    pub(crate) delta: Arc<GraphDelta>,
+}
+
 /// One immutable published ranking state.
 ///
 /// Snapshots are shared via `Arc`; everything here is read-only after
@@ -153,6 +173,10 @@ pub struct EpochSnapshot {
     /// `positions[p]` = 0-based rank position of paper `p`, built on the
     /// first `rank_of` call (a top-k-only reader never pays for it).
     positions: OnceLock<Vec<u32>>,
+    /// Provenance of this epoch's network state relative to its parent
+    /// (`None` for epoch 0, restored epochs, and publishes after a
+    /// rejected solve).
+    lineage: Option<EpochLineage>,
 }
 
 impl EpochSnapshot {
@@ -220,6 +244,11 @@ impl EpochSnapshot {
             positions
         });
         positions.get(p as usize).map(|&pos| pos as usize + 1)
+    }
+
+    /// Provenance of this epoch relative to its parent, when known.
+    pub(crate) fn lineage(&self) -> Option<&EpochLineage> {
+        self.lineage.as_ref()
     }
 }
 
@@ -716,28 +745,34 @@ impl RankingEngine {
     /// and the previous epoch was kept.
     fn publish_locked(&self, state: &mut WriterState) -> bool {
         state.pending_batches = 0;
-        let (scores, strategy) = if state.staged.is_empty() {
+        // Lineage capture: the pre-publish network and the batch folded
+        // in, so derived per-epoch state (personalization vectors) can be
+        // warm re-pushed across this publish.
+        let parent_epoch = state.previous.as_ref().map(|p| p.epoch());
+        let parent_net = state.net.clone();
+        let (scores, strategy, delta) = if state.staged.is_empty() {
             (
                 state.ranker.rank_full(&state.net, &mut state.workspace),
                 RerankStrategy::Full,
+                Arc::new(GraphDelta::new()),
             )
         } else {
+            let staged = std::mem::replace(&mut state.staged, GraphDelta::new());
             let next = Arc::new(
                 state
                     .net
-                    .with_delta(&state.staged)
+                    .with_delta(&staged)
                     .expect("staged deltas were validated at ingest"),
             );
             let (scores, strategy) = state.ranker.rank_delta(
                 &state.net,
-                &state.staged,
+                &staged,
                 &next,
                 state.previous.as_deref().map(EpochSnapshot::scores),
                 &mut state.workspace,
             );
             state.net = next;
-            state.staged.clear();
-            (scores, strategy)
+            (scores, strategy, Arc::new(staged))
         };
         // A non-convergent solve (NaN/∞ scores) must not clobber the last
         // good epoch: readers keep serving the stale-but-sane snapshot.
@@ -752,7 +787,12 @@ impl RankingEngine {
         }
         let epoch = state.next_epoch;
         state.next_epoch += 1;
-        let snapshot = Self::freeze(epoch, &state.net, scores, strategy);
+        let lineage = parent_epoch.map(|parent_epoch| EpochLineage {
+            parent_epoch,
+            parent_net,
+            delta,
+        });
+        let snapshot = Self::freeze_with(epoch, &state.net, scores, strategy, lineage);
         state.previous = Some(snapshot.clone());
         *self.published.write().expect("snapshot lock poisoned") = snapshot;
         true
@@ -764,12 +804,23 @@ impl RankingEngine {
         scores: ScoreVec,
         strategy: RerankStrategy,
     ) -> Arc<EpochSnapshot> {
+        Self::freeze_with(epoch, net, scores, strategy, None)
+    }
+
+    fn freeze_with(
+        epoch: u64,
+        net: &Arc<CitationNetwork>,
+        scores: ScoreVec,
+        strategy: RerankStrategy,
+        lineage: Option<EpochLineage>,
+    ) -> Arc<EpochSnapshot> {
         Arc::new(EpochSnapshot {
             epoch,
             strategy,
             net: net.clone(),
             scores,
             positions: OnceLock::new(),
+            lineage,
         })
     }
 }

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod personalization;
 pub mod query;
 pub mod registry;
 pub mod sharded;
@@ -69,13 +70,14 @@ pub use engine::{
     ColdStart, EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy,
     RerankStrategy, WarmupReport,
 };
+pub use personalization::{CacheConfig, CacheOutcome, CacheStats, PersonalizationCache};
 pub use query::{
-    CompareRow, Comparison, Cursor, Hit, Page, Query, QueryDriver, QueryEngine, QueryError,
-    QueryPlan,
+    CompareRow, Comparison, CostModel, Cursor, Hit, Page, Query, QueryDriver, QueryEngine,
+    QueryError, QueryPlan,
 };
 pub use registry::{build, default_comparison_specs, known_methods, parse_and_build, BoxedRanker};
 pub use sharded::{
-    ShardCursor, ShardSnapshots, ShardedColdStart, ShardedEngine, ShardedError,
+    ShardCursor, ShardSnapshots, ShardedColdStart, ShardedComparison, ShardedEngine, ShardedError,
     ShardedIngestReport, ShardedPage,
 };
 pub use spec::{EnsembleRule, MethodSpec, SpecError};

@@ -16,6 +16,7 @@
 //! venue=3,k=10
 //! method=attrank,author=42,year=1995..2000,k=5
 //! method=attrank,vs=cc,venue=3|7,k=20
+//! method=pagerank,seed=17|91,k=10
 //! k=10,cursor=c1-3fe51eb851eb851f-2a-9e3779b97f4a7c15
 //! ```
 //!
@@ -25,6 +26,20 @@
 //! [`QueryEngine::compare`]. Unknown keys, duplicates and malformed
 //! values are typed errors naming the offending key, like the
 //! method-spec parser.
+//!
+//! `seed` is a `|`-separated **paper** id list that switches the ranking
+//! to the personalized solve: teleport mass concentrates uniformly on
+//! the seed papers instead of spreading over the corpus, so the top-k is
+//! "papers most related to the seeds" under the method's damped walk.
+//! Unlike the facet lists, `seed=` is *strict* — the list is a teleport
+//! distribution, where a repeated id would silently double a seed's
+//! weight — so duplicates (and at serve time, out-of-range ids) are
+//! rejected with a typed [`QueryError::BadValue`] naming the offending
+//! id. Only methods with a damping factor ([`MethodSpec::damping`]:
+//! `pagerank`, `attrank`, `citerank`) can serve seeded queries; others
+//! fail with [`QueryError::SeedUnsupported`]. Solves are served through
+//! the engine-wide [`crate::PersonalizationCache`], so a repeated seed
+//! set against an unchanged epoch costs no solve work at all.
 //!
 //! # Planner
 //!
@@ -72,10 +87,14 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
-use citegraph::{AuthorId, CitationNetwork, FacetExpr, GraphDelta, PaperId, VenueId, Year};
-use sparsela::{cmp_score_desc, top_k_filtered, top_k_indices, top_k_where, IdMask};
+use citegraph::{
+    AuthorId, CitationNetwork, FacetExpr, GraphDelta, PaperId, SeedError, SeedPersonalization,
+    VenueId, Year,
+};
+use sparsela::{cmp_score_desc, top_k_filtered, top_k_indices, top_k_where, IdMask, ScoreVec};
 
 use crate::engine::{EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy};
+use crate::personalization::{CacheConfig, CacheStats, PersonalizationCache};
 use crate::spec::{MethodSpec, SpecError};
 
 /// A filtered, paginated top-k request.
@@ -101,6 +120,10 @@ pub struct Query {
     /// Restrict to papers (co-)written by *any* of these authors (empty
     /// = no author restriction).
     pub authors: Vec<AuthorId>,
+    /// Personalization seed papers: when non-empty, rank by the seeded
+    /// solve (teleport mass on these papers) instead of the global
+    /// ranking. Strict — no duplicates, ids must exist at serve time.
+    pub seeds: Vec<PaperId>,
     /// Resume marker from a previous [`Page::next`].
     pub cursor: Option<Cursor>,
 }
@@ -115,6 +138,7 @@ impl Default for Query {
             year_max: None,
             venues: Vec::new(),
             authors: Vec::new(),
+            seeds: Vec::new(),
             cursor: None,
         }
     }
@@ -152,6 +176,26 @@ fn parse_ids(key: &str, value: &str) -> Result<Vec<u32>, QueryError> {
         .collect()
 }
 
+/// Parses the strict `seed=` id list. Unlike the facet lists (where a
+/// repeated id is a legal restatement of the same OR set and silently
+/// dedups), the seed list is a teleport *distribution*: a duplicate
+/// would double that seed's weight, so it is rejected with a typed
+/// error naming the offending id. Out-of-range ids are caught at serve
+/// time against the snapshot's paper count (also as
+/// [`QueryError::BadValue`] naming the id).
+fn parse_seed_ids(value: &str) -> Result<Vec<PaperId>, QueryError> {
+    let ids = parse_ids("seed", value)?;
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    if let Some(pair) = sorted.windows(2).find(|w| w[0] == w[1]) {
+        return Err(QueryError::BadValue {
+            key: "seed".into(),
+            value: format!("{} (duplicate seed id)", pair[0]),
+        });
+    }
+    Ok(ids)
+}
+
 impl fmt::Display for Query {
     /// Canonical grammar form; `parse ∘ display` is the identity.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -162,6 +206,9 @@ impl fmt::Display for Query {
             write!(f, "vs={v},")?;
         }
         write!(f, "k={}", self.k)?;
+        if !self.seeds.is_empty() {
+            write!(f, ",seed={}", join_ids(&self.seeds))?;
+        }
         match (self.year_min, self.year_max) {
             (None, None) => {}
             (lo, hi) => {
@@ -230,6 +277,7 @@ impl FromStr for Query {
                 }
                 "venue" => q.venues = parse_ids(key, value)?,
                 "author" => q.authors = parse_ids(key, value)?,
+                "seed" => q.seeds = parse_seed_ids(value)?,
                 "cursor" => q.cursor = Some(value.parse()?),
                 other => {
                     return Err(QueryError::UnknownKey { key: other.into() });
@@ -302,6 +350,13 @@ pub enum QueryError {
     /// The cursor was minted for a different method/filter combination
     /// than this query (resuming it would silently change result sets).
     CursorMismatch,
+    /// `seed=` personalization against a method without a damping
+    /// factor — only the push family (`pagerank`, `attrank`,
+    /// `citerank`) defines the personalized linear system.
+    SeedUnsupported {
+        /// The method that cannot serve personalized rankings.
+        method: String,
+    },
     /// [`QueryEngine::compare`] needs `vs=<method>` in the query.
     MissingCompareMethod,
     /// A method spec failed while building the engine set.
@@ -350,6 +405,11 @@ impl fmt::Display for QueryError {
             QueryError::CursorMismatch => write!(
                 f,
                 "cursor was minted for a different method/filter combination"
+            ),
+            QueryError::SeedUnsupported { method } => write!(
+                f,
+                "method {method:?} has no damping factor: seed= serves only \
+                 the push family (pagerank, attrank, citerank)"
             ),
             QueryError::MissingCompareMethod => {
                 write!(f, "compare needs vs=<method> in the query")
@@ -436,13 +496,17 @@ impl FromStr for Cursor {
     }
 }
 
-/// FNV-1a over the canonical `(method, filters)` identity of a query —
-/// what binds a [`Cursor`] to the result set it walks. Page size and
-/// `vs` are deliberately excluded: changing `k` mid-pagination is
-/// legitimate, and compare mode joins onto the same primary ranking.
+/// FNV-1a over the canonical `(method, filters, seeds)` identity of a
+/// query — what binds a [`Cursor`] to the result set it walks. Page
+/// size and `vs` are deliberately excluded: changing `k` mid-pagination
+/// is legitimate, and compare mode joins onto the same primary ranking.
 /// The full facet *lists* are covered, so adding an id to an OR set
 /// (`venue=3` → `venue=3|5`) changes the identity and a resumed cursor
-/// fails typed instead of silently changing result sets.
+/// fails typed instead of silently changing result sets. The seed set
+/// is covered in *sorted* order (it is a set — `seed=3|1` and
+/// `seed=1|3` walk the same personalized ranking), so a cursor resumed
+/// under a different seed list fails with
+/// [`QueryError::CursorMismatch`].
 fn fingerprint(method: &str, q: &Query) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
@@ -457,6 +521,11 @@ fn fingerprint(method: &str, q: &Query) -> u64 {
         q.year_min, q.year_max, q.venues, q.authors
     )
     .as_bytes());
+    if !q.seeds.is_empty() {
+        let mut seeds = q.seeds.clone();
+        seeds.sort_unstable();
+        eat(format!("|seed{seeds:?}").as_bytes());
+    }
     h
 }
 
@@ -531,26 +600,131 @@ pub enum QueryDriver {
     },
 }
 
-/// Cost-model constants: estimated nanoseconds per unit of work, fit to
-/// the `index_vs_scan` bench group at the 200k-paper scale (see the
-/// README cost table). Absolute values matter less than the ratios —
-/// they decide the crossover points between execution shapes.
-mod cost {
+/// Planner cost constants: estimated nanoseconds per unit of work for
+/// each execution shape. Absolute values matter less than the ratios —
+/// they decide the crossover points between shapes.
+///
+/// The baked defaults ([`CostModel::default`]) are fit to the
+/// `index_vs_scan` bench group at the 200k-paper scale on the baseline
+/// machine (see the README cost table). A [`QueryEngine`] **self-tunes**
+/// at construction: when a bench report carrying the two anchor rows is
+/// reachable ([`CostModel::from_baseline_env`]), the constants re-scale
+/// by the measured-over-reference ratio of each anchor, so the
+/// crossovers track the serving machine instead of the one the defaults
+/// were fit on. Missing or malformed reports fall back to the baked
+/// values — never an error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
     /// Per id enumerated by a contiguous range scan (`top_k_where`
     /// including cheap residual checks) — the residual rows measure
-    /// ~1.34–1.36 ns/id at 100k–200k ids.
-    pub const SCAN_PER_ID: f64 = 1.3;
+    /// ~1.34–1.36 ns/id at 100k–200k ids on the baseline machine.
+    pub scan_per_id: f64,
     /// Per banded posting-list candidate (gathered score access,
     /// residual checks, selection) — `author_posting_200k` over the
     /// busiest author's band.
-    pub const BAND_PER_CANDIDATE: f64 = 2.4;
+    pub band_per_candidate: f64,
     /// Extra per-candidate cost of sorting + deduplicating the union of
     /// overlapping posting bands (multi-author OR).
-    pub const DEDUP_PER_CANDIDATE: f64 = 4.8;
-    /// Per posting entry inserted while materializing an [`super::IdMask`].
-    pub const MASK_INSERT: f64 = 2.2;
+    pub dedup_per_candidate: f64,
+    /// Per posting entry inserted while materializing an [`IdMask`].
+    pub mask_insert: f64,
     /// Per 64-bit word per mask set operation (AND/OR sweep, ones scan).
-    pub const MASK_PER_WORD: f64 = 0.6;
+    pub mask_per_word: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            scan_per_id: 1.3,
+            band_per_candidate: 2.4,
+            dedup_per_candidate: 4.8,
+            mask_insert: 2.2,
+            mask_per_word: 0.6,
+        }
+    }
+}
+
+impl CostModel {
+    /// `min_ns` of `index_vs_scan/author_posting_200k` in the committed
+    /// baseline the baked constants were fit against — the gather-side
+    /// anchor (scales the per-candidate constants).
+    const REF_POSTING_NS: f64 = 861.0;
+    /// `min_ns` of `index_vs_scan/author_mask_residual_200k` in the same
+    /// baseline — the scan-side anchor (scales the per-id and per-mask
+    /// constants).
+    const REF_RESIDUAL_NS: f64 = 268_024.0;
+
+    /// Re-fits the constants from a bench report (criterion-shim JSON or
+    /// the committed `BENCH_baseline.json` — both carry flat
+    /// `{"group": …, "id": …, "min_ns": …}` records) holding the two
+    /// `index_vs_scan` anchor rows. Each constant scales by its anchor's
+    /// measured/reference ratio, preserving the within-shape ratios the
+    /// fit established. Returns `None` when either anchor is absent or
+    /// degenerate — callers fall back to the baked model.
+    pub fn from_bench_json(json: &str) -> Option<CostModel> {
+        let posting = bench_min_ns(json, "index_vs_scan", "author_posting_200k")?;
+        let residual = bench_min_ns(json, "index_vs_scan", "author_mask_residual_200k")?;
+        if !posting.is_finite() || !residual.is_finite() || posting <= 0.0 || residual <= 0.0 {
+            return None;
+        }
+        let band_ratio = posting / Self::REF_POSTING_NS;
+        let scan_ratio = residual / Self::REF_RESIDUAL_NS;
+        let baked = CostModel::default();
+        Some(CostModel {
+            scan_per_id: baked.scan_per_id * scan_ratio,
+            band_per_candidate: baked.band_per_candidate * band_ratio,
+            dedup_per_candidate: baked.dedup_per_candidate * band_ratio,
+            mask_insert: baked.mask_insert * scan_ratio,
+            mask_per_word: baked.mask_per_word * scan_ratio,
+        })
+    }
+
+    /// The model a [`QueryEngine`] self-tunes with at construction:
+    /// re-fit from the report at `$BENCH_BASELINE_PATH` (default
+    /// `./BENCH_baseline.json`) when the file exists and carries the
+    /// anchor rows; the baked defaults otherwise. Never errors.
+    pub fn from_baseline_env() -> CostModel {
+        let path =
+            std::env::var("BENCH_BASELINE_PATH").unwrap_or_else(|_| "BENCH_baseline.json".into());
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|json| Self::from_bench_json(&json))
+            .unwrap_or_default()
+    }
+}
+
+/// `min_ns` of the `(group, id)` record in a bench report: a
+/// dependency-free scan over the flat `{…}` segments both report formats
+/// contain (a segment split at the next `}` only parses when the object
+/// is flat, which every record is — nested structure just fails the
+/// field probes and is skipped).
+fn bench_min_ns(json: &str, group: &str, id: &str) -> Option<f64> {
+    for seg in json.split('{').skip(1).filter_map(|s| s.split('}').next()) {
+        if json_str_field(seg, "group") == Some(group) && json_str_field(seg, "id") == Some(id) {
+            return json_num_field(seg, "min_ns");
+        }
+    }
+    None
+}
+
+/// Value of a `"key": "string"` field inside a flat object segment.
+fn json_str_field<'a>(seg: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = seg.find(&pat)? + pat.len();
+    let rest = seg[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+/// Value of a `"key": number` field inside a flat object segment.
+fn json_num_field(seg: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = seg.find(&pat)? + pat.len();
+    let rest = seg[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// The planner's verdict for a query against one snapshot: which
@@ -572,6 +746,24 @@ pub struct QueryPlan {
     pub residuals: Vec<&'static str>,
 }
 
+/// Maps a seed-set validation failure onto the grammar's typed
+/// [`QueryError::BadValue`], naming the offending id (the parser
+/// already rejects duplicates; this catches out-of-range ids against
+/// the serving snapshot and defends the rest in depth).
+pub(crate) fn seed_error_to_query(e: SeedError) -> QueryError {
+    let value = match e {
+        SeedError::Duplicate(id) => format!("{id} (duplicate seed id)"),
+        SeedError::OutOfRange { id, n_papers } => {
+            format!("{id} (out of range: corpus has {n_papers} papers)")
+        }
+        other => other.to_string(),
+    };
+    QueryError::BadValue {
+        key: "seed".into(),
+        value,
+    }
+}
+
 /// Deduplicates a facet id list, preserving first-occurrence order (a
 /// repeated id in an OR list is legal and means the same set).
 pub(crate) fn dedup_ids(ids: &[u32]) -> Vec<u32> {
@@ -584,10 +776,11 @@ pub(crate) fn dedup_ids(ids: &[u32]) -> Vec<u32> {
     out
 }
 
-/// Plans `q` against the network of one snapshot. Pure function of the
-/// predicate cardinalities; separated from execution so tests (and the
-/// CLI's explain output) can inspect planner decisions directly.
-fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
+/// Plans `q` against the network of one snapshot under a [`CostModel`].
+/// Pure function of the predicate cardinalities and the model;
+/// separated from execution so tests (and the CLI's explain output) can
+/// inspect planner decisions directly.
+fn plan(net: &CitationNetwork, q: &Query, cost: &CostModel) -> Result<QueryPlan, QueryError> {
     // Resolve + bounds-check every facet first: a typed error beats a
     // silent empty page for ids outside the corpus's id spaces.
     let venues = dedup_ids(&q.venues);
@@ -626,14 +819,14 @@ fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
                     end: year_range.end,
                 },
                 candidates: year_len,
-                cost_ns: year_len as f64 * cost::SCAN_PER_ID,
+                cost_ns: year_len as f64 * cost.scan_per_id,
                 residuals: vec!["cursor"],
             }
         } else {
             QueryPlan {
                 driver: QueryDriver::Unfiltered,
                 candidates: net.n_papers(),
-                cost_ns: net.n_papers() as f64 * cost::SCAN_PER_ID,
+                cost_ns: net.n_papers() as f64 * cost.scan_per_id,
                 residuals: Vec::new(),
             }
         });
@@ -668,7 +861,7 @@ fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
 
     // Candidate shapes, costed under the measured constants.
     let mut best = (
-        year_len as f64 * cost::SCAN_PER_ID
+        year_len as f64 * cost.scan_per_id
             // An author residual over a scan builds the OR-mask first.
             + if authors.is_empty() {
                 0.0
@@ -677,7 +870,7 @@ fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
                     .iter()
                     .map(|&a| net.authors().map_or(0, |t| t.papers_of(a).len()))
                     .sum::<usize>() as f64
-                    * cost::MASK_INSERT
+                    * cost.mask_insert
             },
         QueryDriver::IdRange {
             start: year_range.start,
@@ -685,7 +878,7 @@ fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
         },
     );
     if let Some(len) = vband {
-        let c = len as f64 * cost::BAND_PER_CANDIDATE;
+        let c = len as f64 * cost.band_per_candidate;
         if c < best.0 {
             best = (
                 c,
@@ -697,9 +890,9 @@ fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
         }
     }
     if let Some(len) = aband {
-        let mut c = len as f64 * cost::BAND_PER_CANDIDATE;
+        let mut c = len as f64 * cost.band_per_candidate;
         if authors.len() > 1 {
-            c += len as f64 * cost::DEDUP_PER_CANDIDATE;
+            c += len as f64 * cost.dedup_per_candidate;
         }
         if c < best.0 {
             best = (
@@ -722,9 +915,9 @@ fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
             .flatten()
             .min()
             .unwrap_or(year_len);
-        let c = mask_inserts as f64 * cost::MASK_INSERT
-            + (words * (leaves + 2)) as f64 * cost::MASK_PER_WORD
-            + upper as f64 * cost::BAND_PER_CANDIDATE;
+        let c = mask_inserts as f64 * cost.mask_insert
+            + (words * (leaves + 2)) as f64 * cost.mask_per_word
+            + upper as f64 * cost.band_per_candidate;
         if c < best.0 {
             best = (c, QueryDriver::MaskAlgebra { candidates: upper });
         }
@@ -776,9 +969,18 @@ fn plan(net: &CitationNetwork, q: &Query) -> Result<QueryPlan, QueryError> {
 
 /// Executes `q` against one pinned snapshot. `method` is the resolved
 /// method label (for the page header and the cursor fingerprint).
-fn execute(snap: &EpochSnapshot, method: &str, q: &Query) -> Result<Page, QueryError> {
+/// `scores` is the ranking vector to select over — the snapshot's own
+/// global scores, or a personalized vector of the same length solved on
+/// the same epoch.
+fn execute(
+    snap: &EpochSnapshot,
+    method: &str,
+    q: &Query,
+    scores: &[f64],
+    cost: &CostModel,
+) -> Result<Page, QueryError> {
     let net = snap.network();
-    let scores = snap.scores().as_slice();
+    debug_assert_eq!(scores.len(), net.n_papers());
     let fp = fingerprint(method, q);
 
     // Cursor validity: right epoch, right (method, filter) identity.
@@ -804,7 +1006,7 @@ fn execute(snap: &EpochSnapshot, method: &str, q: &Query) -> Result<Page, QueryE
         }
     };
 
-    let plan = plan(net, q)?;
+    let plan = plan(net, q, cost)?;
     // Residual closures over the *deduplicated* facet lists: a venue
     // residual is a small-list membership test on `venue_of`, an author
     // residual walks the paper's (collapsed) author row.
@@ -995,8 +1197,15 @@ pub struct Comparison {
 /// policies fire differently — that is what per-snapshot pinning and
 /// cursor epochs are for). Queries address methods by their canonical
 /// name (`attrank`, `cc`, …).
+///
+/// Seeded queries (`seed=`) are served through one engine-wide
+/// [`PersonalizationCache`]; the planner runs under a [`CostModel`]
+/// re-fit from the bench baseline at construction when one is reachable
+/// (see [`CostModel::from_baseline_env`]).
 pub struct QueryEngine {
     engines: Vec<(String, Arc<RankingEngine>)>,
+    cache: PersonalizationCache,
+    cost: CostModel,
 }
 
 impl QueryEngine {
@@ -1023,7 +1232,11 @@ impl QueryEngine {
                 Arc::new(RankingEngine::new(net.clone(), spec, policy)?),
             ));
         }
-        Ok(Self { engines })
+        Ok(Self {
+            engines,
+            cache: PersonalizationCache::new(CacheConfig::default()),
+            cost: CostModel::from_baseline_env(),
+        })
     }
 
     /// [`Self::new`] from config strings, e.g. `["attrank", "cc"]`.
@@ -1071,6 +1284,53 @@ impl QueryEngine {
         self.resolve(method).map(|(_, e)| e.snapshot())
     }
 
+    /// The planner cost model in effect: the baked constants, or the
+    /// baseline-refit ones ([`CostModel::from_baseline_env`]).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Replaces the planner cost model (explicit tuning; tests).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Counters and occupancy of the shared personalization cache.
+    pub fn personalization_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Reconfigures the personalization cache (bounds, push budget).
+    /// Drops every cached vector — the next seeded queries re-solve.
+    pub fn set_personalization_config(&mut self, config: CacheConfig) {
+        self.cache = PersonalizationCache::new(config);
+    }
+
+    /// Resolves the score vector a seeded query ranks by: the method's
+    /// damping factor from its parsed spec ([`MethodSpec::damping`]),
+    /// the seed distribution validated against the snapshot's paper
+    /// count, and the solve served through the engine-wide
+    /// [`PersonalizationCache`]. `Ok(None)` for unseeded queries.
+    fn seeded_scores(
+        &self,
+        label: &str,
+        engine: &RankingEngine,
+        snap: &EpochSnapshot,
+        q: &Query,
+    ) -> Result<Option<Arc<ScoreVec>>, QueryError> {
+        if q.seeds.is_empty() {
+            return Ok(None);
+        }
+        let spec: MethodSpec = engine.method().parse()?;
+        let alpha = spec.damping().ok_or_else(|| QueryError::SeedUnsupported {
+            method: label.to_string(),
+        })?;
+        let seed =
+            SeedPersonalization::uniform(&q.seeds, snap.n_papers()).map_err(seed_error_to_query)?;
+        let (scores, _) = self.cache.scores(label, snap, &seed, alpha);
+        Ok(Some(scores))
+    }
+
     /// Executes a query against the *current* snapshot of its method.
     ///
     /// A cursor minted before the last publish fails with
@@ -1078,16 +1338,24 @@ impl QueryEngine {
     /// snapshot to paginate across publishes.
     pub fn query(&self, q: &Query) -> Result<Page, QueryError> {
         let (label, engine) = self.resolve(q.method.as_deref())?;
-        execute(&engine.snapshot(), label, q)
+        let snap = engine.snapshot();
+        match self.seeded_scores(label, engine, &snap, q)? {
+            Some(s) => execute(&snap, label, q, s.as_slice(), &self.cost),
+            None => execute(&snap, label, q, snap.scores().as_slice(), &self.cost),
+        }
     }
 
     /// Executes a query against a caller-pinned snapshot (from
     /// [`Self::snapshot`] or a previous page's epoch). The query's
-    /// method is only used as a label/fingerprint — the scores come
-    /// from `snap`.
+    /// method resolves the label/fingerprint (and, for seeded queries,
+    /// the damping factor) — the scores come from `snap`, or from a
+    /// personalized solve on exactly `snap`'s epoch.
     pub fn query_at(&self, snap: &EpochSnapshot, q: &Query) -> Result<Page, QueryError> {
-        let (label, _) = self.resolve(q.method.as_deref())?;
-        execute(snap, label, q)
+        let (label, engine) = self.resolve(q.method.as_deref())?;
+        match self.seeded_scores(label, engine, snap, q)? {
+            Some(s) => execute(snap, label, q, s.as_slice(), &self.cost),
+            None => execute(snap, label, q, snap.scores().as_slice(), &self.cost),
+        }
     }
 
     /// The planner's decision for `q` against the current snapshot of
@@ -1095,21 +1363,27 @@ impl QueryEngine {
     /// explain line.
     pub fn explain(&self, q: &Query) -> Result<QueryPlan, QueryError> {
         let (_, engine) = self.resolve(q.method.as_deref())?;
-        plan(engine.snapshot().network(), q)
+        plan(engine.snapshot().network(), q, &self.cost)
     }
 
     /// Compare mode: runs the filtered page under `q.method`, then joins
     /// each hit's rank and score under `q.vs` — both from snapshots
     /// pinned once at entry, the paper's §4-style "AttRank vs. citation
     /// count" view in one pass. Ranks are global (1 = best), via each
-    /// snapshot's cached position table.
+    /// snapshot's cached position table. Under `seed=` the page's
+    /// *scores* are personalized while both rank columns stay global —
+    /// "where do my related papers sit in each method's overall
+    /// ranking".
     pub fn compare(&self, q: &Query) -> Result<Comparison, QueryError> {
         let vs = q.vs.as_deref().ok_or(QueryError::MissingCompareMethod)?;
         let (label_a, engine_a) = self.resolve(q.method.as_deref())?;
         let (label_b, engine_b) = self.resolve(Some(vs))?;
         let snap_a = engine_a.snapshot();
         let snap_b = engine_b.snapshot();
-        let page = execute(&snap_a, label_a, q)?;
+        let page = match self.seeded_scores(label_a, engine_a, &snap_a, q)? {
+            Some(s) => execute(&snap_a, label_a, q, s.as_slice(), &self.cost)?,
+            None => execute(&snap_a, label_a, q, snap_a.scores().as_slice(), &self.cost)?,
+        };
         let rows = page
             .items
             .iter()
@@ -1162,8 +1436,8 @@ impl QueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use citegraph::NetworkBuilder;
-    use sparsela::sort_indices_desc;
+    use citegraph::{dense_personalized, NetworkBuilder};
+    use sparsela::{sort_indices_desc, KernelWorkspace};
 
     /// 12 papers over 2000–2011 with venues, authors and enough citation
     /// ties (cc scores) to exercise deterministic tie-breaking.
@@ -1199,6 +1473,12 @@ mod tests {
 
     /// Brute-force reference: full descending sort, filter, truncate.
     fn reference(snap: &EpochSnapshot, q: &Query) -> Vec<PaperId> {
+        reference_scored(snap, q, snap.scores().as_slice())
+    }
+
+    /// [`reference`] over an explicit score vector (the personalized
+    /// paths rank by a solve, not the snapshot's global scores).
+    fn reference_scored(snap: &EpochSnapshot, q: &Query, scores: &[f64]) -> Vec<PaperId> {
         let net = snap.network();
         let keep = |&id: &u32| {
             q.year_min.is_none_or(|lo| net.year(id) >= lo)
@@ -1217,10 +1497,7 @@ mod tests {
                         .iter()
                         .any(|a| q.authors.contains(a)))
         };
-        let mut full: Vec<u32> = sort_indices_desc(snap.scores().as_slice())
-            .into_iter()
-            .filter(keep)
-            .collect();
+        let mut full: Vec<u32> = sort_indices_desc(scores).into_iter().filter(keep).collect();
         full.truncate(q.k);
         full
     }
@@ -1240,6 +1517,8 @@ mod tests {
             "k=10,year=..2000",
             "k=3,year=1995..2000,venue=3,author=42",
             "k=10,venue=3|7,author=1|2|5",
+            "method=pagerank,k=5,seed=11|4",
+            "k=3,seed=1|4|7,year=2000..2005,venue=0",
             "k=10,cursor=c1-3fe51eb851eb851f-2a-9e3779b97f4a7c15",
         ] {
             let q: Query = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
@@ -1748,5 +2027,198 @@ mod tests {
         assert_eq!(ids(&by_name), ids(&by_default));
         let pr = qe.query(&"method=pagerank,k=3".parse().unwrap()).unwrap();
         assert_eq!(pr.method, "pagerank");
+    }
+
+    #[test]
+    fn seed_grammar_is_strict_where_facets_stay_lenient() {
+        // A duplicate seed id is a typed error naming the id...
+        let err = "seed=2|2".parse::<Query>().unwrap_err();
+        assert!(
+            matches!(&err, QueryError::BadValue { key, value }
+                if key == "seed" && value.starts_with('2')),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains('2'));
+        let err = "seed=7|3|7".parse::<Query>().unwrap_err();
+        assert!(
+            matches!(&err, QueryError::BadValue { key, value }
+                if key == "seed" && value.starts_with('7')),
+            "{err:?}"
+        );
+        // ...and malformed entries fail like any id list.
+        assert!(matches!(
+            "seed=1|x".parse::<Query>(),
+            Err(QueryError::BadValue { ref key, .. }) if key == "seed"
+        ));
+        // Facet OR lists keep their silent dedup: a repeated id names
+        // the same set, and the query serves.
+        let qe = engine();
+        let q: Query = "k=4,venue=0|0".parse().unwrap();
+        let snap = qe.snapshot(None).unwrap();
+        assert_eq!(ids(&qe.query(&q).unwrap()), reference(&snap, &q));
+    }
+
+    #[test]
+    fn seeded_query_matches_dense_personalized_reference() {
+        let qe = engine();
+        let q: Query = "method=pagerank,k=12,seed=11".parse().unwrap();
+        let page = qe.query(&q).unwrap();
+        let snap = qe.snapshot(Some("pagerank")).unwrap();
+        let seed = SeedPersonalization::uniform(&[11], snap.n_papers()).unwrap();
+        let mut ws = KernelWorkspace::new();
+        let dense = dense_personalized(snap.network(), &seed, 0.5, &mut ws);
+        assert_eq!(ids(&page), reference_scored(&snap, &q, dense.as_slice()));
+        for hit in &page.items {
+            assert!(
+                (hit.score - dense[hit.id as usize]).abs() < 1e-9,
+                "paper {}: served {} vs dense {}",
+                hit.id,
+                hit.score,
+                dense[hit.id as usize]
+            );
+        }
+        // The second ask of the same seed set is a cache hit.
+        qe.query(&q).unwrap();
+        let stats = qe.personalization_stats();
+        assert_eq!(stats.hits, 1);
+        assert!(stats.cold_pushes + stats.fallbacks >= 1);
+    }
+
+    #[test]
+    fn seeded_queries_compose_with_facets_and_paginate() {
+        let qe = engine();
+        let snap = qe.snapshot(Some("pagerank")).unwrap();
+        let seed = SeedPersonalization::uniform(&[10, 11], snap.n_papers()).unwrap();
+        let mut ws = KernelWorkspace::new();
+        let dense = dense_personalized(snap.network(), &seed, 0.5, &mut ws);
+        for filter in ["", ",venue=0", ",year=2002..2009", ",author=0"] {
+            let full: Query = format!("method=pagerank,k=12,seed=10|11{filter}")
+                .parse()
+                .unwrap();
+            let want = reference_scored(&snap, &full, dense.as_slice());
+            let mut q: Query = format!("method=pagerank,k=2,seed=10|11{filter}")
+                .parse()
+                .unwrap();
+            let mut got = Vec::new();
+            loop {
+                let page = qe.query_at(&snap, &q).unwrap();
+                got.extend(ids(&page));
+                match page.next {
+                    Some(c) => q.cursor = Some(c),
+                    None => break,
+                }
+            }
+            assert_eq!(got, want, "seeded pages tile {filter:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_cursor_is_bound_to_the_seed_set() {
+        let qe = engine();
+        let page = qe
+            .query(&"method=pagerank,k=2,seed=11|4".parse().unwrap())
+            .unwrap();
+        let cursor = page.next.expect("12 papers match the empty filter");
+
+        // A different seed set walks a different ranking → rejected.
+        let mut q: Query = "method=pagerank,k=2,seed=11".parse().unwrap();
+        q.cursor = Some(cursor);
+        assert_eq!(qe.query(&q).unwrap_err(), QueryError::CursorMismatch);
+        // Same set in a different order is the same distribution (the
+        // fingerprint covers the *sorted* seeds) → resumes.
+        let mut q: Query = "method=pagerank,k=2,seed=4|11".parse().unwrap();
+        q.cursor = Some(cursor);
+        assert!(qe.query(&q).is_ok());
+        // An unseeded cursor cannot resume a seeded walk (or vice versa).
+        let unseeded = qe.query(&"method=pagerank,k=2".parse().unwrap()).unwrap();
+        let mut q: Query = "method=pagerank,k=2,seed=11|4".parse().unwrap();
+        q.cursor = unseeded.next;
+        assert_eq!(qe.query(&q).unwrap_err(), QueryError::CursorMismatch);
+    }
+
+    #[test]
+    fn seed_serve_time_errors_are_typed() {
+        let qe = engine();
+        // The default method (cc) has no damping factor.
+        let err = qe.query(&"k=3,seed=0".parse().unwrap()).unwrap_err();
+        assert!(
+            matches!(err, QueryError::SeedUnsupported { ref method } if method == "cc"),
+            "{err:?}"
+        );
+        // An out-of-range seed names the offending id.
+        let err = qe
+            .query(&"method=pagerank,k=3,seed=99".parse().unwrap())
+            .unwrap_err();
+        assert!(
+            matches!(&err, QueryError::BadValue { key, value }
+                if key == "seed" && value.starts_with("99")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn cost_model_refits_from_anchor_rows() {
+        // Both anchors measuring 2x the reference scale every constant
+        // by 2 (ratios between shapes preserved).
+        let json = r#"[
+          {"group": "index_vs_scan", "id": "author_posting_200k", "min_ns": 1722.0},
+          {"group": "index_vs_scan", "id": "author_mask_residual_200k", "min_ns": 536048.0}
+        ]"#;
+        let m = CostModel::from_bench_json(json).unwrap();
+        let baked = CostModel::default();
+        assert!((m.band_per_candidate - 2.0 * baked.band_per_candidate).abs() < 1e-9);
+        assert!((m.dedup_per_candidate - 2.0 * baked.dedup_per_candidate).abs() < 1e-9);
+        assert!((m.scan_per_id - 2.0 * baked.scan_per_id).abs() < 1e-9);
+        assert!((m.mask_insert - 2.0 * baked.mask_insert).abs() < 1e-9);
+        // Missing or degenerate anchors → None (callers fall back).
+        assert!(CostModel::from_bench_json("{}").is_none());
+        assert!(CostModel::from_bench_json(
+            r#"[{"group": "index_vs_scan", "id": "author_posting_200k", "min_ns": 10.0}]"#
+        )
+        .is_none());
+        assert!(CostModel::from_bench_json(
+            r#"[{"group": "index_vs_scan", "id": "author_posting_200k", "min_ns": 0.0},
+                {"group": "index_vs_scan", "id": "author_mask_residual_200k", "min_ns": 1.0}]"#
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn refit_cost_model_shifts_the_plan_crossover() {
+        // The 256-paper OR fixture from the mask test: under the baked
+        // model the 3-author OR pushes down to mask algebra. On a
+        // machine whose scan/mask side measures 10x slower (posting
+        // anchor unchanged), the banded drive is the cheaper plan — the
+        // refit must flip the planner's choice.
+        let mut b = NetworkBuilder::new();
+        for i in 0..256u32 {
+            let authors = if i % 16 < 3 { vec![i % 16] } else { vec![] };
+            b.add_paper_with_metadata(2000, authors, None);
+        }
+        for i in 1..256u32 {
+            b.add_citation(i, i - 1).unwrap();
+        }
+        let net = b.build().unwrap();
+        let q: Query = "k=5,author=0|1|2".parse().unwrap();
+        assert!(matches!(
+            plan(&net, &q, &CostModel::default()).unwrap().driver,
+            QueryDriver::MaskAlgebra { .. }
+        ));
+        let json = r#"[
+          {"group": "index_vs_scan", "id": "author_posting_200k", "min_ns": 861.0},
+          {"group": "index_vs_scan", "id": "author_mask_residual_200k", "min_ns": 2680240.0}
+        ]"#;
+        let refit = CostModel::from_bench_json(json).unwrap();
+        assert!(matches!(
+            plan(&net, &q, &refit).unwrap().driver,
+            QueryDriver::AuthorBands { .. }
+        ));
+        // The engine surface honors an installed model the same way.
+        let mut qe = QueryEngine::from_configs(net, &["cc"], RerankPolicy::Manual).unwrap();
+        qe.set_cost_model(refit);
+        assert!(matches!(
+            qe.explain(&q).unwrap().driver,
+            QueryDriver::AuthorBands { .. }
+        ));
     }
 }

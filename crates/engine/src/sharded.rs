@@ -55,14 +55,20 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use citegraph::{CitationNetwork, GraphDelta, PaperId, ShardPlan, ShardPlanError};
+use citegraph::{
+    CitationNetwork, GraphDelta, PaperId, SeedPersonalization, ShardPlan, ShardPlanError,
+};
 use graphstore::{fnv1a64, fnv1a64_with, ShardManifest, Store};
-use sparsela::{cmp_score_desc, merge_k_sorted, top_k_filtered, top_k_indices, top_k_where};
+use sparsela::{
+    cmp_score_desc, merge_k_sorted, top_k_filtered, top_k_indices, top_k_where, ScoreVec,
+};
 
 use crate::engine::{
     ColdStart, EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy, WarmupReport,
 };
-use crate::query::{Hit, Query, QueryError};
+use crate::personalization::{CacheConfig, PersonalizationCache};
+use crate::query::{seed_error_to_query, CompareRow, Hit, Query, QueryError};
+use crate::spec::MethodSpec;
 
 /// Errors from the sharded serving layer.
 #[derive(Debug)]
@@ -86,6 +92,10 @@ pub enum ShardedError {
     /// The cursor belongs to a different method or filter set (or the
     /// query carried an unsharded cursor in [`Query::cursor`]).
     CursorMismatch,
+    /// Compare mode was asked to join two sharded engines whose shard
+    /// plans disagree (different band starts) — their global ids name
+    /// different papers, so a row-wise join would be meaningless.
+    PlanMismatch,
 }
 
 impl fmt::Display for ShardedError {
@@ -104,6 +114,12 @@ impl fmt::Display for ShardedError {
             ),
             Self::CursorMismatch => {
                 write!(f, "shard cursor does not match this method + filter set")
+            }
+            Self::PlanMismatch => {
+                write!(
+                    f,
+                    "sharded compare needs both engines on the same shard plan"
+                )
             }
         }
     }
@@ -267,6 +283,26 @@ pub struct ShardedPage {
     pub shards_total: usize,
 }
 
+/// The result of [`ShardedEngine::compare`]: the primary engine's
+/// scatter-gather page joined against a second sharded engine's composed
+/// ranking — the sharded analogue of [`crate::query::Comparison`], with
+/// epoch-set keys in place of single epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedComparison {
+    /// Primary method's canonical config string.
+    pub method_a: String,
+    /// Secondary (`vs`) method's canonical config string.
+    pub method_b: String,
+    /// Epoch-set key of the primary engine's pinned snapshots.
+    pub epoch_key_a: u64,
+    /// Epoch-set key of the secondary engine's pinned snapshots.
+    pub epoch_key_b: u64,
+    /// Joined rows, in the primary page's order.
+    pub rows: Vec<CompareRow>,
+    /// The primary page (cursor, match count) the rows were built from.
+    pub page: ShardedPage,
+}
+
 /// What one routed ingest did.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedIngestReport {
@@ -278,6 +314,12 @@ pub struct ShardedIngestReport {
     /// The tail engine's ingest report.
     pub report: IngestReport,
 }
+
+/// One shard's contribution to a seeded query: `None` when the shard
+/// holds no seeds (its personalized scores are identically zero), else
+/// the shard-local score vector plus the shard's share of the global
+/// seed mass (a score multiplier at merge time).
+type SeededShard = Option<(Arc<ScoreVec>, f64)>;
 
 /// One ranking method served over a sharded corpus: per-shard
 /// [`RankingEngine`]s behind one routed write path and one
@@ -292,6 +334,10 @@ pub struct ShardedEngine {
     /// Cross-shard citations absorbed so far (partition-time drops plus
     /// routed-ingest drops).
     boundary_edges: AtomicUsize,
+    /// Engine-wide personalization cache for `seed=` queries; entries
+    /// are keyed per shard (the label carries the shard index), so one
+    /// LRU budget covers the whole partition.
+    cache: PersonalizationCache,
 }
 
 impl ShardedEngine {
@@ -332,6 +378,7 @@ impl ShardedEngine {
             starts: plan.boundaries()[..n_shards].to_vec(),
             shards,
             boundary_edges: AtomicUsize::new(dropped_total),
+            cache: PersonalizationCache::new(CacheConfig::default()),
         })
     }
 
@@ -437,6 +484,60 @@ impl ShardedEngine {
         self.query_at(&self.snapshots(), q, cursor)
     }
 
+    /// Per-shard personalized score vectors for a seeded query: the
+    /// global seed set is validated once against the pinned corpus
+    /// (typed [`QueryError::BadValue`] naming the offending id), each
+    /// seed routed to its owning band via [`ShardSnapshots::locate`],
+    /// and each seeded shard solved on its own subgraph through the
+    /// engine-wide [`PersonalizationCache`] (cache keys carry the shard
+    /// index). `Ok(None)` for unseeded queries.
+    ///
+    /// In the `Some` vector, a `None` entry means the shard holds no
+    /// seeds. Boundary edges are teleport-absorbed at partition time,
+    /// so personalization mass cannot leave a shard: an unseeded
+    /// shard's personalized scores are identically zero and the shard
+    /// prunes exactly like a disjoint year band. Each seeded shard's
+    /// entry carries its share of the seed mass (`local seeds / total
+    /// seeds`) as a score multiplier, so the merged runs compare under
+    /// the *global* uniform seed distribution.
+    fn seeded_shard_scores(
+        &self,
+        snaps: &ShardSnapshots,
+        q: &Query,
+    ) -> Result<Option<Vec<SeededShard>>, ShardedError> {
+        if q.seeds.is_empty() {
+            return Ok(None);
+        }
+        let spec: MethodSpec = self.method.parse().map_err(QueryError::from)?;
+        let alpha = spec.damping().ok_or_else(|| {
+            ShardedError::Query(QueryError::SeedUnsupported {
+                method: self.method.clone(),
+            })
+        })?;
+        SeedPersonalization::uniform(&q.seeds, snaps.n_papers())
+            .map_err(|e| ShardedError::Query(seed_error_to_query(e)))?;
+        let mut locals: Vec<Vec<PaperId>> = vec![Vec::new(); snaps.n_shards()];
+        for &g in &q.seeds {
+            let (s, local) = snaps.locate(g);
+            locals[s].push(local);
+        }
+        let total = q.seeds.len() as f64;
+        let mut per = Vec::with_capacity(snaps.n_shards());
+        for (s, ids) in locals.iter().enumerate() {
+            if ids.is_empty() {
+                per.push(None);
+                continue;
+            }
+            let snap = snaps.snapshot(s);
+            let seed = SeedPersonalization::uniform(ids, snap.n_papers())
+                .map_err(|e| ShardedError::Query(seed_error_to_query(e)))?;
+            let label = format!("{}#s{s}", self.method);
+            let (scores, _) = self.cache.scores(&label, snap, &seed, alpha);
+            per.push(Some((scores, ids.len() as f64 / total)));
+        }
+        Ok(Some(per))
+    }
+
     /// Scatter-gather execution of `q` against a pinned epoch set.
     ///
     /// Year-filtered queries first **prune**: a shard whose year span
@@ -452,9 +553,18 @@ impl ShardedEngine {
     /// and the per-shard runs (each already in `cmp_score_desc` order
     /// over global ids) merge through [`merge_k_sorted`].
     ///
-    /// `q.method` / `q.vs` are ignored (this engine serves one method);
-    /// `q.cursor` must be `None` — sharded pagination uses the `cursor`
-    /// argument and mints [`ShardCursor`]s.
+    /// Seeded queries (`seed=`) rank by per-shard personalized solves
+    /// (see `Self::seeded_shard_scores`): seeds route to their owning
+    /// bands, shards holding no seeds prune (their personalized mass is
+    /// identically zero under the teleport-absorbed boundary model),
+    /// and repeat seed sets serve from the engine-wide cache. The
+    /// cursor fingerprint covers the sorted seed set, so a cursor never
+    /// resumes under a different personalization.
+    ///
+    /// `q.method` / `q.vs` are ignored (this engine serves one method;
+    /// compare mode is [`Self::compare`]); `q.cursor` must be `None` —
+    /// sharded pagination uses the `cursor` argument and mints
+    /// [`ShardCursor`]s.
     pub fn query_at(
         &self,
         snaps: &ShardSnapshots,
@@ -465,6 +575,7 @@ impl ShardedEngine {
             return Err(ShardedError::CursorMismatch);
         }
         validate_facets(snaps, q)?;
+        let seeded = self.seeded_shard_scores(snaps, q)?;
         let fp = fingerprint(&self.method, q);
         let key = snaps.epoch_key();
         let frontier: Option<(f64, PaperId)> = match cursor {
@@ -490,6 +601,15 @@ impl ShardedEngine {
         let mut shards_scanned = 0usize;
         for s in 0..shards_total {
             let snap = &snaps.snaps[s];
+            let personalized = match &seeded {
+                None => None,
+                Some(per) => match &per[s] {
+                    // Pruned: no seed mass reaches this band, so every
+                    // personalized score in it is exactly zero.
+                    None => continue,
+                    Some((v, scale)) => Some((v.as_slice(), *scale)),
+                },
+            };
             if has_year {
                 let net = snap.network();
                 let (Some(first), Some(last)) = (net.first_year(), net.current_year()) else {
@@ -502,7 +622,7 @@ impl ShardedEngine {
                 }
             }
             shards_scanned += 1;
-            let (run, matched) = collect_shard(snap, snaps.starts[s], q, frontier);
+            let (run, matched) = collect_shard(snap, snaps.starts[s], q, frontier, personalized);
             matched_total += matched;
             if !run.is_empty() {
                 runs.push(run);
@@ -542,6 +662,68 @@ impl ShardedEngine {
             next,
             shards_scanned,
             shards_total,
+        })
+    }
+
+    /// Compare mode over the sharded surface: the primary page under
+    /// this engine's method (filters, pagination, `seed=` all apply),
+    /// each hit joined with its score and **composed global rank** under
+    /// both engines — the sharded serving of `vs=` queries (the driver
+    /// resolves `q.vs` to `other`). Both engines must share the same
+    /// shard starts, else their global ids name different papers
+    /// ([`ShardedError::PlanMismatch`]).
+    ///
+    /// Ranks are 1-based positions in the cross-shard `cmp_score_desc`
+    /// merge of each engine's pinned snapshots: per-shard descending
+    /// runs are built once per call, then each row costs one
+    /// `partition_point` per shard (the page is at most `k` rows, so
+    /// the per-shard sorts dominate and amortize over the page). A hit
+    /// past the secondary engine's coverage — its tail has not ingested
+    /// that paper yet — joins as `None`, mirroring the flat engine.
+    /// Under `seed=` the page's *scores* are personalized while both
+    /// rank columns stay global.
+    pub fn compare(
+        &self,
+        other: &ShardedEngine,
+        q: &Query,
+        cursor: Option<&ShardCursor>,
+    ) -> Result<ShardedComparison, ShardedError> {
+        if self.starts != other.starts {
+            return Err(ShardedError::PlanMismatch);
+        }
+        let snaps_a = self.snapshots();
+        let snaps_b = other.snapshots();
+        let page = self.query_at(&snaps_a, q, cursor)?;
+        let orders_a = rank_orders(&snaps_a);
+        let orders_b = rank_orders(&snaps_b);
+        let covered_b = snaps_b.n_papers();
+        let rows = page
+            .items
+            .iter()
+            .map(|hit| {
+                let in_b = (hit.id as usize) < covered_b;
+                let score_b = in_b
+                    .then(|| {
+                        let (s, local) = snaps_b.locate(hit.id);
+                        snaps_b.snapshot(s).score(local)
+                    })
+                    .flatten();
+                CompareRow {
+                    id: hit.id,
+                    score_a: hit.score,
+                    rank_a: composed_rank(&orders_a, &snaps_a, hit.id),
+                    score_b,
+                    rank_b: in_b.then(|| composed_rank(&orders_b, &snaps_b, hit.id)),
+                }
+            })
+            .collect();
+        Ok(ShardedComparison {
+            method_a: self.method.clone(),
+            method_b: other.method.clone(),
+            epoch_key_a: page.epoch_key,
+            epoch_key_b: snaps_b.epoch_key(),
+            rows,
+            page,
         })
     }
 
@@ -668,6 +850,7 @@ impl ShardedEngine {
             starts: manifest.boundaries[..n_shards].to_vec(),
             shards,
             boundary_edges: AtomicUsize::new(0),
+            cache: PersonalizationCache::new(CacheConfig::default()),
         };
         Ok(ShardedColdStart {
             engine,
@@ -700,13 +883,21 @@ impl ShardedColdStart {
 
 /// Method + filter identity a [`ShardCursor`] is bound to (page size and
 /// cursor position intentionally excluded — same scheme as the unsharded
-/// cursor fingerprint).
+/// cursor fingerprint). The seed set folds in *sorted*, so two spellings
+/// of one seed set share cursors while any different set — including the
+/// empty one — mismatches.
 fn fingerprint(method: &str, q: &Query) -> u64 {
     let filters = format!(
         "|{:?}|{:?}|{:?}|{:?}",
         q.year_min, q.year_max, q.venues, q.authors
     );
-    fnv1a64_with(fnv1a64(method.as_bytes()), filters.as_bytes())
+    let mut fp = fnv1a64_with(fnv1a64(method.as_bytes()), filters.as_bytes());
+    if !q.seeds.is_empty() {
+        let mut seeds = q.seeds.clone();
+        seeds.sort_unstable();
+        fp = fnv1a64_with(fp, format!("|seed{seeds:?}").as_bytes());
+    }
+    fp
 }
 
 /// Typed facet validation against the pinned set **as a whole**: ids are
@@ -741,6 +932,41 @@ fn validate_facets(snaps: &ShardSnapshots, q: &Query) -> Result<(), QueryError> 
     Ok(())
 }
 
+/// Per-shard `(score, global id)` runs in composed best-first order —
+/// the rank substrate [`ShardedEngine::compare`] builds once per call.
+fn rank_orders(snaps: &ShardSnapshots) -> Vec<Vec<(f64, PaperId)>> {
+    (0..snaps.n_shards())
+        .map(|s| {
+            let snap = snaps.snapshot(s);
+            let start = snaps.start(s);
+            let mut run: Vec<(f64, PaperId)> = snap
+                .scores()
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(l, &sc)| (sc, start + l as PaperId))
+                .collect();
+            run.sort_by(|&(xs, xi), &(ys, yi)| cmp_score_desc(xs, xi, ys, yi));
+            run
+        })
+        .collect()
+}
+
+/// 1-based rank of a covered `id` under the composed cross-shard order:
+/// one `partition_point` per shard counts the entries strictly better.
+fn composed_rank(orders: &[Vec<(f64, PaperId)>], snaps: &ShardSnapshots, id: PaperId) -> usize {
+    let (s, local) = snaps.locate(id);
+    let score = snaps.snapshot(s).score(local).expect("id is covered");
+    1 + orders
+        .iter()
+        .map(|run| {
+            run.partition_point(|&(sc, sid)| {
+                cmp_score_desc(sc, sid, score, id) == std::cmp::Ordering::Less
+            })
+        })
+        .sum::<usize>()
+}
+
 /// Per-shard candidate driver (the sharded mirror of the unsharded
 /// planner's choice, minus the cursor-only special case and the mask
 /// fallback — per-shard candidate sets are already band-pruned).
@@ -760,6 +986,12 @@ enum Driver {
 /// or a missing local table — means "no matching papers here", never an
 /// error.
 ///
+/// `personalized` replaces the snapshot's scores with a seeded solve and
+/// its share of the global seed mass: every score read is scaled by the
+/// share, so runs from differently-seeded shards merge under the global
+/// distribution. A positive scale preserves the in-shard order the
+/// selection kernels assume, so `top_k_*` still run on the raw slice.
+///
 /// Within one shard, ordering by local id ties equals ordering by global
 /// id ties (`global = start + local` is monotone), so per-shard kernel
 /// output merges globally without re-sorting.
@@ -768,14 +1000,18 @@ fn collect_shard(
     start: PaperId,
     q: &Query,
     frontier: Option<(f64, PaperId)>,
+    personalized: Option<(&[f64], f64)>,
 ) -> (Vec<(f64, PaperId)>, usize) {
     let net = snap.network();
-    let scores = snap.scores().as_slice();
+    let (scores, scale) = match personalized {
+        Some((s, m)) => (s, m),
+        None => (snap.scores().as_slice(), 1.0),
+    };
     let n = net.n_papers();
     let after = |local: PaperId| match frontier {
         None => true,
         Some((cs, cid)) => {
-            cmp_score_desc(scores[local as usize], start + local, cs, cid)
+            cmp_score_desc(scores[local as usize] * scale, start + local, cs, cid)
                 == std::cmp::Ordering::Greater
         }
     };
@@ -803,7 +1039,7 @@ fn collect_shard(
         let ids = top_k_indices(scores, q.k);
         let run = ids
             .into_iter()
-            .map(|l| (scores[l as usize], start + l))
+            .map(|l| (scores[l as usize] * scale, start + l))
             .collect();
         return (run, n);
     }
@@ -902,7 +1138,7 @@ fn collect_shard(
     };
     let run = ids
         .into_iter()
-        .map(|l| (scores[l as usize], start + l))
+        .map(|l| (scores[l as usize] * scale, start + l))
         .collect();
     (run, matched)
 }
@@ -910,7 +1146,9 @@ fn collect_shard(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use citegraph::{NetworkBuilder, ShardSpec, Year};
+    use crate::query::QueryEngine;
+    use citegraph::{dense_personalized, NetworkBuilder, ShardSpec, Year};
+    use sparsela::KernelWorkspace;
 
     /// 12 papers over 2000–2011 with venues and authors (same shape as
     /// the query-layer fixture): venue `id % 3` (2 → none), authors
@@ -941,9 +1179,41 @@ mod tests {
     }
 
     fn sharded(n: usize) -> ShardedEngine {
+        sharded_with(n, "cc")
+    }
+
+    fn sharded_with(n: usize, config: &str) -> ShardedEngine {
         let net = corpus();
         let plan = ShardSpec::Fixed(n).plan(&net).unwrap();
-        ShardedEngine::from_plan(&net, &plan, "cc", RerankPolicy::EveryBatch).unwrap()
+        ShardedEngine::from_plan(&net, &plan, config, RerankPolicy::EveryBatch).unwrap()
+    }
+
+    /// Brute-force seeded reference: the documented composition model —
+    /// a dense personalized solve per seeded shard, scaled by that
+    /// shard's share of the seed mass, unseeded shards absent.
+    fn seeded_reference(eng: &ShardedEngine, seeds: &[PaperId], alpha: f64) -> Vec<(f64, PaperId)> {
+        let snaps = eng.snapshots();
+        let mut locals: Vec<Vec<PaperId>> = vec![Vec::new(); snaps.n_shards()];
+        for &g in seeds {
+            let (s, l) = snaps.locate(g);
+            locals[s].push(l);
+        }
+        let mut all = Vec::new();
+        let mut ws = KernelWorkspace::new();
+        for (s, ids) in locals.iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let snap = snaps.snapshot(s);
+            let seed = SeedPersonalization::uniform(ids, snap.n_papers()).unwrap();
+            let dense = dense_personalized(snap.network(), &seed, alpha, &mut ws);
+            let scale = ids.len() as f64 / seeds.len() as f64;
+            for (l, &sc) in dense.as_slice().iter().enumerate() {
+                all.push((sc * scale, snaps.start(s) + l as PaperId));
+            }
+        }
+        all.sort_by(|&(xs, xi), &(ys, yi)| cmp_score_desc(xs, xi, ys, yi));
+        all
     }
 
     /// Brute-force reference over a pinned set: every (score, global id)
@@ -1253,6 +1523,171 @@ mod tests {
         assert_eq!(epochs.len(), 3);
         assert!(epochs.iter().all(|&e| e >= 1));
         assert_ne!(eng.snapshots().epoch_key(), before);
+    }
+
+    #[test]
+    fn seeded_sharded_matches_flat_on_one_shard() {
+        // The 1-shard plan drops no edges, so seed= must serve exactly
+        // the flat engine's personalized ranking — bitwise.
+        let eng = sharded_with(1, "pagerank");
+        let flat =
+            QueryEngine::from_configs(corpus(), &["pagerank"], RerankPolicy::EveryBatch).unwrap();
+        let q: Query = "k=12,seed=3|7".parse().unwrap();
+        let page = eng.query(&q, None).unwrap();
+        let flat_page = flat.query(&q).unwrap();
+        assert_eq!(
+            ids(&page),
+            flat_page.items.iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+        for (a, b) in page.items.iter().zip(&flat_page.items) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert_eq!(page.matched, flat_page.matched);
+    }
+
+    #[test]
+    fn seed_routing_prunes_unseeded_bands() {
+        let eng = sharded_with(4, "pagerank"); // 3 papers per band
+                                               // All seeds in band 0: every other band holds zero seed mass and
+                                               // prunes like a disjoint year filter.
+        let page = eng.query(&"k=12,seed=0|2".parse().unwrap(), None).unwrap();
+        assert_eq!(page.shards_total, 4);
+        assert_eq!(page.shards_scanned, 1, "only the seeded band is read");
+        assert_eq!(page.matched, 3, "only band 0's papers are candidates");
+        assert!(ids(&page).iter().all(|&id| id < 3));
+        // Seeds spanning two bands scan exactly those two.
+        let page = eng.query(&"k=12,seed=1|10".parse().unwrap(), None).unwrap();
+        assert_eq!(page.shards_scanned, 2);
+        assert_eq!(page.matched, 6);
+        // A repeat of either seed set is served from the cache.
+        let hits_before = eng.cache.stats().hits;
+        eng.query(&"k=12,seed=0|2".parse().unwrap(), None).unwrap();
+        assert!(eng.cache.stats().hits > hits_before);
+    }
+
+    #[test]
+    fn seeded_multi_shard_composes_scaled_per_band_solves() {
+        let eng = sharded_with(2, "pagerank");
+        let seeds = [1u32, 7, 8];
+        let want = seeded_reference(&eng, &seeds, 0.5);
+        let q: Query = "k=12,seed=1|7|8".parse().unwrap();
+        let page = eng.query(&q, None).unwrap();
+        let want_ids: Vec<PaperId> = want.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids(&page), want_ids);
+        for (hit, &(score, id)) in page.items.iter().zip(&want) {
+            assert_eq!(hit.id, id);
+            assert!(
+                (hit.score - score).abs() < 1e-9,
+                "paper {id}: served {} vs scaled dense {score}",
+                hit.score
+            );
+        }
+        // Facets and year filters compose with the personalized scores,
+        // and seeded pages tile the composed order.
+        for filter in ["", ",venue=0", ",year=2002..2010", ",author=0"] {
+            let full: Query = format!("k=12,seed=1|7|8{filter}").parse().unwrap();
+            let snaps = eng.snapshots();
+            let full_page = eng.query_at(&snaps, &full, None).unwrap();
+            let mut got = Vec::new();
+            let mut cursor: Option<ShardCursor> = None;
+            let q: Query = format!("k=2,seed=1|7|8{filter}").parse().unwrap();
+            loop {
+                let page = eng.query_at(&snaps, &q, cursor.as_ref()).unwrap();
+                got.extend(ids(&page));
+                match page.next {
+                    Some(c) => cursor = Some(c),
+                    None => break,
+                }
+            }
+            assert_eq!(got, ids(&full_page), "seeded pages tile {filter:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_cursors_and_errors_are_typed() {
+        let eng = sharded_with(2, "pagerank");
+        let snaps = eng.snapshots();
+        let page = eng
+            .query_at(&snaps, &"k=2,seed=1|7".parse().unwrap(), None)
+            .unwrap();
+        let cursor = page.next.expect("12 candidates at k=2");
+        // Different seed set → CursorMismatch; reordered same set resumes.
+        assert!(matches!(
+            eng.query_at(&snaps, &"k=2,seed=1".parse().unwrap(), Some(&cursor)),
+            Err(ShardedError::CursorMismatch)
+        ));
+        assert!(eng
+            .query_at(&snaps, &"k=2,seed=7|1".parse().unwrap(), Some(&cursor))
+            .is_ok());
+        // An unseeded query cannot resume a seeded cursor.
+        assert!(matches!(
+            eng.query_at(&snaps, &"k=2".parse().unwrap(), Some(&cursor)),
+            Err(ShardedError::CursorMismatch)
+        ));
+        // A method with no damping factor rejects seed= with the typed
+        // serve-time error; out-of-range seeds name the offending id.
+        let cc = sharded(2);
+        assert!(matches!(
+            cc.query(&"k=2,seed=1".parse().unwrap(), None),
+            Err(ShardedError::Query(QueryError::SeedUnsupported { ref method })) if method == "cc"
+        ));
+        assert!(matches!(
+            eng.query(&"k=2,seed=99".parse().unwrap(), None),
+            Err(ShardedError::Query(QueryError::BadValue { ref key, ref value }))
+                if key == "seed" && value.starts_with("99")
+        ));
+    }
+
+    #[test]
+    fn compare_on_one_shard_matches_the_flat_engine() {
+        let a = sharded_with(1, "cc");
+        let b = sharded_with(1, "pagerank");
+        let flat =
+            QueryEngine::from_configs(corpus(), &["cc", "pagerank"], RerankPolicy::EveryBatch)
+                .unwrap();
+        for s in ["k=5", "k=4,venue=0", "k=12,author=1,year=2002..2009"] {
+            let q: Query = format!("{s},vs=pagerank").parse().unwrap();
+            let cmp = a.compare(&b, &q, None).unwrap();
+            let flat_cmp = flat.compare(&q).unwrap();
+            assert_eq!(cmp.rows, flat_cmp.rows, "{s}");
+            assert_eq!(cmp.page.matched, flat_cmp.page.matched, "{s}");
+        }
+    }
+
+    #[test]
+    fn compare_joins_composed_ranks_across_shards() {
+        let a = sharded(3);
+        let b = sharded_with(3, "pagerank");
+        let q: Query = "k=12".parse().unwrap();
+        let cmp = a.compare(&b, &q, None).unwrap();
+        assert_eq!(cmp.method_a, "cc");
+        assert_eq!(cmp.rows.len(), 12);
+        // The unfiltered page IS the primary composed order.
+        let ranks_a: Vec<usize> = cmp.rows.iter().map(|r| r.rank_a).collect();
+        assert_eq!(ranks_a, (1..=12).collect::<Vec<_>>());
+        // rank_b is each hit's 1-based position in b's composed top-k.
+        let order_b = b.top_k(12);
+        for row in &cmp.rows {
+            let pos = order_b.iter().position(|&id| id == row.id).unwrap();
+            assert_eq!(row.rank_b, Some(pos + 1), "paper {}", row.id);
+            let (s, local) = b.snapshots().locate(row.id);
+            assert_eq!(row.score_b, b.snapshots().snapshot(s).score(local));
+        }
+        // Mismatched plans cannot join.
+        assert!(matches!(
+            a.compare(&sharded_with(2, "pagerank"), &q, None),
+            Err(ShardedError::PlanMismatch)
+        ));
+        // A hit past b's coverage (a's tail ingested a paper b has not
+        // seen) joins as None, mirroring the flat engine.
+        let mut delta = GraphDelta::new();
+        delta.add_paper(2012);
+        delta.add_citation(12, 11);
+        a.ingest(&delta).unwrap();
+        let cmp = a.compare(&b, &"k=13".parse().unwrap(), None).unwrap();
+        let tail_row = cmp.rows.iter().find(|r| r.id == 12).unwrap();
+        assert_eq!(tail_row.score_b, None);
+        assert_eq!(tail_row.rank_b, None);
     }
 
     #[test]

@@ -213,6 +213,22 @@ impl MethodSpec {
         }
     }
 
+    /// The damping factor `α` of methods whose fixed point is
+    /// `x = α·S·x + b` on the citation stochastic operator — the family
+    /// that supports seed-set personalization (swap `b` for a seed
+    /// distribution and the same push solver applies). `None` for methods
+    /// outside that family (HITS, Katz, ECM, WSDM, citation count,
+    /// ensembles): their recurrences run on different operators, so a
+    /// personalized variant is not defined for them.
+    pub fn damping(&self) -> Option<f64> {
+        match *self {
+            MethodSpec::AttRank { alpha, .. } => Some(alpha),
+            MethodSpec::PageRank { d } => Some(d),
+            MethodSpec::CiteRank { alpha, .. } => Some(alpha),
+            _ => None,
+        }
+    }
+
     /// Convenience constructor for a validated AttRank spec.
     pub fn attrank(alpha: f64, beta: f64, y: u32, w: f64) -> Result<Self, SpecError> {
         let spec = MethodSpec::AttRank { alpha, beta, y, w };
@@ -825,6 +841,31 @@ mod tests {
             "ram:gamma".parse::<MethodSpec>(),
             Err(SpecError::Syntax { .. })
         ));
+    }
+
+    #[test]
+    fn damping_covers_the_push_family_only() {
+        assert_eq!(
+            "pagerank:d=0.85".parse::<MethodSpec>().unwrap().damping(),
+            Some(0.85)
+        );
+        assert_eq!(
+            "attrank:alpha=0.2,beta=0.4"
+                .parse::<MethodSpec>()
+                .unwrap()
+                .damping(),
+            Some(0.2)
+        );
+        assert_eq!(
+            "citerank:alpha=0.31,tau=1.6"
+                .parse::<MethodSpec>()
+                .unwrap()
+                .damping(),
+            Some(0.31)
+        );
+        for outside in ["cc", "hits", "katz", "wsdm", "ram", "ecm"] {
+            assert_eq!(outside.parse::<MethodSpec>().unwrap().damping(), None);
+        }
     }
 
     #[test]
