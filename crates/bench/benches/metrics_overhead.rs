@@ -1,0 +1,56 @@
+//! Observability overhead: the instrumented query path against the bare
+//! one — same corpus, same snapshot, same selective query.
+//!
+//! Two rungs at 50k papers (DBLP profile):
+//!
+//! * `selective_venue_bare` — a `QueryEngine` without metrics: queries
+//!   take the plain `execute` fast path (no clock reads, no atomics);
+//! * `selective_venue_instrumented` — the same engine with the metrics
+//!   registry enabled: two `Instant::now` reads plus a handful of
+//!   relaxed atomic bumps (planner counter, latency histogram bin +
+//!   sum) per query.
+//!
+//! `repro bench-check` gates `instrumented / bare ≤ 1.10` by min
+//! wall-clock, keeping instrumentation within 10% of the bare path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use citegen::{generate, DatasetProfile};
+use citegraph::{CitationNetwork, VenueId};
+use rankengine::{Query, QueryEngine, RerankPolicy};
+
+/// The most-populated venue — a *selective* predicate that still has
+/// comfortably more than k matches.
+fn busiest_venue(net: &CitationNetwork) -> VenueId {
+    let venues = net.venues().expect("DBLP profile has venues");
+    (0..venues.n_venues() as VenueId)
+        .max_by_key(|&v| venues.n_papers_at(v))
+        .expect("at least one venue")
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    let net = generate(&DatasetProfile::dblp().scaled(50_000), 7);
+    let venue = busiest_venue(&net);
+    let q: Query = format!("k=10,venue={venue}").parse().unwrap();
+
+    let bare =
+        QueryEngine::from_configs(net.clone(), &["cc"], RerankPolicy::Manual).expect("cc builds");
+    let snap_bare = bare.snapshot(None).expect("default method");
+    group.bench_function("selective_venue_bare", |b| {
+        b.iter(|| black_box(bare.query_at(&snap_bare, black_box(&q)).unwrap()))
+    });
+
+    let mut instrumented =
+        QueryEngine::from_configs(net, &["cc"], RerankPolicy::Manual).expect("cc builds");
+    instrumented.enable_metrics();
+    let snap_ins = instrumented.snapshot(None).expect("default method");
+    group.bench_function("selective_venue_instrumented", |b| {
+        b.iter(|| black_box(instrumented.query_at(&snap_ins, black_box(&q)).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

@@ -98,6 +98,9 @@ pub fn is_guarded(r: &BenchRecord) -> bool {
         // The personalized group is guarded except its dense-solve
         // reference row, which exists only to form the push ratio.
         || (r.group == "personalized" && !r.id.contains("dense_solve"))
+        // The metrics group is guarded except its bare reference row,
+        // which exists only to form the instrumentation-overhead ratio.
+        || (r.group == "metrics_overhead" && !r.id.contains("bare"))
 }
 
 /// The cold-start speedup recorded in a report: `min_ns` of the TSV
@@ -276,6 +279,31 @@ pub fn personalized_warm_speedup(records: &[BenchRecord]) -> Option<f64> {
 /// Acceptance floor for [`personalized_warm_speedup`] (ISSUE 8: a warm
 /// re-push after a 1% delta must beat re-solving cold).
 pub const MIN_PERSONALIZED_WARM_SPEEDUP: f64 = 1.0;
+
+/// The instrumentation overhead recorded in a report: `min_ns` of the
+/// metered query path (`selective_venue_instrumented`) over the bare one
+/// (`selective_venue_bare`), both in the `metrics_overhead` group on the
+/// same corpus and query. `None` when either record is absent.
+///
+/// A ratio of two measurements from the same run, so — like the other
+/// ratio gates — it holds across machines and is enforced directly by
+/// `repro bench-check`.
+pub fn metrics_overhead_ratio(records: &[BenchRecord]) -> Option<f64> {
+    let find = |needle: &str| {
+        records
+            .iter()
+            .find(|r| r.group == "metrics_overhead" && r.id.contains(needle))
+            .map(|r| r.min_ns)
+    };
+    let instrumented = find("instrumented")?;
+    let bare = find("bare")?;
+    Some(instrumented / bare.max(1.0))
+}
+
+/// Acceptance ceiling for [`metrics_overhead_ratio`] (ISSUE 9: the
+/// instrumented query path within 10% of the bare one by min
+/// wall-clock).
+pub const MAX_METRICS_OVERHEAD_RATIO: f64 = 1.10;
 
 /// Outcome of one guarded comparison.
 #[derive(Debug)]
@@ -483,6 +511,35 @@ mod tests {
         assert_eq!(personalized_cache_speedup(&records[..2]), None);
         assert_eq!(personalized_warm_speedup(&records[..3]), None);
         assert_eq!(personalized_push_speedup(&[]), None);
+    }
+
+    #[test]
+    fn metrics_group_guard_excludes_the_bare_reference() {
+        let rec = |id: &str| BenchRecord {
+            group: "metrics_overhead".into(),
+            id: id.into(),
+            min_ns: 1.0,
+        };
+        assert!(is_guarded(&rec("selective_venue_instrumented")));
+        assert!(!is_guarded(&rec("selective_venue_bare")));
+    }
+
+    #[test]
+    fn metrics_overhead_is_the_min_ns_ratio() {
+        let rec = |id: &str, min_ns: f64| BenchRecord {
+            group: "metrics_overhead".into(),
+            id: id.into(),
+            min_ns,
+        };
+        let records = vec![
+            rec("selective_venue_bare", 40_000.0),
+            rec("selective_venue_instrumented", 42_000.0),
+        ];
+        assert_eq!(metrics_overhead_ratio(&records), Some(1.05));
+        // Either side missing → no ratio.
+        assert_eq!(metrics_overhead_ratio(&records[..1]), None);
+        assert_eq!(metrics_overhead_ratio(&records[1..]), None);
+        assert_eq!(metrics_overhead_ratio(&[]), None);
     }
 
     #[test]

@@ -69,8 +69,9 @@ fn main() -> ExitCode {
         eprintln!("             fig2corr fig2ndcg fig3 fig4 fig5 convergence");
         eprintln!("             robustness significance bench-check all");
         eprintln!("             export <stem> | import <stem> | compact <stem>");
-        eprintln!("             query <grammar>   (e.g. query \"venue=3,year=2005..,k=10\")");
+        eprintln!("             query <grammar> [--metrics]   (e.g. query \"venue=3,k=10\")");
         eprintln!("             related <paper-id> [--k N]   (seed-personalized top-k)");
+        eprintln!("             metrics   (scripted workload -> Prometheus exposition)");
         return ExitCode::FAILURE;
     };
 
@@ -84,6 +85,7 @@ fn main() -> ExitCode {
         "compact" => return run_compact(rest.get(1)),
         "query" => return run_query(&opts, rest.get(1)),
         "related" => return run_related(&opts, rest.get(1)),
+        "metrics" => return run_metrics(&opts),
         _ => {}
     }
 
@@ -338,6 +340,22 @@ fn run_bench_check() -> ExitCode {
                 benchcheck::MIN_PERSONALIZED_WARM_SPEEDUP
             );
         }
+        // Overhead ratio: a *ceiling*, not a floor — instrumentation must
+        // stay within 10% of the bare query path.
+        if let Some(ratio) = benchcheck::metrics_overhead_ratio(records) {
+            let verdict = if ratio <= benchcheck::MAX_METRICS_OVERHEAD_RATIO {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>26.2}x  (ceiling {:.2}x)  {verdict}",
+                format!("metrics_overhead/instrumented_ratio ({origin})"),
+                ratio,
+                benchcheck::MAX_METRICS_OVERHEAD_RATIO
+            );
+        }
     }
     if failed {
         eprintln!("bench-check: guarded benchmark regressed beyond the threshold");
@@ -492,13 +510,16 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
     let net = citegen::generate(&citegen::DatasetProfile::dblp().scaled(scale), opts.seed);
     let t0 = std::time::Instant::now();
     let specs: Vec<&str> = opts.methods.iter().map(String::as_str).collect();
-    let engine = match QueryEngine::from_configs(net, &specs, RerankPolicy::EveryBatch) {
+    let mut engine = match QueryEngine::from_configs(net, &specs, RerankPolicy::EveryBatch) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("query: cannot build engines: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if opts.metrics {
+        engine.enable_metrics();
+    }
     eprintln!("ranked in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
 
     // Explain line: what the planner chose and why.
@@ -535,6 +556,20 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
                 plan.cost_ns,
                 plan.residuals.join(", ")
             );
+            // Every shape the planner priced, not just the winner.
+            let table: Vec<String> = plan
+                .table
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{}{} = {:.0} ns",
+                        c.driver,
+                        if c.chosen { "*" } else { "" },
+                        c.cost_ns
+                    )
+                })
+                .collect();
+            println!("plan candidates (* = chosen): {}", table.join(", "));
         }
         Err(e) => {
             eprintln!("query: {e}");
@@ -542,6 +577,7 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
         }
     }
 
+    let metrics_before = engine.render_metrics();
     let t1 = std::time::Instant::now();
     if query.vs.is_some() {
         let cmp = match engine.compare(&query) {
@@ -626,7 +662,47 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
             println!("next page: append cursor={cursor}");
         }
     }
+    if let (Some(before), Some(after)) = (metrics_before, engine.render_metrics()) {
+        print_metric_deltas(&before, &after);
+    }
     ExitCode::SUCCESS
+}
+
+/// Prints the samples that changed between two exposition renders — the
+/// per-query footprint `repro query --metrics` shows after the page.
+fn print_metric_deltas(before: &str, after: &str) {
+    use obsv::validate::parse_samples;
+    let key = |s: &obsv::validate::Sample| {
+        let labels: Vec<String> = s
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        if labels.is_empty() {
+            s.name.clone()
+        } else {
+            format!("{}{{{}}}", s.name, labels.join(","))
+        }
+    };
+    let prev: std::collections::HashMap<String, f64> = parse_samples(before)
+        .iter()
+        .map(|s| (key(s), s.value))
+        .collect();
+    let mut any = false;
+    for s in parse_samples(after) {
+        let k = key(&s);
+        let old = prev.get(&k).copied().unwrap_or(0.0);
+        if s.value != old {
+            if !any {
+                println!("-- metric deltas --");
+                any = true;
+            }
+            println!("{k} {old} -> {}", s.value);
+        }
+    }
+    if !any {
+        println!("-- metric deltas: none --");
+    }
 }
 
 /// `query --shards N|year:WIDTH`: the same filtered/paginated top-k
@@ -698,13 +774,17 @@ fn run_query_sharded(
         }
     };
     let t0 = std::time::Instant::now();
-    let engine = match ShardedEngine::from_plan(&net, &plan, &config, RerankPolicy::EveryBatch) {
+    let mut engine = match ShardedEngine::from_plan(&net, &plan, &config, RerankPolicy::EveryBatch)
+    {
         Ok(e) => e,
         Err(e) => {
             eprintln!("query: cannot build sharded engines: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if opts.metrics {
+        engine.enable_metrics();
+    }
     eprintln!(
         "ranked {} shards in {:.1} ms ({} boundary edges absorbed)",
         engine.n_shards(),
@@ -728,6 +808,17 @@ fn run_query_sharded(
         plan.n_shards(),
         spans.join(", ")
     );
+    let absorbed: Vec<String> = engine
+        .boundary_edges_by_shard()
+        .iter()
+        .enumerate()
+        .map(|(s, n)| format!("{s}:{n}"))
+        .collect();
+    println!(
+        "plan: teleport-absorbed boundary edges per shard = [{}]",
+        absorbed.join(", ")
+    );
+    let metrics_before = engine.render_metrics();
 
     // vs=: a second sharded engine over the *same* plan, the comparison
     // column joined through the scatter-gather merge (composed ranks).
@@ -789,6 +880,9 @@ fn run_query_sharded(
         if let Some(c) = cmp.page.next {
             println!("next page: append cursor={c}");
         }
+        if let (Some(before), Some(after)) = (metrics_before, engine.render_metrics()) {
+            print_metric_deltas(&before, &after);
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -833,6 +927,204 @@ fn run_query_sharded(
     if let Some(c) = page.next {
         println!("next page: append cursor={c}");
     }
+    if let (Some(before), Some(after)) = (metrics_before, engine.render_metrics()) {
+        print_metric_deltas(&before, &after);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `metrics`: runs a scripted serving workload — a WAL-backed flat
+/// engine plus a sharded engine sharing one registry, ingest + publish,
+/// one query per plan driver, a seeded solve, a stale cursor, an
+/// admission k-clamp and a shed — then validates and dumps the
+/// registry's Prometheus text exposition to stdout.
+fn run_metrics(opts: &Options) -> ExitCode {
+    use rankengine::{AdmissionPolicy, Query, QueryEngine, RerankPolicy, ShardedEngine};
+
+    let scale = opts.scale.unwrap_or(2_000);
+    let specs: Vec<&str> = opts.methods.iter().map(String::as_str).collect();
+    eprintln!(
+        "generating DBLP graph (scale = {scale}, seed = {}), ranking {:?}...",
+        opts.seed, opts.methods
+    );
+    let net = citegen::generate(&citegen::DatasetProfile::dblp().scaled(scale), opts.seed);
+
+    let mut engine = match QueryEngine::from_configs(net.clone(), &specs, RerankPolicy::EveryBatch)
+    {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("metrics: cannot build engines: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = engine.enable_metrics();
+    engine.set_admission(AdmissionPolicy::default());
+
+    // WAL the default method's engine in a scratch dir so the append /
+    // fsync histograms have samples.
+    let wal_dir = std::env::temp_dir().join(format!("repro-metrics-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&wal_dir) {
+        eprintln!("metrics: cannot create {}: {e}", wal_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let wal_ok = engine
+        .engine(None)
+        .expect("default method")
+        .attach_wal(wal_dir.join("metrics.wal"));
+    if let Err(e) = wal_ok {
+        eprintln!("metrics: cannot attach WAL: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // A batch of new papers citing old ones: WAL appends + one publish
+    // per method.
+    let n0 = net.n_papers() as u32;
+    let mut delta = citegraph::GraphDelta::new();
+    for j in 0..8u32 {
+        delta.add_paper(2021);
+        delta.add_citation(n0 + j, j);
+    }
+    if let Err(e) = engine.ingest(&delta) {
+        eprintln!("metrics: ingest failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // One query per plan driver, plus a seeded solve; remember the
+    // year query's cursor so the next publish can strand it.
+    let venues = net.venues().expect("DBLP profile has venues");
+    let venue = (0..venues.n_venues() as u32)
+        .max_by_key(|&v| venues.n_papers_at(v))
+        .expect("at least one venue");
+    let authors = net.authors().expect("DBLP profile has authors");
+    let author = (0..authors.n_authors() as u32)
+        .max_by_key(|&a| authors.papers_of(a).len())
+        .expect("at least one author");
+    let mid_year = net.years()[net.n_papers() / 2];
+    let default_method = engine.methods()[0].to_string();
+    let grammars = [
+        "k=10".to_string(),
+        format!("k=10,year={mid_year}.."),
+        format!("k=10,venue={venue}"),
+        format!("k=10,author={author}"),
+        format!("k=10,venue={venue},author={author},year={mid_year}.."),
+        format!("k=10,method={default_method},seed=0|1"),
+    ];
+    let mut stale: Option<(String, rankengine::Cursor)> = None;
+    for (i, g) in grammars.iter().enumerate() {
+        let q: Query = g.parse().expect("scripted grammar parses");
+        match engine.query(&q) {
+            Ok(page) => {
+                if i == 1 {
+                    stale = page.next.map(|c| (g.clone(), c));
+                }
+            }
+            Err(e) => {
+                eprintln!("metrics: scripted query {g:?} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Publish again, then replay the old cursor: a counted stale-cursor
+    // error.
+    engine.rerank();
+    if let Some((g, c)) = stale {
+        let q: Query = format!("{g},cursor={c}")
+            .parse()
+            .expect("cursor grammar parses");
+        if engine.query(&q).is_ok() {
+            eprintln!("metrics: expected a stale-cursor error after publish");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Capture the permissive controller's counters before swapping it
+    // out (render-time refresh is a monotone fetch_max), then tighten
+    // admission: a wide page k-clamps under a 5 µs ceiling...
+    let _ = engine.render_metrics();
+    engine.set_admission(AdmissionPolicy {
+        max_query_cost_ns: 5_000.0,
+        degraded_k: 1,
+        ..AdmissionPolicy::default()
+    });
+    let wide: Query = format!("k=500,year={mid_year}..")
+        .parse()
+        .expect("scripted grammar parses");
+    match engine.query(&wide) {
+        Ok(page) if page.items.len() <= 1 => {}
+        Ok(page) => {
+            eprintln!(
+                "metrics: expected a k-clamp to 1, got {} items",
+                page.items.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("metrics: expected a k-clamp, got: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // ...capture this controller's counters before swapping it out
+    // (render-time refresh is a monotone fetch_max).
+    let _ = engine.render_metrics();
+    // ...and sheds outright under a 100 ns ceiling.
+    engine.set_admission(AdmissionPolicy {
+        max_query_cost_ns: 100.0,
+        degraded_k: 1,
+        ..AdmissionPolicy::default()
+    });
+    if engine.query(&wide).is_ok() {
+        eprintln!("metrics: expected the 100 ns ceiling to shed");
+        return ExitCode::FAILURE;
+    }
+
+    // The sharded stack on the same registry: a boundary-edge ingest
+    // and one query per shape.
+    let spec = opts.shards.unwrap_or(citegraph::ShardSpec::Fixed(4));
+    let plan = match spec.plan(&net) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("metrics: shard plan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sharded =
+        match ShardedEngine::from_plan(&net, &plan, &default_method, RerankPolicy::EveryBatch) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("metrics: cannot build sharded engines: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    sharded.enable_metrics_on(registry.clone());
+    sharded.set_admission(AdmissionPolicy::default());
+    if let Err(e) = sharded.ingest(&delta) {
+        eprintln!("metrics: sharded ingest failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let sharded_grammars = [
+        "k=10".to_string(),
+        format!("k=10,year={mid_year}.."),
+        format!("k=10,venue={venue}"),
+        "k=10,seed=0|1".to_string(),
+    ];
+    for g in &sharded_grammars {
+        let q: Query = g.parse().expect("scripted grammar parses");
+        if let Err(e) = sharded.query(&q, None) {
+            eprintln!("metrics: scripted sharded query {g:?} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Refresh both stacks' sampled families, then render once.
+    let _ = sharded.render_metrics();
+    let text = engine.render_metrics().expect("metrics are enabled");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    if let Err(e) = obsv::validate::validate(&text) {
+        eprintln!("metrics: exposition failed self-validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{text}");
     ExitCode::SUCCESS
 }
 

@@ -51,6 +51,9 @@ pub struct Options {
     pub shards: Option<citegraph::ShardSpec>,
     /// Result count `repro related` asks for (`--k N`, default 10).
     pub k: Option<usize>,
+    /// `--metrics`: `repro query` prints the per-query metric deltas
+    /// (counter/histogram samples that changed) after the page.
+    pub metrics: bool,
 }
 
 impl Default for Options {
@@ -63,14 +66,16 @@ impl Default for Options {
             methods: vec!["attrank".into(), "cc".into()],
             shards: None,
             k: None,
+            metrics: false,
         }
     }
 }
 
 impl Options {
     /// Parses `--scale N`, `--seed N`, `--out DIR`, `--rank SPEC`,
-    /// `--methods LIST`, `--shards N|year:WIDTH`, `--k N` from an
-    /// argument list, returning the remaining (positional) arguments.
+    /// `--methods LIST`, `--shards N|year:WIDTH`, `--k N`, `--metrics`
+    /// from an argument list, returning the remaining (positional)
+    /// arguments.
     ///
     /// # Errors
     /// Returns a message on unknown flags or malformed values.
@@ -125,6 +130,9 @@ impl Options {
                     i += 1;
                     let v = args.get(i).ok_or("--k needs a value")?;
                     opts.k = Some(v.parse().map_err(|_| format!("bad --k {v}"))?);
+                }
+                "--metrics" => {
+                    opts.metrics = true;
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));

@@ -264,7 +264,7 @@ pub fn personalize(
     let push_cfg = PushConfig {
         alpha,
         epsilon: cfg.epsilon,
-        max_edge_work: (cfg.budget_sweeps * (net.n_citations() + n) as f64) as u64,
+        max_edge_work: cfg.max_edge_work(net.n_citations(), n),
     };
     let mut outcome = match kernel {
         Some(u) if u.len() == n => push::solve_deferring(
@@ -464,7 +464,7 @@ pub fn repersonalize(
             let push_cfg = PushConfig {
                 alpha,
                 epsilon: cfg.epsilon,
-                max_edge_work: (cfg.budget_sweeps * (new.n_citations() + n_new) as f64) as u64,
+                max_edge_work: cfg.max_edge_work(new.n_citations(), n_new),
             };
             outcome = push::solve_deferring(
                 new.refs_csr(),

@@ -128,6 +128,14 @@ impl PushRankConfig {
         let delta_size = delta.n_papers() + delta.n_citations();
         delta_size as f64 <= self.max_delta_fraction * graph_size as f64
     }
+
+    /// The absolute edge-traversal budget this config grants a push run
+    /// over a graph of `n_citations` edges and `n_papers` nodes:
+    /// `budget_sweeps × (E + n)`. The single source of truth for the
+    /// budget — push solvers and observability gauges both read it here.
+    pub fn max_edge_work(&self, n_citations: usize, n_papers: usize) -> u64 {
+        (self.budget_sweeps * (n_citations + n_papers) as f64) as u64
+    }
 }
 
 /// Fits the global rescaling factor `c` with `b_new ≈ c·b_old` as the
@@ -287,7 +295,7 @@ pub fn try_push_rerank(
     let push_cfg = PushConfig {
         alpha,
         epsilon: cfg.epsilon,
-        max_edge_work: (cfg.budget_sweeps * (new.n_citations() + n_new) as f64) as u64,
+        max_edge_work: cfg.max_edge_work(new.n_citations(), n_new),
     };
     let mut outcome = match resolution {
         DanglingResolution::Flush => push::solve(

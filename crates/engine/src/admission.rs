@@ -1,0 +1,426 @@
+//! Cost-bounded admission control for the serving path.
+//!
+//! The planner already prices every query in estimated nanoseconds
+//! ([`crate::query::QueryPlan::cost_ns`]); admission control turns that
+//! price into backpressure. An [`AdmissionController`] enforces an
+//! [`AdmissionPolicy`] with three ceilings — per-query cost, residual-scan
+//! cost, and total in-flight cost — and degrades gracefully before it
+//! sheds:
+//!
+//! 1. A residual-scan plan (an id-range scan with facet predicates left
+//!    as per-candidate residual checks) over the scan ceiling is steered
+//!    to the cheapest indexed candidate from the plan table, when one
+//!    exists and fits the per-query ceiling. The scan ceiling alone never
+//!    sheds — it only redirects work off the scan path.
+//! 2. A query over the per-query ceiling has its `k` clamped to
+//!    [`AdmissionPolicy::degraded_k`]; if even the clamped cost does not
+//!    fit, the query is shed with a typed
+//!    [`Overloaded`](crate::query::QueryError::Overloaded) error.
+//! 3. Admitted cost is reserved against the in-flight ceiling with a
+//!    compare-and-swap loop and released when the [`AdmissionTicket`]
+//!    drops; a full controller clamps first, then sheds.
+//!
+//! Every decision — admitted, k-clamped, scan-fallback, shed — is
+//! counted, so the shedding behavior is itself observable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Estimated per-returned-item overhead in nanoseconds (selection, hit
+/// materialization) added on top of the plan's enumeration cost when
+/// pricing a query for admission. Makes `k` part of the price, so
+/// clamping `k` is a real cost reduction rather than a formality.
+pub const PAGE_ITEM_NS: f64 = 120.0;
+
+/// Ceilings and the degraded page size for [`AdmissionController`].
+///
+/// All ceilings are estimated nanoseconds of work under the planner's
+/// cost model; `f64::INFINITY` disables a ceiling. The default policy
+/// disables everything — admission is strictly opt-in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Ceiling on one query's total estimated cost (plan cost plus
+    /// `k × PAGE_ITEM_NS`). Over it: clamp `k`, then shed.
+    pub max_query_cost_ns: f64,
+    /// Tighter ceiling for residual-scan plans only. Over it: fall back
+    /// to the cheapest indexed candidate when that fits the per-query
+    /// ceiling. Never sheds by itself.
+    pub max_scan_cost_ns: f64,
+    /// Ceiling on the sum of estimated costs of all admitted queries
+    /// whose tickets are still alive. Over it: clamp, then shed.
+    pub max_inflight_cost_ns: f64,
+    /// The page size `k` is clamped to when a query must degrade.
+    pub degraded_k: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self {
+            max_query_cost_ns: f64::INFINITY,
+            max_scan_cost_ns: f64::INFINITY,
+            max_inflight_cost_ns: f64::INFINITY,
+            degraded_k: 10,
+        }
+    }
+}
+
+/// What the caller tells the controller about one planned query.
+#[derive(Debug, Clone, Copy)]
+pub struct CostedQuery {
+    /// The chosen plan's estimated enumeration cost.
+    pub plan_cost_ns: f64,
+    /// The cheapest indexed (non-scan) candidate's cost, when the chosen
+    /// plan is a residual scan and an indexed shape exists.
+    pub indexed_alternative_ns: Option<f64>,
+    /// Whether the chosen plan is a residual scan (facets checked per
+    /// candidate over an id-range scan).
+    pub scan_family: bool,
+    /// The requested page size.
+    pub k: usize,
+}
+
+/// The controller's verdict for an admitted query, plus the in-flight
+/// reservation. Dropping the ticket releases the reserved cost.
+#[derive(Debug)]
+pub struct AdmissionTicket {
+    controller: Arc<AdmissionController>,
+    reserved_ns: u64,
+    /// The page size to execute with (clamped when `clamped`).
+    pub k: usize,
+    /// Whether `k` was clamped to the policy's degraded size.
+    pub clamped: bool,
+    /// Whether the caller should execute the cheapest indexed candidate
+    /// instead of the chosen residual-scan plan.
+    pub use_indexed: bool,
+    /// The estimated cost reserved against the in-flight ceiling.
+    pub cost_ns: f64,
+}
+
+impl Drop for AdmissionTicket {
+    fn drop(&mut self) {
+        self.controller
+            .inflight_ns
+            .fetch_sub(self.reserved_ns, Ordering::Relaxed);
+    }
+}
+
+/// A shed query: the typed payload behind
+/// [`QueryError::Overloaded`](crate::query::QueryError::Overloaded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overload {
+    /// The estimated cost that did not fit (after any clamping).
+    pub cost_ns: f64,
+    /// In-flight reserved cost at decision time.
+    pub inflight_ns: u64,
+    /// The ceiling that was exceeded.
+    pub limit_ns: f64,
+}
+
+/// Monotonic decision counts plus the live in-flight reservation.
+///
+/// `admitted` counts every issued ticket; `k_clamped` and
+/// `scan_fallbacks` count degradations applied to admitted queries (one
+/// query can contribute to both); `shed` counts rejections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Tickets issued.
+    pub admitted: u64,
+    /// Queries whose `k` was clamped to the degraded size.
+    pub k_clamped: u64,
+    /// Residual scans steered to an indexed candidate.
+    pub scan_fallbacks: u64,
+    /// Queries rejected with `Overloaded`.
+    pub shed: u64,
+    /// Currently reserved in-flight cost, in nanoseconds.
+    pub inflight_ns: u64,
+}
+
+/// Enforces an [`AdmissionPolicy`] over concurrent queries.
+#[derive(Debug)]
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+    inflight_ns: AtomicU64,
+    admitted: AtomicU64,
+    k_clamped: AtomicU64,
+    scan_fallbacks: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller enforcing `policy` with nothing in flight.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        Self {
+            policy,
+            inflight_ns: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            k_clamped: AtomicU64::new(0),
+            scan_fallbacks: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+
+    /// Decision counters and the live in-flight reservation.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            k_clamped: self.k_clamped.load(Ordering::Relaxed),
+            scan_fallbacks: self.scan_fallbacks.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            inflight_ns: self.inflight_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reserves in-flight budget for `cost_ns`; `false` when the ceiling
+    /// would be exceeded. Lock-free CAS loop — concurrent admits never
+    /// over-reserve.
+    fn try_reserve(&self, cost_ns: u64) -> bool {
+        let limit = self.policy.max_inflight_cost_ns;
+        if limit.is_infinite() {
+            self.inflight_ns.fetch_add(cost_ns, Ordering::Relaxed);
+            return true;
+        }
+        let mut current = self.inflight_ns.load(Ordering::Relaxed);
+        loop {
+            if (current + cost_ns) as f64 > limit {
+                return false;
+            }
+            match self.inflight_ns.compare_exchange_weak(
+                current,
+                current + cost_ns,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Runs the degradation ladder for one costed query.
+    ///
+    /// Returns a ticket holding the (possibly clamped) `k`, whether the
+    /// caller should switch to the indexed candidate, and the in-flight
+    /// reservation — or an [`Overload`] when even the degraded shape
+    /// does not fit.
+    pub fn admit(self: &Arc<Self>, q: CostedQuery) -> Result<AdmissionTicket, Overload> {
+        let policy = &self.policy;
+        let mut base = q.plan_cost_ns;
+        let mut use_indexed = false;
+        // Step 1: steer over-ceiling residual scans onto the index.
+        if q.scan_family && base + q.k as f64 * PAGE_ITEM_NS > policy.max_scan_cost_ns {
+            if let Some(alt) = q.indexed_alternative_ns {
+                if alt + q.k as f64 * PAGE_ITEM_NS <= policy.max_query_cost_ns {
+                    base = alt;
+                    use_indexed = true;
+                }
+            }
+        }
+        // Step 2: per-query ceiling — clamp k before giving up.
+        let mut k = q.k;
+        let mut clamped = false;
+        let mut total = base + k as f64 * PAGE_ITEM_NS;
+        if total > policy.max_query_cost_ns {
+            let degraded = policy.degraded_k.min(q.k);
+            let degraded_total = base + degraded as f64 * PAGE_ITEM_NS;
+            if degraded < q.k && degraded_total <= policy.max_query_cost_ns {
+                k = degraded;
+                clamped = true;
+                total = degraded_total;
+            } else {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(Overload {
+                    cost_ns: total,
+                    inflight_ns: self.inflight_ns.load(Ordering::Relaxed),
+                    limit_ns: policy.max_query_cost_ns,
+                });
+            }
+        }
+        // Step 3: in-flight ceiling — reserve, clamping once if needed.
+        let mut reserved_ns = total.max(0.0) as u64;
+        if !self.try_reserve(reserved_ns) {
+            let degraded = policy.degraded_k.min(q.k);
+            let degraded_total = base + degraded as f64 * PAGE_ITEM_NS;
+            let retry = !clamped && degraded < k;
+            if retry && self.try_reserve(degraded_total.max(0.0) as u64) {
+                k = degraded;
+                clamped = true;
+                total = degraded_total;
+                reserved_ns = degraded_total.max(0.0) as u64;
+            } else {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(Overload {
+                    cost_ns: total,
+                    inflight_ns: self.inflight_ns.load(Ordering::Relaxed),
+                    limit_ns: policy.max_inflight_cost_ns,
+                });
+            }
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        if clamped {
+            self.k_clamped.fetch_add(1, Ordering::Relaxed);
+        }
+        if use_indexed {
+            self.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(AdmissionTicket {
+            controller: Arc::clone(self),
+            reserved_ns,
+            k,
+            clamped,
+            use_indexed,
+            cost_ns: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(policy: AdmissionPolicy) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController::new(policy))
+    }
+
+    #[test]
+    fn default_policy_admits_everything() {
+        let c = controller(AdmissionPolicy::default());
+        let t = c
+            .admit(CostedQuery {
+                plan_cost_ns: 1e12,
+                indexed_alternative_ns: None,
+                scan_family: true,
+                k: 1_000_000,
+            })
+            .unwrap();
+        assert!(!t.clamped);
+        assert!(!t.use_indexed);
+        assert_eq!(t.k, 1_000_000);
+    }
+
+    #[test]
+    fn scan_over_ceiling_falls_back_to_index() {
+        let c = controller(AdmissionPolicy {
+            max_scan_cost_ns: 10_000.0,
+            max_query_cost_ns: 1e9,
+            ..AdmissionPolicy::default()
+        });
+        let t = c
+            .admit(CostedQuery {
+                plan_cost_ns: 50_000.0,
+                indexed_alternative_ns: Some(70_000.0),
+                scan_family: true,
+                k: 10,
+            })
+            .unwrap();
+        assert!(t.use_indexed);
+        assert_eq!(t.k, 10);
+        assert_eq!(c.stats().scan_fallbacks, 1);
+        assert_eq!(c.stats().shed, 0);
+    }
+
+    #[test]
+    fn scan_ceiling_alone_never_sheds() {
+        // Over the scan ceiling, no indexed alternative: still admitted
+        // as long as the per-query ceiling holds.
+        let c = controller(AdmissionPolicy {
+            max_scan_cost_ns: 10_000.0,
+            ..AdmissionPolicy::default()
+        });
+        let t = c
+            .admit(CostedQuery {
+                plan_cost_ns: 50_000.0,
+                indexed_alternative_ns: None,
+                scan_family: true,
+                k: 10,
+            })
+            .unwrap();
+        assert!(!t.use_indexed);
+        assert_eq!(c.stats().shed, 0);
+    }
+
+    #[test]
+    fn over_query_ceiling_clamps_k_then_sheds() {
+        let c = controller(AdmissionPolicy {
+            max_query_cost_ns: 5_000.0,
+            degraded_k: 10,
+            ..AdmissionPolicy::default()
+        });
+        // plan 3000 + 100×120 = 15000 > 5000; clamped 3000 + 10×120 = 4200 fits.
+        let t = c
+            .admit(CostedQuery {
+                plan_cost_ns: 3_000.0,
+                indexed_alternative_ns: None,
+                scan_family: false,
+                k: 100,
+            })
+            .unwrap();
+        assert!(t.clamped);
+        assert_eq!(t.k, 10);
+        // plan alone over the ceiling: clamping cannot save it.
+        let err = c
+            .admit(CostedQuery {
+                plan_cost_ns: 6_000.0,
+                indexed_alternative_ns: None,
+                scan_family: false,
+                k: 100,
+            })
+            .unwrap_err();
+        assert_eq!(err.limit_ns, 5_000.0);
+        let stats = c.stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.k_clamped, 1);
+        assert_eq!(stats.shed, 1);
+    }
+
+    #[test]
+    fn inflight_ceiling_reserves_and_releases() {
+        let c = controller(AdmissionPolicy {
+            max_inflight_cost_ns: 10_000.0,
+            degraded_k: 0,
+            ..AdmissionPolicy::default()
+        });
+        let q = CostedQuery {
+            plan_cost_ns: 6_000.0,
+            indexed_alternative_ns: None,
+            scan_family: false,
+            k: 0,
+        };
+        let t1 = c.admit(q).unwrap();
+        assert_eq!(c.stats().inflight_ns, 6_000);
+        // Second identical query would push in-flight to 12000 > 10000.
+        assert!(c.admit(q).is_err());
+        drop(t1);
+        assert_eq!(c.stats().inflight_ns, 0);
+        let _t2 = c.admit(q).unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.shed, 1);
+    }
+
+    #[test]
+    fn inflight_pressure_clamps_before_shedding() {
+        let c = controller(AdmissionPolicy {
+            max_inflight_cost_ns: 10_500.0,
+            degraded_k: 1,
+            ..AdmissionPolicy::default()
+        });
+        let q = CostedQuery {
+            plan_cost_ns: 2_000.0,
+            indexed_alternative_ns: None,
+            scan_family: false,
+            k: 50, // 2000 + 6000 = 8000
+        };
+        let _t1 = c.admit(q).unwrap();
+        // Full shape (8000) does not fit next to 8000 (16000 > 10500);
+        // clamped shape (2000 + 120 = 2120) does (10120 <= 10500).
+        let t2 = c.admit(q).unwrap();
+        assert!(t2.clamped);
+        assert_eq!(t2.k, 1);
+        assert_eq!(c.stats().k_clamped, 1);
+    }
+}

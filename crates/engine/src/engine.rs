@@ -18,14 +18,19 @@
 //! use-case (§1) calls for.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread;
+use std::time::Instant;
 
 use attrank::{AttRankParams, IncrementalAttRank};
-use citegraph::{CitationNetwork, DeltaError, DeltaStrategy, GraphDelta, PaperId, Year};
+use citegraph::{
+    CitationNetwork, DeltaError, DeltaStrategy, GraphDelta, PaperId, PushRankConfig, Year,
+};
 use graphstore::{DeltaWal, Store, StoreBuilder, StoreError};
 use sparsela::{top_k_indices, KernelWorkspace, ScoreVec};
 
+use crate::metrics::EngineInstruments;
 use crate::registry::{self, BoxedRanker};
 use crate::spec::{MethodSpec, SpecError};
 
@@ -356,6 +361,12 @@ pub struct RankingEngine {
     policy: RerankPolicy,
     writer: Mutex<WriterState>,
     published: RwLock<Arc<EpochSnapshot>>,
+    /// Live metric instruments, set at most once ([`Self::instrument`]).
+    /// Unset, every recording site is one branch on a cold `OnceLock`.
+    instruments: OnceLock<Arc<EngineInstruments>>,
+    /// WAL batches recovered at [`Self::open_from_store`] but not yet
+    /// replayed by the warmup thread — the cold-start staleness gauge.
+    replay_backlog: AtomicUsize,
 }
 
 impl RankingEngine {
@@ -388,6 +399,8 @@ impl RankingEngine {
                 restoring: false,
             }),
             published: RwLock::new(snapshot),
+            instruments: OnceLock::new(),
+            replay_backlog: AtomicUsize::new(0),
         })
     }
 
@@ -538,6 +551,31 @@ impl RankingEngine {
         (state.staged.n_citations(), state.pending_batches)
     }
 
+    /// Attaches live metric instruments (publish/solve latency, push
+    /// work gauges, WAL observers). Effective once per engine: the first
+    /// call wins, later calls are ignored — recording sites resolve
+    /// their handles through a `OnceLock`, so a swap after the first
+    /// publish could silently split a series across registries.
+    ///
+    /// An already-attached WAL picks up the append/fsync observers here;
+    /// a WAL attached later ([`Self::attach_wal`]) picks them up there.
+    pub fn instrument(&self, instruments: Arc<EngineInstruments>) {
+        let _ = self.instruments.set(instruments);
+        if let Some(ins) = self.instruments.get() {
+            let mut state = self.writer.lock().expect("writer lock poisoned");
+            if let Some(wal) = state.wal.as_mut() {
+                wal.set_observers(ins.wal.clone());
+            }
+        }
+    }
+
+    /// WAL batches recovered at [`Self::open_from_store`] but not yet
+    /// replayed — drains to 0 as the background warmup catches up, and
+    /// stays 0 on engines that never cold-started.
+    pub fn replay_backlog(&self) -> usize {
+        self.replay_backlog.load(Ordering::Relaxed)
+    }
+
     /// Attaches a durability WAL at `path` (creating it if absent, and
     /// recovering/truncating a torn tail). From here on every accepted
     /// [`Self::ingest`] is fsynced to the log before it is staged.
@@ -549,7 +587,10 @@ impl RankingEngine {
     /// previous process wrote; they are *not* applied here — restoring
     /// state from disk is [`Self::open_from_store`]'s job).
     pub fn attach_wal<P: AsRef<Path>>(&self, path: P) -> Result<usize, EngineError> {
-        let (wal, recovery) = DeltaWal::open(path)?;
+        let (mut wal, recovery) = DeltaWal::open(path)?;
+        if let Some(ins) = self.instruments.get() {
+            wal.set_observers(ins.wal.clone());
+        }
         let mut state = self.writer.lock().expect("writer lock poisoned");
         // The watermark arithmetic assumes the staged batches are exactly
         // the logged records [next_seq − pending_batches, next_seq);
@@ -686,6 +727,8 @@ impl RankingEngine {
                 restoring: true,
             }),
             published: RwLock::new(snapshot),
+            instruments: OnceLock::new(),
+            replay_backlog: AtomicUsize::new(0),
         });
 
         let mut replay: Vec<GraphDelta> = Vec::new();
@@ -704,6 +747,7 @@ impl RankingEngine {
                 .collect();
         }
 
+        engine.replay_backlog.store(replay.len(), Ordering::Relaxed);
         let worker = engine.clone();
         let warmup = thread::spawn(move || {
             let mut replayed = 0usize;
@@ -713,6 +757,7 @@ impl RankingEngine {
                     Ok(_) => replayed += 1,
                     Err(_) => rejected += 1,
                 }
+                worker.replay_backlog.fetch_sub(1, Ordering::Relaxed);
             }
             worker
                 .writer
@@ -744,13 +789,16 @@ impl RankingEngine {
     /// epoch. Returns `false` when the solve produced non-finite scores
     /// and the previous epoch was kept.
     fn publish_locked(&self, state: &mut WriterState) -> bool {
+        let publish_started = Instant::now();
         state.pending_batches = 0;
         // Lineage capture: the pre-publish network and the batch folded
         // in, so derived per-epoch state (personalization vectors) can be
         // warm re-pushed across this publish.
         let parent_epoch = state.previous.as_ref().map(|p| p.epoch());
         let parent_net = state.net.clone();
+        let solve_started;
         let (scores, strategy, delta) = if state.staged.is_empty() {
+            solve_started = Instant::now();
             (
                 state.ranker.rank_full(&state.net, &mut state.workspace),
                 RerankStrategy::Full,
@@ -764,6 +812,7 @@ impl RankingEngine {
                     .with_delta(&staged)
                     .expect("staged deltas were validated at ingest"),
             );
+            solve_started = Instant::now();
             let (scores, strategy) = state.ranker.rank_delta(
                 &state.net,
                 &staged,
@@ -774,6 +823,9 @@ impl RankingEngine {
             state.net = next;
             (scores, strategy, Arc::new(staged))
         };
+        if let Some(ins) = self.instruments.get() {
+            ins.solve_seconds.observe(solve_started.elapsed());
+        }
         // A non-convergent solve (NaN/∞ scores) must not clobber the last
         // good epoch: readers keep serving the stale-but-sane snapshot.
         // (The ranking comparators are NaN-total, so even a published
@@ -783,6 +835,9 @@ impl RankingEngine {
             // The stale scores no longer match the (advanced) network and
             // must not seed a future push.
             state.previous = None;
+            if let Some(ins) = self.instruments.get() {
+                ins.publish_seconds.observe(publish_started.elapsed());
+            }
             return false;
         }
         let epoch = state.next_epoch;
@@ -795,6 +850,19 @@ impl RankingEngine {
         let snapshot = Self::freeze_with(epoch, &state.net, scores, strategy, lineage);
         state.previous = Some(snapshot.clone());
         *self.published.write().expect("snapshot lock poisoned") = snapshot;
+        if let Some(ins) = self.instruments.get() {
+            ins.publish_seconds.observe(publish_started.elapsed());
+            let (pushes, edge_work) = match strategy {
+                RerankStrategy::Push { pushes, edge_work } => (pushes, edge_work),
+                _ => (0, 0),
+            };
+            ins.push_pushes.set(pushes.min(i64::MAX as u64) as i64);
+            ins.push_edge_work
+                .set(edge_work.min(i64::MAX as u64) as i64);
+            let budget = PushRankConfig::default()
+                .max_edge_work(state.net.n_citations(), state.net.n_papers());
+            ins.push_edge_budget.set(budget.min(i64::MAX as u64) as i64);
+        }
         true
     }
 

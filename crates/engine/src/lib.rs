@@ -59,21 +59,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod engine;
+pub mod metrics;
 pub mod personalization;
 pub mod query;
 pub mod registry;
 pub mod sharded;
 pub mod spec;
 
+pub use admission::{
+    AdmissionController, AdmissionPolicy, AdmissionStats, AdmissionTicket, CostedQuery, Overload,
+};
 pub use engine::{
     ColdStart, EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy,
     RerankStrategy, WarmupReport,
 };
+pub use metrics::{EngineInstruments, ServingMetrics, ShardedServingMetrics};
 pub use personalization::{CacheConfig, CacheOutcome, CacheStats, PersonalizationCache};
 pub use query::{
-    CompareRow, Comparison, CostModel, Cursor, Hit, Page, Query, QueryDriver, QueryEngine,
-    QueryError, QueryPlan,
+    CompareRow, Comparison, CostModel, Cursor, Hit, Page, PlanCandidate, Query, QueryDriver,
+    QueryEngine, QueryError, QueryPlan,
 };
 pub use registry::{build, default_comparison_specs, known_methods, parse_and_build, BoxedRanker};
 pub use sharded::{

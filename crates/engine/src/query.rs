@@ -86,14 +86,18 @@
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
+use std::time::Instant;
 
 use citegraph::{
     AuthorId, CitationNetwork, FacetExpr, GraphDelta, PaperId, SeedError, SeedPersonalization,
     VenueId, Year,
 };
+use obsv::MetricsRegistry;
 use sparsela::{cmp_score_desc, top_k_filtered, top_k_indices, top_k_where, IdMask, ScoreVec};
 
+use crate::admission::{AdmissionController, AdmissionPolicy, AdmissionStats, CostedQuery};
 use crate::engine::{EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy};
+use crate::metrics::{driver_index, ServingMetrics};
 use crate::personalization::{CacheConfig, CacheStats, PersonalizationCache};
 use crate::spec::{MethodSpec, SpecError};
 
@@ -366,6 +370,17 @@ pub enum QueryError {
         /// The colliding canonical name.
         name: String,
     },
+    /// Admission control shed the query: even the degraded shape (k
+    /// clamped, indexed fallback) did not fit under the policy ceiling.
+    /// Backpressure, not failure — retry when load drains.
+    Overloaded {
+        /// Estimated cost of the (possibly degraded) query, in ns.
+        cost_ns: f64,
+        /// Reserved in-flight estimated cost at decision time, in ns.
+        inflight_ns: u64,
+        /// The policy ceiling that was exceeded, in ns.
+        limit_ns: f64,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -418,6 +433,16 @@ impl fmt::Display for QueryError {
             QueryError::DuplicateMethod { name } => {
                 write!(f, "two specs share the method name {name:?}")
             }
+            QueryError::Overloaded {
+                cost_ns,
+                inflight_ns,
+                limit_ns,
+            } => write!(
+                f,
+                "overloaded: estimated query cost {cost_ns:.0} ns exceeds the \
+                 admission ceiling {limit_ns:.0} ns ({inflight_ns} ns in flight); \
+                 retry when load drains"
+            ),
         }
     }
 }
@@ -744,6 +769,47 @@ pub struct QueryPlan {
     /// Residual predicate names, applied per enumerated candidate
     /// (`"year"`, `"venue"`, `"author"`, `"cursor"`).
     pub residuals: Vec<&'static str>,
+    /// Every shape the planner priced — the chosen driver plus the
+    /// rejected candidates and their costs, so explain output (and the
+    /// admission controller's indexed-fallback search) can see the
+    /// decision margin instead of just the winner.
+    pub table: Vec<PlanCandidate>,
+}
+
+/// One priced row of the planner's candidate table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCandidate {
+    /// Shape name (`"unfiltered"`, `"id_range"`, `"venue_bands"`,
+    /// `"author_bands"`, `"mask_algebra"`).
+    pub driver: &'static str,
+    /// The shape's estimated execution cost in nanoseconds.
+    pub cost_ns: f64,
+    /// Whether the planner picked this shape.
+    pub chosen: bool,
+}
+
+impl QueryPlan {
+    /// The cheapest indexed (non-scan) rejected candidate's cost: what
+    /// admission control degrades a residual scan to. `None` when no
+    /// indexed shape was priced (facet-free queries).
+    pub fn indexed_alternative_ns(&self) -> Option<f64> {
+        self.table
+            .iter()
+            .filter(|c| !c.chosen && c.driver != "id_range" && c.driver != "unfiltered")
+            .map(|c| c.cost_ns)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Whether this plan is a residual scan: an id-range enumeration
+    /// with facet predicates re-checked per candidate — the shape whose
+    /// cost scales with the year span, not the selectivity.
+    pub fn is_residual_scan(&self) -> bool {
+        matches!(self.driver, QueryDriver::IdRange { .. })
+            && self
+                .residuals
+                .iter()
+                .any(|r| *r == "venue" || *r == "author")
+    }
 }
 
 /// Maps a seed-set validation failure onto the grammar's typed
@@ -776,11 +842,36 @@ pub(crate) fn dedup_ids(ids: &[u32]) -> Vec<u32> {
     out
 }
 
+/// The candidate-table name of a driver shape.
+fn driver_name(driver: &QueryDriver) -> &'static str {
+    match driver {
+        QueryDriver::Unfiltered => "unfiltered",
+        QueryDriver::IdRange { .. } => "id_range",
+        QueryDriver::VenueBands { .. } => "venue_bands",
+        QueryDriver::AuthorBands { .. } => "author_bands",
+        QueryDriver::MaskAlgebra { .. } => "mask_algebra",
+    }
+}
+
 /// Plans `q` against the network of one snapshot under a [`CostModel`].
 /// Pure function of the predicate cardinalities and the model;
 /// separated from execution so tests (and the CLI's explain output) can
 /// inspect planner decisions directly.
 fn plan(net: &CitationNetwork, q: &Query, cost: &CostModel) -> Result<QueryPlan, QueryError> {
+    plan_shaped(net, q, cost, false)
+}
+
+/// [`plan`] with the admission controller's degradation knob: when
+/// `forbid_scan` is set, the id-range scan shape is priced (for the
+/// candidate table) but never chosen — the plan is the cheapest *indexed*
+/// shape instead. Faceted queries always have one (the mask shape is
+/// always priced), which is the only context the flag is used in.
+fn plan_shaped(
+    net: &CitationNetwork,
+    q: &Query,
+    cost: &CostModel,
+    forbid_scan: bool,
+) -> Result<QueryPlan, QueryError> {
     // Resolve + bounds-check every facet first: a typed error beats a
     // silent empty page for ids outside the corpus's id spaces.
     let venues = dedup_ids(&q.venues);
@@ -813,21 +904,33 @@ fn plan(net: &CitationNetwork, q: &Query, cost: &CostModel) -> Result<QueryPlan,
     if q.is_unfiltered() {
         return Ok(if q.cursor.is_some() {
             // Position-only restriction: one sequential scan.
+            let cost_ns = year_len as f64 * cost.scan_per_id;
             QueryPlan {
                 driver: QueryDriver::IdRange {
                     start: year_range.start,
                     end: year_range.end,
                 },
                 candidates: year_len,
-                cost_ns: year_len as f64 * cost.scan_per_id,
+                cost_ns,
                 residuals: vec!["cursor"],
+                table: vec![PlanCandidate {
+                    driver: "id_range",
+                    cost_ns,
+                    chosen: true,
+                }],
             }
         } else {
+            let cost_ns = net.n_papers() as f64 * cost.scan_per_id;
             QueryPlan {
                 driver: QueryDriver::Unfiltered,
                 candidates: net.n_papers(),
-                cost_ns: net.n_papers() as f64 * cost.scan_per_id,
+                cost_ns,
                 residuals: Vec::new(),
+                table: vec![PlanCandidate {
+                    driver: "unfiltered",
+                    cost_ns,
+                    chosen: true,
+                }],
             }
         });
     }
@@ -859,34 +962,48 @@ fn plan(net: &CitationNetwork, q: &Query, cost: &CostModel) -> Result<QueryPlan,
         )
         .sum();
 
-    // Candidate shapes, costed under the measured constants.
-    let mut best = (
-        year_len as f64 * cost.scan_per_id
-            // An author residual over a scan builds the OR-mask first.
-            + if authors.is_empty() {
-                0.0
-            } else {
-                authors
-                    .iter()
-                    .map(|&a| net.authors().map_or(0, |t| t.papers_of(a).len()))
-                    .sum::<usize>() as f64
-                    * cost.mask_insert
-            },
+    // Candidate shapes, costed under the measured constants. Every
+    // priced shape lands in the table; `best` tracks the cheapest
+    // *eligible* one (the scan shape is ineligible under `forbid_scan`).
+    let mut table: Vec<PlanCandidate> = Vec::with_capacity(4);
+    let idrange_cost = year_len as f64 * cost.scan_per_id
+        // An author residual over a scan builds the OR-mask first.
+        + if authors.is_empty() {
+            0.0
+        } else {
+            authors
+                .iter()
+                .map(|&a| net.authors().map_or(0, |t| t.papers_of(a).len()))
+                .sum::<usize>() as f64
+                * cost.mask_insert
+        };
+    table.push(PlanCandidate {
+        driver: "id_range",
+        cost_ns: idrange_cost,
+        chosen: false,
+    });
+    let mut best: Option<(f64, QueryDriver)> = (!forbid_scan).then_some((
+        idrange_cost,
         QueryDriver::IdRange {
             start: year_range.start,
             end: year_range.end,
         },
-    );
+    ));
     if let Some(len) = vband {
         let c = len as f64 * cost.band_per_candidate;
-        if c < best.0 {
-            best = (
+        table.push(PlanCandidate {
+            driver: "venue_bands",
+            cost_ns: c,
+            chosen: false,
+        });
+        if best.as_ref().is_none_or(|b| c < b.0) {
+            best = Some((
                 c,
                 QueryDriver::VenueBands {
                     venues: venues.clone(),
                     len,
                 },
-            );
+            ));
         }
     }
     if let Some(len) = aband {
@@ -894,14 +1011,19 @@ fn plan(net: &CitationNetwork, q: &Query, cost: &CostModel) -> Result<QueryPlan,
         if authors.len() > 1 {
             c += len as f64 * cost.dedup_per_candidate;
         }
-        if c < best.0 {
-            best = (
+        table.push(PlanCandidate {
+            driver: "author_bands",
+            cost_ns: c,
+            chosen: false,
+        });
+        if best.as_ref().is_none_or(|b| c < b.0) {
+            best = Some((
                 c,
                 QueryDriver::AuthorBands {
                     authors: authors.clone(),
                     len,
                 },
-            );
+            ));
         }
     }
     {
@@ -918,12 +1040,21 @@ fn plan(net: &CitationNetwork, q: &Query, cost: &CostModel) -> Result<QueryPlan,
         let c = mask_inserts as f64 * cost.mask_insert
             + (words * (leaves + 2)) as f64 * cost.mask_per_word
             + upper as f64 * cost.band_per_candidate;
-        if c < best.0 {
-            best = (c, QueryDriver::MaskAlgebra { candidates: upper });
+        table.push(PlanCandidate {
+            driver: "mask_algebra",
+            cost_ns: c,
+            chosen: false,
+        });
+        if best.as_ref().is_none_or(|b| c < b.0) {
+            best = Some((c, QueryDriver::MaskAlgebra { candidates: upper }));
         }
     }
 
-    let (cost_ns, driver) = best;
+    let (cost_ns, driver) = best.expect("the mask shape is always priced");
+    let chosen_name = driver_name(&driver);
+    for row in &mut table {
+        row.chosen = row.driver == chosen_name;
+    }
     let candidates = match &driver {
         QueryDriver::IdRange { .. } => year_len,
         QueryDriver::VenueBands { len, .. } | QueryDriver::AuthorBands { len, .. } => *len,
@@ -964,6 +1095,7 @@ fn plan(net: &CitationNetwork, q: &Query, cost: &CostModel) -> Result<QueryPlan,
         candidates,
         cost_ns,
         residuals,
+        table,
     })
 }
 
@@ -979,13 +1111,21 @@ fn execute(
     scores: &[f64],
     cost: &CostModel,
 ) -> Result<Page, QueryError> {
-    let net = snap.network();
-    debug_assert_eq!(scores.len(), net.n_papers());
     let fp = fingerprint(method, q);
+    let cursor_pos = validate_cursor(snap, q, fp)?;
+    let plan = plan(snap.network(), q, cost)?;
+    execute_plan(snap, method, q, scores, &plan, fp, cursor_pos)
+}
 
-    // Cursor validity: right epoch, right (method, filter) identity.
-    let cursor_pos: Option<(f64, PaperId)> = match q.cursor {
-        None => None,
+/// Cursor validity: right epoch, right (method, filter) identity.
+/// Returns the decoded resume position for a valid cursor.
+fn validate_cursor(
+    snap: &EpochSnapshot,
+    q: &Query,
+    fp: u64,
+) -> Result<Option<(f64, PaperId)>, QueryError> {
+    match q.cursor {
+        None => Ok(None),
         Some(c) => {
             if c.epoch != snap.epoch() {
                 return Err(QueryError::StaleCursor {
@@ -996,9 +1136,26 @@ fn execute(
             if c.fingerprint != fp {
                 return Err(QueryError::CursorMismatch);
             }
-            Some((f64::from_bits(c.score_bits), c.last_id))
+            Ok(Some((f64::from_bits(c.score_bits), c.last_id)))
         }
-    };
+    }
+}
+
+/// The dispatch half of [`execute`]: runs an already-validated query
+/// under an already-chosen plan. Split out so the instrumented path can
+/// count cursor errors and planner decisions — and let admission control
+/// swap in a degraded plan — between the stages.
+fn execute_plan(
+    snap: &EpochSnapshot,
+    method: &str,
+    q: &Query,
+    scores: &[f64],
+    plan: &QueryPlan,
+    fp: u64,
+    cursor_pos: Option<(f64, PaperId)>,
+) -> Result<Page, QueryError> {
+    let net = snap.network();
+    debug_assert_eq!(scores.len(), net.n_papers());
     let after_cursor = |id: u32| match cursor_pos {
         None => true,
         Some((cs, cid)) => {
@@ -1006,7 +1163,6 @@ fn execute(
         }
     };
 
-    let plan = plan(net, q, cost)?;
     // Residual closures over the *deduplicated* facet lists: a venue
     // residual is a small-list membership test on `venue_of`, an author
     // residual walks the paper's (collapsed) author row.
@@ -1206,6 +1362,19 @@ pub struct QueryEngine {
     engines: Vec<(String, Arc<RankingEngine>)>,
     cache: PersonalizationCache,
     cost: CostModel,
+    /// Metric families + the registry they render through, when
+    /// observability is enabled ([`Self::enable_metrics`]).
+    metrics: Option<MetricsBundle>,
+    /// Admission controller, when backpressure is enabled
+    /// ([`Self::set_admission`]).
+    admission: Option<Arc<AdmissionController>>,
+}
+
+/// The registry a [`QueryEngine`] renders through plus its registered
+/// flat-stack families.
+struct MetricsBundle {
+    registry: Arc<MetricsRegistry>,
+    serving: Arc<ServingMetrics>,
 }
 
 impl QueryEngine {
@@ -1236,6 +1405,8 @@ impl QueryEngine {
             engines,
             cache: PersonalizationCache::new(CacheConfig::default()),
             cost: CostModel::from_baseline_env(),
+            metrics: None,
+            admission: None,
         })
     }
 
@@ -1306,6 +1477,181 @@ impl QueryEngine {
         self.cache = PersonalizationCache::new(config);
     }
 
+    /// Registers this engine's metric families on `registry` and wires
+    /// live instruments (publish/solve latency, push-work gauges, WAL
+    /// observers) into every member [`RankingEngine`]. From here on the
+    /// query path records per-query latency, planner decisions, and
+    /// cursor errors; sampled families (cache occupancy, admission
+    /// counters, epoch lag) refresh at [`Self::render_metrics`].
+    ///
+    /// Pass a shared registry to co-render with a
+    /// [`ShardedEngine`](crate::ShardedEngine) — the family names are
+    /// disjoint.
+    ///
+    /// # Panics
+    /// Panics if the flat-stack family names are already registered on
+    /// `registry` (two `QueryEngine`s cannot share one registry).
+    pub fn enable_metrics_on(&mut self, registry: Arc<MetricsRegistry>) -> Arc<ServingMetrics> {
+        let methods: Vec<&str> = self.engines.iter().map(|(n, _)| n.as_str()).collect();
+        let serving = ServingMetrics::register(&registry, &methods);
+        for (idx, (_, engine)) in self.engines.iter().enumerate() {
+            engine.instrument(serving.instruments(idx));
+        }
+        self.metrics = Some(MetricsBundle {
+            registry,
+            serving: Arc::clone(&serving),
+        });
+        serving
+    }
+
+    /// [`Self::enable_metrics_on`] over a fresh registry; returns the
+    /// registry so the caller can render it (or hand it to a sharded
+    /// stack).
+    pub fn enable_metrics(&mut self) -> Arc<MetricsRegistry> {
+        let registry = Arc::new(MetricsRegistry::new());
+        self.enable_metrics_on(Arc::clone(&registry));
+        registry
+    }
+
+    /// The registered serving families, if metrics are enabled.
+    pub fn metrics(&self) -> Option<&Arc<ServingMetrics>> {
+        self.metrics.as_ref().map(|m| &m.serving)
+    }
+
+    /// Installs (or replaces) the admission policy guarding the query
+    /// path. The default policy admits everything; a bounded policy
+    /// degrades gracefully (k-clamp, scan→index fallback) before
+    /// rejecting with [`QueryError::Overloaded`].
+    pub fn set_admission(&mut self, policy: AdmissionPolicy) {
+        self.admission = Some(Arc::new(AdmissionController::new(policy)));
+    }
+
+    /// Counters of the admission controller, if one is installed.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(|a| a.stats())
+    }
+
+    /// Refreshes every sampled family (cache occupancy, admission
+    /// counters, per-method epoch/staged/replay gauges) and renders the
+    /// registry's Prometheus exposition text. `None` until metrics are
+    /// enabled. Renders *everything* on the registry — including a
+    /// sharded stack registered on the same one.
+    pub fn render_metrics(&self) -> Option<String> {
+        let bundle = self.metrics.as_ref()?;
+        bundle.serving.record_cache(&self.cache.stats());
+        if let Some(admission) = &self.admission {
+            bundle.serving.record_admission(&admission.stats());
+        }
+        for (idx, (_, engine)) in self.engines.iter().enumerate() {
+            let epoch = engine.snapshot().epoch();
+            let (staged_edges, staged_batches) = engine.pending();
+            bundle
+                .serving
+                .epoch
+                .at(idx)
+                .set(epoch.min(i64::MAX as u64) as i64);
+            bundle
+                .serving
+                .staged_batches
+                .at(idx)
+                .set(staged_batches as i64);
+            bundle.serving.staged_edges.at(idx).set(staged_edges as i64);
+            bundle
+                .serving
+                .wal_replay_depth
+                .at(idx)
+                .set(engine.replay_backlog() as i64);
+        }
+        Some(bundle.registry.render())
+    }
+
+    /// The shared serve path behind [`Self::query`] / [`Self::query_at`]:
+    /// uninstrumented engines take the plain [`execute`] fast path
+    /// (no clock reads); instrumented ones interleave counting and
+    /// admission between the same stages, in the same error order —
+    /// seed resolution, cursor validation, planning, admission,
+    /// execution, latency observation (labeled by the *executed* plan's
+    /// driver, which an admission fallback may have changed).
+    fn query_pinned(
+        &self,
+        label: &str,
+        engine: &RankingEngine,
+        snap: &EpochSnapshot,
+        q: &Query,
+    ) -> Result<Page, QueryError> {
+        let seeded = self.seeded_scores(label, engine, snap, q)?;
+        let scores: &[f64] = match &seeded {
+            Some(s) => s.as_slice(),
+            None => snap.scores().as_slice(),
+        };
+        let serving = self.metrics.as_ref().map(|m| &m.serving);
+        if serving.is_none() && self.admission.is_none() {
+            return execute(snap, label, q, scores, &self.cost);
+        }
+        let started = serving.is_some().then(Instant::now);
+        let fp = fingerprint(label, q);
+        let cursor_pos = match validate_cursor(snap, q, fp) {
+            Ok(pos) => pos,
+            Err(err) => {
+                if let Some(m) = serving {
+                    let kind = match &err {
+                        QueryError::StaleCursor { .. } => 0,
+                        _ => 1,
+                    };
+                    m.cursor_errors.at(kind).inc();
+                }
+                return Err(err);
+            }
+        };
+        let mut plan = plan(snap.network(), q, &self.cost)?;
+        if let Some(m) = serving {
+            m.planner_decisions.at(driver_index(&plan.driver)).inc();
+        }
+        // The ticket (when admission is on) holds the in-flight cost
+        // reservation until the page is built.
+        let clamped_q;
+        let mut q = q;
+        let _ticket = match &self.admission {
+            None => None,
+            Some(admission) => {
+                let costed = CostedQuery {
+                    plan_cost_ns: plan.cost_ns,
+                    indexed_alternative_ns: plan.indexed_alternative_ns(),
+                    scan_family: plan.is_residual_scan(),
+                    k: q.k,
+                };
+                match admission.admit(costed) {
+                    Err(overload) => {
+                        return Err(QueryError::Overloaded {
+                            cost_ns: overload.cost_ns,
+                            inflight_ns: overload.inflight_ns,
+                            limit_ns: overload.limit_ns,
+                        });
+                    }
+                    Ok(ticket) => {
+                        if ticket.use_indexed {
+                            plan = plan_shaped(snap.network(), q, &self.cost, true)?;
+                        }
+                        if ticket.k != q.k {
+                            let mut degraded = q.clone();
+                            degraded.k = ticket.k;
+                            clamped_q = degraded;
+                            q = &clamped_q;
+                        }
+                        Some(ticket)
+                    }
+                }
+            }
+        };
+        let result = execute_plan(snap, label, q, scores, &plan, fp, cursor_pos);
+        if let (Some(m), Some(at)) = (serving, started) {
+            m.query_seconds
+                .at(driver_index(&plan.driver))
+                .observe(at.elapsed());
+        }
+        result
+    }
+
     /// Resolves the score vector a seeded query ranks by: the method's
     /// damping factor from its parsed spec ([`MethodSpec::damping`]),
     /// the seed distribution validated against the snapshot's paper
@@ -1339,10 +1685,7 @@ impl QueryEngine {
     pub fn query(&self, q: &Query) -> Result<Page, QueryError> {
         let (label, engine) = self.resolve(q.method.as_deref())?;
         let snap = engine.snapshot();
-        match self.seeded_scores(label, engine, &snap, q)? {
-            Some(s) => execute(&snap, label, q, s.as_slice(), &self.cost),
-            None => execute(&snap, label, q, snap.scores().as_slice(), &self.cost),
-        }
+        self.query_pinned(label, engine, &snap, q)
     }
 
     /// Executes a query against a caller-pinned snapshot (from
@@ -1352,10 +1695,7 @@ impl QueryEngine {
     /// personalized solve on exactly `snap`'s epoch.
     pub fn query_at(&self, snap: &EpochSnapshot, q: &Query) -> Result<Page, QueryError> {
         let (label, engine) = self.resolve(q.method.as_deref())?;
-        match self.seeded_scores(label, engine, snap, q)? {
-            Some(s) => execute(snap, label, q, s.as_slice(), &self.cost),
-            None => execute(snap, label, q, snap.scores().as_slice(), &self.cost),
-        }
+        self.query_pinned(label, engine, snap, q)
     }
 
     /// The planner's decision for `q` against the current snapshot of

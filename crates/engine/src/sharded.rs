@@ -54,6 +54,9 @@ use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
+
+use obsv::MetricsRegistry;
 
 use citegraph::{
     CitationNetwork, GraphDelta, PaperId, SeedPersonalization, ShardPlan, ShardPlanError,
@@ -63,11 +66,15 @@ use sparsela::{
     cmp_score_desc, merge_k_sorted, top_k_filtered, top_k_indices, top_k_where, ScoreVec,
 };
 
+use crate::admission::{AdmissionController, AdmissionPolicy, AdmissionStats, CostedQuery};
 use crate::engine::{
     ColdStart, EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy, WarmupReport,
 };
+use crate::metrics::{
+    ShardedServingMetrics, SHAPE_FACETED, SHAPE_SEEDED, SHAPE_UNFILTERED, SHAPE_YEAR_RANGE,
+};
 use crate::personalization::{CacheConfig, PersonalizationCache};
-use crate::query::{seed_error_to_query, CompareRow, Hit, Query, QueryError};
+use crate::query::{seed_error_to_query, CompareRow, CostModel, Hit, Query, QueryError};
 use crate::spec::MethodSpec;
 
 /// Errors from the sharded serving layer.
@@ -331,13 +338,27 @@ pub struct ShardedEngine {
     /// tail shard grows, so `starts` never changes while serving.
     starts: Vec<PaperId>,
     shards: Vec<Arc<RankingEngine>>,
-    /// Cross-shard citations absorbed so far (partition-time drops plus
-    /// routed-ingest drops).
-    boundary_edges: AtomicUsize,
+    /// Cross-shard citations absorbed so far, per shard: partition-time
+    /// drops land on the shard that lost the edge, routed-ingest drops
+    /// on the tail that absorbed them.
+    boundary_edges: Vec<AtomicUsize>,
     /// Engine-wide personalization cache for `seed=` queries; entries
     /// are keyed per shard (the label carries the shard index), so one
     /// LRU budget covers the whole partition.
     cache: PersonalizationCache,
+    /// Metric families + registry, when observability is enabled.
+    metrics: Option<ShardedMetricsBundle>,
+    /// Admission controller, when backpressure is enabled.
+    admission: Option<Arc<AdmissionController>>,
+    /// Per-id scan constant for the coarse admission cost estimate.
+    cost: CostModel,
+}
+
+/// The registry a [`ShardedEngine`] renders through plus its registered
+/// sharded-stack families.
+struct ShardedMetricsBundle {
+    registry: Arc<MetricsRegistry>,
+    serving: Arc<ShardedServingMetrics>,
 }
 
 impl ShardedEngine {
@@ -367,18 +388,21 @@ impl ShardedEngine {
                 .collect()
         });
         let mut shards = Vec::with_capacity(n_shards);
-        let mut dropped_total = 0usize;
+        let mut boundary_edges = Vec::with_capacity(n_shards);
         for r in built {
             let (engine, dropped) = r?;
-            dropped_total += dropped;
+            boundary_edges.push(AtomicUsize::new(dropped));
             shards.push(engine);
         }
         Ok(Self {
             method: shards[0].method().to_string(),
             starts: plan.boundaries()[..n_shards].to_vec(),
             shards,
-            boundary_edges: AtomicUsize::new(dropped_total),
+            boundary_edges,
             cache: PersonalizationCache::new(CacheConfig::default()),
+            metrics: None,
+            admission: None,
+            cost: CostModel::from_baseline_env(),
         })
     }
 
@@ -407,7 +431,116 @@ impl ShardedEngine {
     /// Cross-shard citations absorbed so far: partition-time drops plus
     /// every boundary edge dropped by routed ingests.
     pub fn boundary_edges(&self) -> usize {
-        self.boundary_edges.load(Ordering::Relaxed)
+        self.boundary_edges
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// [`Self::boundary_edges`] broken down per shard, in id order:
+    /// partition-time drops land on the shard that lost the edge,
+    /// routed-ingest drops on the absorbing tail.
+    pub fn boundary_edges_by_shard(&self) -> Vec<usize> {
+        self.boundary_edges
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Registers the sharded-stack metric families on `registry`. From
+    /// here on [`Self::query_at`] records per-query latency by query
+    /// shape; sampled families (cache occupancy, admission counters,
+    /// per-shard boundary edges) refresh at [`Self::render_metrics`].
+    ///
+    /// The family names are disjoint from the flat
+    /// [`QueryEngine`](crate::QueryEngine) stack's, so both can share
+    /// one registry and render in a single exposition.
+    ///
+    /// # Panics
+    /// Panics if the sharded-stack family names are already registered
+    /// on `registry`.
+    pub fn enable_metrics_on(
+        &mut self,
+        registry: Arc<MetricsRegistry>,
+    ) -> Arc<ShardedServingMetrics> {
+        let serving = ShardedServingMetrics::register(&registry, self.shards.len());
+        self.metrics = Some(ShardedMetricsBundle {
+            registry,
+            serving: Arc::clone(&serving),
+        });
+        serving
+    }
+
+    /// [`Self::enable_metrics_on`] over a fresh registry; returns the
+    /// registry so the caller can render it.
+    pub fn enable_metrics(&mut self) -> Arc<MetricsRegistry> {
+        let registry = Arc::new(MetricsRegistry::new());
+        self.enable_metrics_on(Arc::clone(&registry));
+        registry
+    }
+
+    /// The registered sharded families, if metrics are enabled.
+    pub fn metrics(&self) -> Option<&Arc<ShardedServingMetrics>> {
+        self.metrics.as_ref().map(|m| &m.serving)
+    }
+
+    /// Installs (or replaces) the admission policy guarding the
+    /// scatter-gather read path.
+    ///
+    /// Sharded admission is **coarser** than the flat engine's: the cost
+    /// estimate is the year-pruned id span times the scan constant (no
+    /// per-shard driver pricing), and the degradation ladder offers only
+    /// the k-clamp — there is no indexed fallback to steer to, because
+    /// each shard picks its own driver locally. Scan-ceiling policies
+    /// therefore behave like query-ceiling ones here.
+    pub fn set_admission(&mut self, policy: AdmissionPolicy) {
+        self.admission = Some(Arc::new(AdmissionController::new(policy)));
+    }
+
+    /// Counters of the admission controller, if one is installed.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(|a| a.stats())
+    }
+
+    /// Refreshes every sampled sharded family (cache occupancy,
+    /// admission counters, per-shard boundary-edge gauges) and renders
+    /// the registry's Prometheus exposition text. `None` until metrics
+    /// are enabled. Renders *everything* on the registry — including a
+    /// flat stack registered on the same one.
+    pub fn render_metrics(&self) -> Option<String> {
+        let bundle = self.metrics.as_ref()?;
+        bundle.serving.record_cache(&self.cache.stats());
+        if let Some(admission) = &self.admission {
+            bundle.serving.record_admission(&admission.stats());
+        }
+        bundle
+            .serving
+            .record_boundary_edges(&self.boundary_edges_by_shard());
+        Some(bundle.registry.render())
+    }
+
+    /// Coarse serve-cost estimate for admission: the id span of every
+    /// shard surviving the year prune, priced at the planner's
+    /// per-id scan constant. Page assembly (`k × PAGE_ITEM_NS`) is
+    /// added by the controller itself.
+    fn estimate_cost_ns(&self, snaps: &ShardSnapshots, q: &Query) -> f64 {
+        let has_year = q.year_min.is_some() || q.year_max.is_some();
+        let mut ids = 0usize;
+        for snap in &snaps.snaps {
+            if has_year {
+                let net = snap.network();
+                let (Some(first), Some(last)) = (net.first_year(), net.current_year()) else {
+                    continue;
+                };
+                let disjoint = q.year_min.is_some_and(|lo| lo > last)
+                    || q.year_max.is_some_and(|hi| hi < first);
+                if disjoint {
+                    continue;
+                }
+            }
+            ids += snap.n_papers();
+        }
+        ids as f64 * self.cost.scan_per_id
     }
 
     /// Routes a **global-id** delta to the tail shard.
@@ -440,7 +573,7 @@ impl ShardedEngine {
             }
         }
         let report = self.shards[tail].ingest(&local)?;
-        self.boundary_edges.fetch_add(absorbed, Ordering::Relaxed);
+        self.boundary_edges[tail].fetch_add(absorbed, Ordering::Relaxed);
         Ok(ShardedIngestReport {
             shard: tail,
             boundary_edges: absorbed,
@@ -565,7 +698,72 @@ impl ShardedEngine {
     /// compare mode is [`Self::compare`]); `q.cursor` must be `None` —
     /// sharded pagination uses the `cursor` argument and mints
     /// [`ShardCursor`]s.
+    ///
+    /// With metrics enabled the query's latency lands in the
+    /// shape-labeled histogram; with admission enabled an over-budget
+    /// query degrades (k-clamp) or sheds with a typed
+    /// [`QueryError::Overloaded`] before any shard is touched.
     pub fn query_at(
+        &self,
+        snaps: &ShardSnapshots,
+        q: &Query,
+        cursor: Option<&ShardCursor>,
+    ) -> Result<ShardedPage, ShardedError> {
+        let serving = self.metrics.as_ref().map(|m| &m.serving);
+        if serving.is_none() && self.admission.is_none() {
+            return self.execute_sharded(snaps, q, cursor);
+        }
+        let started = serving.is_some().then(Instant::now);
+        let shape = if !q.seeds.is_empty() {
+            SHAPE_SEEDED
+        } else if !q.venues.is_empty() || !q.authors.is_empty() {
+            SHAPE_FACETED
+        } else if q.year_min.is_some() || q.year_max.is_some() {
+            SHAPE_YEAR_RANGE
+        } else {
+            SHAPE_UNFILTERED
+        };
+        let clamped_q;
+        let mut q = q;
+        let _ticket = match &self.admission {
+            None => None,
+            Some(admission) => {
+                let costed = CostedQuery {
+                    plan_cost_ns: self.estimate_cost_ns(snaps, q),
+                    indexed_alternative_ns: None,
+                    scan_family: false,
+                    k: q.k,
+                };
+                match admission.admit(costed) {
+                    Err(overload) => {
+                        return Err(ShardedError::Query(QueryError::Overloaded {
+                            cost_ns: overload.cost_ns,
+                            inflight_ns: overload.inflight_ns,
+                            limit_ns: overload.limit_ns,
+                        }));
+                    }
+                    Ok(ticket) => {
+                        if ticket.k != q.k {
+                            let mut degraded = q.clone();
+                            degraded.k = ticket.k;
+                            clamped_q = degraded;
+                            q = &clamped_q;
+                        }
+                        Some(ticket)
+                    }
+                }
+            }
+        };
+        let result = self.execute_sharded(snaps, q, cursor);
+        if let (Some(m), Some(at)) = (serving, started) {
+            m.query_seconds.at(shape).observe(at.elapsed());
+        }
+        result
+    }
+
+    /// The scatter-gather body behind [`Self::query_at`] (prune, collect
+    /// per shard, k-way merge), free of metrics and admission plumbing.
+    fn execute_sharded(
         &self,
         snaps: &ShardSnapshots,
         q: &Query,
@@ -849,8 +1047,11 @@ impl ShardedEngine {
             method,
             starts: manifest.boundaries[..n_shards].to_vec(),
             shards,
-            boundary_edges: AtomicUsize::new(0),
+            boundary_edges: (0..n_shards).map(|_| AtomicUsize::new(0)).collect(),
             cache: PersonalizationCache::new(CacheConfig::default()),
+            metrics: None,
+            admission: None,
+            cost: CostModel::from_baseline_env(),
         };
         Ok(ShardedColdStart {
             engine,

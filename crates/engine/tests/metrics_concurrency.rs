@@ -1,0 +1,118 @@
+//! Instrumentation under concurrency: reader threads hammer metered
+//! queries across concurrent publishes, and afterwards the latency
+//! histograms must account for every issued query exactly — no drops,
+//! no double counts — on both the flat and the sharded path.
+
+use citegen::{generate, DatasetProfile};
+use citegraph::{GraphDelta, ShardSpec};
+use rankengine::{Query, QueryEngine, RerankPolicy, ShardedEngine};
+
+const THREADS: usize = 4;
+const PER_THREAD: usize = 250;
+const PUBLISHES: u32 = 8;
+
+/// One new paper per batch (global id `n0 + r`) citing a varying old
+/// paper, so every ingest stages real edge work and publishes.
+fn growth_batch(n0: u32, r: u32) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    delta.add_paper(2021);
+    delta.add_citation(n0 + r, (r * 37) % n0);
+    delta
+}
+
+/// Sums the `_count` samples of one histogram family across all its
+/// label children in a rendered exposition.
+fn histogram_count(text: &str, family: &str) -> usize {
+    let count_name = format!("{family}_count");
+    obsv::validate::parse_samples(text)
+        .iter()
+        .filter(|s| s.name == count_name)
+        .map(|s| s.value as usize)
+        .sum()
+}
+
+#[test]
+fn flat_histograms_account_for_every_query() {
+    let net = generate(&DatasetProfile::dblp().scaled(2_000), 19);
+    let mut qe =
+        QueryEngine::from_configs(net.clone(), &["attrank", "cc"], RerankPolicy::EveryBatch)
+            .unwrap();
+    qe.enable_metrics();
+    let mid = net.years()[net.n_papers() / 2];
+    let mix: Vec<Query> = [
+        "k=5".to_string(),
+        format!("k=5,year={mid}.."),
+        "k=5,venue=0".to_string(),
+        "k=5,method=cc".to_string(),
+    ]
+    .iter()
+    .map(|g| g.parse().unwrap())
+    .collect();
+
+    let n0 = net.n_papers() as u32;
+    std::thread::scope(|s| {
+        let qe = &qe;
+        let mix = &mix;
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let q = &mix[(t + i) % mix.len()];
+                    qe.query(q).unwrap();
+                }
+            });
+        }
+        for r in 0..PUBLISHES {
+            qe.ingest(&growth_batch(n0, r)).unwrap();
+        }
+    });
+
+    let text = qe.render_metrics().unwrap();
+    assert_eq!(
+        histogram_count(&text, "attrank_query_seconds"),
+        THREADS * PER_THREAD,
+        "driver-labeled latency counts must sum to the issued queries"
+    );
+}
+
+#[test]
+fn sharded_histograms_account_for_every_query() {
+    let net = generate(&DatasetProfile::dblp().scaled(2_000), 23);
+    let plan = ShardSpec::Fixed(3).plan(&net).unwrap();
+    let mut sh =
+        ShardedEngine::from_plan(&net, &plan, "attrank", RerankPolicy::EveryBatch).unwrap();
+    sh.enable_metrics();
+    let mid = net.years()[net.n_papers() / 2];
+    let mix: Vec<Query> = [
+        "k=5".to_string(),
+        format!("k=5,year={mid}.."),
+        "k=5,venue=0".to_string(),
+        "k=5,seed=0|1".to_string(),
+    ]
+    .iter()
+    .map(|g| g.parse().unwrap())
+    .collect();
+
+    let n0 = net.n_papers() as u32;
+    std::thread::scope(|s| {
+        let sh = &sh;
+        let mix = &mix;
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let q = &mix[(t + i) % mix.len()];
+                    sh.query(q, None).unwrap();
+                }
+            });
+        }
+        for r in 0..PUBLISHES {
+            sh.ingest(&growth_batch(n0, r)).unwrap();
+        }
+    });
+
+    let text = sh.render_metrics().unwrap();
+    assert_eq!(
+        histogram_count(&text, "attrank_sharded_query_seconds"),
+        THREADS * PER_THREAD,
+        "shape-labeled latency counts must sum to the issued queries"
+    );
+}

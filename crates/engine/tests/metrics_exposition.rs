@@ -1,0 +1,164 @@
+//! Exposition self-check: a scripted serving workload over a flat +
+//! sharded stack sharing one registry must render Prometheus text that
+//! passes the in-repo validator (`obsv::validate`) and covers every
+//! registered family, with the scripted events visible in the counters.
+
+use std::path::PathBuf;
+
+use citegen::{generate, DatasetProfile};
+use citegraph::{GraphDelta, ShardSpec};
+use rankengine::{AdmissionPolicy, Query, QueryEngine, QueryError, RerankPolicy, ShardedEngine};
+
+fn temp_wal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rankengine_metrics_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Every family the two stacks register, flat then sharded.
+const FAMILIES: [&str; 26] = [
+    "attrank_query_seconds",
+    "attrank_planner_decisions_total",
+    "attrank_cursor_errors_total",
+    "attrank_cache_outcomes_total",
+    "attrank_cache_entries",
+    "attrank_cache_bytes",
+    "attrank_admission_decisions_total",
+    "attrank_admission_inflight_cost_ns",
+    "attrank_epoch",
+    "attrank_staged_batches",
+    "attrank_staged_edges",
+    "attrank_wal_replay_depth",
+    "attrank_publish_seconds",
+    "attrank_solve_seconds",
+    "attrank_push_pushes",
+    "attrank_push_edge_work",
+    "attrank_push_edge_budget",
+    "attrank_wal_append_seconds",
+    "attrank_wal_fsync_seconds",
+    "attrank_sharded_query_seconds",
+    "attrank_sharded_cache_outcomes_total",
+    "attrank_sharded_cache_entries",
+    "attrank_sharded_cache_bytes",
+    "attrank_sharded_admission_decisions_total",
+    "attrank_sharded_admission_inflight_cost_ns",
+    "attrank_shard_boundary_edges",
+];
+
+#[test]
+fn scripted_workload_renders_valid_exposition() {
+    let net = generate(&DatasetProfile::dblp().scaled(1_500), 7);
+    let mut qe =
+        QueryEngine::from_configs(net.clone(), &["attrank", "cc"], RerankPolicy::EveryBatch)
+            .unwrap();
+    let registry = qe.enable_metrics();
+    qe.set_admission(AdmissionPolicy::default());
+    let wal_path = temp_wal("expo");
+    qe.engine(None).unwrap().attach_wal(&wal_path).unwrap();
+
+    // A growth batch citing old papers: WAL appends + one publish per
+    // method.
+    let n0 = net.n_papers() as u32;
+    let mut delta = GraphDelta::new();
+    for j in 0..4u32 {
+        delta.add_paper(2021);
+        delta.add_citation(n0 + j, j);
+    }
+    qe.ingest(&delta).unwrap();
+
+    // One query per plan driver family, plus a seeded solve.
+    let mid = net.years()[net.n_papers() / 2];
+    for g in [
+        "k=5".to_string(),
+        format!("k=5,year={mid}.."),
+        "k=5,venue=0".to_string(),
+        "k=5,author=0".to_string(),
+        "k=5,method=attrank,seed=0|1".to_string(),
+    ] {
+        let q: Query = g.parse().unwrap();
+        qe.query(&q).unwrap();
+    }
+
+    // A cursor stranded by the next publish: a counted stale error.
+    let year_q: Query = format!("k=5,year={mid}..").parse().unwrap();
+    let page = qe.query(&year_q).unwrap();
+    let cursor = page.next.expect("broad year range paginates");
+    qe.rerank();
+    let mut stale_q = year_q.clone();
+    stale_q.cursor = Some(cursor);
+    assert!(matches!(
+        qe.query(&stale_q),
+        Err(QueryError::StaleCursor { .. })
+    ));
+
+    // A wide page k-clamps under a 5 µs ceiling...
+    qe.set_admission(AdmissionPolicy {
+        max_query_cost_ns: 5_000.0,
+        degraded_k: 1,
+        ..AdmissionPolicy::default()
+    });
+    let wide: Query = format!("k=400,year={mid}..").parse().unwrap();
+    let clamped = qe.query(&wide).unwrap();
+    assert!(
+        clamped.items.len() <= 1,
+        "expected a k-clamp to 1, got {} items",
+        clamped.items.len()
+    );
+    // ...capture this controller before the swap (render refresh is a
+    // monotone fetch_max), then shed outright under a 50 ns ceiling.
+    let _ = qe.render_metrics();
+    qe.set_admission(AdmissionPolicy {
+        max_query_cost_ns: 50.0,
+        degraded_k: 1,
+        ..AdmissionPolicy::default()
+    });
+    assert!(matches!(
+        qe.query(&wide),
+        Err(QueryError::Overloaded { .. })
+    ));
+
+    // The sharded stack on the same registry: a boundary-absorbing
+    // ingest and one query per shape.
+    let plan = ShardSpec::Fixed(3).plan(&net).unwrap();
+    let mut sh =
+        ShardedEngine::from_plan(&net, &plan, "attrank", RerankPolicy::EveryBatch).unwrap();
+    sh.enable_metrics_on(registry.clone());
+    sh.set_admission(AdmissionPolicy::default());
+    sh.ingest(&delta).unwrap();
+    for g in [
+        "k=5".to_string(),
+        format!("k=5,year={mid}.."),
+        "k=5,venue=0".to_string(),
+        "k=5,seed=0|1".to_string(),
+    ] {
+        let q: Query = g.parse().unwrap();
+        sh.query(&q, None).unwrap();
+    }
+
+    // Refresh both stacks' sampled families, then render once.
+    let _ = sh.render_metrics();
+    let text = qe.render_metrics().unwrap();
+    let _ = std::fs::remove_file(&wal_path);
+
+    obsv::validate::validate(&text)
+        .unwrap_or_else(|e| panic!("exposition failed self-validation: {e}\n{text}"));
+    for family in FAMILIES {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "family {family} missing from the exposition"
+        );
+    }
+
+    // The scripted events are visible in the rendered counters.
+    assert!(text.contains("attrank_cursor_errors_total{kind=\"stale\"} 1"));
+    assert!(text.contains("attrank_admission_decisions_total{decision=\"k_clamped\"} 1"));
+    assert!(text.contains("attrank_admission_decisions_total{decision=\"shed\"} 1"));
+    assert!(text.contains("attrank_cache_outcomes_total{outcome=\"cold_push\"} 1"));
+    // Boundary edges from the 3-way partition land on their shards.
+    assert!(sh.boundary_edges() > 0);
+    let by_shard = sh.boundary_edges_by_shard();
+    assert_eq!(by_shard.iter().sum::<usize>(), sh.boundary_edges());
+    assert!(by_shard.iter().any(|&n| n > 0));
+}

@@ -159,7 +159,7 @@ pub mod wal;
 
 pub use net::{compact, load_network, save_network, CompactReport, NetworkStoreExt};
 pub use snapshot::{EpochRef, ShardManifest, Store, StoreBuilder, StoreError};
-pub use wal::{DeltaWal, WalRecord, WalRecovery};
+pub use wal::{DeltaWal, WalObservers, WalRecord, WalRecovery};
 
 /// FNV-1a 64-bit checksum (the store's and WAL's per-section integrity
 /// check — dependency-free, one multiply per byte, and byte-order

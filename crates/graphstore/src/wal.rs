@@ -11,8 +11,11 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use citegraph::GraphDelta;
+use obsv::Histogram;
 
 use crate::fnv1a64;
 use crate::snapshot::StoreError;
@@ -67,6 +70,21 @@ impl WalRecovery {
     }
 }
 
+/// Latency instruments a [`DeltaWal`] reports into, when attached.
+///
+/// The WAL stays usable without any observers (tests, offline tools);
+/// serving engines attach histograms from their metrics registry so
+/// append and fsync latency show up in the exposition. Observations are
+/// recorded only when attached — the unobserved hot path pays one
+/// `Option` check.
+#[derive(Debug, Clone)]
+pub struct WalObservers {
+    /// Whole-append latency: serialize + write + (optional) fsync.
+    pub append: Arc<Histogram>,
+    /// The fsync alone (`sync_data`); empty when `sync_on_append` is off.
+    pub fsync: Arc<Histogram>,
+}
+
 /// An open write-ahead log.
 ///
 /// The handle owns an append-position file descriptor; [`Self::append`]
@@ -78,6 +96,8 @@ pub struct DeltaWal {
     path: PathBuf,
     /// `false` skips the per-append fsync (benchmarks, bulk loads).
     sync_on_append: bool,
+    /// Latency instruments; `None` until a serving engine attaches them.
+    observers: Option<WalObservers>,
 }
 
 impl DeltaWal {
@@ -105,6 +125,7 @@ impl DeltaWal {
                     file,
                     path,
                     sync_on_append: true,
+                    observers: None,
                 },
                 WalRecovery {
                     records: Vec::new(),
@@ -149,12 +170,19 @@ impl DeltaWal {
                 file,
                 path,
                 sync_on_append: true,
+                observers: None,
             },
             WalRecovery {
                 records,
                 truncated_bytes: truncated,
             },
         ))
+    }
+
+    /// Attaches (or replaces) the latency instruments this log reports
+    /// append and fsync durations into.
+    pub fn set_observers(&mut self, observers: WalObservers) {
+        self.observers = Some(observers);
     }
 
     /// Disables the per-append fsync (throughput over durability; the
@@ -178,15 +206,26 @@ impl DeltaWal {
     /// log — recovery treats a non-increasing `seq` as corruption and
     /// truncates there.
     pub fn append(&mut self, seq: u64, delta: &GraphDelta) -> Result<(), StoreError> {
+        let started = Instant::now();
         let record = encode_record(seq, delta);
         let before = self.file.metadata()?.len();
+        let file = &mut self.file;
+        let sync = self.sync_on_append;
+        let observers = self.observers.as_ref();
         let result = (|| -> std::io::Result<()> {
-            self.file.write_all(&record)?;
-            if self.sync_on_append {
-                self.file.sync_data()?;
+            file.write_all(&record)?;
+            if sync {
+                let sync_started = Instant::now();
+                file.sync_data()?;
+                if let Some(obs) = observers {
+                    obs.fsync.observe(sync_started.elapsed());
+                }
             }
             Ok(())
         })();
+        if let Some(obs) = observers {
+            obs.append.observe(started.elapsed());
+        }
         if let Err(e) = result {
             // Roll the orphan bytes back; if even that fails, recovery's
             // checksum + monotonic-seq checks still refuse the tail.

@@ -1,0 +1,435 @@
+//! A minimal in-repo validator for Prometheus text-format v0.0.4 output.
+//!
+//! This is the self-check half of the exposition contract: tests render the
+//! live registry and run [`validate`] over the text so the format cannot
+//! drift — line grammar, name/label character sets, `# TYPE` discipline,
+//! duplicate-sample detection, and per-labelset histogram invariants
+//! (monotone cumulative buckets, `+Inf` present and equal to `_count`,
+//! `_sum` present). [`parse_samples`] is the shared parser, also used by the
+//! CLI to diff per-query metric deltas.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name, including any `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value (`+Inf` parses to `f64::INFINITY`).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A canonical `k="v"` rendering of the labelset, excluding `except`.
+    fn labelset_excluding(&self, except: &str) -> String {
+        let ordered: BTreeMap<&str, &str> = self
+            .labels
+            .iter()
+            .filter(|(k, _)| k != except)
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        ordered
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// Parse one sample line. Returns `Err` with a reason on grammar violations.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_and_labels, value_text) = match line.find('}') {
+        Some(close) => {
+            let rest = line[close + 1..].trim_start();
+            (&line[..close + 1], rest)
+        }
+        None => match line.split_once(' ') {
+            Some((head, rest)) => (head, rest.trim_start()),
+            None => return Err(format!("sample line has no value: {line:?}")),
+        },
+    };
+    let (name, labels) = match name_and_labels.split_once('{') {
+        Some((name, labels_part)) => {
+            let labels_part = labels_part
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label braces: {line:?}"))?;
+            let mut labels = Vec::new();
+            if !labels_part.is_empty() {
+                for pair in labels_part.split(',') {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("label pair missing '=': {pair:?}"))?;
+                    if !valid_label_name(k) {
+                        return Err(format!("bad label name {k:?} in {line:?}"));
+                    }
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("label value not quoted: {pair:?}"))?;
+                    labels.push((k.to_string(), v.to_string()));
+                }
+            }
+            (name, labels)
+        }
+        None => (name_and_labels, Vec::new()),
+    };
+    if !valid_metric_name(name) {
+        return Err(format!("bad metric name {name:?} in {line:?}"));
+    }
+    if value_text.is_empty() {
+        return Err(format!("sample line has no value: {line:?}"));
+    }
+    let value =
+        parse_value(value_text).ok_or_else(|| format!("bad sample value {value_text:?}"))?;
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parse every sample line in an exposition, skipping comments and blanks.
+///
+/// Lines that fail the sample grammar are skipped; use [`validate`] when
+/// grammar violations should be errors.
+pub fn parse_samples(text: &str) -> Vec<Sample> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| parse_sample(l).ok())
+        .collect()
+}
+
+/// The declared type of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FamilyType {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// Validate a Prometheus text-format v0.0.4 exposition.
+///
+/// Checks, in order of discovery:
+/// - every line is a `# HELP`, `# TYPE`, blank, or a well-formed sample;
+/// - metric and label names match the Prometheus character sets;
+/// - each family has exactly one `# TYPE`, appearing before its samples;
+/// - every sample belongs to a declared family (histograms own their
+///   `_bucket`/`_sum`/`_count` suffixes);
+/// - no duplicate samples (same name and labelset);
+/// - per histogram labelset: `le` values parse and strictly increase,
+///   cumulative bucket counts are monotone non-decreasing, the `+Inf`
+///   bucket exists and equals `_count`, and `_sum` is present.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, FamilyType> = HashMap::new();
+    let mut seen_samples: HashSet<String> = HashSet::new();
+    // (family, labelset-without-le) -> list of (le, cumulative count)
+    let mut buckets: HashMap<(String, String), Vec<(f64, f64)>> = HashMap::new();
+    let mut sums: HashSet<(String, String)> = HashSet::new();
+    let mut counts: HashMap<(String, String), f64> = HashMap::new();
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed TYPE line: {line:?}"))?;
+            if !valid_metric_name(name) {
+                return Err(format!("bad metric name in TYPE line: {line:?}"));
+            }
+            let kind = match kind {
+                "counter" => FamilyType::Counter,
+                "gauge" => FamilyType::Gauge,
+                "histogram" => FamilyType::Histogram,
+                other => return Err(format!("unknown metric type {other:?} for {name}")),
+            };
+            if types.insert(name.to_string(), kind).is_some() {
+                return Err(format!("family {name} declared TYPE more than once"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("bad metric name in HELP line: {line:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let sample = parse_sample(line)?;
+        let key = format!("{}|{}", sample.name, sample.labelset_excluding(""));
+        if !seen_samples.insert(key) {
+            return Err(format!("duplicate sample: {line:?}"));
+        }
+        // Resolve the owning family: exact name, or a histogram suffix.
+        let family = if types.contains_key(&sample.name) {
+            sample.name.clone()
+        } else {
+            let stripped = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| sample.name.strip_suffix(suffix))
+                .filter(|base| types.get(*base) == Some(&FamilyType::Histogram));
+            match stripped {
+                Some(base) => base.to_string(),
+                None => return Err(format!("sample {:?} has no declared TYPE", sample.name)),
+            }
+        };
+        match types[&family] {
+            FamilyType::Counter | FamilyType::Gauge => {
+                if sample.name != family {
+                    return Err(format!(
+                        "sample {:?} does not match family {family}",
+                        sample.name
+                    ));
+                }
+            }
+            FamilyType::Histogram => {
+                let labelset = sample.labelset_excluding("le");
+                if sample.name == format!("{family}_bucket") {
+                    let le = sample
+                        .label("le")
+                        .ok_or_else(|| format!("bucket without le label: {line:?}"))?;
+                    let le = parse_value(le)
+                        .ok_or_else(|| format!("unparsable le value {le:?} in {line:?}"))?;
+                    buckets
+                        .entry((family, labelset))
+                        .or_default()
+                        .push((le, sample.value));
+                } else if sample.name == format!("{family}_sum") {
+                    sums.insert((family, labelset));
+                } else if sample.name == format!("{family}_count") {
+                    counts.insert((family, labelset), sample.value);
+                } else if sample.name == family {
+                    return Err(format!(
+                        "histogram family {family} has a bare sample: {line:?}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Per-labelset histogram invariants.
+    for ((family, labelset), series) in &buckets {
+        let which = || {
+            if labelset.is_empty() {
+                family.clone()
+            } else {
+                format!("{family}{{{labelset}}}")
+            }
+        };
+        for pair in series.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(format!("histogram {} le values not increasing", which()));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(format!(
+                    "histogram {} cumulative buckets decrease at le={}",
+                    which(),
+                    pair[1].0
+                ));
+            }
+        }
+        let (last_le, last_count) = *series
+            .last()
+            .ok_or_else(|| format!("histogram {} has no buckets", which()))?;
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {} missing +Inf bucket", which()));
+        }
+        match counts.get(&(family.clone(), labelset.clone())) {
+            Some(&count) if count == last_count => {}
+            Some(&count) => {
+                return Err(format!(
+                    "histogram {} +Inf bucket {last_count} != _count {count}",
+                    which()
+                ))
+            }
+            None => return Err(format!("histogram {} missing _count", which())),
+        }
+        if !sums.contains(&(family.clone(), labelset.clone())) {
+            return Err(format!("histogram {} missing _sum", which()));
+        }
+    }
+    // Histograms declared but never emitting buckets are also an error if
+    // they emitted _count/_sum without any bucket series.
+    for (family, labelset) in counts.keys() {
+        if !buckets.contains_key(&(family.clone(), labelset.clone())) {
+            return Err(format!(
+                "histogram {family}{{{labelset}}} has _count but no buckets"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_text() -> String {
+        let r = crate::MetricsRegistry::new();
+        let c = r.counter_vec("req_total", "requests", "kind", &["a", "b"]);
+        c.at(0).add(7);
+        let g = r.gauge("depth", "queue depth");
+        g.set(3);
+        let h = r.histogram_vec(
+            "lat_seconds",
+            "latency",
+            "driver",
+            &["x", "y"],
+            &[1_000, 1_000_000],
+        );
+        h.at(0).observe_ns(10);
+        h.at(0).observe_ns(2_000_000);
+        h.at(1).observe_ns(500_000);
+        r.render()
+    }
+
+    #[test]
+    fn accepts_rendered_registry() {
+        let text = valid_text();
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn parse_samples_round_trip() {
+        let text = valid_text();
+        let samples = parse_samples(&text);
+        let hit = samples
+            .iter()
+            .find(|s| s.name == "req_total" && s.label("kind") == Some("a"))
+            .unwrap();
+        assert_eq!(hit.value, 7.0);
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "lat_seconds_bucket"
+                    && s.label("driver") == Some("x")
+                    && s.label("le") == Some("+Inf")
+            })
+            .unwrap();
+        assert_eq!(inf.value, 2.0);
+    }
+
+    #[test]
+    fn rejects_untyped_sample() {
+        let err = validate("orphan_total 3\n").unwrap_err();
+        assert!(err.contains("no declared TYPE"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_type() {
+        let text = "# TYPE x counter\n# TYPE x counter\nx 1\n";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_sample() {
+        let text = "# TYPE x counter\nx 1\nx 2\n";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("duplicate sample"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_metric_name() {
+        let text = "# TYPE 9bad counter\n";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("bad metric name"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unquoted_label_value() {
+        let text = "# TYPE x counter\nx{k=v} 1\n";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("not quoted"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_monotone_buckets() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"0.001\"} 5
+h_bucket{le=\"0.01\"} 4
+h_bucket{le=\"+Inf\"} 5
+h_sum 0.1
+h_count 5
+";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("cumulative buckets decrease"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"0.001\"} 5
+h_sum 0.1
+h_count 5
+";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("missing +Inf"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inf_count_mismatch() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_sum 0.1
+h_count 6
+";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("!= _count"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_sum() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_count 5
+";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("missing _sum"), "{err}");
+    }
+}
