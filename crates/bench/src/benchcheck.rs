@@ -101,6 +101,9 @@ pub fn is_guarded(r: &BenchRecord) -> bool {
         // The metrics group is guarded except its bare reference row,
         // which exists only to form the instrumentation-overhead ratio.
         || (r.group == "metrics_overhead" && !r.id.contains("bare"))
+        // The throughput group is guarded except its sequential
+        // reference rows, which exist only to form the batching ratio.
+        || (r.group == "throughput" && !r.id.contains("sequential"))
 }
 
 /// The cold-start speedup recorded in a report: `min_ns` of the TSV
@@ -304,6 +307,32 @@ pub fn metrics_overhead_ratio(records: &[BenchRecord]) -> Option<f64> {
 /// instrumented query path within 10% of the bare one by min
 /// wall-clock).
 pub const MAX_METRICS_OVERHEAD_RATIO: f64 = 1.10;
+
+/// The batched-serving speedup recorded in a report: `min_ns` of the
+/// sequential per-query loop (`sequential_mixed_200k`) over one
+/// `query_batch` call on the same mixed workload (`batched_mixed_200k`),
+/// both in the `throughput` group on the same 200k-paper graph. `None`
+/// when either record is absent.
+///
+/// A ratio of two measurements from the same run, so — like the other
+/// ratio gates — it holds across machines and is enforced directly by
+/// `repro bench-check`.
+pub fn batched_throughput_speedup(records: &[BenchRecord]) -> Option<f64> {
+    let find = |prefix: &str| {
+        records
+            .iter()
+            .find(|r| r.group == "throughput" && r.id.starts_with(prefix))
+            .map(|r| r.min_ns)
+    };
+    let batched = find("batched_mixed_200k")?;
+    let sequential = find("sequential_mixed_200k")?;
+    Some(sequential / batched.max(1.0))
+}
+
+/// Acceptance floor for [`batched_throughput_speedup`] (ISSUE 10: one
+/// `query_batch` over the mixed 200k workload ≥2× the throughput of the
+/// same queries served sequentially).
+pub const MIN_BATCHED_THROUGHPUT_SPEEDUP: f64 = 2.0;
 
 /// Outcome of one guarded comparison.
 #[derive(Debug)]
@@ -540,6 +569,35 @@ mod tests {
         assert_eq!(metrics_overhead_ratio(&records[..1]), None);
         assert_eq!(metrics_overhead_ratio(&records[1..]), None);
         assert_eq!(metrics_overhead_ratio(&[]), None);
+    }
+
+    #[test]
+    fn throughput_group_guard_excludes_the_sequential_reference() {
+        let rec = |id: &str| BenchRecord {
+            group: "throughput".into(),
+            id: id.into(),
+            min_ns: 1.0,
+        };
+        assert!(is_guarded(&rec("batched_mixed_200k")));
+        assert!(!is_guarded(&rec("sequential_mixed_200k")));
+    }
+
+    #[test]
+    fn batched_throughput_speedup_is_the_min_ns_ratio() {
+        let rec = |id: &str, min_ns: f64| BenchRecord {
+            group: "throughput".into(),
+            id: id.into(),
+            min_ns,
+        };
+        let records = vec![
+            rec("sequential_mixed_200k", 9_000_000.0),
+            rec("batched_mixed_200k", 3_000_000.0),
+        ];
+        assert_eq!(batched_throughput_speedup(&records), Some(3.0));
+        // Either side missing → no ratio.
+        assert_eq!(batched_throughput_speedup(&records[..1]), None);
+        assert_eq!(batched_throughput_speedup(&records[1..]), None);
+        assert_eq!(batched_throughput_speedup(&[]), None);
     }
 
     #[test]

@@ -70,6 +70,8 @@ fn main() -> ExitCode {
         eprintln!("             robustness significance bench-check all");
         eprintln!("             export <stem> | import <stem> | compact <stem>");
         eprintln!("             query <grammar> [--metrics]   (e.g. query \"venue=3,k=10\")");
+        eprintln!("             query --batch FILE   (one query per line, one query_batch call)");
+        eprintln!("             loadgen   (sequential vs batched QPS on the mixed workload)");
         eprintln!("             related <paper-id> [--k N]   (seed-personalized top-k)");
         eprintln!("             metrics   (scripted workload -> Prometheus exposition)");
         return ExitCode::FAILURE;
@@ -84,6 +86,7 @@ fn main() -> ExitCode {
         "import" => return run_import(rest.get(1)),
         "compact" => return run_compact(rest.get(1)),
         "query" => return run_query(&opts, rest.get(1)),
+        "loadgen" => return run_loadgen(&opts),
         "related" => return run_related(&opts, rest.get(1)),
         "metrics" => return run_metrics(&opts),
         _ => {}
@@ -340,6 +343,20 @@ fn run_bench_check() -> ExitCode {
                 benchcheck::MIN_PERSONALIZED_WARM_SPEEDUP
             );
         }
+        if let Some(speedup) = benchcheck::batched_throughput_speedup(records) {
+            let verdict = if speedup >= benchcheck::MIN_BATCHED_THROUGHPUT_SPEEDUP {
+                "ok"
+            } else {
+                failed = true;
+                "REGRESSED"
+            };
+            println!(
+                "{:<44} {:>27.1}x  (floor {:.0}x)  {verdict}",
+                format!("throughput/batched_speedup ({origin})"),
+                speedup,
+                benchcheck::MIN_BATCHED_THROUGHPUT_SPEEDUP
+            );
+        }
         // Overhead ratio: a *ceiling*, not a floor — instrumentation must
         // stay within 10% of the bare query path.
         if let Some(ratio) = benchcheck::metrics_overhead_ratio(records) {
@@ -484,14 +501,18 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
     if let Some(spec) = opts.shards {
         return run_query_sharded(opts, spec, grammar);
     }
+    if let Some(path) = opts.batch.clone() {
+        return run_query_batch(opts, &path);
+    }
     let Some(grammar) = grammar else {
         eprintln!(
             "usage: repro query \"<grammar>\" [--scale N] [--seed N] [--methods \"SPEC;SPEC\"] \
-             [--shards N|year:WIDTH]"
+             [--shards N|year:WIDTH] [--batch FILE]"
         );
         eprintln!("grammar keys: method vs k year venue author seed cursor");
         eprintln!("examples:     \"venue=3,k=10\"  \"method=attrank,vs=cc,author=7,year=2005..\"");
         eprintln!("              \"seed=17|203,k=10\"   (seed-personalized ranking)");
+        eprintln!("              --batch FILE   (one grammar per line, served as one batch)");
         return ExitCode::FAILURE;
     };
     let query: rankengine::Query = match grammar.parse() {
@@ -668,6 +689,217 @@ fn run_query(opts: &Options, grammar: Option<&String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Reads a `--batch` workload file: one query grammar per line, blank
+/// lines and `#` comments skipped.
+fn read_batch_queries(path: &std::path::Path) -> Result<Vec<rankengine::Query>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        queries.push(
+            line.parse::<rankengine::Query>()
+                .map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?,
+        );
+    }
+    if queries.is_empty() {
+        return Err(format!("{}: no queries", path.display()));
+    }
+    Ok(queries)
+}
+
+/// `query --batch FILE`: serves every query in FILE through one
+/// [`rankengine::QueryEngine::query_batch`] call — one snapshot pin per
+/// method, members grouped by plan so pools/masks/seed probes carry
+/// across them — and prints a per-member summary line. Pages are
+/// bit-identical to serving each line with `repro query`.
+fn run_query_batch(opts: &Options, path: &std::path::Path) -> ExitCode {
+    use rankengine::{QueryEngine, RerankPolicy};
+
+    let queries = match read_batch_queries(path) {
+        Ok(qs) => qs,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = opts.scale.unwrap_or(20_000);
+    eprintln!(
+        "generating DBLP graph (scale = {scale}, seed = {}), ranking {:?}...",
+        opts.seed, opts.methods
+    );
+    let net = citegen::generate(&citegen::DatasetProfile::dblp().scaled(scale), opts.seed);
+    let t0 = std::time::Instant::now();
+    let specs: Vec<&str> = opts.methods.iter().map(String::as_str).collect();
+    let mut engine = match QueryEngine::from_configs(net, &specs, RerankPolicy::EveryBatch) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("query: cannot build engines: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.metrics {
+        engine.enable_metrics();
+    }
+    eprintln!("ranked in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    let metrics_before = engine.render_metrics();
+    let t1 = std::time::Instant::now();
+    let pages = engine.query_batch(&queries);
+    let elapsed = t1.elapsed();
+    let served = pages.iter().filter(|p| p.is_ok()).count();
+    println!(
+        "== batch: {served} of {} queries served in {:.1} µs ({:.0} queries/s) ==",
+        queries.len(),
+        elapsed.as_secs_f64() * 1e6,
+        queries.len() as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    let mut failed = false;
+    for (i, (q, res)) in queries.iter().zip(&pages).enumerate() {
+        match res {
+            Ok(page) => {
+                println!(
+                    "[{i:>3}] {q} -> {} of {} matches (method {}, epoch {}){}",
+                    page.items.len(),
+                    page.matched,
+                    page.method,
+                    page.epoch,
+                    page.next
+                        .map(|c| format!(", next cursor={c}"))
+                        .unwrap_or_default()
+                );
+            }
+            Err(e) => {
+                failed = true;
+                println!("[{i:>3}] {q} -> error: {e}");
+            }
+        }
+    }
+    let stats = engine.plan_cache_stats();
+    println!(
+        "plan cache: {} hits, {} misses, {} stale, {} entries",
+        stats.hits, stats.misses, stats.stale, stats.entries
+    );
+    if let (Some(before), Some(after)) = (metrics_before, engine.render_metrics()) {
+        print_metric_deltas(&before, &after);
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `loadgen`: closed-loop serving throughput on the mixed dashboard
+/// workload (the `throughput` bench group's shape at CLI scale) — 64
+/// pre-parsed queries, 16 each unfiltered / selective-venue /
+/// author×year / seeded, served sequentially and through one
+/// `query_batch` call, best-of-5 wall-clock each, plus the
+/// batched/sequential speedup `repro bench-check` gates at 2x.
+fn run_loadgen(opts: &Options) -> ExitCode {
+    use rankengine::{Query, QueryEngine, RerankPolicy};
+
+    let scale = opts.scale.unwrap_or(20_000);
+    eprintln!(
+        "generating DBLP graph (scale = {scale}, seed = {}), ranking cc + pagerank...",
+        opts.seed
+    );
+    let net = citegen::generate(&citegen::DatasetProfile::dblp().scaled(scale), opts.seed);
+    let venues = net.venues().expect("DBLP profile has venues");
+    let venue = (0..venues.n_venues() as u32)
+        .max_by_key(|&v| venues.n_papers_at(v))
+        .expect("at least one venue");
+    let authors = net.authors().expect("DBLP profile has authors");
+    let author = (0..authors.n_authors() as u32)
+        .max_by_key(|&a| authors.papers_of(a).len())
+        .expect("at least one author");
+    let mid_year = net.years()[net.n_papers() / 2];
+    // Three distinct seed ids spread over the corpus.
+    let n = net.n_papers() as u32;
+    let seeds = format!("{}|{}|{}", n / 7, n / 3, n / 2 + 1);
+    let shapes: Vec<Query> = [
+        "k=10".to_string(),
+        "k=25".to_string(),
+        format!("venue={venue},k=10"),
+        format!("venue={venue},k=25"),
+        format!("author={author},year={mid_year}..,k=10"),
+        format!("author={author},year={mid_year}..,k=25"),
+        format!("method=pagerank,seed={seeds},k=10"),
+        format!("method=pagerank,seed={seeds},k=25"),
+    ]
+    .iter()
+    .map(|s| s.parse().expect("workload shape parses"))
+    .collect();
+    let queries: Vec<Query> = (0..64).map(|i| shapes[i % shapes.len()].clone()).collect();
+
+    let t0 = std::time::Instant::now();
+    let qe = match QueryEngine::from_configs(net, &["cc", "pagerank"], RerankPolicy::Manual) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("loadgen: cannot build engines: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("ranked in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // Warm the plan and personalization caches: both modes measure the
+    // steady state, not the first-ever seed solve.
+    for page in qe.query_batch(&queries) {
+        if let Err(e) = page {
+            eprintln!("loadgen: workload member failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    const REPS: usize = 5;
+    let mut seq_best = f64::INFINITY;
+    let mut bat_best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = std::time::Instant::now();
+        for q in &queries {
+            if let Err(e) = qe.query(q) {
+                eprintln!("loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        seq_best = seq_best.min(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        let pages = qe.query_batch(&queries);
+        bat_best = bat_best.min(t.elapsed().as_secs_f64());
+        if let Some(e) = pages.iter().filter_map(|p| p.as_ref().err()).next() {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let nq = queries.len() as f64;
+    println!(
+        "== loadgen: {}-query mixed workload at {scale} papers, best of {REPS} ==",
+        queries.len()
+    );
+    let rows = vec![
+        vec![
+            "sequential".to_string(),
+            format!("{:.2}", seq_best * 1e3),
+            format!("{:.0}", nq / seq_best),
+        ],
+        vec![
+            "batched".to_string(),
+            format!("{:.2}", bat_best * 1e3),
+            format!("{:.0}", nq / bat_best),
+        ],
+    ];
+    println!("{}", text_table(&["mode", "ms/round", "queries/s"], &rows));
+    println!(
+        "batched/sequential speedup: {:.1}x (bench-check floor {:.0}x on the 200k bench corpus)",
+        seq_best / bat_best.max(1e-9),
+        repro_bench::benchcheck::MIN_BATCHED_THROUGHPUT_SPEEDUP
+    );
+    ExitCode::SUCCESS
+}
+
 /// Prints the samples that changed between two exposition renders — the
 /// per-query footprint `repro query --metrics` shows after the page.
 fn print_metric_deltas(before: &str, after: &str) {
@@ -719,10 +951,13 @@ fn run_query_sharded(
 ) -> ExitCode {
     use rankengine::{RerankPolicy, ShardCursor, ShardedEngine};
 
+    if let Some(path) = opts.batch.clone() {
+        return run_query_batch_sharded(opts, spec, &path);
+    }
     let Some(grammar) = grammar else {
         eprintln!(
             "usage: repro query \"<grammar>\" --shards N|year:WIDTH [--scale N] [--seed N] \
-             [--methods \"SPEC\"]"
+             [--methods \"SPEC\"] [--batch FILE]"
         );
         return ExitCode::FAILURE;
     };
@@ -931,6 +1166,145 @@ fn run_query_sharded(
         print_metric_deltas(&before, &after);
     }
     ExitCode::SUCCESS
+}
+
+/// `query --shards … --batch FILE`: serves every query in FILE through
+/// one [`rankengine::ShardedEngine::query_batch`] call over the
+/// partitioned corpus (cursors come per line as `cursor=s…` components,
+/// like single-query mode). All members run against the method in
+/// `--methods` (first spec); pages match serving each line alone.
+fn run_query_batch_sharded(
+    opts: &Options,
+    spec: citegraph::ShardSpec,
+    path: &std::path::Path,
+) -> ExitCode {
+    use rankengine::{Query, RerankPolicy, ShardCursor, ShardedEngine};
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("query: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut batch: Vec<(Query, Option<ShardCursor>)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Shard-aware cursors are `s…` tokens, not grammar cursors —
+        // peel the component off before parsing the rest.
+        let mut cursor_tok: Option<String> = None;
+        let stripped: Vec<&str> = line
+            .split(',')
+            .filter(|part| match part.trim().strip_prefix("cursor=") {
+                Some(tok) => {
+                    cursor_tok = Some(tok.trim().to_string());
+                    false
+                }
+                None => true,
+            })
+            .collect();
+        let q: Query = match stripped.join(",").parse() {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("query: {}:{}: {e}", path.display(), lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let cursor = match cursor_tok.as_deref().map(str::parse) {
+            None => None,
+            Some(Ok(c)) => Some(c),
+            Some(Err(e)) => {
+                eprintln!(
+                    "query: {}:{}: bad sharded cursor: {e}",
+                    path.display(),
+                    lineno + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        batch.push((q, cursor));
+    }
+    if batch.is_empty() {
+        eprintln!("query: {}: no queries", path.display());
+        return ExitCode::FAILURE;
+    }
+
+    let scale = opts.scale.unwrap_or(20_000);
+    let config = opts.methods[0].clone();
+    eprintln!(
+        "generating DBLP graph (scale = {scale}, seed = {}), shard plan {spec}, \
+         ranking {config:?}...",
+        opts.seed
+    );
+    let net = citegen::generate(&citegen::DatasetProfile::dblp().scaled(scale), opts.seed);
+    let plan = match spec.plan(&net) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let mut engine = match ShardedEngine::from_plan(&net, &plan, &config, RerankPolicy::EveryBatch)
+    {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("query: cannot build sharded engines: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.metrics {
+        engine.enable_metrics();
+    }
+    eprintln!(
+        "ranked {} shards in {:.1} ms",
+        engine.n_shards(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let metrics_before = engine.render_metrics();
+    let t1 = std::time::Instant::now();
+    let pages = engine.query_batch(&batch);
+    let elapsed = t1.elapsed();
+    let served = pages.iter().filter(|p| p.is_ok()).count();
+    println!(
+        "== batch: {served} of {} queries served in {:.1} µs ({:.0} queries/s) ==",
+        batch.len(),
+        elapsed.as_secs_f64() * 1e6,
+        batch.len() as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    let mut failed = false;
+    for (i, ((q, _), res)) in batch.iter().zip(&pages).enumerate() {
+        match res {
+            Ok(page) => {
+                println!(
+                    "[{i:>3}] {q} -> {} of {} matches ({} of {} shards scanned){}",
+                    page.items.len(),
+                    page.matched,
+                    page.shards_scanned,
+                    page.shards_total,
+                    page.next
+                        .map(|c| format!(", next cursor={c}"))
+                        .unwrap_or_default()
+                );
+            }
+            Err(e) => {
+                failed = true;
+                println!("[{i:>3}] {q} -> error: {e}");
+            }
+        }
+    }
+    if let (Some(before), Some(after)) = (metrics_before, engine.render_metrics()) {
+        print_metric_deltas(&before, &after);
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// `metrics`: runs a scripted serving workload — a WAL-backed flat

@@ -54,6 +54,10 @@ pub struct Options {
     /// `--metrics`: `repro query` prints the per-query metric deltas
     /// (counter/histogram samples that changed) after the page.
     pub metrics: bool,
+    /// `--batch FILE`: `repro query` reads one query per line from FILE
+    /// and serves them all through one `query_batch` call instead of
+    /// taking a single positional query.
+    pub batch: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
@@ -67,15 +71,16 @@ impl Default for Options {
             shards: None,
             k: None,
             metrics: false,
+            batch: None,
         }
     }
 }
 
 impl Options {
     /// Parses `--scale N`, `--seed N`, `--out DIR`, `--rank SPEC`,
-    /// `--methods LIST`, `--shards N|year:WIDTH`, `--k N`, `--metrics`
-    /// from an argument list, returning the remaining (positional)
-    /// arguments.
+    /// `--methods LIST`, `--shards N|year:WIDTH`, `--k N`, `--metrics`,
+    /// `--batch FILE` from an argument list, returning the remaining
+    /// (positional) arguments.
     ///
     /// # Errors
     /// Returns a message on unknown flags or malformed values.
@@ -133,6 +138,11 @@ impl Options {
                 }
                 "--metrics" => {
                     opts.metrics = true;
+                }
+                "--batch" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--batch needs a file path")?;
+                    opts.batch = Some(v.into());
                 }
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
@@ -217,6 +227,17 @@ mod tests {
             let args: Vec<String> = vec!["--shards".into(), bad.into()];
             assert!(Options::parse(&args).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_batch_takes_a_file_path() {
+        let args: Vec<String> = vec!["query".into(), "--batch".into(), "queries.txt".into()];
+        let (o, rest) = Options::parse(&args).unwrap();
+        assert_eq!(o.batch, Some(std::path::PathBuf::from("queries.txt")));
+        assert_eq!(rest, vec!["query"]);
+        // Default is single-query mode; a dangling flag is rejected.
+        assert_eq!(Options::parse(&[]).unwrap().0.batch, None);
+        assert!(Options::parse(&["--batch".to_string()]).is_err());
     }
 
     #[test]

@@ -78,12 +78,12 @@ pub use engine::{
 pub use metrics::{EngineInstruments, ServingMetrics, ShardedServingMetrics};
 pub use personalization::{CacheConfig, CacheOutcome, CacheStats, PersonalizationCache};
 pub use query::{
-    CompareRow, Comparison, CostModel, Cursor, Hit, Page, PlanCandidate, Query, QueryDriver,
-    QueryEngine, QueryError, QueryPlan,
+    CompareRow, Comparison, CostModel, Cursor, Hit, Page, PageBuf, PlanCache, PlanCacheStats,
+    PlanCandidate, Query, QueryDriver, QueryEngine, QueryError, QueryPlan, QueryScratch,
 };
 pub use registry::{build, default_comparison_specs, known_methods, parse_and_build, BoxedRanker};
 pub use sharded::{
-    ShardCursor, ShardSnapshots, ShardedColdStart, ShardedComparison, ShardedEngine, ShardedError,
-    ShardedIngestReport, ShardedPage,
+    ShardCursor, ShardScratch, ShardSnapshots, ShardedColdStart, ShardedComparison, ShardedEngine,
+    ShardedError, ShardedIngestReport, ShardedPage,
 };
 pub use spec::{EnsembleRule, MethodSpec, SpecError};

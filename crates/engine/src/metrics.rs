@@ -26,7 +26,7 @@ use graphstore::WalObservers;
 
 use crate::admission::AdmissionStats;
 use crate::personalization::CacheStats;
-use crate::query::QueryDriver;
+use crate::query::{PlanCacheStats, QueryDriver};
 
 /// Label values of the `driver` axis, in [`driver_index`] order.
 pub const DRIVER_LABELS: [&str; 5] = [
@@ -63,6 +63,11 @@ pub const ADMISSION_LABELS: [&str; 4] = ["admitted", "k_clamped", "scan_fallback
 
 /// Label values of the cursor-error `kind` axis.
 pub const CURSOR_ERROR_LABELS: [&str; 2] = ["stale", "mismatch"];
+
+/// Label values of the plan-cache `outcome` axis (order matches
+/// [`PlanCacheStats`] field order: hits, misses, stale drops,
+/// capacity evictions).
+pub const PLAN_CACHE_LABELS: [&str; 4] = ["hit", "miss", "stale", "evict"];
 
 /// Label values of the sharded query `shape` axis.
 pub const SHAPE_LABELS: [&str; 4] = ["unfiltered", "year_range", "faceted", "seeded"];
@@ -111,6 +116,11 @@ pub struct ServingMetrics {
     /// Cursor validation failures by kind
     /// (`attrank_cursor_errors_total`).
     pub cursor_errors: CounterVec,
+    /// Plan-cache outcomes (`attrank_plan_cache_events_total`),
+    /// refreshed at render.
+    pub plan_cache_events: CounterVec,
+    /// Live cached plans (`attrank_plan_cache_entries`).
+    pub plan_cache_entries: Arc<Gauge>,
     /// Personalization cache outcomes
     /// (`attrank_cache_outcomes_total`), refreshed at render.
     pub cache_outcomes: CounterVec,
@@ -172,6 +182,13 @@ impl ServingMetrics {
                 "kind",
                 &CURSOR_ERROR_LABELS,
             ),
+            plan_cache_events: registry.counter_vec(
+                "attrank_plan_cache_events_total",
+                "Plan-cache outcomes",
+                "outcome",
+                &PLAN_CACHE_LABELS,
+            ),
+            plan_cache_entries: registry.gauge("attrank_plan_cache_entries", "Cached query plans"),
             cache_outcomes: registry.counter_vec(
                 "attrank_cache_outcomes_total",
                 "Personalization cache outcomes",
@@ -312,6 +329,16 @@ impl ServingMetrics {
             self.admission_decisions.at(i).record_total(total);
         }
         self.admission_inflight.set(stats.inflight_ns as i64);
+    }
+
+    /// Refreshes the plan-cache families from a [`PlanCacheStats`]
+    /// snapshot.
+    pub fn record_plan_cache(&self, stats: &PlanCacheStats) {
+        let totals = [stats.hits, stats.misses, stats.stale, stats.evictions];
+        for (i, total) in totals.into_iter().enumerate() {
+            self.plan_cache_events.at(i).record_total(total);
+        }
+        self.plan_cache_entries.set(stats.entries as i64);
     }
 }
 

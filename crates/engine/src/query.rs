@@ -83,17 +83,20 @@
 //! exists to prevent); hold the `Arc<EpochSnapshot>` (or re-issue page 1)
 //! to paginate consistently across publishes.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use citegraph::{
-    AuthorId, CitationNetwork, FacetExpr, GraphDelta, PaperId, SeedError, SeedPersonalization,
-    VenueId, Year,
+    AuthorId, CitationNetwork, GraphDelta, PaperId, SeedError, SeedPersonalization, VenueId, Year,
 };
 use obsv::MetricsRegistry;
-use sparsela::{cmp_score_desc, top_k_filtered, top_k_indices, top_k_where, IdMask, ScoreVec};
+use sparsela::{
+    cmp_score_desc, top_k_filtered_into, top_k_indices_into, top_k_where_into, IdMask, ScoreVec,
+};
 
 use crate::admission::{AdmissionController, AdmissionPolicy, AdmissionStats, CostedQuery};
 use crate::engine::{EngineError, EpochSnapshot, IngestReport, RankingEngine, RerankPolicy};
@@ -480,6 +483,18 @@ impl Cursor {
     pub fn last_id(&self) -> PaperId {
         self.last_id
     }
+
+    /// Encodes the transport token into a caller-provided buffer and
+    /// returns it as `&str` — the allocation-free counterpart of
+    /// `to_string()`. The buffer is cleared first; once its capacity
+    /// covers the longest token seen (at most 70 bytes), repeat encodes
+    /// perform zero heap allocations.
+    pub fn encode_into<'a>(&self, buf: &'a mut String) -> &'a str {
+        use fmt::Write as _;
+        buf.clear();
+        write!(buf, "{self}").expect("writing a cursor token to a String cannot fail");
+        buf.as_str()
+    }
 }
 
 impl fmt::Display for Cursor {
@@ -521,6 +536,39 @@ impl FromStr for Cursor {
     }
 }
 
+/// Incremental FNV-1a over the byte stream of a query identity. The
+/// fingerprint helpers feed it raw little-endian integers (with
+/// presence tags and length prefixes as separators) instead of
+/// formatted text, so hashing a repeat query allocates nothing.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn eat_u64(&mut self, v: u64) {
+        self.eat(&v.to_le_bytes());
+    }
+
+    fn eat_opt_year(&mut self, y: Option<Year>) {
+        match y {
+            None => self.eat(&[0]),
+            Some(y) => {
+                self.eat(&[1]);
+                self.eat(&(y as i64).to_le_bytes());
+            }
+        }
+    }
+}
+
 /// FNV-1a over the canonical `(method, filters, seeds)` identity of a
 /// query — what binds a [`Cursor`] to the result set it walks. Page
 /// size and `vs` are deliberately excluded: changing `k` mid-pagination
@@ -533,25 +581,36 @@ impl FromStr for Cursor {
 /// under a different seed list fails with
 /// [`QueryError::CursorMismatch`].
 fn fingerprint(method: &str, q: &Query) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(method.as_bytes());
-    eat(format!(
-        "|{:?}|{:?}|{:?}|{:?}",
-        q.year_min, q.year_max, q.venues, q.authors
-    )
-    .as_bytes());
-    if !q.seeds.is_empty() {
-        let mut seeds = q.seeds.clone();
-        seeds.sort_unstable();
-        eat(format!("|seed{seeds:?}").as_bytes());
+    let mut tmp = Vec::new();
+    fingerprint_with(method, q, &mut tmp)
+}
+
+/// [`fingerprint`] with the seed sort buffer provided by the caller
+/// (the scratch-threaded path), so hashing a seeded repeat query
+/// performs zero heap allocations.
+fn fingerprint_with(method: &str, q: &Query, seeds_tmp: &mut Vec<PaperId>) -> u64 {
+    let mut h = Fnv::new();
+    h.eat(method.as_bytes());
+    h.eat_opt_year(q.year_min);
+    h.eat_opt_year(q.year_max);
+    h.eat_u64(q.venues.len() as u64);
+    for &v in &q.venues {
+        h.eat_u64(v as u64);
     }
-    h
+    h.eat_u64(q.authors.len() as u64);
+    for &a in &q.authors {
+        h.eat_u64(a as u64);
+    }
+    if !q.seeds.is_empty() {
+        seeds_tmp.clear();
+        seeds_tmp.extend_from_slice(&q.seeds);
+        seeds_tmp.sort_unstable();
+        h.eat(b"seed");
+        for &s in seeds_tmp.iter() {
+            h.eat_u64(s as u64);
+        }
+    }
+    h.0
 }
 
 /// One page of query results.
@@ -616,7 +675,7 @@ pub enum QueryDriver {
         len: usize,
     },
     /// The whole predicate pushed down to [`IdMask`] set algebra via
-    /// [`FacetExpr`]: OR within facet classes, AND across them and the
+    /// [`citegraph::index::FacetExpr`]: OR within facet classes, AND across them and the
     /// year range, evaluated word-wide. No residual checks remain.
     MaskAlgebra {
         /// Upper bound on surviving candidates (the tightest class's
@@ -834,12 +893,303 @@ pub(crate) fn seed_error_to_query(e: SeedError) -> QueryError {
 /// repeated id in an OR list is legal and means the same set).
 pub(crate) fn dedup_ids(ids: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(ids.len());
+    dedup_ids_into(ids, &mut out);
+    out
+}
+
+/// [`dedup_ids`] writing into a caller-provided buffer (cleared first),
+/// so the normalization of a repeat query reuses warm storage instead
+/// of allocating a fresh `Vec` per call.
+pub(crate) fn dedup_ids_into(ids: &[u32], out: &mut Vec<u32>) {
+    out.clear();
     for &id in ids {
         if !out.contains(&id) {
             out.push(id);
         }
     }
-    out
+}
+
+/// Counters and occupancy of a [`PlanCache`], cumulative since
+/// construction. `hits + misses + stale` is the total lookup count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache (same fingerprint, same epoch).
+    pub hits: u64,
+    /// Lookups for a fingerprint the cache had never seen.
+    pub misses: u64,
+    /// Lookups that found the fingerprint but on an older epoch — a
+    /// publish invalidated the entry, so it was dropped and re-planned.
+    /// A stale entry is *never* served (the plan was computed against
+    /// the previous epoch's network).
+    pub stale: u64,
+    /// Entries dropped to admit a new plan at capacity (LRU order).
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// One cached plan: the epoch generation it was computed against, an
+/// LRU recency stamp, and the shared plan itself.
+struct PlanCacheEntry {
+    epoch: u64,
+    stamp: u64,
+    plan: Arc<QueryPlan>,
+}
+
+/// The mutable half of a [`PlanCache`]: fingerprint-keyed entries plus
+/// the LRU clock.
+struct PlanCacheInner {
+    entries: HashMap<(u64, bool), PlanCacheEntry>,
+    tick: u64,
+    capacity: usize,
+}
+
+/// Plan-cache capacity a [`QueryEngine`] starts with
+/// ([`QueryEngine::set_plan_cache_capacity`] overrides).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// A bounded cache of planner verdicts keyed by (normalized query
+/// fingerprint, cursor presence), each entry pinned to the epoch it was
+/// planned against.
+///
+/// Invalidation is **lazy**: publishes advance the snapshot epoch, so a
+/// lookup after a publish finds the entry's recorded epoch differs,
+/// drops it, and re-plans — no publish hook, no cross-thread
+/// coordination beyond the lookup lock. The fingerprint covers method,
+/// facet lists, year bounds and seeds (page size `k` deliberately
+/// excluded — the plan is k-independent), and cursor *presence* is part
+/// of the key because the planner shapes cursor-resumed queries
+/// differently. A hit returns the shared `Arc<QueryPlan>` without
+/// allocating.
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(PlanCacheInner {
+                entries: HashMap::new(),
+                tick: 0,
+                capacity: capacity.max(1),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Counters and occupancy.
+    pub fn stats(&self) -> PlanCacheStats {
+        let entries = self.inner.lock().expect("plan cache lock").entries.len();
+        PlanCacheStats {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+            stale: self.stale.load(AtomicOrdering::Relaxed),
+            evictions: self.evictions.load(AtomicOrdering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drops every cached plan (counters keep accumulating). Called
+    /// when the cost model changes — cached verdicts priced under the
+    /// old constants would otherwise survive.
+    pub fn clear(&self) {
+        self.inner.lock().expect("plan cache lock").entries.clear();
+    }
+
+    /// The plan for `q` on `epoch`: cached when fresh, recomputed (and
+    /// cached) otherwise. Planning errors are returned as-is and never
+    /// cached — an invalid facet must keep failing typed.
+    fn get_or_plan(
+        &self,
+        net: &CitationNetwork,
+        q: &Query,
+        fp: u64,
+        epoch: u64,
+        cost: &CostModel,
+    ) -> Result<Arc<QueryPlan>, QueryError> {
+        let key = (fp, q.cursor.is_some());
+        {
+            let mut inner = self.inner.lock().expect("plan cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.entries.get_mut(&key) {
+                Some(entry) if entry.epoch == epoch => {
+                    entry.stamp = tick;
+                    self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                    return Ok(Arc::clone(&entry.plan));
+                }
+                Some(_) => {
+                    // A publish moved the generation on: the cached plan
+                    // was computed against a network that no longer
+                    // serves. Drop it — serving it would be wrong.
+                    inner.entries.remove(&key);
+                    self.stale.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                None => {
+                    self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+            }
+        }
+        let planned = Arc::new(plan(net, q, cost)?);
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        let tick = inner.tick;
+        if inner.entries.len() >= inner.capacity && !inner.entries.contains_key(&key) {
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                inner.entries.remove(&victim);
+                self.evictions.fetch_add(1, AtomicOrdering::Relaxed);
+            }
+        }
+        inner.entries.insert(
+            key,
+            PlanCacheEntry {
+                epoch,
+                stamp: tick,
+                plan: Arc::clone(&planned),
+            },
+        );
+        Ok(planned)
+    }
+}
+
+/// Reusable buffers for the allocation-free execution path.
+///
+/// Every `Vec`, `IdMask` and `String` the executor needs lives here and
+/// is cleared (never shrunk) between queries, so a steady-state query —
+/// same shape, warm scratch — performs **zero heap allocations** (pinned
+/// by the `alloc_free` test harness). One scratch serves one thread;
+/// create one per worker and thread it through
+/// [`QueryEngine::query_with`] / the batch APIs.
+///
+/// The `pool`/`mask` buffers double as cross-query memos inside a
+/// batch: their content keys record what is currently materialized, so
+/// consecutive batch members sharing a filter skip the posting-band
+/// gather or mask build entirely.
+#[derive(Default)]
+pub struct QueryScratch {
+    /// Deduplicated venue list of the current query.
+    venues: Vec<VenueId>,
+    /// Deduplicated author list of the current query.
+    authors: Vec<AuthorId>,
+    /// Post-residual candidate ids (the selection kernel's input).
+    candidates: Vec<PaperId>,
+    /// Pre-residual banded posting union, keyed by `pool_key`.
+    pool: Vec<PaperId>,
+    /// Identity of the pool's contents: (driver-kind/id hash, network
+    /// address). `None` when the pool holds nothing reusable.
+    pool_key: Option<(u64, usize)>,
+    /// Selection kernel output buffer.
+    select: Vec<u32>,
+    /// Facet mask storage, keyed by `mask_key`.
+    mask: IdMask,
+    /// Identity of the mask's contents, like `pool_key`.
+    mask_key: Option<(u64, usize)>,
+    /// Second mask for AND-composition during mask builds.
+    mask_tmp: IdMask,
+    /// Seed sort buffer for fingerprint normalization.
+    seeds: Vec<PaperId>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; the first query sizes every buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A reusable result page: the allocation-free counterpart of [`Page`].
+///
+/// [`QueryEngine::query_with`] writes each page into the same `PageBuf`,
+/// reusing the item vector and the method/cursor-token strings, so a
+/// steady-state query allocates nothing while the caller still sees the
+/// exact fields a [`Page`] carries.
+#[derive(Debug, Default)]
+pub struct PageBuf {
+    method: String,
+    epoch: u64,
+    items: Vec<Hit>,
+    matched: usize,
+    next: Option<Cursor>,
+    token: String,
+}
+
+impl PageBuf {
+    /// An empty page buffer; the first query sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The method that produced the ranking.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The epoch the page was served from.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The hits, best first (at most `k`).
+    pub fn items(&self) -> &[Hit] {
+        &self.items
+    }
+
+    /// Total candidates matching the filters at (and after) the cursor
+    /// position.
+    pub fn matched(&self) -> usize {
+        self.matched
+    }
+
+    /// Cursor for the next page; `None` when this page exhausts the
+    /// result set.
+    pub fn next(&self) -> Option<Cursor> {
+        self.next
+    }
+
+    /// The next-page cursor's transport token, encoded into this
+    /// buffer's own scratch string ([`Cursor::encode_into`]) — no
+    /// allocation once the token capacity is warm.
+    pub fn next_token(&mut self) -> Option<&str> {
+        match self.next {
+            None => None,
+            Some(c) => Some(c.encode_into(&mut self.token)),
+        }
+    }
+
+    /// Converts into an owned [`Page`], moving the item vector out (the
+    /// buffer stays usable but cold).
+    pub fn take_page(&mut self) -> Page {
+        Page {
+            method: std::mem::take(&mut self.method),
+            epoch: self.epoch,
+            items: std::mem::take(&mut self.items),
+            matched: self.matched,
+            next: self.next,
+        }
+    }
+
+    /// Clones into an owned [`Page`], keeping the buffer warm.
+    pub fn to_page(&self) -> Page {
+        Page {
+            method: self.method.clone(),
+            epoch: self.epoch,
+            items: self.items.clone(),
+            matched: self.matched,
+            next: self.next,
+        }
+    }
 }
 
 /// The candidate-table name of a driver shape.
@@ -1114,7 +1464,20 @@ fn execute(
     let fp = fingerprint(method, q);
     let cursor_pos = validate_cursor(snap, q, fp)?;
     let plan = plan(snap.network(), q, cost)?;
-    execute_plan(snap, method, q, scores, &plan, fp, cursor_pos)
+    let mut scratch = QueryScratch::new();
+    let mut out = PageBuf::new();
+    execute_plan_into(
+        snap,
+        method,
+        q,
+        scores,
+        &plan,
+        fp,
+        cursor_pos,
+        &mut scratch,
+        &mut out,
+    )?;
+    Ok(out.take_page())
 }
 
 /// Cursor validity: right epoch, right (method, filter) identity.
@@ -1141,11 +1504,103 @@ fn validate_cursor(
     }
 }
 
+/// Scratch content-key kinds: what kind of materialization the
+/// `pool`/`mask` buffers currently hold.
+const KEY_VENUE_BANDS: u8 = 1;
+const KEY_AUTHOR_BANDS: u8 = 2;
+const KEY_AUTHOR_FULL_MASK: u8 = 3;
+const KEY_FACET_MASK: u8 = 4;
+
+/// Identity of a scratch-materialized posting pool or facet mask: an
+/// FNV-1a hash over the driver kind, its id lists and the year band,
+/// paired with the network's address (distinct epochs serve distinct
+/// network allocations). Consecutive batch members sharing a filter
+/// compare keys and skip the posting-band gather or mask build.
+fn content_key(
+    kind: u8,
+    a: &[u32],
+    b: &[u32],
+    range: &std::ops::Range<u32>,
+    net: &CitationNetwork,
+) -> (u64, usize) {
+    let mut h = Fnv::new();
+    h.eat(&[kind]);
+    h.eat_u64(range.start as u64);
+    h.eat_u64(range.end as u64);
+    h.eat_u64(a.len() as u64);
+    for &id in a {
+        h.eat_u64(id as u64);
+    }
+    h.eat_u64(b.len() as u64);
+    for &id in b {
+        h.eat_u64(id as u64);
+    }
+    (h.0, net as *const CitationNetwork as usize)
+}
+
+/// Builds the whole-predicate facet mask — OR within classes, AND
+/// across them and the year range — directly into `acc` (with `tmp` as
+/// the AND partner), word-for-word the set `FacetExpr::All([Any(venues),
+/// Any(authors), Years])` evaluates to, but with zero allocations once
+/// the masks are warm. Facet ids are already validated by the planner.
+fn build_facet_mask(
+    net: &CitationNetwork,
+    venues: &[VenueId],
+    authors: &[AuthorId],
+    year_min: Option<Year>,
+    year_max: Option<Year>,
+    acc: &mut IdMask,
+    tmp: &mut IdMask,
+) {
+    let n = net.n_papers();
+    let mut have = false;
+    if !venues.is_empty() {
+        let table = net.venues().expect("planned");
+        acc.reset(n);
+        for &v in venues {
+            for &id in table.papers_at(v) {
+                acc.insert(id);
+            }
+        }
+        have = true;
+    }
+    if !authors.is_empty() {
+        let table = net.authors().expect("planned");
+        let target = if have { &mut *tmp } else { &mut *acc };
+        target.reset(n);
+        for &a in authors {
+            for &id in table.papers_of(a) {
+                target.insert(id);
+            }
+        }
+        if have {
+            acc.intersect_with(tmp);
+        }
+        have = true;
+    }
+    if year_min.is_some() || year_max.is_some() {
+        let range = net.id_range_for_years(year_min, year_max);
+        let target = if have { &mut *tmp } else { &mut *acc };
+        target.reset(n);
+        for id in range {
+            target.insert(id);
+        }
+        if have {
+            acc.intersect_with(tmp);
+        }
+        have = true;
+    }
+    debug_assert!(have, "the mask driver implies at least one facet");
+}
+
 /// The dispatch half of [`execute`]: runs an already-validated query
-/// under an already-chosen plan. Split out so the instrumented path can
-/// count cursor errors and planner decisions — and let admission control
-/// swap in a degraded plan — between the stages.
-fn execute_plan(
+/// under an already-chosen plan, writing the page into `out` through
+/// the buffers of `scratch` — zero heap allocations once both are warm.
+/// Split out so the instrumented path can count cursor errors and
+/// planner decisions — and let admission control swap in a degraded
+/// plan — between the stages.
+#[allow(clippy::too_many_arguments)]
+fn execute_plan_into(
     snap: &EpochSnapshot,
     method: &str,
     q: &Query,
@@ -1153,21 +1608,36 @@ fn execute_plan(
     plan: &QueryPlan,
     fp: u64,
     cursor_pos: Option<(f64, PaperId)>,
-) -> Result<Page, QueryError> {
+    scratch: &mut QueryScratch,
+    out: &mut PageBuf,
+) -> Result<(), QueryError> {
     let net = snap.network();
     debug_assert_eq!(scores.len(), net.n_papers());
+    let QueryScratch {
+        venues,
+        authors,
+        candidates,
+        pool,
+        pool_key,
+        select,
+        mask,
+        mask_key,
+        mask_tmp,
+        ..
+    } = scratch;
+    // Residual closures over the *deduplicated* facet lists: a venue
+    // residual is a small-list membership test on `venue_of`, an author
+    // residual walks the paper's (collapsed) author row.
+    dedup_ids_into(&q.venues, venues);
+    dedup_ids_into(&q.authors, authors);
+    let venues: &[VenueId] = venues;
+    let authors: &[AuthorId] = authors;
     let after_cursor = |id: u32| match cursor_pos {
         None => true,
         Some((cs, cid)) => {
             cmp_score_desc(scores[id as usize], id, cs, cid) == std::cmp::Ordering::Greater
         }
     };
-
-    // Residual closures over the *deduplicated* facet lists: a venue
-    // residual is a small-list membership test on `venue_of`, an author
-    // residual walks the paper's (collapsed) author row.
-    let venues = dedup_ids(&q.venues);
-    let authors = dedup_ids(&q.authors);
     let venue_ok = |id: u32| {
         venues.is_empty()
             || net
@@ -1182,118 +1652,133 @@ fn execute_plan(
                 .is_some_and(|t| t.authors_of(id).iter().any(|a| authors.contains(a)))
     };
     let range = net.id_range_for_years(q.year_min, q.year_max);
-    let (ids, matched) = match &plan.driver {
-        QueryDriver::Unfiltered => (top_k_indices(scores, q.k), net.n_papers()),
+    let matched = match &plan.driver {
+        QueryDriver::Unfiltered => {
+            top_k_indices_into(scores, q.k, select);
+            net.n_papers()
+        }
         QueryDriver::IdRange { start, end } => {
             // Residuals here are at most venue/author/cursor: the range
             // itself is the year predicate. The author residual is the
             // historical IdMask path: OR the authors' posting lists into
             // one membership mask, then test per candidate.
-            let author_mask: Option<IdMask> = (!authors.is_empty()).then(|| {
-                let table = net.authors().expect("planned");
-                let mut m = IdMask::new(net.n_papers());
-                for &a in &authors {
-                    m.union_with(&IdMask::from_ids(
-                        net.n_papers(),
-                        table.papers_of(a).iter().copied(),
-                    ));
+            let author_mask: Option<&IdMask> = if authors.is_empty() {
+                None
+            } else {
+                let key = content_key(KEY_AUTHOR_FULL_MASK, authors, &[], &(0..0), net);
+                if *mask_key != Some(key) {
+                    let table = net.authors().expect("planned");
+                    mask.reset(net.n_papers());
+                    for &a in authors {
+                        for &id in table.papers_of(a) {
+                            mask.insert(id);
+                        }
+                    }
+                    *mask_key = Some(key);
                 }
-                m
-            });
+                Some(&*mask)
+            };
             let mut matched = 0usize;
             let mut pred = |id: u32| {
-                let ok = venue_ok(id)
-                    && author_mask.as_ref().is_none_or(|m| m.contains(id))
-                    && after_cursor(id);
+                let ok =
+                    venue_ok(id) && author_mask.is_none_or(|m| m.contains(id)) && after_cursor(id);
                 matched += ok as usize;
                 ok
             };
             // `matched` is a side effect of the predicate, so the scan
             // must run even when k = 0 and the selection kernel has
             // nothing to select (a k=0 query is a cheap count).
-            let ids = if q.k == 0 {
+            if q.k == 0 {
                 for id in *start..*end {
                     pred(id);
                 }
-                Vec::new()
+                select.clear();
             } else {
-                top_k_where(scores, *start..*end, q.k, pred)
-            };
-            (ids, matched)
+                top_k_where_into(scores, *start..*end, q.k, pred, select);
+            }
+            matched
         }
         QueryDriver::VenueBands { venues: vs, .. } => {
             // One band probe per venue; venue lists are disjoint, so the
             // concatenation has no duplicates. The year bound is inside
-            // the band — only author and cursor residuals remain.
+            // the band — only author and cursor residuals remain. The
+            // pre-residual pool is keyed so batch members sharing the
+            // filter reuse the gather.
             let table = net.venues().expect("planned");
-            let candidates: Vec<PaperId> = vs
-                .iter()
-                .flat_map(|&v| citegraph::band(table.papers_at(v), &range))
-                .copied()
-                .filter(|&id| author_ok(id) && after_cursor(id))
-                .collect();
-            let matched = candidates.len();
-            (top_k_filtered(scores, &candidates, q.k), matched)
+            let key = content_key(KEY_VENUE_BANDS, vs, &[], &range, net);
+            if *pool_key != Some(key) {
+                pool.clear();
+                pool.extend(
+                    vs.iter()
+                        .flat_map(|&v| citegraph::band(table.papers_at(v), &range))
+                        .copied(),
+                );
+                *pool_key = Some(key);
+            }
+            candidates.clear();
+            candidates.extend(
+                pool.iter()
+                    .copied()
+                    .filter(|&id| author_ok(id) && after_cursor(id)),
+            );
+            top_k_filtered_into(scores, candidates, q.k, select);
+            candidates.len()
         }
         QueryDriver::AuthorBands { authors: aus, .. } => {
             // Band probes per author; co-authored papers appear in
             // several lists, so a multi-author union sort-dedups before
             // residual filtering (otherwise `matched` over-counts).
             let table = net.authors().expect("planned");
-            let mut pool: Vec<PaperId> = aus
-                .iter()
-                .flat_map(|&a| citegraph::band(table.papers_of(a), &range))
-                .copied()
-                .collect();
-            if aus.len() > 1 {
-                pool.sort_unstable();
-                pool.dedup();
+            let key = content_key(KEY_AUTHOR_BANDS, aus, &[], &range, net);
+            if *pool_key != Some(key) {
+                pool.clear();
+                pool.extend(
+                    aus.iter()
+                        .flat_map(|&a| citegraph::band(table.papers_of(a), &range))
+                        .copied(),
+                );
+                if aus.len() > 1 {
+                    pool.sort_unstable();
+                    pool.dedup();
+                }
+                *pool_key = Some(key);
             }
-            let candidates: Vec<PaperId> = pool
-                .into_iter()
-                .filter(|&id| venue_ok(id) && after_cursor(id))
-                .collect();
-            let matched = candidates.len();
-            (top_k_filtered(scores, &candidates, q.k), matched)
+            candidates.clear();
+            candidates.extend(
+                pool.iter()
+                    .copied()
+                    .filter(|&id| venue_ok(id) && after_cursor(id)),
+            );
+            top_k_filtered_into(scores, candidates, q.k, select);
+            candidates.len()
         }
         QueryDriver::MaskAlgebra { .. } => {
             // Whole-predicate pushdown: OR within classes, AND across
             // them and the year range, evaluated word-wide; the ones of
             // the final mask are the exact match set (before cursor).
-            let mut terms: Vec<FacetExpr> = Vec::new();
-            if !venues.is_empty() {
-                terms.push(FacetExpr::Any(
-                    venues.iter().map(|&v| FacetExpr::Venue(v)).collect(),
-                ));
+            let key = content_key(KEY_FACET_MASK, venues, authors, &range, net);
+            if *mask_key != Some(key) {
+                build_facet_mask(net, venues, authors, q.year_min, q.year_max, mask, mask_tmp);
+                *mask_key = Some(key);
             }
-            if !authors.is_empty() {
-                terms.push(FacetExpr::Any(
-                    authors.iter().map(|&a| FacetExpr::Author(a)).collect(),
-                ));
-            }
-            if q.year_min.is_some() || q.year_max.is_some() {
-                terms.push(FacetExpr::Years(q.year_min, q.year_max));
-            }
-            let mask = FacetExpr::All(terms).mask(net);
-            let candidates: Vec<PaperId> = mask.ones().filter(|&id| after_cursor(id)).collect();
-            let matched = candidates.len();
-            (top_k_filtered(scores, &candidates, q.k), matched)
+            candidates.clear();
+            candidates.extend(mask.ones().filter(|&id| after_cursor(id)));
+            top_k_filtered_into(scores, candidates, q.k, select);
+            candidates.len()
         }
     };
 
-    let items: Vec<Hit> = ids
-        .iter()
-        .map(|&id| Hit {
-            id,
-            score: scores[id as usize],
-            year: net.year(id),
-            venue: net.venues().and_then(|t| t.venue_of(id)),
-        })
-        .collect();
+    out.items.clear();
+    out.items.extend(select.iter().map(|&id| Hit {
+        id,
+        score: scores[id as usize],
+        year: net.year(id),
+        venue: net.venues().and_then(|t| t.venue_of(id)),
+    }));
     // More matches exist past this page ⇒ mint the resume cursor from
     // the last item's (score, id) position.
-    let next = match items.last() {
-        Some(last) if matched > items.len() => Some(Cursor {
+    out.next = match out.items.last() {
+        Some(last) if matched > out.items.len() => Some(Cursor {
             epoch: snap.epoch(),
             score_bits: last.score.to_bits(),
             last_id: last.id,
@@ -1301,13 +1786,11 @@ fn execute_plan(
         }),
         _ => None,
     };
-    Ok(Page {
-        method: method.to_string(),
-        epoch: snap.epoch(),
-        items,
-        matched,
-        next,
-    })
+    out.epoch = snap.epoch();
+    out.matched = matched;
+    out.method.clear();
+    out.method.push_str(method);
+    Ok(())
 }
 
 /// One row of a two-method comparison.
@@ -1360,7 +1843,13 @@ pub struct Comparison {
 /// (see [`CostModel::from_baseline_env`]).
 pub struct QueryEngine {
     engines: Vec<(String, Arc<RankingEngine>)>,
+    /// Per-method damping factor, parsed once at construction — the
+    /// seeded path must not re-parse the method spec per query.
+    dampings: Vec<Option<f64>>,
     cache: PersonalizationCache,
+    /// Cached plans keyed by (query fingerprint, cursor presence),
+    /// epoch-checked on every probe (lazy invalidation on publish).
+    plans: PlanCache,
     cost: CostModel,
     /// Metric families + the registry they render through, when
     /// observability is enabled ([`Self::enable_metrics`]).
@@ -1391,11 +1880,13 @@ impl QueryEngine {
             });
         }
         let mut engines: Vec<(String, Arc<RankingEngine>)> = Vec::with_capacity(specs.len());
+        let mut dampings: Vec<Option<f64>> = Vec::with_capacity(specs.len());
         for spec in specs {
             let name = spec.method_name().to_string();
             if engines.iter().any(|(n, _)| *n == name) {
                 return Err(QueryError::DuplicateMethod { name });
             }
+            dampings.push(spec.damping());
             engines.push((
                 name,
                 Arc::new(RankingEngine::new(net.clone(), spec, policy)?),
@@ -1403,7 +1894,9 @@ impl QueryEngine {
         }
         Ok(Self {
             engines,
+            dampings,
             cache: PersonalizationCache::new(CacheConfig::default()),
+            plans: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             cost: CostModel::from_baseline_env(),
             metrics: None,
             admission: None,
@@ -1430,12 +1923,18 @@ impl QueryEngine {
 
     /// Resolves a method name (`None` = default) to its label + engine.
     fn resolve(&self, name: Option<&str>) -> Result<&(String, Arc<RankingEngine>), QueryError> {
+        self.resolve_idx(name).map(|idx| &self.engines[idx])
+    }
+
+    /// Resolves a method name (`None` = default) to its registration
+    /// index — the key into `engines` and `dampings`.
+    fn resolve_idx(&self, name: Option<&str>) -> Result<usize, QueryError> {
         match name {
-            None => Ok(&self.engines[0]),
+            None => Ok(0),
             Some(n) => self
                 .engines
                 .iter()
-                .find(|(label, _)| label == n)
+                .position(|(label, _)| label == n)
                 .ok_or_else(|| QueryError::UnknownMethod {
                     name: n.into(),
                     known: self.engines.iter().map(|(l, _)| l.clone()).collect(),
@@ -1462,8 +1961,22 @@ impl QueryEngine {
     }
 
     /// Replaces the planner cost model (explicit tuning; tests).
+    /// Cached plans were priced under the old model, so the plan cache
+    /// is dropped.
     pub fn set_cost_model(&mut self, cost: CostModel) {
         self.cost = cost;
+        self.plans.clear();
+    }
+
+    /// Counters and occupancy of the plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Replaces the plan cache with an empty one of the given capacity
+    /// (entries; clamped to at least 1). Counters restart from zero.
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plans = PlanCache::new(capacity);
     }
 
     /// Counters and occupancy of the shared personalization cache.
@@ -1539,6 +2052,7 @@ impl QueryEngine {
     pub fn render_metrics(&self) -> Option<String> {
         let bundle = self.metrics.as_ref()?;
         bundle.serving.record_cache(&self.cache.stats());
+        bundle.serving.record_plan_cache(&self.plans.stats());
         if let Some(admission) = &self.admission {
             bundle.serving.record_admission(&admission.stats());
         }
@@ -1574,22 +2088,61 @@ impl QueryEngine {
     /// driver, which an admission fallback may have changed).
     fn query_pinned(
         &self,
-        label: &str,
-        engine: &RankingEngine,
+        idx: usize,
         snap: &EpochSnapshot,
         q: &Query,
     ) -> Result<Page, QueryError> {
-        let seeded = self.seeded_scores(label, engine, snap, q)?;
+        let mut scratch = QueryScratch::new();
+        let mut out = PageBuf::new();
+        self.query_pinned_into(idx, snap, q, &mut scratch, &mut out)?;
+        Ok(out.take_page())
+    }
+
+    /// [`Self::query_pinned`] writing through caller-owned buffers:
+    /// resolves the score vector (global or seeded) then runs the
+    /// scored path.
+    fn query_pinned_into(
+        &self,
+        idx: usize,
+        snap: &EpochSnapshot,
+        q: &Query,
+        scratch: &mut QueryScratch,
+        out: &mut PageBuf,
+    ) -> Result<(), QueryError> {
+        let seeded = self.seeded_scores(idx, snap, q)?;
         let scores: &[f64] = match &seeded {
             Some(s) => s.as_slice(),
             None => snap.scores().as_slice(),
         };
+        self.query_scored_into(self.engines[idx].0.as_str(), snap, q, scores, scratch, out)
+    }
+
+    /// The scored serve path: fingerprint, cursor validation, plan
+    /// (through the [`PlanCache`]), admission, execution — writing the
+    /// page into `out` through `scratch`'s buffers. Uninstrumented
+    /// engines take the clock-free fast lane; instrumented ones
+    /// interleave counting and admission between the same stages, in
+    /// the same error order (latency is labeled by the *executed*
+    /// plan's driver, which an admission fallback may have changed).
+    fn query_scored_into(
+        &self,
+        label: &str,
+        snap: &EpochSnapshot,
+        q: &Query,
+        scores: &[f64],
+        scratch: &mut QueryScratch,
+        out: &mut PageBuf,
+    ) -> Result<(), QueryError> {
+        let fp = fingerprint_with(label, q, &mut scratch.seeds);
         let serving = self.metrics.as_ref().map(|m| &m.serving);
         if serving.is_none() && self.admission.is_none() {
-            return execute(snap, label, q, scores, &self.cost);
+            let cursor_pos = validate_cursor(snap, q, fp)?;
+            let plan = self
+                .plans
+                .get_or_plan(snap.network(), q, fp, snap.epoch(), &self.cost)?;
+            return execute_plan_into(snap, label, q, scores, &plan, fp, cursor_pos, scratch, out);
         }
         let started = serving.is_some().then(Instant::now);
-        let fp = fingerprint(label, q);
         let cursor_pos = match validate_cursor(snap, q, fp) {
             Ok(pos) => pos,
             Err(err) => {
@@ -1603,7 +2156,9 @@ impl QueryEngine {
                 return Err(err);
             }
         };
-        let mut plan = plan(snap.network(), q, &self.cost)?;
+        let mut plan = self
+            .plans
+            .get_or_plan(snap.network(), q, fp, snap.epoch(), &self.cost)?;
         if let Some(m) = serving {
             m.planner_decisions.at(driver_index(&plan.driver)).inc();
         }
@@ -1630,7 +2185,9 @@ impl QueryEngine {
                     }
                     Ok(ticket) => {
                         if ticket.use_indexed {
-                            plan = plan_shaped(snap.network(), q, &self.cost, true)?;
+                            // Degradation depends on instantaneous
+                            // load, not query identity: never cached.
+                            plan = Arc::new(plan_shaped(snap.network(), q, &self.cost, true)?);
                         }
                         if ticket.k != q.k {
                             let mut degraded = q.clone();
@@ -1643,7 +2200,7 @@ impl QueryEngine {
                 }
             }
         };
-        let result = execute_plan(snap, label, q, scores, &plan, fp, cursor_pos);
+        let result = execute_plan_into(snap, label, q, scores, &plan, fp, cursor_pos, scratch, out);
         if let (Some(m), Some(at)) = (serving, started) {
             m.query_seconds
                 .at(driver_index(&plan.driver))
@@ -1653,22 +2210,21 @@ impl QueryEngine {
     }
 
     /// Resolves the score vector a seeded query ranks by: the method's
-    /// damping factor from its parsed spec ([`MethodSpec::damping`]),
-    /// the seed distribution validated against the snapshot's paper
-    /// count, and the solve served through the engine-wide
+    /// damping factor (parsed once at construction), the seed
+    /// distribution validated against the snapshot's paper count, and
+    /// the solve served through the engine-wide
     /// [`PersonalizationCache`]. `Ok(None)` for unseeded queries.
     fn seeded_scores(
         &self,
-        label: &str,
-        engine: &RankingEngine,
+        idx: usize,
         snap: &EpochSnapshot,
         q: &Query,
     ) -> Result<Option<Arc<ScoreVec>>, QueryError> {
         if q.seeds.is_empty() {
             return Ok(None);
         }
-        let spec: MethodSpec = engine.method().parse()?;
-        let alpha = spec.damping().ok_or_else(|| QueryError::SeedUnsupported {
+        let label = self.engines[idx].0.as_str();
+        let alpha = self.dampings[idx].ok_or_else(|| QueryError::SeedUnsupported {
             method: label.to_string(),
         })?;
         let seed =
@@ -1683,9 +2239,9 @@ impl QueryEngine {
     /// [`QueryError::StaleCursor`]; use [`Self::query_at`] with a held
     /// snapshot to paginate across publishes.
     pub fn query(&self, q: &Query) -> Result<Page, QueryError> {
-        let (label, engine) = self.resolve(q.method.as_deref())?;
-        let snap = engine.snapshot();
-        self.query_pinned(label, engine, &snap, q)
+        let idx = self.resolve_idx(q.method.as_deref())?;
+        let snap = self.engines[idx].1.snapshot();
+        self.query_pinned(idx, &snap, q)
     }
 
     /// Executes a query against a caller-pinned snapshot (from
@@ -1694,8 +2250,170 @@ impl QueryEngine {
     /// the damping factor) — the scores come from `snap`, or from a
     /// personalized solve on exactly `snap`'s epoch.
     pub fn query_at(&self, snap: &EpochSnapshot, q: &Query) -> Result<Page, QueryError> {
-        let (label, engine) = self.resolve(q.method.as_deref())?;
-        self.query_pinned(label, engine, snap, q)
+        let idx = self.resolve_idx(q.method.as_deref())?;
+        self.query_pinned(idx, snap, q)
+    }
+
+    /// [`Self::query`] writing through caller-owned buffers instead of
+    /// returning a fresh [`Page`]: once `scratch` and `out` are warm
+    /// (one call), a steady-state unseeded query performs **zero heap
+    /// allocations** — the contract the allocation-counting harness
+    /// pins. Read the page through [`PageBuf`]'s accessors, or
+    /// [`PageBuf::take_page`] (which allocates replacements).
+    pub fn query_with(
+        &self,
+        q: &Query,
+        scratch: &mut QueryScratch,
+        out: &mut PageBuf,
+    ) -> Result<(), QueryError> {
+        let idx = self.resolve_idx(q.method.as_deref())?;
+        let snap = self.engines[idx].1.snapshot();
+        self.query_pinned_into(idx, &snap, q, scratch, out)
+    }
+
+    /// [`Self::query_with`] against a caller-pinned snapshot.
+    pub fn query_with_at(
+        &self,
+        snap: &EpochSnapshot,
+        q: &Query,
+        scratch: &mut QueryScratch,
+        out: &mut PageBuf,
+    ) -> Result<(), QueryError> {
+        let idx = self.resolve_idx(q.method.as_deref())?;
+        self.query_pinned_into(idx, snap, q, scratch, out)
+    }
+
+    /// Executes a batch of queries, pinning **one snapshot per distinct
+    /// method** up front: every member sees the same epoch regardless
+    /// of concurrent publishes, and each page is bit-identical to what
+    /// [`Self::query_at`] would return against that pinned snapshot
+    /// member-by-member (same pages, same cursors, same typed errors).
+    ///
+    /// Cost is amortized across members: queries are grouped by method
+    /// and filter fingerprint so consecutive members reuse the
+    /// scratch's posting-list pools and facet masks, seeded members
+    /// sharing a seed set share one personalization-cache probe, exact
+    /// duplicates are served from the first member's page, and all
+    /// members share one plan-cache/scratch/page-buffer set.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<Result<Page, QueryError>> {
+        let mut snaps: Vec<Option<Arc<EpochSnapshot>>> = vec![None; self.engines.len()];
+        let mut results: Vec<Option<Result<Page, QueryError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        let mut members: Vec<(usize, usize)> = Vec::with_capacity(queries.len());
+        for (qi, q) in queries.iter().enumerate() {
+            match self.resolve_idx(q.method.as_deref()) {
+                Err(e) => results[qi] = Some(Err(e)),
+                Ok(idx) => {
+                    if snaps[idx].is_none() {
+                        snaps[idx] = Some(self.engines[idx].1.snapshot());
+                    }
+                    members.push((qi, idx));
+                }
+            }
+        }
+        let pinned: Vec<(usize, usize, &EpochSnapshot)> = members
+            .into_iter()
+            .map(|(qi, idx)| (qi, idx, snaps[idx].as_deref().expect("pinned above")))
+            .collect();
+        self.run_batch(queries, pinned, &mut results);
+        results
+            .into_iter()
+            .map(|r| r.expect("every member resolved or executed"))
+            .collect()
+    }
+
+    /// [`Self::query_batch`] with every member pinned to one
+    /// caller-held snapshot (mirrors [`Self::query_at`] — methods still
+    /// resolve per member for labels and damping factors).
+    pub fn query_batch_at(
+        &self,
+        snap: &EpochSnapshot,
+        queries: &[Query],
+    ) -> Vec<Result<Page, QueryError>> {
+        let mut results: Vec<Option<Result<Page, QueryError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        let mut pinned: Vec<(usize, usize, &EpochSnapshot)> = Vec::with_capacity(queries.len());
+        for (qi, q) in queries.iter().enumerate() {
+            match self.resolve_idx(q.method.as_deref()) {
+                Err(e) => results[qi] = Some(Err(e)),
+                Ok(idx) => pinned.push((qi, idx, snap)),
+            }
+        }
+        self.run_batch(queries, pinned, &mut results);
+        results
+            .into_iter()
+            .map(|r| r.expect("every member resolved or executed"))
+            .collect()
+    }
+
+    /// The shared batch executor behind [`Self::query_batch`] /
+    /// [`Self::query_batch_at`]: orders members for buffer locality,
+    /// memoizes exact duplicates and seed-set probes, and runs every
+    /// member through the same per-query path as sequential execution.
+    fn run_batch(
+        &self,
+        queries: &[Query],
+        mut members: Vec<(usize, usize, &EpochSnapshot)>,
+        results: &mut [Option<Result<Page, QueryError>>],
+    ) {
+        // Group by (method, filter fingerprint): the fingerprint hashes
+        // the facet lists and seed set but not `k` or the cursor, so
+        // members sharing a filter land adjacent and reuse the
+        // scratch's keyed pools/masks; exact duplicates land adjacent
+        // too. The original index is the final sort key, so equal
+        // groups keep submission order (first member executes, the
+        // rest memo off it).
+        members.sort_by_key(|&(qi, idx, _)| {
+            (
+                idx,
+                fingerprint(self.engines[idx].0.as_str(), &queries[qi]),
+                qi,
+            )
+        });
+        let mut scratch = QueryScratch::new();
+        let mut out = PageBuf::new();
+        // (engine idx, epoch, seed set) → one cache probe for the batch.
+        let mut seed_memo: Vec<(usize, u64, &[PaperId], Arc<ScoreVec>)> = Vec::new();
+        for w in 0..members.len() {
+            let (qi, idx, snap) = members[w];
+            let q = &queries[qi];
+            // Exact-duplicate memo: same engine, same pinned snapshot,
+            // equal query ⇒ the earlier member's page verbatim.
+            if let Some(&(prev_qi, ..)) = members[..w].iter().find(|&&(pqi, pidx, psnap)| {
+                pidx == idx && std::ptr::eq(psnap, snap) && queries[pqi] == *q
+            }) {
+                results[qi] = results[prev_qi].clone();
+                continue;
+            }
+            let scores: Result<Option<Arc<ScoreVec>>, QueryError> = if q.seeds.is_empty() {
+                Ok(None)
+            } else if let Some((.., s)) = seed_memo
+                .iter()
+                .find(|(i, e, seeds, _)| *i == idx && *e == snap.epoch() && *seeds == q.seeds)
+            {
+                Ok(Some(Arc::clone(s)))
+            } else {
+                self.seeded_scores(idx, snap, q).inspect(|s| {
+                    let s = s.as_ref().expect("seeds are non-empty");
+                    seed_memo.push((idx, snap.epoch(), &q.seeds, Arc::clone(s)));
+                })
+            };
+            results[qi] = Some(scores.and_then(|seeded| {
+                let scores: &[f64] = match &seeded {
+                    Some(s) => s.as_slice(),
+                    None => snap.scores().as_slice(),
+                };
+                self.query_scored_into(
+                    self.engines[idx].0.as_str(),
+                    snap,
+                    q,
+                    scores,
+                    &mut scratch,
+                    &mut out,
+                )
+                .map(|()| out.to_page())
+            }));
+        }
     }
 
     /// The planner's decision for `q` against the current snapshot of
@@ -1716,11 +2434,12 @@ impl QueryEngine {
     /// ranking".
     pub fn compare(&self, q: &Query) -> Result<Comparison, QueryError> {
         let vs = q.vs.as_deref().ok_or(QueryError::MissingCompareMethod)?;
-        let (label_a, engine_a) = self.resolve(q.method.as_deref())?;
+        let idx_a = self.resolve_idx(q.method.as_deref())?;
         let (label_b, engine_b) = self.resolve(Some(vs))?;
-        let snap_a = engine_a.snapshot();
+        let label_a = self.engines[idx_a].0.as_str();
+        let snap_a = self.engines[idx_a].1.snapshot();
         let snap_b = engine_b.snapshot();
-        let page = match self.seeded_scores(label_a, engine_a, &snap_a, q)? {
+        let page = match self.seeded_scores(idx_a, &snap_a, q)? {
             Some(s) => execute(&snap_a, label_a, q, s.as_slice(), &self.cost)?,
             None => execute(&snap_a, label_a, q, snap_a.scores().as_slice(), &self.cost)?,
         };
@@ -1736,7 +2455,7 @@ impl QueryEngine {
             })
             .collect();
         Ok(Comparison {
-            method_a: label_a.clone(),
+            method_a: label_a.to_string(),
             epoch_a: snap_a.epoch(),
             method_b: label_b.clone(),
             epoch_b: snap_b.epoch(),

@@ -63,7 +63,8 @@ use citegraph::{
 };
 use graphstore::{fnv1a64, fnv1a64_with, ShardManifest, Store};
 use sparsela::{
-    cmp_score_desc, merge_k_sorted, top_k_filtered, top_k_indices, top_k_where, ScoreVec,
+    cmp_score_desc, merge_k_sorted_into, top_k_filtered_into, top_k_indices_into, top_k_where_into,
+    MergeScratch, ScoreVec,
 };
 
 use crate::admission::{AdmissionController, AdmissionPolicy, AdmissionStats, CostedQuery};
@@ -74,7 +75,9 @@ use crate::metrics::{
     ShardedServingMetrics, SHAPE_FACETED, SHAPE_SEEDED, SHAPE_UNFILTERED, SHAPE_YEAR_RANGE,
 };
 use crate::personalization::{CacheConfig, PersonalizationCache};
-use crate::query::{seed_error_to_query, CompareRow, CostModel, Hit, Query, QueryError};
+use crate::query::{
+    dedup_ids_into, seed_error_to_query, CompareRow, CostModel, Hit, Query, QueryError,
+};
 use crate::spec::MethodSpec;
 
 /// Errors from the sharded serving layer.
@@ -327,6 +330,43 @@ pub struct ShardedIngestReport {
 /// the shard-local score vector plus the shard's share of the global
 /// seed mass (a score multiplier at merge time).
 type SeededShard = Option<(Arc<ScoreVec>, f64)>;
+
+/// Reusable buffers for the sharded scatter-gather path — the sharded
+/// counterpart of [`crate::QueryScratch`]. One scratch serves one
+/// caller thread; [`ShardedEngine::query_batch_at`] threads a single
+/// scratch through every member, so per-shard candidate pools, run
+/// buffers and the k-way merge heap warm once, and members repeating a
+/// seed set share one personalization-cache probe.
+#[derive(Default)]
+pub struct ShardScratch {
+    /// Deduplicated venue list of the current query.
+    venues: Vec<u32>,
+    /// Deduplicated author list of the current query.
+    authors: Vec<u32>,
+    /// Post-residual candidate ids (selection kernel input).
+    candidates: Vec<PaperId>,
+    /// Pre-residual banded posting union (author driver).
+    pool: Vec<PaperId>,
+    /// Selection kernel output buffer.
+    select: Vec<u32>,
+    /// One `(score, global id)` run buffer per scanned shard, recycled
+    /// across queries.
+    runs: Vec<Vec<(f64, PaperId)>>,
+    /// K-way merge heap storage.
+    merge: MergeScratch,
+    /// Merged page buffer.
+    merged: Vec<(f64, PaperId)>,
+    /// One seeded solve set per (epoch-set key, seed set) — the batch's
+    /// "one cache probe per seed set" memo.
+    seed_memo: Vec<(u64, Vec<PaperId>, Vec<SeededShard>)>,
+}
+
+impl ShardScratch {
+    /// An empty scratch; the first query sizes every buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// One ranking method served over a sharded corpus: per-shard
 /// [`RankingEngine`]s behind one routed write path and one
@@ -684,7 +724,7 @@ impl ShardedEngine {
     /// deduplicated when they can overlap), mirroring the unsharded
     /// planner — collects at most `q.k` hits after the cursor frontier,
     /// and the per-shard runs (each already in `cmp_score_desc` order
-    /// over global ids) merge through [`merge_k_sorted`].
+    /// over global ids) merge through [`sparsela::merge_k_sorted`].
     ///
     /// Seeded queries (`seed=`) rank by per-shard personalized solves
     /// (see `Self::seeded_shard_scores`): seeds route to their owning
@@ -709,9 +749,64 @@ impl ShardedEngine {
         q: &Query,
         cursor: Option<&ShardCursor>,
     ) -> Result<ShardedPage, ShardedError> {
+        let mut scratch = ShardScratch::new();
+        self.query_pinned(snaps, q, cursor, &mut scratch)
+    }
+
+    /// Executes a batch of `(query, cursor)` members against a freshly
+    /// pinned snapshot set. Convenience for [`Self::query_batch_at`].
+    pub fn query_batch(
+        &self,
+        batch: &[(Query, Option<ShardCursor>)],
+    ) -> Vec<Result<ShardedPage, ShardedError>> {
+        self.query_batch_at(&self.snapshots(), batch)
+    }
+
+    /// Executes every `(query, cursor)` member against one pinned epoch
+    /// set, returning pages bit-identical to calling [`Self::query_at`]
+    /// member-by-member against the same set (same pages, same cursors,
+    /// same typed errors).
+    ///
+    /// Cost amortizes across members: one [`ShardScratch`] (candidate
+    /// pools, per-shard run buffers, merge heap) warms over the batch,
+    /// members repeating a seed set share one personalization-cache
+    /// probe, and exact duplicates are served from the first member's
+    /// page without touching the shards.
+    pub fn query_batch_at(
+        &self,
+        snaps: &ShardSnapshots,
+        batch: &[(Query, Option<ShardCursor>)],
+    ) -> Vec<Result<ShardedPage, ShardedError>> {
+        let mut scratch = ShardScratch::new();
+        let mut results: Vec<Result<ShardedPage, ShardedError>> = Vec::with_capacity(batch.len());
+        for (bi, (q, cursor)) in batch.iter().enumerate() {
+            // Exact-duplicate memo (successes only — error paths are
+            // cheap and `ShardedError` is not `Clone`).
+            let memo = batch[..bi]
+                .iter()
+                .position(|(pq, pc)| pq == q && pc == cursor)
+                .and_then(|prev| results[prev].as_ref().ok().cloned());
+            results.push(match memo {
+                Some(page) => Ok(page),
+                None => self.query_pinned(snaps, q, cursor.as_ref(), &mut scratch),
+            });
+        }
+        results
+    }
+
+    /// The serve path behind [`Self::query_at`] and the batch APIs:
+    /// metrics/admission plumbing around [`Self::execute_sharded`],
+    /// writing through the caller's scratch.
+    fn query_pinned(
+        &self,
+        snaps: &ShardSnapshots,
+        q: &Query,
+        cursor: Option<&ShardCursor>,
+        scratch: &mut ShardScratch,
+    ) -> Result<ShardedPage, ShardedError> {
         let serving = self.metrics.as_ref().map(|m| &m.serving);
         if serving.is_none() && self.admission.is_none() {
-            return self.execute_sharded(snaps, q, cursor);
+            return self.execute_sharded(snaps, q, cursor, scratch);
         }
         let started = serving.is_some().then(Instant::now);
         let shape = if !q.seeds.is_empty() {
@@ -754,7 +849,7 @@ impl ShardedEngine {
                 }
             }
         };
-        let result = self.execute_sharded(snaps, q, cursor);
+        let result = self.execute_sharded(snaps, q, cursor, scratch);
         if let (Some(m), Some(at)) = (serving, started) {
             m.query_seconds.at(shape).observe(at.elapsed());
         }
@@ -763,19 +858,48 @@ impl ShardedEngine {
 
     /// The scatter-gather body behind [`Self::query_at`] (prune, collect
     /// per shard, k-way merge), free of metrics and admission plumbing.
+    /// Candidate pools, run buffers and the merge heap come from
+    /// `scratch`; seeded solves memoize there per (epoch set, seed set).
     fn execute_sharded(
         &self,
         snaps: &ShardSnapshots,
         q: &Query,
         cursor: Option<&ShardCursor>,
+        scratch: &mut ShardScratch,
     ) -> Result<ShardedPage, ShardedError> {
         if q.cursor.is_some() {
             return Err(ShardedError::CursorMismatch);
         }
         validate_facets(snaps, q)?;
-        let seeded = self.seeded_shard_scores(snaps, q)?;
-        let fp = fingerprint(&self.method, q);
         let key = snaps.epoch_key();
+        let seeded_idx: Option<usize> = if q.seeds.is_empty() {
+            None
+        } else if let Some(i) = scratch
+            .seed_memo
+            .iter()
+            .position(|(k, seeds, _)| *k == key && *seeds == q.seeds)
+        {
+            Some(i)
+        } else {
+            let per = self
+                .seeded_shard_scores(snaps, q)?
+                .expect("seeds are non-empty");
+            scratch.seed_memo.push((key, q.seeds.clone(), per));
+            Some(scratch.seed_memo.len() - 1)
+        };
+        let ShardScratch {
+            venues,
+            authors,
+            candidates,
+            pool,
+            select,
+            runs,
+            merge,
+            merged,
+            seed_memo,
+        } = scratch;
+        let seeded: Option<&Vec<SeededShard>> = seeded_idx.map(|i| &seed_memo[i].2);
+        let fp = fingerprint(&self.method, q);
         let frontier: Option<(f64, PaperId)> = match cursor {
             None => None,
             Some(c) => {
@@ -792,9 +916,11 @@ impl ShardedEngine {
             }
         };
 
+        dedup_ids_into(&q.venues, venues);
+        dedup_ids_into(&q.authors, authors);
         let shards_total = snaps.n_shards();
         let has_year = q.year_min.is_some() || q.year_max.is_some();
-        let mut runs: Vec<Vec<(f64, PaperId)>> = Vec::new();
+        let mut used = 0usize;
         let mut matched_total = 0usize;
         let mut shards_scanned = 0usize;
         for s in 0..shards_total {
@@ -820,18 +946,33 @@ impl ShardedEngine {
                 }
             }
             shards_scanned += 1;
-            let (run, matched) = collect_shard(snap, snaps.starts[s], q, frontier, personalized);
-            matched_total += matched;
+            if used == runs.len() {
+                runs.push(Vec::new());
+            }
+            let run = &mut runs[used];
+            matched_total += collect_shard(
+                snap,
+                snaps.starts[s],
+                q,
+                venues,
+                authors,
+                frontier,
+                personalized,
+                candidates,
+                pool,
+                select,
+                run,
+            );
             if !run.is_empty() {
-                runs.push(run);
+                used += 1;
             }
         }
 
-        let run_refs: Vec<&[(f64, PaperId)]> = runs.iter().map(|r| r.as_slice()).collect();
-        let merged = merge_k_sorted(&run_refs, q.k);
+        let run_refs: Vec<&[(f64, PaperId)]> = runs[..used].iter().map(|r| r.as_slice()).collect();
+        merge_k_sorted_into(&run_refs, q.k, merge, merged);
         let items: Vec<Hit> = merged
-            .into_iter()
-            .map(|(score, id)| {
+            .iter()
+            .map(|&(score, id)| {
                 let (s, local) = snaps.locate(id);
                 let net = snaps.snaps[s].network();
                 Hit {
@@ -1178,14 +1319,16 @@ enum Driver {
     Authors,
 }
 
-/// Collects one shard's contribution to a scatter-gather page: up to
-/// `q.k` `(score, global id)` pairs in `cmp_score_desc` order, plus the
-/// shard's count of candidates matching the filters after `frontier`.
+/// Collects one shard's contribution to a scatter-gather page into
+/// `run`: up to `q.k` `(score, global id)` pairs in `cmp_score_desc`
+/// order. Returns the shard's count of candidates matching the filters
+/// after `frontier`.
 ///
 /// Total by construction: facet validation already ran set-wide in
 /// [`validate_facets`], so a facet id beyond this shard's local table —
 /// or a missing local table — means "no matching papers here", never an
-/// error.
+/// error. `venues`/`authors` are the query's facet lists, already
+/// deduplicated by the caller.
 ///
 /// `personalized` replaces the snapshot's scores with a seeded solve and
 /// its share of the global seed mass: every score read is scaled by the
@@ -1196,13 +1339,21 @@ enum Driver {
 /// Within one shard, ordering by local id ties equals ordering by global
 /// id ties (`global = start + local` is monotone), so per-shard kernel
 /// output merges globally without re-sorting.
+#[allow(clippy::too_many_arguments)]
 fn collect_shard(
     snap: &EpochSnapshot,
     start: PaperId,
     q: &Query,
+    venues: &[u32],
+    authors: &[u32],
     frontier: Option<(f64, PaperId)>,
     personalized: Option<(&[f64], f64)>,
-) -> (Vec<(f64, PaperId)>, usize) {
+    candidates: &mut Vec<PaperId>,
+    pool: &mut Vec<PaperId>,
+    select: &mut Vec<u32>,
+    run: &mut Vec<(f64, PaperId)>,
+) -> usize {
+    run.clear();
     let net = snap.network();
     let (scores, scale) = match personalized {
         Some((s, m)) => (s, m),
@@ -1217,17 +1368,15 @@ fn collect_shard(
         }
     };
 
-    let venues = crate::query::dedup_ids(&q.venues);
-    let authors = crate::query::dedup_ids(&q.authors);
     let venue_table = net.venues();
     let author_table = net.authors();
     // A shard carved before metadata existed has no faceted papers at
     // all: a facet-filtered query matches nothing in it.
     if !venues.is_empty() && venue_table.is_none() {
-        return (Vec::new(), 0);
+        return 0;
     }
     if !authors.is_empty() && author_table.is_none() {
-        return (Vec::new(), 0);
+        return 0;
     }
 
     // Unfiltered, no frontier: plain partial select over the shard.
@@ -1237,12 +1386,13 @@ fn collect_shard(
         && q.year_min.is_none()
         && q.year_max.is_none()
     {
-        let ids = top_k_indices(scores, q.k);
-        let run = ids
-            .into_iter()
-            .map(|l| (scores[l as usize] * scale, start + l))
-            .collect();
-        return (run, n);
+        top_k_indices_into(scores, q.k, select);
+        run.extend(
+            select
+                .iter()
+                .map(|&l| (scores[l as usize] * scale, start + l)),
+        );
+        return n;
     }
 
     let range = net.id_range_for_years(q.year_min, q.year_max);
@@ -1285,7 +1435,7 @@ fn collect_shard(
             || author_table.is_some_and(|t| t.authors_of(id).iter().any(|a| authors.contains(a)))
     };
 
-    let (ids, matched) = match best.1 {
+    let matched = match best.1 {
         Driver::Range => {
             let mut matched = 0usize;
             let mut pred = |id: u32| {
@@ -1294,54 +1444,57 @@ fn collect_shard(
                 ok
             };
             // k = 0 is a count: the scan must still run for `matched`.
-            let ids = if q.k == 0 {
+            if q.k == 0 {
                 for id in range.clone() {
                     pred(id);
                 }
-                Vec::new()
+                select.clear();
             } else {
-                top_k_where(scores, range.clone(), q.k, pred)
-            };
-            (ids, matched)
+                top_k_where_into(scores, range.clone(), q.k, pred, select);
+            }
+            matched
         }
         Driver::Venues => {
             let t = venue_table.expect("present: Venues driver was costed");
-            let candidates: Vec<PaperId> = venues
-                .iter()
-                .filter(|&&v| (v as usize) < t.n_venues())
-                .flat_map(|&v| citegraph::band(t.papers_at(v), &range))
-                .copied()
-                .filter(|&id| author_ok(id) && after(id))
-                .collect();
-            let matched = candidates.len();
-            (top_k_filtered(scores, &candidates, q.k), matched)
+            candidates.clear();
+            candidates.extend(
+                venues
+                    .iter()
+                    .filter(|&&v| (v as usize) < t.n_venues())
+                    .flat_map(|&v| citegraph::band(t.papers_at(v), &range))
+                    .copied()
+                    .filter(|&id| author_ok(id) && after(id)),
+            );
+            top_k_filtered_into(scores, candidates, q.k, select);
+            candidates.len()
         }
         Driver::Authors => {
             let t = author_table.expect("present: Authors driver was costed");
-            let mut pool: Vec<PaperId> = authors
-                .iter()
-                .filter(|&&a| (a as usize) < t.n_authors())
-                .flat_map(|&a| citegraph::band(t.papers_of(a), &range))
-                .copied()
-                .collect();
+            pool.clear();
+            pool.extend(
+                authors
+                    .iter()
+                    .filter(|&&a| (a as usize) < t.n_authors())
+                    .flat_map(|&a| citegraph::band(t.papers_of(a), &range))
+                    .copied(),
+            );
             if authors.len() > 1 {
                 // Overlapping author lists can list one paper twice.
                 pool.sort_unstable();
                 pool.dedup();
             }
-            let candidates: Vec<PaperId> = pool
-                .into_iter()
-                .filter(|&id| venue_ok(id) && after(id))
-                .collect();
-            let matched = candidates.len();
-            (top_k_filtered(scores, &candidates, q.k), matched)
+            candidates.clear();
+            candidates.extend(pool.iter().copied().filter(|&id| venue_ok(id) && after(id)));
+            top_k_filtered_into(scores, candidates, q.k, select);
+            candidates.len()
         }
     };
-    let run = ids
-        .into_iter()
-        .map(|l| (scores[l as usize] * scale, start + l))
-        .collect();
-    (run, matched)
+    run.extend(
+        select
+            .iter()
+            .map(|&l| (scores[l as usize] * scale, start + l)),
+    );
+    matched
 }
 
 #[cfg(test)]

@@ -1,0 +1,140 @@
+//! Allocation-counting harness for the steady-state read path.
+//!
+//! `QueryEngine::query_with` documents a hard contract: once a
+//! [`rankengine::QueryScratch`] and [`rankengine::PageBuf`] are warm,
+//! an unseeded query performs **zero heap allocations** — plan-cache
+//! hit, keyed pool/mask reuse, `_into` selection kernels, cursor encode
+//! into the reused token buffer. This crate swaps in a counting global
+//! allocator and pins that contract per plan driver. It must stay a
+//! single `#[test]`: the counter is process-global, so a concurrent
+//! test's allocations would bleed into the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use citegraph::{CitationNetwork, NetworkBuilder, Year};
+use rankengine::{PageBuf, Query, QueryEngine, QueryScratch, RerankPolicy};
+
+/// [`System`] plus a relaxed counter on every allocating entry point.
+/// Only allocations made *by the test thread* count: the libtest
+/// harness's own threads allocate at unpredictable times (observed as
+/// intermittent 48/96-byte pairs), and those must not bleed into the
+/// measured window.
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static MEASURED_THREAD: AtomicU64 = const { AtomicU64::new(0) };
+}
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if MEASURED_THREAD.with(|f| f.load(Ordering::Relaxed)) == 1 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if MEASURED_THREAD.with(|f| f.load(Ordering::Relaxed)) == 1 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+/// 300 papers with venue/author metadata and a moderate citation fan —
+/// big enough that every plan driver has real candidate lists.
+fn corpus() -> CitationNetwork {
+    let mut b = NetworkBuilder::new();
+    for i in 0..300u32 {
+        let mut authors = vec![i % 7];
+        if i % 4 == 0 {
+            authors.push(7);
+        }
+        let venue = match i % 5 {
+            4 => None,
+            v => Some(v),
+        };
+        b.add_paper_with_metadata(1990 + (i / 10) as Year, authors, venue);
+    }
+    for i in 1..300u32 {
+        let fan = 1 + i % 5;
+        for d in 1..=fan {
+            if d <= i {
+                b.add_citation(i, i - d).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn steady_state_queries_allocate_nothing() {
+    MEASURED_THREAD.with(|f| f.store(1, Ordering::Relaxed));
+    let qe = QueryEngine::from_configs(corpus(), &["cc"], RerankPolicy::Manual).unwrap();
+    let mut scratch = QueryScratch::new();
+    let mut out = PageBuf::new();
+
+    // One shape per plan driver (seeded excluded: the personalization
+    // cache probe hands back an Arc but its solve path is not part of
+    // the zero-allocation contract).
+    let shapes: Vec<Query> = [
+        "k=10",                      // unfiltered partial select
+        "k=10,year=2005..2015",      // id-range scan
+        "k=10,venue=0",              // venue banded postings
+        "k=10,author=1,year=2000..", // author bands under a year bound
+        "k=10,venue=0,author=1",     // mask-algebra pushdown
+        "k=0,venue=2",               // count-only path
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect();
+
+    for q in &shapes {
+        // Warm: first call takes the plan-cache miss and grows every
+        // scratch buffer to its high-water mark.
+        qe.query_with(q, &mut scratch, &mut out).unwrap();
+        qe.query_with(q, &mut scratch, &mut out).unwrap();
+        let matched = out.matched();
+
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..32 {
+            qe.query_with(q, &mut scratch, &mut out).unwrap();
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state {q} allocated ({matched} matches)"
+        );
+        assert_eq!(out.matched(), matched, "reused buffers changed the page");
+    }
+
+    // Paginated steady state: resuming through a cursor is also free
+    // once warm (the token decodes into stack values, the next token
+    // re-encodes into the reused buffer).
+    let first: Query = "k=10,venue=0".parse().unwrap();
+    qe.query_with(&first, &mut scratch, &mut out).unwrap();
+    let mut resumed = first.clone();
+    resumed.cursor = out.next();
+    assert!(resumed.cursor.is_some(), "venue=0 has a second page");
+    qe.query_with(&resumed, &mut scratch, &mut out).unwrap();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..32 {
+        qe.query_with(&resumed, &mut scratch, &mut out).unwrap();
+    }
+    assert_eq!(
+        ALLOCS.load(Ordering::Relaxed) - before,
+        0,
+        "steady-state cursor resume allocated"
+    );
+}

@@ -48,8 +48,9 @@ pub use mask::IdMask;
 pub use power::{PowerEngine, PowerOptions, PowerOutcome};
 pub use push::{PushConfig, PushOutcome};
 pub use ranks::{
-    average_ranks, cmp_score_desc, merge_k_sorted, ordinal_ranks, sort_indices_desc,
-    top_k_filtered, top_k_indices, top_k_masked, top_k_where,
+    average_ranks, cmp_score_desc, merge_k_sorted, merge_k_sorted_into, ordinal_ranks,
+    sort_indices_desc, top_k_filtered, top_k_filtered_into, top_k_indices, top_k_indices_into,
+    top_k_masked, top_k_masked_into, top_k_where, top_k_where_into, MergeScratch,
 };
 pub use stochastic::CitationOperator;
 pub use vector::{KernelWorkspace, ScoreVec};

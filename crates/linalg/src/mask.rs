@@ -20,6 +20,14 @@ pub struct IdMask {
     len: usize,
 }
 
+impl Default for IdMask {
+    /// An empty mask covering no ids — [`IdMask::reset`] gives it an id
+    /// space.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl IdMask {
     /// An all-clear mask covering ids `0..len`.
     pub fn new(len: usize) -> Self {
@@ -52,6 +60,19 @@ impl IdMask {
             mask.insert(id);
         }
         mask
+    }
+
+    /// Clears every bit and re-covers ids `0..len`, reusing the word
+    /// storage.
+    ///
+    /// Growing past the largest `len` seen reallocates once; after that a
+    /// reused mask performs zero heap allocations — the reuse contract
+    /// the query layer's scratch relies on.
+    pub fn reset(&mut self, len: usize) {
+        let words = len.div_ceil(64);
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.len = len;
     }
 
     /// Number of ids covered (set or not).
@@ -239,6 +260,27 @@ mod tests {
         let mut full = IdMask::new(128);
         full.negate();
         assert_eq!(full.count_ones(), 128);
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_clears() {
+        let mut m = IdMask::from_ids(200, [3u32, 64, 199]);
+        m.reset(130);
+        assert_eq!(m.len(), 130);
+        assert_eq!(m.count_ones(), 0);
+        assert!(!m.contains(3) && !m.contains(64));
+        m.insert(129);
+        assert_eq!(m.ones().collect::<Vec<_>>(), vec![129]);
+        // Shrinking then re-growing within the warmed word storage must
+        // not reallocate.
+        let cap = {
+            m.reset(200);
+            m.words.capacity()
+        };
+        m.reset(64);
+        m.reset(200);
+        assert_eq!(m.words.capacity(), cap);
+        assert_eq!(m, IdMask::new(200));
     }
 
     #[test]

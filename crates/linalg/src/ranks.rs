@@ -58,18 +58,29 @@ pub fn sort_indices_desc(scores: &[f64]) -> Vec<u32> {
 /// including the tie-break by smaller index — which the serving layer's
 /// `top_k` query relies on (property-tested in `tests/proptests.rs`).
 pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    top_k_indices_into(scores, k, &mut out);
+    out
+}
+
+/// [`top_k_indices`] writing into a caller-provided buffer.
+///
+/// `out` is cleared first; once its capacity has grown to `n` it is never
+/// reallocated, so a steady-state caller performs zero heap allocations.
+/// The contents written are identical to [`top_k_indices`].
+pub fn top_k_indices_into(scores: &[f64], k: usize, out: &mut Vec<u32>) {
+    out.clear();
     let n = scores.len();
     let k = k.min(n);
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut idx: Vec<u32> = (0..n as u32).collect();
+    out.extend(0..n as u32);
     if k < n {
-        idx.select_nth_unstable_by(k - 1, desc_by_score(scores));
-        idx.truncate(k);
+        out.select_nth_unstable_by(k - 1, desc_by_score(scores));
+        out.truncate(k);
     }
-    idx.sort_unstable_by(desc_by_score(scores));
-    idx
+    out.sort_unstable_by(desc_by_score(scores));
 }
 
 /// Indices of the `k` best-scoring entries among an explicit candidate
@@ -87,17 +98,29 @@ pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<u32> {
 /// yield duplicate results (posting lists are deduplicated by
 /// construction).
 pub fn top_k_filtered(scores: &[f64], candidates: &[u32], k: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    top_k_filtered_into(scores, candidates, k, &mut out);
+    out
+}
+
+/// [`top_k_filtered`] writing into a caller-provided buffer.
+///
+/// `out` is cleared first and doubles as the quickselect working set;
+/// once its capacity has grown to the largest candidate list seen it is
+/// never reallocated. The contents written are identical to
+/// [`top_k_filtered`].
+pub fn top_k_filtered_into(scores: &[f64], candidates: &[u32], k: usize, out: &mut Vec<u32>) {
+    out.clear();
     let k = k.min(candidates.len());
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut idx = candidates.to_vec();
-    if k < idx.len() {
-        idx.select_nth_unstable_by(k - 1, desc_by_score(scores));
-        idx.truncate(k);
+    out.extend_from_slice(candidates);
+    if k < out.len() {
+        out.select_nth_unstable_by(k - 1, desc_by_score(scores));
+        out.truncate(k);
     }
-    idx.sort_unstable_by(desc_by_score(scores));
-    idx
+    out.sort_unstable_by(desc_by_score(scores));
 }
 
 /// Core of the scan-side selection kernels: streams candidate ids and
@@ -105,12 +128,13 @@ pub fn top_k_filtered(scores: &[f64], candidates: &[u32], k: usize) -> Vec<u32> 
 /// `(score, id)` threshold once `k` survivors are known. Memory is
 /// `O(k)` and the scan never revisits an id, so a broad predicate costs
 /// one pass over its candidates.
-fn top_k_stream<I: Iterator<Item = u32>>(scores: &[f64], ids: I, k: usize) -> Vec<u32> {
+fn top_k_stream<I: Iterator<Item = u32>>(scores: &[f64], ids: I, k: usize, buf: &mut Vec<u32>) {
+    buf.clear();
     if k == 0 {
-        return Vec::new();
+        return;
     }
     let cap = 2 * k.min(scores.len().max(1));
-    let mut buf: Vec<u32> = Vec::with_capacity(cap);
+    buf.reserve(cap);
     let mut threshold: Option<(f64, u32)> = None;
     for id in ids {
         if let Some((ts, tid)) = threshold {
@@ -130,14 +154,14 @@ fn top_k_stream<I: Iterator<Item = u32>>(scores: &[f64], ids: I, k: usize) -> Ve
     }
     let k = k.min(buf.len());
     if k == 0 {
-        return Vec::new();
+        buf.clear();
+        return;
     }
     if k < buf.len() {
         buf.select_nth_unstable_by(k - 1, desc_by_score(scores));
         buf.truncate(k);
     }
     buf.sort_unstable_by(desc_by_score(scores));
-    buf
 }
 
 /// Indices of the `k` best-scoring entries within the id range `ids`
@@ -148,14 +172,33 @@ fn top_k_stream<I: Iterator<Item = u32>>(scores: &[f64], ids: I, k: usize) -> Ve
 /// no precomputed candidate list — or whose candidate list would be
 /// larger than the range itself. The planner picks whichever of the two
 /// kernels touches fewer ids; the results are identical either way.
-pub fn top_k_where<F>(scores: &[f64], ids: std::ops::Range<u32>, k: usize, mut pred: F) -> Vec<u32>
+pub fn top_k_where<F>(scores: &[f64], ids: std::ops::Range<u32>, k: usize, pred: F) -> Vec<u32>
 where
+    F: FnMut(u32) -> bool,
+{
+    let mut out = Vec::new();
+    top_k_where_into(scores, ids, k, pred, &mut out);
+    out
+}
+
+/// [`top_k_where`] writing into a caller-provided buffer.
+///
+/// `out` is cleared first and doubles as the bounded `2k` stream buffer;
+/// once warm it is never reallocated. The contents written are identical
+/// to [`top_k_where`].
+pub fn top_k_where_into<F>(
+    scores: &[f64],
+    ids: std::ops::Range<u32>,
+    k: usize,
+    mut pred: F,
+    out: &mut Vec<u32>,
+) where
     F: FnMut(u32) -> bool,
 {
     let n = scores.len() as u32;
     let start = ids.start.min(n);
     let end = ids.end.min(n).max(start);
-    top_k_stream(scores, (start..end).filter(move |&id| pred(id)), k)
+    top_k_stream(scores, (start..end).filter(move |&id| pred(id)), k, out);
 }
 
 /// Indices of the `k` best-scoring set ids of `mask`, in decreasing
@@ -168,6 +211,20 @@ where
 /// # Panics
 /// Panics if the mask covers a different id space than `scores`.
 pub fn top_k_masked(scores: &[f64], mask: &IdMask, k: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    top_k_masked_into(scores, mask, k, &mut out);
+    out
+}
+
+/// [`top_k_masked`] writing into a caller-provided buffer.
+///
+/// `out` is cleared first and doubles as the bounded `2k` stream buffer;
+/// once warm it is never reallocated. The contents written are identical
+/// to [`top_k_masked`].
+///
+/// # Panics
+/// Panics if the mask covers a different id space than `scores`.
+pub fn top_k_masked_into(scores: &[f64], mask: &IdMask, k: usize, out: &mut Vec<u32>) {
     assert_eq!(
         mask.len(),
         scores.len(),
@@ -175,7 +232,7 @@ pub fn top_k_masked(scores: &[f64], mask: &IdMask, k: usize) -> Vec<u32> {
         mask.len(),
         scores.len()
     );
-    top_k_stream(scores, mask.ones(), k)
+    top_k_stream(scores, mask.ones(), k, out);
 }
 
 /// One run head inside [`merge_k_sorted`]'s heap. Ordered so that the
@@ -227,23 +284,64 @@ impl Ord for MergeHead {
 /// non-panicking) order, exactly like a mis-sorted input to a binary
 /// search.
 pub fn merge_k_sorted(runs: &[&[(f64, u32)]], k: usize) -> Vec<(f64, u32)> {
+    let mut out = Vec::new();
+    let mut scratch = MergeScratch::new();
+    merge_k_sorted_into(runs, k, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable heap storage for [`merge_k_sorted_into`].
+///
+/// The merge heap never grows past one head per non-empty run, so a
+/// scratch warmed on the first merge is never reallocated by later
+/// merges over the same (or fewer) runs.
+#[derive(Default)]
+pub struct MergeScratch {
+    heads: Vec<MergeHead>,
+}
+
+impl MergeScratch {
+    /// An empty scratch; the first merge sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`merge_k_sorted`] writing into a caller-provided buffer, with the
+/// merge heap's storage recycled through `scratch`.
+///
+/// `out` is cleared first; once `out` holds capacity `k` and `scratch`
+/// holds one head per run, the merge performs zero heap allocations.
+/// The contents written are identical to [`merge_k_sorted`].
+pub fn merge_k_sorted_into(
+    runs: &[&[(f64, u32)]],
+    k: usize,
+    scratch: &mut MergeScratch,
+    out: &mut Vec<(f64, u32)>,
+) {
+    out.clear();
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let k = k.min(total);
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut heap: std::collections::BinaryHeap<MergeHead> = runs
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| !r.is_empty())
-        .map(|(run, r)| MergeHead {
-            score: r[0].0,
-            id: r[0].1,
-            run,
-            pos: 0,
-        })
-        .collect();
-    let mut out = Vec::with_capacity(k);
+    let mut heads = std::mem::take(&mut scratch.heads);
+    heads.clear();
+    heads.extend(
+        runs.iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(run, r)| MergeHead {
+                score: r[0].0,
+                id: r[0].1,
+                run,
+                pos: 0,
+            }),
+    );
+    // Heapify in place: reuses the scratch Vec's allocation, and pops
+    // always precede pushes so the heap never outgrows its initial size.
+    let mut heap = std::collections::BinaryHeap::from(heads);
+    out.reserve(k);
     while let Some(head) = heap.pop() {
         out.push((head.score, head.id));
         if out.len() == k {
@@ -259,7 +357,7 @@ pub fn merge_k_sorted(runs: &[&[(f64, u32)]], k: usize) -> Vec<(f64, u32)> {
             });
         }
     }
-    out
+    scratch.heads = heap.into_vec();
 }
 
 /// Ordinal ranks: the highest score gets rank 1, and so on. Ties break by
@@ -604,6 +702,80 @@ mod tests {
         let b = [(1.0, 7u32)];
         let runs: &[&[(f64, u32)]] = &[&a, &b];
         assert_eq!(merge_k_sorted(runs, 2), concat_sort_truncate(runs, 2));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let s: Vec<f64> = (0..300).map(|i| ((i * 7919) % 63) as f64).collect();
+        let candidates: Vec<u32> = (0..300u32).filter(|i| i % 5 == 0).collect();
+        let mask = IdMask::from_ids(300, (0..300u32).filter(|i| i % 7 == 0));
+        let mut out = Vec::new();
+        for k in [0usize, 1, 9, 60, 300, 500] {
+            top_k_indices_into(&s, k, &mut out);
+            assert_eq!(out, top_k_indices(&s, k), "indices k = {k}");
+            top_k_filtered_into(&s, &candidates, k, &mut out);
+            assert_eq!(out, top_k_filtered(&s, &candidates, k), "filtered k = {k}");
+            top_k_where_into(&s, 0..300, k, |i| i % 3 == 0, &mut out);
+            assert_eq!(
+                out,
+                top_k_where(&s, 0..300, k, |i| i % 3 == 0),
+                "where k = {k}"
+            );
+            top_k_masked_into(&s, &mask, k, &mut out);
+            assert_eq!(out, top_k_masked(&s, &mask, k), "masked k = {k}");
+        }
+    }
+
+    #[test]
+    fn into_variants_clear_stale_contents() {
+        // A warm buffer left over from a previous (larger) query must not
+        // leak into the next result.
+        let s = [0.1, 0.9, 0.5];
+        let mut out = vec![42u32; 64];
+        top_k_indices_into(&s, 2, &mut out);
+        assert_eq!(out, vec![1, 2]);
+        let mut out = vec![7u32; 64];
+        top_k_where_into(&s, 0..3, 0, |_| true, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn into_variants_reuse_capacity() {
+        // Steady state: the second identical call must not grow the
+        // buffer — this is the allocation-free contract the query layer's
+        // scratch relies on.
+        let s: Vec<f64> = (0..500).map(|i| (i % 97) as f64).collect();
+        let mut out = Vec::new();
+        top_k_where_into(&s, 0..500, 10, |_| true, &mut out);
+        let cap = out.capacity();
+        for _ in 0..3 {
+            top_k_where_into(&s, 0..500, 10, |_| true, &mut out);
+            assert_eq!(out.capacity(), cap);
+        }
+        top_k_indices_into(&s, 25, &mut out);
+        let cap = out.capacity();
+        top_k_indices_into(&s, 25, &mut out);
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn merge_k_sorted_into_matches_and_reuses_scratch() {
+        let a = [(0.9, 0u32), (0.5, 2), (0.1, 4)];
+        let b = [(0.8, 1u32), (0.5, 3), (0.2, 5)];
+        let c = [(0.7, 6u32)];
+        let runs: &[&[(f64, u32)]] = &[&a, &b, &c];
+        let mut scratch = MergeScratch::new();
+        let mut out = Vec::new();
+        for k in 0..=9 {
+            merge_k_sorted_into(runs, k, &mut scratch, &mut out);
+            assert_eq!(out, merge_k_sorted(runs, k), "k = {k}");
+        }
+        // Warm scratch: heap storage and output stay at their capacity.
+        merge_k_sorted_into(runs, 7, &mut scratch, &mut out);
+        let (head_cap, out_cap) = (scratch.heads.capacity(), out.capacity());
+        merge_k_sorted_into(runs, 7, &mut scratch, &mut out);
+        assert_eq!(scratch.heads.capacity(), head_cap);
+        assert_eq!(out.capacity(), out_cap);
     }
 
     #[test]
